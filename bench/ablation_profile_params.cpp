@@ -1,0 +1,81 @@
+// Ablation — profiler design choices (Section 4.1 / 5.4).
+//
+// Sweeps the knobs DESIGN.md calls out:
+//   - N, the kNN neighbourhood size (the paper fixes N=1000 on a 470K-host
+//     universe; the interesting quantity is N as a fraction of the
+//     vocabulary),
+//   - the aggregation function g (the paper leaves g open; mean vs
+//     L2-normalised mean),
+//   - tracker filtering on/off (Section 5.4 argues trackers add noise).
+#include <iostream>
+
+#include "bench/quality_probe.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace netobs;
+  auto cfg = bench::parse_config(argc, argv, {1000, 3, 2021});
+  bench::QualityFixture fx(cfg);
+  util::print_banner(std::cout, "Ablation: profiler parameters");
+  bench::print_scale_note(cfg, fx.world);
+
+  util::Table knn_table({"N (kNN)", "top-3 match", "ad affinity",
+                         "vs random"});
+  for (std::size_t n : {5UL, 20UL, 50UL, 150UL, 400UL, 1000UL}) {
+    auto sp = bench::scaled_service_params();
+    sp.profiler.knn = n;
+    auto q = bench::measure_quality(fx, sp);
+    knn_table.add_row(
+        {std::to_string(n) + (n == 1000 ? " (paper)" : ""),
+         util::format("%.3f", q.top3_match),
+         util::format("%.3f", q.selected_affinity),
+         util::format("%.2fx",
+                      q.selected_affinity /
+                          std::max(1e-9, q.random_affinity))});
+  }
+  knn_table.print(std::cout);
+
+  util::Table agg_table({"aggregation g", "top-3 match", "ad affinity"});
+  for (auto agg : {profile::Aggregation::kMean,
+                   profile::Aggregation::kNormalizedMean}) {
+    auto sp = bench::scaled_service_params();
+    sp.profiler.aggregation = agg;
+    auto q = bench::measure_quality(fx, sp);
+    agg_table.add_row(
+        {agg == profile::Aggregation::kMean ? "mean" : "normalized mean",
+         util::format("%.3f", q.top3_match),
+         util::format("%.3f", q.selected_affinity)});
+  }
+  agg_table.print(std::cout);
+
+  util::Table filter_table({"tracker filtering", "top-3 match",
+                            "ad affinity"});
+  for (bool filtering : {true, false}) {
+    auto sp = bench::scaled_service_params();
+    auto q = bench::measure_quality(fx, sp, filtering);
+    filter_table.add_row({filtering ? "on (paper)" : "off",
+                          util::format("%.3f", q.top3_match),
+                          util::format("%.3f", q.selected_affinity)});
+  }
+  filter_table.print(std::cout);
+
+  util::Table emb_table({"profiler", "top-3 match", "ad affinity",
+                         "empty %"});
+  for (bool neighbors : {true, false}) {
+    auto sp = bench::scaled_service_params();
+    sp.profiler.use_embedding_neighbors = neighbors;
+    auto q = bench::measure_quality(fx, sp);
+    emb_table.add_row({neighbors ? "embedding+kNN (paper)" : "ontology-only",
+                       util::format("%.3f", q.top3_match),
+                       util::format("%.3f", q.selected_affinity),
+                       util::format("%.1f", q.empty_rate * 100)});
+  }
+  emb_table.print(std::cout);
+
+  std::cout << "\nshape checks: quality degrades when N approaches the\n"
+               "vocabulary size (dilution) or is tiny (no propagation);\n"
+               "tracker filtering helps; the embedding beats or matches the\n"
+               "ontology-only baseline while profiling more sessions.\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Ablation — training-objective and retraining-strategy variants.
+//
+// The paper fixes SKIPGRAM with GENSIM defaults and retrains a fresh model
+// every day on the previous day's data, noting that "the amount of data
+// used for training is configurable". This bench compares:
+//   - SKIPGRAM vs CBOW (the standard word2vec alternative),
+//   - cold daily retraining (the paper) vs warm-started retraining
+//     (initialise from yesterday's model — our extension),
+//   - single-threaded vs Hogwild multi-threaded training (the "fully
+//     parallelizable" claim of Section 4.1: quality must not degrade).
+#include <iostream>
+
+#include "bench/quality_probe.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace netobs;
+  auto cfg = bench::parse_config(argc, argv, {1000, 3, 2021});
+  bench::QualityFixture fx(cfg);
+  util::print_banner(std::cout, "Ablation: training variants");
+  bench::print_scale_note(cfg, fx.world);
+
+  util::Table objective({"objective", "top-3 match", "ad affinity",
+                         "vs random"});
+  for (auto mode : {embedding::SgnsMode::kSkipGram,
+                    embedding::SgnsMode::kCbow}) {
+    auto sp = bench::scaled_service_params();
+    sp.sgns.mode = mode;
+    auto q = bench::measure_quality(fx, sp);
+    objective.add_row(
+        {mode == embedding::SgnsMode::kSkipGram ? "SKIPGRAM (paper)" : "CBOW",
+         util::format("%.3f", q.top3_match),
+         util::format("%.3f", q.selected_affinity),
+         util::format("%.2fx", q.selected_affinity /
+                                   std::max(1e-9, q.random_affinity))});
+  }
+  objective.print(std::cout);
+
+  util::Table retraining({"retraining", "top-3 match", "ad affinity"});
+  for (bool warm : {false, true}) {
+    auto sp = bench::scaled_service_params();
+    sp.warm_start = warm;
+    // Two consecutive daily retrainings: day 0 then day 1; warm start
+    // carries day-0 knowledge into the day-1 model.
+    auto q = bench::measure_quality(fx, sp, true, 7, {0, 1});
+    retraining.add_row({warm ? "warm-started (extension)" : "cold (paper)",
+                        util::format("%.3f", q.top3_match),
+                        util::format("%.3f", q.selected_affinity)});
+  }
+  retraining.print(std::cout);
+
+  util::Table threading({"threads", "top-3 match", "ad affinity"});
+  for (std::size_t threads : {1UL, 4UL}) {
+    auto sp = bench::scaled_service_params();
+    sp.sgns.threads = threads;
+    auto q = bench::measure_quality(fx, sp);
+    threading.add_row({std::to_string(threads),
+                       util::format("%.3f", q.top3_match),
+                       util::format("%.3f", q.selected_affinity)});
+  }
+  threading.print(std::cout);
+
+  std::cout << "\nshape checks: SKIPGRAM edges out CBOW but both learn the\n"
+               "structure (the paper's choice is not load-bearing); cold\n"
+               "daily restarts — the paper's design — hold up well (the\n"
+               "full-rate LR schedule of a warm restart re-shocks old rows,\n"
+               "so warm-starting is no free win); Hogwild threading does\n"
+               "not degrade quality.\n";
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Baseline — content-based labeling vs the embedding (Section 4).
+//
+// The paper dismisses the "crawl the page and classify its text" route for
+// a network observer: 67% of hostnames return nothing (CDNs, APIs,
+// trackers), and what can be crawled requires per-URL work. This bench
+// implements that baseline (synthetic pages + multinomial Naive Bayes) and
+// measures it against the ontology seed and the embedding profiler:
+//
+//   1. label coverage: seed ontology vs ontology+crawler vs what the
+//      embedding can *reach* (anything co-requested),
+//   2. end-to-end profile quality with each labeler, with and without the
+//      embedding's kNN propagation.
+#include <iostream>
+
+#include "bench/quality_probe.hpp"
+#include "content/crawler.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace netobs;
+  auto cfg = bench::parse_config(argc, argv, {1000, 3, 2021});
+  bench::QualityFixture fx(cfg);
+  util::print_banner(std::cout,
+                     "Baseline: content-based labeling (Section 4)");
+  bench::print_scale_note(cfg, fx.world);
+
+  content::ContentCrawler crawler(*fx.world.universe);
+  auto expansion = crawler.expand_labels(fx.labeler, *fx.world.space);
+
+  util::Table crawl({"metric", "measured", "paper"});
+  crawl.add_row({"fetch failure rate",
+                 util::format("%.1f%%", 100.0 * crawler.fetch_failure_rate()),
+                 "67%"});
+  crawl.add_row({"seed (ontology) labels",
+                 std::to_string(fx.labeler.labeled_count()),
+                 "~50K (10.6%)"});
+  crawl.add_row({"labels added by crawling+classifying",
+                 std::to_string(expansion.predicted), "-"});
+  crawl.add_row({"hosts unreachable by crawling",
+                 std::to_string(expansion.unfetchable), "the 67%"});
+  crawl.add_row({"classifier accuracy (vs ground truth)",
+                 util::format("%.3f", expansion.prediction_accuracy), "-"});
+  crawl.add_row({"total coverage after crawl",
+                 util::format("%.1f%%",
+                              100.0 * expansion.labeler.coverage(
+                                          fx.world.universe->size())),
+                 "-"});
+  crawl.print(std::cout);
+
+  // End-to-end quality under each labeler.
+  struct Variant {
+    const char* name;
+    const ontology::HostLabeler* labeler;
+    bool embedding;
+  };
+  const ontology::HostLabeler onto = fx.labeler;  // stable copies
+  const ontology::HostLabeler crawled = expansion.labeler;
+  const std::vector<Variant> variants = {
+      {"ontology only, no embedding", &onto, false},
+      {"ontology + crawler labels, no embedding", &crawled, false},
+      {"ontology + embedding (paper)", &onto, true},
+      {"ontology + crawler + embedding", &crawled, true},
+  };
+
+  util::Table quality({"labeling strategy", "top-3 match", "ad affinity",
+                       "vs random"});
+  for (const auto& v : variants) {
+    // Swap the fixture's labeler in place (traces and ad DB stay shared).
+    fx.labeler = *v.labeler;
+
+    auto sp = bench::scaled_service_params();
+    sp.profiler.use_embedding_neighbors = v.embedding;
+    auto q = bench::measure_quality(fx, sp);
+    quality.add_row(
+        {v.name, util::format("%.3f", q.top3_match),
+         util::format("%.3f", q.selected_affinity),
+         util::format("%.2fx", q.selected_affinity /
+                                   std::max(1e-9, q.random_affinity))});
+  }
+  fx.labeler = onto;
+  quality.print(std::cout);
+
+  std::cout << "\nshape checks: crawling recovers labels only for the\n"
+               "crawlable third of the universe and still leaves every\n"
+               "CDN/API endpoint dark; the embedding reaches them through\n"
+               "co-requests — the paper's argument for representation\n"
+               "learning over content analysis.\n";
+  return 0;
+}

@@ -1,0 +1,194 @@
+// Countermeasures (Section 7.4) — what actually stops a network observer?
+//
+// Paper: ad-blockers "cannot prevent profiling by network observers";
+// encrypted SNI "do[es] not hide the IP address that may be used by the
+// profiling algorithm"; VPNs "simply shift the threat"; only TOR-class
+// tools cut the signal, at a usability cost.
+//
+// This bench measures eavesdropper profile quality under each
+// countermeasure, end to end over real wire bytes:
+//   baseline       — TLS with cleartext SNI,
+//   ad-blocker     — the *user* blocks tracker/ad connections client-side,
+//   ECH x%         — a fraction of clients omit the SNI; the observer falls
+//                    back to destination-IP tokens (same learner),
+//   ECH 100%       — nobody sends SNI; profiling survives on IPs alone,
+//   TOR            — the observer sees a single relay IP for everything.
+#include <algorithm>
+#include <iostream>
+
+#include "bench/quality_probe.hpp"
+#include "net/observer.hpp"
+#include "synth/traffic.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace netobs;
+
+struct Scenario {
+  const char* name;
+  double ech_fraction;
+  bool ip_fallback;
+  bool user_adblock;  ///< user-side tracker blocking before the wire
+  bool tor;           ///< all traffic to one relay, no SNI
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto cfg = bench::parse_config(argc, argv, {800, 3, 2021});
+  auto world = bench::make_world(cfg);
+  util::print_banner(std::cout, "Countermeasures (Section 7.4)");
+  bench::print_scale_note(cfg, world);
+
+  auto labeler = world.universe->make_labeler();
+  // The observer can resolve every *labeled* hostname to its server IP on
+  // its own, so under encrypted SNI the IP tokens of labeled hosts are
+  // labeled too (real CDN/anycast IP sharing would blunt this; here the
+  // synthetic world maps hosts to IPs 1:1, the optimistic case).
+  for (const auto& [host, label] :
+       std::unordered_map<std::string, ontology::CategoryVector>(
+           labeler.labels())) {
+    labeler.set_label(
+        net::ip_pseudo_hostname(synth::server_ip_for(host)), label);
+  }
+  filter::Blocklist blocklist;
+  blocklist.add_hosts_file("trackers", world.universe->tracker_hosts_file());
+  ads::AdDatabase db =
+      ads::AdDatabase::collect(*world.universe, labeler, 12000, cfg.seed);
+  ads::EavesdropperSelector selector(db, labeler);
+
+  synth::BrowsingSimulator sim(*world.universe, *world.population);
+  auto train_events = sim.simulate(0, 2).events;
+  auto probe_events = sim.simulate(2, 1).events;
+
+  const std::vector<Scenario> scenarios = {
+      {"baseline (cleartext SNI)", 0.0, false, false, false},
+      {"user runs an ad-blocker", 0.0, false, true, false},
+      {"ECH 50% adoption + IP fallback", 0.5, true, false, false},
+      {"ECH 100% + IP fallback", 1.0, true, false, false},
+      {"ECH 100%, no IP fallback", 1.0, false, false, false},
+      {"TOR (single relay, no SNI)", 0.0, false, false, true},
+  };
+
+  const auto& space = *world.space;
+  const auto& tops = space.top_level_ids();
+
+  util::Table table({"countermeasure", "observed events", "profiles",
+                     "top-3 match", "ad affinity", "vs random"});
+  for (const auto& s : scenarios) {
+    // Transform events through the countermeasure + wire + observer.
+    auto through_wire = [&](const std::vector<net::HostnameEvent>& events,
+                            net::SniObserver& observer) {
+      std::vector<net::HostnameEvent> input;
+      input.reserve(events.size());
+      for (const auto& e : events) {
+        if (s.user_adblock && blocklist.is_blocked(e.hostname)) continue;
+        input.push_back(e);
+      }
+      synth::TrafficParams tp;
+      tp.ech_fraction = s.tor ? 1.0 : s.ech_fraction;
+      tp.seed = cfg.seed;
+      synth::TrafficSynthesizer synthesizer(*world.population, tp);
+      auto packets = synthesizer.synthesize(input);
+      if (s.tor) {
+        // Everything tunnels to one relay: a single destination IP.
+        for (auto& p : packets) p.tuple.dst_ip = 0x01010101;
+      }
+      return observer.observe_all(packets);
+    };
+
+    net::SniObserverOptions oo;
+    oo.ip_fallback = s.ip_fallback || s.tor;
+    net::SniObserver observer(net::Vantage::kWifiProvider, oo);
+    auto observed_train = through_wire(train_events, observer);
+    auto observed_probe = through_wire(probe_events, observer);
+
+    profile::ProfilingService service(labeler, &blocklist,
+                                      bench::scaled_service_params());
+    service.ingest(observed_train);
+    bool trained = service.retrain(1);
+    service.ingest(observed_probe);
+
+    // Score against ground truth: map the observer's ids back to users via
+    // its own demux (ids are assigned in first-appearance order, so the
+    // observer that actually saw the traffic must be asked).
+    std::vector<util::Timestamp> last(world.population->size() + 1, 0);
+    std::unordered_map<std::uint32_t, std::uint32_t> obs_to_truth;
+    for (const auto& u : world.population->users()) {
+      net::Packet probe;
+      probe.src_mac = u.mac;
+      obs_to_truth[observer.demux().user_of(probe)] = u.id;
+    }
+    for (const auto& e : observed_probe) {
+      if (e.user_id < last.size()) {
+        last[e.user_id] = std::max(last[e.user_id], e.timestamp);
+      }
+    }
+
+    double matches = 0.0;
+    double aff = 0.0;
+    double aff_rand = 0.0;
+    std::size_t n_aff = 0;
+    std::size_t profiles = 0;
+    util::Pcg32 rng(99);
+    if (trained) {
+      for (std::uint32_t obs_id = 0; obs_id < last.size(); obs_id += 5) {
+        if (last[obs_id] == 0) continue;
+        auto it = obs_to_truth.find(obs_id);
+        if (it == obs_to_truth.end()) continue;
+        auto p = service.profile_user(obs_id, last[obs_id]);
+        if (p.empty()) continue;
+        ++profiles;
+        const auto& user = world.population->user(it->second);
+
+        std::vector<double> per_topic(tops.size(), 0.0);
+        for (std::size_t f = 0; f < p.categories.size(); ++f) {
+          auto t = std::find(tops.begin(), tops.end(), space.top_level_of(f));
+          per_topic[static_cast<std::size_t>(t - tops.begin())] +=
+              p.categories[f];
+        }
+        std::size_t ptop = static_cast<std::size_t>(
+            std::max_element(per_topic.begin(), per_topic.end()) -
+            per_topic.begin());
+        std::vector<std::size_t> idx(user.interests.size());
+        for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+        std::partial_sort(idx.begin(), idx.begin() + 3, idx.end(),
+                          [&](std::size_t a, std::size_t b) {
+                            return user.interests[a] > user.interests[b];
+                          });
+        if (ptop == idx[0] || ptop == idx[1] || ptop == idx[2]) {
+          matches += 1.0;
+        }
+        for (ads::AdId id : selector.select(p.categories)) {
+          aff += ads::ClickModel::affinity(user, db.ad(id));
+          aff_rand += ads::ClickModel::affinity(
+              user, db.ad(rng.next_below(
+                        static_cast<std::uint32_t>(db.size()))));
+          ++n_aff;
+        }
+      }
+    }
+    table.add_row(
+        {s.name,
+         std::to_string(observed_train.size() + observed_probe.size()),
+         std::to_string(profiles),
+         util::format("%.3f", profiles ? matches / profiles : 0.0),
+         util::format("%.3f", n_aff ? aff / static_cast<double>(n_aff) : 0.0),
+         n_aff ? util::format("%.2fx", (aff / static_cast<double>(n_aff)) /
+                                           std::max(1e-9,
+                                                    aff_rand /
+                                                        static_cast<double>(
+                                                            n_aff)))
+               : "-"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nshape checks (paper Section 7.4): the ad-blocker does not\n"
+               "reduce observer profile quality; ECH degrades but does NOT\n"
+               "stop profiling once the observer falls back to destination\n"
+               "IPs; removing the fallback under full ECH or tunnelling via\n"
+               "a single relay (TOR) is what actually kills the signal.\n";
+  return 0;
+}

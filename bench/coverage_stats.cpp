@@ -1,0 +1,85 @@
+// Section 4 — why hostnames alone are hard: ontology coverage and
+// content-based labeling failure rates, plus the Adwords taxonomy shape of
+// Section 5.4.
+//
+// Paper: Google Adwords classifies only 10.6% of the 470K observed
+// hostnames; 67% of hostnames return an error/empty page when crawled;
+// the taxonomy has 1397 categories, truncated at two levels to 328.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace netobs;
+  auto cfg = bench::parse_config(argc, argv, {300, 1, 2021});
+  auto world = bench::make_world(cfg);
+  util::print_banner(std::cout, "Section 4 / 5.4: coverage statistics");
+  bench::print_scale_note(cfg, world);
+
+  auto labeler = world.universe->make_labeler();
+
+  util::Table ontology({"metric", "measured", "paper"});
+  ontology.add_row({"taxonomy categories (full tree)",
+                    std::to_string(world.tree->size()), "1397"});
+  ontology.add_row({"top-level topics",
+                    std::to_string(world.tree->roots().size()), "34"});
+  ontology.add_row({"categories at <= 2 levels (|C|)",
+                    std::to_string(world.space->size()), "328"});
+  ontology.add_row({"max hierarchy depth",
+                    std::to_string(world.tree->max_depth() + 1), "5"});
+  ontology.print(std::cout);
+
+  // Uneven branching (Telecom: 2 subcats; Computers & Electronics: 123).
+  std::size_t min_sub = static_cast<std::size_t>(-1);
+  std::size_t max_sub = 0;
+  std::string min_name;
+  std::string max_name;
+  for (auto root : world.tree->roots()) {
+    // Count the whole subtree below the root.
+    std::size_t subtree = 0;
+    for (std::size_t i = 0; i < world.tree->size(); ++i) {
+      auto id = static_cast<ontology::CategoryId>(i);
+      if (world.tree->at(id).level > 0 &&
+          world.tree->ancestor_at_level(id, 0) == root) {
+        ++subtree;
+      }
+    }
+    if (subtree < min_sub) {
+      min_sub = subtree;
+      min_name = world.tree->at(root).name;
+    }
+    if (subtree > max_sub) {
+      max_sub = subtree;
+      max_name = world.tree->at(root).name;
+    }
+  }
+  util::Table branching({"extreme", "topic", "subcategories", "paper"});
+  branching.add_row({"smallest subtree", min_name, std::to_string(min_sub),
+                     "Telecom: 2"});
+  branching.add_row({"largest subtree", max_name, std::to_string(max_sub),
+                     "Computers & Electronics: 123"});
+  branching.print(std::cout);
+
+  util::Table coverage({"metric", "measured", "paper"});
+  coverage.add_row(
+      {"hostname universe", std::to_string(world.universe->size()),
+       "470K"});
+  coverage.add_row(
+      {"hostnames labeled by ontology",
+       util::format("%zu (%.1f%%)", labeler.labeled_count(),
+                    100.0 * labeler.coverage(world.universe->size())),
+       "~50K (10.6%)"});
+  coverage.add_row(
+      {"hostnames un-crawlable (content labeling fails)",
+       util::format("%.1f%%",
+                    100.0 * world.universe->uncrawlable_fraction()),
+       "67%"});
+  coverage.print(std::cout);
+
+  std::cout << "\nshape checks: coverage near 10%, uncrawlable fraction\n"
+               "dominated by CDN/API/tracker endpoints, taxonomy counts\n"
+               "matching Section 5.4 exactly.\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Section 6.4 (headline result) — Click-Through Rate comparison.
+//
+// Paper: over one month / 1329 users, eavesdropper ads reached CTR 0.217%
+// vs 0.168% for ad-network ads; a two-tailed paired t-test on per-user
+// CTRs gave p = 0.113 -> no significant difference, i.e. profiles built
+// from TLS-leaked hostnames are as good as ad-network profiles. Also
+// reproduced: the §6 headline counters (connections, hostnames, ads
+// received/replaced).
+#include <iostream>
+
+#include "ads/experiment.hpp"
+#include "bench/common.hpp"
+#include "eval/report.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace netobs;
+  auto cfg = bench::parse_config(argc, argv, {1000, 5, 2021});
+  auto world = bench::make_world(cfg);
+  util::print_banner(std::cout, "Section 6.4: CTR experiment (headline)");
+  bench::print_scale_note(cfg, world);
+
+  ads::ExperimentParams params;
+  params.collection_days = 2;
+  params.profiling_days = cfg.days;
+  params.seed = cfg.seed;
+  // Scale-dependent knobs: the paper's N=1000 neighbours are 0.2% of its
+  // 470K-host universe; at bench scale the same *fraction* of the daily
+  // vocabulary keeps the category mix equally selective.
+  params.service.profiler.knn = 50;
+  params.service.profiler.aggregation = profile::Aggregation::kNormalizedMean;
+  params.service.vocab.min_count = 2;
+  params.service.vocab.subsample_threshold = 1e-4;
+  params.service.sgns.epochs = 15;
+  params.replace_prob = 0.35;
+  ads::ExperimentRunner runner(*world.universe, *world.population,
+                               synth::BrowsingParams(), params);
+  auto result = runner.run();
+
+  util::Table volume({"counter", "measured", "paper (full scale)"});
+  volume.add_row({"connections (profiling phase)",
+                  std::to_string(result.connections), "75M"});
+  volume.add_row({"unique hostnames",
+                  std::to_string(result.unique_hostnames), "470K"});
+  volume.add_row({"connections filtered as trackers",
+                  util::format("%zu (%.1f%%)", result.filtered_connections,
+                               100.0 * static_cast<double>(
+                                           result.filtered_connections) /
+                                   static_cast<double>(result.connections)),
+                  "6.1M (~8%)"});
+  volume.add_row({"extension reports", std::to_string(result.reports), "-"});
+  volume.add_row({"ads received",
+                  std::to_string(result.original.impressions +
+                                 result.eavesdropper.impressions),
+                  "270K"});
+  volume.add_row({"ads replaced", std::to_string(result.replacements),
+                  "41K"});
+  volume.add_row({"model retrainings (daily)",
+                  std::to_string(result.retrainings), "~30"});
+  volume.print(std::cout);
+
+  util::Table ctr({"arm", "impressions", "clicks", "CTR", "paper CTR"});
+  ctr.add_row({"Eavesdropper (ours)",
+               std::to_string(result.eavesdropper.impressions),
+               std::to_string(result.eavesdropper.clicks),
+               eval::format_ctr(result.eavesdropper.ctr()), "0.217%"});
+  ctr.add_row({"Original (ad-networks)",
+               std::to_string(result.original.impressions),
+               std::to_string(result.original.clicks),
+               eval::format_ctr(result.original.ctr()), "0.168%"});
+  ctr.add_row({"Random control (counterfactual)",
+               std::to_string(result.random_control.impressions),
+               std::to_string(result.random_control.clicks),
+               eval::format_ctr(result.random_control.ctr()), "-"});
+  ctr.print(std::cout);
+
+  util::Table test({"statistic", "measured", "paper"});
+  test.add_row({"paired users", std::to_string(result.paired_users), "-"});
+  test.add_row({"paired t-test t",
+                util::format("%.4f", result.paired_ttest.t_statistic), "-"});
+  test.add_row({"paired t-test p (two-tailed)",
+                util::format("%.4f", result.paired_ttest.p_value),
+                "0.11333"});
+  test.add_row({"significant at p<.05",
+                result.paired_ttest.significant() ? "yes" : "no", "no"});
+  test.add_row({"pooled two-proportion z p",
+                util::format("%.4f", result.proportion_test.p_value), "-"});
+  test.print(std::cout);
+
+  bool eaves_wins = result.eavesdropper.ctr() >= result.original.ctr();
+  bool random_loses =
+      result.random_control.ctr() < result.original.ctr() &&
+      result.random_control.ctr() < result.eavesdropper.ctr();
+  std::cout << "\nshape checks:\n"
+            << "  eavesdropper CTR >= ad-network CTR: "
+            << (eaves_wins ? "yes" : "NO") << " (paper: yes, 0.217 vs 0.168)\n"
+            << "  random control below both targeted arms: "
+            << (random_loses ? "yes" : "NO") << "\n"
+            << "  paired difference not significant: "
+            << (!result.paired_ttest.significant() ? "yes" : "NO")
+            << " (paper: p=0.113)\n"
+            << "  both CTRs in industry range 0.07%-0.84%: "
+            << ((result.eavesdropper.ctr() > 0.0007 &&
+                 result.eavesdropper.ctr() < 0.0084 &&
+                 result.original.ctr() > 0.0007 &&
+                 result.original.ctr() < 0.0084)
+                    ? "yes"
+                    : "NO")
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Figure 2 — User diversity (hostnames).
+//
+// Paper: cores of hostnames visited by >= {80,60,40,20}% of users have
+// sizes 30/120/271/639; 75% of users visit >= 217 hostnames and 25% visit
+// >= 1015; 25% of users visited >= 985 hostnames outside Core 80 and 75%
+// visited >= 191 outside Core 80.
+//
+// This bench regenerates the CCDF of distinct hostnames per user, overall
+// and outside each core, over the simulated month.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "eval/diversity.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace netobs;
+  auto cfg = bench::parse_config(argc, argv, {300, 30, 2021});
+  auto world = bench::make_world(cfg);
+  util::print_banner(std::cout, "Figure 2: user diversity (hostnames)");
+  bench::print_scale_note(cfg, world);
+
+  synth::BrowsingSimulator sim(*world.universe, *world.population);
+  auto trace = sim.simulate(0, cfg.days);
+  std::cout << "trace: " << trace.events.size() << " connections\n";
+
+  // Distinct hostnames per user (ids via the universe index).
+  std::vector<std::vector<std::uint64_t>> per_user(world.population->size());
+  for (const auto& e : trace.events) {
+    per_user[e.user_id].push_back(world.universe->index_of(e.hostname));
+  }
+  auto result = eval::analyze_diversity(per_user);
+
+  util::Table cores({"core", "size", "paper size",
+                     "hosts @75% users", "hosts @25% users",
+                     "% users w/ 0 outside"});
+  const char* paper_sizes[] = {"30", "120", "271", "639"};
+  for (std::size_t i = 0; i < result.cores.size(); ++i) {
+    const auto& core = result.cores[i];
+    cores.add_row({util::format("Core %.0f", core.threshold * 100),
+                   std::to_string(core.members.size()), paper_sizes[i],
+                   util::format("%.0f", result.items_at_user_fraction(i, 0.75)),
+                   util::format("%.0f", result.items_at_user_fraction(i, 0.25)),
+                   util::format("%.1f", core.users_with_zero_outside * 100)});
+  }
+  cores.print(std::cout);
+
+  util::Table all({"metric", "measured", "paper"});
+  all.add_row({"distinct hostnames (universe touched)",
+               std::to_string(result.distinct_items), "~470K (full scale)"});
+  all.add_row({"hosts visited by >=75% quantile user",
+               util::format("%.0f",
+                            result.items_at_user_fraction(
+                                static_cast<std::size_t>(-1), 0.75)),
+               "217"});
+  all.add_row({"hosts visited by >=25% quantile user",
+               util::format("%.0f",
+                            result.items_at_user_fraction(
+                                static_cast<std::size_t>(-1), 0.25)),
+               "1015"});
+  all.print(std::cout);
+
+  // CCDF samples for plotting (log-spaced in x).
+  util::Table ccdf({"N hostnames", "% users >= N (all)",
+                    "% users >= N (outside Core 80)"});
+  for (double n : {1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0, 3000.0}) {
+    auto frac_at = [&](const std::vector<util::CcdfPoint>& curve) {
+      double frac = 0.0;
+      for (const auto& p : curve) {
+        if (p.x >= n) {
+          frac = p.fraction;
+          break;
+        }
+      }
+      return frac * 100.0;
+    };
+    ccdf.add_row({util::format("%.0f", n),
+                  util::format("%.1f", frac_at(result.all_ccdf)),
+                  util::format("%.1f",
+                               frac_at(result.cores[0].outside_ccdf))});
+  }
+  ccdf.print(std::cout);
+
+  std::cout << "\nshape checks: cores shrink as the threshold rises; the\n"
+               "outside-core CCDFs stay heavy-tailed (users remain\n"
+               "distinguishable once the universal core is removed).\n";
+  return 0;
+}

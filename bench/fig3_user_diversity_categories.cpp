@@ -1,0 +1,92 @@
+// Figure 3 — User diversity (categories).
+//
+// Paper: mapping hostnames through the ontology shrinks the space to 328
+// categories; category cores 80/60/40/20 have sizes 47/80/124/177; all
+// users share the same 14 categories; 50% of users share the same 113
+// categories; 1.5/5.2/11.1/23.2% of users have no category outside cores
+// 80/60/40/20.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "eval/diversity.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace netobs;
+  auto cfg = bench::parse_config(argc, argv, {300, 30, 2021});
+  auto world = bench::make_world(cfg);
+  util::print_banner(std::cout, "Figure 3: user diversity (categories)");
+  bench::print_scale_note(cfg, world);
+
+  auto labeler = world.universe->make_labeler();
+  synth::BrowsingSimulator sim(*world.universe, *world.population);
+  auto trace = sim.simulate(0, cfg.days);
+
+  // Categories assigned to each user: every flat category with positive
+  // importance on a labeled host the user visited.
+  std::vector<std::vector<std::uint64_t>> per_user(world.population->size());
+  std::size_t labeled_connections = 0;
+  for (const auto& e : trace.events) {
+    const auto* label = labeler.label_of(e.hostname);
+    if (label == nullptr) continue;
+    ++labeled_connections;
+    for (std::size_t c = 0; c < label->size(); ++c) {
+      if ((*label)[c] > 0.0F) per_user[e.user_id].push_back(c);
+    }
+  }
+  std::cout << "trace: " << trace.events.size() << " connections, "
+            << labeled_connections << " to labeled hosts\n";
+
+  auto result = eval::analyze_diversity(per_user);
+
+  util::Table cores({"core", "size", "paper size",
+                     "% users w/ 0 outside", "paper %"});
+  const char* paper_sizes[] = {"47", "80", "124", "177"};
+  const char* paper_zero[] = {"1.5", "5.2", "11.1", "23.2"};
+  for (std::size_t i = 0; i < result.cores.size(); ++i) {
+    const auto& core = result.cores[i];
+    cores.add_row({util::format("Core %.0f", core.threshold * 100),
+                   std::to_string(core.members.size()), paper_sizes[i],
+                   util::format("%.1f", core.users_with_zero_outside * 100),
+                   paper_zero[i]});
+  }
+  cores.print(std::cout);
+
+  // "All users are assigned the same 14 categories" -> our Core 100.
+  auto full = eval::analyze_diversity(per_user, {1.0, 0.5});
+  util::Table shared({"metric", "measured", "paper"});
+  shared.add_row({"categories shared by ALL users",
+                  std::to_string(full.cores[0].members.size()), "14"});
+  shared.add_row({"categories shared by >=50% of users",
+                  std::to_string(full.cores[1].members.size()), "113"});
+  shared.add_row({"distinct categories assigned",
+                  std::to_string(result.distinct_items), "<=328"});
+  shared.print(std::cout);
+
+  util::Table ccdf({"N categories", "% users >= N (all)",
+                    "% users >= N (outside Core 80)"});
+  for (double n : {1.0, 10.0, 25.0, 50.0, 100.0, 150.0, 200.0, 250.0}) {
+    auto frac_at = [&](const std::vector<util::CcdfPoint>& curve) {
+      double frac = 0.0;
+      for (const auto& p : curve) {
+        if (p.x >= n) {
+          frac = p.fraction;
+          break;
+        }
+      }
+      return frac * 100.0;
+    };
+    ccdf.add_row({util::format("%.0f", n),
+                  util::format("%.1f", frac_at(result.all_ccdf)),
+                  util::format("%.1f",
+                               frac_at(result.cores[0].outside_ccdf))});
+  }
+  ccdf.print(std::cout);
+
+  std::cout << "\nshape checks: the category space compresses the hostname\n"
+               "space (linear-scale CCDF), a universal shared core exists,\n"
+               "and a small user fraction has nothing outside each core,\n"
+               "growing as the core threshold drops.\n";
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Figure 6 — daily topic shares of (a) websites visited, (b) ads served by
+// ad-networks, (c) ads selected by the eavesdropper.
+//
+// Paper: visited-website topics are dominated by a stable block (Online
+// Communities / Arts & Entertainment / People & Society / Jobs & Education
+// — the universal hosts); ad topic mixes differ from the browsing mix and
+// between the two serving systems; topics prominent in (a) are much less
+// prominent in (b)/(c) because one page visit generates many connections.
+#include <iostream>
+
+#include "ads/experiment.hpp"
+#include "bench/common.hpp"
+#include "eval/report.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+void print_series(const std::string& title,
+                  const std::vector<std::vector<double>>& counts,
+                  const netobs::ontology::CategorySpace& space,
+                  std::size_t top_n) {
+  using namespace netobs;
+  auto shares = eval::to_percentage_shares(counts);
+  auto ranked = eval::mean_shares_descending(shares);
+  util::print_banner(std::cout, title);
+
+  std::size_t n = std::min(top_n, ranked.size());
+  std::vector<std::string> headers = {"topic", "mean %"};
+  std::size_t days = shares.size();
+  for (std::size_t d = 0; d < days; d += std::max<std::size_t>(1, days / 6)) {
+    headers.push_back("day " + std::to_string(d));
+  }
+  util::Table table(headers);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto [topic, mean_share] = ranked[i];
+    std::vector<std::string> row = {
+        space.name(space.top_level_ids()[topic]),
+        util::format("%.1f", mean_share)};
+    for (std::size_t d = 0; d < days;
+         d += std::max<std::size_t>(1, days / 6)) {
+      row.push_back(util::format("%.1f", shares[d][topic]));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace netobs;
+  auto cfg = bench::parse_config(argc, argv, {1000, 5, 2021});
+  auto world = bench::make_world(cfg);
+  util::print_banner(std::cout, "Figure 6: topic time series");
+  bench::print_scale_note(cfg, world);
+
+  ads::ExperimentParams params;
+  params.collection_days = 2;
+  params.profiling_days = cfg.days;
+  params.seed = cfg.seed;
+  // Same scale-adapted profiling knobs as ctr_experiment (see DESIGN.md).
+  params.service.profiler.knn = 50;
+  params.service.profiler.aggregation = profile::Aggregation::kNormalizedMean;
+  params.service.vocab.min_count = 2;
+  params.service.vocab.subsample_threshold = 1e-4;
+  params.service.sgns.epochs = 15;
+  params.replace_prob = 0.35;
+  ads::ExperimentRunner runner(*world.universe, *world.population,
+                               synth::BrowsingParams(), params);
+  auto result = runner.run();
+
+  print_series("Figure 6a: websites visited (labeled connections)",
+               result.topics.visited, *world.space, 10);
+  print_series("Figure 6b: ads served by ad-networks",
+               result.topics.original_ads, *world.space, 10);
+  print_series("Figure 6c: ads selected by the eavesdropper",
+               result.topics.eavesdropper_ads, *world.space, 10);
+
+  // Shape check: correlation between the daily-mean share vectors.
+  auto mean_vec = [&](const std::vector<std::vector<double>>& counts) {
+    auto shares = eval::to_percentage_shares(counts);
+    std::vector<double> mean(world.universe->topic_count(), 0.0);
+    for (const auto& day : shares) {
+      for (std::size_t t = 0; t < mean.size(); ++t) mean[t] += day[t];
+    }
+    for (double& m : mean) m /= static_cast<double>(shares.size());
+    return mean;
+  };
+  auto visited = mean_vec(result.topics.visited);
+  auto original = mean_vec(result.topics.original_ads);
+  auto eaves = mean_vec(result.topics.eavesdropper_ads);
+
+  util::Table corr({"pair", "Pearson r"});
+  corr.add_row({"visited vs original ads",
+                util::format("%.3f", util::pearson(visited, original))});
+  corr.add_row({"visited vs eavesdropper ads",
+                util::format("%.3f", util::pearson(visited, eaves))});
+  corr.add_row({"original vs eavesdropper ads",
+                util::format("%.3f", util::pearson(original, eaves))});
+  corr.print(std::cout);
+
+  std::cout << "\nshape checks: a stable dominant block in 6a (universal\n"
+               "hosts), ad mixes differing from the browsing mix (r < 1),\n"
+               "and day-to-day stability of 6a vs more campaign-driven\n"
+               "variation in 6b/6c.\n";
+  return 0;
+}

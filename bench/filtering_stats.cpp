@@ -1,0 +1,75 @@
+// Section 5.4 — tracker/advertiser hostname filtering.
+//
+// Paper: ~50 of the top-100 hostnames belong to ad/tracking companies;
+// three blocklists (adaway, hosts-file.net, yoyo) match ~3K distinct
+// hostnames; 6.1M of 75M connections (~8%) during the profiling month hit
+// those hostnames and are excluded from profiling.
+#include <algorithm>
+#include <iostream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "bench/common.hpp"
+#include "filter/blocklist.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace netobs;
+  auto cfg = bench::parse_config(argc, argv, {300, 10, 2021});
+  auto world = bench::make_world(cfg);
+  util::print_banner(std::cout, "Section 5.4: tracker filtering");
+  bench::print_scale_note(cfg, world);
+
+  // Blocklist ingested through the hosts-file format, as in a deployment.
+  filter::Blocklist blocklist;
+  std::size_t parsed = blocklist.add_hosts_file(
+      "synthetic-trackers", world.universe->tracker_hosts_file());
+
+  synth::BrowsingSimulator sim(*world.universe, *world.population);
+  auto trace = sim.simulate(0, cfg.days);
+
+  std::size_t blocked = 0;
+  std::unordered_map<std::string, std::size_t> host_count;
+  std::unordered_set<std::string> blocked_hosts;
+  for (const auto& e : trace.events) {
+    ++host_count[e.hostname];
+    if (blocklist.is_blocked(e.hostname)) {
+      ++blocked;
+      blocked_hosts.insert(e.hostname);
+    }
+  }
+
+  // Top-100 hostname composition.
+  std::vector<std::pair<std::size_t, std::string>> ranked;
+  ranked.reserve(host_count.size());
+  for (const auto& [host, count] : host_count) ranked.push_back({count, host});
+  std::sort(ranked.rbegin(), ranked.rend());
+  std::size_t top100_trackers = 0;
+  for (std::size_t i = 0; i < std::min<std::size_t>(100, ranked.size());
+       ++i) {
+    if (blocklist.is_blocked(ranked[i].second)) ++top100_trackers;
+  }
+
+  util::Table table({"metric", "measured", "paper"});
+  table.add_row({"blocklist domains parsed", std::to_string(parsed),
+                 "~3K matched hostnames"});
+  table.add_row({"distinct tracker hostnames seen in traffic",
+                 std::to_string(blocked_hosts.size()), "~3K"});
+  table.add_row({"connections", std::to_string(trace.events.size()), "75M"});
+  table.add_row(
+      {"connections to trackers",
+       util::format("%zu (%.1f%%)", blocked,
+                    100.0 * static_cast<double>(blocked) /
+                        static_cast<double>(trace.events.size())),
+       "6.1M (8.1%)"});
+  table.add_row({"tracker hosts among top-100 hostnames",
+                 std::to_string(top100_trackers), "~50"});
+  table.print(std::cout);
+
+  std::cout << "\nshape checks: a single-digit percentage of connections is\n"
+               "tracker traffic concentrated in few very popular hostnames\n"
+               "(note: the paper's 50-of-top-100 also counts ad *exchanges*\n"
+               "embedded on every page; our tracker fan-out is lighter).\n";
+  return 0;
+}

@@ -1,0 +1,208 @@
+// Microbenchmarks — the "traffic analysis at line rate" claim of
+// Section 4.1.
+//
+// Measures the per-operation costs of the passive pipeline: SNI extraction
+// from ClientHello bytes, DNS query parsing, blocklist lookups, kNN
+// queries, full session profiling, eavesdropper ad selection, and SGNS
+// training throughput.
+#include <benchmark/benchmark.h>
+
+#include "ads/ad_database.hpp"
+#include "bench/quality_probe.hpp"
+#include "net/dns.hpp"
+#include "net/observer.hpp"
+#include "net/quic.hpp"
+#include "net/tls.hpp"
+#include "synth/traffic.hpp"
+
+namespace {
+
+using namespace netobs;
+
+const bench::QualityFixture& fixture() {
+  static const bench::QualityFixture fx(bench::BenchConfig{200, 1, 2021});
+  return fx;
+}
+
+void BM_BuildClientHello(benchmark::State& state) {
+  net::ClientHelloSpec spec;
+  spec.sni = "api.bkng.azure.com";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::build_client_hello_record(spec));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BuildClientHello);
+
+void BM_ExtractSni(benchmark::State& state) {
+  net::ClientHelloSpec spec;
+  spec.sni = "api.bkng.azure.com";
+  auto record = net::build_client_hello_record(spec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::extract_sni(record));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(record.size()));
+}
+BENCHMARK(BM_ExtractSni);
+
+void BM_SniObserverPerPacket(benchmark::State& state) {
+  const auto& fx = fixture();
+  synth::BrowsingSimulator sim(*fx.world.universe, *fx.world.population);
+  auto trace = sim.simulate(0, 1);
+  synth::TrafficSynthesizer synth(*fx.world.population);
+  auto packets = synth.synthesize(trace.events);
+  std::size_t i = 0;
+  net::SniObserver observer(net::Vantage::kWifiProvider);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(observer.observe(packets[i]));
+    i = (i + 1) % packets.size();
+    if (i == 0) {
+      state.PauseTiming();
+      observer = net::SniObserver(net::Vantage::kWifiProvider);
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SniObserverPerPacket);
+
+void BM_QuicInitialBuild(benchmark::State& state) {
+  net::QuicInitialSpec spec;
+  spec.dcid = {1, 2, 3, 4, 5, 6, 7, 8};
+  spec.client_hello.sni = "api.bkng.azure.com";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::build_quic_initial(spec));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_QuicInitialBuild);
+
+void BM_QuicInitialDecrypt(benchmark::State& state) {
+  // The passive-observer cost per QUIC connection: HKDF key derivation,
+  // header unprotection, AEAD open, CRYPTO reassembly, ClientHello parse.
+  net::QuicInitialSpec spec;
+  spec.dcid = {1, 2, 3, 4, 5, 6, 7, 8};
+  spec.client_hello.sni = "api.bkng.azure.com";
+  auto packet = net::build_quic_initial(spec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::decrypt_quic_initial(packet));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(packet.size()));
+}
+BENCHMARK(BM_QuicInitialDecrypt);
+
+void BM_ParseDnsQuery(benchmark::State& state) {
+  net::DnsMessage msg;
+  msg.id = 7;
+  msg.questions.push_back({"mail.google.com", net::DnsType::kA, 1});
+  auto wire = net::build_dns_query(msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::parse_dns_message(wire));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ParseDnsQuery);
+
+void BM_BlocklistLookup(benchmark::State& state) {
+  const auto& fx = fixture();
+  std::vector<std::string> hosts;
+  for (std::size_t i = 0; i < 64; ++i) {
+    hosts.push_back(fx.world.universe->host(i * 17 % fx.world.universe->size())
+                        .name);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.blocklist.is_blocked(hosts[i & 63]));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BlocklistLookup);
+
+/// Shared trained service for the profiling-side benchmarks.
+profile::ProfilingService& trained_service() {
+  static profile::ProfilingService* service = [] {
+    const auto& fx = fixture();
+    auto* s = new profile::ProfilingService(
+        fx.labeler, &fx.blocklist, bench::scaled_service_params());
+    s->ingest(fx.train_trace.events);
+    s->retrain(1);
+    return s;
+  }();
+  return *service;
+}
+
+void BM_KnnQuery(benchmark::State& state) {
+  auto& service = trained_service();
+  embedding::CosineKnnIndex index(service.model());
+  std::vector<float> query(service.model().vector_of(0).begin(),
+                           service.model().vector_of(0).end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index.query(query, static_cast<std::size_t>(state.range(0))));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_KnnQuery)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_SessionProfile(benchmark::State& state) {
+  auto& service = trained_service();
+  // A realistic 20-minute session: sample hostnames from the model vocab.
+  std::vector<std::string> session;
+  for (std::size_t i = 0; i < 18; ++i) {
+    session.push_back(service.model().token(static_cast<embedding::TokenId>(
+        (i * 97) % service.model().size())));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.profile_hostnames(session));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SessionProfile);
+
+void BM_AdSelection(benchmark::State& state) {
+  const auto& fx = fixture();
+  auto& service = trained_service();
+  ads::EavesdropperSelector selector(fx.db, fx.labeler);
+  std::vector<std::string> session;
+  for (std::size_t i = 0; i < 18; ++i) {
+    session.push_back(service.model().token(static_cast<embedding::TokenId>(
+        (i * 97) % service.model().size())));
+  }
+  auto profile = service.profile_hostnames(session);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector.select(profile.categories));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AdSelection);
+
+void BM_SgnsTrainingEpoch(benchmark::State& state) {
+  const auto& fx = fixture();
+  // One user-day sequence corpus, one epoch per iteration.
+  profile::SessionStore store(40 * util::kDay);
+  store.ingest(fx.train_trace.events);
+  auto corpus = store.day_sequences(1);
+  embedding::SgnsParams params;
+  params.epochs = 1;
+  embedding::VocabularyParams vp;
+  vp.min_count = 2;
+  std::uint64_t tokens = 0;
+  for (const auto& seq : corpus) tokens += seq.size();
+  for (auto _ : state) {
+    embedding::SgnsTrainer trainer(params, vp);
+    benchmark::DoNotOptimize(trainer.fit(corpus));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tokens));
+  state.SetLabel("items = hostname tokens");
+}
+BENCHMARK(BM_SgnsTrainingEpoch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

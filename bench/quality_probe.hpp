@@ -1,0 +1,147 @@
+// Shared measurement harness for the ablation benches: trains the profiling
+// service on one simulated day, profiles every sampled user at the end of
+// the next day, and scores the profiles against ground truth. Cheaper and
+// more sensitive than a full CTR experiment, so parameter sweeps stay fast.
+#pragma once
+
+#include <algorithm>
+
+#include "ads/ad_database.hpp"
+#include "ads/click_model.hpp"
+#include "bench/common.hpp"
+#include "profile/service.hpp"
+
+namespace netobs::bench {
+
+struct QualityResult {
+  double top3_match = 0.0;     ///< profile's top topic in user's top-3
+  double selected_affinity = 0.0;  ///< mean ground-truth affinity of ads
+  double random_affinity = 0.0;
+  double empty_rate = 0.0;
+  std::size_t profiles = 0;
+};
+
+struct QualityInputs {
+  const BenchWorld* world = nullptr;
+  const ontology::HostLabeler* labeler = nullptr;
+  const ads::AdDatabase* db = nullptr;
+  const synth::BrowsingTrace* train_trace = nullptr;  ///< days [0,2)
+  const synth::BrowsingTrace* probe_trace = nullptr;  ///< day 2
+};
+
+/// Builds the shared fixtures once so sweeps re-use traces and the ad DB.
+struct QualityFixture {
+  BenchWorld world;
+  ontology::HostLabeler labeler;
+  ads::AdDatabase db;
+  filter::Blocklist blocklist;
+  synth::BrowsingTrace train_trace;
+  synth::BrowsingTrace probe_trace;
+
+  explicit QualityFixture(const BenchConfig& cfg,
+                          synth::WorldParams wp = synth::WorldParams())
+      : world(make_world(cfg, wp)),
+        labeler(world.universe->make_labeler()),
+        db(ads::AdDatabase::collect(*world.universe, labeler, 12000,
+                                    cfg.seed)) {
+    blocklist.add_hosts_file("trackers", world.universe->tracker_hosts_file());
+    synth::BrowsingSimulator sim(*world.universe, *world.population);
+    train_trace = sim.simulate(0, 2);
+    probe_trace = sim.simulate(2, 1);
+  }
+};
+
+/// Scale-adapted service defaults shared by the experiment benches
+/// (documented in DESIGN.md: the bench universe has ~65x less daily data
+/// than the study, compensated with more SGD epochs, a lower min_count and
+/// a neighbourhood scaled to the same fraction of the vocabulary).
+inline profile::ServiceParams scaled_service_params() {
+  profile::ServiceParams sp;
+  sp.profiler.knn = 50;
+  sp.profiler.aggregation = profile::Aggregation::kNormalizedMean;
+  sp.vocab.min_count = 2;
+  sp.vocab.subsample_threshold = 1e-4;
+  sp.sgns.epochs = 15;
+  return sp;
+}
+
+inline QualityResult measure_quality(
+    const QualityFixture& fx, profile::ServiceParams sp,
+    bool use_blocklist = true, std::size_t user_stride = 7,
+    const std::vector<std::int64_t>& retrain_days = {1}) {
+  profile::ProfilingService service(fx.labeler,
+                                    use_blocklist ? &fx.blocklist : nullptr,
+                                    sp);
+  service.ingest(fx.train_trace.events);
+  for (std::int64_t day : retrain_days) service.retrain(day);
+  service.ingest(fx.probe_trace.events);
+
+  ads::EavesdropperSelector selector(fx.db, fx.labeler);
+  const auto& space = *fx.world.space;
+  const auto& tops = space.top_level_ids();
+
+  // Last event time per user on the probe day.
+  std::vector<util::Timestamp> last(fx.world.population->size(), 0);
+  for (const auto& e : fx.probe_trace.events) {
+    last[e.user_id] = std::max(last[e.user_id], e.timestamp);
+  }
+
+  QualityResult out;
+  double matches = 0.0;
+  double aff = 0.0;
+  double aff_rand = 0.0;
+  std::size_t n_aff = 0;
+  std::size_t attempted = 0;
+  util::Pcg32 rng(99);
+
+  for (std::uint32_t u = 0; u < fx.world.population->size();
+       u += static_cast<std::uint32_t>(user_stride)) {
+    if (last[u] == 0) continue;
+    ++attempted;
+    auto p = service.profile_user(u, last[u]);
+    if (p.empty()) continue;
+    ++out.profiles;
+
+    std::vector<double> per_topic(tops.size(), 0.0);
+    for (std::size_t f = 0; f < p.categories.size(); ++f) {
+      std::size_t top_flat = space.top_level_of(f);
+      auto it = std::find(tops.begin(), tops.end(), top_flat);
+      per_topic[static_cast<std::size_t>(it - tops.begin())] +=
+          p.categories[f];
+    }
+    std::size_t ptop = static_cast<std::size_t>(
+        std::max_element(per_topic.begin(), per_topic.end()) -
+        per_topic.begin());
+
+    const auto& user = fx.world.population->user(u);
+    std::vector<std::size_t> idx(user.interests.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    std::partial_sort(idx.begin(), idx.begin() + 3, idx.end(),
+                      [&](std::size_t a, std::size_t b) {
+                        return user.interests[a] > user.interests[b];
+                      });
+    if (ptop == idx[0] || ptop == idx[1] || ptop == idx[2]) matches += 1.0;
+
+    for (ads::AdId id : selector.select(p.categories)) {
+      aff += ads::ClickModel::affinity(user, fx.db.ad(id));
+      aff_rand += ads::ClickModel::affinity(
+          user, fx.db.ad(rng.next_below(
+                    static_cast<std::uint32_t>(fx.db.size()))));
+      ++n_aff;
+    }
+  }
+  if (out.profiles > 0) {
+    out.top3_match = matches / static_cast<double>(out.profiles);
+  }
+  if (n_aff > 0) {
+    out.selected_affinity = aff / static_cast<double>(n_aff);
+    out.random_affinity = aff_rand / static_cast<double>(n_aff);
+  }
+  if (attempted > 0) {
+    out.empty_rate = 1.0 - static_cast<double>(out.profiles) /
+                               static_cast<double>(attempted);
+  }
+  return out;
+}
+
+}  // namespace netobs::bench

@@ -1,0 +1,68 @@
+// Miniature version of the paper's full experiment (Section 5): data
+// collection, ad harvesting, daily retraining, ad replacement and CTR
+// bookkeeping — the same ExperimentRunner the benchmark suite uses, at a
+// small, fast scale with a narrated summary.
+#include <iostream>
+
+#include "ads/experiment.hpp"
+#include "bench/common.hpp"
+#include "eval/report.hpp"
+#include "util/string_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace netobs;
+  auto cfg = bench::parse_config(argc, argv, {800, 3, 99});
+  auto world = bench::make_world(cfg);
+  std::cout << "== mini ad-campaign experiment (Section 5) ==\n"
+            << world.population->size() << " users, "
+            << cfg.days << " profiling days, universe of "
+            << world.universe->size() << " hostnames\n\n";
+
+  ads::ExperimentParams params;
+  params.collection_days = 2;
+  params.profiling_days = cfg.days;
+  params.seed = cfg.seed;
+  params.ad_db_size = 4000;
+  params.service.profiler.knn = 50;
+  params.service.profiler.aggregation =
+      profile::Aggregation::kNormalizedMean;
+  params.service.vocab.min_count = 2;
+  params.service.vocab.subsample_threshold = 1e-4;
+  params.service.sgns.epochs = 15;
+  params.replace_prob = 0.35;
+
+  ads::ExperimentRunner runner(*world.universe, *world.population,
+                               synth::BrowsingParams(), params);
+  auto r = runner.run();
+
+  std::cout << "phase 1 (collection): ad database of " << params.ad_db_size
+            << " creatives harvested\n"
+            << "phase 2 (profiling):  " << r.connections
+            << " connections observed, " << r.filtered_connections
+            << " tracker hits filtered, " << r.retrainings
+            << " daily retrainings, " << r.reports
+            << " extension reports\n"
+            << "ad replacement:       " << r.replacements << " of "
+            << (r.original.impressions + r.eavesdropper.impressions)
+            << " impressions replaced (size-matched)\n\n";
+
+  std::cout << "results:\n"
+            << "  eavesdropper ads: " << r.eavesdropper.impressions
+            << " impressions, CTR " << eval::format_ctr(r.eavesdropper.ctr())
+            << "\n"
+            << "  ad-network ads:   " << r.original.impressions
+            << " impressions, CTR " << eval::format_ctr(r.original.ctr())
+            << "\n"
+            << "  random control:   CTR "
+            << eval::format_ctr(r.random_control.ctr()) << "\n"
+            << "  paired t-test (n=" << r.paired_users << "): p = "
+            << util::format("%.4f", r.paired_ttest.p_value) << " -> "
+            << (r.paired_ttest.significant()
+                    ? "arms differ"
+                    : "no significant difference between arms")
+            << "\n\n"
+            << "Interpretation (paper, Section 6.4): if CTR proxies profile\n"
+               "quality, a network observer's profiles are as good as the\n"
+               "ad ecosystem's — despite seeing only TLS hostnames.\n";
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Section 7.2: "A DNS provider may actually act as a profiler since it
+// learns the hostnames requested by a user via DNS requests."
+//
+// Same pipeline as the TLS eavesdropper, but the observer parses DNS query
+// datagrams instead of ClientHellos. Also contrasts observer vantages: the
+// resolver (per-subscriber view) vs a landline ISP behind NAT, where
+// household members collapse into one pseudo-user and profiles blur.
+#include <cmath>
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "net/observer.hpp"
+#include "profile/service.hpp"
+#include "synth/traffic.hpp"
+#include "util/string_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace netobs;
+  auto cfg = bench::parse_config(argc, argv, {120, 3, 23});
+  auto world = bench::make_world(cfg);
+  std::cout << "== DNS-resolver observer (Section 7.2) ==\n";
+
+  synth::BrowsingSimulator sim(*world.universe, *world.population);
+  auto trace = sim.simulate(0, cfg.days);
+
+  // Wire: each connection is preceded by its DNS lookup.
+  synth::TrafficParams tp;
+  tp.emit_dns = true;
+  synth::TrafficSynthesizer synthesizer(*world.population, tp);
+  auto packets = synthesizer.synthesize(trace.events);
+
+  // Observer A: the DNS provider (sees per-subscriber queries).
+  net::DnsObserver resolver(net::Vantage::kMobileOperator);
+  std::vector<net::HostnameEvent> dns_events;
+  for (const auto& p : packets) {
+    auto es = resolver.observe(p);
+    dns_events.insert(dns_events.end(), es.begin(), es.end());
+  }
+  std::cout << "resolver: " << dns_events.size() << " QNAMEs from "
+            << resolver.demux().distinct_users() << " subscribers\n";
+
+  // Observer B: landline ISP watching the same wire behind NAT.
+  net::SniObserver isp(net::Vantage::kLandlineIsp);
+  auto nat_events = isp.observe_all(packets);
+  std::cout << "NAT'd ISP: " << nat_events.size() << " SNI hostnames from "
+            << isp.demux().distinct_users() << " pseudo-users ("
+            << world.population->household_count() << " households, "
+            << world.population->size() << " real users)\n\n";
+
+  auto labeler = world.universe->make_labeler();
+  filter::Blocklist blocklist;
+  blocklist.add_hosts_file("trackers", world.universe->tracker_hosts_file());
+
+  auto profile_sharpness = [&](const std::vector<net::HostnameEvent>& events,
+                               const char* name) {
+    profile::ServiceParams sp;
+    sp.profiler.knn = 50;
+    sp.profiler.aggregation = profile::Aggregation::kNormalizedMean;
+    sp.vocab.min_count = 2;
+    sp.sgns.epochs = 12;
+    profile::ProfilingService service(labeler, &blocklist, sp);
+    service.ingest(events);
+    if (!service.retrain(cfg.days - 2)) {
+      std::cout << name << ": not enough data\n";
+      return;
+    }
+    // NAT merges household members into one identity: its 20-minute
+    // sessions mix several people's browsing, so they are longer and the
+    // resulting profiles flatter (higher entropy). Sample every identity
+    // every 2 hours across the last day.
+    double session_len = 0.0;
+    double entropy = 0.0;
+    std::size_t counted = 0;
+    for (util::Timestamp now = (cfg.days - 1) * util::kDay;
+         now < cfg.days * util::kDay; now += 2 * util::kHour) {
+      for (std::uint32_t u : service.store().users()) {
+        auto session = service.session_of(u, now);
+        if (session.empty()) continue;
+        auto p = service.profile_hostnames(session.hostnames);
+        if (p.empty()) continue;
+        session_len += static_cast<double>(session.size());
+        double total = 0.0;
+        for (float c : p.categories) total += c;
+        double h = 0.0;
+        for (float c : p.categories) {
+          if (c > 0.0F) {
+            double q = c / total;
+            h -= q * std::log2(q);
+          }
+        }
+        entropy += h;
+        ++counted;
+      }
+    }
+    std::cout << name << ": model=" << service.model().size()
+              << " hosts, " << counted << " identity-sessions, "
+              << util::format(
+                     "mean session %.1f hostnames, profile entropy %.2f bits\n",
+                     counted ? session_len / counted : 0.0,
+                     counted ? entropy / counted : 0.0);
+  };
+
+  profile_sharpness(dns_events, "DNS resolver (per subscriber)");
+  profile_sharpness(nat_events, "landline ISP (per NAT household)");
+
+  std::cout << "\nDoH/DoT hide queries from the path but not from the\n"
+               "resolver itself — the resolver profiles exactly like the\n"
+               "TLS eavesdropper, while NAT only blurs per-user separation.\n";
+  return 0;
+}

@@ -1,0 +1,144 @@
+#include "ads/ad_database.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/alias_sampler.hpp"
+#include "util/vec_math.hpp"
+
+namespace netobs::ads {
+
+AdDatabase AdDatabase::collect(const synth::HostnameUniverse& universe,
+                               const ontology::HostLabeler& labeler,
+                               std::size_t num_ads, std::uint64_t seed) {
+  // Candidate landing pages: labeled hosts that are real sites (ads land on
+  // content pages, not on CDN endpoints).
+  std::vector<std::size_t> candidates;
+  std::vector<double> weights;
+  for (std::size_t i = 0; i < universe.size(); ++i) {
+    const auto& h = universe.host(i);
+    if (h.topic_mix.empty()) continue;
+    if (!labeler.is_labeled(h.name)) continue;
+    candidates.push_back(i);
+    weights.push_back(h.popularity);
+  }
+  if (candidates.empty()) {
+    throw std::invalid_argument(
+        "AdDatabase::collect: universe has no labeled sites");
+  }
+
+  AdDatabase db;
+  util::Pcg32 rng(seed, 0xad5);
+  util::AliasSampler sampler(weights);
+  const auto& sizes = synth::standard_ad_sizes();
+  db.ads_.reserve(num_ads);
+  for (std::size_t i = 0; i < num_ads; ++i) {
+    std::size_t site = candidates[sampler.sample(rng)];
+    const auto& host = universe.host(site);
+    Ad ad;
+    ad.id = static_cast<AdId>(i);
+    ad.size = sizes[rng.next_below(static_cast<std::uint32_t>(sizes.size()))];
+    ad.landing_site = site;
+    ad.landing_host = host.name;
+    ad.categories = *labeler.label_of(host.name);
+    ad.topic_mix = host.topic_mix;
+    db.by_host_[ad.landing_host].push_back(ad.id);
+    db.ads_.push_back(std::move(ad));
+  }
+  return db;
+}
+
+const std::vector<AdId>& AdDatabase::ads_of_host(
+    const std::string& host) const {
+  static const std::vector<AdId> kEmpty;
+  auto it = by_host_.find(host);
+  return it == by_host_.end() ? kEmpty : it->second;
+}
+
+std::vector<AdId> AdDatabase::ads_with_size(synth::AdSlot size) const {
+  std::vector<AdId> out;
+  for (const auto& ad : ads_) {
+    if (ad.size == size) out.push_back(ad.id);
+  }
+  return out;
+}
+
+EavesdropperSelector::EavesdropperSelector(
+    const AdDatabase& db, const ontology::HostLabeler& labeler, Params params)
+    : db_(&db), params_(params) {
+  if (params_.host_neighbors == 0 || params_.list_size == 0) {
+    throw std::invalid_argument("EavesdropperSelector: zero-sized params");
+  }
+  // Only labeled hosts that actually have ads can serve.
+  for (const auto& [host, label] : labeler.labels()) {
+    if (!db.ads_of_host(host).empty()) {
+      hosts_.push_back(host);
+      host_labels_.push_back(label);
+    }
+  }
+  // Deterministic order (labels() iterates a hash map).
+  std::vector<std::size_t> order(hosts_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    return hosts_[a] < hosts_[b];
+  });
+  std::vector<std::string> sorted_hosts;
+  std::vector<ontology::CategoryVector> sorted_labels;
+  sorted_hosts.reserve(hosts_.size());
+  sorted_labels.reserve(hosts_.size());
+  for (std::size_t i : order) {
+    sorted_hosts.push_back(std::move(hosts_[i]));
+    sorted_labels.push_back(std::move(host_labels_[i]));
+  }
+  hosts_ = std::move(sorted_hosts);
+  host_labels_ = std::move(sorted_labels);
+}
+
+std::vector<AdId> EavesdropperSelector::select(
+    const ontology::CategoryVector& profile) const {
+  std::vector<AdId> out;
+  if (hosts_.empty() || profile.empty()) return out;
+
+  // 20-NN by Euclidean distance in category space (Section 5.4).
+  struct Scored {
+    float distance;
+    std::size_t idx;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(hosts_.size());
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    scored.push_back({util::euclidean_distance(profile, host_labels_[i]), i});
+  }
+  std::size_t n = std::min(params_.host_neighbors, scored.size());
+  std::partial_sort(scored.begin(),
+                    scored.begin() + static_cast<std::ptrdiff_t>(n),
+                    scored.end(), [](const Scored& a, const Scored& b) {
+                      if (a.distance != b.distance) {
+                        return a.distance < b.distance;
+                      }
+                      return a.idx < b.idx;
+                    });
+
+  // Round-robin over the closest hosts' ads until the list is full, so the
+  // list mixes several nearby interests instead of exhausting one host.
+  std::vector<const std::vector<AdId>*> pools;
+  pools.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pools.push_back(&db_->ads_of_host(hosts_[scored[i].idx]));
+  }
+  for (std::size_t round = 0; out.size() < params_.list_size; ++round) {
+    bool any = false;
+    for (const auto* pool : pools) {
+      if (round < pool->size()) {
+        out.push_back((*pool)[round]);
+        any = true;
+        if (out.size() >= params_.list_size) break;
+      }
+    }
+    if (!any) break;
+  }
+  return out;
+}
+
+}  // namespace netobs::ads

@@ -1,0 +1,84 @@
+// Ad database and eavesdropper ad selection (Sections 5.3-5.4).
+//
+// During the data-collection phase the study harvested ~12K creatives from
+// the ads its participants received; each ad links to a landing page whose
+// hostname can be labeled through the ontology. The eavesdropper serves ads
+// by computing the 20 nearest labeled hosts (Euclidean distance in the
+// 328-dimensional category space) to the session profile and returning ads
+// whose landing pages are those hosts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ontology/host_labeler.hpp"
+#include "synth/browsing.hpp"
+#include "synth/world.hpp"
+#include "util/rng.hpp"
+
+namespace netobs::ads {
+
+using AdId = std::uint32_t;
+
+struct Ad {
+  AdId id = 0;
+  synth::AdSlot size;
+  std::size_t landing_site = 0;       ///< universe index of the landing host
+  std::string landing_host;
+  ontology::CategoryVector categories;  ///< label of the landing host
+  std::vector<float> topic_mix;         ///< ground truth (click model only)
+};
+
+class AdDatabase {
+ public:
+  /// Harvests `num_ads` creatives whose landing pages are labeled hosts of
+  /// the universe (popularity-biased, as ads come from real campaigns).
+  static AdDatabase collect(const synth::HostnameUniverse& universe,
+                            const ontology::HostLabeler& labeler,
+                            std::size_t num_ads, std::uint64_t seed);
+
+  std::size_t size() const { return ads_.size(); }
+  const Ad& ad(AdId id) const { return ads_.at(id); }
+  const std::vector<Ad>& ads() const { return ads_; }
+
+  /// Ads whose landing page is `host` (possibly empty).
+  const std::vector<AdId>& ads_of_host(const std::string& host) const;
+
+  /// All ads with the given creative size.
+  std::vector<AdId> ads_with_size(synth::AdSlot size) const;
+
+ private:
+  std::vector<Ad> ads_;
+  std::unordered_map<std::string, std::vector<AdId>> by_host_;
+};
+
+/// Eavesdropper ad selection of Section 5.4: 20-NN over labeled hosts in
+/// category space, then ads of those hosts.
+class EavesdropperSelector {
+ public:
+  struct Params {
+    std::size_t host_neighbors = 20;  ///< labeled hosts considered
+    std::size_t list_size = 20;       ///< ads returned per report
+  };
+
+  /// db and labeler must outlive the selector.
+  EavesdropperSelector(const AdDatabase& db,
+                       const ontology::HostLabeler& labeler, Params params);
+  EavesdropperSelector(const AdDatabase& db,
+                       const ontology::HostLabeler& labeler)
+      : EavesdropperSelector(db, labeler, Params{20, 20}) {}
+
+  /// Returns up to list_size ad ids for a session profile, best hosts
+  /// first. Empty when the profile is empty or no labeled host has ads.
+  std::vector<AdId> select(const ontology::CategoryVector& profile) const;
+
+ private:
+  const AdDatabase* db_;
+  Params params_;
+  std::vector<std::string> hosts_;                    // labeled hosts w/ ads
+  std::vector<ontology::CategoryVector> host_labels_; // parallel to hosts_
+};
+
+}  // namespace netobs::ads

@@ -1,0 +1,122 @@
+#include "ads/adnetwork.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace netobs::ads {
+
+namespace {
+
+std::uint64_t size_key(synth::AdSlot size) {
+  return (static_cast<std::uint64_t>(size.width) << 20) | size.height;
+}
+
+std::uint64_t size_topic_key(synth::AdSlot size, std::size_t topic) {
+  return (size_key(size) << 16) | static_cast<std::uint64_t>(topic & 0xFFFF);
+}
+
+std::size_t dominant_topic(const std::vector<float>& mix) {
+  if (mix.empty()) return 0;
+  return static_cast<std::size_t>(
+      std::max_element(mix.begin(), mix.end()) - mix.begin());
+}
+
+}  // namespace
+
+AdNetwork::AdNetwork(const AdDatabase& db,
+                     const synth::HostnameUniverse& universe,
+                     AdNetworkParams params)
+    : db_(&db),
+      topic_count_(universe.topic_count()),
+      params_(params),
+      rng_(params.seed, 0xad0e7) {
+  if (db.size() == 0) {
+    throw std::invalid_argument("AdNetwork: empty ad database");
+  }
+  for (const auto& ad : db.ads()) {
+    by_size_[size_key(ad.size)].push_back(ad.id);
+    by_size_topic_[size_topic_key(ad.size, dominant_topic(ad.topic_mix))]
+        .push_back(ad.id);
+  }
+}
+
+void AdNetwork::observe_page(std::uint32_t user_id, std::size_t topic) {
+  auto& state = users_[user_id];
+  if (state.topic_counts.empty()) state.topic_counts.assign(topic_count_, 0.0);
+  if (topic < topic_count_) state.topic_counts[topic] += 1.0;
+}
+
+AdId AdNetwork::random_ad_of_size(synth::AdSlot size) {
+  auto it = by_size_.find(size_key(size));
+  if (it == by_size_.end() || it->second.empty()) {
+    // No creative of this exact size: fall back to any ad (a real network
+    // would resize/skip; for accounting we must serve something).
+    return static_cast<AdId>(rng_.next_below(
+        static_cast<std::uint32_t>(db_->size())));
+  }
+  const auto& pool = it->second;
+  return pool[rng_.next_below(static_cast<std::uint32_t>(pool.size()))];
+}
+
+AdId AdNetwork::topical_ad_of_size(std::size_t topic, synth::AdSlot size) {
+  auto it = by_size_topic_.find(size_topic_key(size, topic));
+  if (it == by_size_topic_.end() || it->second.empty()) {
+    return random_ad_of_size(size);
+  }
+  const auto& pool = it->second;
+  return pool[rng_.next_below(static_cast<std::uint32_t>(pool.size()))];
+}
+
+AdId AdNetwork::serve(std::uint32_t user_id, std::size_t page_topic,
+                      synth::AdSlot size) {
+  double total = params_.premium_share + params_.contextual_share +
+                 params_.targeted_share + params_.retargeted_share;
+  double roll = rng_.uniform(0.0, total);
+  auto& state = users_[user_id];
+
+  AdId chosen;
+  if (roll < params_.premium_share) {
+    chosen = random_ad_of_size(size);
+  } else if (roll < params_.premium_share + params_.contextual_share) {
+    chosen = topical_ad_of_size(page_topic, size);
+  } else if (roll < params_.premium_share + params_.contextual_share +
+                        params_.targeted_share) {
+    if (state.topic_counts.empty()) {
+      chosen = topical_ad_of_size(page_topic, size);  // nothing known yet
+    } else {
+      std::size_t topic = rng_.categorical(state.topic_counts);
+      chosen = topical_ad_of_size(topic, size);
+    }
+  } else {
+    // Retargeting: re-serve a recently shown ad if one matches the size.
+    chosen = static_cast<AdId>(-1);
+    for (auto it = state.recently_served.rbegin();
+         it != state.recently_served.rend(); ++it) {
+      if (db_->ad(*it).size == size) {
+        chosen = *it;
+        break;
+      }
+    }
+    if (chosen == static_cast<AdId>(-1)) chosen = random_ad_of_size(size);
+  }
+
+  state.recently_served.push_back(chosen);
+  while (state.recently_served.size() > params_.history_limit) {
+    state.recently_served.pop_front();
+  }
+  return chosen;
+}
+
+std::vector<double> AdNetwork::profile_of(std::uint32_t user_id) const {
+  auto it = users_.find(user_id);
+  if (it == users_.end() || it->second.topic_counts.empty()) return {};
+  std::vector<double> out = it->second.topic_counts;
+  double total = 0.0;
+  for (double c : out) total += c;
+  if (total > 0.0) {
+    for (double& c : out) c /= total;
+  }
+  return out;
+}
+
+}  // namespace netobs::ads

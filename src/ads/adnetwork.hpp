@@ -1,0 +1,77 @@
+// Ad-network baseline: serves the "Original" ads of Section 5.3.
+//
+// The paper cannot observe how real ad-networks pick ads; Section 3 lists
+// the serving modes that make up their traffic, which this baseline
+// reproduces as a mixture:
+//   - premium ads: campaign creatives shown to everyone on a site,
+//     untargeted (Coca-Cola on espn.com),
+//   - contextual ads: matched to the topic of the page being viewed,
+//   - targeted ads: matched to the network's *own* profile of the user,
+//     accumulated from pages where its trackers run (cookie-based history —
+//     the network only learns a page's topic when its tracker fires there),
+//   - retargeted ads: repeats of a product the user recently saw.
+//
+// The network never sees ground-truth interests; its knowledge is exactly
+// its tracker coverage, which is the honest analogue of cookie tracking.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "ads/ad_database.hpp"
+#include "util/rng.hpp"
+
+namespace netobs::ads {
+
+struct AdNetworkParams {
+  double premium_share = 0.25;
+  double contextual_share = 0.40;
+  double targeted_share = 0.25;
+  double retargeted_share = 0.10;
+  double tracker_coverage = 0.6;  ///< pages where the network's tracker runs
+  std::size_t history_limit = 50; ///< remembered recent landing sites
+  std::uint64_t seed = 4242;
+};
+
+class AdNetwork {
+ public:
+  /// db must outlive the network; universe provides topics for contextual
+  /// serving.
+  AdNetwork(const AdDatabase& db, const synth::HostnameUniverse& universe,
+            AdNetworkParams params = AdNetworkParams());
+
+  /// Tracker callback: the network observes a page view (and learns its
+  /// topic) only when its tracker fires there.
+  void observe_page(std::uint32_t user_id, std::size_t topic);
+
+  /// Serves an ad of exactly `size` for a page view. Returns the ad id.
+  AdId serve(std::uint32_t user_id, std::size_t page_topic,
+             synth::AdSlot size);
+
+  /// The network's accumulated (normalised) topic histogram for a user;
+  /// empty if it has never tracked them.
+  std::vector<double> profile_of(std::uint32_t user_id) const;
+
+ private:
+  AdId random_ad_of_size(synth::AdSlot size);
+  AdId topical_ad_of_size(std::size_t topic, synth::AdSlot size);
+
+  const AdDatabase* db_;
+  std::size_t topic_count_;
+  AdNetworkParams params_;
+  util::Pcg32 rng_;
+
+  /// Ads grouped by (size, dominant topic) for fast topical serving.
+  std::unordered_map<std::uint64_t, std::vector<AdId>> by_size_topic_;
+  std::unordered_map<std::uint64_t, std::vector<AdId>> by_size_;
+
+  struct UserState {
+    std::vector<double> topic_counts;
+    std::deque<AdId> recently_served;
+  };
+  std::unordered_map<std::uint32_t, UserState> users_;
+};
+
+}  // namespace netobs::ads

@@ -1,0 +1,37 @@
+#include "ads/click_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace netobs::ads {
+
+ClickModel::ClickModel(ClickParams params) : params_(params) {
+  if (params_.base_ctr <= 0.0 || params_.max_ctr <= 0.0) {
+    throw std::invalid_argument("ClickModel: rates must be positive");
+  }
+}
+
+double ClickModel::affinity(const synth::User& user, const Ad& ad) {
+  if (ad.topic_mix.empty() || user.interests.empty()) return 0.0;
+  std::size_t n = std::min(ad.topic_mix.size(), user.interests.size());
+  double dot = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    dot += static_cast<double>(user.interests[i]) *
+           static_cast<double>(ad.topic_mix[i]);
+  }
+  return std::clamp(dot, 0.0, 1.0);
+}
+
+double ClickModel::click_probability(const synth::User& user,
+                                     const Ad& ad) const {
+  double p = params_.base_ctr *
+             (params_.floor + params_.gain * affinity(user, ad));
+  return std::clamp(p, 0.0, params_.max_ctr);
+}
+
+bool ClickModel::click(const synth::User& user, const Ad& ad,
+                       util::Pcg32& rng) const {
+  return rng.bernoulli(click_probability(user, ad));
+}
+
+}  // namespace netobs::ads

@@ -1,0 +1,240 @@
+#include "ads/experiment.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace netobs::ads {
+
+namespace {
+
+/// Dominant top-level topic of a category vector (Figure 6 aggregation).
+std::size_t dominant_topic_of_label(const ontology::CategoryVector& label,
+                                    const ontology::CategorySpace& space) {
+  std::vector<double> per_topic(space.top_level_ids().size(), 0.0);
+  // top_level_ids()[k] is the flat id of topic k; map flat ids to topics.
+  std::unordered_map<std::size_t, std::size_t> topic_of_flat_top;
+  for (std::size_t k = 0; k < space.top_level_ids().size(); ++k) {
+    topic_of_flat_top[space.top_level_ids()[k]] = k;
+  }
+  for (std::size_t f = 0; f < label.size(); ++f) {
+    if (label[f] <= 0.0F) continue;
+    per_topic[topic_of_flat_top.at(space.top_level_of(f))] +=
+        static_cast<double>(label[f]);
+  }
+  return static_cast<std::size_t>(
+      std::max_element(per_topic.begin(), per_topic.end()) -
+      per_topic.begin());
+}
+
+std::size_t dominant_topic_of_mix(const std::vector<float>& mix) {
+  if (mix.empty()) return 0;
+  return static_cast<std::size_t>(
+      std::max_element(mix.begin(), mix.end()) - mix.begin());
+}
+
+}  // namespace
+
+ExperimentRunner::ExperimentRunner(const synth::HostnameUniverse& universe,
+                                   const synth::UserPopulation& population,
+                                   synth::BrowsingParams browsing,
+                                   ExperimentParams params)
+    : universe_(&universe),
+      population_(&population),
+      browsing_(browsing),
+      params_(params) {}
+
+ExperimentResult ExperimentRunner::run() {
+  const auto& space = universe_->category_space();
+  std::size_t topic_count = universe_->topic_count();
+
+  // --- Setup: ontology view, blocklists (via the hosts-file path), ad DB.
+  ontology::HostLabeler labeler = universe_->make_labeler();
+  filter::Blocklist blocklist;
+  blocklist.add_hosts_file("synthetic-trackers",
+                           universe_->tracker_hosts_file());
+  AdDatabase ad_db = AdDatabase::collect(*universe_, labeler,
+                                         params_.ad_db_size, params_.seed);
+  EavesdropperSelector selector(ad_db, labeler, params_.selector);
+  AdNetwork adnet(ad_db, *universe_, params_.adnet);
+  ClickModel clicks(params_.click);
+
+  profile::ProfilingService service(labeler, &blocklist, params_.service);
+
+  util::Pcg32 rng(params_.seed, 0xE0);
+  util::Pcg32 control_rng(params_.seed, 0xC7);
+  util::Pcg32 click_rng(params_.seed, 0xC11C);
+
+  synth::BrowsingSimulator simulator(*universe_, *population_, browsing_);
+
+  ExperimentResult result;
+  result.topics.visited.assign(
+      static_cast<std::size_t>(params_.profiling_days),
+      std::vector<double>(topic_count, 0.0));
+  result.topics.original_ads = result.topics.visited;
+  result.topics.eavesdropper_ads = result.topics.visited;
+
+  // --- Data-collection phase: events only (ads are being harvested).
+  auto collection = simulator.simulate(0, params_.collection_days);
+  service.ingest(collection.events);
+  if (service.retrain(params_.collection_days - 1)) ++result.retrainings;
+
+  // --- Profiling phase.
+  auto trace = simulator.simulate(params_.collection_days,
+                                  params_.profiling_days);
+  std::unordered_set<std::string> unique_hosts;
+  for (const auto& e : trace.events) unique_hosts.insert(e.hostname);
+  result.unique_hostnames = unique_hosts.size();
+  result.connections = trace.events.size();
+
+  struct UserExpState {
+    util::Timestamp last_report = -1;
+    std::vector<AdId> ad_list;
+    ArmStats original;
+    ArmStats eavesdropper;
+  };
+  std::unordered_map<std::uint32_t, UserExpState> user_state;
+
+  std::int64_t current_day = params_.collection_days - 1;
+  auto advance_day_to = [&](util::Timestamp t) {
+    std::int64_t day = util::day_index(t);
+    while (current_day < day) {
+      ++current_day;
+      if (service.retrain(current_day - 1)) ++result.retrainings;
+    }
+  };
+
+  std::size_t next_event = 0;
+  std::size_t filtered_before = service.filtered_events();
+
+  for (const auto& view : trace.page_views) {
+    // Feed all observer events up to this page view.
+    while (next_event < trace.events.size() &&
+           trace.events[next_event].timestamp <= view.timestamp) {
+      const auto& e = trace.events[next_event];
+      advance_day_to(e.timestamp);
+      service.ingest(e);
+      // Figure 6a tally: topic of each labeled connection.
+      if (const auto* label = labeler.label_of(e.hostname)) {
+        auto day = static_cast<std::size_t>(util::day_index(e.timestamp) -
+                                            params_.collection_days);
+        if (day < result.topics.visited.size()) {
+          result.topics.visited[day][dominant_topic_of_label(*label, space)] +=
+              1.0;
+        }
+      }
+      ++next_event;
+    }
+    advance_day_to(view.timestamp);
+
+    const synth::User& user = population_->user(view.user_id);
+    auto& state = user_state[view.user_id];
+    auto day = static_cast<std::size_t>(util::day_index(view.timestamp) -
+                                        params_.collection_days);
+
+    // The ad-network's tracker sees this page with its coverage probability.
+    if (rng.bernoulli(params_.adnet.tracker_coverage)) {
+      adnet.observe_page(view.user_id, view.topic);
+    }
+
+    // Extension report every report_interval (Section 5.2).
+    if (service.has_model() &&
+        (state.last_report < 0 ||
+         view.timestamp - state.last_report >= params_.report_interval)) {
+      state.last_report = view.timestamp;
+      ++result.reports;
+      auto profile = service.profile_user(view.user_id, view.timestamp);
+      if (profile.empty()) {
+        ++result.empty_profiles;
+        state.ad_list.clear();
+      } else {
+        state.ad_list = selector.select(profile.categories);
+      }
+    }
+
+    // Fill the page's ad slots.
+    for (const auto& slot : view.slots) {
+      AdId original_ad = adnet.serve(view.user_id, view.topic, slot);
+
+      // Replacement: only if the eavesdropper list has a size-compatible ad.
+      AdId replacement = static_cast<AdId>(-1);
+      for (AdId candidate : state.ad_list) {
+        if (ad_db.ad(candidate).size == slot) {
+          replacement = candidate;
+          break;
+        }
+      }
+      bool replaced = replacement != static_cast<AdId>(-1) &&
+                      rng.bernoulli(params_.replace_prob);
+
+      const Ad& shown =
+          replaced ? ad_db.ad(replacement) : ad_db.ad(original_ad);
+      bool clicked = clicks.click(user, shown, click_rng);
+      if (replaced) {
+        ++result.replacements;
+        ++state.eavesdropper.impressions;
+        state.eavesdropper.clicks += clicked ? 1 : 0;
+        if (day < result.topics.eavesdropper_ads.size()) {
+          result.topics.eavesdropper_ads
+              [day][dominant_topic_of_mix(shown.topic_mix)] += 1.0;
+        }
+      } else {
+        ++state.original.impressions;
+        state.original.clicks += clicked ? 1 : 0;
+        if (day < result.topics.original_ads.size()) {
+          result.topics.original_ads
+              [day][dominant_topic_of_mix(shown.topic_mix)] += 1.0;
+        }
+      }
+
+      // Counterfactual random-ad control on the same impression.
+      const Ad& random_ad = ad_db.ad(static_cast<AdId>(
+          control_rng.next_below(static_cast<std::uint32_t>(ad_db.size()))));
+      ++result.random_control.impressions;
+      result.random_control.clicks +=
+          clicks.click(user, random_ad, control_rng) ? 1 : 0;
+    }
+  }
+  // Drain remaining events (after the last page view).
+  while (next_event < trace.events.size()) {
+    advance_day_to(trace.events[next_event].timestamp);
+    service.ingest(trace.events[next_event]);
+    ++next_event;
+  }
+  result.filtered_connections = service.filtered_events() - filtered_before;
+
+  // --- Aggregate.
+  for (const auto& [user_id, state] : user_state) {
+    result.original.impressions += state.original.impressions;
+    result.original.clicks += state.original.clicks;
+    result.eavesdropper.impressions += state.eavesdropper.impressions;
+    result.eavesdropper.clicks += state.eavesdropper.clicks;
+  }
+  // Paired per-user CTRs: deterministic user order.
+  std::vector<std::uint32_t> ids;
+  ids.reserve(user_state.size());
+  for (const auto& [user_id, state] : user_state) ids.push_back(user_id);
+  std::sort(ids.begin(), ids.end());
+  for (std::uint32_t id : ids) {
+    const auto& state = user_state[id];
+    if (state.original.impressions > 0 &&
+        state.eavesdropper.impressions > 0) {
+      result.user_ctr_original.push_back(state.original.ctr());
+      result.user_ctr_eavesdropper.push_back(state.eavesdropper.ctr());
+    }
+  }
+  result.paired_users = result.user_ctr_original.size();
+  if (result.paired_users >= 2) {
+    result.paired_ttest = util::paired_t_test(result.user_ctr_eavesdropper,
+                                              result.user_ctr_original);
+  }
+  if (result.original.impressions > 0 &&
+      result.eavesdropper.impressions > 0) {
+    result.proportion_test = util::two_proportion_z_test(
+        result.eavesdropper.clicks, result.eavesdropper.impressions,
+        result.original.clicks, result.original.impressions);
+  }
+  return result;
+}
+
+}  // namespace netobs::ads

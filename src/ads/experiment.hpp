@@ -1,0 +1,107 @@
+// The full one-month ad experiment of Section 5, end to end:
+//
+//   data-collection phase  -> browsing trace + harvested ad database,
+//   daily model retraining -> SKIPGRAM on the previous day's sequences,
+//   profiling phase        -> every report interval (10 min) a user's last
+//                             T=20 min of hostnames are profiled and a
+//                             20-ad eavesdropper list is prepared,
+//   ad replacement         -> an original (ad-network) impression is
+//                             replaced only when the list holds an ad of a
+//                             compatible size (Section 5.3),
+//   measurement            -> CTR per arm, per-user paired CTRs, and the
+//                             two-tailed paired t-test of Section 6.4.
+//
+// A third "random ads" control arm is evaluated counterfactually on the
+// same impressions (it never influences the two real arms) to verify the
+// targeting signal is real.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ads/ad_database.hpp"
+#include "ads/adnetwork.hpp"
+#include "ads/click_model.hpp"
+#include "profile/service.hpp"
+#include "synth/browsing.hpp"
+#include "synth/users.hpp"
+#include "synth/world.hpp"
+#include "util/stats.hpp"
+
+namespace netobs::ads {
+
+struct ExperimentParams {
+  std::int64_t collection_days = 2;  ///< data-collection phase length
+  std::int64_t profiling_days = 7;   ///< profiling/measurement phase length
+  util::Timestamp report_interval = 10 * util::kMinute;
+  double replace_prob = 0.8;  ///< replace when a size-compatible ad exists
+  std::size_t ad_db_size = 12000;
+  ClickParams click;
+  AdNetworkParams adnet;
+  profile::ServiceParams service;
+  EavesdropperSelector::Params selector{20, 20};
+  std::uint64_t seed = 2021;
+};
+
+/// Impression/click tally for one serving system.
+struct ArmStats {
+  std::size_t impressions = 0;
+  std::size_t clicks = 0;
+
+  double ctr() const {
+    return impressions == 0
+               ? 0.0
+               : static_cast<double>(clicks) /
+                     static_cast<double>(impressions);
+  }
+};
+
+/// Per-day, per-topic connection/ad tallies backing Figure 6.
+struct DailyTopicCounts {
+  /// [day][topic] — day 0 is the first profiling day.
+  std::vector<std::vector<double>> visited;
+  std::vector<std::vector<double>> original_ads;
+  std::vector<std::vector<double>> eavesdropper_ads;
+};
+
+struct ExperimentResult {
+  ArmStats original;
+  ArmStats eavesdropper;
+  ArmStats random_control;
+
+  /// Paired per-user CTRs (users with impressions in both arms).
+  std::vector<double> user_ctr_eavesdropper;
+  std::vector<double> user_ctr_original;
+  util::TTestResult paired_ttest;
+  util::ProportionTestResult proportion_test;  ///< pooled CTR comparison
+
+  DailyTopicCounts topics;
+
+  std::size_t reports = 0;
+  std::size_t replacements = 0;
+  std::size_t empty_profiles = 0;
+  std::size_t retrainings = 0;
+  std::size_t connections = 0;        ///< observer events in profiling phase
+  std::size_t filtered_connections = 0;  ///< dropped by the blocklist
+  std::size_t unique_hostnames = 0;
+  std::size_t paired_users = 0;
+};
+
+class ExperimentRunner {
+ public:
+  /// universe/population must outlive the runner.
+  ExperimentRunner(const synth::HostnameUniverse& universe,
+                   const synth::UserPopulation& population,
+                   synth::BrowsingParams browsing = synth::BrowsingParams(),
+                   ExperimentParams params = ExperimentParams());
+
+  ExperimentResult run();
+
+ private:
+  const synth::HostnameUniverse* universe_;
+  const synth::UserPopulation* population_;
+  synth::BrowsingParams browsing_;
+  ExperimentParams params_;
+};
+
+}  // namespace netobs::ads

@@ -1,0 +1,76 @@
+#include "content/bow_classifier.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace netobs::content {
+
+NaiveBayesClassifier::NaiveBayesClassifier(std::size_t vocab,
+                                           std::size_t classes, double alpha)
+    : vocab_(vocab),
+      alpha_(alpha),
+      word_count_(classes, std::vector<double>(vocab, 0.0)),
+      class_token_total_(classes, 0.0),
+      class_doc_count_(classes, 0.0) {
+  if (vocab == 0 || classes == 0) {
+    throw std::invalid_argument("NaiveBayesClassifier: empty vocab/classes");
+  }
+  if (alpha <= 0.0) {
+    throw std::invalid_argument("NaiveBayesClassifier: alpha must be > 0");
+  }
+}
+
+void NaiveBayesClassifier::add_document(const Document& doc,
+                                        std::size_t label) {
+  if (label >= word_count_.size()) {
+    throw std::out_of_range("NaiveBayesClassifier: bad label");
+  }
+  for (TokenId token : doc) {
+    if (token >= vocab_) {
+      throw std::out_of_range("NaiveBayesClassifier: token out of vocab");
+    }
+    word_count_[label][token] += 1.0;
+    class_token_total_[label] += 1.0;
+  }
+  class_doc_count_[label] += 1.0;
+  ++documents_;
+}
+
+std::vector<double> NaiveBayesClassifier::predict(const Document& doc) const {
+  std::size_t classes = word_count_.size();
+  std::vector<double> log_post(classes);
+  double v_alpha = alpha_ * static_cast<double>(vocab_);
+  double total_docs =
+      std::max(1.0, static_cast<double>(documents_));
+  for (std::size_t c = 0; c < classes; ++c) {
+    // Smoothed class prior (so never-seen classes stay representable).
+    double prior = (class_doc_count_[c] + alpha_) /
+                   (total_docs + alpha_ * static_cast<double>(classes));
+    double lp = std::log(prior);
+    double denom = std::log(class_token_total_[c] + v_alpha);
+    for (TokenId token : doc) {
+      if (token >= vocab_) continue;
+      lp += std::log(word_count_[c][token] + alpha_) - denom;
+    }
+    log_post[c] = lp;
+  }
+  // Softmax in log space.
+  double max_lp = *std::max_element(log_post.begin(), log_post.end());
+  double total = 0.0;
+  for (double& lp : log_post) {
+    lp = std::exp(lp - max_lp);
+    total += lp;
+  }
+  for (double& lp : log_post) lp /= total;
+  return log_post;
+}
+
+std::size_t NaiveBayesClassifier::predict_class(const Document& doc) const {
+  auto posterior = predict(doc);
+  return static_cast<std::size_t>(
+      std::max_element(posterior.begin(), posterior.end()) -
+      posterior.begin());
+}
+
+}  // namespace netobs::content

@@ -1,0 +1,47 @@
+// Multinomial Naive Bayes bag-of-words classifier — the "analyze the text"
+// labeling baseline of Section 4 (in the spirit of the fastText-style
+// linear classifiers the paper cites [Joulin et al. 2017]).
+//
+// Train on pages of ontology-labeled hostnames, then predict topic
+// posteriors for pages of unlabeled (but crawlable) hostnames. Section 4's
+// argument against this route — 67% of hostnames return nothing to crawl,
+// and CDN/API endpoints never will — is measured by
+// bench/baseline_content_labeling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "content/page_model.hpp"
+
+namespace netobs::content {
+
+class NaiveBayesClassifier {
+ public:
+  /// vocab: token-id universe; classes: number of labels; alpha: Laplace
+  /// smoothing.
+  NaiveBayesClassifier(std::size_t vocab, std::size_t classes,
+                       double alpha = 1.0);
+
+  /// Adds a labeled training document.
+  void add_document(const Document& doc, std::size_t label);
+
+  /// Posterior distribution over classes for a document (sums to 1).
+  std::vector<double> predict(const Document& doc) const;
+
+  /// argmax of predict(); ties break to the lower class id.
+  std::size_t predict_class(const Document& doc) const;
+
+  std::size_t documents() const { return documents_; }
+  std::size_t classes() const { return class_doc_count_.size(); }
+
+ private:
+  std::size_t vocab_;
+  double alpha_;
+  std::vector<std::vector<double>> word_count_;  // [class][token]
+  std::vector<double> class_token_total_;
+  std::vector<double> class_doc_count_;
+  std::size_t documents_ = 0;
+};
+
+}  // namespace netobs::content

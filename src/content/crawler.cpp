@@ -1,0 +1,112 @@
+#include "content/crawler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace netobs::content {
+
+ContentCrawler::ContentCrawler(const synth::HostnameUniverse& universe,
+                               PageModelParams params)
+    : universe_(&universe),
+      model_(universe.topic_count(), params),
+      seed_(params.seed) {}
+
+std::optional<Document> ContentCrawler::fetch(std::size_t host_index) const {
+  const auto& host = universe_->host(host_index);
+  if (!host.crawlable) return std::nullopt;
+  // Deterministic page per host.
+  util::Pcg32 rng(seed_, util::mix64(host_index ^ 0xFE7C4));
+  return model_.sample_page(host.topic_mix, rng);
+}
+
+std::optional<Document> ContentCrawler::fetch(
+    const std::string& hostname) const {
+  return fetch(universe_->index_of(hostname));
+}
+
+double ContentCrawler::fetch_failure_rate() const {
+  return universe_->uncrawlable_fraction();
+}
+
+ContentCrawler::ExpansionResult ContentCrawler::expand_labels(
+    const ontology::HostLabeler& seed, const ontology::CategorySpace& space,
+    double min_confidence) const {
+  ExpansionResult result{ontology::HostLabeler(seed.category_count()), 0, 0,
+                         0, 0, 0.0};
+  for (const auto& [host, label] : seed.labels()) {
+    result.labeler.set_label(host, label);
+  }
+
+  const auto& tops = space.top_level_ids();
+  std::size_t topics = tops.size();
+
+  // Map a seed label to its dominant topic for classifier training.
+  auto dominant_topic_of_label =
+      [&](const ontology::CategoryVector& label) -> std::size_t {
+    std::vector<double> mass(topics, 0.0);
+    for (std::size_t f = 0; f < label.size(); ++f) {
+      std::size_t top_flat = space.top_level_of(f);
+      auto it = std::find(tops.begin(), tops.end(), top_flat);
+      mass[static_cast<std::size_t>(it - tops.begin())] += label[f];
+    }
+    return static_cast<std::size_t>(
+        std::max_element(mass.begin(), mass.end()) - mass.begin());
+  };
+
+  // --- Train on labeled, crawlable hosts.
+  NaiveBayesClassifier classifier(model_.vocab_size(), topics);
+  for (const auto& [host, label] : seed.labels()) {
+    std::size_t idx;
+    try {
+      idx = universe_->index_of(host);
+    } catch (const std::out_of_range&) {
+      continue;  // labels outside the universe (e.g. IP tokens)
+    }
+    auto page = fetch(idx);
+    if (!page) continue;
+    classifier.add_document(*page, dominant_topic_of_label(label));
+    ++result.training_documents;
+  }
+  if (result.training_documents == 0) return result;
+
+  // --- Classify every unlabeled host we can crawl.
+  std::size_t correct = 0;
+  std::size_t scored = 0;
+  for (std::size_t i = 0; i < universe_->size(); ++i) {
+    const auto& host = universe_->host(i);
+    if (result.labeler.is_labeled(host.name)) continue;
+    auto page = fetch(i);
+    if (!page) {
+      ++result.unfetchable;
+      continue;
+    }
+    auto posterior = classifier.predict(*page);
+    std::size_t best = static_cast<std::size_t>(
+        std::max_element(posterior.begin(), posterior.end()) -
+        posterior.begin());
+    if (posterior[best] < min_confidence) {
+      ++result.rejected_low_confidence;
+      continue;
+    }
+    ontology::CategoryVector label(space.size(), 0.0F);
+    label[tops[best]] = static_cast<float>(
+        std::clamp(posterior[best], 0.0, 1.0));
+    result.labeler.set_label(host.name, std::move(label));
+    ++result.predicted;
+
+    if (!host.topic_mix.empty()) {
+      ++scored;
+      std::size_t truth = static_cast<std::size_t>(
+          std::max_element(host.topic_mix.begin(), host.topic_mix.end()) -
+          host.topic_mix.begin());
+      if (truth == best) ++correct;
+    }
+  }
+  if (scored > 0) {
+    result.prediction_accuracy =
+        static_cast<double>(correct) / static_cast<double>(scored);
+  }
+  return result;
+}
+
+}  // namespace netobs::content

@@ -1,0 +1,61 @@
+// Synthetic crawler: the fetch-and-classify pipeline of Section 4.
+//
+// fetch() returns a host's page when the host is crawlable and fails
+// otherwise — reproducing the study's observation that 67% of hostnames
+// "returned an error/empty page when we tried to download the website
+// content" (CDN endpoints, API services, trackers). The content-labeling
+// baseline is then: crawl what you can, classify it, and accept that the
+// rest of the universe stays unlabeled.
+#pragma once
+
+#include <optional>
+
+#include "content/bow_classifier.hpp"
+#include "content/page_model.hpp"
+#include "ontology/host_labeler.hpp"
+#include "synth/world.hpp"
+
+namespace netobs::content {
+
+class ContentCrawler {
+ public:
+  /// universe must outlive the crawler; pages are deterministic per host.
+  ContentCrawler(const synth::HostnameUniverse& universe,
+                 PageModelParams params = PageModelParams());
+
+  /// Fetches a host's page; nullopt when the host is not crawlable (the
+  /// paper's 67%).
+  std::optional<Document> fetch(std::size_t host_index) const;
+  std::optional<Document> fetch(const std::string& hostname) const;
+
+  const PageModel& page_model() const { return model_; }
+
+  /// Fraction of hosts for which fetch() fails.
+  double fetch_failure_rate() const;
+
+  /// The full content-labeling baseline:
+  ///   1. train a Naive Bayes classifier on the pages of already-labeled
+  ///      crawlable hosts (labels = dominant top-level topic),
+  ///   2. classify every crawlable but unlabeled host,
+  ///   3. emit an extended labeler whose new labels put the predicted
+  ///      posterior mass on the topic's root category.
+  /// `min_confidence`: posterior needed to accept a prediction.
+  struct ExpansionResult {
+    ontology::HostLabeler labeler;          ///< seed + predicted labels
+    std::size_t training_documents = 0;
+    std::size_t predicted = 0;              ///< labels added
+    std::size_t rejected_low_confidence = 0;
+    std::size_t unfetchable = 0;            ///< hosts crawl couldn't reach
+    double prediction_accuracy = 0.0;  ///< vs ground truth, scored hosts
+  };
+  ExpansionResult expand_labels(const ontology::HostLabeler& seed,
+                                const ontology::CategorySpace& space,
+                                double min_confidence = 0.4) const;
+
+ private:
+  const synth::HostnameUniverse* universe_;
+  PageModel model_;
+  std::uint64_t seed_;
+};
+
+}  // namespace netobs::content

@@ -1,0 +1,54 @@
+#include "content/page_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace netobs::content {
+
+PageModel::PageModel(std::size_t topic_count, PageModelParams params)
+    : topic_count_(topic_count),
+      params_(params),
+      vocab_size_(topic_count * params.words_per_topic + params.common_words),
+      word_rank_(std::max<std::size_t>(
+                     {params.words_per_topic, params.common_words, 1}),
+                 params.word_zipf) {
+  if (topic_count == 0) {
+    throw std::invalid_argument("PageModel: topic_count must be > 0");
+  }
+  if (params.words_per_topic == 0 || params.common_words == 0) {
+    throw std::invalid_argument("PageModel: empty vocabulary");
+  }
+}
+
+Document PageModel::sample_page(const std::vector<float>& topic_mix,
+                                util::Pcg32& rng) const {
+  unsigned length = std::max(1U, rng.poisson(
+                                     static_cast<double>(
+                                         params_.tokens_per_page)));
+  Document doc;
+  doc.reserve(length);
+
+  std::vector<double> weights(topic_mix.begin(), topic_mix.end());
+  double topical_mass = 0.0;
+  for (double w : weights) topical_mass += w;
+
+  for (unsigned t = 0; t < length; ++t) {
+    bool boilerplate =
+        topical_mass <= 0.0 || rng.bernoulli(params_.common_weight);
+    if (boilerplate) {
+      TokenId word = static_cast<TokenId>(
+          topic_count_ * params_.words_per_topic +
+          word_rank_.sample(rng) % params_.common_words);
+      doc.push_back(word);
+    } else {
+      std::size_t topic = rng.categorical(weights);
+      TokenId word = static_cast<TokenId>(
+          topic * params_.words_per_topic +
+          word_rank_.sample(rng) % params_.words_per_topic);
+      doc.push_back(word);
+    }
+  }
+  return doc;
+}
+
+}  // namespace netobs::content

@@ -1,0 +1,64 @@
+// Synthetic web-page text model.
+//
+// Section 4 considers (and rejects) the content-based labeling alternative:
+// fetch a hostname's page and classify its text [Joulin et al.]. To measure
+// that baseline instead of asserting it, the synthetic world needs page
+// text: this model generates bag-of-words documents whose token
+// distribution mixes topic-specific vocabularies (per the host's
+// ground-truth topic mixture) with a topic-neutral common vocabulary —
+// the standard generative assumption behind the Naive Bayes classifier
+// that consumes them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/alias_sampler.hpp"
+#include "util/rng.hpp"
+
+namespace netobs::content {
+
+using TokenId = std::uint32_t;
+/// A document as a token-id sequence (duplicates = term frequency).
+using Document = std::vector<TokenId>;
+
+struct PageModelParams {
+  std::size_t words_per_topic = 150;  ///< topic-specific vocabulary size
+  std::size_t common_words = 400;     ///< boilerplate shared by all pages
+  double common_weight = 0.45;        ///< share of boilerplate per page
+  double word_zipf = 1.05;            ///< within-vocabulary popularity
+  std::size_t tokens_per_page = 120;  ///< document length (Poisson mean)
+  std::uint64_t seed = 33;
+};
+
+class PageModel {
+ public:
+  PageModel(std::size_t topic_count, PageModelParams params = PageModelParams());
+
+  /// Total vocabulary size (topics * words_per_topic + common_words).
+  std::size_t vocab_size() const { return vocab_size_; }
+  std::size_t topic_count() const { return topic_count_; }
+
+  /// Samples a page for a host with the given ground-truth topic mixture
+  /// (weights over topics; empty mixtures yield boilerplate-only pages).
+  Document sample_page(const std::vector<float>& topic_mix,
+                       util::Pcg32& rng) const;
+
+  /// True if the token belongs to a topic vocabulary (vs boilerplate).
+  bool is_topical(TokenId token) const {
+    return token < topic_count_ * params_.words_per_topic;
+  }
+
+  /// Topic owning a topical token (undefined for boilerplate tokens).
+  std::size_t topic_of_token(TokenId token) const {
+    return token / params_.words_per_topic;
+  }
+
+ private:
+  std::size_t topic_count_;
+  PageModelParams params_;
+  std::size_t vocab_size_;
+  util::ZipfSampler word_rank_;  ///< shared within-vocabulary rank sampler
+};
+
+}  // namespace netobs::content

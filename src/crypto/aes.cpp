@@ -1,0 +1,255 @@
+#include "crypto/aes.hpp"
+
+#include <cstring>
+
+namespace netobs::crypto {
+
+namespace {
+
+constexpr std::uint8_t kSbox[256] = {
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b,
+    0xfe, 0xd7, 0xab, 0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0,
+    0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26,
+    0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0,
+    0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed,
+    0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f,
+    0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec,
+    0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14,
+    0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c,
+    0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f,
+    0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e,
+    0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1, 0xf8, 0x98, 0x11,
+    0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f,
+    0xb0, 0x54, 0xbb, 0x16};
+
+constexpr std::uint8_t xtime(std::uint8_t x) {
+  return static_cast<std::uint8_t>((x << 1) ^ ((x >> 7) * 0x1b));
+}
+
+std::uint32_t sub_word(std::uint32_t w) {
+  return (static_cast<std::uint32_t>(kSbox[(w >> 24) & 0xFF]) << 24) |
+         (static_cast<std::uint32_t>(kSbox[(w >> 16) & 0xFF]) << 16) |
+         (static_cast<std::uint32_t>(kSbox[(w >> 8) & 0xFF]) << 8) |
+         kSbox[w & 0xFF];
+}
+
+constexpr std::uint32_t rot_word(std::uint32_t w) {
+  return (w << 8) | (w >> 24);
+}
+
+}  // namespace
+
+Aes128::Aes128(const AesKey& key) {
+  for (int i = 0; i < 4; ++i) {
+    round_keys_[i] = (static_cast<std::uint32_t>(key[4 * i]) << 24) |
+                     (static_cast<std::uint32_t>(key[4 * i + 1]) << 16) |
+                     (static_cast<std::uint32_t>(key[4 * i + 2]) << 8) |
+                     key[4 * i + 3];
+  }
+  std::uint32_t rcon = 0x01000000;
+  for (int i = 4; i < 44; ++i) {
+    std::uint32_t temp = round_keys_[i - 1];
+    if (i % 4 == 0) {
+      temp = sub_word(rot_word(temp)) ^ rcon;
+      rcon = static_cast<std::uint32_t>(xtime(
+                 static_cast<std::uint8_t>(rcon >> 24)))
+             << 24;
+    }
+    round_keys_[i] = round_keys_[i - 4] ^ temp;
+  }
+}
+
+AesBlock Aes128::encrypt_block(const AesBlock& plaintext) const {
+  std::uint8_t s[16];
+  std::memcpy(s, plaintext.data(), 16);
+
+  auto add_round_key = [&](int round) {
+    for (int c = 0; c < 4; ++c) {
+      std::uint32_t w = round_keys_[static_cast<std::size_t>(round * 4 + c)];
+      s[4 * c] ^= static_cast<std::uint8_t>(w >> 24);
+      s[4 * c + 1] ^= static_cast<std::uint8_t>(w >> 16);
+      s[4 * c + 2] ^= static_cast<std::uint8_t>(w >> 8);
+      s[4 * c + 3] ^= static_cast<std::uint8_t>(w);
+    }
+  };
+  auto sub_bytes = [&] {
+    for (auto& b : s) b = kSbox[b];
+  };
+  auto shift_rows = [&] {
+    // State is column-major: s[4c + r].
+    std::uint8_t t = s[1];
+    s[1] = s[5];
+    s[5] = s[9];
+    s[9] = s[13];
+    s[13] = t;
+    std::swap(s[2], s[10]);
+    std::swap(s[6], s[14]);
+    t = s[15];
+    s[15] = s[11];
+    s[11] = s[7];
+    s[7] = s[3];
+    s[3] = t;
+  };
+  auto mix_columns = [&] {
+    for (int c = 0; c < 4; ++c) {
+      std::uint8_t a0 = s[4 * c];
+      std::uint8_t a1 = s[4 * c + 1];
+      std::uint8_t a2 = s[4 * c + 2];
+      std::uint8_t a3 = s[4 * c + 3];
+      std::uint8_t all = a0 ^ a1 ^ a2 ^ a3;
+      s[4 * c] = static_cast<std::uint8_t>(a0 ^ all ^ xtime(a0 ^ a1));
+      s[4 * c + 1] = static_cast<std::uint8_t>(a1 ^ all ^ xtime(a1 ^ a2));
+      s[4 * c + 2] = static_cast<std::uint8_t>(a2 ^ all ^ xtime(a2 ^ a3));
+      s[4 * c + 3] = static_cast<std::uint8_t>(a3 ^ all ^ xtime(a3 ^ a0));
+    }
+  };
+
+  add_round_key(0);
+  for (int round = 1; round < 10; ++round) {
+    sub_bytes();
+    shift_rows();
+    mix_columns();
+    add_round_key(round);
+  }
+  sub_bytes();
+  shift_rows();
+  add_round_key(10);
+
+  AesBlock out;
+  std::memcpy(out.data(), s, 16);
+  return out;
+}
+
+Aes128Gcm::Aes128Gcm(const AesKey& key) : cipher_(key) {
+  AesBlock zero{};
+  h_ = cipher_.encrypt_block(zero);
+}
+
+namespace {
+
+/// GF(2^128) multiplication per SP 800-38D (bit-reflected convention).
+AesBlock gf_mul(const AesBlock& x, const AesBlock& y) {
+  AesBlock z{};
+  AesBlock v = y;
+  for (int i = 0; i < 128; ++i) {
+    int byte = i / 8;
+    int bit = 7 - (i % 8);
+    if ((x[static_cast<std::size_t>(byte)] >> bit) & 1) {
+      for (int j = 0; j < 16; ++j) z[static_cast<std::size_t>(j)] ^= v[static_cast<std::size_t>(j)];
+    }
+    bool lsb = (v[15] & 1) != 0;
+    for (int j = 15; j > 0; --j) {
+      v[static_cast<std::size_t>(j)] = static_cast<std::uint8_t>(
+          (v[static_cast<std::size_t>(j)] >> 1) |
+          (v[static_cast<std::size_t>(j - 1)] << 7));
+    }
+    v[0] >>= 1;
+    if (lsb) v[0] ^= 0xe1;
+  }
+  return z;
+}
+
+void inc32(AesBlock& counter) {
+  for (int i = 15; i >= 12; --i) {
+    if (++counter[static_cast<std::size_t>(i)] != 0) break;
+  }
+}
+
+}  // namespace
+
+AesBlock Aes128Gcm::ghash(std::span<const std::uint8_t> aad,
+                          std::span<const std::uint8_t> ciphertext) const {
+  AesBlock y{};
+  auto absorb = [&](std::span<const std::uint8_t> data) {
+    for (std::size_t off = 0; off < data.size(); off += 16) {
+      AesBlock block{};
+      std::size_t take = std::min<std::size_t>(16, data.size() - off);
+      std::memcpy(block.data(), data.data() + off, take);
+      for (int i = 0; i < 16; ++i) {
+        y[static_cast<std::size_t>(i)] ^= block[static_cast<std::size_t>(i)];
+      }
+      y = gf_mul(y, h_);
+    }
+  };
+  absorb(aad);
+  absorb(ciphertext);
+  AesBlock lengths{};
+  std::uint64_t aad_bits = aad.size() * 8;
+  std::uint64_t ct_bits = ciphertext.size() * 8;
+  for (int i = 0; i < 8; ++i) {
+    lengths[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(aad_bits >> (56 - 8 * i));
+    lengths[static_cast<std::size_t>(8 + i)] =
+        static_cast<std::uint8_t>(ct_bits >> (56 - 8 * i));
+  }
+  for (int i = 0; i < 16; ++i) {
+    y[static_cast<std::size_t>(i)] ^= lengths[static_cast<std::size_t>(i)];
+  }
+  return gf_mul(y, h_);
+}
+
+void Aes128Gcm::ctr_xor(const AesBlock& initial_counter,
+                        std::span<const std::uint8_t> in,
+                        std::span<std::uint8_t> out) const {
+  AesBlock counter = initial_counter;
+  for (std::size_t off = 0; off < in.size(); off += 16) {
+    inc32(counter);
+    AesBlock keystream = cipher_.encrypt_block(counter);
+    std::size_t take = std::min<std::size_t>(16, in.size() - off);
+    for (std::size_t i = 0; i < take; ++i) {
+      out[off + i] = in[off + i] ^ keystream[i];
+    }
+  }
+}
+
+std::vector<std::uint8_t> Aes128Gcm::seal(
+    const Nonce& nonce, std::span<const std::uint8_t> aad,
+    std::span<const std::uint8_t> plaintext) const {
+  AesBlock j0{};
+  std::memcpy(j0.data(), nonce.data(), kNonceSize);
+  j0[15] = 1;
+
+  std::vector<std::uint8_t> out(plaintext.size() + kTagSize);
+  ctr_xor(j0, plaintext, std::span(out.data(), plaintext.size()));
+
+  AesBlock s = ghash(aad, std::span(out.data(), plaintext.size()));
+  AesBlock ek_j0 = cipher_.encrypt_block(j0);
+  for (std::size_t i = 0; i < kTagSize; ++i) {
+    out[plaintext.size() + i] = s[i] ^ ek_j0[i];
+  }
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> Aes128Gcm::open(
+    const Nonce& nonce, std::span<const std::uint8_t> aad,
+    std::span<const std::uint8_t> sealed) const {
+  if (sealed.size() < kTagSize) return std::nullopt;
+  std::size_t ct_len = sealed.size() - kTagSize;
+  auto ciphertext = sealed.subspan(0, ct_len);
+
+  AesBlock j0{};
+  std::memcpy(j0.data(), nonce.data(), kNonceSize);
+  j0[15] = 1;
+
+  AesBlock s = ghash(aad, ciphertext);
+  AesBlock ek_j0 = cipher_.encrypt_block(j0);
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < kTagSize; ++i) {
+    diff |= static_cast<std::uint8_t>((s[i] ^ ek_j0[i]) ^ sealed[ct_len + i]);
+  }
+  if (diff != 0) return std::nullopt;
+
+  std::vector<std::uint8_t> plaintext(ct_len);
+  ctr_xor(j0, ciphertext, plaintext);
+  return plaintext;
+}
+
+}  // namespace netobs::crypto

@@ -1,0 +1,70 @@
+// AES-128 (FIPS 197) and AES-128-GCM (NIST SP 800-38D), from scratch.
+//
+// QUIC v1 protects Initial packets with AES-128-GCM (payload) and raw AES
+// block encryption of a ciphertext sample (header protection). A passive
+// observer holds the same public-derivable keys, so both primitives are
+// needed on the *read* path of the eavesdropper too.
+//
+// The implementation is table-free where it matters for clarity (the
+// S-box is a constant table, the field multiplications are computed), and
+// is deliberately simple: the observer pipeline needs correctness and
+// reviewability, not constant-time guarantees (it only handles keys that
+// are public by construction).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace netobs::crypto {
+
+using AesKey = std::array<std::uint8_t, 16>;
+using AesBlock = std::array<std::uint8_t, 16>;
+
+/// AES-128 block cipher (encryption direction only; CTR and GCM never need
+/// the inverse cipher).
+class Aes128 {
+ public:
+  explicit Aes128(const AesKey& key);
+
+  AesBlock encrypt_block(const AesBlock& plaintext) const;
+
+ private:
+  std::array<std::uint32_t, 44> round_keys_;
+};
+
+/// AES-128-GCM authenticated encryption. 12-byte nonce, 16-byte tag.
+class Aes128Gcm {
+ public:
+  static constexpr std::size_t kNonceSize = 12;
+  static constexpr std::size_t kTagSize = 16;
+  using Nonce = std::array<std::uint8_t, kNonceSize>;
+  using Tag = std::array<std::uint8_t, kTagSize>;
+
+  explicit Aes128Gcm(const AesKey& key);
+
+  /// Returns ciphertext || tag.
+  std::vector<std::uint8_t> seal(const Nonce& nonce,
+                                 std::span<const std::uint8_t> aad,
+                                 std::span<const std::uint8_t> plaintext) const;
+
+  /// Input is ciphertext || tag; returns plaintext or nullopt when the tag
+  /// does not verify (tampered or wrong key).
+  std::optional<std::vector<std::uint8_t>> open(
+      const Nonce& nonce, std::span<const std::uint8_t> aad,
+      std::span<const std::uint8_t> sealed) const;
+
+ private:
+  AesBlock ghash(std::span<const std::uint8_t> aad,
+                 std::span<const std::uint8_t> ciphertext) const;
+  void ctr_xor(const AesBlock& initial_counter,
+               std::span<const std::uint8_t> in,
+               std::span<std::uint8_t> out) const;
+
+  Aes128 cipher_;
+  AesBlock h_{};  // GHASH subkey E_K(0^128)
+};
+
+}  // namespace netobs::crypto

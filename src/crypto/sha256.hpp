@@ -1,0 +1,67 @@
+// SHA-256 (FIPS 180-4), HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869),
+// implemented from scratch.
+//
+// Why a crypto module in a profiling library: Section 7.2 notes that QUIC
+// leaks the requested hostname just like TLS. Unlike TCP+TLS, a QUIC
+// Initial packet is *encrypted* — but with keys derived purely from the
+// public Destination Connection ID (RFC 9001 §5.2), so any passive
+// observer can derive them. Extracting the SNI from QUIC therefore needs
+// HKDF-SHA256 (key derivation) and AES-128-GCM (payload) plus AES-ECB
+// (header protection); this header provides the hash side.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace netobs::crypto {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256.
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view data);
+
+  /// Finalises and returns the digest; the object must not be reused.
+  Digest finish();
+
+  /// One-shot convenience.
+  static Digest hash(std::span<const std::uint8_t> data);
+  static Digest hash(std::string_view data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+/// HMAC-SHA256.
+Digest hmac_sha256(std::span<const std::uint8_t> key,
+                   std::span<const std::uint8_t> message);
+
+/// HKDF-Extract (RFC 5869 §2.2).
+Digest hkdf_extract(std::span<const std::uint8_t> salt,
+                    std::span<const std::uint8_t> ikm);
+
+/// HKDF-Expand (RFC 5869 §2.3). length <= 255 * 32.
+std::vector<std::uint8_t> hkdf_expand(std::span<const std::uint8_t> prk,
+                                      std::span<const std::uint8_t> info,
+                                      std::size_t length);
+
+/// HKDF-Expand-Label (RFC 8446 §7.1) with the "tls13 " label prefix, as
+/// QUIC v1 uses for initial secrets.
+std::vector<std::uint8_t> hkdf_expand_label(std::span<const std::uint8_t> secret,
+                                            std::string_view label,
+                                            std::span<const std::uint8_t> context,
+                                            std::size_t length);
+
+}  // namespace netobs::crypto

@@ -1,0 +1,64 @@
+#include "embedding/knn.hpp"
+
+#include <algorithm>
+
+#include "util/vec_math.hpp"
+
+namespace netobs::embedding {
+
+namespace {
+
+EmbeddingMatrix normalized_copy(const EmbeddingMatrix& matrix) {
+  EmbeddingMatrix out = matrix;
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    util::normalize(out.row(i));
+  }
+  return out;
+}
+
+}  // namespace
+
+CosineKnnIndex::CosineKnnIndex(const HostEmbedding& embedding)
+    : normalized_(normalized_copy(embedding.central())) {}
+
+CosineKnnIndex::CosineKnnIndex(const EmbeddingMatrix& matrix)
+    : normalized_(normalized_copy(matrix)) {}
+
+std::vector<CosineKnnIndex::Neighbor> CosineKnnIndex::scan(
+    std::span<const float> unit_query, std::size_t n,
+    std::ptrdiff_t exclude) const {
+  std::vector<Neighbor> scored;
+  scored.reserve(normalized_.rows());
+  for (std::size_t i = 0; i < normalized_.rows(); ++i) {
+    if (static_cast<std::ptrdiff_t>(i) == exclude) continue;
+    scored.push_back(
+        {static_cast<TokenId>(i), util::dot(unit_query, normalized_.row(i))});
+  }
+  n = std::min(n, scored.size());
+  std::partial_sort(scored.begin(),
+                    scored.begin() + static_cast<std::ptrdiff_t>(n),
+                    scored.end(), [](const Neighbor& a, const Neighbor& b) {
+                      if (a.similarity != b.similarity) {
+                        return a.similarity > b.similarity;
+                      }
+                      return a.id < b.id;  // deterministic ties
+                    });
+  scored.resize(n);
+  return scored;
+}
+
+std::vector<CosineKnnIndex::Neighbor> CosineKnnIndex::query(
+    std::span<const float> query_vec, std::size_t n) const {
+  std::vector<float> unit(query_vec.begin(), query_vec.end());
+  float norm = util::l2_norm(unit);
+  if (norm == 0.0F || n == 0) return {};
+  util::scale(unit, 1.0F / norm);
+  return scan(unit, n, -1);
+}
+
+std::vector<CosineKnnIndex::Neighbor> CosineKnnIndex::nearest_to(
+    TokenId id, std::size_t n) const {
+  return scan(normalized_.row(id), n, static_cast<std::ptrdiff_t>(id));
+}
+
+}  // namespace netobs::embedding

@@ -1,0 +1,50 @@
+// Brute-force cosine k-nearest-neighbour index over hostname embeddings.
+//
+// Section 4.1 computes, for a session representation s, the N=1000 hostname
+// embeddings most similar to s under cosine similarity (the set H_s). Row
+// vectors are L2-normalised once at build time so each query is a dense
+// dot-product scan plus a partial sort — exact, cache-friendly, and fast
+// enough for the ~10^5-hostname vocabularies the paper deals with.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "embedding/matrix.hpp"
+#include "embedding/sgns.hpp"
+
+namespace netobs::embedding {
+
+class CosineKnnIndex {
+ public:
+  struct Neighbor {
+    TokenId id = 0;
+    float similarity = 0.0F;  ///< cosine in [-1, 1]
+  };
+
+  /// Builds the index from a model's central vectors.
+  explicit CosineKnnIndex(const HostEmbedding& embedding);
+
+  /// Builds from a raw matrix (rows indexed by TokenId).
+  explicit CosineKnnIndex(const EmbeddingMatrix& matrix);
+
+  /// Top-n rows most similar to `query`, descending similarity. `query`
+  /// need not be normalised. Zero-norm queries return an empty vector.
+  std::vector<Neighbor> query(std::span<const float> query_vec,
+                              std::size_t n) const;
+
+  /// Top-n neighbours of a stored row, excluding the row itself.
+  std::vector<Neighbor> nearest_to(TokenId id, std::size_t n) const;
+
+  std::size_t size() const { return normalized_.rows(); }
+  std::size_t dim() const { return normalized_.dim(); }
+
+ private:
+  std::vector<Neighbor> scan(std::span<const float> unit_query, std::size_t n,
+                             std::ptrdiff_t exclude) const;
+
+  EmbeddingMatrix normalized_;
+};
+
+}  // namespace netobs::embedding

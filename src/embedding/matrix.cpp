@@ -1,0 +1,77 @@
+#include "embedding/matrix.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace netobs::embedding {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x4E4F4231;  // "NOB1"
+}
+
+EmbeddingMatrix::EmbeddingMatrix(std::size_t rows, std::size_t dim)
+    : rows_(rows), dim_(dim), data_(rows * dim, 0.0F) {
+  if (dim == 0) throw std::invalid_argument("EmbeddingMatrix: dim must be > 0");
+}
+
+void EmbeddingMatrix::init_uniform(util::Pcg32& rng) {
+  float half = 0.5F / static_cast<float>(dim_);
+  for (float& v : data_) {
+    v = static_cast<float>(rng.uniform(-half, half));
+  }
+}
+
+void EmbeddingMatrix::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+std::span<float> EmbeddingMatrix::row(std::size_t i) {
+  if (i >= rows_) throw std::out_of_range("EmbeddingMatrix::row");
+  return std::span<float>(data_.data() + i * dim_, dim_);
+}
+
+std::span<const float> EmbeddingMatrix::row(std::size_t i) const {
+  if (i >= rows_) throw std::out_of_range("EmbeddingMatrix::row");
+  return std::span<const float>(data_.data() + i * dim_, dim_);
+}
+
+void EmbeddingMatrix::save(std::ostream& os) const {
+  auto put_u64 = [&os](std::uint64_t v) {
+    os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  std::uint32_t magic = kMagic;
+  os.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  put_u64(rows_);
+  put_u64(dim_);
+  os.write(reinterpret_cast<const char*>(data_.data()),
+           static_cast<std::streamsize>(data_.size() * sizeof(float)));
+  if (!os) throw std::runtime_error("EmbeddingMatrix::save: write failed");
+}
+
+EmbeddingMatrix EmbeddingMatrix::load(std::istream& is) {
+  std::uint32_t magic = 0;
+  is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!is || magic != kMagic) {
+    throw std::runtime_error("EmbeddingMatrix::load: bad magic");
+  }
+  std::uint64_t rows = 0;
+  std::uint64_t dim = 0;
+  is.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+  is.read(reinterpret_cast<char*>(&dim), sizeof(dim));
+  if (!is || dim == 0) {
+    throw std::runtime_error("EmbeddingMatrix::load: bad header");
+  }
+  EmbeddingMatrix m(static_cast<std::size_t>(rows),
+                    static_cast<std::size_t>(dim));
+  is.read(reinterpret_cast<char*>(m.data_.data()),
+          static_cast<std::streamsize>(m.data_.size() * sizeof(float)));
+  if (!is) throw std::runtime_error("EmbeddingMatrix::load: truncated data");
+  return m;
+}
+
+bool EmbeddingMatrix::operator==(const EmbeddingMatrix& other) const {
+  return rows_ == other.rows_ && dim_ == other.dim_ && data_ == other.data_;
+}
+
+}  // namespace netobs::embedding

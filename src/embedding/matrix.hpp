@@ -1,0 +1,51 @@
+// Row-major dense embedding matrix with binary (de)serialisation.
+//
+// Two of these make up a trained SKIPGRAM model: the "central" matrix W and
+// the "context" matrix W' of Section 4.1 (a hostname h's embedding is
+// h = one_hot(h) W). Rows are contiguous so training updates and kNN scans
+// stay cache-friendly.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace netobs::embedding {
+
+class EmbeddingMatrix {
+ public:
+  EmbeddingMatrix() = default;
+  EmbeddingMatrix(std::size_t rows, std::size_t dim);
+
+  /// word2vec initialisation: uniform in [-0.5/dim, 0.5/dim).
+  void init_uniform(util::Pcg32& rng);
+
+  void fill(float value);
+
+  std::span<float> row(std::size_t i);
+  std::span<const float> row(std::size_t i) const;
+
+  std::size_t rows() const { return rows_; }
+  std::size_t dim() const { return dim_; }
+
+  /// Raw storage (rows * dim floats, row-major).
+  std::span<const float> data() const { return data_; }
+  std::span<float> data() { return data_; }
+
+  /// Binary serialisation: magic, rows, dim, payload. Throws
+  /// std::runtime_error on I/O failure or bad magic.
+  void save(std::ostream& os) const;
+  static EmbeddingMatrix load(std::istream& is);
+
+  bool operator==(const EmbeddingMatrix& other) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t dim_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace netobs::embedding

@@ -1,0 +1,284 @@
+#include "embedding/sgns.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <thread>
+
+#include "util/vec_math.hpp"
+
+namespace netobs::embedding {
+
+HostEmbedding::HostEmbedding(std::vector<std::string> tokens,
+                             EmbeddingMatrix central, EmbeddingMatrix context)
+    : tokens_(std::move(tokens)),
+      central_(std::move(central)),
+      context_(std::move(context)) {
+  if (central_.rows() != tokens_.size() ||
+      context_.rows() != tokens_.size() ||
+      central_.dim() != context_.dim()) {
+    throw std::invalid_argument("HostEmbedding: shape mismatch");
+  }
+  index_.reserve(tokens_.size());
+  for (std::size_t i = 0; i < tokens_.size(); ++i) {
+    index_.emplace(tokens_[i], static_cast<TokenId>(i));
+  }
+}
+
+std::optional<TokenId> HostEmbedding::id_of(const std::string& host) const {
+  auto it = index_.find(host);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::span<const float>> HostEmbedding::vector_of(
+    const std::string& host) const {
+  auto id = id_of(host);
+  if (!id) return std::nullopt;
+  return vector_of(*id);
+}
+
+void HostEmbedding::save(std::ostream& os) const {
+  std::uint64_t n = tokens_.size();
+  os.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  for (const auto& t : tokens_) {
+    std::uint32_t len = static_cast<std::uint32_t>(t.size());
+    os.write(reinterpret_cast<const char*>(&len), sizeof(len));
+    os.write(t.data(), static_cast<std::streamsize>(t.size()));
+  }
+  central_.save(os);
+  context_.save(os);
+  if (!os) throw std::runtime_error("HostEmbedding::save: write failed");
+}
+
+HostEmbedding HostEmbedding::load(std::istream& is) {
+  std::uint64_t n = 0;
+  is.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!is) throw std::runtime_error("HostEmbedding::load: bad header");
+  std::vector<std::string> tokens;
+  tokens.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint32_t len = 0;
+    is.read(reinterpret_cast<char*>(&len), sizeof(len));
+    if (!is || len > 253) {
+      throw std::runtime_error("HostEmbedding::load: bad token length");
+    }
+    std::string t(len, '\0');
+    is.read(t.data(), len);
+    tokens.push_back(std::move(t));
+  }
+  EmbeddingMatrix central = EmbeddingMatrix::load(is);
+  EmbeddingMatrix context = EmbeddingMatrix::load(is);
+  return HostEmbedding(std::move(tokens), std::move(central),
+                       std::move(context));
+}
+
+SgnsTrainer::SgnsTrainer(SgnsParams params, VocabularyParams vocab_params)
+    : params_(params), vocab_params_(vocab_params) {
+  if (params_.dim == 0) throw std::invalid_argument("SgnsTrainer: dim == 0");
+  if (params_.context_radius < 1) {
+    throw std::invalid_argument("SgnsTrainer: context_radius < 1");
+  }
+  if (params_.negatives < 1) {
+    throw std::invalid_argument("SgnsTrainer: negatives < 1");
+  }
+  if (params_.epochs < 1) throw std::invalid_argument("SgnsTrainer: epochs < 1");
+}
+
+namespace {
+
+/// One (input, target) SGD step with K negatives. Returns the pair loss.
+/// The accumulated input gradient is left in `grad_input` (already scaled
+/// by lr); the caller applies it to the input row(s) — one row for
+/// SKIPGRAM, every context row for CBOW.
+double sgns_step(std::span<const float> input, TokenId target_token,
+                 const Vocabulary& vocab, EmbeddingMatrix& ctx_matrix,
+                 int negatives, float lr, util::Pcg32& rng,
+                 std::span<float> grad_input) {
+  const auto& sig = util::shared_sigmoid_table();
+  std::fill(grad_input.begin(), grad_input.end(), 0.0F);
+  double loss = 0.0;
+
+  auto update_output = [&](TokenId target, float label) {
+    std::span<float> out_row = ctx_matrix.row(target);
+    float score = util::dot(input, out_row);
+    float pred = sig(score);
+    float g = (label - pred) * lr;
+    // Accumulate gradient wrt the input before mutating the output row.
+    util::axpy(g, out_row, grad_input);
+    util::axpy(g, input, out_row);
+    // Numerically-safe loss for reporting.
+    float p = label > 0.5F ? pred : 1.0F - pred;
+    loss += -std::log(std::max(p, 1e-7F));
+  };
+
+  update_output(target_token, 1.0F);
+  for (int k = 0; k < negatives; ++k) {
+    TokenId neg = vocab.sample_negative(rng);
+    if (neg == target_token) continue;  // word2vec skips accidental hits
+    update_output(neg, 0.0F);
+  }
+  return loss;
+}
+
+}  // namespace
+
+HostEmbedding SgnsTrainer::fit(const std::vector<Sequence>& corpus) {
+  return train(corpus, nullptr);
+}
+
+HostEmbedding SgnsTrainer::fit_warm(const std::vector<Sequence>& corpus,
+                                    const HostEmbedding& previous) {
+  return train(corpus, &previous);
+}
+
+HostEmbedding SgnsTrainer::train(const std::vector<Sequence>& corpus,
+                                 const HostEmbedding* previous) {
+  Vocabulary vocab(corpus, vocab_params_);
+  util::Pcg32 master(params_.seed, 0x5e'ed);
+
+  EmbeddingMatrix central(vocab.size(), params_.dim);
+  EmbeddingMatrix context(vocab.size(), params_.dim);
+  central.init_uniform(master);
+  // Context matrix starts at zero, as in word2vec.
+
+  if (previous != nullptr) {
+    if (previous->dim() != params_.dim) {
+      throw std::invalid_argument(
+          "SgnsTrainer::fit_warm: dimension mismatch with previous model");
+    }
+    for (std::size_t i = 0; i < vocab.size(); ++i) {
+      auto old_id = previous->id_of(vocab.token(static_cast<TokenId>(i)));
+      if (!old_id) continue;
+      auto src_c = previous->vector_of(*old_id);
+      auto src_x = previous->context_vector_of(*old_id);
+      std::copy(src_c.begin(), src_c.end(), central.row(i).begin());
+      std::copy(src_x.begin(), src_x.end(), context.row(i).begin());
+    }
+  }
+
+  // Encode once; the per-epoch subsampling re-samples from these.
+  std::vector<std::vector<TokenId>> encoded;
+  encoded.reserve(corpus.size());
+  std::uint64_t total_tokens = 0;
+  for (const auto& seq : corpus) {
+    auto ids = vocab.encode(seq);
+    total_tokens += ids.size();
+    encoded.push_back(std::move(ids));
+  }
+  if (total_tokens == 0) {
+    throw std::invalid_argument("SgnsTrainer::fit: corpus encodes to nothing");
+  }
+
+  const std::uint64_t planned =
+      total_tokens * static_cast<std::uint64_t>(params_.epochs);
+  std::atomic<std::uint64_t> processed{0};
+
+  epoch_losses_.clear();
+  std::size_t threads = std::max<std::size_t>(1, params_.threads);
+
+  for (int epoch = 0; epoch < params_.epochs; ++epoch) {
+    std::atomic<double> epoch_loss{0.0};
+    std::atomic<std::uint64_t> epoch_pairs{0};
+
+    auto worker = [&](std::size_t worker_idx) {
+      util::Pcg32 rng(params_.seed,
+                      util::mix64((static_cast<std::uint64_t>(epoch) << 16) ^
+                                  worker_idx ^ 0xABCDULL));
+      std::vector<float> grad(params_.dim, 0.0F);
+      std::vector<float> cbow_input(params_.dim, 0.0F);
+      std::vector<TokenId> kept;
+      double local_loss = 0.0;
+      std::uint64_t local_pairs = 0;
+      std::uint64_t local_tokens = 0;
+
+      for (std::size_t s = worker_idx; s < encoded.size(); s += threads) {
+        const auto& seq = encoded[s];
+        kept.clear();
+        for (TokenId id : seq) {
+          if (rng.next_double() < vocab.keep_probability(id)) {
+            kept.push_back(id);
+          }
+        }
+        local_tokens += seq.size();
+        if (kept.size() < 2) continue;
+
+        for (std::size_t c = 0; c < kept.size(); ++c) {
+          int radius = params_.context_radius;
+          if (params_.dynamic_window) {
+            radius = 1 + static_cast<int>(rng.next_below(
+                             static_cast<std::uint32_t>(radius)));
+          }
+          // Linear LR decay over all planned token visits.
+          std::uint64_t seen =
+              processed.load(std::memory_order_relaxed) + local_tokens;
+          float progress =
+              static_cast<float>(seen) / static_cast<float>(planned);
+          float lr = std::max(params_.lr_min,
+                              params_.lr_start * (1.0F - progress));
+
+          std::size_t lo = c >= static_cast<std::size_t>(radius)
+                               ? c - static_cast<std::size_t>(radius)
+                               : 0;
+          std::size_t hi = std::min(kept.size() - 1,
+                                    c + static_cast<std::size_t>(radius));
+
+          if (params_.mode == SgnsMode::kSkipGram) {
+            for (std::size_t j = lo; j <= hi; ++j) {
+              if (j == c) continue;
+              std::span<float> center_row = central.row(kept[c]);
+              local_loss += sgns_step(center_row, kept[j], vocab, context,
+                                      params_.negatives, lr, rng, grad);
+              util::axpy(1.0F, grad, center_row);
+              ++local_pairs;
+            }
+          } else {
+            // CBOW: averaged context predicts the center (cbow_mean=1).
+            if (hi == lo) continue;  // no context
+            std::fill(cbow_input.begin(), cbow_input.end(), 0.0F);
+            float count = 0.0F;
+            for (std::size_t j = lo; j <= hi; ++j) {
+              if (j == c) continue;
+              util::axpy(1.0F, central.row(kept[j]), cbow_input);
+              count += 1.0F;
+            }
+            if (count == 0.0F) continue;
+            util::scale(std::span<float>(cbow_input), 1.0F / count);
+            local_loss += sgns_step(cbow_input, kept[c], vocab, context,
+                                    params_.negatives, lr, rng, grad);
+            for (std::size_t j = lo; j <= hi; ++j) {
+              if (j == c) continue;
+              util::axpy(1.0F, grad, central.row(kept[j]));
+            }
+            ++local_pairs;
+          }
+        }
+        // Publish progress in batches to keep the atomic cheap.
+        processed.fetch_add(local_tokens, std::memory_order_relaxed);
+        local_tokens = 0;
+      }
+      processed.fetch_add(local_tokens, std::memory_order_relaxed);
+      epoch_loss.fetch_add(local_loss);
+      epoch_pairs.fetch_add(local_pairs);
+    };
+
+    if (threads == 1) {
+      worker(0);
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(threads);
+      for (std::size_t w = 0; w < threads; ++w) pool.emplace_back(worker, w);
+      for (auto& t : pool) t.join();
+    }
+
+    std::uint64_t pairs = epoch_pairs.load();
+    epoch_losses_.push_back(pairs == 0 ? 0.0 : epoch_loss.load() /
+                                                   static_cast<double>(pairs));
+  }
+
+  return HostEmbedding(vocab.tokens(), std::move(central), std::move(context));
+}
+
+}  // namespace netobs::embedding

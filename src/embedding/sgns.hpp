@@ -1,0 +1,126 @@
+// SKIPGRAM with negative sampling (SGNS) over hostname sequences — the
+// representation-learning algorithm of Section 4.1.
+//
+// For every window of size 2m+1 moved over a user's hostname sequence the
+// trainer minimises the log loss of Eq. 2:
+//
+//   sum_j [ log sigma(h_c . h'_ctx) + K * E_{h_k ~ P_D} log sigma(-h_c . h'_k) ]
+//
+// with h from the central matrix W, h' from the context matrix W', and
+// negatives drawn from the empirical unigram^0.75 distribution. All
+// parameters are learned with SGD (linearly decaying rate, word2vec
+// schedule). Hyperparameter defaults follow the paper's choice of GENSIM
+// defaults: d=100, window 5 (m=2), K=5.
+//
+// Training is "fully parallelizable" (Section 4.1): sequences are sharded
+// across threads which update the shared matrices lock-free (Hogwild), the
+// standard word2vec trick.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "embedding/matrix.hpp"
+#include "embedding/vocabulary.hpp"
+
+namespace netobs::embedding {
+
+/// Training objective: the paper uses SKIPGRAM; CBOW (predict the center
+/// from the averaged context) is provided as the standard ablation.
+enum class SgnsMode { kSkipGram, kCbow };
+
+struct SgnsParams {
+  std::size_t dim = 100;     ///< d, embedding dimensionality
+  int context_radius = 2;    ///< m; window size is 2m+1 = 5
+  int negatives = 5;         ///< K negative samples per (center, context)
+  int epochs = 5;
+  float lr_start = 0.025F;
+  float lr_min = 1e-4F;
+  /// word2vec-style dynamic windows: per center, the effective radius is
+  /// uniform in [1, context_radius], weighting near neighbours higher.
+  bool dynamic_window = true;
+  SgnsMode mode = SgnsMode::kSkipGram;
+  std::size_t threads = 1;
+  std::uint64_t seed = 1;
+};
+
+/// A trained hostname embedding model: token index + the two matrices.
+class HostEmbedding {
+ public:
+  HostEmbedding() = default;
+  HostEmbedding(std::vector<std::string> tokens, EmbeddingMatrix central,
+                EmbeddingMatrix context);
+
+  std::size_t size() const { return tokens_.size(); }
+  std::size_t dim() const { return central_.dim(); }
+
+  std::optional<TokenId> id_of(const std::string& host) const;
+  const std::string& token(TokenId id) const { return tokens_.at(id); }
+  const std::vector<std::string>& tokens() const { return tokens_; }
+
+  /// Central representation h (the one used for profiling).
+  std::span<const float> vector_of(TokenId id) const {
+    return central_.row(id);
+  }
+  /// Central representation by hostname; nullopt when out of vocabulary.
+  std::optional<std::span<const float>> vector_of(
+      const std::string& host) const;
+
+  /// Context representation h'.
+  std::span<const float> context_vector_of(TokenId id) const {
+    return context_.row(id);
+  }
+
+  const EmbeddingMatrix& central() const { return central_; }
+  const EmbeddingMatrix& context() const { return context_; }
+
+  /// Binary round-trip (token table + both matrices).
+  void save(std::ostream& os) const;
+  static HostEmbedding load(std::istream& is);
+
+ private:
+  std::vector<std::string> tokens_;
+  std::unordered_map<std::string, TokenId> index_;
+  EmbeddingMatrix central_;
+  EmbeddingMatrix context_;
+};
+
+/// SGD trainer producing HostEmbeddings from hostname sequences.
+class SgnsTrainer {
+ public:
+  explicit SgnsTrainer(SgnsParams params = SgnsParams(),
+                       VocabularyParams vocab_params = VocabularyParams());
+
+  /// Trains a fresh model on the corpus (one Sequence per user-session or
+  /// user-day, as in Section 5.4's daily retraining).
+  HostEmbedding fit(const std::vector<Sequence>& corpus);
+
+  /// Warm-start training: rows of hosts also present in `previous` are
+  /// initialised from that model before training (Section 5.4 notes the
+  /// training window is configurable; warm-starting carries knowledge of
+  /// hosts that are sparse today but were seen before). New hosts are
+  /// initialised as in fit().
+  HostEmbedding fit_warm(const std::vector<Sequence>& corpus,
+                         const HostEmbedding& previous);
+
+  /// Mean per-pair loss of each epoch of the last fit() call; strictly
+  /// positive, expected to decrease on learnable data.
+  const std::vector<double>& epoch_losses() const { return epoch_losses_; }
+
+  const SgnsParams& params() const { return params_; }
+
+ private:
+  HostEmbedding train(const std::vector<Sequence>& corpus,
+                      const HostEmbedding* previous);
+
+  SgnsParams params_;
+  VocabularyParams vocab_params_;
+  std::vector<double> epoch_losses_;
+};
+
+}  // namespace netobs::embedding

@@ -1,0 +1,81 @@
+#include "embedding/vocabulary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace netobs::embedding {
+
+Vocabulary::Vocabulary(const std::vector<Sequence>& corpus,
+                       VocabularyParams params) {
+  std::unordered_map<std::string, std::uint64_t> raw_counts;
+  for (const auto& seq : corpus) {
+    for (const auto& host : seq) ++raw_counts[host];
+  }
+
+  // Keep tokens meeting min_count, most frequent first (id 0 = most
+  // frequent, matching word2vec's layout).
+  std::vector<std::pair<std::string, std::uint64_t>> kept;
+  kept.reserve(raw_counts.size());
+  for (auto& [host, count] : raw_counts) {
+    if (count >= params.min_count) kept.emplace_back(host, count);
+  }
+  std::sort(kept.begin(), kept.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;  // deterministic tie-break
+  });
+
+  if (kept.empty()) {
+    throw std::invalid_argument(
+        "Vocabulary: no token meets min_count; lower VocabularyParams::"
+        "min_count or supply more data");
+  }
+
+  tokens_.reserve(kept.size());
+  counts_.reserve(kept.size());
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    tokens_.push_back(kept[i].first);
+    counts_.push_back(kept[i].second);
+    index_.emplace(kept[i].first, static_cast<TokenId>(i));
+    total_count_ += kept[i].second;
+  }
+
+  // Negative sampling distribution: count^ns_exponent.
+  std::vector<double> ns_weights(tokens_.size());
+  for (std::size_t i = 0; i < tokens_.size(); ++i) {
+    ns_weights[i] =
+        std::pow(static_cast<double>(counts_[i]), params.ns_exponent);
+  }
+  negative_table_ = util::AliasSampler(ns_weights);
+
+  // Subsampling keep-probabilities (word2vec formula):
+  //   keep(w) = (sqrt(f/t) + 1) * t / f, clamped to [0,1],
+  // where f is the token's corpus frequency and t the threshold.
+  keep_prob_.assign(tokens_.size(), 1.0);
+  if (params.subsample_threshold > 0.0) {
+    double t = params.subsample_threshold;
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      double f = static_cast<double>(counts_[i]) /
+                 static_cast<double>(total_count_);
+      double keep = (std::sqrt(f / t) + 1.0) * t / f;
+      keep_prob_[i] = std::min(1.0, keep);
+    }
+  }
+}
+
+std::optional<TokenId> Vocabulary::id_of(const std::string& host) const {
+  auto it = index_.find(host);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<TokenId> Vocabulary::encode(const Sequence& seq) const {
+  std::vector<TokenId> out;
+  out.reserve(seq.size());
+  for (const auto& host : seq) {
+    if (auto id = id_of(host)) out.push_back(*id);
+  }
+  return out;
+}
+
+}  // namespace netobs::embedding

@@ -1,0 +1,72 @@
+// Hostname vocabulary for the SKIPGRAM model.
+//
+// Maps hostnames to dense token ids, tracks request counts, filters rare
+// hostnames (min_count), and precomputes the two distributions SGNS needs:
+//   - the unigram^0.75 negative-sampling distribution P_D of Eq. 2
+//     (Mikolov et al. 2013),
+//   - the frequent-token subsampling keep-probabilities (GENSIM's
+//     `sample=1e-3` default), which downsample google.com-scale hostnames
+//     that carry little profiling information (Section 6.3 makes the same
+//     observation about popular hosts).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/alias_sampler.hpp"
+#include "util/rng.hpp"
+
+namespace netobs::embedding {
+
+using TokenId = std::uint32_t;
+using Sequence = std::vector<std::string>;
+
+struct VocabularyParams {
+  std::size_t min_count = 5;       ///< drop hostnames seen fewer times
+  double ns_exponent = 0.75;       ///< negative-sampling distribution power
+  double subsample_threshold = 1e-3;  ///< GENSIM `sample`; 0 disables
+};
+
+class Vocabulary {
+ public:
+  /// Builds the vocabulary from hostname sequences.
+  Vocabulary(const std::vector<Sequence>& corpus,
+             VocabularyParams params = VocabularyParams());
+
+  std::size_t size() const { return tokens_.size(); }
+
+  /// Id of a hostname, or nullopt when unknown/pruned.
+  std::optional<TokenId> id_of(const std::string& host) const;
+
+  const std::string& token(TokenId id) const { return tokens_.at(id); }
+  std::uint64_t count(TokenId id) const { return counts_.at(id); }
+  std::uint64_t total_count() const { return total_count_; }
+
+  /// Draws a negative sample from the unigram^ns_exponent distribution.
+  TokenId sample_negative(util::Pcg32& rng) const {
+    return static_cast<TokenId>(negative_table_.sample(rng));
+  }
+
+  /// Probability of keeping an occurrence of `id` under frequent-token
+  /// subsampling; 1.0 when subsampling is disabled.
+  double keep_probability(TokenId id) const { return keep_prob_.at(id); }
+
+  /// Encodes a sequence, dropping unknown tokens (no subsampling here; the
+  /// trainer applies it per-epoch so every epoch sees a different sample).
+  std::vector<TokenId> encode(const Sequence& seq) const;
+
+  const std::vector<std::string>& tokens() const { return tokens_; }
+
+ private:
+  std::vector<std::string> tokens_;
+  std::vector<std::uint64_t> counts_;
+  std::unordered_map<std::string, TokenId> index_;
+  std::vector<double> keep_prob_;
+  util::AliasSampler negative_table_;
+  std::uint64_t total_count_ = 0;
+};
+
+}  // namespace netobs::embedding

@@ -1,0 +1,78 @@
+#include "eval/diversity.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace netobs::eval {
+
+double DiversityResult::items_at_user_fraction(std::size_t core_index,
+                                               double fraction) const {
+  const auto& curve = core_index == static_cast<std::size_t>(-1) ||
+                              core_index >= cores.size()
+                          ? all_ccdf
+                          : cores[core_index].outside_ccdf;
+  return util::ccdf_value_at_fraction(curve, fraction);
+}
+
+DiversityResult analyze_diversity(
+    const std::vector<std::vector<std::uint64_t>>& per_user_items,
+    std::vector<double> thresholds) {
+  if (per_user_items.empty()) {
+    throw std::invalid_argument("analyze_diversity: no users");
+  }
+  std::sort(thresholds.begin(), thresholds.end(), std::greater<>());
+
+  // Deduplicate per user and count, per item, how many users touched it.
+  std::vector<std::unordered_set<std::uint64_t>> user_sets;
+  user_sets.reserve(per_user_items.size());
+  std::unordered_map<std::uint64_t, std::size_t> touch_count;
+  for (const auto& items : per_user_items) {
+    std::unordered_set<std::uint64_t> set(items.begin(), items.end());
+    for (std::uint64_t item : set) ++touch_count[item];
+    user_sets.push_back(std::move(set));
+  }
+  auto users = static_cast<double>(user_sets.size());
+
+  DiversityResult result;
+  result.distinct_items = touch_count.size();
+
+  std::vector<double> totals;
+  totals.reserve(user_sets.size());
+  for (const auto& set : user_sets) {
+    totals.push_back(static_cast<double>(set.size()));
+  }
+  result.all_ccdf = util::ccdf(totals);
+
+  for (double threshold : thresholds) {
+    CoreResult core;
+    core.threshold = threshold;
+    std::unordered_set<std::uint64_t> core_set;
+    for (const auto& [item, count] : touch_count) {
+      if (static_cast<double>(count) / users >= threshold) {
+        core_set.insert(item);
+        core.members.push_back(item);
+      }
+    }
+    std::sort(core.members.begin(), core.members.end());
+
+    std::vector<double> outside;
+    outside.reserve(user_sets.size());
+    std::size_t zero_outside = 0;
+    for (const auto& set : user_sets) {
+      std::size_t n = 0;
+      for (std::uint64_t item : set) {
+        if (!core_set.contains(item)) ++n;
+      }
+      if (n == 0) ++zero_outside;
+      outside.push_back(static_cast<double>(n));
+    }
+    core.outside_ccdf = util::ccdf(outside);
+    core.users_with_zero_outside = static_cast<double>(zero_outside) / users;
+    result.cores.push_back(std::move(core));
+  }
+  return result;
+}
+
+}  // namespace netobs::eval

@@ -1,0 +1,42 @@
+// User-diversity analysis — Figures 2 and 3.
+//
+// "Core XX" is the set of items (hostnames in Fig. 2, categories in Fig. 3)
+// touched by at least XX% of the users; items inside a core are background
+// noise, items outside are what lets a profiler tell users apart. The
+// analysis reports each core's size and the CCDF of the per-user count of
+// items outside the core, plus the CCDF of total items ("All Domains").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace netobs::eval {
+
+struct CoreResult {
+  double threshold = 0.0;              ///< e.g. 0.8 for "Core 80"
+  std::vector<std::uint64_t> members;  ///< items in the core
+  std::vector<util::CcdfPoint> outside_ccdf;
+  double users_with_zero_outside = 0.0;  ///< fraction of users (Section 6.1)
+};
+
+struct DiversityResult {
+  std::size_t distinct_items = 0;
+  std::vector<util::CcdfPoint> all_ccdf;  ///< per-user total item counts
+  std::vector<CoreResult> cores;
+
+  /// Reads "at least `fraction` of users touch >= X items outside core k";
+  /// k == SIZE_MAX reads the all-items curve.
+  double items_at_user_fraction(std::size_t core_index,
+                                double fraction) const;
+};
+
+/// per_user_items[u] = distinct item ids user u touched over the period
+/// (duplicates tolerated). thresholds default to the paper's
+/// {0.8, 0.6, 0.4, 0.2}.
+DiversityResult analyze_diversity(
+    const std::vector<std::vector<std::uint64_t>>& per_user_items,
+    std::vector<double> thresholds = {0.8, 0.6, 0.4, 0.2});
+
+}  // namespace netobs::eval

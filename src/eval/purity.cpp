@@ -1,0 +1,105 @@
+#include "eval/purity.hpp"
+
+#include <unordered_map>
+
+namespace netobs::eval {
+
+PurityResult neighbor_topic_purity(
+    const embedding::HostEmbedding& embedding,
+    const embedding::CosineKnnIndex& index,
+    const std::function<std::optional<std::size_t>(const std::string&)>&
+        topic_of,
+    std::size_t k) {
+  PurityResult result;
+  result.neighbors = k;
+
+  // Ground-truth topics per token (cached; skip hosts without one).
+  std::vector<std::optional<std::size_t>> topic(embedding.size());
+  std::unordered_map<std::size_t, std::size_t> topic_freq;
+  std::size_t with_topic = 0;
+  for (std::size_t i = 0; i < embedding.size(); ++i) {
+    topic[i] = topic_of(embedding.token(static_cast<embedding::TokenId>(i)));
+    if (topic[i]) {
+      ++topic_freq[*topic[i]];
+      ++with_topic;
+    }
+  }
+  if (with_topic < 2) return result;
+
+  double purity_sum = 0.0;
+  for (std::size_t i = 0; i < embedding.size(); ++i) {
+    if (!topic[i]) continue;
+    // Over-fetch: infrastructure neighbours don't count toward k.
+    auto neighbors =
+        index.nearest_to(static_cast<embedding::TokenId>(i), k * 4 + 8);
+    std::size_t considered = 0;
+    std::size_t same = 0;
+    for (const auto& nb : neighbors) {
+      if (!topic[nb.id]) continue;
+      ++considered;
+      if (*topic[nb.id] == *topic[i]) ++same;
+      if (considered == k) break;
+    }
+    if (considered == 0) continue;
+    purity_sum += static_cast<double>(same) / static_cast<double>(considered);
+    ++result.scored_hosts;
+  }
+  if (result.scored_hosts > 0) {
+    result.mean_purity = purity_sum / static_cast<double>(result.scored_hosts);
+  }
+
+  // Random baseline: probability two topic-bearing hosts share a topic.
+  double baseline = 0.0;
+  for (const auto& [t, freq] : topic_freq) {
+    double f = static_cast<double>(freq) / static_cast<double>(with_topic);
+    baseline += f * f;
+  }
+  result.random_baseline = baseline;
+  return result;
+}
+
+AttachmentResult satellite_attachment(
+    const embedding::HostEmbedding& embedding,
+    const embedding::CosineKnnIndex& index,
+    const std::function<std::optional<std::string>(const std::string&)>&
+        owner_of,
+    const std::function<std::optional<std::size_t>(const std::string&)>&
+        topic_of,
+    std::size_t probe_neighbors) {
+  AttachmentResult result;
+  std::size_t owner_hits = 0;
+  std::size_t topic_hits = 0;
+
+  for (std::size_t i = 0; i < embedding.size(); ++i) {
+    const std::string& host =
+        embedding.token(static_cast<embedding::TokenId>(i));
+    auto owner = owner_of(host);
+    if (!owner) continue;
+    auto owner_topic = topic_of(*owner);
+
+    auto neighbors =
+        index.nearest_to(static_cast<embedding::TokenId>(i), probe_neighbors);
+    // First *site* neighbour (one with a ground-truth topic).
+    for (const auto& nb : neighbors) {
+      const std::string& nb_host = embedding.token(nb.id);
+      auto nb_topic = topic_of(nb_host);
+      if (!nb_topic) continue;
+      ++result.scored_satellites;
+      if (nb_host == *owner) {
+        ++owner_hits;
+        ++topic_hits;
+      } else if (owner_topic && *nb_topic == *owner_topic) {
+        ++topic_hits;
+      }
+      break;
+    }
+  }
+  if (result.scored_satellites > 0) {
+    auto n = static_cast<double>(result.scored_satellites);
+    result.owner_top1 = static_cast<double>(owner_hits) / n;
+    result.same_topic_top1 = static_cast<double>(topic_hits) / n;
+  }
+  return result;
+}
+
+}  // namespace netobs::eval

@@ -1,0 +1,58 @@
+// Embedding-quality scoring — quantifies what Figures 4-5 show visually.
+//
+// The paper's qualitative claim is that SKIPGRAM places same-topic
+// hostnames near each other (porn, sport-streaming and travel clusters) and
+// pulls unlabeled satellites next to their owner sites. Two scores make
+// that testable:
+//   - neighbour topic purity: the average fraction, over hosts with a known
+//     ground-truth topic, of their k nearest embedding neighbours sharing
+//     that topic (random baseline = topic frequency),
+//   - satellite attachment: the fraction of CDN/API satellites whose
+//     nearest *site* neighbour is their actual owner (or a same-topic site).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "embedding/knn.hpp"
+#include "embedding/sgns.hpp"
+
+namespace netobs::eval {
+
+struct PurityResult {
+  double mean_purity = 0.0;      ///< in [0,1]
+  double random_baseline = 0.0;  ///< expected purity of a random embedding
+  std::size_t scored_hosts = 0;
+  std::size_t neighbors = 0;  ///< k used
+};
+
+/// topic_of(host) -> ground-truth topic, or nullopt for infrastructure
+/// hosts. Hosts without topics are skipped both as queries and neighbours.
+PurityResult neighbor_topic_purity(
+    const embedding::HostEmbedding& embedding,
+    const embedding::CosineKnnIndex& index,
+    const std::function<std::optional<std::size_t>(const std::string&)>&
+        topic_of,
+    std::size_t k = 10);
+
+struct AttachmentResult {
+  double owner_top1 = 0.0;       ///< nearest site is the owner
+  double same_topic_top1 = 0.0;  ///< nearest site shares the owner's topic
+  std::size_t scored_satellites = 0;
+};
+
+/// owner_of(host) -> owner site hostname for satellites, nullopt otherwise;
+/// topic_of as above (used for the same-topic relaxation).
+AttachmentResult satellite_attachment(
+    const embedding::HostEmbedding& embedding,
+    const embedding::CosineKnnIndex& index,
+    const std::function<std::optional<std::string>(const std::string&)>&
+        owner_of,
+    const std::function<std::optional<std::size_t>(const std::string&)>&
+        topic_of,
+    std::size_t probe_neighbors = 20);
+
+}  // namespace netobs::eval

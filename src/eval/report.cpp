@@ -1,0 +1,44 @@
+#include "eval/report.hpp"
+
+#include <algorithm>
+
+#include "util/string_util.hpp"
+
+namespace netobs::eval {
+
+std::vector<std::vector<double>> to_percentage_shares(
+    const std::vector<std::vector<double>>& counts) {
+  std::vector<std::vector<double>> shares = counts;
+  for (auto& day : shares) {
+    double total = 0.0;
+    for (double c : day) total += c;
+    if (total > 0.0) {
+      for (double& c : day) c = 100.0 * c / total;
+    }
+  }
+  return shares;
+}
+
+std::vector<std::pair<std::size_t, double>> mean_shares_descending(
+    const std::vector<std::vector<double>>& shares) {
+  std::vector<std::pair<std::size_t, double>> out;
+  if (shares.empty()) return out;
+  std::size_t topics = shares.front().size();
+  out.resize(topics);
+  for (std::size_t t = 0; t < topics; ++t) {
+    double sum = 0.0;
+    for (const auto& day : shares) sum += day[t];
+    out[t] = {t, sum / static_cast<double>(shares.size())};
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+std::string format_ctr(double ctr) {
+  return util::format("%.3f%%", ctr * 100.0);
+}
+
+}  // namespace netobs::eval

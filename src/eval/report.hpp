@@ -1,0 +1,22 @@
+// Small helpers shared by the benchmark binaries when rendering the
+// paper's tables and figure data as text.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace netobs::eval {
+
+/// Converts per-day topic counts to per-day percentage shares (rows summing
+/// to 100 where a day has any counts).
+std::vector<std::vector<double>> to_percentage_shares(
+    const std::vector<std::vector<double>>& counts);
+
+/// Mean share per topic across days, descending; returns (topic, share%).
+std::vector<std::pair<std::size_t, double>> mean_shares_descending(
+    const std::vector<std::vector<double>>& shares);
+
+/// Formats a CTR as a percentage string, e.g. 0.00217 -> "0.217%".
+std::string format_ctr(double ctr);
+
+}  // namespace netobs::eval

@@ -1,0 +1,116 @@
+#include "filter/blocklist.hpp"
+
+#include "util/string_util.hpp"
+
+namespace netobs::filter {
+
+namespace {
+
+/// True for dotted entries whose labels are all numeric ("0.0.0.0"): those
+/// are IP fields or sinkhole targets, never blockable hostnames.
+bool looks_like_ip(std::string_view s) {
+  bool any = false;
+  for (char c : s) {
+    if (c == '.') continue;
+    if (c < '0' || c > '9') return false;
+    any = true;
+  }
+  return any;
+}
+
+}  // namespace
+
+void DomainSet::add(std::string_view domain) {
+  std::string d = util::to_lower(util::trim(domain));
+  if (!util::is_valid_hostname(d)) {
+    ++rejected_;
+    return;
+  }
+  domains_.insert(std::move(d));
+}
+
+bool DomainSet::matches(std::string_view host) const {
+  if (domains_.empty() || host.empty()) return false;
+  // Probe the host and every parent suffix: "a.b.c.d" probes itself,
+  // "b.c.d", "c.d". Single labels are never stored (invalid hostnames).
+  std::string_view probe = host;
+  for (;;) {
+    if (domains_.contains(std::string(probe))) return true;
+    std::size_t dot = probe.find('.');
+    if (dot == std::string_view::npos) return false;
+    probe.remove_prefix(dot + 1);
+    if (probe.find('.') == std::string_view::npos) return false;
+  }
+}
+
+std::vector<std::string> parse_hosts_file(std::string_view content) {
+  std::vector<std::string> out;
+  for (const auto& raw_line : util::split(content, '\n')) {
+    std::string_view line = util::trim(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+    // Strip trailing comments.
+    if (std::size_t hash = line.find('#'); hash != std::string_view::npos) {
+      line = util::trim(line.substr(0, hash));
+    }
+    auto tokens = util::split_nonempty(line, ' ');
+    // Tolerate tab-separated entries.
+    if (tokens.size() == 1 && tokens[0].find('\t') != std::string::npos) {
+      tokens = util::split_nonempty(tokens[0], '\t');
+    }
+    std::string domain;
+    if (tokens.size() >= 2) {
+      // "0.0.0.0 domain" / "127.0.0.1 domain" format.
+      domain = tokens[1];
+    } else if (tokens.size() == 1) {
+      domain = tokens[0];
+    } else {
+      continue;
+    }
+    domain = util::to_lower(domain);
+    if (domain == "localhost" || domain == "localhost.localdomain" ||
+        domain == "broadcasthost" || domain == "local") {
+      continue;
+    }
+    if (!looks_like_ip(domain) && util::is_valid_hostname(domain)) {
+      out.push_back(std::move(domain));
+    }
+  }
+  return out;
+}
+
+std::size_t Blocklist::add_hosts_file(const std::string& list_name,
+                                      std::string_view content) {
+  return add_domains(list_name, parse_hosts_file(content));
+}
+
+std::size_t Blocklist::add_domains(const std::string& list_name,
+                                   const std::vector<std::string>& domains) {
+  list_names_.push_back(list_name);
+  std::size_t before = set_.size();
+  for (const auto& d : domains) set_.add(d);
+  return set_.size() - before;
+}
+
+std::vector<std::string> Blocklist::filter(
+    const std::vector<std::string>& hosts) const {
+  std::vector<std::string> out;
+  out.reserve(hosts.size());
+  for (const auto& h : hosts) {
+    if (!is_blocked(h)) out.push_back(h);
+  }
+  return out;
+}
+
+std::string to_hosts_file(const std::vector<std::string>& domains) {
+  std::string out =
+      "# synthetic tracker blocklist (netobs)\n"
+      "127.0.0.1 localhost\n";
+  for (const auto& d : domains) {
+    out += "0.0.0.0 ";
+    out += d;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace netobs::filter

@@ -1,0 +1,194 @@
+#include "net/bytes.hpp"
+
+#include <cctype>
+
+namespace netobs::net {
+
+void ByteWriter::put_u8(std::uint8_t v) { buf_.push_back(v); }
+
+void ByteWriter::put_u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::put_u24(std::uint32_t v) {
+  if (v >= (1U << 24)) throw std::invalid_argument("put_u24: value too large");
+  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::put_u32(std::uint32_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::put_bytes(std::span<const std::uint8_t> bytes) {
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+void ByteWriter::put_bytes(std::string_view s) {
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+std::size_t ByteWriter::begin_length(int width) {
+  if (width < 1 || width > 3) {
+    throw std::invalid_argument("begin_length: width must be 1..3");
+  }
+  pending_.push_back({buf_.size(), width});
+  for (int i = 0; i < width; ++i) buf_.push_back(0);
+  return pending_.size() - 1;
+}
+
+void ByteWriter::patch_length(std::size_t token) {
+  if (token >= pending_.size()) {
+    throw std::invalid_argument("patch_length: bad token");
+  }
+  const Pending& p = pending_[token];
+  std::size_t body = buf_.size() - p.offset - static_cast<std::size_t>(p.width);
+  std::size_t max = (1ULL << (8 * p.width)) - 1;
+  if (body > max) throw std::length_error("patch_length: body too large");
+  for (int i = 0; i < p.width; ++i) {
+    buf_[p.offset + static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(
+        body >> (8 * (p.width - 1 - i)));
+  }
+}
+
+void ByteReader::require(std::size_t n) const {
+  if (remaining() < n) {
+    throw ParseError("truncated input: need " + std::to_string(n) +
+                     " bytes, have " + std::to_string(remaining()));
+  }
+}
+
+std::uint8_t ByteReader::get_u8() {
+  require(1);
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::get_u16() {
+  require(2);
+  std::uint16_t v = static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(data_[pos_]) << 8) | data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::get_u24() {
+  require(3);
+  std::uint32_t v = (static_cast<std::uint32_t>(data_[pos_]) << 16) |
+                    (static_cast<std::uint32_t>(data_[pos_ + 1]) << 8) |
+                    data_[pos_ + 2];
+  pos_ += 3;
+  return v;
+}
+
+std::uint32_t ByteReader::get_u32() {
+  require(4);
+  std::uint32_t v = (static_cast<std::uint32_t>(data_[pos_]) << 24) |
+                    (static_cast<std::uint32_t>(data_[pos_ + 1]) << 16) |
+                    (static_cast<std::uint32_t>(data_[pos_ + 2]) << 8) |
+                    data_[pos_ + 3];
+  pos_ += 4;
+  return v;
+}
+
+std::span<const std::uint8_t> ByteReader::get_bytes(std::size_t n) {
+  require(n);
+  auto out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+std::string ByteReader::get_string(std::size_t n) {
+  auto bytes = get_bytes(n);
+  return std::string(reinterpret_cast<const char*>(bytes.data()),
+                     bytes.size());
+}
+
+ByteReader ByteReader::sub_reader(std::size_t n) {
+  return ByteReader(get_bytes(n));
+}
+
+void ByteReader::skip(std::size_t n) {
+  require(n);
+  pos_ += n;
+}
+
+std::size_t varint_size(std::uint64_t value) {
+  if (value < (1ULL << 6)) return 1;
+  if (value < (1ULL << 14)) return 2;
+  if (value < (1ULL << 30)) return 4;
+  if (value < (1ULL << 62)) return 8;
+  throw std::invalid_argument("varint_size: value exceeds 62 bits");
+}
+
+void put_varint(ByteWriter& w, std::uint64_t value) {
+  switch (varint_size(value)) {
+    case 1:
+      w.put_u8(static_cast<std::uint8_t>(value));
+      break;
+    case 2:
+      w.put_u16(static_cast<std::uint16_t>(value | 0x4000));
+      break;
+    case 4:
+      w.put_u32(static_cast<std::uint32_t>(value | 0x80000000U));
+      break;
+    default:
+      w.put_u32(static_cast<std::uint32_t>((value >> 32) | 0xC0000000U));
+      w.put_u32(static_cast<std::uint32_t>(value));
+      break;
+  }
+}
+
+std::uint64_t get_varint(ByteReader& r) {
+  std::uint8_t first = r.get_u8();
+  int prefix = first >> 6;
+  std::uint64_t value = first & 0x3F;
+  int extra = (1 << prefix) - 1;
+  for (int i = 0; i < extra; ++i) {
+    value = (value << 8) | r.get_u8();
+  }
+  return value;
+}
+
+std::vector<std::uint8_t> from_hex(std::string_view hex) {
+  std::vector<std::uint8_t> out;
+  int hi = -1;
+  for (char c : hex) {
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) continue;
+    int nibble = 0;
+    if (c >= '0' && c <= '9') {
+      nibble = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      nibble = c - 'A' + 10;
+    } else {
+      throw std::invalid_argument("from_hex: bad character");
+    }
+    if (hi < 0) {
+      hi = nibble;
+    } else {
+      out.push_back(static_cast<std::uint8_t>((hi << 4) | nibble));
+      hi = -1;
+    }
+  }
+  if (hi >= 0) throw std::invalid_argument("from_hex: odd number of digits");
+  return out;
+}
+
+std::string to_hex(std::span<const std::uint8_t> bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (std::uint8_t b : bytes) {
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xF]);
+  }
+  return out;
+}
+
+}  // namespace netobs::net

@@ -1,0 +1,92 @@
+// Big-endian byte serialisation primitives used by the TLS, DNS and QUIC
+// codecs. Network protocols are big-endian throughout; all multi-byte
+// accessors here are network order.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace netobs::net {
+
+/// Thrown by ByteReader (and the protocol parsers built on it) when the
+/// input is truncated or structurally invalid.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Append-only big-endian serialiser.
+class ByteWriter {
+ public:
+  void put_u8(std::uint8_t v);
+  void put_u16(std::uint16_t v);
+  void put_u24(std::uint32_t v);  ///< low 24 bits; throws if v >= 2^24
+  void put_u32(std::uint32_t v);
+  void put_bytes(std::span<const std::uint8_t> bytes);
+  void put_bytes(std::string_view s);
+
+  /// Writes a placeholder length field of `width` bytes (1, 2 or 3) and
+  /// returns a token; call patch_length(token) after writing the body to
+  /// backfill the actual byte count. Mirrors TLS's nested length-prefixed
+  /// vectors.
+  std::size_t begin_length(int width);
+  void patch_length(std::size_t token);
+
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  struct Pending {
+    std::size_t offset;
+    int width;
+  };
+  std::vector<std::uint8_t> buf_;
+  std::vector<Pending> pending_;
+};
+
+/// Bounds-checked big-endian reader over a borrowed buffer.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t get_u8();
+  std::uint16_t get_u16();
+  std::uint32_t get_u24();
+  std::uint32_t get_u32();
+  std::span<const std::uint8_t> get_bytes(std::size_t n);
+  std::string get_string(std::size_t n);
+
+  /// Returns a sub-reader over the next n bytes and advances past them.
+  ByteReader sub_reader(std::size_t n);
+
+  void skip(std::size_t n);
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool empty() const { return remaining() == 0; }
+  std::size_t position() const { return pos_; }
+
+ private:
+  void require(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// QUIC variable-length integer (RFC 9000 §16): 2-bit length prefix,
+/// big-endian, max 62-bit values.
+void put_varint(ByteWriter& w, std::uint64_t value);
+std::uint64_t get_varint(ByteReader& r);
+/// Encoded size of a varint value.
+std::size_t varint_size(std::uint64_t value);
+
+/// Hex string ("16 03 01 ..." tolerant of whitespace) -> bytes, for fixtures.
+std::vector<std::uint8_t> from_hex(std::string_view hex);
+
+/// Bytes -> lowercase hex (no separators).
+std::string to_hex(std::span<const std::uint8_t> bytes);
+
+}  // namespace netobs::net

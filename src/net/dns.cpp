@@ -1,0 +1,108 @@
+#include "net/dns.hpp"
+
+#include "util/string_util.hpp"
+
+namespace netobs::net {
+
+std::vector<std::uint8_t> encode_dns_name(const std::string& name) {
+  if (!util::is_valid_hostname(name)) {
+    throw std::invalid_argument("encode_dns_name: invalid hostname '" + name +
+                                "'");
+  }
+  std::vector<std::uint8_t> out;
+  for (const auto& label : util::split(name, '.')) {
+    out.push_back(static_cast<std::uint8_t>(label.size()));
+    out.insert(out.end(), label.begin(), label.end());
+  }
+  out.push_back(0);
+  return out;
+}
+
+std::vector<std::uint8_t> build_dns_query(const DnsMessage& msg) {
+  ByteWriter w;
+  w.put_u16(msg.id);
+  std::uint16_t flags = 0;
+  if (msg.is_response) flags |= 0x8000;
+  if (msg.recursion_desired) flags |= 0x0100;
+  w.put_u16(flags);
+  w.put_u16(static_cast<std::uint16_t>(msg.questions.size()));  // QDCOUNT
+  w.put_u16(0);                                                 // ANCOUNT
+  w.put_u16(0);                                                 // NSCOUNT
+  w.put_u16(0);                                                 // ARCOUNT
+  for (const auto& q : msg.questions) {
+    auto encoded = encode_dns_name(util::to_lower(q.qname));
+    w.put_bytes(encoded);
+    w.put_u16(static_cast<std::uint16_t>(q.qtype));
+    w.put_u16(q.qclass);
+  }
+  return w.take();
+}
+
+namespace {
+
+/// Decodes a possibly-compressed name starting at `pos` in `datagram`.
+/// Returns the name and advances `pos` past the in-place representation.
+std::string decode_dns_name(std::span<const std::uint8_t> datagram,
+                            std::size_t& pos) {
+  std::string name;
+  std::size_t p = pos;
+  bool jumped = false;
+  std::size_t jumps = 0;
+  for (;;) {
+    if (p >= datagram.size()) throw ParseError("DNS name: truncated");
+    std::uint8_t len = datagram[p];
+    if ((len & 0xC0) == 0xC0) {
+      // Compression pointer.
+      if (p + 1 >= datagram.size()) throw ParseError("DNS name: bad pointer");
+      std::size_t target = (static_cast<std::size_t>(len & 0x3F) << 8) |
+                           datagram[p + 1];
+      if (!jumped) pos = p + 2;
+      if (target >= p) throw ParseError("DNS name: forward pointer");
+      if (++jumps > 32) throw ParseError("DNS name: pointer loop");
+      p = target;
+      jumped = true;
+      continue;
+    }
+    if (len == 0) {
+      if (!jumped) pos = p + 1;
+      break;
+    }
+    if (len > 63) throw ParseError("DNS name: label too long");
+    if (p + 1 + len > datagram.size()) throw ParseError("DNS name: truncated");
+    if (!name.empty()) name += '.';
+    name.append(reinterpret_cast<const char*>(&datagram[p + 1]), len);
+    if (name.size() > 253) throw ParseError("DNS name: name too long");
+    p += 1 + static_cast<std::size_t>(len);
+  }
+  return util::to_lower(name);
+}
+
+}  // namespace
+
+DnsMessage parse_dns_message(std::span<const std::uint8_t> datagram) {
+  ByteReader r(datagram);
+  DnsMessage msg;
+  msg.id = r.get_u16();
+  std::uint16_t flags = r.get_u16();
+  msg.is_response = (flags & 0x8000) != 0;
+  msg.recursion_desired = (flags & 0x0100) != 0;
+  std::uint16_t qdcount = r.get_u16();
+  r.skip(6);  // ANCOUNT, NSCOUNT, ARCOUNT
+
+  std::size_t pos = r.position();
+  for (std::uint16_t i = 0; i < qdcount; ++i) {
+    DnsQuestion q;
+    q.qname = decode_dns_name(datagram, pos);
+    if (pos + 4 > datagram.size()) throw ParseError("DNS question: truncated");
+    q.qtype = static_cast<DnsType>(
+        (static_cast<std::uint16_t>(datagram[pos]) << 8) | datagram[pos + 1]);
+    q.qclass = static_cast<std::uint16_t>(
+        (static_cast<std::uint16_t>(datagram[pos + 2]) << 8) |
+        datagram[pos + 3]);
+    pos += 4;
+    msg.questions.push_back(std::move(q));
+  }
+  return msg;
+}
+
+}  // namespace netobs::net

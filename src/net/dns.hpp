@@ -1,0 +1,49 @@
+// Minimal DNS message codec (RFC 1035): enough to build and parse the query
+// packets a resolver-side observer sees. Section 7.2 of the paper notes that
+// a DNS provider is itself a profiler — `examples/dns_observer` runs the
+// profiling pipeline over DNS queries instead of TLS ClientHellos.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/bytes.hpp"
+
+namespace netobs::net {
+
+/// DNS query/record types (subset).
+enum class DnsType : std::uint16_t {
+  kA = 1,
+  kAaaa = 28,
+  kHttps = 65,
+};
+
+struct DnsQuestion {
+  std::string qname;  ///< lowercase, no trailing dot
+  DnsType qtype = DnsType::kA;
+  std::uint16_t qclass = 1;  ///< IN
+};
+
+struct DnsMessage {
+  std::uint16_t id = 0;
+  bool is_response = false;
+  bool recursion_desired = true;
+  std::vector<DnsQuestion> questions;
+};
+
+/// Serialises a DNS query datagram (no compression pointers are emitted).
+std::vector<std::uint8_t> build_dns_query(const DnsMessage& msg);
+
+/// Parses a DNS message header + question section. Answer sections, if any,
+/// are ignored (an on-path observer only needs the QNAME). Supports
+/// RFC 1035 name-compression pointers in QNAMEs. Throws ParseError on
+/// malformed input.
+DnsMessage parse_dns_message(std::span<const std::uint8_t> datagram);
+
+/// Encodes a hostname into DNS label wire format (length-prefixed labels,
+/// terminating zero). Throws std::invalid_argument on invalid names.
+std::vector<std::uint8_t> encode_dns_name(const std::string& name);
+
+}  // namespace netobs::net

@@ -1,0 +1,194 @@
+#include "net/frame.hpp"
+
+#include <stdexcept>
+
+#include "net/bytes.hpp"
+
+namespace netobs::net {
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += (static_cast<std::uint32_t>(data[i]) << 8) | data[i + 1];
+  }
+  if (i < data.size()) {
+    sum += static_cast<std::uint32_t>(data[i]) << 8;
+  }
+  while ((sum >> 16) != 0) {
+    sum = (sum & 0xFFFF) + (sum >> 16);
+  }
+  return static_cast<std::uint16_t>(~sum);
+}
+
+namespace {
+
+void put_mac(ByteWriter& w, std::uint64_t mac) {
+  for (int i = 5; i >= 0; --i) {
+    w.put_u8(static_cast<std::uint8_t>(mac >> (8 * i)));
+  }
+}
+
+std::uint64_t read_mac(ByteReader& r) {
+  std::uint64_t mac = 0;
+  for (int i = 0; i < 6; ++i) mac = (mac << 8) | r.get_u8();
+  return mac;
+}
+
+/// Pseudo-header + transport checksum (RFC 793 / RFC 768).
+std::uint16_t transport_checksum(const FiveTuple& tuple,
+                                 std::span<const std::uint8_t> segment) {
+  ByteWriter pseudo;
+  pseudo.put_u32(tuple.src_ip);
+  pseudo.put_u32(tuple.dst_ip);
+  pseudo.put_u8(0);
+  pseudo.put_u8(static_cast<std::uint8_t>(tuple.proto));
+  pseudo.put_u16(static_cast<std::uint16_t>(segment.size()));
+  std::vector<std::uint8_t> buf = pseudo.take();
+  buf.insert(buf.end(), segment.begin(), segment.end());
+  return internet_checksum(buf);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encapsulate(const Packet& packet,
+                                      const FrameOptions& options) {
+  std::size_t transport_header = packet.tuple.proto == Transport::kTcp
+                                     ? kTcpHeaderSize
+                                     : kUdpHeaderSize;
+  std::size_t ip_total =
+      kIpv4HeaderSize + transport_header + packet.payload.size();
+  if (ip_total > 0xFFFF) {
+    throw std::length_error("encapsulate: payload exceeds IPv4 total length");
+  }
+
+  // --- Transport segment (header + payload), checksum patched after.
+  ByteWriter seg;
+  if (packet.tuple.proto == Transport::kTcp) {
+    seg.put_u16(packet.tuple.src_port);
+    seg.put_u16(packet.tuple.dst_port);
+    seg.put_u32(options.tcp_seq);
+    seg.put_u32(0);            // ack
+    seg.put_u8(0x50);          // data offset 5 words
+    seg.put_u8(0x18);          // PSH|ACK
+    seg.put_u16(0xFFFF);       // window
+    seg.put_u16(0);            // checksum placeholder
+    seg.put_u16(0);            // urgent
+  } else {
+    seg.put_u16(packet.tuple.src_port);
+    seg.put_u16(packet.tuple.dst_port);
+    seg.put_u16(static_cast<std::uint16_t>(kUdpHeaderSize +
+                                           packet.payload.size()));
+    seg.put_u16(0);  // checksum placeholder
+  }
+  seg.put_bytes(packet.payload);
+  std::vector<std::uint8_t> segment = seg.take();
+  std::uint16_t tsum = transport_checksum(packet.tuple, segment);
+  std::size_t csum_off = packet.tuple.proto == Transport::kTcp ? 16 : 6;
+  segment[csum_off] = static_cast<std::uint8_t>(tsum >> 8);
+  segment[csum_off + 1] = static_cast<std::uint8_t>(tsum);
+
+  // --- IPv4 header.
+  ByteWriter ip;
+  ip.put_u8(0x45);
+  ip.put_u8(0);
+  ip.put_u16(static_cast<std::uint16_t>(ip_total));
+  ip.put_u16(0);       // identification
+  ip.put_u16(0x4000);  // DF
+  ip.put_u8(options.ttl);
+  ip.put_u8(static_cast<std::uint8_t>(packet.tuple.proto));
+  ip.put_u16(0);  // checksum placeholder
+  ip.put_u32(packet.tuple.src_ip);
+  ip.put_u32(packet.tuple.dst_ip);
+  std::vector<std::uint8_t> ip_header = ip.take();
+  std::uint16_t isum = internet_checksum(ip_header);
+  ip_header[10] = static_cast<std::uint8_t>(isum >> 8);
+  ip_header[11] = static_cast<std::uint8_t>(isum);
+
+  // --- Ethernet frame.
+  ByteWriter frame;
+  put_mac(frame, options.dst_mac);
+  put_mac(frame, packet.src_mac);
+  frame.put_u16(kEtherTypeIpv4);
+  frame.put_bytes(ip_header);
+  frame.put_bytes(segment);
+  auto out = frame.take();
+  // Minimum Ethernet payload padding (60 bytes without FCS).
+  while (out.size() < 60) out.push_back(0);
+  return out;
+}
+
+std::optional<Packet> decapsulate(std::span<const std::uint8_t> frame) {
+  try {
+    ByteReader r(frame);
+    read_mac(r);  // dst
+    std::uint64_t src_mac = read_mac(r);
+    if (r.get_u16() != kEtherTypeIpv4) return std::nullopt;
+
+    std::size_t ip_start = r.position();
+    std::uint8_t ver_ihl = r.get_u8();
+    if ((ver_ihl >> 4) != 4) return std::nullopt;
+    std::size_t ihl = static_cast<std::size_t>(ver_ihl & 0x0F) * 4;
+    if (ihl < kIpv4HeaderSize) return std::nullopt;
+    r.skip(1);  // tos
+    std::uint16_t total_len = r.get_u16();
+    if (total_len < ihl || ip_start + total_len > frame.size()) {
+      return std::nullopt;
+    }
+    r.skip(5);  // id, flags/frag, ttl
+    std::uint8_t proto = r.get_u8();
+    r.skip(2);  // checksum (verified over the whole header below)
+    if (internet_checksum(frame.subspan(ip_start, ihl)) != 0) {
+      return std::nullopt;
+    }
+
+    Packet packet;
+    packet.src_mac = src_mac;
+    packet.tuple.src_ip = r.get_u32();
+    packet.tuple.dst_ip = r.get_u32();
+    r.skip(ihl - kIpv4HeaderSize);  // options
+
+    std::size_t seg_len = total_len - ihl;
+    auto segment = frame.subspan(ip_start + ihl, seg_len);
+    if (proto == static_cast<std::uint8_t>(Transport::kTcp)) {
+      packet.tuple.proto = Transport::kTcp;
+      ByteReader t(segment);
+      packet.tuple.src_port = t.get_u16();
+      packet.tuple.dst_port = t.get_u16();
+      t.skip(8);
+      std::size_t data_offset =
+          static_cast<std::size_t>(t.get_u8() >> 4) * 4;
+      if (data_offset < kTcpHeaderSize || data_offset > seg_len) {
+        return std::nullopt;
+      }
+      if (transport_checksum(packet.tuple, segment) != 0) {
+        return std::nullopt;
+      }
+      packet.payload.assign(segment.begin() + static_cast<long>(data_offset),
+                            segment.end());
+    } else if (proto == static_cast<std::uint8_t>(Transport::kUdp)) {
+      packet.tuple.proto = Transport::kUdp;
+      ByteReader t(segment);
+      packet.tuple.src_port = t.get_u16();
+      packet.tuple.dst_port = t.get_u16();
+      std::uint16_t udp_len = t.get_u16();
+      if (udp_len < kUdpHeaderSize || udp_len > seg_len) {
+        return std::nullopt;
+      }
+      if (transport_checksum(packet.tuple,
+                             segment.subspan(0, udp_len)) != 0) {
+        return std::nullopt;
+      }
+      packet.payload.assign(
+          segment.begin() + static_cast<long>(kUdpHeaderSize),
+          segment.begin() + udp_len);
+    } else {
+      return std::nullopt;
+    }
+    return packet;
+  } catch (const ParseError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace netobs::net

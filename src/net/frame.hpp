@@ -1,0 +1,47 @@
+// Layer 2-4 framing: Ethernet II / IPv4 / TCP|UDP header construction and
+// parsing, with real IPv4 and TCP/UDP checksums.
+//
+// The observer substrate works on Packet objects (5-tuple + transport
+// payload); this module converts them to and from raw Ethernet frames so
+// traces can round-trip through standard pcap files (net/pcap.hpp) and the
+// parsing path an on-path tap actually runs — from wire bytes up — is part
+// of the tested surface.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace netobs::net {
+
+constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+constexpr std::size_t kEthernetHeaderSize = 14;
+constexpr std::size_t kIpv4HeaderSize = 20;  ///< no options emitted
+constexpr std::size_t kTcpHeaderSize = 20;   ///< no options emitted
+constexpr std::size_t kUdpHeaderSize = 8;
+
+/// RFC 1071 ones'-complement checksum over a byte range (pads odd length).
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+struct FrameOptions {
+  std::uint64_t dst_mac = 0x02FEEDFACE01;  ///< gateway-side MAC
+  std::uint8_t ttl = 64;
+  std::uint32_t tcp_seq = 1;  ///< sequence number for TCP segments
+};
+
+/// Serialises a Packet as an Ethernet II frame carrying IPv4 + TCP or UDP.
+/// The packet's src_mac becomes the Ethernet source address. IPv4 and
+/// TCP/UDP checksums are computed. Throws std::length_error when the
+/// payload exceeds what a 16-bit IP total-length can carry.
+std::vector<std::uint8_t> encapsulate(const Packet& packet,
+                                      const FrameOptions& options = {});
+
+/// Parses an Ethernet frame back into a Packet (timestamp/subscriber id are
+/// not on the wire; the pcap layer restores the timestamp). Returns nullopt
+/// for non-IPv4 frames, truncated input, or checksum failures.
+std::optional<Packet> decapsulate(std::span<const std::uint8_t> frame);
+
+}  // namespace netobs::net

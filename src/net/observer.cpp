@@ -1,0 +1,171 @@
+#include "net/observer.hpp"
+
+#include "net/dns.hpp"
+#include "net/quic.hpp"
+#include "net/tls.hpp"
+#include "util/rng.hpp"
+#include "util/string_util.hpp"
+
+namespace netobs::net {
+
+std::string ipv4_to_string(std::uint32_t ip) {
+  return util::format("%u.%u.%u.%u", (ip >> 24) & 0xFF, (ip >> 16) & 0xFF,
+                      (ip >> 8) & 0xFF, ip & 0xFF);
+}
+
+std::string ip_pseudo_hostname(std::uint32_t dst_ip) {
+  return util::format("ip-%08x.addr", dst_ip);
+}
+
+std::uint32_t UserDemux::user_of(const Packet& packet) {
+  std::uint64_t key = 0;
+  switch (vantage_) {
+    case Vantage::kWifiProvider:
+      key = packet.src_mac;
+      break;
+    case Vantage::kMobileOperator:
+      key = packet.subscriber_id;
+      break;
+    case Vantage::kLandlineIsp:
+      key = packet.tuple.src_ip;
+      break;
+  }
+  // Tag the key domain so a MAC never collides with an IP if the vantage is
+  // reconfigured between traces.
+  key = util::mix64(key ^ (static_cast<std::uint64_t>(vantage_) << 56));
+  auto [it, inserted] =
+      ids_.emplace(key, static_cast<std::uint32_t>(ids_.size()));
+  return it->second;
+}
+
+SniObserver::SniObserver(Vantage vantage, SniObserverOptions options)
+    : options_(options), demux_(vantage) {}
+
+std::optional<HostnameEvent> SniObserver::observe(const Packet& packet) {
+  ++stats_.packets;
+  if (packet.payload.empty()) return std::nullopt;
+  // QUIC: the ClientHello arrives in a single UDP Initial datagram whose
+  // keys an on-path observer can derive (Section 7.2; RFC 9001 §5.2).
+  if (packet.tuple.proto == Transport::kUdp) {
+    if (packet.tuple.dst_port != 443 ||
+        !looks_like_quic_initial(packet.payload)) {
+      return std::nullopt;
+    }
+    ++stats_.flows;
+    auto view = decrypt_quic_initial(packet.payload);
+    if (!view) {
+      ++stats_.not_tls;
+      return std::nullopt;
+    }
+    HostnameEvent event;
+    event.user_id = demux_.user_of(packet);
+    event.timestamp = packet.timestamp;
+    if (view->client_hello.sni) {
+      event.hostname = *view->client_hello.sni;
+    } else {
+      ++stats_.no_sni;
+      if (!options_.ip_fallback) return std::nullopt;
+      event.hostname = ip_pseudo_hostname(packet.tuple.dst_ip);
+    }
+    ++stats_.events;
+    return event;
+  }
+  if (packet.tuple.proto != Transport::kTcp) return std::nullopt;
+  if (done_.contains(packet.tuple)) return std::nullopt;
+
+  auto it = flows_.find(packet.tuple);
+  if (it == flows_.end()) {
+    if (flows_.size() >= options_.max_pending_flows) {
+      // Evict an arbitrary stale flow; a production observer would use LRU,
+      // for the simulator any victim works and keeps memory bounded.
+      flows_.erase(flows_.begin());
+      ++stats_.evicted;
+    }
+    it = flows_.emplace(packet.tuple, FlowState{}).first;
+    ++stats_.flows;
+  }
+  FlowState& flow = it->second;
+  flow.buffer.insert(flow.buffer.end(), packet.payload.begin(),
+                     packet.payload.end());
+
+  SniResult result = extract_sni(flow.buffer);
+  switch (result.status) {
+    case SniStatus::kNeedMoreData:
+      if (flow.buffer.size() > options_.max_buffered_bytes) {
+        flows_.erase(it);
+        done_.emplace(packet.tuple, false);
+        ++stats_.not_tls;
+      } else {
+        ++stats_.incomplete;
+      }
+      return std::nullopt;
+    case SniStatus::kNotTls:
+      flows_.erase(it);
+      done_.emplace(packet.tuple, false);
+      ++stats_.not_tls;
+      return std::nullopt;
+    case SniStatus::kNoSni: {
+      flows_.erase(it);
+      done_.emplace(packet.tuple, false);
+      ++stats_.no_sni;
+      if (!options_.ip_fallback) return std::nullopt;
+      ++stats_.events;
+      HostnameEvent ip_event;
+      ip_event.user_id = demux_.user_of(packet);
+      ip_event.timestamp = packet.timestamp;
+      ip_event.hostname = ip_pseudo_hostname(packet.tuple.dst_ip);
+      return ip_event;
+    }
+    case SniStatus::kFound:
+      break;
+  }
+
+  flows_.erase(it);
+  done_.emplace(packet.tuple, true);
+  ++stats_.events;
+  HostnameEvent event;
+  event.user_id = demux_.user_of(packet);
+  event.timestamp = packet.timestamp;
+  event.hostname = std::move(result.sni);
+  return event;
+}
+
+std::vector<HostnameEvent> SniObserver::observe_all(
+    const std::vector<Packet>& packets) {
+  std::vector<HostnameEvent> events;
+  for (const auto& p : packets) {
+    if (auto e = observe(p)) events.push_back(std::move(*e));
+  }
+  return events;
+}
+
+DnsObserver::DnsObserver(Vantage vantage) : demux_(vantage) {}
+
+std::vector<HostnameEvent> DnsObserver::observe(const Packet& packet) {
+  ++stats_.packets;
+  std::vector<HostnameEvent> events;
+  if (packet.tuple.proto != Transport::kUdp || packet.tuple.dst_port != 53) {
+    return events;
+  }
+  ++stats_.flows;
+  DnsMessage msg;
+  try {
+    msg = parse_dns_message(packet.payload);
+  } catch (const ParseError&) {
+    ++stats_.not_tls;  // counted as unparseable
+    return events;
+  }
+  if (msg.is_response) return events;
+  std::uint32_t user = demux_.user_of(packet);
+  for (const auto& q : msg.questions) {
+    HostnameEvent e;
+    e.user_id = user;
+    e.timestamp = packet.timestamp;
+    e.hostname = q.qname;
+    events.push_back(std::move(e));
+    ++stats_.events;
+  }
+  return events;
+}
+
+}  // namespace netobs::net

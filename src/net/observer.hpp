@@ -1,0 +1,116 @@
+// Passive observers: turn raw packets into HostnameEvents.
+//
+// SniObserver reassembles the head of each TCP flow until the first TLS
+// record is complete, extracts the SNI, and emits one event per flow —
+// matching what an on-path eavesdropper learns from HTTPS (Section 7.2).
+// DnsObserver does the same for resolver-bound UDP queries.
+//
+// Both demultiplex packets to observer-side user ids through a UserDemux
+// whose fidelity depends on the configured vantage point.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace netobs::net {
+
+/// Where the eavesdropper sits (Section 7.2).
+enum class Vantage {
+  kWifiProvider,    ///< sees MAC addresses: perfect per-device separation
+  kMobileOperator,  ///< sees IMSI: perfect per-subscriber separation
+  kLandlineIsp,     ///< sees only source IPs: users behind one NAT collapse
+};
+
+/// Maps packets to stable observer-side user ids according to the vantage.
+/// Ids are dense (0, 1, 2, ...) in order of first appearance.
+class UserDemux {
+ public:
+  explicit UserDemux(Vantage vantage) : vantage_(vantage) {}
+
+  std::uint32_t user_of(const Packet& packet);
+
+  std::size_t distinct_users() const { return ids_.size(); }
+  Vantage vantage() const { return vantage_; }
+
+ private:
+  Vantage vantage_;
+  std::unordered_map<std::uint64_t, std::uint32_t> ids_;
+};
+
+/// Counters exposed by the observers, for the coverage tables.
+struct ObserverStats {
+  std::size_t packets = 0;
+  std::size_t flows = 0;
+  std::size_t events = 0;         ///< hostnames extracted
+  std::size_t no_sni = 0;         ///< complete ClientHello without SNI
+  std::size_t not_tls = 0;        ///< flow did not start with TLS
+  std::size_t incomplete = 0;     ///< flows still waiting for bytes
+  std::size_t evicted = 0;        ///< abandoned flows dropped by the cap
+};
+
+struct SniObserverOptions {
+  std::size_t max_pending_flows = 1 << 16;  ///< cap on unresolved flows
+  std::size_t max_buffered_bytes = 16384;   ///< per-flow reassembly cap
+  /// When a well-formed ClientHello carries no SNI (encrypted SNI / ECH),
+  /// emit a pseudo-hostname derived from the destination IP instead.
+  /// Section 7.2: "encrypted SNI ... do not hide the IP address that may be
+  /// used by the profiling algorithm" — the representation learner treats
+  /// the IP token like any other hostname.
+  bool ip_fallback = false;
+};
+
+/// The pseudo-hostname the IP fallback emits for a destination address.
+std::string ip_pseudo_hostname(std::uint32_t dst_ip);
+
+/// Extracts SNI hostnames from TCP flows.
+class SniObserver {
+ public:
+  explicit SniObserver(Vantage vantage,
+                       SniObserverOptions options = SniObserverOptions());
+
+  /// Feeds one packet; returns an event when this packet completes a
+  /// ClientHello carrying an SNI.
+  std::optional<HostnameEvent> observe(const Packet& packet);
+
+  /// Convenience: feeds a packet vector and collects all events.
+  std::vector<HostnameEvent> observe_all(const std::vector<Packet>& packets);
+
+  const ObserverStats& stats() const { return stats_; }
+  std::size_t pending_flows() const { return flows_.size(); }
+  UserDemux& demux() { return demux_; }
+
+ private:
+  struct FlowState {
+    std::vector<std::uint8_t> buffer;
+  };
+
+  SniObserverOptions options_;
+  UserDemux demux_;
+  ObserverStats stats_;
+  std::unordered_map<FiveTuple, FlowState, FiveTupleHash> flows_;
+  // Flows already resolved (SNI emitted / classified non-TLS): remembered so
+  // later segments of the same connection don't recreate state.
+  std::unordered_map<FiveTuple, bool, FiveTupleHash> done_;
+};
+
+/// Extracts QNAMEs from UDP datagrams addressed to port 53.
+class DnsObserver {
+ public:
+  explicit DnsObserver(Vantage vantage);
+
+  /// Returns one event per question in a well-formed query datagram.
+  std::vector<HostnameEvent> observe(const Packet& packet);
+
+  const ObserverStats& stats() const { return stats_; }
+  UserDemux& demux() { return demux_; }
+
+ private:
+  UserDemux demux_;
+  ObserverStats stats_;
+};
+
+}  // namespace netobs::net

@@ -1,0 +1,69 @@
+// Packet and flow model for the passive observer.
+//
+// A captured packet carries the 5-tuple, the link-layer identity hints whose
+// availability depends on the observer's vantage point (Section 7.2: a WiFi
+// provider sees MAC addresses, a mobile operator sees IMSI/MSISDN, a
+// landline ISP behind a NAT sees only the public IP), and the transport
+// payload bytes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/sim_time.hpp"
+
+namespace netobs::net {
+
+enum class Transport : std::uint8_t { kTcp = 6, kUdp = 17 };
+
+/// Connection 5-tuple. IPs are IPv4 in host byte order.
+struct FiveTuple {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  Transport proto = Transport::kTcp;
+
+  bool operator==(const FiveTuple&) const = default;
+};
+
+struct FiveTupleHash {
+  std::size_t operator()(const FiveTuple& t) const {
+    std::uint64_t a = (static_cast<std::uint64_t>(t.src_ip) << 32) | t.dst_ip;
+    std::uint64_t b = (static_cast<std::uint64_t>(t.src_port) << 24) |
+                      (static_cast<std::uint64_t>(t.dst_port) << 8) |
+                      static_cast<std::uint64_t>(t.proto);
+    // 64-bit mix of both halves.
+    std::uint64_t h = a * 0x9e3779b97f4a7c15ULL ^ b;
+    h ^= h >> 29;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 32;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// One captured packet (only the fields a passive observer can use).
+struct Packet {
+  util::Timestamp timestamp = 0;
+  FiveTuple tuple;
+  std::uint64_t src_mac = 0;        ///< 0 when not visible at the vantage
+  std::uint64_t subscriber_id = 0;  ///< IMSI-like id; 0 when not visible
+  std::vector<std::uint8_t> payload;
+};
+
+/// Observer-side hostname observation: "user X requested hostname H at T".
+/// This is the *only* signal the profiling algorithm of Section 4 consumes.
+struct HostnameEvent {
+  std::uint32_t user_id = 0;
+  util::Timestamp timestamp = 0;
+  std::string hostname;
+
+  bool operator==(const HostnameEvent&) const = default;
+};
+
+/// Dotted-quad formatting, for diagnostics.
+std::string ipv4_to_string(std::uint32_t ip);
+
+}  // namespace netobs::net

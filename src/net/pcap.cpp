@@ -1,0 +1,109 @@
+#include "net/pcap.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "net/bytes.hpp"
+#include "net/frame.hpp"
+
+namespace netobs::net {
+
+namespace {
+
+constexpr std::uint32_t kPcapMagic = 0xa1b2c3d4;
+constexpr std::uint32_t kPcapMagicSwapped = 0xd4c3b2a1;
+constexpr std::uint32_t kLinkTypeEthernet = 1;
+
+void write_le32(std::ostream& os, std::uint32_t v) {
+  char b[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+               static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+  os.write(b, 4);
+}
+
+void write_le16(std::ostream& os, std::uint16_t v) {
+  char b[2] = {static_cast<char>(v), static_cast<char>(v >> 8)};
+  os.write(b, 2);
+}
+
+std::uint32_t read_u32(std::istream& is, bool swapped) {
+  unsigned char b[4];
+  is.read(reinterpret_cast<char*>(b), 4);
+  if (!is) throw ParseError("pcap: truncated u32");
+  if (swapped) {
+    return (static_cast<std::uint32_t>(b[0]) << 24) |
+           (static_cast<std::uint32_t>(b[1]) << 16) |
+           (static_cast<std::uint32_t>(b[2]) << 8) | b[3];
+  }
+  return (static_cast<std::uint32_t>(b[3]) << 24) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[1]) << 8) | b[0];
+}
+
+}  // namespace
+
+void write_pcap(std::ostream& os, const std::vector<Packet>& packets) {
+  write_le32(os, kPcapMagic);
+  write_le16(os, 2);  // version major
+  write_le16(os, 4);  // version minor
+  write_le32(os, 0);  // thiszone
+  write_le32(os, 0);  // sigfigs
+  write_le32(os, 65535);  // snaplen
+  write_le32(os, kLinkTypeEthernet);
+
+  std::uint32_t seq = 1;
+  for (const auto& packet : packets) {
+    FrameOptions opts;
+    opts.tcp_seq = seq++;
+    auto frame = encapsulate(packet, opts);
+    write_le32(os, static_cast<std::uint32_t>(packet.timestamp));
+    write_le32(os, 0);  // microseconds
+    write_le32(os, static_cast<std::uint32_t>(frame.size()));  // captured
+    write_le32(os, static_cast<std::uint32_t>(frame.size()));  // on wire
+    os.write(reinterpret_cast<const char*>(frame.data()),
+             static_cast<std::streamsize>(frame.size()));
+  }
+  if (!os) throw std::runtime_error("write_pcap: write failed");
+}
+
+std::vector<Packet> read_pcap(std::istream& is) {
+  bool swapped = false;
+  std::uint32_t magic = read_u32(is, false);
+  if (magic == kPcapMagicSwapped) {
+    swapped = true;
+  } else if (magic != kPcapMagic) {
+    throw ParseError("read_pcap: bad magic");
+  }
+  // Version, zone, sigfigs, snaplen.
+  read_u32(is, swapped);
+  read_u32(is, swapped);
+  read_u32(is, swapped);
+  read_u32(is, swapped);
+  std::uint32_t link_type = read_u32(is, swapped);
+  if (link_type != kLinkTypeEthernet) {
+    throw ParseError("read_pcap: unsupported link type " +
+                     std::to_string(link_type));
+  }
+
+  std::vector<Packet> packets;
+  for (;;) {
+    is.peek();
+    if (is.eof()) break;
+    std::uint32_t ts_sec = read_u32(is, swapped);
+    read_u32(is, swapped);  // microseconds
+    std::uint32_t cap_len = read_u32(is, swapped);
+    std::uint32_t wire_len = read_u32(is, swapped);
+    if (cap_len > (1U << 24) || cap_len > wire_len + 0U) {
+      throw ParseError("read_pcap: implausible record length");
+    }
+    std::vector<std::uint8_t> frame(cap_len);
+    is.read(reinterpret_cast<char*>(frame.data()), cap_len);
+    if (!is) throw ParseError("read_pcap: truncated frame");
+    auto packet = decapsulate(frame);
+    if (!packet) continue;  // non-IPv4 or corrupt frame: skip, as a tap does
+    packet->timestamp = static_cast<util::Timestamp>(ts_sec);
+    packets.push_back(std::move(*packet));
+  }
+  return packets;
+}
+
+}  // namespace netobs::net

@@ -1,0 +1,27 @@
+// Classic libpcap capture files (the tcpdump format, magic 0xa1b2c3d4,
+// LINKTYPE_ETHERNET), written and read without a libpcap dependency.
+//
+// Combined with net/frame.hpp this lets the observer pipeline consume and
+// produce artifacts interoperable with standard tooling: synthetic traffic
+// exported here opens in tcpdump/Wireshark, and the SNI observer can be
+// pointed at a pcap instead of a live Packet stream.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace netobs::net {
+
+/// Writes packets as Ethernet frames into a classic pcap stream.
+/// Timestamps map to the epoch-seconds field; sub-second precision is not
+/// modelled by the simulator (microseconds are written as 0).
+void write_pcap(std::ostream& os, const std::vector<Packet>& packets);
+
+/// Reads a classic pcap stream (both byte orders); non-IPv4 or corrupt
+/// frames are skipped. Link-layer identity hints beyond the source MAC are
+/// not on the wire, so subscriber_id is 0 on the way back.
+std::vector<Packet> read_pcap(std::istream& is);
+
+}  // namespace netobs::net

@@ -1,0 +1,227 @@
+#include "net/quic.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "crypto/aes.hpp"
+#include "crypto/sha256.hpp"
+#include "net/bytes.hpp"
+
+namespace netobs::net {
+
+namespace {
+
+// RFC 9001 §5.2: initial salt for QUIC v1.
+constexpr std::uint8_t kInitialSaltV1[20] = {
+    0x38, 0x76, 0x2c, 0xf7, 0xf5, 0x59, 0x34, 0xb3, 0x4d, 0x17,
+    0x9a, 0xe6, 0xa4, 0xc8, 0x0c, 0xad, 0xcc, 0xbb, 0x7f, 0x0a};
+
+constexpr std::uint8_t kFrameCrypto = 0x06;
+constexpr std::uint8_t kFramePadding = 0x00;
+constexpr std::uint8_t kFramePing = 0x01;
+
+struct InitialKeys {
+  crypto::AesKey key;
+  std::array<std::uint8_t, 12> iv;
+  crypto::AesKey hp;
+};
+
+InitialKeys derive_client_initial_keys(std::span<const std::uint8_t> dcid) {
+  auto initial_secret = crypto::hkdf_extract(
+      std::span<const std::uint8_t>(kInitialSaltV1, sizeof(kInitialSaltV1)),
+      dcid);
+  auto client_secret =
+      crypto::hkdf_expand_label(initial_secret, "client in", {}, 32);
+  auto key = crypto::hkdf_expand_label(client_secret, "quic key", {}, 16);
+  auto iv = crypto::hkdf_expand_label(client_secret, "quic iv", {}, 12);
+  auto hp = crypto::hkdf_expand_label(client_secret, "quic hp", {}, 16);
+  InitialKeys out{};
+  std::copy(key.begin(), key.end(), out.key.begin());
+  std::copy(iv.begin(), iv.end(), out.iv.begin());
+  std::copy(hp.begin(), hp.end(), out.hp.begin());
+  return out;
+}
+
+crypto::Aes128Gcm::Nonce make_nonce(const std::array<std::uint8_t, 12>& iv,
+                                    std::uint64_t packet_number) {
+  crypto::Aes128Gcm::Nonce nonce;
+  std::copy(iv.begin(), iv.end(), nonce.begin());
+  for (int i = 0; i < 8; ++i) {
+    nonce[4 + static_cast<std::size_t>(i)] ^=
+        static_cast<std::uint8_t>(packet_number >> (56 - 8 * i));
+  }
+  return nonce;
+}
+
+/// Header-protection mask from the 16-byte ciphertext sample (AES-ECB).
+std::array<std::uint8_t, 5> hp_mask(const crypto::AesKey& hp_key,
+                                    std::span<const std::uint8_t> sample) {
+  crypto::Aes128 aes(hp_key);
+  crypto::AesBlock block;
+  std::memcpy(block.data(), sample.data(), 16);
+  auto enc = aes.encrypt_block(block);
+  return {enc[0], enc[1], enc[2], enc[3], enc[4]};
+}
+
+constexpr int kPnLength = 4;  // we always encode 4-byte packet numbers
+
+}  // namespace
+
+std::vector<std::uint8_t> build_quic_initial(const QuicInitialSpec& spec) {
+  if (spec.dcid.empty() || spec.dcid.size() > 20 || spec.scid.size() > 20) {
+    throw std::invalid_argument("build_quic_initial: bad connection id");
+  }
+
+  // --- Plaintext payload: one CRYPTO frame + PADDING to the 1200-byte
+  // datagram minimum.
+  auto handshake = build_client_hello_handshake(spec.client_hello);
+  ByteWriter payload;
+  payload.put_u8(kFrameCrypto);
+  put_varint(payload, 0);  // offset
+  put_varint(payload, handshake.size());
+  payload.put_bytes(handshake);
+
+  // --- Unprotected header (also the AEAD AAD).
+  auto build_header = [&](std::size_t payload_len) {
+    ByteWriter h;
+    h.put_u8(static_cast<std::uint8_t>(0xC0 | (kPnLength - 1)));  // Initial
+    h.put_u32(kQuicVersion1);
+    h.put_u8(static_cast<std::uint8_t>(spec.dcid.size()));
+    h.put_bytes(spec.dcid);
+    h.put_u8(static_cast<std::uint8_t>(spec.scid.size()));
+    h.put_bytes(spec.scid);
+    put_varint(h, 0);  // token length
+    put_varint(h, payload_len + kPnLength + crypto::Aes128Gcm::kTagSize);
+    h.put_u32(spec.packet_number);  // 4-byte encoding
+    return h.take();
+  };
+
+  // Pad the payload so that header + pn + ciphertext + tag >= 1200.
+  std::size_t header_guess = build_header(payload.size()).size();
+  std::size_t total =
+      header_guess + payload.size() + crypto::Aes128Gcm::kTagSize;
+  if (total < kQuicMinInitialSize) {
+    std::size_t pad = kQuicMinInitialSize - total;
+    // Varint length field may grow by 1-2 bytes as the payload grows; the
+    // overshoot is harmless (still >= 1200).
+    for (std::size_t i = 0; i < pad; ++i) payload.put_u8(kFramePadding);
+  }
+  auto plaintext = payload.take();
+  auto header = build_header(plaintext.size());
+
+  // --- Seal.
+  InitialKeys keys = derive_client_initial_keys(spec.dcid);
+  crypto::Aes128Gcm aead(keys.key);
+  auto sealed = aead.seal(make_nonce(keys.iv, spec.packet_number), header,
+                          plaintext);
+
+  std::vector<std::uint8_t> packet = header;
+  packet.insert(packet.end(), sealed.begin(), sealed.end());
+
+  // --- Header protection (RFC 9001 §5.4): sample starts 4 bytes after the
+  // packet number offset.
+  std::size_t pn_offset = header.size() - kPnLength;
+  auto mask = hp_mask(keys.hp,
+                      std::span<const std::uint8_t>(packet).subspan(
+                          pn_offset + 4, 16));
+  packet[0] ^= mask[0] & 0x0F;
+  for (int i = 0; i < kPnLength; ++i) {
+    packet[pn_offset + static_cast<std::size_t>(i)] ^=
+        mask[1 + static_cast<std::size_t>(i)];
+  }
+  return packet;
+}
+
+bool looks_like_quic_initial(std::span<const std::uint8_t> datagram) {
+  if (datagram.size() < 7) return false;
+  // Long header (bit 7), fixed bit (bit 6), packet type Initial (bits 5-4 =
+  // 00). Bits 3-0 are header-protected and must be ignored here.
+  if ((datagram[0] & 0xF0) != 0xC0) return false;
+  std::uint32_t version = (static_cast<std::uint32_t>(datagram[1]) << 24) |
+                          (static_cast<std::uint32_t>(datagram[2]) << 16) |
+                          (static_cast<std::uint32_t>(datagram[3]) << 8) |
+                          datagram[4];
+  return version == kQuicVersion1;
+}
+
+std::optional<QuicInitialView> decrypt_quic_initial(
+    std::span<const std::uint8_t> datagram) {
+  if (!looks_like_quic_initial(datagram)) return std::nullopt;
+  try {
+    ByteReader r(datagram);
+    QuicInitialView view;
+    r.skip(1);  // first byte (protected bits handled later)
+    view.version = r.get_u32();
+    std::uint8_t dcid_len = r.get_u8();
+    if (dcid_len > 20) return std::nullopt;
+    auto dcid = r.get_bytes(dcid_len);
+    view.dcid.assign(dcid.begin(), dcid.end());
+    std::uint8_t scid_len = r.get_u8();
+    if (scid_len > 20) return std::nullopt;
+    auto scid = r.get_bytes(scid_len);
+    view.scid.assign(scid.begin(), scid.end());
+    std::uint64_t token_len = get_varint(r);
+    r.skip(static_cast<std::size_t>(token_len));
+    std::uint64_t length = get_varint(r);
+    std::size_t pn_offset = r.position();
+    if (length < kPnLength + crypto::Aes128Gcm::kTagSize ||
+        pn_offset + length > datagram.size()) {
+      return std::nullopt;
+    }
+
+    // --- Remove header protection.
+    InitialKeys keys = derive_client_initial_keys(view.dcid);
+    if (pn_offset + 4 + 16 > datagram.size()) return std::nullopt;
+    auto mask = hp_mask(keys.hp, datagram.subspan(pn_offset + 4, 16));
+    std::uint8_t first = datagram[0] ^ (mask[0] & 0x0F);
+    int pn_len = (first & 0x03) + 1;
+
+    std::vector<std::uint8_t> header(datagram.begin(),
+                                     datagram.begin() +
+                                         static_cast<long>(pn_offset) +
+                                         pn_len);
+    header[0] = first;
+    std::uint32_t pn = 0;
+    for (int i = 0; i < pn_len; ++i) {
+      std::uint8_t b = static_cast<std::uint8_t>(
+          datagram[pn_offset + static_cast<std::size_t>(i)] ^
+          mask[1 + static_cast<std::size_t>(i)]);
+      header[pn_offset + static_cast<std::size_t>(i)] = b;
+      pn = (pn << 8) | b;
+    }
+    view.packet_number = pn;
+
+    // --- Decrypt payload.
+    auto ciphertext = datagram.subspan(
+        pn_offset + static_cast<std::size_t>(pn_len),
+        static_cast<std::size_t>(length) - static_cast<std::size_t>(pn_len));
+    crypto::Aes128Gcm aead(keys.key);
+    auto plaintext = aead.open(make_nonce(keys.iv, pn), header, ciphertext);
+    if (!plaintext) return std::nullopt;
+
+    // --- Reassemble CRYPTO frames.
+    std::vector<std::uint8_t> crypto_stream;
+    ByteReader frames(*plaintext);
+    while (!frames.empty()) {
+      std::uint8_t type = frames.get_u8();
+      if (type == kFramePadding || type == kFramePing) continue;
+      if (type != kFrameCrypto) return std::nullopt;  // unexpected in Initial
+      std::uint64_t offset = get_varint(frames);
+      std::uint64_t len = get_varint(frames);
+      auto data = frames.get_bytes(static_cast<std::size_t>(len));
+      if (crypto_stream.size() < offset + len) {
+        crypto_stream.resize(static_cast<std::size_t>(offset + len), 0);
+      }
+      std::copy(data.begin(), data.end(),
+                crypto_stream.begin() + static_cast<long>(offset));
+    }
+    if (crypto_stream.empty()) return std::nullopt;
+
+    view.client_hello = parse_client_hello_handshake(crypto_stream);
+    return view;
+  } catch (const ParseError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace netobs::net

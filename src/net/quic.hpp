@@ -1,0 +1,62 @@
+// QUIC v1 Initial packets (RFC 9000 + RFC 9001), build and passive-decrypt.
+//
+// Section 7.2 of the paper: "Both HTTPS and QUIC leak to a network observer
+// the hostname requested by the user in the SNI field ... checking the UDP
+// datagrams of QUIC". Unlike TLS-over-TCP, the QUIC Initial that carries
+// the ClientHello is encrypted — but its keys derive from the *public*
+// Destination Connection ID via HKDF over a published salt (RFC 9001 §5.2),
+// so any on-path observer can remove header protection, decrypt the
+// payload, reassemble CRYPTO frames and read the SNI. This module
+// implements both directions with real AEAD crypto (crypto/):
+//   - build_quic_initial: a client Initial with the ClientHello in a CRYPTO
+//     frame, padded to the 1200-byte minimum, header-protected and sealed,
+//   - decrypt_quic_initial: the passive-observer path back to the
+//     ClientHello.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/tls.hpp"
+
+namespace netobs::net {
+
+constexpr std::uint32_t kQuicVersion1 = 0x00000001;
+/// A client's first flight must pad its Initial to at least this size.
+constexpr std::size_t kQuicMinInitialSize = 1200;
+
+struct QuicInitialSpec {
+  std::vector<std::uint8_t> dcid;  ///< 8-20 bytes (client-chosen, public)
+  std::vector<std::uint8_t> scid;
+  std::uint32_t packet_number = 0;
+  ClientHelloSpec client_hello;
+};
+
+/// Builds a fully protected client Initial datagram. Throws
+/// std::invalid_argument for malformed specs (empty or oversized DCID).
+std::vector<std::uint8_t> build_quic_initial(const QuicInitialSpec& spec);
+
+/// What the passive observer recovers from an Initial.
+struct QuicInitialView {
+  std::uint32_t version = 0;
+  std::vector<std::uint8_t> dcid;
+  std::vector<std::uint8_t> scid;
+  std::uint32_t packet_number = 0;
+  ClientHello client_hello;
+};
+
+/// Decrypts a client Initial as an on-path observer (keys derived from the
+/// DCID, header protection removed, CRYPTO frames reassembled, ClientHello
+/// parsed). Returns nullopt when the datagram is not a v1 client Initial or
+/// fails authentication/parsing.
+std::optional<QuicInitialView> decrypt_quic_initial(
+    std::span<const std::uint8_t> datagram);
+
+/// True if the datagram's first byte/version look like a QUIC v1 long-header
+/// Initial (the observer's cheap pre-filter).
+bool looks_like_quic_initial(std::span<const std::uint8_t> datagram);
+
+}  // namespace netobs::net

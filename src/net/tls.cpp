@@ -1,0 +1,240 @@
+#include "net/tls.hpp"
+
+#include "util/string_util.hpp"
+
+namespace netobs::net {
+
+namespace {
+
+constexpr std::uint8_t kSniTypeHostName = 0;
+
+void append_sni_extension(ByteWriter& w, const std::string& host) {
+  w.put_u16(ExtensionType::kServerName);
+  auto ext_len = w.begin_length(2);
+  auto list_len = w.begin_length(2);
+  w.put_u8(kSniTypeHostName);
+  auto name_len = w.begin_length(2);
+  w.put_bytes(host);
+  w.patch_length(name_len);
+  w.patch_length(list_len);
+  w.patch_length(ext_len);
+}
+
+void append_alpn_extension(ByteWriter& w,
+                           const std::vector<std::string>& protocols) {
+  w.put_u16(ExtensionType::kAlpn);
+  auto ext_len = w.begin_length(2);
+  auto list_len = w.begin_length(2);
+  for (const auto& p : protocols) {
+    auto name_len = w.begin_length(1);
+    w.put_bytes(p);
+    w.patch_length(name_len);
+  }
+  w.patch_length(list_len);
+  w.patch_length(ext_len);
+}
+
+void append_supported_versions(ByteWriter& w) {
+  w.put_u16(ExtensionType::kSupportedVersions);
+  auto ext_len = w.begin_length(2);
+  auto list_len = w.begin_length(1);
+  w.put_u16(0x0304);  // TLS 1.3
+  w.put_u16(0x0303);  // TLS 1.2
+  w.patch_length(list_len);
+  w.patch_length(ext_len);
+}
+
+void parse_sni_body(std::span<const std::uint8_t> body, ClientHello& out) {
+  ByteReader r(body);
+  std::uint16_t list_len = r.get_u16();
+  ByteReader list = r.sub_reader(list_len);
+  while (!list.empty()) {
+    std::uint8_t name_type = list.get_u8();
+    std::uint16_t name_len = list.get_u16();
+    std::string name = list.get_string(name_len);
+    if (name_type == kSniTypeHostName && !out.sni) {
+      out.sni = util::to_lower(name);
+    }
+  }
+}
+
+void parse_alpn_body(std::span<const std::uint8_t> body, ClientHello& out) {
+  ByteReader r(body);
+  std::uint16_t list_len = r.get_u16();
+  ByteReader list = r.sub_reader(list_len);
+  while (!list.empty()) {
+    std::uint8_t len = list.get_u8();
+    out.alpn.push_back(list.get_string(len));
+  }
+}
+
+ClientHello parse_client_hello_body(ByteReader& hs) {
+  ClientHello out;
+  out.legacy_version = hs.get_u16();
+  auto rnd = hs.get_bytes(32);
+  std::copy(rnd.begin(), rnd.end(), out.random.begin());
+
+  std::uint8_t sid_len = hs.get_u8();
+  if (sid_len > 32) throw ParseError("ClientHello: session_id too long");
+  auto sid = hs.get_bytes(sid_len);
+  out.session_id.assign(sid.begin(), sid.end());
+
+  std::uint16_t cs_len = hs.get_u16();
+  if (cs_len % 2 != 0) throw ParseError("ClientHello: odd cipher_suites len");
+  ByteReader cs = hs.sub_reader(cs_len);
+  while (!cs.empty()) out.cipher_suites.push_back(cs.get_u16());
+  if (out.cipher_suites.empty()) {
+    throw ParseError("ClientHello: empty cipher_suites");
+  }
+
+  std::uint8_t comp_len = hs.get_u8();
+  auto comp = hs.get_bytes(comp_len);
+  out.compression_methods.assign(comp.begin(), comp.end());
+  if (out.compression_methods.empty()) {
+    throw ParseError("ClientHello: empty compression_methods");
+  }
+
+  if (hs.empty()) return out;  // extensions are optional pre-1.3
+
+  std::uint16_t ext_total = hs.get_u16();
+  ByteReader exts = hs.sub_reader(ext_total);
+  while (!exts.empty()) {
+    Extension e;
+    e.type = exts.get_u16();
+    std::uint16_t len = exts.get_u16();
+    auto body = exts.get_bytes(len);
+    e.body.assign(body.begin(), body.end());
+    if (e.type == ExtensionType::kServerName) {
+      parse_sni_body(e.body, out);
+    } else if (e.type == ExtensionType::kAlpn) {
+      parse_alpn_body(e.body, out);
+    }
+    out.extensions.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> build_client_hello_handshake(
+    const ClientHelloSpec& spec) {
+  if (!spec.sni.empty() && !util::is_valid_hostname(spec.sni)) {
+    throw std::invalid_argument("build_client_hello_handshake: invalid SNI '" +
+                                spec.sni + "'");
+  }
+  ByteWriter w;
+  // Handshake header.
+  w.put_u8(static_cast<std::uint8_t>(HandshakeType::kClientHello));
+  auto hs_len = w.begin_length(3);
+
+  // ClientHello body.
+  w.put_u16(0x0303);
+  w.put_bytes(std::span<const std::uint8_t>(spec.random));
+  auto sid_len = w.begin_length(1);
+  w.put_bytes(std::span<const std::uint8_t>(spec.session_id));
+  w.patch_length(sid_len);
+  auto cs_len = w.begin_length(2);
+  for (std::uint16_t suite : spec.cipher_suites) w.put_u16(suite);
+  w.patch_length(cs_len);
+  w.put_u8(1);  // compression_methods length
+  w.put_u8(0);  // null compression
+
+  auto ext_len = w.begin_length(2);
+  if (!spec.sni.empty()) append_sni_extension(w, spec.sni);
+  if (!spec.alpn.empty()) append_alpn_extension(w, spec.alpn);
+  if (spec.offer_tls13) append_supported_versions(w);
+  w.patch_length(ext_len);
+  w.patch_length(hs_len);
+  return w.take();
+}
+
+std::vector<std::uint8_t> build_client_hello_record(
+    const ClientHelloSpec& spec) {
+  auto handshake = build_client_hello_handshake(spec);
+  ByteWriter w;
+  w.put_u8(static_cast<std::uint8_t>(ContentType::kHandshake));
+  w.put_u16(0x0301);  // record legacy_version, as sent by real clients
+  auto record_len = w.begin_length(2);
+  w.put_bytes(handshake);
+  w.patch_length(record_len);
+  return w.take();
+}
+
+ClientHello parse_client_hello_handshake(
+    std::span<const std::uint8_t> handshake) {
+  ByteReader r(handshake);
+  auto msg_type = r.get_u8();
+  if (msg_type != static_cast<std::uint8_t>(HandshakeType::kClientHello)) {
+    throw ParseError("not a ClientHello (handshake type " +
+                     std::to_string(msg_type) + ")");
+  }
+  std::uint32_t hs_len = r.get_u24();
+  ByteReader hs = r.sub_reader(hs_len);
+  return parse_client_hello_body(hs);
+}
+
+ClientHello parse_client_hello_record(std::span<const std::uint8_t> record) {
+  ByteReader r(record);
+  auto content_type = r.get_u8();
+  if (content_type != static_cast<std::uint8_t>(ContentType::kHandshake)) {
+    throw ParseError("not a handshake record (type " +
+                     std::to_string(content_type) + ")");
+  }
+  std::uint16_t version = r.get_u16();
+  if ((version >> 8) != 0x03) throw ParseError("bad record version");
+  std::uint16_t record_len = r.get_u16();
+  ByteReader body = r.sub_reader(record_len);
+
+  auto msg_type = body.get_u8();
+  if (msg_type != static_cast<std::uint8_t>(HandshakeType::kClientHello)) {
+    throw ParseError("not a ClientHello (handshake type " +
+                     std::to_string(msg_type) + ")");
+  }
+  std::uint32_t hs_len = body.get_u24();
+  ByteReader hs = body.sub_reader(hs_len);
+  return parse_client_hello_body(hs);
+}
+
+std::size_t first_record_span(std::span<const std::uint8_t> stream_prefix) {
+  if (stream_prefix.size() < 5) return 0;
+  std::size_t body = (static_cast<std::size_t>(stream_prefix[3]) << 8) |
+                     stream_prefix[4];
+  return 5 + body;
+}
+
+SniResult extract_sni(std::span<const std::uint8_t> stream_prefix) {
+  SniResult result;
+  if (stream_prefix.empty()) {
+    result.status = SniStatus::kNeedMoreData;
+    return result;
+  }
+  if (stream_prefix[0] !=
+      static_cast<std::uint8_t>(ContentType::kHandshake)) {
+    result.status = SniStatus::kNotTls;
+    return result;
+  }
+  if (stream_prefix.size() >= 2 && stream_prefix[1] != 0x03) {
+    result.status = SniStatus::kNotTls;
+    return result;
+  }
+  std::size_t span = first_record_span(stream_prefix);
+  if (span == 0 || stream_prefix.size() < span) {
+    result.status = SniStatus::kNeedMoreData;
+    return result;
+  }
+  try {
+    ClientHello hello =
+        parse_client_hello_record(stream_prefix.subspan(0, span));
+    if (hello.sni) {
+      result.status = SniStatus::kFound;
+      result.sni = *hello.sni;
+    } else {
+      result.status = SniStatus::kNoSni;
+    }
+  } catch (const ParseError&) {
+    result.status = SniStatus::kNotTls;
+  }
+  return result;
+}
+
+}  // namespace netobs::net

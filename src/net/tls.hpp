@@ -1,0 +1,118 @@
+// TLS ClientHello wire codec (RFC 8446 §4.1.2 structures, TLS 1.2-compatible
+// framing).
+//
+// This is the substrate of the whole study: the only thing a network
+// observer sees of an HTTPS connection is the ClientHello, and the only
+// profiling-relevant field in it is the server_name (SNI) extension. The
+// synthetic traffic generator *serialises* real handshake bytes and the
+// observer *parses* them back, so the eavesdropper code path is exercised at
+// the byte level rather than assumed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/bytes.hpp"
+
+namespace netobs::net {
+
+/// TLS record content types (subset).
+enum class ContentType : std::uint8_t {
+  kChangeCipherSpec = 20,
+  kAlert = 21,
+  kHandshake = 22,
+  kApplicationData = 23,
+};
+
+/// Handshake message types (subset).
+enum class HandshakeType : std::uint8_t {
+  kClientHello = 1,
+  kServerHello = 2,
+};
+
+/// Extension type codes used by the codec.
+struct ExtensionType {
+  static constexpr std::uint16_t kServerName = 0;
+  static constexpr std::uint16_t kSupportedGroups = 10;
+  static constexpr std::uint16_t kAlpn = 16;
+  static constexpr std::uint16_t kSupportedVersions = 43;
+  static constexpr std::uint16_t kKeyShare = 51;
+};
+
+/// A raw (type, opaque body) extension.
+struct Extension {
+  std::uint16_t type = 0;
+  std::vector<std::uint8_t> body;
+};
+
+/// Decoded ClientHello. `sni` is what the eavesdropper is after.
+struct ClientHello {
+  std::uint16_t legacy_version = 0x0303;
+  std::array<std::uint8_t, 32> random{};
+  std::vector<std::uint8_t> session_id;
+  std::vector<std::uint16_t> cipher_suites;
+  std::vector<std::uint8_t> compression_methods;
+  std::vector<Extension> extensions;
+
+  /// host_name from the server_name extension, if present.
+  std::optional<std::string> sni;
+  /// ALPN protocol names, if the extension is present.
+  std::vector<std::string> alpn;
+};
+
+/// Parameters for building a realistic ClientHello.
+struct ClientHelloSpec {
+  std::string sni;                        ///< empty -> omit the extension
+  std::vector<std::string> alpn = {"h2", "http/1.1"};
+  std::vector<std::uint16_t> cipher_suites = {0x1301, 0x1302, 0x1303,
+                                              0xc02b, 0xc02f};
+  std::array<std::uint8_t, 32> random{};
+  std::vector<std::uint8_t> session_id;
+  bool offer_tls13 = true;  ///< adds supported_versions {0x0304, 0x0303}
+};
+
+/// Serialises a ClientHello handshake message wrapped in a single TLS
+/// record, exactly as it appears as the first bytes of a TCP connection.
+std::vector<std::uint8_t> build_client_hello_record(const ClientHelloSpec& spec);
+
+/// Serialises only the Handshake message (type + length + body, no record
+/// layer) — the form carried inside QUIC CRYPTO frames (RFC 9001 §4).
+std::vector<std::uint8_t> build_client_hello_handshake(
+    const ClientHelloSpec& spec);
+
+/// Parses a bare Handshake message (as reassembled from CRYPTO frames).
+ClientHello parse_client_hello_handshake(
+    std::span<const std::uint8_t> handshake);
+
+/// Parses one TLS record; returns the decoded ClientHello.
+/// Throws ParseError if the record is truncated, is not a handshake record,
+/// or does not contain a well-formed ClientHello.
+ClientHello parse_client_hello_record(std::span<const std::uint8_t> record);
+
+/// Outcome of incremental SNI extraction over a byte stream.
+enum class SniStatus {
+  kFound,         ///< well-formed ClientHello with an SNI
+  kNoSni,         ///< well-formed ClientHello without an SNI extension
+  kNeedMoreData,  ///< prefix looks like a ClientHello but is incomplete
+  kNotTls,        ///< stream does not start with a TLS handshake record
+};
+
+struct SniResult {
+  SniStatus status = SniStatus::kNotTls;
+  std::string sni;
+};
+
+/// Extracts the SNI from the first bytes of a TCP stream without fully
+/// validating the handshake — the fast path a passive observer runs per flow.
+/// Handles ClientHellos split across TCP segments via kNeedMoreData.
+SniResult extract_sni(std::span<const std::uint8_t> stream_prefix);
+
+/// Returns the total length (record header + body) of the first TLS record,
+/// or 0 if the header itself is incomplete.
+std::size_t first_record_span(std::span<const std::uint8_t> stream_prefix);
+
+}  // namespace netobs::net

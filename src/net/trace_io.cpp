@@ -1,0 +1,122 @@
+#include "net/trace_io.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "net/bytes.hpp"
+
+namespace netobs::net {
+
+namespace {
+
+constexpr std::uint32_t kPacketMagic = 0x4E504B31;  // "NPK1"
+constexpr std::uint32_t kEventMagic = 0x4E455631;   // "NEV1"
+
+void write_u32(std::ostream& os, std::uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint32_t read_u32(std::istream& is) {
+  std::uint32_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is) throw ParseError("trace: truncated u32");
+  return v;
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  std::uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is) throw ParseError("trace: truncated u64");
+  return v;
+}
+
+}  // namespace
+
+void save_packet_trace(std::ostream& os, const std::vector<Packet>& packets) {
+  write_u32(os, kPacketMagic);
+  write_u64(os, packets.size());
+  for (const auto& p : packets) {
+    write_u64(os, static_cast<std::uint64_t>(p.timestamp));
+    write_u32(os, p.tuple.src_ip);
+    write_u32(os, p.tuple.dst_ip);
+    write_u32(os, (static_cast<std::uint32_t>(p.tuple.src_port) << 16) |
+                      p.tuple.dst_port);
+    write_u32(os, static_cast<std::uint32_t>(p.tuple.proto));
+    write_u64(os, p.src_mac);
+    write_u64(os, p.subscriber_id);
+    write_u64(os, p.payload.size());
+    os.write(reinterpret_cast<const char*>(p.payload.data()),
+             static_cast<std::streamsize>(p.payload.size()));
+  }
+  if (!os) throw std::runtime_error("save_packet_trace: write failed");
+}
+
+std::vector<Packet> load_packet_trace(std::istream& is) {
+  if (read_u32(is) != kPacketMagic) {
+    throw ParseError("load_packet_trace: bad magic");
+  }
+  std::uint64_t count = read_u64(is);
+  std::vector<Packet> packets;
+  packets.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Packet p;
+    p.timestamp = static_cast<util::Timestamp>(read_u64(is));
+    p.tuple.src_ip = read_u32(is);
+    p.tuple.dst_ip = read_u32(is);
+    std::uint32_t ports = read_u32(is);
+    p.tuple.src_port = static_cast<std::uint16_t>(ports >> 16);
+    p.tuple.dst_port = static_cast<std::uint16_t>(ports);
+    p.tuple.proto = static_cast<Transport>(read_u32(is));
+    p.src_mac = read_u64(is);
+    p.subscriber_id = read_u64(is);
+    std::uint64_t len = read_u64(is);
+    if (len > (1ULL << 24)) throw ParseError("load_packet_trace: bad length");
+    p.payload.resize(static_cast<std::size_t>(len));
+    is.read(reinterpret_cast<char*>(p.payload.data()),
+            static_cast<std::streamsize>(len));
+    if (!is) throw ParseError("load_packet_trace: truncated payload");
+    packets.push_back(std::move(p));
+  }
+  return packets;
+}
+
+void save_event_trace(std::ostream& os,
+                      const std::vector<HostnameEvent>& events) {
+  write_u32(os, kEventMagic);
+  write_u64(os, events.size());
+  for (const auto& e : events) {
+    write_u32(os, e.user_id);
+    write_u64(os, static_cast<std::uint64_t>(e.timestamp));
+    write_u32(os, static_cast<std::uint32_t>(e.hostname.size()));
+    os.write(e.hostname.data(),
+             static_cast<std::streamsize>(e.hostname.size()));
+  }
+  if (!os) throw std::runtime_error("save_event_trace: write failed");
+}
+
+std::vector<HostnameEvent> load_event_trace(std::istream& is) {
+  if (read_u32(is) != kEventMagic) {
+    throw ParseError("load_event_trace: bad magic");
+  }
+  std::uint64_t count = read_u64(is);
+  std::vector<HostnameEvent> events;
+  events.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    HostnameEvent e;
+    e.user_id = read_u32(is);
+    e.timestamp = static_cast<util::Timestamp>(read_u64(is));
+    std::uint32_t len = read_u32(is);
+    if (len > 253) throw ParseError("load_event_trace: bad hostname length");
+    e.hostname.resize(len);
+    is.read(e.hostname.data(), len);
+    if (!is) throw ParseError("load_event_trace: truncated hostname");
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+}  // namespace netobs::net

@@ -1,0 +1,30 @@
+// Binary capture persistence: save/load packet traces and hostname-event
+// streams, so an observer deployment can record on the wire and replay
+// offline (and so experiments are re-runnable from identical inputs).
+//
+// The format is a minimal length-prefixed record stream with a magic +
+// version header — not pcap (no libpcap dependency is available offline),
+// but structurally equivalent for this library's Packet model.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace netobs::net {
+
+/// Writes packets as a replayable binary stream. Throws std::runtime_error
+/// on I/O failure.
+void save_packet_trace(std::ostream& os, const std::vector<Packet>& packets);
+
+/// Reads a stream written by save_packet_trace. Throws ParseError on bad
+/// magic/corruption and std::runtime_error on I/O failure.
+std::vector<Packet> load_packet_trace(std::istream& is);
+
+/// Same for extracted hostname events (the observer's output).
+void save_event_trace(std::ostream& os,
+                      const std::vector<HostnameEvent>& events);
+std::vector<HostnameEvent> load_event_trace(std::istream& is);
+
+}  // namespace netobs::net

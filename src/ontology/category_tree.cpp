@@ -1,0 +1,215 @@
+#include "ontology/category_tree.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/string_util.hpp"
+
+namespace netobs::ontology {
+
+CategoryId CategoryTree::add_root(std::string name) {
+  nodes_.push_back({std::move(name), kNoCategory, 0});
+  return static_cast<CategoryId>(nodes_.size() - 1);
+}
+
+CategoryId CategoryTree::add_child(CategoryId parent, std::string_view name) {
+  const Category& p = at(parent);
+  Category child;
+  child.name = p.name + "/" + std::string(name);
+  child.parent = parent;
+  child.level = p.level + 1;
+  nodes_.push_back(std::move(child));
+  return static_cast<CategoryId>(nodes_.size() - 1);
+}
+
+const Category& CategoryTree::at(CategoryId id) const {
+  if (id >= nodes_.size()) {
+    throw std::out_of_range("CategoryTree::at: bad id " + std::to_string(id));
+  }
+  return nodes_[id];
+}
+
+CategoryId CategoryTree::ancestor_at_level(CategoryId id, int max_level) const {
+  CategoryId cur = id;
+  while (at(cur).level > max_level) cur = at(cur).parent;
+  return cur;
+}
+
+std::vector<CategoryId> CategoryTree::roots() const {
+  return categories_up_to_level(0);
+}
+
+std::vector<CategoryId> CategoryTree::categories_up_to_level(
+    int max_level) const {
+  std::vector<CategoryId> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].level <= max_level) {
+      out.push_back(static_cast<CategoryId>(i));
+    }
+  }
+  return out;
+}
+
+std::vector<CategoryId> CategoryTree::children(CategoryId id) const {
+  std::vector<CategoryId> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].parent == id) out.push_back(static_cast<CategoryId>(i));
+  }
+  return out;
+}
+
+int CategoryTree::max_depth() const {
+  int depth = 0;
+  for (const auto& n : nodes_) depth = std::max(depth, n.level);
+  return depth;
+}
+
+namespace {
+
+// The top-level Adwords topics visible in Figure 6 of the paper.
+constexpr const char* kTopLevelNames[] = {
+    "Online Communities", "Arts & Entertainment", "People & Society",
+    "Jobs & Education", "Games", "Internet & Telecom",
+    "Computers & Electronics", "Shopping", "News", "Business & Industrial",
+    "Reference", "Books & Literature", "Sports", "Travel", "Finance",
+    "Health", "Real Estate", "Beauty & Fitness", "Autos & Vehicles",
+    "Science", "Hobbies & Leisure", "Food & Drink", "Law & Government",
+    "Pets & Animals", "Home & Garden", "Telecom", "Copiers & Fax",
+    "Awards & Prizes", "Reviews & Comparisons", "DIY & Expert Content",
+    "Clubs & Nightlife", "Scholarships & Financial Aid",
+    "Telescopes & Optical Devices", "Crime & Mystery Films",
+};
+constexpr std::size_t kTopLevelNameCount =
+    sizeof(kTopLevelNames) / sizeof(kTopLevelNames[0]);
+
+}  // namespace
+
+CategoryTree make_adwords_like_tree(util::Pcg32& rng,
+                                    const AdwordsTreeParams& params) {
+  if (params.top_level == 0) {
+    throw std::invalid_argument("make_adwords_like_tree: need >= 1 root");
+  }
+  if (params.second_level_target < params.top_level * 2 ||
+      params.total_categories < params.second_level_target) {
+    throw std::invalid_argument(
+        "make_adwords_like_tree: need top_level*2 <= second_level_target <= "
+        "total_categories");
+  }
+
+  CategoryTree tree;
+  std::vector<CategoryId> roots;
+  roots.reserve(params.top_level);
+  for (std::size_t i = 0; i < params.top_level; ++i) {
+    std::string name = i < kTopLevelNameCount
+                           ? kTopLevelNames[i]
+                           : util::format("Topic %zu", i);
+    roots.push_back(tree.add_root(std::move(name)));
+  }
+
+  // Second level: distribute (target - roots) subcategories unevenly, each
+  // root getting at least one ("Telecom only has two subcategories, while
+  // Computers & Electronics has 123").
+  std::size_t second_total = params.second_level_target - params.top_level;
+  auto shares = rng.dirichlet(params.top_level, 0.35);
+  // Every root keeps at least two subcategories ("Telecom only has two
+  // subcategories") when the budget allows it.
+  std::size_t floor_subcats = second_total >= 2 * params.top_level ? 2 : 1;
+  std::vector<std::size_t> per_root(params.top_level, floor_subcats);
+  std::size_t assigned = floor_subcats * params.top_level;
+  for (std::size_t i = 0; i < params.top_level && assigned < second_total;
+       ++i) {
+    auto extra = static_cast<std::size_t>(
+        shares[i] * static_cast<double>(second_total - assigned));
+    extra = std::min(extra, second_total - assigned);
+    per_root[i] += extra;
+    assigned += extra;
+  }
+  // Rounding leftovers go to random roots.
+  while (assigned < second_total) {
+    ++per_root[rng.next_below(static_cast<std::uint32_t>(params.top_level))];
+    ++assigned;
+  }
+
+  std::vector<CategoryId> internal;  // candidate parents for deeper levels
+  for (std::size_t i = 0; i < params.top_level; ++i) {
+    for (std::size_t j = 0; j < per_root[i]; ++j) {
+      CategoryId child =
+          tree.add_child(roots[i], util::format("Sub %zu", j));
+      internal.push_back(child);
+    }
+  }
+
+  // Deeper levels: attach the remaining categories below random level >= 1
+  // nodes, respecting max_depth. Bias toward a few "deep" roots by the same
+  // uneven shares.
+  std::size_t remaining = params.total_categories - tree.size();
+  std::size_t serial = 0;
+  while (remaining > 0) {
+    CategoryId parent =
+        internal[rng.next_below(static_cast<std::uint32_t>(internal.size()))];
+    if (tree.at(parent).level >= params.max_depth - 1) continue;
+    CategoryId child =
+        tree.add_child(parent, util::format("Node %zu", serial++));
+    internal.push_back(child);
+    --remaining;
+  }
+  return tree;
+}
+
+CategorySpace::CategorySpace(const CategoryTree& tree) : tree_(&tree) {
+  tree_to_flat_.assign(tree.size(), 0);
+  for (CategoryId id : tree.categories_up_to_level(1)) {
+    flat_to_tree_.push_back(id);
+  }
+  // Flat index lookup for level <= 1 nodes.
+  std::vector<std::size_t> flat_of_tree(tree.size(),
+                                        static_cast<std::size_t>(-1));
+  for (std::size_t f = 0; f < flat_to_tree_.size(); ++f) {
+    flat_of_tree[flat_to_tree_[f]] = f;
+  }
+  for (std::size_t t = 0; t < tree.size(); ++t) {
+    CategoryId anc =
+        tree.ancestor_at_level(static_cast<CategoryId>(t), 1);
+    tree_to_flat_[t] = flat_of_tree[anc];
+  }
+  top_of_flat_.resize(flat_to_tree_.size());
+  for (std::size_t f = 0; f < flat_to_tree_.size(); ++f) {
+    CategoryId top = tree.ancestor_at_level(flat_to_tree_[f], 0);
+    top_of_flat_[f] = flat_of_tree[top];
+    if (tree.at(flat_to_tree_[f]).level == 0) {
+      top_level_ids_.push_back(f);
+    }
+  }
+}
+
+std::size_t CategorySpace::flatten(CategoryId tree_id) const {
+  if (tree_id >= tree_to_flat_.size()) {
+    throw std::out_of_range("CategorySpace::flatten: bad tree id");
+  }
+  return tree_to_flat_[tree_id];
+}
+
+CategoryId CategorySpace::tree_id(std::size_t flat_id) const {
+  if (flat_id >= flat_to_tree_.size()) {
+    throw std::out_of_range("CategorySpace::tree_id: bad flat id");
+  }
+  return flat_to_tree_[flat_id];
+}
+
+const std::string& CategorySpace::name(std::size_t flat_id) const {
+  return tree_->at(tree_id(flat_id)).name;
+}
+
+std::size_t CategorySpace::top_level_of(std::size_t flat_id) const {
+  if (flat_id >= top_of_flat_.size()) {
+    throw std::out_of_range("CategorySpace::top_level_of: bad flat id");
+  }
+  return top_of_flat_[flat_id];
+}
+
+bool is_valid_category_vector(const CategoryVector& v) {
+  return std::all_of(v.begin(), v.end(),
+                     [](float x) { return x >= 0.0F && x <= 1.0F; });
+}
+
+}  // namespace netobs::ontology

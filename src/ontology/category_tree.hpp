@@ -1,0 +1,120 @@
+// Hierarchical category ontology, modelled on the Google Adwords Display
+// Planner taxonomy the paper uses for host labeling (Section 5.4):
+//   - 1397 categories in a hierarchy of uneven depth (Telecom has 2
+//     subcategories; Computers & Electronics has 123 over 5 levels),
+//   - truncated to the first two levels for profiling -> 328 categories.
+//
+// CategoryTree stores the full hierarchy; CategorySpace is the flattened
+// <= 2-level view in which session profiles (the c-vectors of Section 4.1)
+// live.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace netobs::ontology {
+
+using CategoryId = std::uint32_t;
+constexpr CategoryId kNoCategory = static_cast<CategoryId>(-1);
+
+struct Category {
+  std::string name;                 ///< path-style, e.g. "Travel/Hotels"
+  CategoryId parent = kNoCategory;  ///< kNoCategory for roots
+  int level = 0;                    ///< 0 for top-level categories
+};
+
+class CategoryTree {
+ public:
+  /// Adds a top-level category; returns its id.
+  CategoryId add_root(std::string name);
+
+  /// Adds a child of `parent`; name is stored as "<parent path>/<name>".
+  /// Throws std::out_of_range for an invalid parent.
+  CategoryId add_child(CategoryId parent, std::string_view name);
+
+  const Category& at(CategoryId id) const;
+  std::size_t size() const { return nodes_.size(); }
+
+  /// Walks up until the node's level is <= max_level.
+  CategoryId ancestor_at_level(CategoryId id, int max_level) const;
+
+  /// Ids of all roots, in insertion order.
+  std::vector<CategoryId> roots() const;
+
+  /// Ids of all categories with level <= max_level, in id order.
+  std::vector<CategoryId> categories_up_to_level(int max_level) const;
+
+  /// Direct children of a node.
+  std::vector<CategoryId> children(CategoryId id) const;
+
+  int max_depth() const;
+
+ private:
+  std::vector<Category> nodes_;
+};
+
+/// Parameters for the synthetic Adwords-like taxonomy. Defaults reproduce
+/// the regime of Section 5.4: 34 top-level topics, ~1397 total categories,
+/// uneven per-root subtree sizes (some roots barely branch, some grow deep
+/// 5-level subtrees), and 328 categories at levels 0-1.
+struct AdwordsTreeParams {
+  std::size_t top_level = 34;
+  std::size_t total_categories = 1397;
+  std::size_t second_level_target = 328;  ///< |C|: level-0 + level-1 nodes
+  int max_depth = 5;                      ///< deepest allowed level index
+};
+
+/// Generates a random hierarchy with the shape above. Deterministic in rng.
+CategoryTree make_adwords_like_tree(util::Pcg32& rng,
+                                    const AdwordsTreeParams& params = {});
+
+/// The flattened <= 2-level category space "C" of Section 4.1. Profiles and
+/// host labels are vectors indexed by the dense ids of this space.
+class CategorySpace {
+ public:
+  /// Builds the space from every tree category with level <= 1.
+  explicit CategorySpace(const CategoryTree& tree);
+
+  /// Number of categories |C| (the paper's 328).
+  std::size_t size() const { return flat_to_tree_.size(); }
+
+  /// Maps any tree category to its flat id (walking up to level <= 1 first).
+  std::size_t flatten(CategoryId tree_id) const;
+
+  /// Tree id backing a flat id.
+  CategoryId tree_id(std::size_t flat_id) const;
+
+  const std::string& name(std::size_t flat_id) const;
+
+  /// Flat id of the *top-level* ancestor of a flat id (used to aggregate the
+  /// 328-category profiles into the 34 topics of Figure 6).
+  std::size_t top_level_of(std::size_t flat_id) const;
+
+  /// Flat ids that are top-level categories.
+  const std::vector<std::size_t>& top_level_ids() const {
+    return top_level_ids_;
+  }
+
+  const CategoryTree& tree() const { return *tree_; }
+
+ private:
+  const CategoryTree* tree_;
+  std::vector<CategoryId> flat_to_tree_;
+  std::vector<std::size_t> tree_to_flat_;  // indexed by tree id
+  std::vector<std::size_t> top_of_flat_;
+  std::vector<std::size_t> top_level_ids_;
+};
+
+/// Host label: the categorisation vector c^h of Section 4.1 — importance of
+/// each flat category for the host, each entry in [0,1] (explicitly *not* a
+/// probability distribution; see the paper's footnote 2).
+using CategoryVector = std::vector<float>;
+
+/// Checks every entry is within [0,1].
+bool is_valid_category_vector(const CategoryVector& v);
+
+}  // namespace netobs::ontology

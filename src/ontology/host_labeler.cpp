@@ -1,0 +1,47 @@
+#include "ontology/host_labeler.hpp"
+
+#include <stdexcept>
+
+namespace netobs::ontology {
+
+HostLabeler::HostLabeler(std::size_t category_count)
+    : category_count_(category_count) {
+  if (category_count == 0) {
+    throw std::invalid_argument("HostLabeler: category_count must be > 0");
+  }
+}
+
+void HostLabeler::set_label(const std::string& host, CategoryVector label) {
+  if (label.size() != category_count_) {
+    throw std::invalid_argument("HostLabeler::set_label: dimension mismatch");
+  }
+  if (!is_valid_category_vector(label)) {
+    throw std::invalid_argument(
+        "HostLabeler::set_label: entries must be in [0,1]");
+  }
+  labels_[host] = std::move(label);
+}
+
+const CategoryVector* HostLabeler::label_of(const std::string& host) const {
+  auto it = labels_.find(host);
+  return it == labels_.end() ? nullptr : &it->second;
+}
+
+bool HostLabeler::is_labeled(const std::string& host) const {
+  return labels_.contains(host);
+}
+
+double HostLabeler::coverage(std::size_t total_hosts) const {
+  if (total_hosts == 0) return 0.0;
+  return static_cast<double>(labels_.size()) /
+         static_cast<double>(total_hosts);
+}
+
+std::vector<std::string> HostLabeler::labeled_hosts() const {
+  std::vector<std::string> out;
+  out.reserve(labels_.size());
+  for (const auto& [host, _] : labels_) out.push_back(host);
+  return out;
+}
+
+}  // namespace netobs::ontology

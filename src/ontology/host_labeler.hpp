@@ -1,0 +1,52 @@
+// Hostname -> category-vector store: the labeled subset H_L of Section 4.1.
+//
+// In the paper this is filled by querying the Google Adwords Display Planner
+// for ~50K of the 470K observed hostnames (10.6% coverage); here the
+// synthetic world plays Adwords' role, labeling a configurable fraction of
+// hosts. Everything downstream (Eq. 3/4, ad selection) only sees this
+// interface, so the substitution is invisible to the core algorithm.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ontology/category_tree.hpp"
+
+namespace netobs::ontology {
+
+class HostLabeler {
+ public:
+  /// category_count: dimension |C| of every stored vector.
+  explicit HostLabeler(std::size_t category_count);
+
+  /// Stores (or replaces) the label of a host. Throws std::invalid_argument
+  /// if the vector has the wrong dimension or entries outside [0,1].
+  void set_label(const std::string& host, CategoryVector label);
+
+  /// nullptr when the host is unlabeled.
+  const CategoryVector* label_of(const std::string& host) const;
+
+  bool is_labeled(const std::string& host) const;
+
+  std::size_t labeled_count() const { return labels_.size(); }
+  std::size_t category_count() const { return category_count_; }
+
+  /// Coverage with respect to a universe of `total_hosts` hostnames
+  /// (the paper's 10.6%).
+  double coverage(std::size_t total_hosts) const;
+
+  /// All labeled hostnames (unordered).
+  std::vector<std::string> labeled_hosts() const;
+
+  const std::unordered_map<std::string, CategoryVector>& labels() const {
+    return labels_;
+  }
+
+ private:
+  std::size_t category_count_;
+  std::unordered_map<std::string, CategoryVector> labels_;
+};
+
+}  // namespace netobs::ontology

@@ -1,0 +1,113 @@
+#include "profile/profiler.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/vec_math.hpp"
+
+namespace netobs::profile {
+
+std::vector<std::size_t> SessionProfile::top_categories(std::size_t k) const {
+  std::vector<std::size_t> ids(categories.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  k = std::min(k, ids.size());
+  std::partial_sort(ids.begin(), ids.begin() + static_cast<std::ptrdiff_t>(k),
+                    ids.end(), [this](std::size_t a, std::size_t b) {
+                      if (categories[a] != categories[b]) {
+                        return categories[a] > categories[b];
+                      }
+                      return a < b;
+                    });
+  ids.resize(k);
+  return ids;
+}
+
+SessionProfiler::SessionProfiler(const embedding::HostEmbedding& embedding,
+                                 const embedding::CosineKnnIndex& index,
+                                 const ontology::HostLabeler& labeler,
+                                 ProfilerParams params)
+    : embedding_(&embedding),
+      index_(&index),
+      labeler_(&labeler),
+      params_(params) {
+  if (params_.knn == 0) {
+    throw std::invalid_argument("SessionProfiler: knn must be > 0");
+  }
+}
+
+SessionProfile SessionProfiler::profile(
+    const std::vector<std::string>& hostnames) const {
+  SessionProfile out;
+  out.categories.assign(labeler_->category_count(), 0.0F);
+
+  // --- Aggregate session vector s = g({h}).
+  std::vector<std::span<const float>> rows;
+  std::vector<std::vector<float>> normalized_storage;
+  for (const auto& host : hostnames) {
+    auto vec = embedding_->vector_of(host);
+    if (!vec) continue;
+    if (params_.aggregation == Aggregation::kNormalizedMean) {
+      normalized_storage.emplace_back(vec->begin(), vec->end());
+      util::normalize(normalized_storage.back());
+    } else {
+      rows.push_back(*vec);
+    }
+  }
+  if (params_.aggregation == Aggregation::kNormalizedMean) {
+    for (const auto& v : normalized_storage) rows.emplace_back(v);
+  }
+  out.hosts_in_vocab = rows.size();
+  if (rows.empty()) return out;  // nothing known about this session
+  out.session_vector = util::mean_of_rows(rows);
+
+  // --- Weighted contributors: alpha = 1 for labeled session hosts (L),
+  //     alpha = [cos(h, s)]_+ for labeled kNN hosts (Eq. 3). Only hosts in
+  //     H_L can contribute category mass (the Eq. 4 sum runs over the
+  //     intersection with H_L).
+  double total_weight = 0.0;
+  std::vector<double> accum(out.categories.size(), 0.0);
+  std::unordered_set<std::string> in_session_labeled;
+
+  auto contribute = [&](const ontology::CategoryVector& label, double alpha) {
+    for (std::size_t i = 0; i < label.size(); ++i) {
+      accum[i] += alpha * static_cast<double>(label[i]);
+    }
+    total_weight += alpha;
+  };
+
+  for (const auto& host : hostnames) {
+    if (const auto* label = labeler_->label_of(host)) {
+      if (in_session_labeled.insert(host).second) {
+        contribute(*label, 1.0);
+        ++out.labeled_in_session;
+      }
+    }
+  }
+
+  auto neighbors = params_.use_embedding_neighbors
+                       ? index_->query(out.session_vector, params_.knn)
+                       : std::vector<embedding::CosineKnnIndex::Neighbor>{};
+  for (const auto& nb : neighbors) {
+    const std::string& host = embedding_->token(nb.id);
+    if (in_session_labeled.contains(host)) continue;  // already alpha = 1
+    const auto* label = labeler_->label_of(host);
+    if (label == nullptr) continue;
+    ++out.labeled_neighbors;
+    double alpha = std::max(0.0F, nb.similarity);  // [x]_+
+    if (alpha == 0.0) continue;
+    contribute(*label, alpha);
+  }
+
+  out.weight_mass = total_weight;
+  if (total_weight > 0.0) {
+    for (std::size_t i = 0; i < accum.size(); ++i) {
+      // c^h_i in [0,1] and alpha-weighted average keeps c_i in [0,1].
+      out.categories[i] = static_cast<float>(accum[i] / total_weight);
+    }
+  }
+  return out;
+}
+
+}  // namespace netobs::profile

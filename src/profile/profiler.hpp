@@ -1,0 +1,82 @@
+// Session profiling — Equations 3 and 4 of Section 4.1.
+//
+// Given a session s_u^T:
+//   1. aggregate the embeddings of its hostnames into a session vector
+//      s = g({h : h in s_u^T})  (g defaults to the mean),
+//   2. find the N=1000 hostnames most cosine-similar to s (the set H_s),
+//   3. join with the session's labeled hosts L to get H_s^L,
+//   4. weight every h in H_s^L by Eq. 3:
+//        alpha_h = 1                       if h in L
+//        alpha_h = [cos(h, s)]_+           otherwise,
+//   5. mix the known category vectors c^h of labeled hosts by Eq. 4:
+//        c_i = sum_h alpha_h c^h_i / sum_h alpha_h,
+// producing the session profile c in [0,1]^C.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "embedding/knn.hpp"
+#include "embedding/sgns.hpp"
+#include "ontology/host_labeler.hpp"
+#include "profile/session.hpp"
+
+namespace netobs::profile {
+
+/// Aggregation function g over hostname embeddings.
+enum class Aggregation {
+  kMean,            ///< arithmetic mean of raw embeddings (default)
+  kNormalizedMean,  ///< mean of L2-normalised embeddings
+};
+
+struct ProfilerParams {
+  std::size_t knn = 1000;  ///< N, neighbours considered per session
+  Aggregation aggregation = Aggregation::kMean;
+  /// When false, the kNN step is skipped and only labeled session hosts
+  /// contribute (the "ontology-only" baseline the paper argues against).
+  bool use_embedding_neighbors = true;
+};
+
+/// A computed session profile.
+struct SessionProfile {
+  ontology::CategoryVector categories;  ///< c^{s_u^T}, entries in [0,1]
+  std::vector<float> session_vector;    ///< aggregated embedding s
+  std::size_t hosts_in_vocab = 0;       ///< session hosts with embeddings
+  std::size_t labeled_in_session = 0;   ///< |L|
+  std::size_t labeled_neighbors = 0;    ///< labeled hosts among H_s
+  double weight_mass = 0.0;             ///< sum of alpha over contributors
+
+  /// True when no category information could be attached (empty session,
+  /// all hosts out of vocabulary, or no labeled host reachable).
+  bool empty() const { return weight_mass == 0.0; }
+
+  /// Top-k categories by importance, descending.
+  std::vector<std::size_t> top_categories(std::size_t k) const;
+};
+
+class SessionProfiler {
+ public:
+  /// Non-owning: embedding, index and labeler must outlive the profiler.
+  SessionProfiler(const embedding::HostEmbedding& embedding,
+                  const embedding::CosineKnnIndex& index,
+                  const ontology::HostLabeler& labeler,
+                  ProfilerParams params = ProfilerParams());
+
+  /// Profiles a hostname list (a session's unique hosts).
+  SessionProfile profile(const std::vector<std::string>& hostnames) const;
+
+  SessionProfile profile(const Session& session) const {
+    return profile(session.hostnames);
+  }
+
+  const ProfilerParams& params() const { return params_; }
+
+ private:
+  const embedding::HostEmbedding* embedding_;
+  const embedding::CosineKnnIndex* index_;
+  const ontology::HostLabeler* labeler_;
+  ProfilerParams params_;
+};
+
+}  // namespace netobs::profile

@@ -1,0 +1,71 @@
+#include "profile/service.hpp"
+
+#include <stdexcept>
+
+namespace netobs::profile {
+
+ProfilingService::ProfilingService(const ontology::HostLabeler& labeler,
+                                   const filter::Blocklist* blocklist,
+                                   ServiceParams params)
+    : labeler_(&labeler), blocklist_(blocklist), params_(params) {}
+
+void ProfilingService::ingest(const net::HostnameEvent& event) {
+  if (blocklist_ != nullptr && blocklist_->is_blocked(event.hostname)) {
+    ++filtered_;
+    return;
+  }
+  store_.ingest(event);
+}
+
+void ProfilingService::ingest(const std::vector<net::HostnameEvent>& events) {
+  for (const auto& e : events) ingest(e);
+}
+
+bool ProfilingService::retrain(std::int64_t train_day) {
+  auto sequences = store_.day_sequences(train_day);
+  if (sequences.empty()) return false;
+  embedding::SgnsTrainer trainer(params_.sgns, params_.vocab);
+  std::unique_ptr<embedding::HostEmbedding> fresh;
+  try {
+    fresh = std::make_unique<embedding::HostEmbedding>(
+        params_.warm_start && model_ ? trainer.fit_warm(sequences, *model_)
+                                     : trainer.fit(sequences));
+  } catch (const std::invalid_argument&) {
+    // Not enough data for the vocabulary thresholds: keep the old model,
+    // exactly what a production back-end would do on a thin day.
+    return false;
+  }
+  model_ = std::move(fresh);
+  index_ = std::make_unique<embedding::CosineKnnIndex>(*model_);
+  profiler_ = std::make_unique<SessionProfiler>(*model_, *index_, *labeler_,
+                                                params_.profiler);
+  return true;
+}
+
+const embedding::HostEmbedding& ProfilingService::model() const {
+  if (!model_) throw std::logic_error("ProfilingService: no model trained");
+  return *model_;
+}
+
+Session ProfilingService::session_of(std::uint32_t user,
+                                     util::Timestamp now) const {
+  return store_.session_of(user, now, params_.profile_window);
+}
+
+SessionProfile ProfilingService::profile_user(std::uint32_t user,
+                                              util::Timestamp now) const {
+  if (!profiler_) {
+    throw std::logic_error("ProfilingService: profile before retrain()");
+  }
+  return profiler_->profile(session_of(user, now));
+}
+
+SessionProfile ProfilingService::profile_hostnames(
+    const std::vector<std::string>& hostnames) const {
+  if (!profiler_) {
+    throw std::logic_error("ProfilingService: profile before retrain()");
+  }
+  return profiler_->profile(hostnames);
+}
+
+}  // namespace netobs::profile

@@ -1,0 +1,81 @@
+// End-to-end profiling service: the back-end of Section 5.
+//
+// Operational loop (Section 5.4):
+//   - hostname events stream in from the observer (tracker/ad hostnames
+//     dropped through the blocklist first — "we decided not to use those
+//     hostnames for profiling"),
+//   - the SKIPGRAM model is retrained every day on the previous day's
+//     request sequences of all users,
+//   - whenever a user reports, her session profile is computed from the
+//     hostnames of the last T = 20 minutes with the current model.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "filter/blocklist.hpp"
+#include "profile/profiler.hpp"
+#include "profile/session.hpp"
+
+namespace netobs::profile {
+
+struct ServiceParams {
+  Window profile_window = Window::minutes(20);
+  ProfilerParams profiler;
+  embedding::SgnsParams sgns;
+  embedding::VocabularyParams vocab;
+  /// When true, each daily retraining warm-starts from the previous day's
+  /// model instead of training from scratch (extension; the paper retrains
+  /// fresh every day).
+  bool warm_start = false;
+};
+
+class ProfilingService {
+ public:
+  /// labeler must outlive the service; blocklist may be nullptr (no
+  /// filtering).
+  ProfilingService(const ontology::HostLabeler& labeler,
+                   const filter::Blocklist* blocklist,
+                   ServiceParams params = ServiceParams());
+
+  /// Feeds observer events (blocked hostnames are silently dropped).
+  void ingest(const net::HostnameEvent& event);
+  void ingest(const std::vector<net::HostnameEvent>& events);
+
+  /// Number of events dropped by the blocklist so far.
+  std::size_t filtered_events() const { return filtered_; }
+
+  /// Retrains the model on the sequences of `train_day` (the operational
+  /// loop passes yesterday). Returns false (keeping any previous model)
+  /// when that day has no usable data.
+  bool retrain(std::int64_t train_day);
+
+  bool has_model() const { return model_ != nullptr; }
+  const embedding::HostEmbedding& model() const;
+
+  /// Session of `user` ending at `now` under the service window.
+  Session session_of(std::uint32_t user, util::Timestamp now) const;
+
+  /// Profiles a user at time `now`. Requires a trained model.
+  SessionProfile profile_user(std::uint32_t user, util::Timestamp now) const;
+
+  /// Profiles an explicit hostname list with the current model.
+  SessionProfile profile_hostnames(
+      const std::vector<std::string>& hostnames) const;
+
+  SessionStore& store() { return store_; }
+  const SessionStore& store() const { return store_; }
+
+ private:
+  const ontology::HostLabeler* labeler_;
+  const filter::Blocklist* blocklist_;
+  ServiceParams params_;
+  SessionStore store_;
+  std::size_t filtered_ = 0;
+
+  std::unique_ptr<embedding::HostEmbedding> model_;
+  std::unique_ptr<embedding::CosineKnnIndex> index_;
+  std::unique_ptr<SessionProfiler> profiler_;
+};
+
+}  // namespace netobs::profile

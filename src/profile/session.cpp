@@ -1,0 +1,94 @@
+#include "profile/session.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace netobs::profile {
+
+SessionStore::SessionStore(util::Timestamp horizon) : horizon_(horizon) {
+  if (horizon <= 0) {
+    throw std::invalid_argument("SessionStore: horizon must be > 0");
+  }
+}
+
+void SessionStore::ingest(const net::HostnameEvent& event) {
+  auto& visits = per_user_[event.user_id];
+  // Events are expected roughly in order; tolerate small reordering by
+  // inserting at the back (queries sort nothing, they scan backwards).
+  visits.push_back({event.timestamp, event.hostname});
+  ++event_count_;
+  // Prune anything older than the horizon.
+  util::Timestamp cutoff = event.timestamp - horizon_;
+  while (!visits.empty() && visits.front().timestamp < cutoff) {
+    visits.pop_front();
+    --event_count_;
+  }
+}
+
+void SessionStore::ingest(const std::vector<net::HostnameEvent>& events) {
+  for (const auto& e : events) ingest(e);
+}
+
+Session SessionStore::session_of(std::uint32_t user, util::Timestamp now,
+                                 const Window& window) const {
+  Session session;
+  session.user_id = user;
+  session.end = now;
+  auto it = per_user_.find(user);
+  if (it == per_user_.end()) return session;
+  const auto& visits = it->second;
+
+  // Collect candidate visits inside the window, newest first, then reverse.
+  std::vector<const Visit*> in_window;
+  for (auto rit = visits.rbegin(); rit != visits.rend(); ++rit) {
+    if (rit->timestamp > now) continue;  // future events (out of order feed)
+    if (window.mode == Window::Mode::kTime) {
+      if (rit->timestamp <= now - window.duration) break;
+    } else if (in_window.size() >= window.count) {
+      break;
+    }
+    in_window.push_back(&*rit);
+  }
+  std::reverse(in_window.begin(), in_window.end());
+
+  // First-visit-only dedup, preserving order of first occurrence.
+  std::unordered_set<std::string_view> seen;
+  for (const Visit* v : in_window) {
+    if (seen.insert(v->hostname).second) {
+      session.hostnames.push_back(v->hostname);
+    }
+  }
+  return session;
+}
+
+std::vector<std::vector<std::string>> SessionStore::day_sequences(
+    std::int64_t day_index) const {
+  std::vector<std::vector<std::string>> out;
+  util::Timestamp begin = day_index * util::kDay;
+  util::Timestamp end = begin + util::kDay;
+  for (const auto& [user, visits] : per_user_) {
+    std::vector<std::string> seq;
+    for (const auto& v : visits) {
+      if (v.timestamp >= begin && v.timestamp < end) {
+        seq.push_back(v.hostname);
+      }
+    }
+    if (!seq.empty()) out.push_back(std::move(seq));
+  }
+  // Deterministic order regardless of hash-map iteration.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::uint32_t> SessionStore::users() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(per_user_.size());
+  for (const auto& [user, visits] : per_user_) {
+    if (!visits.empty()) out.push_back(user);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace netobs::profile

@@ -1,0 +1,89 @@
+// User sessions (Section 4.1):
+//
+//   s_u^T = [h_1, ..., h_n] — the sequence of hosts visited by user u in the
+//   last window of length T, where T is either a time interval (the paper's
+//   deployment uses T = 20 minutes) or a host count.
+//
+// If a host was visited more than once inside the window only the first
+// visit counts, so interactive services (video/audio streaming) that
+// reconnect repeatedly do not dominate the profile.
+//
+// SessionStore ingests observer HostnameEvents and answers window queries;
+// it is also the source of the per-user-per-day training sequences for the
+// daily SKIPGRAM retraining of Section 5.4.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "util/sim_time.hpp"
+
+namespace netobs::profile {
+
+/// Window specification: exactly one of the two modes.
+struct Window {
+  enum class Mode { kTime, kCount };
+  Mode mode = Mode::kTime;
+  util::Timestamp duration = 20 * util::kMinute;  ///< for kTime
+  std::size_t count = 0;                          ///< for kCount
+
+  static Window minutes(std::int64_t m) {
+    return Window{Mode::kTime, m * util::kMinute, 0};
+  }
+  static Window last_hosts(std::size_t n) {
+    return Window{Mode::kCount, 0, n};
+  }
+};
+
+/// A materialised session: unique hostnames in first-visit order.
+struct Session {
+  std::uint32_t user_id = 0;
+  util::Timestamp end = 0;  ///< query time
+  std::vector<std::string> hostnames;
+
+  bool empty() const { return hostnames.empty(); }
+  std::size_t size() const { return hostnames.size(); }
+};
+
+class SessionStore {
+ public:
+  /// History horizon: events older than this (relative to the newest event
+  /// per user) are pruned. Must cover at least the training lookback.
+  explicit SessionStore(util::Timestamp horizon = 2 * util::kDay);
+
+  void ingest(const net::HostnameEvent& event);
+  void ingest(const std::vector<net::HostnameEvent>& events);
+
+  /// The session of `user` at time `now` for the given window, applying the
+  /// first-visit-only rule.
+  Session session_of(std::uint32_t user, util::Timestamp now,
+                     const Window& window) const;
+
+  /// Per-user hostname sequences for one whole day (for model training;
+  /// Section 5.4 trains on "the sequence of hosts visited by all the users
+  /// during the whole previous day"). No dedup here — the raw request
+  /// stream is what SKIPGRAM learns from.
+  std::vector<std::vector<std::string>> day_sequences(
+      std::int64_t day_index) const;
+
+  /// Users with at least one stored event.
+  std::vector<std::uint32_t> users() const;
+
+  std::size_t event_count() const { return event_count_; }
+
+ private:
+  struct Visit {
+    util::Timestamp timestamp;
+    std::string hostname;
+  };
+
+  util::Timestamp horizon_;
+  std::unordered_map<std::uint32_t, std::deque<Visit>> per_user_;
+  std::size_t event_count_ = 0;
+};
+
+}  // namespace netobs::profile

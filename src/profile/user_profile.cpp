@@ -1,0 +1,79 @@
+#include "profile/user_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace netobs::profile {
+
+UserProfileStore::UserProfileStore(std::size_t category_count,
+                                   UserProfileParams params)
+    : category_count_(category_count), params_(params) {
+  if (category_count == 0) {
+    throw std::invalid_argument("UserProfileStore: category_count == 0");
+  }
+  if (params_.half_life <= 0.0) {
+    throw std::invalid_argument("UserProfileStore: half_life must be > 0");
+  }
+}
+
+double UserProfileStore::decay_factor(util::Timestamp from,
+                                      util::Timestamp to) const {
+  if (to <= from) return 1.0;
+  double dt = static_cast<double>(to - from);
+  return std::exp2(-dt / params_.half_life);
+}
+
+void UserProfileStore::update(std::uint32_t user, util::Timestamp when,
+                              const SessionProfile& session) {
+  if (session.empty()) return;
+  update(user, when, session.categories);
+}
+
+void UserProfileStore::update(std::uint32_t user, util::Timestamp when,
+                              const ontology::CategoryVector& categories) {
+  if (categories.size() != category_count_) {
+    throw std::invalid_argument("UserProfileStore::update: bad dimension");
+  }
+  auto [it, inserted] = users_.try_emplace(user);
+  State& state = it->second;
+  if (inserted) {
+    state.accumulator.assign(category_count_, 0.0);
+  } else if (when < state.last_update) {
+    throw std::invalid_argument(
+        "UserProfileStore::update: time went backwards for user " +
+        std::to_string(user));
+  }
+  double decay = decay_factor(state.last_update, when);
+  state.weight = state.weight * decay + 1.0;
+  for (std::size_t i = 0; i < category_count_; ++i) {
+    state.accumulator[i] =
+        state.accumulator[i] * decay + static_cast<double>(categories[i]);
+  }
+  state.last_update = when;
+  ++state.sessions;
+}
+
+ontology::CategoryVector UserProfileStore::profile_at(
+    std::uint32_t user, util::Timestamp when) const {
+  ontology::CategoryVector out(category_count_, 0.0F);
+  auto it = users_.find(user);
+  if (it == users_.end()) return out;
+  const State& state = it->second;
+  // Numerator and denominator decay identically, so the ratio is invariant
+  // under further decay — profile_at(t) is constant between updates.
+  (void)when;
+  if (state.weight <= 0.0) return out;
+  for (std::size_t i = 0; i < category_count_; ++i) {
+    out[i] = static_cast<float>(
+        std::clamp(state.accumulator[i] / state.weight, 0.0, 1.0));
+  }
+  return out;
+}
+
+std::size_t UserProfileStore::session_count(std::uint32_t user) const {
+  auto it = users_.find(user);
+  return it == users_.end() ? 0 : it->second.sessions;
+}
+
+}  // namespace netobs::profile

@@ -1,0 +1,65 @@
+// Long-term user profiles (Section 7.3).
+//
+// The paper's system emits *session* profiles (the last T minutes). A
+// network observer monetising its vantage ("profiles could be sold to
+// third-parties ... ads sent via email or SMS") needs durable per-user
+// interest profiles. This store aggregates session profiles into an
+// exponentially-decayed average per user: recent sessions dominate, old
+// interests fade with a configurable half-life, and the result stays a
+// valid category vector (every entry in [0,1]).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "ontology/category_tree.hpp"
+#include "profile/profiler.hpp"
+#include "util/sim_time.hpp"
+
+namespace netobs::profile {
+
+struct UserProfileParams {
+  /// Time for a past session's influence to halve.
+  double half_life = 7.0 * static_cast<double>(util::kDay);
+};
+
+class UserProfileStore {
+ public:
+  explicit UserProfileStore(std::size_t category_count,
+                            UserProfileParams params = UserProfileParams());
+
+  /// Folds a session profile observed at `when` into the user's long-term
+  /// profile. Empty session profiles are ignored. Throws on dimension
+  /// mismatch or time running backwards for the same user.
+  void update(std::uint32_t user, util::Timestamp when,
+              const SessionProfile& session);
+  void update(std::uint32_t user, util::Timestamp when,
+              const ontology::CategoryVector& categories);
+
+  /// The user's profile decayed to time `when`; zero vector for unknown
+  /// users. All entries in [0,1].
+  ontology::CategoryVector profile_at(std::uint32_t user,
+                                      util::Timestamp when) const;
+
+  /// Number of sessions folded in for a user (0 when unknown).
+  std::size_t session_count(std::uint32_t user) const;
+
+  std::size_t user_count() const { return users_.size(); }
+  std::size_t category_count() const { return category_count_; }
+
+ private:
+  struct State {
+    std::vector<double> accumulator;  // decayed sum of session vectors
+    double weight = 0.0;              // decayed count
+    util::Timestamp last_update = 0;
+    std::size_t sessions = 0;
+  };
+
+  double decay_factor(util::Timestamp from, util::Timestamp to) const;
+
+  std::size_t category_count_;
+  UserProfileParams params_;
+  std::unordered_map<std::uint32_t, State> users_;
+};
+
+}  // namespace netobs::profile

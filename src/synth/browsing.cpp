@@ -1,0 +1,150 @@
+#include "synth/browsing.hpp"
+
+#include <algorithm>
+
+namespace netobs::synth {
+
+const std::vector<AdSlot>& standard_ad_sizes() {
+  static const std::vector<AdSlot> kSizes = {
+      {728, 90}, {300, 250}, {160, 600}, {320, 50}, {970, 250}, {300, 600}};
+  return kSizes;
+}
+
+namespace {
+
+// Relative browsing intensity per hour of day (late-evening peak).
+constexpr double kDiurnal[24] = {0.3, 0.15, 0.1, 0.1, 0.1, 0.2, 0.5, 1.0,
+                                 1.5, 2.0,  2.0, 2.0, 2.5, 2.0, 2.0, 2.0,
+                                 2.5, 3.0,  3.5, 4.0, 4.0, 3.5, 2.0, 1.0};
+
+util::ZipfSampler make_sampler(std::size_t n, double s) {
+  return util::ZipfSampler(std::max<std::size_t>(1, n), s);
+}
+
+}  // namespace
+
+BrowsingSimulator::BrowsingSimulator(const HostnameUniverse& universe,
+                                     const UserPopulation& population,
+                                     BrowsingParams params)
+    : universe_(&universe),
+      population_(&population),
+      params_(params),
+      universal_sampler_(make_sampler(universe.universal().size(), 0.8)),
+      cdn_sampler_(make_sampler(universe.shared_cdns().size(), 1.2)),
+      tracker_sampler_(make_sampler(universe.trackers().size(), 1.2)) {
+  topic_site_samplers_.reserve(universe.topic_count());
+  for (std::size_t t = 0; t < universe.topic_count(); ++t) {
+    topic_site_samplers_.push_back(make_sampler(
+        universe.sites_of_topic(t).size(), universe.params().zipf_exponent));
+  }
+}
+
+void BrowsingSimulator::simulate_user_day(const User& user, std::int64_t day,
+                                          BrowsingTrace& trace) const {
+  util::Pcg32 rng(params_.seed,
+                  util::mix64((static_cast<std::uint64_t>(user.id) << 24) ^
+                              static_cast<std::uint64_t>(day) ^ 0xDA1));
+  unsigned sessions = rng.poisson(params_.sessions_per_day * user.activity);
+  std::vector<double> hour_weights(std::begin(kDiurnal), std::end(kDiurnal));
+
+  for (unsigned s = 0; s < sessions; ++s) {
+    std::size_t hour = rng.categorical(hour_weights);
+    util::Timestamp t = day * util::kDay +
+                        static_cast<util::Timestamp>(hour) * util::kHour +
+                        static_cast<util::Timestamp>(rng.next_below(3600));
+
+    std::vector<double> interests(user.interests.begin(),
+                                  user.interests.end());
+    std::size_t topic = rng.categorical(interests);
+    unsigned pages =
+        1 + rng.poisson(std::max(0.0, params_.pages_per_session - 1.0));
+
+    for (unsigned p = 0; p < pages; ++p) {
+      if (p > 0 && rng.bernoulli(params_.topic_switch_prob)) {
+        topic = rng.categorical(interests);
+      }
+      // Pick the page's site.
+      std::size_t site;
+      bool universal_page =
+          rng.bernoulli(params_.universal_page_prob) ||
+          universe_->sites_of_topic(topic).empty();
+      if (universal_page) {
+        site = universe_->universal().at(
+            universal_sampler_.sample(rng) %
+            universe_->universal().size());
+      } else {
+        const auto& sites = universe_->sites_of_topic(topic);
+        site = sites[topic_site_samplers_[topic].sample(rng) % sites.size()];
+      }
+
+      auto emit = [&](std::size_t host_idx, util::Timestamp when) {
+        trace.events.push_back(
+            {user.id, when, universe_->host(host_idx).name});
+      };
+
+      emit(site, t);
+      // Satellites of the site fire right after the main document.
+      for (std::size_t sat : universe_->satellites_of(site)) {
+        if (rng.bernoulli(params_.satellite_fire_prob)) {
+          emit(sat, t + 1 + rng.next_below(3));
+        }
+      }
+      if (!universe_->shared_cdns().empty() &&
+          rng.bernoulli(params_.shared_cdn_prob)) {
+        emit(universe_->shared_cdns().at(cdn_sampler_.sample(rng) %
+                                         universe_->shared_cdns().size()),
+             t + 1 + rng.next_below(4));
+      }
+      unsigned trackers = rng.poisson(params_.trackers_per_page);
+      for (unsigned k = 0; k < trackers && !universe_->trackers().empty();
+           ++k) {
+        emit(universe_->trackers().at(tracker_sampler_.sample(rng) %
+                                      universe_->trackers().size()),
+             t + 2 + rng.next_below(5));
+      }
+      // Social-check detour: an extra universal hit mid-page.
+      if (!universe_->universal().empty() &&
+          rng.bernoulli(params_.universal_detour_prob)) {
+        emit(universe_->universal().at(universal_sampler_.sample(rng) %
+                                       universe_->universal().size()),
+             t + 5 + rng.next_below(10));
+      }
+
+      // The page view itself (ad slots for the experiment).
+      PageView view;
+      view.user_id = user.id;
+      view.timestamp = t;
+      view.site = site;
+      view.topic = topic;
+      unsigned slots = rng.poisson(params_.slots_per_page);
+      const auto& sizes = standard_ad_sizes();
+      for (unsigned k = 0; k < std::min(slots, 3U); ++k) {
+        view.slots.push_back(
+            sizes[rng.next_below(static_cast<std::uint32_t>(sizes.size()))]);
+      }
+      trace.page_views.push_back(std::move(view));
+
+      t += 5 + static_cast<util::Timestamp>(
+                   rng.exponential(1.0 / params_.page_dwell_mean_s));
+    }
+  }
+}
+
+BrowsingTrace BrowsingSimulator::simulate(std::int64_t start_day,
+                                          std::int64_t num_days) const {
+  BrowsingTrace trace;
+  for (const auto& user : population_->users()) {
+    for (std::int64_t d = start_day; d < start_day + num_days; ++d) {
+      simulate_user_day(user, d, trace);
+    }
+  }
+  auto by_time = [](const auto& a, const auto& b) {
+    if (a.timestamp != b.timestamp) return a.timestamp < b.timestamp;
+    return a.user_id < b.user_id;
+  };
+  std::stable_sort(trace.events.begin(), trace.events.end(), by_time);
+  std::stable_sort(trace.page_views.begin(), trace.page_views.end(), by_time);
+  return trace;
+}
+
+}  // namespace netobs::synth

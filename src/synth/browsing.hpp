@@ -1,0 +1,96 @@
+// Browsing simulator — generates the hostname request streams and page
+// views the study collected from its Chrome extension (Sections 5.2-5.3).
+//
+// Behavioural model:
+//   - users run a Poisson number of sessions per day (scaled by their
+//     activity level) with a diurnal start-time profile,
+//   - a session follows a topical random walk over first-party sites drawn
+//     from a per-topic Zipf popularity curve (topic chosen from the user's
+//     ground-truth interests, sticky across pages),
+//   - every page visit fans out into the connections an observer actually
+//     sees: the site itself, its CDN/API satellites, shared CDNs, tracker
+//     beacons, and occasional detours to universal hosts (the
+//     facebook-then-twitter habit Section 4.1 cites),
+//   - every page exposes 0-3 IAB-sized ad slots, which the ad experiment
+//     (ads/experiment.hpp) fills with original or eavesdropper creatives.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "synth/users.hpp"
+#include "synth/world.hpp"
+#include "util/sim_time.hpp"
+
+namespace netobs::synth {
+
+/// An ad placement on a page, identified by its creative size.
+struct AdSlot {
+  std::uint16_t width = 0;
+  std::uint16_t height = 0;
+
+  bool operator==(const AdSlot&) const = default;
+};
+
+/// Standard IAB creative sizes used by the simulator.
+const std::vector<AdSlot>& standard_ad_sizes();
+
+/// One page visit: what the extension sees (the observer additionally sees
+/// the satellite/tracker connections recorded in `events`).
+struct PageView {
+  std::uint32_t user_id = 0;
+  util::Timestamp timestamp = 0;
+  std::size_t site = 0;   ///< index into the universe
+  std::size_t topic = 0;  ///< page's dominant topic (for contextual ads)
+  std::vector<AdSlot> slots;
+};
+
+struct BrowsingTrace {
+  std::vector<net::HostnameEvent> events;  ///< time-ordered connections
+  std::vector<PageView> page_views;        ///< time-ordered page visits
+
+  std::size_t connections() const { return events.size(); }
+};
+
+struct BrowsingParams {
+  double sessions_per_day = 4.0;       ///< Poisson mean (x user activity)
+  double pages_per_session = 7.0;      ///< 1 + Poisson(mean - 1)
+  double topic_switch_prob = 0.3;      ///< per page, re-draw session topic
+  double universal_page_prob = 0.15;   ///< page is a universal site
+  double universal_detour_prob = 0.25; ///< extra universal hit per page
+  double satellite_fire_prob = 0.8;    ///< each satellite of the site fires
+  double shared_cdn_prob = 0.5;        ///< page pulls a shared CDN
+  double trackers_per_page = 0.25;     ///< Poisson tracker beacons
+  double slots_per_page = 1.2;         ///< Poisson ad slots
+  double page_dwell_mean_s = 45.0;     ///< exponential dwell between pages
+  std::uint64_t seed = 7;
+};
+
+class BrowsingSimulator {
+ public:
+  /// universe/population must outlive the simulator.
+  BrowsingSimulator(const HostnameUniverse& universe,
+                    const UserPopulation& population,
+                    BrowsingParams params = BrowsingParams());
+
+  /// Simulates days [start_day, start_day + num_days). Deterministic: the
+  /// trace of a (user, day) pair depends only on the seed.
+  BrowsingTrace simulate(std::int64_t start_day, std::int64_t num_days) const;
+
+  const BrowsingParams& params() const { return params_; }
+
+ private:
+  void simulate_user_day(const User& user, std::int64_t day,
+                         BrowsingTrace& trace) const;
+
+  const HostnameUniverse* universe_;
+  const UserPopulation* population_;
+  BrowsingParams params_;
+  std::vector<util::ZipfSampler> topic_site_samplers_;
+  util::ZipfSampler universal_sampler_;
+  util::ZipfSampler cdn_sampler_;
+  util::ZipfSampler tracker_sampler_;
+};
+
+}  // namespace netobs::synth

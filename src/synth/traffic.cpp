@@ -1,0 +1,107 @@
+#include "synth/traffic.hpp"
+
+#include "net/dns.hpp"
+#include "net/quic.hpp"
+#include "net/tls.hpp"
+#include "util/rng.hpp"
+
+namespace netobs::synth {
+
+TrafficSynthesizer::TrafficSynthesizer(const UserPopulation& population,
+                                       TrafficParams params)
+    : population_(&population), params_(params) {}
+
+std::uint32_t server_ip_for(const std::string& hostname) {
+  std::uint64_t host_hash =
+      util::mix64(std::hash<std::string>{}(hostname) ^ 0x5eed);
+  return 0x30000000 | static_cast<std::uint32_t>(host_hash & 0x0FFFFFFF);
+}
+
+std::vector<net::Packet> TrafficSynthesizer::synthesize(
+    const std::vector<net::HostnameEvent>& events) const {
+  std::vector<net::Packet> packets;
+  packets.reserve(events.size());
+  util::Pcg32 rng(params_.seed, 0x7aff1c);
+
+  std::uint32_t flow_serial = 0;
+  for (const auto& event : events) {
+    const User& user = population_->user(event.user_id);
+
+    net::Packet base;
+    base.timestamp = event.timestamp;
+    base.src_mac = user.mac;
+    base.subscriber_id = user.subscriber_id;
+    base.tuple.src_ip = user.nat_ip;
+    // Server IP derived from the hostname (stable per host, as with a real
+    // resolver cache).
+    base.tuple.dst_ip = server_ip_for(event.hostname);
+    // Ephemeral port unique per flow so concurrent flows never collide.
+    base.tuple.src_port =
+        static_cast<std::uint16_t>(1024 + (flow_serial++ % 64512));
+
+    if (params_.emit_dns) {
+      net::DnsMessage query;
+      query.id = static_cast<std::uint16_t>(rng.next_u32());
+      query.questions.push_back(
+          {event.hostname, net::DnsType::kA, 1});
+      net::Packet dns = base;
+      dns.tuple.proto = net::Transport::kUdp;
+      dns.tuple.dst_port = 53;
+      dns.tuple.dst_ip = 0x08080808;
+      dns.payload = net::build_dns_query(query);
+      packets.push_back(std::move(dns));
+    }
+
+    net::ClientHelloSpec spec;
+    // ECH deployments omit the cleartext SNI entirely.
+    if (params_.ech_fraction <= 0.0 ||
+        !rng.bernoulli(params_.ech_fraction)) {
+      spec.sni = event.hostname;
+    }
+    for (auto& b : spec.random) {
+      b = static_cast<std::uint8_t>(rng.next_u32());
+    }
+
+    if (params_.quic_fraction > 0.0 && rng.bernoulli(params_.quic_fraction)) {
+      net::QuicInitialSpec quic;
+      quic.dcid.resize(8);
+      for (auto& b : quic.dcid) {
+        b = static_cast<std::uint8_t>(rng.next_u32());
+      }
+      quic.scid.resize(8);
+      for (auto& b : quic.scid) {
+        b = static_cast<std::uint8_t>(rng.next_u32());
+      }
+      quic.packet_number = rng.next_below(1 << 20);
+      quic.client_hello = spec;
+      base.tuple.proto = net::Transport::kUdp;
+      base.tuple.dst_port = 443;
+      base.payload = net::build_quic_initial(quic);
+      packets.push_back(std::move(base));
+      continue;
+    }
+
+    auto record = net::build_client_hello_record(spec);
+
+    base.tuple.proto = net::Transport::kTcp;
+    base.tuple.dst_port = 443;
+    if (record.size() > 10 && rng.bernoulli(params_.split_probability)) {
+      std::size_t cut = 5 + rng.next_below(
+                                static_cast<std::uint32_t>(record.size() - 9));
+      net::Packet first = base;
+      first.payload.assign(record.begin(),
+                           record.begin() + static_cast<long>(cut));
+      packets.push_back(std::move(first));
+      net::Packet second = std::move(base);
+      second.payload.assign(record.begin() + static_cast<long>(cut),
+                            record.end());
+      packets.push_back(std::move(second));
+    } else {
+      base.payload = std::move(record);
+      packets.push_back(std::move(base));
+    }
+  }
+  return packets;
+}
+
+}  // namespace netobs::synth

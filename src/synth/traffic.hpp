@@ -1,0 +1,50 @@
+// Traffic synthesizer: turns abstract hostname events into the byte-level
+// packets a passive observer captures, closing the loop between the
+// synthetic world and the net:: substrate. Every browsing event becomes a
+// TCP flow whose first segment(s) carry a genuine TLS ClientHello with the
+// hostname in the SNI extension (optionally split across segments, as on a
+// real wire), and optionally a preceding DNS query for the same name.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "synth/users.hpp"
+
+namespace netobs::synth {
+
+struct TrafficParams {
+  double split_probability = 0.2;  ///< ClientHello split over 2 segments
+  bool emit_dns = false;           ///< also emit the DNS lookup
+  /// Fraction of connections carried over QUIC (a single encrypted Initial
+  /// datagram) instead of TCP+TLS.
+  double quic_fraction = 0.0;
+  /// Fraction of clients deploying encrypted SNI / ECH: their ClientHellos
+  /// omit the server_name extension (Section 7.4's countermeasure).
+  double ech_fraction = 0.0;
+  std::uint64_t seed = 99;
+};
+
+/// The (stable) server IP the synthesizer assigns to a hostname — public
+/// so observers/benches can model an eavesdropper resolving hostnames to
+/// IPs on its own (e.g. to label IP tokens under encrypted SNI).
+std::uint32_t server_ip_for(const std::string& hostname);
+
+class TrafficSynthesizer {
+ public:
+  /// population must outlive the synthesizer.
+  TrafficSynthesizer(const UserPopulation& population,
+                     TrafficParams params = TrafficParams());
+
+  /// One TLS flow (1-2 packets) per event, plus optional DNS datagrams;
+  /// returned in input order. Throws std::out_of_range for unknown users.
+  std::vector<net::Packet> synthesize(
+      const std::vector<net::HostnameEvent>& events) const;
+
+ private:
+  const UserPopulation* population_;
+  TrafficParams params_;
+};
+
+}  // namespace netobs::synth

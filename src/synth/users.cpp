@@ -1,0 +1,44 @@
+#include "synth/users.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace netobs::synth {
+
+UserPopulation::UserPopulation(std::size_t topic_count,
+                               PopulationParams params)
+    : topic_count_(topic_count) {
+  if (topic_count == 0) {
+    throw std::invalid_argument("UserPopulation: topic_count must be > 0");
+  }
+  if (params.num_users == 0) {
+    throw std::invalid_argument("UserPopulation: num_users must be > 0");
+  }
+  util::Pcg32 rng(params.seed, 0x05e7);
+
+  users_.reserve(params.num_users);
+  std::uint32_t next_id = 0;
+  while (users_.size() < params.num_users) {
+    // Households: 1 + Poisson users share a NAT ip (Section 7.2's landline
+    // scenario); MAC and subscriber ids stay per-user.
+    std::size_t household =
+        1 + std::min<std::size_t>(3, rng.poisson(params.mean_household - 1.0));
+    std::uint32_t nat_ip = 0x0A000000 |
+                           (static_cast<std::uint32_t>(households_) & 0xFFFFFF);
+    ++households_;
+    for (std::size_t m = 0;
+         m < household && users_.size() < params.num_users; ++m) {
+      User u;
+      u.id = next_id++;
+      auto mix = rng.dirichlet(topic_count_, params.interest_alpha);
+      u.interests.assign(mix.begin(), mix.end());
+      u.activity = std::exp(rng.normal(0.0, params.activity_sigma));
+      u.mac = 0x020000000000ULL | util::mix64(u.id * 2654435761ULL) >> 16;
+      u.subscriber_id = 724000000000000ULL + u.id;  // MCC-MNC style prefix
+      u.nat_ip = nat_ip;
+      users_.push_back(std::move(u));
+    }
+  }
+}
+
+}  // namespace netobs::synth

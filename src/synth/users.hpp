@@ -1,0 +1,57 @@
+// Synthetic user population — the stand-in for the study's 1329 real
+// participants (Section 5.2).
+//
+// Every user has a sparse ground-truth interest mixture over topics (drawn
+// from a low-concentration Dirichlet, so most users care about a handful of
+// topics), a browsing-activity level, and the link-layer identities the
+// different observer vantages can see (MAC, IMSI-like subscriber id, and a
+// NAT household shared with 1-3 other users).
+//
+// Ground-truth interests are what the click model (ads/click_model.hpp)
+// consults; the profiling pipeline never sees them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace netobs::synth {
+
+struct User {
+  std::uint32_t id = 0;
+  std::vector<float> interests;  ///< over topics, sums to 1
+  double activity = 1.0;         ///< relative browsing intensity
+  std::uint64_t mac = 0;
+  std::uint64_t subscriber_id = 0;
+  std::uint32_t nat_ip = 0;  ///< public IP shared by the NAT household
+};
+
+struct PopulationParams {
+  std::size_t num_users = 1329;  ///< the study's installation count
+  double interest_alpha = 0.12;  ///< Dirichlet concentration (sparse)
+  double activity_sigma = 1.0;   ///< lognormal spread of activity
+  double mean_household = 2.2;   ///< mean users behind one NAT ip
+  std::uint64_t seed = 1329;
+};
+
+class UserPopulation {
+ public:
+  UserPopulation(std::size_t topic_count, PopulationParams params);
+
+  std::size_t size() const { return users_.size(); }
+  const User& user(std::uint32_t id) const { return users_.at(id); }
+  const std::vector<User>& users() const { return users_; }
+
+  std::size_t topic_count() const { return topic_count_; }
+
+  /// Number of distinct NAT households.
+  std::size_t household_count() const { return households_; }
+
+ private:
+  std::size_t topic_count_;
+  std::vector<User> users_;
+  std::size_t households_ = 0;
+};
+
+}  // namespace netobs::synth

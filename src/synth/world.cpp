@@ -1,0 +1,280 @@
+#include "synth/world.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/string_util.hpp"
+
+namespace netobs::synth {
+
+namespace {
+
+constexpr std::string_view kSyllables[] = {
+    "ba", "be", "bo", "ca", "ce", "co", "da", "de", "do", "fa", "fi", "ga",
+    "go", "ha", "ji", "ka", "ko", "la", "le", "li", "lo", "ma", "me", "mi",
+    "mo", "na", "ne", "no", "pa", "pe", "pi", "po", "ra", "re", "ri", "ro",
+    "sa", "se", "si", "so", "ta", "te", "ti", "to", "va", "ve", "vi", "za"};
+
+const std::vector<std::string_view> kSiteTlds = {
+    "com", "es", "net", "org", "com.ve", "com.co", "pe", "com.mx", "com.ar"};
+const std::vector<std::string_view> kInfraTlds = {"net", "com", "io", "cloud"};
+
+std::string random_base_name(util::Pcg32& rng, int min_syllables,
+                             int max_syllables) {
+  int n = min_syllables +
+          static_cast<int>(rng.next_below(
+              static_cast<std::uint32_t>(max_syllables - min_syllables + 1)));
+  std::string out;
+  for (int i = 0; i < n; ++i) {
+    out += kSyllables[rng.next_below(
+        static_cast<std::uint32_t>(std::size(kSyllables)))];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string HostnameUniverse::fresh_hostname(
+    util::Pcg32& rng, const char* prefix,
+    const std::vector<std::string_view>& tlds) {
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    std::string name;
+    if (prefix != nullptr && *prefix != '\0') {
+      name = prefix;
+      name += random_base_name(rng, 1, 2);
+      name += util::format("-%u", rng.next_below(100));
+      name += '.';
+    }
+    name += random_base_name(rng, 2, 3);
+    name += '.';
+    name += tlds[rng.next_below(static_cast<std::uint32_t>(tlds.size()))];
+    if (index_.contains(name) || !util::is_valid_hostname(name)) continue;
+    std::string sld = util::second_level_domain(name);
+    if (used_slds_.contains(sld)) continue;
+    used_slds_.insert(std::move(sld));
+    return name;
+  }
+  throw std::runtime_error("HostnameUniverse: hostname space exhausted");
+}
+
+HostnameUniverse::HostnameUniverse(const ontology::CategorySpace& space,
+                                   WorldParams params)
+    : space_(&space), params_(params) {
+  topic_count_ = space.top_level_ids().size();
+  if (topic_count_ == 0) {
+    throw std::invalid_argument("HostnameUniverse: ontology has no topics");
+  }
+  if (params_.first_party_hosts == 0) {
+    throw std::invalid_argument("HostnameUniverse: need first-party hosts");
+  }
+  util::Pcg32 rng(params_.seed, 0x0b5e7);
+
+  auto add_host = [this](HostInfo info) {
+    index_.emplace(info.name, hosts_.size());
+    hosts_.push_back(std::move(info));
+    return hosts_.size() - 1;
+  };
+
+  // --- Universal core hosts: broad topic mixtures, extreme popularity.
+  for (std::size_t i = 0; i < params_.universal_hosts; ++i) {
+    HostInfo h;
+    h.name = fresh_hostname(rng, "", kSiteTlds);
+    h.kind = HostKind::kUniversal;
+    h.crawlable = true;
+    h.popularity = 1.0 / std::pow(static_cast<double>(i + 1), 0.8);
+    // Broad mixture over 3-5 topics, biased to the first few ("Online
+    // Communities", "Arts & Entertainment", ... in the Adwords naming).
+    h.topic_mix.assign(topic_count_, 0.0F);
+    int breadth = 3 + static_cast<int>(rng.next_below(3));
+    double total = 0.0;
+    for (int b = 0; b < breadth; ++b) {
+      std::size_t topic =
+          b < 2 ? static_cast<std::size_t>(rng.next_below(4))
+                : rng.next_below(static_cast<std::uint32_t>(topic_count_));
+      double w = rng.uniform(0.3, 1.0);
+      h.topic_mix[topic] += static_cast<float>(w);
+      total += w;
+    }
+    for (auto& m : h.topic_mix) m = static_cast<float>(m / total);
+    universal_.push_back(add_host(std::move(h)));
+  }
+
+  // --- First-party topical sites.
+  by_topic_.assign(topic_count_, {});
+  for (std::size_t i = 0; i < params_.first_party_hosts; ++i) {
+    HostInfo h;
+    h.name = fresh_hostname(rng, "", kSiteTlds);
+    h.kind = HostKind::kFirstParty;
+    h.crawlable = rng.bernoulli(params_.first_party_crawlable);
+    h.topic_mix.assign(topic_count_, 0.0F);
+    auto dominant = rng.next_below(static_cast<std::uint32_t>(topic_count_));
+    float dom_w = static_cast<float>(rng.uniform(0.65, 1.0));
+    h.topic_mix[dominant] = dom_w;
+    if (rng.bernoulli(0.4)) {
+      auto secondary =
+          rng.next_below(static_cast<std::uint32_t>(topic_count_));
+      if (secondary != dominant) {
+        h.topic_mix[secondary] = 1.0F - dom_w;
+      } else {
+        h.topic_mix[dominant] = 1.0F;
+      }
+    } else {
+      h.topic_mix[dominant] = 1.0F;
+    }
+    std::size_t idx = add_host(std::move(h));
+    by_topic_[dominant].push_back(idx);
+  }
+  // Within-topic popularity: Zipf by arrival order (already random), then
+  // record the weight for labeling bias.
+  for (auto& sites : by_topic_) {
+    for (std::size_t rank = 0; rank < sites.size(); ++rank) {
+      hosts_[sites[rank]].popularity =
+          1.0 / std::pow(static_cast<double>(rank + 1),
+                         params_.zipf_exponent);
+    }
+  }
+
+  // --- Satellites (CDN/API endpoints with unrelated names).
+  std::size_t site_count = hosts_.size();
+  satellites_.assign(site_count, {});
+  static const char* kSatPrefixes[] = {"api.", "cdn.", "img.", "static.",
+                                       "edge."};
+  for (std::size_t site = 0; site < site_count; ++site) {
+    unsigned n = std::min(4U, rng.poisson(params_.satellites_per_site));
+    for (unsigned s = 0; s < n; ++s) {
+      HostInfo h;
+      h.name = fresh_hostname(rng, kSatPrefixes[rng.next_below(5)],
+                              kInfraTlds);
+      h.kind = HostKind::kSatellite;
+      h.owner = site;
+      h.crawlable = false;  // fetching an API/CDN root returns nothing
+      h.popularity = hosts_[site].popularity;
+      satellites_[site].push_back(add_host(std::move(h)));
+    }
+  }
+
+  // --- Shared CDNs.
+  for (std::size_t i = 0; i < params_.shared_cdn_hosts; ++i) {
+    HostInfo h;
+    h.name = fresh_hostname(rng, "", kInfraTlds);
+    h.kind = HostKind::kSharedCdn;
+    h.crawlable = false;
+    h.popularity = 1.0 / std::pow(static_cast<double>(i + 1), 0.7);
+    shared_cdns_.push_back(add_host(std::move(h)));
+  }
+
+  // --- Trackers.
+  static const char* kTrackerPrefixes[] = {"ads.", "track.", "pixel.",
+                                           "metrics.", "beacon."};
+  for (std::size_t i = 0; i < params_.tracker_hosts; ++i) {
+    HostInfo h;
+    h.name = fresh_hostname(rng, kTrackerPrefixes[rng.next_below(5)],
+                            kInfraTlds);
+    h.kind = HostKind::kTracker;
+    h.crawlable = false;
+    h.popularity = 1.0 / std::pow(static_cast<double>(i + 1), 0.7);
+    trackers_.push_back(add_host(std::move(h)));
+  }
+}
+
+std::size_t HostnameUniverse::index_of(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    throw std::out_of_range("HostnameUniverse: unknown host '" + name + "'");
+  }
+  return it->second;
+}
+
+const std::vector<std::size_t>& HostnameUniverse::sites_of_topic(
+    std::size_t topic) const {
+  return by_topic_.at(topic);
+}
+
+const std::vector<std::size_t>& HostnameUniverse::satellites_of(
+    std::size_t site) const {
+  static const std::vector<std::size_t> kEmpty;
+  return site < satellites_.size() ? satellites_[site] : kEmpty;
+}
+
+ontology::HostLabeler HostnameUniverse::make_labeler() const {
+  ontology::HostLabeler labeler(space_->size());
+  util::Pcg32 rng(params_.seed, 0x1abe1);
+
+  // Subcategory (level-1) flat ids per topic.
+  std::vector<std::vector<std::size_t>> subcats(topic_count_);
+  const auto& tops = space_->top_level_ids();
+  for (std::size_t f = 0; f < space_->size(); ++f) {
+    std::size_t top_flat = space_->top_level_of(f);
+    auto topic_it = std::find(tops.begin(), tops.end(), top_flat);
+    std::size_t topic = static_cast<std::size_t>(topic_it - tops.begin());
+    if (f != top_flat) subcats[topic].push_back(f);
+  }
+
+  // Ontology coverage is biased to popular crawlable sites: sort candidates
+  // by (crawlable, kind priority, popularity).
+  std::vector<std::size_t> order(hosts_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  auto kind_rank = [](HostKind k) {
+    switch (k) {
+      case HostKind::kUniversal: return 0;
+      case HostKind::kFirstParty: return 1;
+      default: return 2;
+    }
+  };
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const HostInfo& ha = hosts_[a];
+    const HostInfo& hb = hosts_[b];
+    if (ha.crawlable != hb.crawlable) return ha.crawlable;
+    int ra = kind_rank(ha.kind);
+    int rb = kind_rank(hb.kind);
+    if (ra != rb) return ra < rb;
+    if (ha.popularity != hb.popularity) return ha.popularity > hb.popularity;
+    return ha.name < hb.name;
+  });
+
+  auto target = static_cast<std::size_t>(
+      params_.label_coverage * static_cast<double>(hosts_.size()));
+  for (std::size_t rank = 0; rank < target && rank < order.size(); ++rank) {
+    const HostInfo& h = hosts_[order[rank]];
+    if (h.topic_mix.empty()) continue;  // infrastructure: nothing to label
+    ontology::CategoryVector label(space_->size(), 0.0F);
+    for (std::size_t topic = 0; topic < topic_count_; ++topic) {
+      float w = h.topic_mix[topic];
+      if (w <= 0.01F) continue;
+      // Root category gets importance proportional to the topic weight.
+      label[tops[topic]] = std::min(1.0F, w * 1.1F);
+      // One or two subcategories with attenuated importance.
+      const auto& subs = subcats[topic];
+      if (!subs.empty()) {
+        int picks = 1 + static_cast<int>(rng.next_below(2));
+        for (int p = 0; p < picks; ++p) {
+          std::size_t sub =
+              subs[rng.next_below(static_cast<std::uint32_t>(subs.size()))];
+          label[sub] = std::min(
+              1.0F, w * static_cast<float>(rng.uniform(0.4, 1.0)));
+        }
+      }
+    }
+    labeler.set_label(h.name, std::move(label));
+  }
+  return labeler;
+}
+
+std::string HostnameUniverse::tracker_hosts_file() const {
+  std::vector<std::string> names;
+  names.reserve(trackers_.size());
+  for (std::size_t idx : trackers_) names.push_back(hosts_[idx].name);
+  return filter::to_hosts_file(names);
+}
+
+double HostnameUniverse::uncrawlable_fraction() const {
+  if (hosts_.empty()) return 0.0;
+  std::size_t bad = 0;
+  for (const auto& h : hosts_) {
+    if (!h.crawlable) ++bad;
+  }
+  return static_cast<double>(bad) / static_cast<double>(hosts_.size());
+}
+
+}  // namespace netobs::synth

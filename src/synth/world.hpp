@@ -1,0 +1,126 @@
+// Synthetic hostname universe — the stand-in for the paper's 470K observed
+// hostnames (the evaluation data is closed; see DESIGN.md "Substitutions").
+//
+// The universe reproduces the structural properties the profiling algorithm
+// depends on:
+//   - Zipf-distributed popularity with a small "universal core" of hosts
+//     (google.com/facebook.com analogues) that almost every user touches
+//     (the cores of Figures 2-3),
+//   - first-party websites with ground-truth topic mixtures,
+//   - CDN/API "satellite" hostnames with *unrelated names* that fire
+//     alongside their owner site (the api.bkng.azure.com <-> hotels.com
+//     relation of Section 4.1) and are un-crawlable / unlabeled,
+//   - shared CDNs serving many sites, and tracker/ad hostnames that the
+//     blocklists of Section 5.4 should remove,
+//   - an ontology labeling only ~10.6% of hostnames, biased to popular
+//     first-party sites (Adwords' coverage in Section 4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "filter/blocklist.hpp"
+#include "ontology/category_tree.hpp"
+#include "ontology/host_labeler.hpp"
+#include "util/rng.hpp"
+
+namespace netobs::synth {
+
+enum class HostKind : std::uint8_t {
+  kUniversal,   ///< google/facebook-scale, visited by nearly everyone
+  kFirstParty,  ///< topical website a user deliberately visits
+  kSatellite,   ///< CDN/API endpoint owned by one first-party site
+  kSharedCdn,   ///< infrastructure shared across many sites
+  kTracker,     ///< advertising/tracking hostname
+};
+
+struct HostInfo {
+  std::string name;
+  HostKind kind = HostKind::kFirstParty;
+  std::size_t owner = 0;  ///< for kSatellite: index of the owning site
+  /// Ground-truth interest weights over *topics* (= top-level categories),
+  /// summing to 1 for universal/first-party hosts; empty for
+  /// satellites/CDNs/trackers (their meaning comes only from co-requests).
+  std::vector<float> topic_mix;
+  double popularity = 0.0;  ///< relative visit weight within its kind
+  bool crawlable = false;   ///< whether content-based labeling would work
+};
+
+struct WorldParams {
+  std::size_t universal_hosts = 30;
+  std::size_t first_party_hosts = 3000;
+  double satellites_per_site = 1.2;   ///< Poisson mean, capped at 4
+  std::size_t shared_cdn_hosts = 40;
+  std::size_t tracker_hosts = 150;
+  double zipf_exponent = 0.9;         ///< popularity within topic
+  double label_coverage = 0.106;      ///< fraction of all hosts labeled
+  double first_party_crawlable = 0.8; ///< Section 4: 67% of hosts fail
+  std::uint64_t seed = 20211207;      ///< CoNEXT'21 start date
+};
+
+class HostnameUniverse {
+ public:
+  HostnameUniverse(const ontology::CategorySpace& space, WorldParams params);
+
+  std::size_t size() const { return hosts_.size(); }
+  const HostInfo& host(std::size_t index) const { return hosts_.at(index); }
+  const std::vector<HostInfo>& hosts() const { return hosts_; }
+
+  std::size_t topic_count() const { return topic_count_; }
+
+  /// Index lookup by name; throws std::out_of_range when unknown.
+  std::size_t index_of(const std::string& name) const;
+
+  /// Universal host indices, most popular first.
+  const std::vector<std::size_t>& universal() const { return universal_; }
+
+  /// First-party hosts of a topic, most popular first (a host appears under
+  /// its dominant topic only).
+  const std::vector<std::size_t>& sites_of_topic(std::size_t topic) const;
+
+  /// Satellites owned by a first-party/universal host.
+  const std::vector<std::size_t>& satellites_of(std::size_t site) const;
+
+  /// Shared CDN and tracker index lists.
+  const std::vector<std::size_t>& shared_cdns() const { return shared_cdns_; }
+  const std::vector<std::size_t>& trackers() const { return trackers_; }
+
+  /// Builds the ontology view: labels `label_coverage` of hosts (popular,
+  /// crawlable first-party sites first) with category vectors derived from
+  /// their ground-truth topics. The labeler's dimension is |C| of `space`.
+  ontology::HostLabeler make_labeler() const;
+
+  /// Exports the tracker hosts as hosts-file text (re-parsed by
+  /// filter::Blocklist, exercising the real ingestion path).
+  std::string tracker_hosts_file() const;
+
+  /// Fraction of hosts whose content could not be crawled (the paper's 67%).
+  double uncrawlable_fraction() const;
+
+  const ontology::CategorySpace& category_space() const { return *space_; }
+  const WorldParams& params() const { return params_; }
+
+ private:
+  std::string fresh_hostname(util::Pcg32& rng, const char* prefix,
+                             const std::vector<std::string_view>& tlds);
+
+  const ontology::CategorySpace* space_;
+  WorldParams params_;
+  std::size_t topic_count_ = 0;
+  std::vector<HostInfo> hosts_;
+  std::vector<std::size_t> universal_;
+  std::vector<std::vector<std::size_t>> by_topic_;
+  std::vector<std::vector<std::size_t>> satellites_;  // indexed by owner site
+  std::vector<std::size_t> shared_cdns_;
+  std::vector<std::size_t> trackers_;
+  std::unordered_map<std::string, std::size_t> index_;
+  // Registrable domains already in use: hostnames are generated with unique
+  // SLDs so that the Section 6.2 second-level collapse never merges
+  // unrelated hosts.
+  std::unordered_set<std::string> used_slds_;
+};
+
+}  // namespace netobs::synth

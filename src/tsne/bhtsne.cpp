@@ -1,0 +1,361 @@
+#include "tsne/bhtsne.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace netobs::tsne {
+
+namespace {
+
+/// Sparse row-compressed affinity matrix.
+struct SparseP {
+  std::vector<std::size_t> row_start;  // n+1
+  std::vector<std::uint32_t> col;
+  std::vector<double> value;
+};
+
+/// Exact brute-force Euclidean kNN in the input space.
+std::vector<std::vector<std::pair<double, std::uint32_t>>> knn_euclidean(
+    const std::vector<float>& rows, std::size_t n, std::size_t dim,
+    std::size_t k) {
+  std::vector<std::vector<std::pair<double, std::uint32_t>>> out(n);
+  std::vector<std::pair<double, std::uint32_t>> scratch;
+  for (std::size_t i = 0; i < n; ++i) {
+    scratch.clear();
+    scratch.reserve(n - 1);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      double d2 = 0.0;
+      for (std::size_t t = 0; t < dim; ++t) {
+        double diff = static_cast<double>(rows[i * dim + t]) -
+                      static_cast<double>(rows[j * dim + t]);
+        d2 += diff * diff;
+      }
+      scratch.push_back({d2, static_cast<std::uint32_t>(j)});
+    }
+    std::size_t take = std::min(k, scratch.size());
+    std::partial_sort(scratch.begin(),
+                      scratch.begin() + static_cast<std::ptrdiff_t>(take),
+                      scratch.end());
+    out[i].assign(scratch.begin(),
+                  scratch.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  return out;
+}
+
+/// Perplexity-calibrated sparse symmetric P over kNN graphs.
+SparseP compute_sparse_p(const std::vector<float>& rows, std::size_t n,
+                         std::size_t dim, double perplexity) {
+  std::size_t k = std::min<std::size_t>(
+      n - 1, static_cast<std::size_t>(3.0 * perplexity));
+  auto neighbors = knn_euclidean(rows, n, dim, k);
+  const double target_entropy = std::log(perplexity);
+
+  // Conditional p_{j|i} over the kNN of i.
+  std::vector<std::vector<double>> cond(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& nb = neighbors[i];
+    std::vector<double> p(nb.size());
+    double beta = 1.0;
+    double beta_min = 0.0;
+    double beta_max = std::numeric_limits<double>::infinity();
+    for (int iter = 0; iter < 64; ++iter) {
+      double sum = 0.0;
+      for (std::size_t j = 0; j < nb.size(); ++j) {
+        p[j] = std::exp(-beta * nb[j].first);
+        sum += p[j];
+      }
+      if (sum <= 0.0) sum = 1e-12;
+      double entropy = 0.0;
+      for (double& v : p) {
+        v /= sum;
+        if (v > 1e-12) entropy -= v * std::log(v);
+      }
+      if (std::fabs(entropy - target_entropy) < 1e-5) break;
+      if (entropy > target_entropy) {
+        beta_min = beta;
+        beta = std::isinf(beta_max) ? beta * 2.0 : (beta + beta_max) / 2.0;
+      } else {
+        beta_max = beta;
+        beta = (beta + beta_min) / 2.0;
+      }
+    }
+    cond[i] = std::move(p);
+  }
+
+  // Symmetrise: p_ij = (p_{j|i} + p_{i|j}) / (2n), built as a hash of pairs.
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> sym(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < neighbors[i].size(); ++j) {
+      std::uint32_t other = neighbors[i][j].second;
+      double v = cond[i][j] / (2.0 * static_cast<double>(n));
+      sym[i].push_back({other, v});
+      sym[other].push_back({static_cast<std::uint32_t>(i), v});
+    }
+  }
+
+  SparseP out;
+  out.row_start.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& entries = sym[i];
+    std::sort(entries.begin(), entries.end());
+    // Merge duplicate columns (i in j's list and j in i's list).
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < entries.size(); ++r) {
+      if (w > 0 && entries[w - 1].first == entries[r].first) {
+        entries[w - 1].second += entries[r].second;
+      } else {
+        entries[w++] = entries[r];
+      }
+    }
+    entries.resize(w);
+    out.row_start[i + 1] = out.row_start[i] + w;
+    for (const auto& [c, v] : entries) {
+      out.col.push_back(c);
+      out.value.push_back(std::max(v, 1e-12));
+    }
+  }
+  return out;
+}
+
+/// Quadtree over 2D points with centres of mass (Barnes-Hut).
+class QuadTree {
+ public:
+  QuadTree(const std::vector<double>& y, std::size_t n) : y_(y) {
+    double min_x = std::numeric_limits<double>::infinity();
+    double max_x = -min_x;
+    double min_y = min_x;
+    double max_y = -min_x;
+    for (std::size_t i = 0; i < n; ++i) {
+      min_x = std::min(min_x, y[i * 2]);
+      max_x = std::max(max_x, y[i * 2]);
+      min_y = std::min(min_y, y[i * 2 + 1]);
+      max_y = std::max(max_y, y[i * 2 + 1]);
+    }
+    double cx = (min_x + max_x) / 2.0;
+    double cy = (min_y + max_y) / 2.0;
+    double half = std::max(max_x - min_x, max_y - min_y) / 2.0 + 1e-9;
+    nodes_.reserve(4 * n);
+    root_ = new_node(cx, cy, half);
+    for (std::size_t i = 0; i < n; ++i) insert(root_, i, 0);
+  }
+
+  /// Accumulates the Barnes-Hut negative-force terms for point i:
+  /// neg_f += q_num^2 * (y_i - com), z += q_num * count, with
+  /// q_num = 1 / (1 + d^2).
+  void compute(std::size_t i, double theta, double& neg_x, double& neg_y,
+               double& z) const {
+    walk(root_, i, theta * theta, neg_x, neg_y, z);
+  }
+
+ private:
+  struct Node {
+    double cx, cy, half;          // cell geometry
+    double com_x = 0.0, com_y = 0.0;  // centre of mass
+    double count = 0.0;
+    int child[4] = {-1, -1, -1, -1};
+    std::int64_t point = -1;  // leaf payload; -1 when empty/internal
+    bool is_leaf = true;
+  };
+
+  int new_node(double cx, double cy, double half) {
+    nodes_.push_back({cx, cy, half});
+    return static_cast<int>(nodes_.size() - 1);
+  }
+
+  int quadrant_child(int node, int q) {
+    Node& nd = nodes_[static_cast<std::size_t>(node)];
+    if (nd.child[q] < 0) {
+      double h = nd.half / 2.0;
+      double cx = nd.cx + ((q & 1) != 0 ? h : -h);
+      double cy = nd.cy + ((q & 2) != 0 ? h : -h);
+      int created = new_node(cx, cy, h);
+      nodes_[static_cast<std::size_t>(node)].child[q] = created;
+      return created;
+    }
+    return nd.child[q];
+  }
+
+  int quadrant_of(int node, std::size_t point) const {
+    const Node& nd = nodes_[static_cast<std::size_t>(node)];
+    int q = 0;
+    if (y_[point * 2] >= nd.cx) q |= 1;
+    if (y_[point * 2 + 1] >= nd.cy) q |= 2;
+    return q;
+  }
+
+  void insert(int node, std::size_t point, int depth) {
+    Node& nd = nodes_[static_cast<std::size_t>(node)];
+    // Update centre of mass on the way down.
+    nd.com_x = (nd.com_x * nd.count + y_[point * 2]) / (nd.count + 1.0);
+    nd.com_y = (nd.com_y * nd.count + y_[point * 2 + 1]) / (nd.count + 1.0);
+    nd.count += 1.0;
+
+    if (nd.is_leaf && nd.point < 0) {
+      nd.point = static_cast<std::int64_t>(point);
+      return;
+    }
+    if (nd.is_leaf) {
+      // Split: relocate the resident point (unless at max depth or
+      // coincident with the new one — then aggregate in place).
+      std::size_t resident = static_cast<std::size_t>(nd.point);
+      bool coincident = y_[resident * 2] == y_[point * 2] &&
+                        y_[resident * 2 + 1] == y_[point * 2 + 1];
+      if (depth > 48 || coincident) {
+        return;  // keep aggregated; COM/count already account for it
+      }
+      nd.is_leaf = false;
+      nd.point = -1;
+      int rq = quadrant_of(node, resident);
+      insert_no_mass(quadrant_child(node, rq), resident, depth + 1);
+    }
+    int q = quadrant_of(node, point);
+    insert_no_mass(quadrant_child(node, q), point, depth + 1);
+  }
+
+  /// insert() but the relocated resident's mass was already counted in all
+  /// ancestors; only the subtree below gains mass.
+  void insert_no_mass(int node, std::size_t point, int depth) {
+    insert(node, point, depth);
+  }
+
+  void walk(int node, std::size_t i, double theta2, double& neg_x,
+            double& neg_y, double& z) const {
+    const Node& nd = nodes_[static_cast<std::size_t>(node)];
+    if (nd.count <= 0.0) return;
+    double dx = y_[i * 2] - nd.com_x;
+    double dy = y_[i * 2 + 1] - nd.com_y;
+    double d2 = dx * dx + dy * dy;
+    double cell = 2.0 * nd.half;
+    bool summarise = nd.is_leaf || (cell * cell) < theta2 * d2;
+    if (summarise) {
+      // Skip the self-interaction of a singleton leaf holding i itself.
+      if (nd.is_leaf && nd.count == 1.0 &&
+          nd.point == static_cast<std::int64_t>(i)) {
+        return;
+      }
+      double q_num = 1.0 / (1.0 + d2);
+      double effective = nd.count;
+      if (nd.is_leaf && nd.point == static_cast<std::int64_t>(i)) {
+        effective -= 1.0;  // aggregated leaf containing i
+        if (effective <= 0.0) return;
+      }
+      z += effective * q_num;
+      double f = effective * q_num * q_num;
+      neg_x += f * dx;
+      neg_y += f * dy;
+      return;
+    }
+    for (int c : nd.child) {
+      if (c >= 0) walk(c, i, theta2, neg_x, neg_y, z);
+    }
+  }
+
+  const std::vector<double>& y_;
+  std::vector<Node> nodes_;
+  int root_ = 0;
+};
+
+}  // namespace
+
+TsneResult run_bhtsne(const std::vector<float>& rows, std::size_t n,
+                      std::size_t dim, BhTsneParams params) {
+  if (n == 0 || dim == 0 || rows.size() != n * dim) {
+    throw std::invalid_argument("run_bhtsne: bad input shape");
+  }
+  if (params.perplexity <= 1.0) {
+    throw std::invalid_argument("run_bhtsne: perplexity must be > 1");
+  }
+  if (static_cast<double>(n) < 3.0 * params.perplexity + 1.0) {
+    throw std::invalid_argument("run_bhtsne: need > 3 * perplexity points");
+  }
+  if (params.theta < 0.0) {
+    throw std::invalid_argument("run_bhtsne: theta must be >= 0");
+  }
+
+  SparseP p = compute_sparse_p(rows, n, dim, params.perplexity);
+
+  util::Pcg32 rng(params.seed, 0xb475e);
+  std::vector<double> y(n * 2);
+  for (double& v : y) v = rng.normal(0.0, 1e-4);
+  std::vector<double> dy(n * 2, 0.0);
+  std::vector<double> velocity(n * 2, 0.0);
+  std::vector<double> gains(n * 2, 1.0);
+
+  TsneResult result;
+  result.points = n;
+  result.dims = 2;
+  result.kl_history.reserve(static_cast<std::size_t>(params.iterations));
+
+  for (int iter = 0; iter < params.iterations; ++iter) {
+    double exaggeration =
+        iter < params.exaggeration_iters ? params.early_exaggeration : 1.0;
+    double momentum = iter < params.momentum_switch_iter
+                          ? params.initial_momentum
+                          : params.final_momentum;
+
+    QuadTree tree(y, n);
+
+    // Repulsive forces + normaliser Z.
+    std::vector<double> neg(n * 2, 0.0);
+    double z_total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double nx = 0.0;
+      double ny = 0.0;
+      double zi = 0.0;
+      tree.compute(i, params.theta, nx, ny, zi);
+      neg[i * 2] = nx;
+      neg[i * 2 + 1] = ny;
+      z_total += zi;
+    }
+    if (z_total <= 0.0) z_total = 1e-12;
+
+    // Attractive forces over the sparse P, plus KL bookkeeping.
+    std::fill(dy.begin(), dy.end(), 0.0);
+    double kl = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t e = p.row_start[i]; e < p.row_start[i + 1]; ++e) {
+        std::size_t j = p.col[e];
+        double dx = y[i * 2] - y[j * 2];
+        double dyv = y[i * 2 + 1] - y[j * 2 + 1];
+        double q_num = 1.0 / (1.0 + dx * dx + dyv * dyv);
+        double f = exaggeration * p.value[e] * q_num;
+        dy[i * 2] += f * dx;
+        dy[i * 2 + 1] += f * dyv;
+        double qij = std::max(q_num / z_total, 1e-12);
+        kl += p.value[e] * std::log(p.value[e] / qij);
+      }
+      dy[i * 2] -= neg[i * 2] / z_total;
+      dy[i * 2 + 1] -= neg[i * 2 + 1] / z_total;
+    }
+    result.kl_history.push_back(kl);
+
+    for (std::size_t idx = 0; idx < n * 2; ++idx) {
+      bool same_sign = (dy[idx] > 0.0) == (velocity[idx] > 0.0);
+      gains[idx] = same_sign ? std::max(0.01, gains[idx] * 0.8)
+                             : gains[idx] + 0.2;
+      velocity[idx] = momentum * velocity[idx] -
+                      params.learning_rate * gains[idx] * dy[idx];
+      y[idx] += velocity[idx];
+    }
+    for (std::size_t d = 0; d < 2; ++d) {
+      double mean = 0.0;
+      for (std::size_t i = 0; i < n; ++i) mean += y[i * 2 + d];
+      mean /= static_cast<double>(n);
+      for (std::size_t i = 0; i < n; ++i) y[i * 2 + d] -= mean;
+    }
+  }
+
+  result.embedding = std::move(y);
+  return result;
+}
+
+TsneResult run_bhtsne(const embedding::EmbeddingMatrix& data,
+                      BhTsneParams params) {
+  std::vector<float> rows(data.data().begin(), data.data().end());
+  return run_bhtsne(rows, data.rows(), data.dim(), params);
+}
+
+}  // namespace netobs::tsne

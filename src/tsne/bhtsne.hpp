@@ -1,0 +1,39 @@
+// Barnes-Hut t-SNE (van der Maaten, JMLR 2014): O(n log n) approximation
+// of the exact algorithm in tsne.hpp.
+//
+// The paper projects ~3K second-level domains (Figure 4); the exact O(n^2)
+// gradient is fine there but does not scale to a full 470K-host vocabulary.
+// This implementation uses the standard two approximations:
+//   - sparse input affinities: P is computed over each point's 3*perplexity
+//     nearest neighbours only (exact brute-force kNN),
+//   - quadtree-approximated repulsive forces with the Barnes-Hut opening
+//     criterion (theta).
+#pragma once
+
+#include "tsne/tsne.hpp"
+
+namespace netobs::tsne {
+
+struct BhTsneParams {
+  double perplexity = 30.0;
+  int iterations = 500;
+  double learning_rate = 200.0;
+  double theta = 0.5;  ///< Barnes-Hut accuracy knob; 0 = exact repulsion
+  double early_exaggeration = 12.0;
+  int exaggeration_iters = 100;
+  double initial_momentum = 0.5;
+  double final_momentum = 0.8;
+  int momentum_switch_iter = 100;
+  std::uint64_t seed = 42;
+};
+
+/// Runs Barnes-Hut t-SNE to 2 dimensions over row-major input rows.
+/// kl_history reports the KL divergence w.r.t. the *sparse* P (comparable
+/// across iterations, not with exact t-SNE's dense KL).
+TsneResult run_bhtsne(const std::vector<float>& rows, std::size_t n,
+                      std::size_t dim, BhTsneParams params = BhTsneParams());
+
+TsneResult run_bhtsne(const embedding::EmbeddingMatrix& data,
+                      BhTsneParams params = BhTsneParams());
+
+}  // namespace netobs::tsne

@@ -1,0 +1,192 @@
+#include "tsne/tsne.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace netobs::tsne {
+
+namespace {
+
+/// Pairwise squared Euclidean distances (n x n, row-major).
+std::vector<double> pairwise_sq_distances(const std::vector<float>& rows,
+                                          std::size_t n, std::size_t dim) {
+  std::vector<double> d2(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < dim; ++k) {
+        double diff = static_cast<double>(rows[i * dim + k]) -
+                      static_cast<double>(rows[j * dim + k]);
+        s += diff * diff;
+      }
+      d2[i * n + j] = s;
+      d2[j * n + i] = s;
+    }
+  }
+  return d2;
+}
+
+/// Conditional probabilities p_{j|i} for one row given beta = 1/(2 sigma^2);
+/// returns the Shannon entropy H in nats.
+double row_probabilities(const std::vector<double>& d2, std::size_t n,
+                         std::size_t i, double beta, std::vector<double>& p) {
+  double sum = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    p[j] = j == i ? 0.0 : std::exp(-beta * d2[i * n + j]);
+    sum += p[j];
+  }
+  if (sum <= 0.0) sum = 1e-12;
+  double entropy = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    p[j] /= sum;
+    if (p[j] > 1e-12) entropy -= p[j] * std::log(p[j]);
+  }
+  return entropy;
+}
+
+/// Symmetrised, perplexity-calibrated affinity matrix P.
+std::vector<double> compute_p(const std::vector<double>& d2, std::size_t n,
+                              double perplexity) {
+  const double target_entropy = std::log(perplexity);
+  std::vector<double> p(n * n, 0.0);
+  std::vector<double> row(n, 0.0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    double beta = 1.0;
+    double beta_min = 0.0;
+    double beta_max = std::numeric_limits<double>::infinity();
+    double entropy = row_probabilities(d2, n, i, beta, row);
+    for (int iter = 0; iter < 64 && std::fabs(entropy - target_entropy) > 1e-5;
+         ++iter) {
+      if (entropy > target_entropy) {
+        beta_min = beta;
+        beta = std::isinf(beta_max) ? beta * 2.0 : (beta + beta_max) / 2.0;
+      } else {
+        beta_max = beta;
+        beta = (beta + beta_min) / 2.0;
+      }
+      entropy = row_probabilities(d2, n, i, beta, row);
+    }
+    for (std::size_t j = 0; j < n; ++j) p[i * n + j] = row[j];
+  }
+
+  // Symmetrise and normalise to a joint distribution.
+  std::vector<double> joint(n * n, 0.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      joint[i * n + j] = (p[i * n + j] + p[j * n + i]) / 2.0;
+      total += joint[i * n + j];
+    }
+  }
+  for (double& v : joint) v = std::max(v / total, 1e-12);
+  return joint;
+}
+
+}  // namespace
+
+TsneResult run_tsne(const std::vector<float>& rows, std::size_t n,
+                    std::size_t dim, TsneParams params) {
+  if (n == 0 || dim == 0 || rows.size() != n * dim) {
+    throw std::invalid_argument("run_tsne: bad input shape");
+  }
+  if (params.perplexity <= 1.0) {
+    throw std::invalid_argument("run_tsne: perplexity must be > 1");
+  }
+  if (static_cast<double>(n) < 3.0 * params.perplexity) {
+    throw std::invalid_argument(
+        "run_tsne: need at least 3 * perplexity points");
+  }
+  const std::size_t od = params.output_dims;
+  if (od == 0) throw std::invalid_argument("run_tsne: output_dims == 0");
+
+  auto d2 = pairwise_sq_distances(rows, n, dim);
+  auto p = compute_p(d2, n, params.perplexity);
+
+  util::Pcg32 rng(params.seed, 0x75e);
+  std::vector<double> y(n * od);
+  for (double& v : y) v = rng.normal(0.0, 1e-4);
+  std::vector<double> dy(n * od, 0.0);
+  std::vector<double> velocity(n * od, 0.0);
+  std::vector<double> gains(n * od, 1.0);
+  std::vector<double> q(n * n, 0.0);
+
+  TsneResult result;
+  result.points = n;
+  result.dims = od;
+  result.kl_history.reserve(static_cast<std::size_t>(params.iterations));
+
+  for (int iter = 0; iter < params.iterations; ++iter) {
+    double exaggeration =
+        iter < params.exaggeration_iters ? params.early_exaggeration : 1.0;
+    double momentum = iter < params.momentum_switch_iter
+                          ? params.initial_momentum
+                          : params.final_momentum;
+
+    // Student-t affinities in the embedding.
+    double q_total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        double s = 0.0;
+        for (std::size_t k = 0; k < od; ++k) {
+          double diff = y[i * od + k] - y[j * od + k];
+          s += diff * diff;
+        }
+        double num = 1.0 / (1.0 + s);
+        q[i * n + j] = num;
+        q[j * n + i] = num;
+        q_total += 2.0 * num;
+      }
+      q[i * n + i] = 0.0;
+    }
+    if (q_total <= 0.0) q_total = 1e-12;
+
+    // Gradient: 4 * sum_j (p_ij*ex - q_ij) * num_ij * (y_i - y_j).
+    std::fill(dy.begin(), dy.end(), 0.0);
+    double kl = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        double num = q[i * n + j];
+        double qij = std::max(num / q_total, 1e-12);
+        double pij = p[i * n + j];
+        double mult = (pij * exaggeration - qij) * num;
+        for (std::size_t k = 0; k < od; ++k) {
+          dy[i * od + k] += 4.0 * mult * (y[i * od + k] - y[j * od + k]);
+        }
+        if (j > i) kl += 2.0 * pij * std::log(pij / qij);
+      }
+    }
+    result.kl_history.push_back(kl);
+
+    // Adaptive gains + momentum update (reference implementation rules).
+    for (std::size_t idx = 0; idx < n * od; ++idx) {
+      bool same_sign = (dy[idx] > 0.0) == (velocity[idx] > 0.0);
+      gains[idx] = same_sign ? std::max(0.01, gains[idx] * 0.8)
+                             : gains[idx] + 0.2;
+      velocity[idx] = momentum * velocity[idx] -
+                      params.learning_rate * gains[idx] * dy[idx];
+      y[idx] += velocity[idx];
+    }
+    // Re-centre.
+    for (std::size_t k = 0; k < od; ++k) {
+      double mean = 0.0;
+      for (std::size_t i = 0; i < n; ++i) mean += y[i * od + k];
+      mean /= static_cast<double>(n);
+      for (std::size_t i = 0; i < n; ++i) y[i * od + k] -= mean;
+    }
+  }
+
+  result.embedding = std::move(y);
+  return result;
+}
+
+TsneResult run_tsne(const embedding::EmbeddingMatrix& data,
+                    TsneParams params) {
+  std::vector<float> rows(data.data().begin(), data.data().end());
+  return run_tsne(rows, data.rows(), data.dim(), params);
+}
+
+}  // namespace netobs::tsne

@@ -1,0 +1,54 @@
+// Exact t-SNE (van der Maaten & Hinton 2008) for embedding visualisation.
+//
+// Section 6.2 projects one day's second-level-domain embeddings (~3K points,
+// 100 dims) to 2D with t-SNE to show topical clusters (Figures 4-5). At that
+// scale the exact O(n^2) algorithm is fine; the implementation follows the
+// reference: perplexity-calibrated Gaussian affinities, early exaggeration,
+// momentum gradient descent with adaptive per-coordinate gains.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "embedding/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace netobs::tsne {
+
+struct TsneParams {
+  std::size_t output_dims = 2;
+  double perplexity = 30.0;
+  int iterations = 500;
+  double learning_rate = 200.0;
+  double early_exaggeration = 12.0;
+  int exaggeration_iters = 100;
+  double initial_momentum = 0.5;
+  double final_momentum = 0.8;
+  int momentum_switch_iter = 100;
+  std::uint64_t seed = 42;
+};
+
+struct TsneResult {
+  /// Row-major n x output_dims layout.
+  std::vector<double> embedding;
+  std::size_t points = 0;
+  std::size_t dims = 0;
+  /// KL divergence after each iteration (unexaggerated scale).
+  std::vector<double> kl_history;
+
+  double x(std::size_t i, std::size_t d) const {
+    return embedding[i * dims + d];
+  }
+};
+
+/// Runs exact t-SNE over the rows of `data`. Throws std::invalid_argument
+/// when there are fewer than 3 * perplexity points or parameters are
+/// degenerate.
+TsneResult run_tsne(const embedding::EmbeddingMatrix& data,
+                    TsneParams params = TsneParams());
+
+/// Convenience overload over a flat row-major buffer.
+TsneResult run_tsne(const std::vector<float>& rows, std::size_t n,
+                    std::size_t dim, TsneParams params = TsneParams());
+
+}  // namespace netobs::tsne

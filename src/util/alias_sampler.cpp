@@ -1,0 +1,64 @@
+#include "util/alias_sampler.hpp"
+
+#include <stdexcept>
+
+namespace netobs::util {
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  if (weights.empty()) {
+    throw std::invalid_argument("AliasSampler: empty weight vector");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("AliasSampler: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("AliasSampler: weights sum to zero");
+  }
+
+  const std::size_t n = weights.size();
+  normalized_.resize(n);
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Scale so the average bucket holds mass exactly 1.
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    normalized_[i] = weights[i] / total;
+    scaled[i] = normalized_[i] * static_cast<double>(n);
+  }
+
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+
+  while (!small.empty() && !large.empty()) {
+    std::uint32_t s = small.back();
+    small.pop_back();
+    std::uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Numerical leftovers: both lists hold buckets with mass ~1.
+  for (std::uint32_t i : large) prob_[i] = 1.0;
+  for (std::uint32_t i : small) prob_[i] = 1.0;
+}
+
+std::size_t AliasSampler::sample(Pcg32& rng) const {
+  std::size_t bucket = rng.next_below(static_cast<std::uint32_t>(prob_.size()));
+  return rng.next_double() < prob_[bucket] ? bucket : alias_[bucket];
+}
+
+double AliasSampler::probability(std::size_t i) const {
+  return i < normalized_.size() ? normalized_[i] : 0.0;
+}
+
+}  // namespace netobs::util

@@ -1,0 +1,194 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace netobs::util {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+Pcg32::Pcg32(std::uint64_t seed, std::uint64_t stream) {
+  inc_ = (stream << 1U) | 1U;
+  state_ = 0;
+  next_u32();
+  state_ += seed;
+  next_u32();
+}
+
+std::uint32_t Pcg32::next_u32() {
+  std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  auto xorshifted = static_cast<std::uint32_t>(((old >> 18U) ^ old) >> 27U);
+  auto rot = static_cast<std::uint32_t>(old >> 59U);
+  return (xorshifted >> rot) | (xorshifted << ((32U - rot) & 31U));
+}
+
+std::uint64_t Pcg32::next_u64() {
+  return (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+}
+
+double Pcg32::next_double() {
+  // 53 random bits -> [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::uint32_t Pcg32::next_below(std::uint32_t bound) {
+  if (bound == 0) throw std::invalid_argument("next_below: bound must be > 0");
+  // Lemire-style rejection to avoid modulo bias.
+  std::uint32_t threshold = static_cast<std::uint32_t>(-bound) % bound;
+  for (;;) {
+    std::uint32_t r = next_u32();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Pcg32::uniform(double lo, double hi) {
+  return lo + (hi - lo) * next_double();
+}
+
+double Pcg32::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = next_double();
+  } while (u1 <= 0.0);
+  double u2 = next_double();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Pcg32::exponential(double rate) {
+  if (rate <= 0.0) throw std::invalid_argument("exponential: rate must be > 0");
+  double u = 0.0;
+  do {
+    u = next_double();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+double Pcg32::gamma(double shape) {
+  if (shape <= 0.0) throw std::invalid_argument("gamma: shape must be > 0");
+  if (shape < 1.0) {
+    // Boost to shape+1 and scale back (Marsaglia-Tsang trick).
+    double u = 0.0;
+    do {
+      u = next_double();
+    } while (u <= 0.0);
+    return gamma(shape + 1.0) * std::pow(u, 1.0 / shape);
+  }
+  double d = shape - 1.0 / 3.0;
+  double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = normal();
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    double u = next_double();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v;
+    }
+  }
+}
+
+std::size_t Pcg32::categorical(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) {
+    throw std::invalid_argument("categorical: total weight must be > 0");
+  }
+  double target = next_double() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<double> Pcg32::dirichlet(std::size_t k, double alpha) {
+  return dirichlet(std::vector<double>(k, alpha));
+}
+
+std::vector<double> Pcg32::dirichlet(const std::vector<double>& alpha) {
+  std::vector<double> out(alpha.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < alpha.size(); ++i) {
+    out[i] = gamma(alpha[i]);
+    total += out[i];
+  }
+  if (total <= 0.0) total = 1.0;
+  for (double& x : out) x /= total;
+  return out;
+}
+
+unsigned Pcg32::poisson(double mean) {
+  if (mean < 0.0) throw std::invalid_argument("poisson: mean must be >= 0");
+  if (mean == 0.0) return 0;
+  // Knuth for small means; normal approximation beyond that is fine for our
+  // workloads (session lengths, page fan-out) which are all small.
+  if (mean < 30.0) {
+    double l = std::exp(-mean);
+    unsigned k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= next_double();
+    } while (p > l);
+    return k - 1;
+  }
+  double x = normal(mean, std::sqrt(mean));
+  return x <= 0.0 ? 0U : static_cast<unsigned>(x + 0.5);
+}
+
+Pcg32 Pcg32::fork(std::uint64_t stream_tag) {
+  return Pcg32(next_u64(), mix64(stream_tag));
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be > 0");
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    acc += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    cdf_[r] = acc;
+  }
+  for (double& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;
+}
+
+std::size_t ZipfSampler::sample(Pcg32& rng) const {
+  double u = rng.next_double();
+  // Binary search for the first cdf entry >= u.
+  std::size_t lo = 0;
+  std::size_t hi = cdf_.size() - 1;
+  while (lo < hi) {
+    std::size_t mid = lo + (hi - lo) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+double ZipfSampler::pmf(std::size_t rank) const {
+  if (rank >= cdf_.size()) return 0.0;
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace netobs::util

@@ -1,0 +1,131 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// All stochastic components of the library (synthetic world, SKIPGRAM
+// initialisation, negative sampling, click outcomes, ...) draw from Pcg32 so a
+// fixed seed reproduces a whole experiment bit-for-bit, independent of the
+// standard library implementation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace netobs::util {
+
+/// SplitMix64: used to seed other generators and to hash 64-bit ids.
+/// Reference: Steele, Lea, Flood — "Fast splittable pseudorandom number
+/// generators" (OOPSLA'14).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stateless 64-bit mix; usable as a hash of (seed, value) pairs.
+std::uint64_t mix64(std::uint64_t x);
+
+/// PCG-XSH-RR 32-bit generator (O'Neill 2014). Small state, good statistical
+/// quality, cheap to fork into independent streams.
+class Pcg32 {
+ public:
+  using result_type = std::uint32_t;
+
+  /// Constructs a generator from a seed and a stream id. Distinct stream ids
+  /// yield statistically independent sequences for the same seed.
+  explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+  std::uint32_t next_u32();
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [0, bound) without modulo bias. bound must be > 0.
+  std::uint32_t next_below(std::uint32_t bound);
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (caches the second variate).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Exponential with the given rate (mean 1/rate).
+  double exponential(double rate);
+
+  /// Gamma(shape, 1) via Marsaglia-Tsang; valid for any shape > 0.
+  double gamma(double shape);
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Linear scan; use AliasSampler for repeated draws from a fixed
+  /// distribution.
+  std::size_t categorical(const std::vector<double>& weights);
+
+  /// Dirichlet sample with concentration alpha for each of k symmetric
+  /// components. Returns a probability vector of size k.
+  std::vector<double> dirichlet(std::size_t k, double alpha);
+
+  /// Dirichlet with per-component concentrations.
+  std::vector<double> dirichlet(const std::vector<double>& alpha);
+
+  /// true with probability p.
+  bool bernoulli(double p) { return next_double() < p; }
+
+  /// Poisson sample (Knuth's method for small means, PTRS not needed here).
+  unsigned poisson(double mean);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = next_below(static_cast<std::uint32_t>(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// UniformRandomBitGenerator interface for interop with <algorithm>.
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return 0xffffffffU; }
+  result_type operator()() { return next_u32(); }
+
+  /// Forks an independent generator; child streams are decorrelated from the
+  /// parent and from each other.
+  Pcg32 fork(std::uint64_t stream_tag);
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// Zipf(s) sampler over ranks {0, ..., n-1} using the inverse-CDF over the
+/// precomputed normalisation; O(log n) per draw.
+class ZipfSampler {
+ public:
+  /// n: universe size; s: exponent (s=1 is the classic web popularity curve).
+  ZipfSampler(std::size_t n, double s);
+
+  std::size_t sample(Pcg32& rng) const;
+
+  /// Probability mass of rank r.
+  double pmf(std::size_t rank) const;
+
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cumulative masses, cdf_.back() == 1.
+};
+
+}  // namespace netobs::util

@@ -1,0 +1,24 @@
+// Simulation clock: plain seconds since the (synthetic) experiment epoch.
+// Profiling windows (T = 20 min), reporting intervals (10 min) and the daily
+// retraining cadence of Section 5.4 are all expressed in these units.
+#pragma once
+
+#include <cstdint>
+
+namespace netobs::util {
+
+/// Seconds since the simulated experiment start.
+using Timestamp = std::int64_t;
+
+constexpr Timestamp kSecond = 1;
+constexpr Timestamp kMinute = 60 * kSecond;
+constexpr Timestamp kHour = 60 * kMinute;
+constexpr Timestamp kDay = 24 * kHour;
+
+/// 0-based day index of a timestamp.
+constexpr std::int64_t day_index(Timestamp t) { return t / kDay; }
+
+/// Seconds into the current day.
+constexpr Timestamp time_of_day(Timestamp t) { return t % kDay; }
+
+}  // namespace netobs::util

@@ -1,0 +1,268 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace netobs::util {
+
+void RunningStats::add(double x) {
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double sample_variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) {
+  return std::sqrt(sample_variance(xs));
+}
+
+double percentile(std::vector<double> xs, double q) {
+  if (xs.empty()) throw std::invalid_argument("percentile: empty input");
+  if (q < 0.0 || q > 100.0) {
+    throw std::invalid_argument("percentile: q out of [0,100]");
+  }
+  std::sort(xs.begin(), xs.end());
+  double pos = q / 100.0 * static_cast<double>(xs.size() - 1);
+  auto lo = static_cast<std::size_t>(pos);
+  std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+double log_gamma(double x) {
+  // Lanczos approximation, g=7, n=9.
+  static const double coeffs[] = {
+      0.99999999999980993,  676.5203681218851,     -1259.1392167224028,
+      771.32342877765313,   -176.61502916214059,   12.507343278686905,
+      -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
+  if (x < 0.5) {
+    // Reflection formula.
+    return std::log(M_PI / std::sin(M_PI * x)) - log_gamma(1.0 - x);
+  }
+  x -= 1.0;
+  double a = coeffs[0];
+  double t = x + 7.5;
+  for (int i = 1; i < 9; ++i) a += coeffs[i] / (x + static_cast<double>(i));
+  return 0.5 * std::log(2.0 * M_PI) + (x + 0.5) * std::log(t) - t + std::log(a);
+}
+
+namespace {
+
+// Continued-fraction evaluation for the incomplete beta (Numerical Recipes
+// style modified Lentz).
+double beta_cont_frac(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-14;
+  constexpr double kTiny = 1e-300;
+
+  double qab = a + b;
+  double qap = a + 1.0;
+  double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    double dm = static_cast<double>(m);
+    double m2 = 2.0 * dm;
+    double aa = dm * (b - dm) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + dm) * (qab + dm) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double incomplete_beta(double a, double b, double x) {
+  if (a <= 0.0 || b <= 0.0) {
+    throw std::invalid_argument("incomplete_beta: a,b must be > 0");
+  }
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  double ln_front = log_gamma(a + b) - log_gamma(a) - log_gamma(b) +
+                    a * std::log(x) + b * std::log(1.0 - x);
+  double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_cont_frac(a, b, x) / a;
+  }
+  return 1.0 - front * beta_cont_frac(b, a, 1.0 - x) / b;
+}
+
+double student_t_cdf(double t, double df) {
+  if (df <= 0.0) throw std::invalid_argument("student_t_cdf: df must be > 0");
+  double x = df / (df + t * t);
+  double p = 0.5 * incomplete_beta(df / 2.0, 0.5, x);
+  return t >= 0.0 ? 1.0 - p : p;
+}
+
+TTestResult paired_t_test(std::span<const double> a,
+                          std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("paired_t_test: size mismatch");
+  }
+  if (a.size() < 2) {
+    throw std::invalid_argument("paired_t_test: need >= 2 pairs");
+  }
+  std::vector<double> diff(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) diff[i] = a[i] - b[i];
+  double md = mean(diff);
+  double sd = stddev(diff);
+  auto n = static_cast<double>(diff.size());
+
+  TTestResult r;
+  r.mean_difference = md;
+  r.degrees_of_freedom = n - 1.0;
+  if (sd == 0.0) {
+    // All differences identical: either exactly zero (p = 1) or a constant
+    // nonzero shift (p -> 0).
+    r.t_statistic = md == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+    r.p_value = md == 0.0 ? 1.0 : 0.0;
+    return r;
+  }
+  r.t_statistic = md / (sd / std::sqrt(n));
+  double cdf = student_t_cdf(std::fabs(r.t_statistic), r.degrees_of_freedom);
+  r.p_value = 2.0 * (1.0 - cdf);
+  return r;
+}
+
+TTestResult welch_t_test(std::span<const double> a, std::span<const double> b) {
+  if (a.size() < 2 || b.size() < 2) {
+    throw std::invalid_argument("welch_t_test: need >= 2 samples per side");
+  }
+  double ma = mean(a);
+  double mb = mean(b);
+  double va = sample_variance(a);
+  double vb = sample_variance(b);
+  auto na = static_cast<double>(a.size());
+  auto nb = static_cast<double>(b.size());
+  double se2 = va / na + vb / nb;
+
+  TTestResult r;
+  r.mean_difference = ma - mb;
+  if (se2 == 0.0) {
+    r.t_statistic = r.mean_difference == 0.0
+                        ? 0.0
+                        : std::numeric_limits<double>::infinity();
+    r.degrees_of_freedom = na + nb - 2.0;
+    r.p_value = r.mean_difference == 0.0 ? 1.0 : 0.0;
+    return r;
+  }
+  r.t_statistic = r.mean_difference / std::sqrt(se2);
+  double num = se2 * se2;
+  double den = (va / na) * (va / na) / (na - 1.0) +
+               (vb / nb) * (vb / nb) / (nb - 1.0);
+  r.degrees_of_freedom = num / den;
+  double cdf = student_t_cdf(std::fabs(r.t_statistic), r.degrees_of_freedom);
+  r.p_value = 2.0 * (1.0 - cdf);
+  return r;
+}
+
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+ProportionTestResult two_proportion_z_test(std::size_t successes1,
+                                           std::size_t trials1,
+                                           std::size_t successes2,
+                                           std::size_t trials2) {
+  if (trials1 == 0 || trials2 == 0) {
+    throw std::invalid_argument("two_proportion_z_test: zero trials");
+  }
+  ProportionTestResult r;
+  auto n1 = static_cast<double>(trials1);
+  auto n2 = static_cast<double>(trials2);
+  r.p1 = static_cast<double>(successes1) / n1;
+  r.p2 = static_cast<double>(successes2) / n2;
+  double pooled =
+      static_cast<double>(successes1 + successes2) / (n1 + n2);
+  double se = std::sqrt(pooled * (1.0 - pooled) * (1.0 / n1 + 1.0 / n2));
+  if (se == 0.0) {
+    r.z_statistic = 0.0;
+    r.p_value = 1.0;
+    return r;
+  }
+  r.z_statistic = (r.p1 - r.p2) / se;
+  r.p_value = 2.0 * (1.0 - normal_cdf(std::fabs(r.z_statistic)));
+  return r;
+}
+
+std::vector<CcdfPoint> ccdf(std::vector<double> xs) {
+  std::vector<CcdfPoint> out;
+  if (xs.empty()) return out;
+  std::sort(xs.begin(), xs.end());
+  auto n = static_cast<double>(xs.size());
+  std::size_t i = 0;
+  while (i < xs.size()) {
+    std::size_t j = i;
+    while (j < xs.size() && xs[j] == xs[i]) ++j;
+    // Fraction of samples >= xs[i] is (n - i) / n.
+    out.push_back({xs[i], static_cast<double>(xs.size() - i) / n});
+    i = j;
+  }
+  return out;
+}
+
+double ccdf_value_at_fraction(const std::vector<CcdfPoint>& curve,
+                              double fraction) {
+  // Curve is ascending in x and descending in fraction. Return the largest x
+  // whose survival fraction is still >= `fraction`.
+  double best = curve.empty() ? 0.0 : curve.front().x;
+  for (const auto& p : curve) {
+    if (p.fraction >= fraction) best = p.x;
+  }
+  return best;
+}
+
+double pearson(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size() || a.size() < 2) return 0.0;
+  double ma = mean(a);
+  double mb = mean(b);
+  double num = 0.0;
+  double da = 0.0;
+  double db = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    num += (a[i] - ma) * (b[i] - mb);
+    da += (a[i] - ma) * (a[i] - ma);
+    db += (b[i] - mb) * (b[i] - mb);
+  }
+  if (da == 0.0 || db == 0.0) return 0.0;
+  return num / std::sqrt(da * db);
+}
+
+}  // namespace netobs::util

@@ -1,0 +1,101 @@
+// Descriptive statistics and hypothesis tests used by the evaluation.
+//
+// The paper's headline result is a two-tailed *paired* t-test over per-user
+// CTRs (Section 6.4); Figures 2-3 are CCDFs (survival functions). Both are
+// implemented here from first principles (no external stats dependency); the
+// Student-t CDF is computed via the regularised incomplete beta function.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace netobs::util {
+
+/// Streaming mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+double mean(std::span<const double> xs);
+double sample_variance(std::span<const double> xs);
+double stddev(std::span<const double> xs);
+
+/// q-th percentile (q in [0,100]) with linear interpolation; xs need not be
+/// sorted. Throws std::invalid_argument on empty input.
+double percentile(std::vector<double> xs, double q);
+
+/// Natural log of the gamma function (Lanczos approximation).
+double log_gamma(double x);
+
+/// Regularised incomplete beta function I_x(a, b), computed with the Lentz
+/// continued-fraction expansion. Domain: a,b > 0, x in [0,1].
+double incomplete_beta(double a, double b, double x);
+
+/// CDF of the Student-t distribution with `df` degrees of freedom.
+double student_t_cdf(double t, double df);
+
+/// Result of a t-test.
+struct TTestResult {
+  double t_statistic = 0.0;
+  double degrees_of_freedom = 0.0;
+  double p_value = 1.0;  ///< two-tailed
+  double mean_difference = 0.0;
+
+  /// True iff p_value < alpha.
+  bool significant(double alpha = 0.05) const { return p_value < alpha; }
+};
+
+/// Two-tailed paired t-test (H0: mean difference is 0). The spans must have
+/// equal, >= 2, length. This is the test of Section 6.4.
+TTestResult paired_t_test(std::span<const double> a, std::span<const double> b);
+
+/// Two-tailed Welch (unequal variance) two-sample t-test.
+TTestResult welch_t_test(std::span<const double> a, std::span<const double> b);
+
+/// Two-proportion z-test on clicks/impressions pairs (secondary CTR check).
+struct ProportionTestResult {
+  double z_statistic = 0.0;
+  double p_value = 1.0;  ///< two-tailed
+  double p1 = 0.0;
+  double p2 = 0.0;
+};
+ProportionTestResult two_proportion_z_test(std::size_t successes1,
+                                           std::size_t trials1,
+                                           std::size_t successes2,
+                                           std::size_t trials2);
+
+/// One point of an empirical CCDF: fraction of samples with value >= x.
+struct CcdfPoint {
+  double x = 0.0;
+  double fraction = 0.0;  ///< in [0, 1]
+};
+
+/// Empirical CCDF (survival function) evaluated at every distinct sample
+/// value, ascending in x. fraction(x) = |{i : xs[i] >= x}| / n, so the first
+/// point always has fraction 1.
+std::vector<CcdfPoint> ccdf(std::vector<double> xs);
+
+/// Value x such that at least `fraction` of samples are >= x (reads a CCDF
+/// like "75% of the users visit at least 217 hostnames").
+double ccdf_value_at_fraction(const std::vector<CcdfPoint>& curve,
+                              double fraction);
+
+/// Pearson correlation coefficient; 0 when either side is constant.
+double pearson(std::span<const double> a, std::span<const double> b);
+
+/// Normal CDF.
+double normal_cdf(double z);
+
+}  // namespace netobs::util

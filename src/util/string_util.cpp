@@ -1,0 +1,145 @@
+#include "util/string_util.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace netobs::util {
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_nonempty(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  for (auto& tok : split(s, delim)) {
+    if (!tok.empty()) out.push_back(std::move(tok));
+  }
+  return out;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  auto is_space = [](unsigned char c) { return std::isspace(c) != 0; };
+  while (!s.empty() && is_space(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && is_space(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool is_valid_hostname(std::string_view host) {
+  if (host.empty() || host.size() > 253) return false;
+  std::size_t label_start = 0;
+  std::size_t dots = 0;
+  for (std::size_t i = 0; i <= host.size(); ++i) {
+    if (i == host.size() || host[i] == '.') {
+      std::size_t len = i - label_start;
+      if (len == 0 || len > 63) return false;
+      if (host[label_start] == '-' || host[i - 1] == '-') return false;
+      if (i < host.size()) ++dots;
+      label_start = i + 1;
+      continue;
+    }
+    unsigned char c = static_cast<unsigned char>(host[i]);
+    if (!(std::isalnum(c) != 0 || c == '-')) return false;
+  }
+  return dots >= 1;
+}
+
+bool host_matches_domain(std::string_view host, std::string_view domain) {
+  if (host.size() == domain.size()) return host == domain;
+  if (host.size() < domain.size() + 1) return false;
+  return ends_with(host, domain) &&
+         host[host.size() - domain.size() - 1] == '.';
+}
+
+namespace {
+
+// Multi-label public suffixes common in the paper's dataset (Spain + Latin
+// America + a few globals). A full PSL is unnecessary: the synthetic world
+// and all tests draw from these.
+constexpr std::array<std::string_view, 22> kMultiLabelSuffixes = {
+    "com.es", "org.es", "nom.es", "gob.es", "edu.es",
+    "co.uk",  "org.uk", "ac.uk",
+    "com.ve", "gob.ve", "org.ve", "edu.ve",
+    "com.co", "gov.co", "edu.co", "org.co",
+    "com.pe", "gob.pe", "edu.pe",
+    "com.mx", "gob.mx", "com.ar",
+};
+
+}  // namespace
+
+std::string second_level_domain(std::string_view host) {
+  auto labels = split(host, '.');
+  if (labels.size() <= 2) return std::string(host);
+
+  // Check whether the last two labels form a registered multi-label suffix.
+  std::string last2 = labels[labels.size() - 2] + "." + labels.back();
+  std::size_t suffix_labels = 1;
+  for (auto s : kMultiLabelSuffixes) {
+    if (last2 == s) {
+      suffix_labels = 2;
+      break;
+    }
+  }
+  std::size_t keep = suffix_labels + 1;  // registrable = suffix + one label
+  if (labels.size() <= keep) return std::string(host);
+
+  std::string out;
+  for (std::size_t i = labels.size() - keep; i < labels.size(); ++i) {
+    if (!out.empty()) out += '.';
+    out += labels[i];
+  }
+  return out;
+}
+
+std::size_t label_count(std::string_view host) {
+  return split(host, '.').size();
+}
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace netobs::util

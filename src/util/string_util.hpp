@@ -1,0 +1,52 @@
+// String and hostname helpers.
+//
+// Hostname handling follows what the paper needs: validation of DNS names
+// (for the TLS SNI codec), and reduction of a full hostname to its
+// second-level registrable domain (Section 6.2 collapses e.g.
+// "mail.google.com" -> "google.com" and "ds-aksb-a.akamaihd.net" ->
+// "akamaihd.net"). A miniature public-suffix list covers the multi-label
+// ccTLD registries that dominate the paper's (Spanish/LatAm) dataset, e.g.
+// "blogspot.com.es" -> registrable "blogspot.com.es"? No: "com.es" is the
+// suffix, so the registrable domain is "blogspot.com.es".
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace netobs::util {
+
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Splits and drops empty tokens.
+std::vector<std::string> split_nonempty(std::string_view s, char delim);
+
+std::string to_lower(std::string_view s);
+
+std::string_view trim(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// RFC 1035-ish validation: 1-253 chars, labels of 1-63 [a-z0-9-] chars not
+/// starting/ending with '-', at least one dot, no empty labels. The check is
+/// intentionally case-insensitive; callers should canonicalise with
+/// to_lower() first for storage.
+bool is_valid_hostname(std::string_view host);
+
+/// True if `host` equals `domain` or is a subdomain of it
+/// ("a.b.example.com" matches "example.com" but not "ample.com").
+bool host_matches_domain(std::string_view host, std::string_view domain);
+
+/// Returns the registrable (second-level) domain of a hostname, consulting a
+/// built-in mini public-suffix list ("com.es", "co.uk", "com.ve", ...).
+/// Returns the input unchanged when it has fewer labels than needed.
+std::string second_level_domain(std::string_view host);
+
+/// Number of dot-separated labels.
+std::size_t label_count(std::string_view host);
+
+/// printf-style formatting into std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace netobs::util

@@ -1,0 +1,36 @@
+// Fixed-width console table printer. The benchmark binaries print the
+// paper's tables/figure data with it so output is directly comparable to the
+// paper's numbers.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace netobs::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; short rows are padded with empty cells, long rows truncated
+  /// to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  void add_row_numeric(const std::vector<double>& cells, int precision = 3);
+
+  /// Renders with aligned columns and a header separator.
+  void print(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a "=== title ===" section banner.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace netobs::util

@@ -1,0 +1,50 @@
+// Minimal fixed-size thread pool.
+//
+// The SKIPGRAM trainer shards the corpus across workers (Hogwild-style
+// lock-free SGD) and the profiling service answers concurrent session
+// queries; both only need "run these N jobs and wait".
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace netobs::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>= 1; 0 is coerced to 1).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains outstanding work, then joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job; the future resolves when it finishes (exceptions
+  /// propagate through the future).
+  std::future<void> submit(std::function<void()> job);
+
+  /// Runs fn(i) for i in [0, n) across the pool and blocks until all done.
+  /// The first exception (if any) is rethrown in the caller.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace netobs::util

@@ -1,0 +1,90 @@
+#include "util/vec_math.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace netobs::util {
+
+float dot(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  float s = 0.0F;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(std::span<float> x, float alpha) {
+  for (float& v : x) v *= alpha;
+}
+
+float l2_norm(std::span<const float> x) {
+  return std::sqrt(dot(x, x));
+}
+
+void normalize(std::span<float> x) {
+  float n = l2_norm(x);
+  if (n > 0.0F) scale(x, 1.0F / n);
+}
+
+float cosine(std::span<const float> a, std::span<const float> b) {
+  float na = l2_norm(a);
+  float nb = l2_norm(b);
+  if (na == 0.0F || nb == 0.0F) return 0.0F;
+  return dot(a, b) / (na * nb);
+}
+
+float euclidean_distance(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  float s = 0.0F;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    float d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+std::vector<float> mean_of_rows(
+    const std::vector<std::span<const float>>& rows) {
+  std::vector<float> out;
+  if (rows.empty()) return out;
+  out.assign(rows.front().size(), 0.0F);
+  for (const auto& row : rows) {
+    assert(row.size() == out.size());
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] += row[i];
+  }
+  float inv = 1.0F / static_cast<float>(rows.size());
+  scale(out, inv);
+  return out;
+}
+
+float sigmoid(float x) { return 1.0F / (1.0F + std::exp(-x)); }
+
+SigmoidTable::SigmoidTable() : table_(kTableSize) {
+  for (std::size_t i = 0; i < kTableSize; ++i) {
+    float x = (static_cast<float>(i) / static_cast<float>(kTableSize) * 2.0F -
+               1.0F) *
+              kMaxExp;
+    table_[i] = sigmoid(x);
+  }
+}
+
+float SigmoidTable::operator()(float x) const {
+  if (x <= -kMaxExp) return table_.front();
+  if (x >= kMaxExp) return table_.back();
+  auto idx = static_cast<std::size_t>((x + kMaxExp) /
+                                      (2.0F * kMaxExp) *
+                                      static_cast<float>(kTableSize));
+  if (idx >= kTableSize) idx = kTableSize - 1;
+  return table_[idx];
+}
+
+const SigmoidTable& shared_sigmoid_table() {
+  static const SigmoidTable table;
+  return table;
+}
+
+}  // namespace netobs::util

@@ -1,0 +1,58 @@
+// Dense float vector kernels shared by the embedding trainer, the kNN index
+// and the profiler. Everything operates on contiguous float spans so the hot
+// loops vectorise; the trainer's sigmoid goes through a lookup table exactly
+// like the word2vec/GENSIM reference implementations.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace netobs::util {
+
+float dot(std::span<const float> a, std::span<const float> b);
+
+/// y += alpha * x
+void axpy(float alpha, std::span<const float> x, std::span<float> y);
+
+/// x *= alpha
+void scale(std::span<float> x, float alpha);
+
+float l2_norm(std::span<const float> x);
+
+/// Normalises x to unit length in place; leaves the zero vector untouched.
+void normalize(std::span<float> x);
+
+/// Cosine similarity; 0 if either vector is zero.
+float cosine(std::span<const float> a, std::span<const float> b);
+
+float euclidean_distance(std::span<const float> a, std::span<const float> b);
+
+/// Element-wise mean of equal-length rows; returns empty when rows is empty.
+std::vector<float> mean_of_rows(const std::vector<std::span<const float>>& rows);
+
+/// Exact sigmoid 1 / (1 + e^-x).
+float sigmoid(float x);
+
+/// Precomputed sigmoid table over [-kMaxExp, kMaxExp], the word2vec trick:
+/// callers clamp to the bounds (the gradient saturates there anyway).
+class SigmoidTable {
+ public:
+  static constexpr float kMaxExp = 6.0F;
+  static constexpr std::size_t kTableSize = 1024;
+
+  SigmoidTable();
+
+  /// Approximate sigmoid; exact at the table knots, clamped outside
+  /// [-kMaxExp, kMaxExp].
+  float operator()(float x) const;
+
+ private:
+  std::vector<float> table_;
+};
+
+/// Process-wide shared table (construction is cheap but the trainer calls
+/// this per sample).
+const SigmoidTable& shared_sigmoid_table();
+
+}  // namespace netobs::util

@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include "ads/ad_database.hpp"
+#include "ads/adnetwork.hpp"
+#include "ads/click_model.hpp"
+#include "ads/experiment.hpp"
+
+namespace netobs::ads {
+namespace {
+
+ontology::CategoryTree test_tree() {
+  util::Pcg32 rng(11);
+  ontology::AdwordsTreeParams params;
+  params.top_level = 8;
+  params.second_level_target = 40;
+  params.total_categories = 120;
+  return make_adwords_like_tree(rng, params);
+}
+
+synth::WorldParams small_world() {
+  synth::WorldParams p;
+  p.universal_hosts = 8;
+  p.first_party_hosts = 150;
+  p.shared_cdn_hosts = 6;
+  p.tracker_hosts = 15;
+  return p;
+}
+
+class AdsTest : public ::testing::Test {
+ protected:
+  AdsTest()
+      : tree_(test_tree()),
+        space_(tree_),
+        universe_(space_, small_world()),
+        labeler_(universe_.make_labeler()),
+        db_(AdDatabase::collect(universe_, labeler_, 500, 1)) {}
+
+  ontology::CategoryTree tree_;
+  ontology::CategorySpace space_;
+  synth::HostnameUniverse universe_;
+  ontology::HostLabeler labeler_;
+  AdDatabase db_;
+};
+
+TEST_F(AdsTest, CollectedAdsLandOnLabeledHosts) {
+  EXPECT_EQ(db_.size(), 500U);
+  for (const auto& ad : db_.ads()) {
+    EXPECT_TRUE(labeler_.is_labeled(ad.landing_host));
+    EXPECT_FALSE(ad.topic_mix.empty());
+    EXPECT_TRUE(ontology::is_valid_category_vector(ad.categories));
+    EXPECT_GT(ad.size.width, 0);
+  }
+}
+
+TEST_F(AdsTest, AdsOfHostIndexIsConsistent) {
+  for (const auto& ad : db_.ads()) {
+    const auto& pool = db_.ads_of_host(ad.landing_host);
+    EXPECT_NE(std::find(pool.begin(), pool.end(), ad.id), pool.end());
+  }
+  EXPECT_TRUE(db_.ads_of_host("no-such-host.com").empty());
+}
+
+TEST_F(AdsTest, AdsWithSizeFilters) {
+  auto sizes = synth::standard_ad_sizes();
+  std::size_t total = 0;
+  for (const auto& size : sizes) {
+    for (AdId id : db_.ads_with_size(size)) {
+      EXPECT_TRUE(db_.ad(id).size == size);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, db_.size());
+}
+
+TEST_F(AdsTest, CollectRequiresLabeledSites) {
+  ontology::HostLabeler empty(space_.size());
+  EXPECT_THROW(AdDatabase::collect(universe_, empty, 10, 1),
+               std::invalid_argument);
+}
+
+TEST_F(AdsTest, SelectorReturnsTopicallyRelevantAds) {
+  EavesdropperSelector selector(db_, labeler_);
+  // Profile = exact label of a host that has ads: its own ads must rank in.
+  const Ad& probe = db_.ad(0);
+  auto list = selector.select(probe.categories);
+  ASSERT_FALSE(list.empty());
+  EXPECT_LE(list.size(), 20U);
+  bool found_same_host = false;
+  for (AdId id : list) {
+    if (db_.ad(id).landing_host == probe.landing_host) found_same_host = true;
+  }
+  EXPECT_TRUE(found_same_host);
+}
+
+TEST_F(AdsTest, SelectorHandlesEmptyProfile) {
+  EavesdropperSelector selector(db_, labeler_);
+  EXPECT_TRUE(selector.select({}).empty());
+}
+
+TEST_F(AdsTest, SelectorDeterministic) {
+  EavesdropperSelector s1(db_, labeler_);
+  EavesdropperSelector s2(db_, labeler_);
+  const auto& profile = db_.ad(3).categories;
+  EXPECT_EQ(s1.select(profile), s2.select(profile));
+}
+
+TEST_F(AdsTest, SelectorRejectsZeroParams) {
+  EXPECT_THROW(EavesdropperSelector(db_, labeler_,
+                                    EavesdropperSelector::Params{0, 20}),
+               std::invalid_argument);
+}
+
+TEST_F(AdsTest, AdNetworkServesSizeMatchedAds) {
+  AdNetwork net(db_, universe_);
+  auto size = synth::standard_ad_sizes()[1];
+  bool size_pool_exists = !db_.ads_with_size(size).empty();
+  for (int i = 0; i < 50; ++i) {
+    AdId id = net.serve(1, i % universe_.topic_count(), size);
+    if (size_pool_exists) {
+      EXPECT_TRUE(db_.ad(id).size == size);
+    }
+  }
+}
+
+TEST_F(AdsTest, AdNetworkLearnsFromTrackers) {
+  AdNetwork net(db_, universe_);
+  EXPECT_TRUE(net.profile_of(7).empty());
+  for (int i = 0; i < 30; ++i) net.observe_page(7, 3);
+  for (int i = 0; i < 10; ++i) net.observe_page(7, 5);
+  auto profile = net.profile_of(7);
+  ASSERT_EQ(profile.size(), universe_.topic_count());
+  EXPECT_NEAR(profile[3], 0.75, 1e-9);
+  EXPECT_NEAR(profile[5], 0.25, 1e-9);
+}
+
+TEST_F(AdsTest, TargetedServingFollowsTrackedProfile) {
+  AdNetworkParams params;
+  params.premium_share = 0.0;
+  params.contextual_share = 0.0;
+  params.targeted_share = 1.0;
+  params.retargeted_share = 0.0;
+  AdNetwork net(db_, universe_, params);
+  for (int i = 0; i < 50; ++i) net.observe_page(1, 2);
+
+  // Serve many ads on pages of an unrelated topic; targeted serving should
+  // still favour topic 2.
+  std::size_t topic2 = 0;
+  std::size_t served = 0;
+  for (int i = 0; i < 300; ++i) {
+    auto size = synth::standard_ad_sizes()[i % 6];
+    AdId id = net.serve(1, /*page_topic=*/5, size);
+    const Ad& ad = db_.ad(id);
+    std::size_t dom = static_cast<std::size_t>(
+        std::max_element(ad.topic_mix.begin(), ad.topic_mix.end()) -
+        ad.topic_mix.begin());
+    ++served;
+    if (dom == 2) ++topic2;
+  }
+  EXPECT_GT(static_cast<double>(topic2) / static_cast<double>(served), 0.5);
+}
+
+TEST_F(AdsTest, ClickModelPrefersAffineAds) {
+  synth::UserPopulation pop(universe_.topic_count(), [] {
+    synth::PopulationParams p;
+    p.num_users = 5;
+    return p;
+  }());
+  ClickModel model;
+  const auto& user = pop.user(0);
+  // Build one perfectly matched and one orthogonal ad.
+  std::size_t fav = static_cast<std::size_t>(
+      std::max_element(user.interests.begin(), user.interests.end()) -
+      user.interests.begin());
+  Ad matched;
+  matched.topic_mix.assign(universe_.topic_count(), 0.0F);
+  matched.topic_mix[fav] = 1.0F;
+  Ad mismatched;
+  mismatched.topic_mix.assign(universe_.topic_count(), 0.0F);
+  mismatched.topic_mix[(fav + 1) % universe_.topic_count()] = 1.0F;
+
+  EXPECT_GT(model.click_probability(user, matched),
+            model.click_probability(user, mismatched));
+  EXPECT_LE(model.click_probability(user, matched), model.params().max_ctr);
+  EXPECT_GT(model.click_probability(user, mismatched), 0.0);
+}
+
+TEST_F(AdsTest, ClickModelAffinityBounds) {
+  synth::UserPopulation pop(universe_.topic_count(), [] {
+    synth::PopulationParams p;
+    p.num_users = 3;
+    return p;
+  }());
+  for (const auto& ad : db_.ads()) {
+    double a = ClickModel::affinity(pop.user(1), ad);
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, 1.0);
+  }
+  EXPECT_THROW(ClickModel(ClickParams{0.0, 0.2, 8.0, 0.05}),
+               std::invalid_argument);
+}
+
+TEST(Experiment, SmallEndToEndRun) {
+  util::Pcg32 tree_rng(11);
+  ontology::AdwordsTreeParams tparams;
+  tparams.top_level = 8;
+  tparams.second_level_target = 40;
+  tparams.total_categories = 120;
+  auto tree = make_adwords_like_tree(tree_rng, tparams);
+  ontology::CategorySpace space(tree);
+
+  synth::WorldParams wp;
+  wp.universal_hosts = 8;
+  wp.first_party_hosts = 150;
+  wp.shared_cdn_hosts = 6;
+  wp.tracker_hosts = 15;
+  synth::HostnameUniverse universe(space, wp);
+
+  synth::PopulationParams pp;
+  pp.num_users = 40;
+  synth::UserPopulation population(universe.topic_count(), pp);
+
+  ExperimentParams ep;
+  ep.collection_days = 1;
+  ep.profiling_days = 2;
+  ep.ad_db_size = 600;
+  ep.service.sgns.dim = 24;
+  ep.service.sgns.epochs = 2;
+  ep.service.vocab.min_count = 2;
+  ep.service.profiler.knn = 100;
+
+  ExperimentRunner runner(universe, population,
+                          synth::BrowsingParams(), ep);
+  auto result = runner.run();
+
+  // Structural checks: all phases ran and produced data.
+  EXPECT_GE(result.retrainings, 2U);
+  EXPECT_GT(result.reports, 20U);
+  EXPECT_GT(result.connections, 1000U);
+  EXPECT_GT(result.unique_hostnames, 50U);
+  EXPECT_GT(result.filtered_connections, 0U);
+  EXPECT_GT(result.original.impressions, 100U);
+  EXPECT_GT(result.eavesdropper.impressions, 50U);
+  EXPECT_GT(result.replacements, 0U);
+  EXPECT_EQ(result.replacements, result.eavesdropper.impressions);
+  EXPECT_GT(result.random_control.impressions,
+            result.original.impressions);
+
+  // Topic tallies exist for each profiling day.
+  EXPECT_EQ(result.topics.visited.size(), 2U);
+  double visited_total = 0.0;
+  for (const auto& day : result.topics.visited) {
+    for (double c : day) visited_total += c;
+  }
+  EXPECT_GT(visited_total, 100.0);
+
+  // Paired users were found and the t-test ran.
+  EXPECT_GE(result.paired_users, 10U);
+  EXPECT_GE(result.paired_ttest.p_value, 0.0);
+  EXPECT_LE(result.paired_ttest.p_value, 1.0);
+}
+
+}  // namespace
+}  // namespace netobs::ads

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tsne/bhtsne.hpp"
+#include "util/rng.hpp"
+
+namespace netobs::tsne {
+namespace {
+
+std::vector<float> blob_data(std::size_t per_blob, std::size_t dim,
+                             std::vector<int>* labels, double spread = 0.4) {
+  util::Pcg32 rng(5);
+  std::vector<float> rows;
+  for (int blob = 0; blob < 3; ++blob) {
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      for (std::size_t d = 0; d < dim; ++d) {
+        double center = d == static_cast<std::size_t>(blob) ? 8.0 : 0.0;
+        rows.push_back(static_cast<float>(rng.normal(center, spread)));
+      }
+      labels->push_back(blob);
+    }
+  }
+  return rows;
+}
+
+double separation_ratio(const TsneResult& result,
+                        const std::vector<int>& labels) {
+  double intra = 0.0;
+  double inter = 0.0;
+  std::size_t ni = 0;
+  std::size_t nj = 0;
+  for (std::size_t i = 0; i < result.points; i += 2) {
+    for (std::size_t j = i + 1; j < result.points; j += 2) {
+      double dx = result.x(i, 0) - result.x(j, 0);
+      double dy = result.x(i, 1) - result.x(j, 1);
+      double d = std::sqrt(dx * dx + dy * dy);
+      if (labels[i] == labels[j]) {
+        intra += d;
+        ++ni;
+      } else {
+        inter += d;
+        ++nj;
+      }
+    }
+  }
+  return (inter / static_cast<double>(nj)) /
+         std::max(1e-12, intra / static_cast<double>(ni));
+}
+
+TEST(BhTsne, SeparatesGaussianBlobs) {
+  std::vector<int> labels;
+  auto rows = blob_data(60, 10, &labels);
+  BhTsneParams params;
+  params.perplexity = 15.0;
+  params.iterations = 300;
+  auto result = run_bhtsne(rows, 180, 10, params);
+  ASSERT_EQ(result.points, 180U);
+  EXPECT_GT(separation_ratio(result, labels), 2.0);
+}
+
+TEST(BhTsne, ThetaZeroMatchesSeparationOfExactRepulsion) {
+  std::vector<int> labels;
+  auto rows = blob_data(30, 6, &labels);
+  BhTsneParams exact;
+  exact.perplexity = 10.0;
+  exact.iterations = 200;
+  exact.theta = 0.0;  // Barnes-Hut degenerates to exact repulsion
+  BhTsneParams approx = exact;
+  approx.theta = 0.7;
+  auto r_exact = run_bhtsne(rows, 90, 6, exact);
+  auto r_approx = run_bhtsne(rows, 90, 6, approx);
+  double s_exact = separation_ratio(r_exact, labels);
+  double s_approx = separation_ratio(r_approx, labels);
+  EXPECT_GT(s_exact, 2.0);
+  EXPECT_GT(s_approx, 2.0);
+  // Approximation should not change the qualitative result by much.
+  EXPECT_NEAR(s_approx / s_exact, 1.0, 0.5);
+}
+
+TEST(BhTsne, KlDecreasesAfterExaggeration) {
+  std::vector<int> labels;
+  auto rows = blob_data(30, 6, &labels);
+  BhTsneParams params;
+  params.perplexity = 10.0;
+  params.iterations = 250;
+  auto result = run_bhtsne(rows, 90, 6, params);
+  ASSERT_EQ(result.kl_history.size(), 250U);
+  EXPECT_LT(result.kl_history.back(),
+            result.kl_history[static_cast<std::size_t>(
+                params.exaggeration_iters + 5)]);
+}
+
+TEST(BhTsne, DeterministicForSeed) {
+  std::vector<int> labels;
+  auto rows = blob_data(25, 6, &labels);
+  BhTsneParams params;
+  params.perplexity = 8.0;
+  params.iterations = 60;
+  auto r1 = run_bhtsne(rows, 75, 6, params);
+  auto r2 = run_bhtsne(rows, 75, 6, params);
+  EXPECT_EQ(r1.embedding, r2.embedding);
+}
+
+TEST(BhTsne, HandlesCoincidentPoints) {
+  // Duplicated points must not crash the quadtree (infinite split guard).
+  std::vector<float> rows;
+  std::vector<int> labels;
+  util::Pcg32 rng(9);
+  for (int i = 0; i < 80; ++i) {
+    float x = static_cast<float>(i % 4);  // only 4 distinct input points
+    rows.push_back(x);
+    rows.push_back(-x);
+    labels.push_back(i % 4);
+  }
+  BhTsneParams params;
+  params.perplexity = 5.0;
+  params.iterations = 50;
+  auto result = run_bhtsne(rows, 80, 2, params);
+  EXPECT_EQ(result.points, 80U);
+  for (double v : result.embedding) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(BhTsne, RejectsBadInput) {
+  std::vector<float> rows(10 * 3, 0.0F);
+  EXPECT_THROW(run_bhtsne(rows, 10, 4, {}), std::invalid_argument);
+  BhTsneParams params;
+  params.perplexity = 30.0;
+  EXPECT_THROW(run_bhtsne(rows, 10, 3, params), std::invalid_argument);
+  params.perplexity = 2.0;
+  params.theta = -1.0;
+  EXPECT_THROW(run_bhtsne(rows, 10, 3, params), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace netobs::tsne

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "content/crawler.hpp"
+
+namespace netobs::content {
+namespace {
+
+TEST(PageModel, GeneratesDocumentsOfExpectedShape) {
+  PageModel model(5);
+  util::Pcg32 rng(1);
+  std::vector<float> mix(5, 0.0F);
+  mix[2] = 1.0F;
+  auto doc = model.sample_page(mix, rng);
+  EXPECT_GT(doc.size(), 30U);
+  for (TokenId t : doc) EXPECT_LT(t, model.vocab_size());
+}
+
+TEST(PageModel, TopicalTokensReflectTheMixture) {
+  PageModel model(5);
+  util::Pcg32 rng(2);
+  std::vector<float> mix(5, 0.0F);
+  mix[3] = 1.0F;
+  std::size_t topical = 0;
+  std::size_t on_topic = 0;
+  for (int rep = 0; rep < 30; ++rep) {
+    for (TokenId t : model.sample_page(mix, rng)) {
+      if (!model.is_topical(t)) continue;
+      ++topical;
+      if (model.topic_of_token(t) == 3) ++on_topic;
+    }
+  }
+  ASSERT_GT(topical, 100U);
+  EXPECT_EQ(on_topic, topical);  // single-topic host: all topical words on it
+}
+
+TEST(PageModel, EmptyMixtureYieldsBoilerplateOnly) {
+  PageModel model(4);
+  util::Pcg32 rng(3);
+  auto doc = model.sample_page({}, rng);
+  for (TokenId t : doc) EXPECT_FALSE(model.is_topical(t));
+}
+
+TEST(PageModel, RejectsDegenerateParams) {
+  EXPECT_THROW(PageModel(0), std::invalid_argument);
+  PageModelParams bad;
+  bad.words_per_topic = 0;
+  EXPECT_THROW(PageModel(3, bad), std::invalid_argument);
+}
+
+TEST(NaiveBayes, LearnsSeparableClasses) {
+  PageModel model(3);
+  util::Pcg32 rng(4);
+  NaiveBayesClassifier clf(model.vocab_size(), 3);
+  for (std::size_t c = 0; c < 3; ++c) {
+    std::vector<float> mix(3, 0.0F);
+    mix[c] = 1.0F;
+    for (int i = 0; i < 25; ++i) {
+      clf.add_document(model.sample_page(mix, rng), c);
+    }
+  }
+  EXPECT_EQ(clf.documents(), 75U);
+  std::size_t correct = 0;
+  for (std::size_t c = 0; c < 3; ++c) {
+    std::vector<float> mix(3, 0.0F);
+    mix[c] = 1.0F;
+    for (int i = 0; i < 20; ++i) {
+      if (clf.predict_class(model.sample_page(mix, rng)) == c) ++correct;
+    }
+  }
+  EXPECT_GE(correct, 55U);  // > 90% on cleanly separable classes
+}
+
+TEST(NaiveBayes, PosteriorIsADistribution) {
+  NaiveBayesClassifier clf(10, 4);
+  clf.add_document({1, 2, 3}, 0);
+  clf.add_document({7, 8, 9}, 1);
+  auto p = clf.predict({1, 2});
+  ASSERT_EQ(p.size(), 4U);
+  double total = 0.0;
+  for (double v : p) {
+    EXPECT_GE(v, 0.0);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_EQ(clf.predict_class({1, 2}), 0U);
+  EXPECT_EQ(clf.predict_class({8, 9}), 1U);
+}
+
+TEST(NaiveBayes, RejectsBadInput) {
+  EXPECT_THROW(NaiveBayesClassifier(0, 2), std::invalid_argument);
+  EXPECT_THROW(NaiveBayesClassifier(10, 0), std::invalid_argument);
+  EXPECT_THROW(NaiveBayesClassifier(10, 2, 0.0), std::invalid_argument);
+  NaiveBayesClassifier clf(10, 2);
+  EXPECT_THROW(clf.add_document({11}, 0), std::out_of_range);
+  EXPECT_THROW(clf.add_document({1}, 5), std::out_of_range);
+}
+
+class CrawlerTest : public ::testing::Test {
+ protected:
+  CrawlerTest() {
+    util::Pcg32 rng(11);
+    ontology::AdwordsTreeParams tp;
+    tp.top_level = 8;
+    tp.second_level_target = 40;
+    tp.total_categories = 120;
+    tree_ = std::make_unique<ontology::CategoryTree>(
+        make_adwords_like_tree(rng, tp));
+    space_ = std::make_unique<ontology::CategorySpace>(*tree_);
+    synth::WorldParams wp;
+    wp.universal_hosts = 8;
+    wp.first_party_hosts = 250;
+    wp.shared_cdn_hosts = 6;
+    wp.tracker_hosts = 15;
+    universe_ =
+        std::make_unique<synth::HostnameUniverse>(*space_, wp);
+  }
+
+  std::unique_ptr<ontology::CategoryTree> tree_;
+  std::unique_ptr<ontology::CategorySpace> space_;
+  std::unique_ptr<synth::HostnameUniverse> universe_;
+};
+
+TEST_F(CrawlerTest, FetchFailsExactlyForUncrawlableHosts) {
+  ContentCrawler crawler(*universe_);
+  std::size_t failures = 0;
+  for (std::size_t i = 0; i < universe_->size(); ++i) {
+    auto page = crawler.fetch(i);
+    if (universe_->host(i).crawlable) {
+      EXPECT_TRUE(page.has_value());
+    } else {
+      EXPECT_FALSE(page.has_value());
+      ++failures;
+    }
+  }
+  EXPECT_NEAR(crawler.fetch_failure_rate(),
+              static_cast<double>(failures) /
+                  static_cast<double>(universe_->size()),
+              1e-9);
+}
+
+TEST_F(CrawlerTest, FetchIsDeterministicPerHost) {
+  ContentCrawler crawler(*universe_);
+  std::size_t site = universe_->sites_of_topic(0).empty()
+                         ? universe_->universal()[0]
+                         : universe_->sites_of_topic(0)[0];
+  auto a = crawler.fetch(site);
+  auto b = crawler.fetch(site);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(*a, *b);
+}
+
+TEST_F(CrawlerTest, ExpandLabelsGrowsCoverageAccurately) {
+  ContentCrawler crawler(*universe_);
+  auto seed = universe_->make_labeler();
+  auto result = crawler.expand_labels(seed, *space_);
+
+  EXPECT_GT(result.training_documents, 10U);
+  EXPECT_GT(result.predicted, 50U);
+  EXPECT_GT(result.labeler.labeled_count(), seed.labeled_count());
+  // Content labeling can never reach the uncrawlable part of the universe.
+  EXPECT_GT(result.unfetchable, universe_->size() / 3);
+  // Predictions on cleanly generated pages should be mostly right.
+  EXPECT_GT(result.prediction_accuracy, 0.7);
+  // All emitted labels are valid category vectors.
+  for (const auto& [host, label] : result.labeler.labels()) {
+    EXPECT_TRUE(ontology::is_valid_category_vector(label));
+  }
+}
+
+TEST_F(CrawlerTest, HighConfidenceThresholdRejectsMore) {
+  ContentCrawler crawler(*universe_);
+  auto seed = universe_->make_labeler();
+  auto loose = crawler.expand_labels(seed, *space_, 0.1);
+  auto strict = crawler.expand_labels(seed, *space_, 0.95);
+  EXPECT_GE(loose.predicted, strict.predicted);
+  EXPECT_LE(loose.rejected_low_confidence, strict.rejected_low_confidence);
+}
+
+}  // namespace
+}  // namespace netobs::content

@@ -1,0 +1,111 @@
+// ECH / IP-fallback behaviour of the observer (Section 7.4 countermeasures)
+// and the synthesizer knobs that model countermeasure deployment.
+#include <gtest/gtest.h>
+
+#include "net/observer.hpp"
+#include "net/quic.hpp"
+#include "net/tls.hpp"
+#include "synth/traffic.hpp"
+#include "util/string_util.hpp"
+#include "synth/users.hpp"
+
+namespace netobs::net {
+namespace {
+
+Packet ech_tls_packet(std::uint16_t port) {
+  Packet p;
+  p.tuple = {0x0A000001, 0x31234567, port, 443, Transport::kTcp};
+  p.src_mac = 5;
+  ClientHelloSpec spec;  // no SNI, as with ECH
+  p.payload = build_client_hello_record(spec);
+  return p;
+}
+
+TEST(IpFallback, PseudoHostnameIsStableAndValid) {
+  EXPECT_EQ(ip_pseudo_hostname(0x31234567), "ip-31234567.addr");
+  EXPECT_EQ(ip_pseudo_hostname(0x31234567), ip_pseudo_hostname(0x31234567));
+  EXPECT_TRUE(util::is_valid_hostname(ip_pseudo_hostname(0)));
+}
+
+TEST(IpFallback, DisabledByDefault) {
+  SniObserver observer(Vantage::kWifiProvider);
+  EXPECT_FALSE(observer.observe(ech_tls_packet(40000)).has_value());
+  EXPECT_EQ(observer.stats().no_sni, 1U);
+}
+
+TEST(IpFallback, EmitsIpTokenForEchTls) {
+  SniObserverOptions oo;
+  oo.ip_fallback = true;
+  SniObserver observer(Vantage::kWifiProvider, oo);
+  auto e = observer.observe(ech_tls_packet(40001));
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->hostname, "ip-31234567.addr");
+  EXPECT_EQ(observer.stats().events, 1U);
+  EXPECT_EQ(observer.stats().no_sni, 1U);
+}
+
+TEST(IpFallback, EmitsIpTokenForEchQuic) {
+  SniObserverOptions oo;
+  oo.ip_fallback = true;
+  SniObserver observer(Vantage::kWifiProvider, oo);
+  QuicInitialSpec spec;
+  spec.dcid = {1, 2, 3, 4, 5, 6, 7, 8};
+  // No SNI in the ClientHello.
+  Packet p;
+  p.tuple = {0x0A000001, 0x0A0B0C0D, 40002, 443, Transport::kUdp};
+  p.src_mac = 5;
+  p.payload = build_quic_initial(spec);
+  auto e = observer.observe(p);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->hostname, "ip-0a0b0c0d.addr");
+}
+
+TEST(IpFallback, CleartextSniStillPreferred) {
+  SniObserverOptions oo;
+  oo.ip_fallback = true;
+  SniObserver observer(Vantage::kWifiProvider, oo);
+  Packet p = ech_tls_packet(40003);
+  ClientHelloSpec spec;
+  spec.sni = "cleartext.example.com";
+  p.payload = build_client_hello_record(spec);
+  auto e = observer.observe(p);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->hostname, "cleartext.example.com");
+}
+
+TEST(EchTraffic, FractionControlsSniPresence) {
+  synth::PopulationParams pp;
+  pp.num_users = 5;
+  synth::UserPopulation population(4, pp);
+  std::vector<HostnameEvent> events;
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    events.push_back({i % 5, static_cast<util::Timestamp>(i),
+                      "site" + std::to_string(i % 9) + ".com"});
+  }
+
+  for (double frac : {0.0, 0.5, 1.0}) {
+    synth::TrafficParams tp;
+    tp.ech_fraction = frac;
+    tp.split_probability = 0.0;
+    synth::TrafficSynthesizer synth(population, tp);
+    auto packets = synth.synthesize(events);
+    std::size_t with_sni = 0;
+    for (const auto& p : packets) {
+      auto result = extract_sni(p.payload);
+      if (result.status == SniStatus::kFound) ++with_sni;
+    }
+    double share = static_cast<double>(with_sni) /
+                   static_cast<double>(packets.size());
+    EXPECT_NEAR(share, 1.0 - frac, 0.1) << "ech_fraction=" << frac;
+  }
+}
+
+TEST(EchTraffic, ServerIpIsStablePerHost) {
+  EXPECT_EQ(synth::server_ip_for("booking.com"),
+            synth::server_ip_for("booking.com"));
+  EXPECT_NE(synth::server_ip_for("booking.com"),
+            synth::server_ip_for("espn.com"));
+}
+
+}  // namespace
+}  // namespace netobs::net

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "crypto/aes.hpp"
+#include "crypto/sha256.hpp"
+#include "net/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace netobs::crypto {
+namespace {
+
+using net::from_hex;
+using net::to_hex;
+
+std::string digest_hex(const Digest& d) {
+  return to_hex(std::span<const std::uint8_t>(d.data(), d.size()));
+}
+
+// --- SHA-256: FIPS 180-4 / NIST CAVP reference vectors.
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(digest_hex(Sha256::hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(digest_hex(Sha256::hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(digest_hex(Sha256::hash(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(digest_hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  util::Pcg32 rng(5);
+  std::vector<std::uint8_t> data(4097);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u32());
+  Digest oneshot = Sha256::hash(data);
+  for (std::size_t split : {1UL, 63UL, 64UL, 65UL, 1000UL}) {
+    Sha256 h;
+    h.update(std::span(data.data(), split));
+    h.update(std::span(data.data() + split, data.size() - split));
+    EXPECT_EQ(h.finish(), oneshot) << "split=" << split;
+  }
+}
+
+// --- HMAC-SHA256: RFC 4231 test cases.
+
+TEST(HmacSha256, Rfc4231Case1) {
+  auto key = from_hex("0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b");
+  std::string msg = "Hi There";
+  auto mac = hmac_sha256(
+      key, std::span<const std::uint8_t>(
+               reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size()));
+  EXPECT_EQ(digest_hex(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  std::string key = "Jefe";
+  std::string msg = "what do ya want for nothing?";
+  auto mac = hmac_sha256(
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(key.data()), key.size()),
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size()));
+  EXPECT_EQ(digest_hex(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, LongKeyIsHashed) {
+  // RFC 4231 case 6: 131-byte key of 0xaa, msg "Test Using Larger Than
+  // Block-Size Key - Hash Key First".
+  std::vector<std::uint8_t> key(131, 0xaa);
+  std::string msg = "Test Using Larger Than Block-Size Key - Hash Key First";
+  auto mac = hmac_sha256(
+      key, std::span<const std::uint8_t>(
+               reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size()));
+  EXPECT_EQ(digest_hex(mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+// --- HKDF: RFC 5869 test case 1.
+
+TEST(Hkdf, Rfc5869Case1) {
+  auto ikm = from_hex("0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b");
+  auto salt = from_hex("000102030405060708090a0b0c");
+  auto info = from_hex("f0f1f2f3f4f5f6f7f8f9");
+  auto prk = hkdf_extract(salt, ikm);
+  EXPECT_EQ(digest_hex(prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5");
+  auto okm = hkdf_expand(prk, info, 42);
+  EXPECT_EQ(to_hex(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(Hkdf, ExpandRejectsExcessiveLength) {
+  Digest prk{};
+  EXPECT_THROW(hkdf_expand(prk, {}, 255 * 32 + 1), std::invalid_argument);
+}
+
+TEST(HkdfExpandLabel, MatchesQuicV1InitialSecrets) {
+  // RFC 9001 Appendix A.1: DCID 0x8394c8f03e515708.
+  auto initial_salt = from_hex("38762cf7f55934b34d179ae6a4c80cadccbb7f0a");
+  auto dcid = from_hex("8394c8f03e515708");
+  auto initial_secret = hkdf_extract(initial_salt, dcid);
+  auto client_secret =
+      hkdf_expand_label(initial_secret, "client in", {}, 32);
+  EXPECT_EQ(to_hex(client_secret),
+            "c00cf151ca5be075ed0ebfb5c80323c42d6b7db67881289af4008f1f6c357aea");
+  auto key = hkdf_expand_label(client_secret, "quic key", {}, 16);
+  EXPECT_EQ(to_hex(key), "1f369613dd76d5467730efcbe3b1a22d");
+  auto iv = hkdf_expand_label(client_secret, "quic iv", {}, 12);
+  EXPECT_EQ(to_hex(iv), "fa044b2f42a3fd3b46fb255c");
+  auto hp = hkdf_expand_label(client_secret, "quic hp", {}, 16);
+  EXPECT_EQ(to_hex(hp), "9f50449e04a0e810283a1e9933adedd2");
+}
+
+// --- AES-128: FIPS 197 Appendix C.1.
+
+TEST(Aes128, Fips197Vector) {
+  AesKey key;
+  auto key_bytes = from_hex("000102030405060708090a0b0c0d0e0f");
+  std::copy(key_bytes.begin(), key_bytes.end(), key.begin());
+  AesBlock pt;
+  auto pt_bytes = from_hex("00112233445566778899aabbccddeeff");
+  std::copy(pt_bytes.begin(), pt_bytes.end(), pt.begin());
+  Aes128 aes(key);
+  auto ct = aes.encrypt_block(pt);
+  EXPECT_EQ(to_hex(std::span<const std::uint8_t>(ct.data(), ct.size())),
+            "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(Aes128, AllZeroVector) {
+  // NIST AESAVS: key=0^128, pt=0^128 -> 66e94bd4ef8a2c3b884cfa59ca342b2e.
+  AesKey key{};
+  AesBlock pt{};
+  Aes128 aes(key);
+  auto ct = aes.encrypt_block(pt);
+  EXPECT_EQ(to_hex(std::span<const std::uint8_t>(ct.data(), ct.size())),
+            "66e94bd4ef8a2c3b884cfa59ca342b2e");
+}
+
+// --- AES-128-GCM: NIST SP 800-38D / McGrew-Viega test cases.
+
+TEST(Aes128Gcm, NistCase1EmptyPlaintext) {
+  AesKey key{};
+  Aes128Gcm gcm(key);
+  Aes128Gcm::Nonce nonce{};
+  auto sealed = gcm.seal(nonce, {}, {});
+  // Tag-only output: 58e2fccefa7e3061367f1d57a4e7455a.
+  EXPECT_EQ(to_hex(sealed), "58e2fccefa7e3061367f1d57a4e7455a");
+}
+
+TEST(Aes128Gcm, NistCase2SingleBlock) {
+  AesKey key{};
+  Aes128Gcm gcm(key);
+  Aes128Gcm::Nonce nonce{};
+  auto pt = from_hex("00000000000000000000000000000000");
+  auto sealed = gcm.seal(nonce, {}, pt);
+  EXPECT_EQ(to_hex(sealed),
+            "0388dace60b6a392f328c2b971b2fe78"
+            "ab6e47d42cec13bdf53a67b21257bddf");
+}
+
+TEST(Aes128Gcm, NistCase4WithAad) {
+  AesKey key;
+  auto kb = from_hex("feffe9928665731c6d6a8f9467308308");
+  std::copy(kb.begin(), kb.end(), key.begin());
+  Aes128Gcm gcm(key);
+  Aes128Gcm::Nonce nonce;
+  auto nb = from_hex("cafebabefacedbaddecaf888");
+  std::copy(nb.begin(), nb.end(), nonce.begin());
+  auto pt = from_hex(
+      "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+      "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39");
+  auto aad = from_hex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+  auto sealed = gcm.seal(nonce, aad, pt);
+  EXPECT_EQ(to_hex(sealed),
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+            "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091"
+            "5bc94fbc3221a5db94fae95ae7121a47");
+}
+
+TEST(Aes128Gcm, OpenRoundTrip) {
+  AesKey key;
+  util::Pcg32 rng(3);
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng.next_u32());
+  Aes128Gcm gcm(key);
+  Aes128Gcm::Nonce nonce;
+  for (auto& b : nonce) b = static_cast<std::uint8_t>(rng.next_u32());
+  std::vector<std::uint8_t> pt(337);
+  for (auto& b : pt) b = static_cast<std::uint8_t>(rng.next_u32());
+  std::vector<std::uint8_t> aad(21, 0xA5);
+
+  auto sealed = gcm.seal(nonce, aad, pt);
+  auto opened = gcm.open(nonce, aad, sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, pt);
+}
+
+TEST(Aes128Gcm, OpenDetectsTampering) {
+  AesKey key{};
+  Aes128Gcm gcm(key);
+  Aes128Gcm::Nonce nonce{};
+  std::vector<std::uint8_t> pt = {1, 2, 3, 4, 5};
+  auto sealed = gcm.seal(nonce, {}, pt);
+
+  auto flipped = sealed;
+  flipped[0] ^= 0x01;
+  EXPECT_FALSE(gcm.open(nonce, {}, flipped).has_value());
+
+  auto bad_tag = sealed;
+  bad_tag.back() ^= 0x80;
+  EXPECT_FALSE(gcm.open(nonce, {}, bad_tag).has_value());
+
+  std::vector<std::uint8_t> wrong_aad = {9};
+  EXPECT_FALSE(gcm.open(nonce, wrong_aad, sealed).has_value());
+
+  EXPECT_FALSE(gcm.open(nonce, {}, std::span<const std::uint8_t>(
+                                       sealed.data(), 4))
+                   .has_value());  // shorter than a tag
+}
+
+}  // namespace
+}  // namespace netobs::crypto

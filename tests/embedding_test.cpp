@@ -1,0 +1,316 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "embedding/knn.hpp"
+#include "embedding/sgns.hpp"
+#include "embedding/vocabulary.hpp"
+#include "util/vec_math.hpp"
+
+namespace netobs::embedding {
+namespace {
+
+std::vector<Sequence> repeated_corpus(
+    const std::vector<Sequence>& base, int repeats) {
+  std::vector<Sequence> out;
+  for (int r = 0; r < repeats; ++r) {
+    out.insert(out.end(), base.begin(), base.end());
+  }
+  return out;
+}
+
+/// Corpus with two disjoint co-occurrence clusters plus rare noise.
+std::vector<Sequence> clustered_corpus(int repeats = 80) {
+  return repeated_corpus(
+      {{"travel1.com", "travel2.com", "travel3.com", "travel4.com"},
+       {"travel2.com", "travel1.com", "travel4.com", "travel3.com"},
+       {"sport1.com", "sport2.com", "sport3.com", "sport4.com"},
+       {"sport3.com", "sport4.com", "sport1.com", "sport2.com"}},
+      repeats);
+}
+
+TEST(Vocabulary, OrdersTokensByFrequency) {
+  std::vector<Sequence> corpus = {
+      {"a.com", "a.com", "a.com", "b.com", "b.com", "c.com"}};
+  VocabularyParams params;
+  params.min_count = 1;
+  Vocabulary vocab(corpus, params);
+  EXPECT_EQ(vocab.size(), 3U);
+  EXPECT_EQ(vocab.token(0), "a.com");
+  EXPECT_EQ(vocab.count(0), 3U);
+  EXPECT_EQ(vocab.token(1), "b.com");
+  EXPECT_EQ(vocab.total_count(), 6U);
+}
+
+TEST(Vocabulary, MinCountPrunes) {
+  std::vector<Sequence> corpus = {{"keep.com", "keep.com", "drop.com"}};
+  VocabularyParams params;
+  params.min_count = 2;
+  Vocabulary vocab(corpus, params);
+  EXPECT_EQ(vocab.size(), 1U);
+  EXPECT_TRUE(vocab.id_of("keep.com").has_value());
+  EXPECT_FALSE(vocab.id_of("drop.com").has_value());
+}
+
+TEST(Vocabulary, ThrowsWhenNothingSurvives) {
+  std::vector<Sequence> corpus = {{"once.com"}};
+  VocabularyParams params;
+  params.min_count = 5;
+  EXPECT_THROW(Vocabulary(corpus, params), std::invalid_argument);
+}
+
+TEST(Vocabulary, EncodeDropsUnknownTokens) {
+  std::vector<Sequence> corpus = {{"a.com", "a.com", "b.com", "b.com"}};
+  VocabularyParams params;
+  params.min_count = 2;
+  Vocabulary vocab(corpus, params);
+  auto ids = vocab.encode({"a.com", "unknown.com", "b.com"});
+  EXPECT_EQ(ids.size(), 2U);
+}
+
+TEST(Vocabulary, NegativeSamplingFollowsPowerLaw) {
+  // Token counts 80 vs 10: ratio of sampling probs should be (80/10)^0.75
+  // = 4.756, not 8.
+  std::vector<Sequence> corpus;
+  for (int i = 0; i < 80; ++i) corpus.push_back({"big.com", "pad1.com"});
+  for (int i = 0; i < 10; ++i) corpus.push_back({"small.com", "pad1.com"});
+  VocabularyParams params;
+  params.min_count = 1;
+  Vocabulary vocab(corpus, params);
+  util::Pcg32 rng(5);
+  std::size_t big = *vocab.id_of("big.com");
+  std::size_t small = *vocab.id_of("small.com");
+  std::vector<int> counts(vocab.size(), 0);
+  constexpr int kDraws = 300000;
+  for (int i = 0; i < kDraws; ++i) ++counts[vocab.sample_negative(rng)];
+  double ratio = static_cast<double>(counts[big]) / counts[small];
+  EXPECT_NEAR(ratio, std::pow(8.0, 0.75), 0.5);
+}
+
+TEST(Vocabulary, SubsamplingTargetsFrequentTokens) {
+  std::vector<Sequence> corpus;
+  Sequence heavy;
+  for (int i = 0; i < 900; ++i) heavy.push_back("google.com");
+  for (int i = 0; i < 100; ++i) heavy.push_back("rare" + std::to_string(i % 20) + ".com");
+  corpus.push_back(heavy);
+  VocabularyParams params;
+  params.min_count = 1;
+  params.subsample_threshold = 1e-2;
+  Vocabulary vocab(corpus, params);
+  EXPECT_LT(vocab.keep_probability(*vocab.id_of("google.com")), 0.5);
+  EXPECT_DOUBLE_EQ(vocab.keep_probability(*vocab.id_of("rare1.com")), 1.0);
+}
+
+TEST(EmbeddingMatrix, InitUniformRange) {
+  EmbeddingMatrix m(10, 50);
+  util::Pcg32 rng(3);
+  m.init_uniform(rng);
+  float bound = 0.5F / 50.0F;
+  for (float v : m.data()) {
+    EXPECT_GE(v, -bound);
+    EXPECT_LT(v, bound);
+  }
+}
+
+TEST(EmbeddingMatrix, SaveLoadRoundTrip) {
+  EmbeddingMatrix m(4, 8);
+  util::Pcg32 rng(9);
+  m.init_uniform(rng);
+  std::stringstream ss;
+  m.save(ss);
+  auto loaded = EmbeddingMatrix::load(ss);
+  EXPECT_TRUE(m == loaded);
+}
+
+TEST(EmbeddingMatrix, LoadRejectsGarbage) {
+  std::stringstream ss("not a matrix");
+  EXPECT_THROW(EmbeddingMatrix::load(ss), std::runtime_error);
+}
+
+TEST(EmbeddingMatrix, RowBoundsChecked) {
+  EmbeddingMatrix m(2, 3);
+  EXPECT_THROW(m.row(2), std::out_of_range);
+  EXPECT_THROW(EmbeddingMatrix(2, 0), std::invalid_argument);
+}
+
+SgnsParams small_params() {
+  SgnsParams p;
+  p.dim = 16;
+  p.epochs = 8;
+  p.seed = 7;
+  return p;
+}
+
+VocabularyParams loose_vocab() {
+  VocabularyParams v;
+  v.min_count = 1;
+  v.subsample_threshold = 0.0;
+  return v;
+}
+
+TEST(SgnsTrainer, LossDecreases) {
+  SgnsTrainer trainer(small_params(), loose_vocab());
+  trainer.fit(clustered_corpus());
+  const auto& losses = trainer.epoch_losses();
+  ASSERT_EQ(losses.size(), 8U);
+  EXPECT_GT(losses.front(), 0.0);
+  EXPECT_LT(losses.back(), losses.front() * 0.9);
+}
+
+TEST(SgnsTrainer, LearnsCoOccurrenceStructure) {
+  SgnsTrainer trainer(small_params(), loose_vocab());
+  auto model = trainer.fit(clustered_corpus());
+
+  auto vec = [&](const std::string& h) { return *model.vector_of(h); };
+  float within = util::cosine(vec("travel1.com"), vec("travel2.com")) +
+                 util::cosine(vec("sport1.com"), vec("sport2.com"));
+  float across = util::cosine(vec("travel1.com"), vec("sport1.com")) +
+                 util::cosine(vec("travel2.com"), vec("sport2.com"));
+  EXPECT_GT(within / 2.0F, across / 2.0F + 0.3F);
+}
+
+TEST(SgnsTrainer, DeterministicForSameSeed) {
+  SgnsTrainer t1(small_params(), loose_vocab());
+  SgnsTrainer t2(small_params(), loose_vocab());
+  auto m1 = t1.fit(clustered_corpus(10));
+  auto m2 = t2.fit(clustered_corpus(10));
+  EXPECT_TRUE(m1.central() == m2.central());
+  EXPECT_TRUE(m1.context() == m2.context());
+}
+
+TEST(SgnsTrainer, MultiThreadedTrainingLearns) {
+  auto params = small_params();
+  params.threads = 4;
+  SgnsTrainer trainer(params, loose_vocab());
+  auto model = trainer.fit(clustered_corpus());
+  auto vec = [&](const std::string& h) { return *model.vector_of(h); };
+  EXPECT_GT(util::cosine(vec("travel1.com"), vec("travel2.com")),
+            util::cosine(vec("travel1.com"), vec("sport3.com")));
+}
+
+TEST(SgnsTrainer, RejectsBadParams) {
+  SgnsParams p;
+  p.dim = 0;
+  EXPECT_THROW(SgnsTrainer{p}, std::invalid_argument);
+  p = SgnsParams();
+  p.context_radius = 0;
+  EXPECT_THROW(SgnsTrainer{p}, std::invalid_argument);
+  p = SgnsParams();
+  p.negatives = 0;
+  EXPECT_THROW(SgnsTrainer{p}, std::invalid_argument);
+  p = SgnsParams();
+  p.epochs = 0;
+  EXPECT_THROW(SgnsTrainer{p}, std::invalid_argument);
+}
+
+TEST(SgnsTrainer, RejectsEmptyEncodedCorpus) {
+  SgnsTrainer trainer(small_params(), loose_vocab());
+  EXPECT_THROW(trainer.fit({}), std::invalid_argument);
+}
+
+TEST(HostEmbedding, LookupAndOov) {
+  SgnsTrainer trainer(small_params(), loose_vocab());
+  auto model = trainer.fit(clustered_corpus(10));
+  EXPECT_EQ(model.dim(), 16U);
+  EXPECT_TRUE(model.vector_of(std::string("travel1.com")).has_value());
+  EXPECT_FALSE(model.vector_of(std::string("never-seen.com")).has_value());
+  auto id = model.id_of("sport2.com");
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(model.token(*id), "sport2.com");
+}
+
+TEST(HostEmbedding, SaveLoadRoundTrip) {
+  SgnsTrainer trainer(small_params(), loose_vocab());
+  auto model = trainer.fit(clustered_corpus(10));
+  std::stringstream ss;
+  model.save(ss);
+  auto loaded = HostEmbedding::load(ss);
+  EXPECT_EQ(loaded.size(), model.size());
+  EXPECT_EQ(loaded.dim(), model.dim());
+  EXPECT_TRUE(loaded.central() == model.central());
+  auto id = loaded.id_of("travel3.com");
+  ASSERT_TRUE(id.has_value());
+}
+
+TEST(CosineKnnIndex, FindsClusterNeighbors) {
+  SgnsTrainer trainer(small_params(), loose_vocab());
+  auto model = trainer.fit(clustered_corpus());
+  CosineKnnIndex index(model);
+  auto id = *model.id_of("travel1.com");
+  auto neighbors = index.nearest_to(id, 3);
+  ASSERT_EQ(neighbors.size(), 3U);
+  // All three nearest neighbours of travel1 should be travel hosts.
+  for (const auto& nb : neighbors) {
+    EXPECT_NE(nb.id, id);
+    EXPECT_TRUE(model.token(nb.id).starts_with("travel"))
+        << model.token(nb.id);
+  }
+  // Descending similarity.
+  EXPECT_GE(neighbors[0].similarity, neighbors[1].similarity);
+  EXPECT_GE(neighbors[1].similarity, neighbors[2].similarity);
+}
+
+TEST(CosineKnnIndex, QueryByVector) {
+  EmbeddingMatrix m(3, 2);
+  m.row(0)[0] = 1.0F;  // east
+  m.row(1)[1] = 1.0F;  // north
+  m.row(2)[0] = -1.0F; // west
+  CosineKnnIndex index(m);
+  std::vector<float> q = {0.9F, 0.1F};
+  auto result = index.query(q, 2);
+  ASSERT_EQ(result.size(), 2U);
+  EXPECT_EQ(result[0].id, 0U);
+  EXPECT_EQ(result[1].id, 1U);
+}
+
+TEST(CosineKnnIndex, ZeroQueryReturnsEmpty) {
+  EmbeddingMatrix m(2, 2);
+  m.row(0)[0] = 1.0F;
+  CosineKnnIndex index(m);
+  std::vector<float> zero = {0.0F, 0.0F};
+  EXPECT_TRUE(index.query(zero, 5).empty());
+  std::vector<float> unit = {1.0F, 0.0F};
+  EXPECT_TRUE(index.query(unit, 0).empty());
+}
+
+TEST(CosineKnnIndex, ClampsRequestedNeighbors) {
+  EmbeddingMatrix m(3, 2);
+  m.row(0)[0] = 1.0F;
+  m.row(1)[0] = 0.5F;
+  m.row(2)[1] = 1.0F;
+  CosineKnnIndex index(m);
+  std::vector<float> east = {1.0F, 0.0F};
+  EXPECT_EQ(index.query(east, 100).size(), 3U);
+  EXPECT_EQ(index.nearest_to(0, 100).size(), 2U);
+}
+
+// Sweep: dynamic vs static windows, subsampling on/off — structure must be
+// learned in every configuration.
+struct SgnsConfig {
+  bool dynamic_window;
+  double subsample;
+};
+
+class SgnsConfigSweep : public ::testing::TestWithParam<SgnsConfig> {};
+
+TEST_P(SgnsConfigSweep, ClusterStructureLearned) {
+  auto params = small_params();
+  params.dynamic_window = GetParam().dynamic_window;
+  VocabularyParams vp = loose_vocab();
+  vp.subsample_threshold = GetParam().subsample;
+  SgnsTrainer trainer(params, vp);
+  auto model = trainer.fit(clustered_corpus());
+  auto vec = [&](const std::string& h) { return *model.vector_of(h); };
+  EXPECT_GT(util::cosine(vec("travel1.com"), vec("travel3.com")),
+            util::cosine(vec("travel1.com"), vec("sport1.com")));
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, SgnsConfigSweep,
+                         ::testing::Values(SgnsConfig{true, 0.0},
+                                           SgnsConfig{false, 0.0},
+                                           SgnsConfig{true, 1e-3},
+                                           SgnsConfig{false, 1e-2}));
+
+}  // namespace
+}  // namespace netobs::embedding

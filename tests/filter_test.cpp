@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "filter/blocklist.hpp"
+
+namespace netobs::filter {
+namespace {
+
+TEST(DomainSet, ExactAndSubdomainMatch) {
+  DomainSet set;
+  set.add("tracker.net");
+  EXPECT_TRUE(set.matches("tracker.net"));
+  EXPECT_TRUE(set.matches("cdn.tracker.net"));
+  EXPECT_TRUE(set.matches("a.b.tracker.net"));
+  EXPECT_FALSE(set.matches("nottracker.net"));
+  EXPECT_FALSE(set.matches("tracker.net.evil.com"));
+  EXPECT_FALSE(set.matches("tracker.com"));
+}
+
+TEST(DomainSet, CanonicalisesCase) {
+  DomainSet set;
+  set.add("  ADS.Example.COM ");
+  EXPECT_TRUE(set.matches("ads.example.com"));
+}
+
+TEST(DomainSet, RejectsInvalidEntries) {
+  DomainSet set;
+  set.add("not a domain");
+  set.add("singlelabel");
+  set.add("ok.example.com");
+  EXPECT_EQ(set.size(), 1U);
+  EXPECT_EQ(set.rejected(), 2U);
+}
+
+TEST(DomainSet, EmptySetMatchesNothing) {
+  DomainSet set;
+  EXPECT_FALSE(set.matches("anything.com"));
+  EXPECT_FALSE(set.matches(""));
+}
+
+TEST(ParseHostsFile, ClassicFormat) {
+  std::string content =
+      "# adaway-style list\n"
+      "127.0.0.1 localhost\n"
+      "0.0.0.0 ads.example.com\n"
+      "0.0.0.0 track.foo.net   # inline comment\n"
+      "\n"
+      "127.0.0.1 pixel.bar.org\n";
+  auto domains = parse_hosts_file(content);
+  EXPECT_EQ(domains, (std::vector<std::string>{
+                         "ads.example.com", "track.foo.net", "pixel.bar.org"}));
+}
+
+TEST(ParseHostsFile, BareDomainList) {
+  auto domains = parse_hosts_file("a.com\nb.net\n# comment\nc.org");
+  EXPECT_EQ(domains.size(), 3U);
+}
+
+TEST(ParseHostsFile, SkipsGarbageLines) {
+  auto domains = parse_hosts_file(
+      "0.0.0.0 UPPER.Case.Com\nnot_valid_line!!!\n0.0.0.0\n");
+  ASSERT_EQ(domains.size(), 1U);
+  EXPECT_EQ(domains[0], "upper.case.com");
+}
+
+TEST(Blocklist, AggregatesMultipleLists) {
+  Blocklist bl;
+  EXPECT_EQ(bl.add_hosts_file("adaway", "0.0.0.0 a.ads.com\n"), 1U);
+  EXPECT_EQ(bl.add_domains("yoyo", {"b.ads.net", "c.ads.org"}), 2U);
+  EXPECT_EQ(bl.domain_count(), 3U);
+  EXPECT_EQ(bl.list_names().size(), 2U);
+  EXPECT_TRUE(bl.is_blocked("x.a.ads.com"));
+  EXPECT_TRUE(bl.is_blocked("b.ads.net"));
+  EXPECT_FALSE(bl.is_blocked("clean.com"));
+}
+
+TEST(Blocklist, DeduplicatesAcrossLists) {
+  Blocklist bl;
+  bl.add_domains("l1", {"dup.ads.com"});
+  EXPECT_EQ(bl.add_domains("l2", {"dup.ads.com"}), 0U);
+  EXPECT_EQ(bl.domain_count(), 1U);
+}
+
+TEST(Blocklist, FilterKeepsCleanHosts) {
+  Blocklist bl;
+  bl.add_domains("l", {"ads.com"});
+  auto out = bl.filter({"good.com", "sub.ads.com", "ads.com", "fine.net"});
+  EXPECT_EQ(out, (std::vector<std::string>{"good.com", "fine.net"}));
+}
+
+TEST(ToHostsFile, RoundTripsThroughParser) {
+  std::vector<std::string> domains = {"ads.one.com", "track.two.net"};
+  auto text = to_hosts_file(domains);
+  auto parsed = parse_hosts_file(text);
+  EXPECT_EQ(parsed, domains);  // localhost line is dropped by the parser
+}
+
+}  // namespace
+}  // namespace netobs::filter

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "net/bytes.hpp"
+
+namespace netobs::net {
+namespace {
+
+TEST(ByteWriter, BigEndianEncoding) {
+  ByteWriter w;
+  w.put_u8(0xAB);
+  w.put_u16(0x0102);
+  w.put_u24(0x030405);
+  w.put_u32(0x06070809);
+  EXPECT_EQ(to_hex(w.data()), "ab0102030405" "06070809");
+}
+
+TEST(ByteWriter, PutU24RejectsOverflow) {
+  ByteWriter w;
+  EXPECT_THROW(w.put_u24(1 << 24), std::invalid_argument);
+  w.put_u24((1 << 24) - 1);  // max value fits
+  EXPECT_EQ(w.size(), 3U);
+}
+
+TEST(ByteWriter, LengthPatching) {
+  ByteWriter w;
+  auto outer = w.begin_length(2);
+  w.put_u8(0xAA);
+  auto inner = w.begin_length(1);
+  w.put_u16(0xBBCC);
+  w.patch_length(inner);
+  w.patch_length(outer);
+  // outer covers AA + inner length byte + BBCC = 4 bytes; inner covers
+  // BBCC = 2 bytes.
+  EXPECT_EQ(to_hex(w.data()), "0004aa02bbcc");
+}
+
+TEST(ByteWriter, NestedThreeByteLength) {
+  ByteWriter w;
+  auto tok = w.begin_length(3);
+  w.put_bytes(std::string_view("abcd"));
+  w.patch_length(tok);
+  EXPECT_EQ(to_hex(w.data()), "000004" "61626364");
+}
+
+TEST(ByteWriter, PatchBadTokenThrows) {
+  ByteWriter w;
+  EXPECT_THROW(w.patch_length(0), std::invalid_argument);
+}
+
+TEST(ByteReader, ReadsBackWhatWriterWrote) {
+  ByteWriter w;
+  w.put_u8(0x01);
+  w.put_u16(0x0203);
+  w.put_u24(0x040506);
+  w.put_u32(0x0708090A);
+  w.put_bytes(std::string_view("hi"));
+  ByteReader r(w.data());
+  EXPECT_EQ(r.get_u8(), 0x01);
+  EXPECT_EQ(r.get_u16(), 0x0203);
+  EXPECT_EQ(r.get_u24(), 0x040506U);
+  EXPECT_EQ(r.get_u32(), 0x0708090AU);
+  EXPECT_EQ(r.get_string(2), "hi");
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(ByteReader, ThrowsOnTruncatedInput) {
+  std::vector<std::uint8_t> buf = {0x01, 0x02};
+  ByteReader r(buf);
+  EXPECT_EQ(r.get_u16(), 0x0102);
+  EXPECT_THROW(r.get_u8(), ParseError);
+
+  ByteReader r2(buf);
+  EXPECT_THROW(r2.get_u32(), ParseError);
+  EXPECT_THROW(r2.get_bytes(3), ParseError);
+  EXPECT_THROW(r2.skip(3), ParseError);
+}
+
+TEST(ByteReader, SubReaderIsolatesRegion) {
+  std::vector<std::uint8_t> buf = {0x01, 0x02, 0x03, 0x04};
+  ByteReader r(buf);
+  ByteReader sub = r.sub_reader(2);
+  EXPECT_EQ(sub.get_u16(), 0x0102);
+  EXPECT_TRUE(sub.empty());
+  EXPECT_THROW(sub.get_u8(), ParseError);
+  EXPECT_EQ(r.get_u16(), 0x0304);
+}
+
+TEST(HexCodec, RoundTrip) {
+  auto bytes = from_hex("16 03 01 DE ad");
+  EXPECT_EQ(bytes, (std::vector<std::uint8_t>{0x16, 0x03, 0x01, 0xDE, 0xAD}));
+  EXPECT_EQ(to_hex(bytes), "160301dead");
+}
+
+TEST(HexCodec, RejectsMalformedInput) {
+  EXPECT_THROW(from_hex("1"), std::invalid_argument);
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace netobs::net

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include "net/dns.hpp"
+#include "net/observer.hpp"
+#include "net/tls.hpp"
+
+namespace netobs::net {
+namespace {
+
+Packet tls_packet(std::uint32_t src_ip, std::uint64_t mac,
+                  const std::string& host, util::Timestamp ts = 0,
+                  std::uint16_t src_port = 40000) {
+  Packet p;
+  p.timestamp = ts;
+  p.tuple = {src_ip, 0x01010101, src_port, 443, Transport::kTcp};
+  p.src_mac = mac;
+  p.subscriber_id = mac;  // reuse as IMSI in tests
+  ClientHelloSpec spec;
+  spec.sni = host;
+  p.payload = build_client_hello_record(spec);
+  return p;
+}
+
+TEST(Dns, QueryRoundTrip) {
+  DnsMessage msg;
+  msg.id = 0xBEEF;
+  msg.questions.push_back({"mail.google.com", DnsType::kA, 1});
+  msg.questions.push_back({"espn.com", DnsType::kAaaa, 1});
+  auto wire = build_dns_query(msg);
+  auto parsed = parse_dns_message(wire);
+  EXPECT_EQ(parsed.id, 0xBEEF);
+  EXPECT_FALSE(parsed.is_response);
+  EXPECT_TRUE(parsed.recursion_desired);
+  ASSERT_EQ(parsed.questions.size(), 2U);
+  EXPECT_EQ(parsed.questions[0].qname, "mail.google.com");
+  EXPECT_EQ(parsed.questions[0].qtype, DnsType::kA);
+  EXPECT_EQ(parsed.questions[1].qname, "espn.com");
+  EXPECT_EQ(parsed.questions[1].qtype, DnsType::kAaaa);
+}
+
+TEST(Dns, QnameIsLowercased) {
+  DnsMessage msg;
+  msg.questions.push_back({"WWW.Example.COM", DnsType::kA, 1});
+  auto parsed = parse_dns_message(build_dns_query(msg));
+  EXPECT_EQ(parsed.questions[0].qname, "www.example.com");
+}
+
+TEST(Dns, EncodeNameWireFormat) {
+  auto wire = encode_dns_name("ab.c.de");
+  EXPECT_EQ(wire, (std::vector<std::uint8_t>{2, 'a', 'b', 1, 'c', 2, 'd', 'e',
+                                             0}));
+  EXPECT_THROW(encode_dns_name("bad..name"), std::invalid_argument);
+}
+
+TEST(Dns, ParsesCompressionPointers) {
+  // Hand-built message: header, then QNAME "www.example.com" where
+  // "example.com" is written once and referenced by a pointer.
+  ByteWriter w;
+  w.put_u16(1);   // id
+  w.put_u16(0);   // flags
+  w.put_u16(2);   // 2 questions
+  w.put_u16(0);
+  w.put_u16(0);
+  w.put_u16(0);
+  // Q1: example.com at offset 12.
+  w.put_bytes(encode_dns_name("example.com"));
+  w.put_u16(1);
+  w.put_u16(1);
+  // Q2: www + pointer to offset 12.
+  w.put_u8(3);
+  w.put_bytes(std::string_view("www"));
+  w.put_u8(0xC0);
+  w.put_u8(12);
+  w.put_u16(1);
+  w.put_u16(1);
+  auto parsed = parse_dns_message(w.data());
+  ASSERT_EQ(parsed.questions.size(), 2U);
+  EXPECT_EQ(parsed.questions[0].qname, "example.com");
+  EXPECT_EQ(parsed.questions[1].qname, "www.example.com");
+}
+
+TEST(Dns, RejectsPointerLoops) {
+  ByteWriter w;
+  w.put_u16(1);
+  w.put_u16(0);
+  w.put_u16(1);
+  w.put_u16(0);
+  w.put_u16(0);
+  w.put_u16(0);
+  // A pointer at offset 12 pointing to itself would be a forward/self
+  // reference; decoder must reject rather than loop.
+  w.put_u8(0xC0);
+  w.put_u8(12);
+  w.put_u16(1);
+  w.put_u16(1);
+  EXPECT_THROW(parse_dns_message(w.data()), ParseError);
+}
+
+TEST(Dns, RejectsTruncatedMessages) {
+  DnsMessage msg;
+  msg.questions.push_back({"example.com", DnsType::kA, 1});
+  auto wire = build_dns_query(msg);
+  for (std::size_t cut : {2UL, 11UL, wire.size() - 1}) {
+    std::vector<std::uint8_t> prefix(wire.begin(),
+                                     wire.begin() + static_cast<long>(cut));
+    EXPECT_THROW(parse_dns_message(prefix), ParseError) << "cut=" << cut;
+  }
+}
+
+TEST(UserDemux, WifiSeparatesByMac) {
+  UserDemux demux(Vantage::kWifiProvider);
+  Packet a = tls_packet(0x0A000001, 111, "x.com");
+  Packet b = tls_packet(0x0A000001, 222, "y.com");  // same NAT IP
+  EXPECT_NE(demux.user_of(a), demux.user_of(b));
+  EXPECT_EQ(demux.user_of(a), demux.user_of(a));
+  EXPECT_EQ(demux.distinct_users(), 2U);
+}
+
+TEST(UserDemux, NatCollapsesUsersBehindOneIp) {
+  UserDemux demux(Vantage::kLandlineIsp);
+  Packet a = tls_packet(0x0A000001, 111, "x.com");
+  Packet b = tls_packet(0x0A000001, 222, "y.com");
+  Packet c = tls_packet(0x0A000002, 333, "z.com");
+  EXPECT_EQ(demux.user_of(a), demux.user_of(b));
+  EXPECT_NE(demux.user_of(a), demux.user_of(c));
+}
+
+TEST(SniObserver, EmitsOneEventPerFlow) {
+  SniObserver obs(Vantage::kWifiProvider);
+  Packet p = tls_packet(0x0A000001, 7, "booking.com", 100);
+  auto e = obs.observe(p);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->hostname, "booking.com");
+  EXPECT_EQ(e->timestamp, 100);
+  // Later data on the same flow must not re-emit.
+  Packet follow = p;
+  follow.payload = {0x17, 0x03, 0x03, 0x00, 0x01, 0x00};
+  EXPECT_FALSE(obs.observe(follow).has_value());
+  EXPECT_EQ(obs.stats().events, 1U);
+}
+
+TEST(SniObserver, ReassemblesSplitClientHello) {
+  SniObserver obs(Vantage::kWifiProvider);
+  Packet p = tls_packet(0x0A000001, 7, "skyscanner.es", 5);
+  auto full = p.payload;
+  // Split into three TCP segments.
+  std::size_t third = full.size() / 3;
+  for (std::size_t seg = 0; seg < 3; ++seg) {
+    Packet part = p;
+    std::size_t begin = seg * third;
+    std::size_t end = seg == 2 ? full.size() : (seg + 1) * third;
+    part.payload.assign(full.begin() + static_cast<long>(begin),
+                        full.begin() + static_cast<long>(end));
+    auto e = obs.observe(part);
+    if (seg < 2) {
+      EXPECT_FALSE(e.has_value()) << "segment " << seg;
+    } else {
+      ASSERT_TRUE(e.has_value());
+      EXPECT_EQ(e->hostname, "skyscanner.es");
+    }
+  }
+}
+
+TEST(SniObserver, IgnoresNonTlsAndUdp) {
+  SniObserver obs(Vantage::kWifiProvider);
+  Packet http = tls_packet(0x0A000001, 7, "x.com");
+  std::string get = "GET / HTTP/1.1\r\n";
+  http.payload.assign(get.begin(), get.end());
+  EXPECT_FALSE(obs.observe(http).has_value());
+  EXPECT_EQ(obs.stats().not_tls, 1U);
+
+  Packet udp = tls_packet(0x0A000001, 7, "y.com");
+  udp.tuple.proto = Transport::kUdp;
+  EXPECT_FALSE(obs.observe(udp).has_value());
+}
+
+TEST(SniObserver, DistinctFlowsFromSameUser) {
+  SniObserver obs(Vantage::kWifiProvider);
+  auto e1 = obs.observe(tls_packet(0x0A000001, 7, "a.com", 0, 40001));
+  auto e2 = obs.observe(tls_packet(0x0A000001, 7, "b.org", 1, 40002));
+  ASSERT_TRUE(e1 && e2);
+  EXPECT_EQ(e1->user_id, e2->user_id);
+  EXPECT_EQ(obs.stats().flows, 2U);
+}
+
+TEST(SniObserver, EvictsWhenPendingFlowCapReached) {
+  SniObserverOptions opts;
+  opts.max_pending_flows = 4;
+  SniObserver obs(Vantage::kWifiProvider, opts);
+  // Feed 10 flows with only 1 byte each (all stay pending).
+  for (std::uint16_t i = 0; i < 10; ++i) {
+    Packet p = tls_packet(0x0A000001, 7, "pending.com", 0,
+                          static_cast<std::uint16_t>(50000 + i));
+    p.payload = {0x16};
+    obs.observe(p);
+  }
+  EXPECT_LE(obs.pending_flows(), 4U);
+  EXPECT_GE(obs.stats().evicted, 6U);
+}
+
+TEST(SniObserver, DropsFlowsExceedingBufferCap) {
+  SniObserverOptions opts;
+  opts.max_buffered_bytes = 64;
+  SniObserver obs(Vantage::kWifiProvider, opts);
+  Packet p = tls_packet(0x0A000001, 7, "x.com", 0, 50001);
+  // Claims a huge record so it never completes.
+  p.payload = {0x16, 0x03, 0x01, 0x3F, 0xFF};
+  EXPECT_FALSE(obs.observe(p).has_value());
+  Packet more = p;
+  more.payload.assign(100, 0x00);
+  EXPECT_FALSE(obs.observe(more).has_value());
+  EXPECT_EQ(obs.pending_flows(), 0U);
+}
+
+TEST(DnsObserver, EmitsEventPerQuestion) {
+  DnsObserver obs(Vantage::kMobileOperator);
+  DnsMessage msg;
+  msg.questions.push_back({"twitter.com", DnsType::kA, 1});
+  Packet p;
+  p.timestamp = 9;
+  p.tuple = {0x0A000001, 0x08080808, 5353, 53, Transport::kUdp};
+  p.subscriber_id = 42;
+  p.payload = build_dns_query(msg);
+  auto events = obs.observe(p);
+  ASSERT_EQ(events.size(), 1U);
+  EXPECT_EQ(events[0].hostname, "twitter.com");
+  EXPECT_EQ(events[0].timestamp, 9);
+}
+
+TEST(DnsObserver, IgnoresResponsesAndOtherPorts) {
+  DnsObserver obs(Vantage::kMobileOperator);
+  DnsMessage msg;
+  msg.is_response = true;
+  msg.questions.push_back({"twitter.com", DnsType::kA, 1});
+  Packet p;
+  p.tuple = {0x0A000001, 0x08080808, 5353, 53, Transport::kUdp};
+  p.payload = build_dns_query(msg);
+  EXPECT_TRUE(obs.observe(p).empty());
+
+  p.tuple.dst_port = 443;
+  msg.is_response = false;
+  p.payload = build_dns_query(msg);
+  EXPECT_TRUE(obs.observe(p).empty());
+}
+
+TEST(Ipv4ToString, Formats) {
+  EXPECT_EQ(ipv4_to_string(0x0A000001), "10.0.0.1");
+  EXPECT_EQ(ipv4_to_string(0xC0A80164), "192.168.1.100");
+}
+
+}  // namespace
+}  // namespace netobs::net

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "net/observer.hpp"
+#include "net/quic.hpp"
+#include "synth/traffic.hpp"
+#include "synth/users.hpp"
+#include "util/rng.hpp"
+
+namespace netobs::net {
+namespace {
+
+QuicInitialSpec spec_for(const std::string& host,
+                         std::uint32_t packet_number = 1234) {
+  QuicInitialSpec spec;
+  spec.dcid = {0x83, 0x94, 0xc8, 0xf0, 0x3e, 0x51, 0x57, 0x08};
+  spec.scid = {0x01, 0x02, 0x03, 0x04};
+  spec.packet_number = packet_number;
+  spec.client_hello.sni = host;
+  return spec;
+}
+
+TEST(QuicInitial, BuildProducesProtectedDatagram) {
+  auto packet = build_quic_initial(spec_for("booking.com"));
+  // Client Initials must be padded to >= 1200 bytes.
+  EXPECT_GE(packet.size(), kQuicMinInitialSize);
+  EXPECT_TRUE(looks_like_quic_initial(packet));
+  // The SNI must not appear in cleartext anywhere in the datagram.
+  std::string needle = "booking.com";
+  auto it = std::search(packet.begin(), packet.end(), needle.begin(),
+                        needle.end());
+  EXPECT_EQ(it, packet.end()) << "SNI leaked in cleartext";
+}
+
+TEST(QuicInitial, ObserverDecryptsFromDcidAlone) {
+  auto packet = build_quic_initial(spec_for("api.bkng.azure.com", 77));
+  auto view = decrypt_quic_initial(packet);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->version, kQuicVersion1);
+  EXPECT_EQ(view->packet_number, 77U);
+  EXPECT_EQ(view->dcid,
+            (std::vector<std::uint8_t>{0x83, 0x94, 0xc8, 0xf0, 0x3e, 0x51,
+                                       0x57, 0x08}));
+  ASSERT_TRUE(view->client_hello.sni.has_value());
+  EXPECT_EQ(*view->client_hello.sni, "api.bkng.azure.com");
+}
+
+TEST(QuicInitial, RoundTripAcrossPacketNumbers) {
+  for (std::uint32_t pn : {0U, 1U, 255U, 65536U, 1048575U}) {
+    auto packet = build_quic_initial(spec_for("espn.com", pn));
+    auto view = decrypt_quic_initial(packet);
+    ASSERT_TRUE(view.has_value()) << "pn=" << pn;
+    EXPECT_EQ(view->packet_number, pn);
+  }
+}
+
+TEST(QuicInitial, TamperedCiphertextFailsAuthentication) {
+  auto packet = build_quic_initial(spec_for("hotels.com"));
+  auto tampered = packet;
+  tampered[tampered.size() / 2] ^= 0x01;
+  EXPECT_FALSE(decrypt_quic_initial(tampered).has_value());
+}
+
+TEST(QuicInitial, CorruptedDcidDerivesWrongKeys) {
+  auto packet = build_quic_initial(spec_for("hotels.com"));
+  auto wrong = packet;
+  wrong[6] ^= 0xFF;  // first DCID byte
+  EXPECT_FALSE(decrypt_quic_initial(wrong).has_value());
+}
+
+TEST(QuicInitial, RejectsNonQuicPayloads) {
+  std::vector<std::uint8_t> junk(1300, 0x41);
+  EXPECT_FALSE(decrypt_quic_initial(junk).has_value());
+  EXPECT_FALSE(looks_like_quic_initial(junk));
+  std::vector<std::uint8_t> short_pkt = {0xC0, 0x00, 0x00, 0x00};
+  EXPECT_FALSE(decrypt_quic_initial(short_pkt).has_value());
+  // Wrong version.
+  auto packet = build_quic_initial(spec_for("a.com"));
+  packet[4] = 0x02;
+  EXPECT_FALSE(looks_like_quic_initial(packet));
+}
+
+TEST(QuicInitial, RejectsBadSpecs) {
+  QuicInitialSpec spec = spec_for("a.com");
+  spec.dcid.clear();
+  EXPECT_THROW(build_quic_initial(spec), std::invalid_argument);
+  spec = spec_for("a.com");
+  spec.dcid.assign(21, 0);
+  EXPECT_THROW(build_quic_initial(spec), std::invalid_argument);
+}
+
+TEST(QuicInitial, SniObserverHandlesQuicDatagrams) {
+  SniObserver observer(Vantage::kWifiProvider);
+  Packet p;
+  p.timestamp = 42;
+  p.tuple = {0x0A000001, 0x01010101, 50000, 443, Transport::kUdp};
+  p.src_mac = 7;
+  p.payload = build_quic_initial(spec_for("twitter.com"));
+  auto event = observer.observe(p);
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->hostname, "twitter.com");
+  EXPECT_EQ(event->timestamp, 42);
+  EXPECT_EQ(observer.stats().events, 1U);
+}
+
+TEST(QuicInitial, SniObserverIgnoresOtherUdp) {
+  SniObserver observer(Vantage::kWifiProvider);
+  Packet p;
+  p.tuple = {0x0A000001, 0x01010101, 50000, 443, Transport::kUdp};
+  p.payload = {0x01, 0x02, 0x03};  // not QUIC
+  EXPECT_FALSE(observer.observe(p).has_value());
+  p.tuple.dst_port = 8443;
+  p.payload = build_quic_initial(spec_for("a.com"));
+  EXPECT_FALSE(observer.observe(p).has_value());
+}
+
+TEST(QuicInitial, MixedTlsQuicTrafficRecoversEverything) {
+  synth::PopulationParams pp;
+  pp.num_users = 10;
+  synth::UserPopulation population(5, pp);
+
+  std::vector<HostnameEvent> events;
+  util::Pcg32 rng(3);
+  for (std::uint32_t i = 0; i < 60; ++i) {
+    events.push_back({i % 10, static_cast<util::Timestamp>(i),
+                      "host" + std::to_string(rng.next_below(20)) + ".com"});
+  }
+  synth::TrafficParams tp;
+  tp.quic_fraction = 0.5;
+  tp.split_probability = 0.3;
+  synth::TrafficSynthesizer synth(population, tp);
+  auto packets = synth.synthesize(events);
+
+  std::size_t udp = 0;
+  for (const auto& p : packets) {
+    if (p.tuple.proto == Transport::kUdp) ++udp;
+  }
+  EXPECT_GT(udp, 10U);
+  EXPECT_LT(udp, 50U);
+
+  SniObserver observer(Vantage::kWifiProvider);
+  auto recovered = observer.observe_all(packets);
+  ASSERT_EQ(recovered.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(recovered[i].hostname, events[i].hostname);
+  }
+}
+
+// Varint property sweep (RFC 9000 §16 boundaries).
+class VarintSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VarintSweep, RoundTrips) {
+  std::uint64_t value = GetParam();
+  ByteWriter w;
+  put_varint(w, value);
+  EXPECT_EQ(w.size(), varint_size(value));
+  ByteReader r(w.data());
+  EXPECT_EQ(get_varint(r), value);
+  EXPECT_TRUE(r.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, VarintSweep,
+    ::testing::Values(0ULL, 63ULL, 64ULL, 16383ULL, 16384ULL, 1073741823ULL,
+                      1073741824ULL, (1ULL << 62) - 1));
+
+TEST(Varint, RejectsOversizedValues) {
+  ByteWriter w;
+  EXPECT_THROW(put_varint(w, 1ULL << 62), std::invalid_argument);
+  EXPECT_THROW(varint_size(1ULL << 62), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace netobs::net

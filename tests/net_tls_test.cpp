@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/tls.hpp"
+#include "util/rng.hpp"
+
+namespace netobs::net {
+namespace {
+
+ClientHelloSpec spec_for(const std::string& host) {
+  ClientHelloSpec spec;
+  spec.sni = host;
+  return spec;
+}
+
+TEST(ClientHello, BuildParseRoundTrip) {
+  auto spec = spec_for("booking.com");
+  spec.random.fill(0x42);
+  spec.session_id = {1, 2, 3};
+  auto record = build_client_hello_record(spec);
+  auto hello = parse_client_hello_record(record);
+  ASSERT_TRUE(hello.sni.has_value());
+  EXPECT_EQ(*hello.sni, "booking.com");
+  EXPECT_EQ(hello.legacy_version, 0x0303);
+  EXPECT_EQ(hello.random[0], 0x42);
+  EXPECT_EQ(hello.session_id, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(hello.cipher_suites, spec.cipher_suites);
+  EXPECT_EQ(hello.alpn, (std::vector<std::string>{"h2", "http/1.1"}));
+}
+
+TEST(ClientHello, RecordStartsWithHandshakeHeader) {
+  auto record = build_client_hello_record(spec_for("espn.com"));
+  ASSERT_GE(record.size(), 6U);
+  EXPECT_EQ(record[0], 0x16);  // handshake
+  EXPECT_EQ(record[1], 0x03);
+  EXPECT_EQ(record[2], 0x01);
+  EXPECT_EQ(record[5], 0x01);  // client_hello
+}
+
+TEST(ClientHello, SniIsLowercasedOnParse) {
+  // Build a hello whose SNI has mixed case by writing the spec hostname
+  // in canonical lowercase but patching the bytes afterwards.
+  auto record = build_client_hello_record(spec_for("example.com"));
+  // Find "example.com" in the raw bytes and uppercase the first letter.
+  std::string needle = "example.com";
+  auto it = std::search(record.begin(), record.end(), needle.begin(),
+                        needle.end());
+  ASSERT_NE(it, record.end());
+  *it = 'E';
+  auto hello = parse_client_hello_record(record);
+  ASSERT_TRUE(hello.sni.has_value());
+  EXPECT_EQ(*hello.sni, "example.com");
+}
+
+TEST(ClientHello, OmitsSniWhenEmpty) {
+  ClientHelloSpec spec;  // no SNI
+  auto record = build_client_hello_record(spec);
+  auto hello = parse_client_hello_record(record);
+  EXPECT_FALSE(hello.sni.has_value());
+}
+
+TEST(ClientHello, RejectsInvalidSni) {
+  EXPECT_THROW(build_client_hello_record(spec_for("not a host")),
+               std::invalid_argument);
+  EXPECT_THROW(build_client_hello_record(spec_for("nodots")),
+               std::invalid_argument);
+}
+
+TEST(ClientHello, ParseRejectsNonHandshakeRecord) {
+  auto record = build_client_hello_record(spec_for("a.com"));
+  record[0] = 0x17;  // application_data
+  EXPECT_THROW(parse_client_hello_record(record), ParseError);
+}
+
+TEST(ClientHello, ParseRejectsTruncatedRecord) {
+  auto record = build_client_hello_record(spec_for("a.com"));
+  record.resize(record.size() / 2);
+  EXPECT_THROW(parse_client_hello_record(record), ParseError);
+}
+
+TEST(ClientHello, ParseRejectsNonClientHelloHandshake) {
+  auto record = build_client_hello_record(spec_for("a.com"));
+  record[5] = 0x02;  // server_hello
+  EXPECT_THROW(parse_client_hello_record(record), ParseError);
+}
+
+TEST(ExtractSni, FindsHostInCompleteRecord) {
+  auto record = build_client_hello_record(spec_for("hotels.com"));
+  auto result = extract_sni(record);
+  EXPECT_EQ(result.status, SniStatus::kFound);
+  EXPECT_EQ(result.sni, "hotels.com");
+}
+
+TEST(ExtractSni, ReportsNoSni) {
+  ClientHelloSpec spec;
+  auto record = build_client_hello_record(spec);
+  EXPECT_EQ(extract_sni(record).status, SniStatus::kNoSni);
+}
+
+TEST(ExtractSni, IncrementalOverSegments) {
+  auto record = build_client_hello_record(spec_for("api.bkng.azure.com"));
+  // Feed byte-by-byte prefixes: every proper prefix must request more data,
+  // the complete record must resolve.
+  for (std::size_t cut = 1; cut < record.size(); ++cut) {
+    auto r = extract_sni(std::span(record).subspan(0, cut));
+    EXPECT_EQ(r.status, SniStatus::kNeedMoreData) << "cut=" << cut;
+  }
+  auto full = extract_sni(record);
+  EXPECT_EQ(full.status, SniStatus::kFound);
+  EXPECT_EQ(full.sni, "api.bkng.azure.com");
+}
+
+TEST(ExtractSni, RejectsNonTlsTraffic) {
+  std::string http = "GET / HTTP/1.1\r\nHost: example.com\r\n\r\n";
+  std::vector<std::uint8_t> bytes(http.begin(), http.end());
+  EXPECT_EQ(extract_sni(bytes).status, SniStatus::kNotTls);
+}
+
+TEST(ExtractSni, EmptyInputNeedsMoreData) {
+  EXPECT_EQ(extract_sni({}).status, SniStatus::kNeedMoreData);
+}
+
+TEST(FirstRecordSpan, HeaderPlusBody) {
+  auto record = build_client_hello_record(spec_for("a.com"));
+  EXPECT_EQ(first_record_span(record), record.size());
+  EXPECT_EQ(first_record_span(std::span(record).subspan(0, 4)), 0U);
+}
+
+// Property sweep: round-trip across randomly generated hostnames of varied
+// shape (single-label subdomains through deep CDN-style names).
+class SniRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(SniRoundTrip, RandomHostnamesSurviveRoundTrip) {
+  util::Pcg32 rng(static_cast<std::uint64_t>(GetParam()));
+  static const char* tlds[] = {"com", "net", "org", "es", "com.ve", "co.uk"};
+  for (int rep = 0; rep < 40; ++rep) {
+    std::string host;
+    int labels = 1 + static_cast<int>(rng.next_below(3));
+    for (int l = 0; l < labels; ++l) {
+      int len = 1 + static_cast<int>(rng.next_below(12));
+      for (int i = 0; i < len; ++i) {
+        host.push_back(static_cast<char>('a' + rng.next_below(26)));
+      }
+      host.push_back('.');
+    }
+    host += tlds[rng.next_below(6)];
+
+    auto record = build_client_hello_record(spec_for(host));
+    auto result = extract_sni(record);
+    ASSERT_EQ(result.status, SniStatus::kFound) << host;
+    EXPECT_EQ(result.sni, host);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SniRoundTrip, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace netobs::net

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "ontology/category_tree.hpp"
+#include "ontology/host_labeler.hpp"
+
+namespace netobs::ontology {
+namespace {
+
+CategoryTree small_tree() {
+  CategoryTree tree;
+  auto travel = tree.add_root("Travel");
+  auto hotels = tree.add_child(travel, "Hotels");
+  tree.add_child(travel, "Flights");
+  tree.add_child(hotels, "Hostels");  // level 2
+  auto sports = tree.add_root("Sports");
+  tree.add_child(sports, "Football");
+  return tree;
+}
+
+TEST(CategoryTree, BuildsHierarchy) {
+  auto tree = small_tree();
+  EXPECT_EQ(tree.size(), 6U);
+  EXPECT_EQ(tree.roots().size(), 2U);
+  EXPECT_EQ(tree.at(1).name, "Travel/Hotels");
+  EXPECT_EQ(tree.at(3).name, "Travel/Hotels/Hostels");
+  EXPECT_EQ(tree.at(3).level, 2);
+  EXPECT_EQ(tree.max_depth(), 2);
+}
+
+TEST(CategoryTree, AncestorWalk) {
+  auto tree = small_tree();
+  EXPECT_EQ(tree.ancestor_at_level(3, 1), 1U);  // Hostels -> Hotels
+  EXPECT_EQ(tree.ancestor_at_level(3, 0), 0U);  // Hostels -> Travel
+  EXPECT_EQ(tree.ancestor_at_level(0, 0), 0U);  // roots stay
+}
+
+TEST(CategoryTree, ChildrenLookup) {
+  auto tree = small_tree();
+  auto kids = tree.children(0);
+  EXPECT_EQ(kids.size(), 2U);  // Hotels, Flights
+  EXPECT_TRUE(tree.children(3).empty());
+}
+
+TEST(CategoryTree, InvalidIdsThrow) {
+  auto tree = small_tree();
+  EXPECT_THROW(tree.at(99), std::out_of_range);
+  EXPECT_THROW(tree.add_child(99, "X"), std::out_of_range);
+}
+
+TEST(AdwordsTree, ReproducesPaperShape) {
+  util::Pcg32 rng(1);
+  AdwordsTreeParams params;  // defaults: 34 roots, 1397 total, 328 at <= 2
+  auto tree = make_adwords_like_tree(rng, params);
+  EXPECT_EQ(tree.size(), 1397U);
+  EXPECT_EQ(tree.roots().size(), 34U);
+  EXPECT_EQ(tree.categories_up_to_level(1).size(), 328U);
+  EXPECT_LE(tree.max_depth(), 5);
+  EXPECT_GE(tree.max_depth(), 2);  // some deep subtrees exist
+}
+
+TEST(AdwordsTree, BranchingIsUneven) {
+  util::Pcg32 rng(2);
+  auto tree = make_adwords_like_tree(rng, {});
+  std::size_t min_kids = 10000;
+  std::size_t max_kids = 0;
+  for (CategoryId root : tree.roots()) {
+    auto n = tree.children(root).size();
+    min_kids = std::min(min_kids, n);
+    max_kids = std::max(max_kids, n);
+  }
+  EXPECT_GE(min_kids, 1U);  // every root has at least one subcategory
+  EXPECT_GT(max_kids, 10U * std::max<std::size_t>(1, min_kids));
+}
+
+TEST(AdwordsTree, RejectsInconsistentParams) {
+  util::Pcg32 rng(3);
+  AdwordsTreeParams bad;
+  bad.top_level = 0;
+  EXPECT_THROW(make_adwords_like_tree(rng, bad), std::invalid_argument);
+  bad = AdwordsTreeParams();
+  bad.second_level_target = 10;  // < 2 * top_level
+  EXPECT_THROW(make_adwords_like_tree(rng, bad), std::invalid_argument);
+  bad = AdwordsTreeParams();
+  bad.total_categories = 100;  // < second_level_target
+  EXPECT_THROW(make_adwords_like_tree(rng, bad), std::invalid_argument);
+}
+
+TEST(CategorySpace, FlattensToTwoLevels) {
+  auto tree = small_tree();
+  CategorySpace space(tree);
+  // Level <= 1 nodes: Travel, Hotels, Flights, Sports, Football.
+  EXPECT_EQ(space.size(), 5U);
+  // The level-2 node maps to its level-1 parent.
+  EXPECT_EQ(space.flatten(3), space.flatten(1));
+  // Top-level mapping.
+  EXPECT_EQ(space.top_level_of(space.flatten(1)), space.flatten(0));
+  EXPECT_EQ(space.top_level_ids().size(), 2U);
+}
+
+TEST(CategorySpace, NamesAndTreeIdsRoundTrip) {
+  auto tree = small_tree();
+  CategorySpace space(tree);
+  for (std::size_t f = 0; f < space.size(); ++f) {
+    EXPECT_EQ(space.flatten(space.tree_id(f)), f);
+    EXPECT_FALSE(space.name(f).empty());
+  }
+  EXPECT_THROW(space.name(99), std::out_of_range);
+}
+
+TEST(CategoryVector, Validation) {
+  EXPECT_TRUE(is_valid_category_vector({0.0F, 0.5F, 1.0F}));
+  EXPECT_FALSE(is_valid_category_vector({-0.1F}));
+  EXPECT_FALSE(is_valid_category_vector({1.1F}));
+  EXPECT_TRUE(is_valid_category_vector({}));
+}
+
+TEST(HostLabeler, StoreAndLookup) {
+  HostLabeler labeler(3);
+  labeler.set_label("espn.com", {0.0F, 1.0F, 0.2F});
+  ASSERT_NE(labeler.label_of("espn.com"), nullptr);
+  EXPECT_FLOAT_EQ((*labeler.label_of("espn.com"))[1], 1.0F);
+  EXPECT_EQ(labeler.label_of("unknown.com"), nullptr);
+  EXPECT_TRUE(labeler.is_labeled("espn.com"));
+  EXPECT_EQ(labeler.labeled_count(), 1U);
+  EXPECT_DOUBLE_EQ(labeler.coverage(10), 0.1);
+}
+
+TEST(HostLabeler, RejectsBadVectors) {
+  HostLabeler labeler(3);
+  EXPECT_THROW(labeler.set_label("a.com", {1.0F}), std::invalid_argument);
+  EXPECT_THROW(labeler.set_label("a.com", {0.0F, 2.0F, 0.0F}),
+               std::invalid_argument);
+  EXPECT_THROW(HostLabeler(0), std::invalid_argument);
+}
+
+TEST(HostLabeler, ReplacesExistingLabel) {
+  HostLabeler labeler(2);
+  labeler.set_label("a.com", {1.0F, 0.0F});
+  labeler.set_label("a.com", {0.0F, 1.0F});
+  EXPECT_EQ(labeler.labeled_count(), 1U);
+  EXPECT_FLOAT_EQ((*labeler.label_of("a.com"))[1], 1.0F);
+}
+
+// Sweep: the space size always equals the level<=1 node count for varying
+// tree shapes.
+class AdwordsTreeSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AdwordsTreeSweep, SpaceMatchesSecondLevelTarget) {
+  util::Pcg32 rng(GetParam());
+  AdwordsTreeParams params;
+  params.top_level = 10 + GetParam() % 20;
+  params.second_level_target = 50 + 5 * (GetParam() % 30);
+  params.total_categories = params.second_level_target + 200;
+  auto tree = make_adwords_like_tree(rng, params);
+  CategorySpace space(tree);
+  EXPECT_EQ(space.size(), params.second_level_target);
+  EXPECT_EQ(space.top_level_ids().size(), params.top_level);
+  // Every flat id's top-level ancestor is itself a top-level flat id.
+  for (std::size_t f = 0; f < space.size(); ++f) {
+    std::size_t top = space.top_level_of(f);
+    EXPECT_EQ(space.top_level_of(top), top);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, AdwordsTreeSweep,
+                         ::testing::Values(11, 23, 37, 59, 83));
+
+}  // namespace
+}  // namespace netobs::ontology

@@ -1,0 +1,177 @@
+// Property sweeps over randomly generated worlds: the algorithmic
+// invariants of Section 4.1 must hold for every seed, not just the tuned
+// fixtures used elsewhere.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ads/ad_database.hpp"
+#include "eval/diversity.hpp"
+#include "net/observer.hpp"
+#include "profile/service.hpp"
+#include "synth/browsing.hpp"
+#include "synth/traffic.hpp"
+#include "util/string_util.hpp"
+
+namespace netobs {
+namespace {
+
+struct SmallWorld {
+  std::unique_ptr<ontology::CategoryTree> tree;
+  std::unique_ptr<ontology::CategorySpace> space;
+  std::unique_ptr<synth::HostnameUniverse> universe;
+  std::unique_ptr<synth::UserPopulation> population;
+
+  explicit SmallWorld(std::uint64_t seed) {
+    util::Pcg32 rng(seed);
+    ontology::AdwordsTreeParams tp;
+    tp.top_level = 6 + seed % 6;
+    tp.second_level_target = 30 + 2 * (seed % 10);
+    tp.total_categories = tp.second_level_target + 60;
+    tree = std::make_unique<ontology::CategoryTree>(
+        make_adwords_like_tree(rng, tp));
+    space = std::make_unique<ontology::CategorySpace>(*tree);
+    synth::WorldParams wp;
+    wp.seed = seed;
+    wp.universal_hosts = 6;
+    wp.first_party_hosts = 120 + 10 * (seed % 5);
+    wp.shared_cdn_hosts = 5;
+    wp.tracker_hosts = 10;
+    universe = std::make_unique<synth::HostnameUniverse>(*space, wp);
+    synth::PopulationParams pp;
+    pp.num_users = 40;
+    pp.seed = seed + 1;
+    population = std::make_unique<synth::UserPopulation>(
+        universe->topic_count(), pp);
+  }
+};
+
+class WorldSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WorldSweep, ProfilesAreAlwaysValidCategoryVectors) {
+  SmallWorld w(GetParam());
+  auto labeler = w.universe->make_labeler();
+  synth::BrowsingSimulator sim(*w.universe, *w.population);
+  auto trace = sim.simulate(0, 2);
+
+  profile::ServiceParams sp;
+  sp.sgns.dim = 24;
+  sp.sgns.epochs = 3;
+  sp.sgns.seed = GetParam();
+  sp.vocab.min_count = 2;
+  sp.profiler.knn = 40;
+  profile::ProfilingService service(labeler, nullptr, sp);
+  service.ingest(trace.events);
+  ASSERT_TRUE(service.retrain(0));
+
+  // Profile every user at several times; every profile must be a valid
+  // category vector of the right dimension, and empty() must agree with
+  // weight_mass.
+  for (std::uint32_t u = 0; u < w.population->size(); u += 5) {
+    for (util::Timestamp t : {util::kDay + util::kHour,
+                              util::kDay + 14 * util::kHour,
+                              2 * util::kDay - 1}) {
+      auto p = service.profile_user(u, t);
+      EXPECT_EQ(p.categories.size(), w.space->size());
+      EXPECT_TRUE(ontology::is_valid_category_vector(p.categories));
+      if (p.empty()) {
+        for (float c : p.categories) EXPECT_FLOAT_EQ(c, 0.0F);
+      } else {
+        EXPECT_GT(p.weight_mass, 0.0);
+      }
+    }
+  }
+}
+
+TEST_P(WorldSweep, ProfilingIsDeterministic) {
+  SmallWorld w(GetParam());
+  auto labeler = w.universe->make_labeler();
+  synth::BrowsingSimulator sim(*w.universe, *w.population);
+  auto trace = sim.simulate(0, 1);
+
+  auto run_once = [&] {
+    profile::ServiceParams sp;
+    sp.sgns.dim = 16;
+    sp.sgns.epochs = 2;
+    sp.sgns.seed = GetParam();
+    sp.vocab.min_count = 2;
+    sp.profiler.knn = 25;
+    profile::ProfilingService service(labeler, nullptr, sp);
+    service.ingest(trace.events);
+    if (!service.retrain(0)) return ontology::CategoryVector{};
+    return service.profile_user(3, util::kDay - 1).categories;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST_P(WorldSweep, EavesdropperAdListsAreWellFormed) {
+  SmallWorld w(GetParam());
+  auto labeler = w.universe->make_labeler();
+  ads::AdDatabase db =
+      ads::AdDatabase::collect(*w.universe, labeler, 400, GetParam());
+  ads::EavesdropperSelector selector(db, labeler);
+
+  // Every labeled host's own label, used as a profile, must produce a
+  // non-empty, duplicate-free list of valid ad ids.
+  std::size_t checked = 0;
+  for (const auto& [host, label] : labeler.labels()) {
+    if (checked++ > 20) break;
+    auto list = selector.select(label);
+    ASSERT_FALSE(list.empty());
+    EXPECT_LE(list.size(), 20U);
+    std::set<ads::AdId> unique(list.begin(), list.end());
+    EXPECT_EQ(unique.size(), list.size());
+    for (ads::AdId id : list) EXPECT_LT(id, db.size());
+  }
+}
+
+TEST_P(WorldSweep, WirePathPreservesEventStream) {
+  SmallWorld w(GetParam());
+  synth::BrowsingSimulator sim(*w.universe, *w.population);
+  auto trace = sim.simulate(0, 1);
+  if (trace.events.size() > 4000) trace.events.resize(4000);
+
+  synth::TrafficParams tp;
+  tp.quic_fraction = 0.25;
+  tp.split_probability = 0.25;
+  tp.seed = GetParam();
+  synth::TrafficSynthesizer synth(*w.population, tp);
+  auto packets = synth.synthesize(trace.events);
+
+  net::SniObserver observer(net::Vantage::kMobileOperator);
+  auto recovered = observer.observe_all(packets);
+  ASSERT_EQ(recovered.size(), trace.events.size());
+  for (std::size_t i = 0; i < recovered.size(); ++i) {
+    EXPECT_EQ(recovered[i].hostname, trace.events[i].hostname);
+  }
+}
+
+TEST_P(WorldSweep, DiversityCoresAreNested) {
+  SmallWorld w(GetParam());
+  synth::BrowsingSimulator sim(*w.universe, *w.population);
+  auto trace = sim.simulate(0, 3);
+  std::vector<std::vector<std::uint64_t>> per_user(w.population->size());
+  for (const auto& e : trace.events) {
+    per_user[e.user_id].push_back(
+        util::mix64(std::hash<std::string>{}(e.hostname)));
+  }
+  auto result = eval::analyze_diversity(per_user);
+  // Cores must be nested: a higher threshold is a subset of a lower one.
+  for (std::size_t i = 1; i < result.cores.size(); ++i) {
+    const auto& tighter = result.cores[i - 1].members;
+    const auto& looser = result.cores[i].members;
+    EXPECT_LE(tighter.size(), looser.size());
+    EXPECT_TRUE(std::includes(looser.begin(), looser.end(), tighter.begin(),
+                              tighter.end()));
+    // A looser threshold means a bigger core, hence fewer items outside it.
+    EXPECT_LE(util::ccdf_value_at_fraction(result.cores[i].outside_ccdf, 0.5),
+              util::ccdf_value_at_fraction(result.cores[i - 1].outside_ccdf,
+                                           0.5));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorldSweep,
+                         ::testing::Values(3, 17, 42, 99, 1234));
+
+}  // namespace
+}  // namespace netobs

@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include "embedding/knn.hpp"
+#include "embedding/sgns.hpp"
+#include "ontology/host_labeler.hpp"
+#include "profile/profiler.hpp"
+#include "profile/service.hpp"
+#include "profile/session.hpp"
+
+namespace netobs::profile {
+namespace {
+
+using util::kMinute;
+
+net::HostnameEvent ev(std::uint32_t user, util::Timestamp t,
+                      const std::string& host) {
+  return {user, t, host};
+}
+
+TEST(SessionStore, TimeWindowSelectsRecentHosts) {
+  SessionStore store;
+  store.ingest(ev(1, 0 * kMinute, "old.com"));
+  store.ingest(ev(1, 15 * kMinute, "mid.com"));
+  store.ingest(ev(1, 29 * kMinute, "new.com"));
+  auto s = store.session_of(1, 30 * kMinute, Window::minutes(20));
+  EXPECT_EQ(s.hostnames, (std::vector<std::string>{"mid.com", "new.com"}));
+}
+
+TEST(SessionStore, FirstVisitOnlyDedup) {
+  SessionStore store;
+  // Streaming service reconnecting repeatedly must count once, first visit.
+  store.ingest(ev(1, 1 * kMinute, "video.com"));
+  store.ingest(ev(1, 2 * kMinute, "other.com"));
+  store.ingest(ev(1, 3 * kMinute, "video.com"));
+  store.ingest(ev(1, 4 * kMinute, "video.com"));
+  auto s = store.session_of(1, 5 * kMinute, Window::minutes(20));
+  EXPECT_EQ(s.hostnames, (std::vector<std::string>{"video.com", "other.com"}));
+}
+
+TEST(SessionStore, CountWindow) {
+  SessionStore store;
+  for (int i = 0; i < 10; ++i) {
+    store.ingest(ev(1, i * kMinute, "h" + std::to_string(i) + ".com"));
+  }
+  auto s = store.session_of(1, 10 * kMinute, Window::last_hosts(3));
+  EXPECT_EQ(s.hostnames,
+            (std::vector<std::string>{"h7.com", "h8.com", "h9.com"}));
+}
+
+TEST(SessionStore, UsersAreIsolated) {
+  SessionStore store;
+  store.ingest(ev(1, kMinute, "mine.com"));
+  store.ingest(ev(2, kMinute, "theirs.com"));
+  auto s = store.session_of(1, 2 * kMinute, Window::minutes(20));
+  EXPECT_EQ(s.hostnames, (std::vector<std::string>{"mine.com"}));
+  EXPECT_TRUE(store.session_of(3, kMinute, Window::minutes(20)).empty());
+}
+
+TEST(SessionStore, IgnoresFutureEventsInQuery) {
+  SessionStore store;
+  store.ingest(ev(1, 5 * kMinute, "now.com"));
+  store.ingest(ev(1, 50 * kMinute, "future.com"));
+  auto s = store.session_of(1, 10 * kMinute, Window::minutes(20));
+  EXPECT_EQ(s.hostnames, (std::vector<std::string>{"now.com"}));
+}
+
+TEST(SessionStore, PrunesBeyondHorizon) {
+  SessionStore store(util::kHour);
+  store.ingest(ev(1, 0, "ancient.com"));
+  store.ingest(ev(1, 2 * util::kHour, "fresh.com"));
+  EXPECT_EQ(store.event_count(), 1U);
+}
+
+TEST(SessionStore, DaySequencesSplitByDay) {
+  SessionStore store(10 * util::kDay);
+  store.ingest(ev(1, util::kDay + kMinute, "day1a.com"));
+  store.ingest(ev(1, util::kDay + 2 * kMinute, "day1b.com"));
+  store.ingest(ev(2, util::kDay + 3 * kMinute, "day1c.com"));
+  store.ingest(ev(1, 2 * util::kDay + kMinute, "day2.com"));
+  auto day1 = store.day_sequences(1);
+  EXPECT_EQ(day1.size(), 2U);  // two users
+  auto day2 = store.day_sequences(2);
+  ASSERT_EQ(day2.size(), 1U);
+  EXPECT_EQ(day2[0], (std::vector<std::string>{"day2.com"}));
+  EXPECT_TRUE(store.day_sequences(5).empty());
+}
+
+TEST(SessionStore, RejectsNonPositiveHorizon) {
+  EXPECT_THROW(SessionStore(0), std::invalid_argument);
+}
+
+// --- Profiler fixture: a tiny world with two topics and a hand-trained
+// embedding is enough to check Eq. 3/4 semantics exactly.
+class ProfilerTest : public ::testing::Test {
+ protected:
+  ProfilerTest()
+      : labeler_(2),
+        corpus_{{"travel-a.com", "travel-b.com", "travel-api.net",
+                 "travel-a.com", "travel-b.com", "travel-api.net"},
+                {"sport-a.com", "sport-b.com", "sport-api.net",
+                 "sport-a.com", "sport-b.com", "sport-api.net"}} {
+    // Category 0 = travel, 1 = sport; APIs are unlabeled.
+    labeler_.set_label("travel-a.com", {1.0F, 0.0F});
+    labeler_.set_label("travel-b.com", {0.8F, 0.0F});
+    labeler_.set_label("sport-a.com", {0.0F, 1.0F});
+    labeler_.set_label("sport-b.com", {0.0F, 0.9F});
+
+    embedding::SgnsParams params;
+    params.dim = 12;
+    params.epochs = 20;
+    params.seed = 3;
+    embedding::VocabularyParams vp;
+    vp.min_count = 1;
+    vp.subsample_threshold = 0.0;
+    std::vector<embedding::Sequence> corpus;
+    for (int i = 0; i < 60; ++i) {
+      corpus.insert(corpus.end(), corpus_.begin(), corpus_.end());
+    }
+    embedding::SgnsTrainer trainer(params, vp);
+    model_ = std::make_unique<embedding::HostEmbedding>(trainer.fit(corpus));
+    index_ = std::make_unique<embedding::CosineKnnIndex>(*model_);
+  }
+
+  ontology::HostLabeler labeler_;
+  std::vector<embedding::Sequence> corpus_;
+  std::unique_ptr<embedding::HostEmbedding> model_;
+  std::unique_ptr<embedding::CosineKnnIndex> index_;
+};
+
+TEST_F(ProfilerTest, LabeledSessionGetsItsCategories) {
+  SessionProfiler profiler(*model_, *index_, labeler_);
+  auto p = profiler.profile({"travel-a.com", "travel-b.com"});
+  ASSERT_FALSE(p.empty());
+  EXPECT_EQ(p.labeled_in_session, 2U);
+  EXPECT_GT(p.categories[0], p.categories[1]);
+  EXPECT_GT(p.categories[0], 0.5F);
+}
+
+TEST_F(ProfilerTest, UnlabeledApiHostInheritsThroughEmbedding) {
+  // The session contains ONLY the unlabeled API host; the profile must
+  // still lean travel because its embedding neighbours are travel sites.
+  SessionProfiler profiler(*model_, *index_, labeler_);
+  auto p = profiler.profile({"travel-api.net"});
+  ASSERT_FALSE(p.empty());
+  EXPECT_EQ(p.labeled_in_session, 0U);
+  EXPECT_GT(p.labeled_neighbors, 0U);
+  EXPECT_GT(p.categories[0], p.categories[1]);
+}
+
+TEST_F(ProfilerTest, ProfileEntriesStayInUnitInterval) {
+  SessionProfiler profiler(*model_, *index_, labeler_);
+  for (const auto& session :
+       {std::vector<std::string>{"travel-a.com", "sport-a.com"},
+        std::vector<std::string>{"sport-api.net", "travel-api.net"},
+        std::vector<std::string>{"sport-b.com"}}) {
+    auto p = profiler.profile(session);
+    EXPECT_TRUE(ontology::is_valid_category_vector(p.categories));
+  }
+}
+
+TEST_F(ProfilerTest, MixedSessionBlendsTopics) {
+  SessionProfiler profiler(*model_, *index_, labeler_);
+  auto p = profiler.profile({"travel-a.com", "sport-a.com"});
+  EXPECT_GT(p.categories[0], 0.2F);
+  EXPECT_GT(p.categories[1], 0.2F);
+}
+
+TEST_F(ProfilerTest, EmptyAndUnknownSessionsYieldEmptyProfile) {
+  SessionProfiler profiler(*model_, *index_, labeler_);
+  EXPECT_TRUE(profiler.profile(std::vector<std::string>{}).empty());
+  EXPECT_TRUE(
+      profiler.profile(std::vector<std::string>{"never-seen.com"}).empty());
+}
+
+TEST_F(ProfilerTest, TopCategoriesSortedByImportance) {
+  SessionProfiler profiler(*model_, *index_, labeler_);
+  auto p = profiler.profile({"sport-a.com", "sport-b.com"});
+  auto top = p.top_categories(2);
+  ASSERT_EQ(top.size(), 2U);
+  EXPECT_EQ(top[0], 1U);  // sport category first
+  EXPECT_GE(p.categories[top[0]], p.categories[top[1]]);
+}
+
+TEST_F(ProfilerTest, NormalizedMeanAggregationWorksToo) {
+  ProfilerParams params;
+  params.aggregation = Aggregation::kNormalizedMean;
+  SessionProfiler profiler(*model_, *index_, labeler_, params);
+  auto p = profiler.profile({"travel-a.com", "travel-api.net"});
+  ASSERT_FALSE(p.empty());
+  EXPECT_GT(p.categories[0], p.categories[1]);
+}
+
+TEST_F(ProfilerTest, RejectsZeroKnn) {
+  ProfilerParams params;
+  params.knn = 0;
+  EXPECT_THROW(SessionProfiler(*model_, *index_, labeler_, params),
+               std::invalid_argument);
+}
+
+TEST(ProfilingService, EndToEndDailyLoop) {
+  // Two-topic world; service trains on day 0 and profiles on day 1.
+  ontology::HostLabeler labeler(2);
+  labeler.set_label("travel-a.com", {1.0F, 0.0F});
+  labeler.set_label("sport-a.com", {0.0F, 1.0F});
+
+  filter::Blocklist blocklist;
+  blocklist.add_domains("t", {"tracker.net"});
+
+  ServiceParams params;
+  params.sgns.dim = 12;
+  params.sgns.epochs = 15;
+  params.vocab.min_count = 1;
+  params.vocab.subsample_threshold = 0.0;
+  ProfilingService service(labeler, &blocklist, params);
+
+  // Day 0 training data: two users with opposite habits.
+  for (int rep = 0; rep < 50; ++rep) {
+    util::Timestamp base = rep * 10 * util::kMinute;
+    service.ingest({{1, base + 1, "travel-a.com"},
+                    {1, base + 2, "travel-api.net"},
+                    {1, base + 3, "ads.tracker.net"},
+                    {2, base + 1, "sport-a.com"},
+                    {2, base + 2, "sport-api.net"}});
+  }
+  EXPECT_GT(service.filtered_events(), 0U);
+  EXPECT_FALSE(service.has_model());
+  EXPECT_THROW(service.profile_user(1, util::kDay), std::logic_error);
+
+  ASSERT_TRUE(service.retrain(0));
+  ASSERT_TRUE(service.has_model());
+
+  // Day 1: user 1 visits only the unlabeled travel API.
+  util::Timestamp now = util::kDay + 5 * util::kMinute;
+  service.ingest({{1, now - util::kMinute, "travel-api.net"}});
+  auto profile = service.profile_user(1, now);
+  ASSERT_FALSE(profile.empty());
+  EXPECT_GT(profile.categories[0], profile.categories[1]);
+
+  // Unknown user yields an empty profile, not an error.
+  EXPECT_TRUE(service.profile_user(99, now).empty());
+}
+
+TEST(ProfilingService, RetrainFailsGracefullyOnEmptyDay) {
+  ontology::HostLabeler labeler(2);
+  ProfilingService service(labeler, nullptr);
+  EXPECT_FALSE(service.retrain(3));
+  EXPECT_FALSE(service.has_model());
+}
+
+// Window sweep: dedup invariant — a session never contains duplicates and
+// never exceeds the window budget.
+class WindowSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WindowSweep, SessionsRespectWindowAndUniqueness) {
+  SessionStore store;
+  util::Pcg32 rng(static_cast<std::uint64_t>(GetParam()));
+  for (int i = 0; i < 500; ++i) {
+    store.ingest(ev(7, i * 30,
+                    "host" + std::to_string(rng.next_below(40)) + ".com"));
+  }
+  Window w = Window::minutes(GetParam());
+  auto s = store.session_of(7, 500 * 30, w);
+  std::set<std::string> unique(s.hostnames.begin(), s.hostnames.end());
+  EXPECT_EQ(unique.size(), s.hostnames.size());
+  EXPECT_LE(static_cast<int>(s.hostnames.size()),
+            GetParam() * 2 + 1);  // at most one event per 30s
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, WindowSweep,
+                         ::testing::Values(1, 5, 10, 20, 60));
+
+}  // namespace
+}  // namespace netobs::profile

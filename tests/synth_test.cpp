@@ -1,0 +1,391 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "net/observer.hpp"
+#include "util/string_util.hpp"
+#include "synth/browsing.hpp"
+#include "synth/traffic.hpp"
+#include "synth/users.hpp"
+#include "synth/world.hpp"
+
+namespace netobs::synth {
+namespace {
+
+ontology::CategoryTree test_tree(std::uint64_t seed = 1) {
+  util::Pcg32 rng(seed);
+  ontology::AdwordsTreeParams params;
+  params.top_level = 8;
+  params.second_level_target = 40;
+  params.total_categories = 120;
+  return make_adwords_like_tree(rng, params);
+}
+
+WorldParams small_world_params() {
+  WorldParams p;
+  p.universal_hosts = 10;
+  p.first_party_hosts = 200;
+  p.shared_cdn_hosts = 8;
+  p.tracker_hosts = 20;
+  return p;
+}
+
+class WorldTest : public ::testing::Test {
+ protected:
+  WorldTest()
+      : tree_(test_tree()),
+        space_(tree_),
+        universe_(space_, small_world_params()) {}
+
+  ontology::CategoryTree tree_;
+  ontology::CategorySpace space_;
+  HostnameUniverse universe_;
+};
+
+TEST_F(WorldTest, UniverseHasAllHostKinds) {
+  EXPECT_EQ(universe_.universal().size(), 10U);
+  EXPECT_EQ(universe_.shared_cdns().size(), 8U);
+  EXPECT_EQ(universe_.trackers().size(), 20U);
+  std::size_t first_party = 0;
+  std::size_t satellites = 0;
+  for (const auto& h : universe_.hosts()) {
+    if (h.kind == HostKind::kFirstParty) ++first_party;
+    if (h.kind == HostKind::kSatellite) ++satellites;
+  }
+  EXPECT_EQ(first_party, 200U);
+  EXPECT_GT(satellites, 50U);  // ~1.2 per site on average
+}
+
+TEST_F(WorldTest, HostnamesAreUniqueAndValid) {
+  std::unordered_set<std::string> names;
+  for (const auto& h : universe_.hosts()) {
+    EXPECT_TRUE(util::is_valid_hostname(h.name)) << h.name;
+    EXPECT_TRUE(names.insert(h.name).second) << "duplicate " << h.name;
+  }
+  EXPECT_EQ(universe_.index_of(universe_.host(5).name), 5U);
+  EXPECT_THROW(universe_.index_of("not-in-universe.com"), std::out_of_range);
+}
+
+TEST_F(WorldTest, TopicMixesAreDistributions) {
+  for (const auto& h : universe_.hosts()) {
+    if (h.topic_mix.empty()) continue;
+    float total = 0.0F;
+    for (float w : h.topic_mix) {
+      EXPECT_GE(w, 0.0F);
+      total += w;
+    }
+    EXPECT_NEAR(total, 1.0F, 1e-4F);
+  }
+}
+
+TEST_F(WorldTest, SatellitesBelongToTheirOwners) {
+  for (std::size_t site = 0; site < universe_.size(); ++site) {
+    for (std::size_t sat : universe_.satellites_of(site)) {
+      EXPECT_EQ(universe_.host(sat).kind, HostKind::kSatellite);
+      EXPECT_EQ(universe_.host(sat).owner, site);
+      EXPECT_FALSE(universe_.host(sat).crawlable);
+    }
+  }
+}
+
+TEST_F(WorldTest, TopicSiteListsPartitionFirstPartyHosts) {
+  std::size_t total = 0;
+  for (std::size_t t = 0; t < universe_.topic_count(); ++t) {
+    for (std::size_t site : universe_.sites_of_topic(t)) {
+      EXPECT_EQ(universe_.host(site).kind, HostKind::kFirstParty);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, 200U);
+}
+
+TEST_F(WorldTest, LabelerCoverageMatchesTarget) {
+  auto labeler = universe_.make_labeler();
+  EXPECT_EQ(labeler.category_count(), space_.size());
+  double coverage = labeler.coverage(universe_.size());
+  EXPECT_NEAR(coverage, universe_.params().label_coverage, 0.02);
+  // Labels only on hosts with ground-truth topics; all vectors valid.
+  for (const auto& [host, label] : labeler.labels()) {
+    EXPECT_TRUE(ontology::is_valid_category_vector(label));
+    EXPECT_FALSE(universe_.host(universe_.index_of(host)).topic_mix.empty());
+  }
+}
+
+TEST_F(WorldTest, LabelingIsPopularityBiased) {
+  auto labeler = universe_.make_labeler();
+  // The most popular site of each topic should almost always be labeled
+  // while deep-tail sites mostly are not.
+  std::size_t head_labeled = 0;
+  std::size_t head_total = 0;
+  for (std::size_t t = 0; t < universe_.topic_count(); ++t) {
+    const auto& sites = universe_.sites_of_topic(t);
+    if (sites.empty()) continue;
+    ++head_total;
+    if (labeler.is_labeled(universe_.host(sites.front()).name)) {
+      ++head_labeled;
+    }
+  }
+  EXPECT_GT(static_cast<double>(head_labeled) /
+                static_cast<double>(head_total),
+            0.5);
+}
+
+TEST_F(WorldTest, TrackerHostsFileRoundTrip) {
+  filter::Blocklist blocklist;
+  std::size_t added =
+      blocklist.add_hosts_file("synthetic", universe_.tracker_hosts_file());
+  EXPECT_EQ(added, universe_.trackers().size());
+  for (std::size_t idx : universe_.trackers()) {
+    EXPECT_TRUE(blocklist.is_blocked(universe_.host(idx).name));
+  }
+  EXPECT_FALSE(
+      blocklist.is_blocked(universe_.host(universe_.universal()[0]).name));
+}
+
+TEST_F(WorldTest, UncrawlableFractionInPaperRegime) {
+  // Section 4 reports 67%; the synthetic world should land in the same
+  // regime (satellites, CDNs, trackers and a slice of sites).
+  double f = universe_.uncrawlable_fraction();
+  EXPECT_GT(f, 0.3);
+  EXPECT_LT(f, 0.8);
+}
+
+TEST_F(WorldTest, DeterministicForSameSeed) {
+  HostnameUniverse again(space_, small_world_params());
+  ASSERT_EQ(again.size(), universe_.size());
+  for (std::size_t i = 0; i < universe_.size(); ++i) {
+    EXPECT_EQ(again.host(i).name, universe_.host(i).name);
+  }
+}
+
+TEST(UserPopulation, InterestsAreSparseDistributions) {
+  PopulationParams params;
+  params.num_users = 100;
+  UserPopulation pop(20, params);
+  EXPECT_EQ(pop.size(), 100U);
+  for (const auto& u : pop.users()) {
+    float total = 0.0F;
+    float max = 0.0F;
+    for (float w : u.interests) {
+      total += w;
+      max = std::max(max, w);
+    }
+    EXPECT_NEAR(total, 1.0F, 1e-4F);
+    EXPECT_GT(u.activity, 0.0);
+  }
+  // Sparsity: average top-topic mass should be large with alpha = 0.12.
+  double mean_max = 0.0;
+  for (const auto& u : pop.users()) {
+    mean_max += *std::max_element(u.interests.begin(), u.interests.end());
+  }
+  EXPECT_GT(mean_max / 100.0, 0.45);
+}
+
+TEST(UserPopulation, IdentitiesAreDistinctButHouseholdsShared) {
+  PopulationParams params;
+  params.num_users = 60;
+  UserPopulation pop(10, params);
+  std::unordered_set<std::uint64_t> macs;
+  std::unordered_set<std::uint64_t> imsis;
+  std::unordered_set<std::uint32_t> ips;
+  for (const auto& u : pop.users()) {
+    macs.insert(u.mac);
+    imsis.insert(u.subscriber_id);
+    ips.insert(u.nat_ip);
+  }
+  EXPECT_EQ(macs.size(), 60U);
+  EXPECT_EQ(imsis.size(), 60U);
+  EXPECT_LT(ips.size(), 60U);  // some households have > 1 user
+  EXPECT_EQ(ips.size(), pop.household_count());
+}
+
+TEST(UserPopulation, RejectsDegenerateParams) {
+  PopulationParams params;
+  params.num_users = 0;
+  EXPECT_THROW(UserPopulation(5, params), std::invalid_argument);
+  EXPECT_THROW(UserPopulation(0, PopulationParams()), std::invalid_argument);
+}
+
+class BrowsingTest : public ::testing::Test {
+ protected:
+  BrowsingTest()
+      : tree_(test_tree()),
+        space_(tree_),
+        universe_(space_, small_world_params()),
+        population_(universe_.topic_count(),
+                    [] {
+                      PopulationParams p;
+                      p.num_users = 30;
+                      return p;
+                    }()) {}
+
+  ontology::CategoryTree tree_;
+  ontology::CategorySpace space_;
+  HostnameUniverse universe_;
+  UserPopulation population_;
+};
+
+TEST_F(BrowsingTest, TraceIsTimeOrderedAndInDayRange) {
+  BrowsingSimulator sim(universe_, population_);
+  auto trace = sim.simulate(2, 3);
+  ASSERT_GT(trace.events.size(), 100U);
+  ASSERT_GT(trace.page_views.size(), 50U);
+  for (std::size_t i = 1; i < trace.events.size(); ++i) {
+    EXPECT_LE(trace.events[i - 1].timestamp, trace.events[i].timestamp);
+  }
+  for (const auto& e : trace.events) {
+    EXPECT_GE(util::day_index(e.timestamp), 2);
+    EXPECT_LE(util::day_index(e.timestamp), 5);  // dwell can spill slightly
+    EXPECT_LT(e.user_id, 30U);
+  }
+}
+
+TEST_F(BrowsingTest, EventsCoverAllHostKinds) {
+  BrowsingSimulator sim(universe_, population_);
+  auto trace = sim.simulate(0, 3);
+  bool saw_kind[5] = {false, false, false, false, false};
+  for (const auto& e : trace.events) {
+    saw_kind[static_cast<int>(
+        universe_.host(universe_.index_of(e.hostname)).kind)] = true;
+  }
+  EXPECT_TRUE(saw_kind[static_cast<int>(HostKind::kUniversal)]);
+  EXPECT_TRUE(saw_kind[static_cast<int>(HostKind::kFirstParty)]);
+  EXPECT_TRUE(saw_kind[static_cast<int>(HostKind::kSatellite)]);
+  EXPECT_TRUE(saw_kind[static_cast<int>(HostKind::kSharedCdn)]);
+  EXPECT_TRUE(saw_kind[static_cast<int>(HostKind::kTracker)]);
+}
+
+TEST_F(BrowsingTest, TrackerShareInPaperRegime) {
+  // Section 5.4: ~8% of connections hit tracker hostnames.
+  BrowsingSimulator sim(universe_, population_);
+  auto trace = sim.simulate(0, 3);
+  std::size_t trackers = 0;
+  for (const auto& e : trace.events) {
+    if (universe_.host(universe_.index_of(e.hostname)).kind ==
+        HostKind::kTracker) {
+      ++trackers;
+    }
+  }
+  double share =
+      static_cast<double>(trackers) / static_cast<double>(trace.events.size());
+  EXPECT_GT(share, 0.03);
+  EXPECT_LT(share, 0.20);
+}
+
+TEST_F(BrowsingTest, InterestsDriveVisitedTopics) {
+  BrowsingSimulator sim(universe_, population_);
+  auto trace = sim.simulate(0, 5);
+  // For each user, the most-visited first-party topic should be one the
+  // user actually has appreciable interest in, most of the time.
+  std::unordered_map<std::uint32_t, std::vector<std::size_t>> topic_counts;
+  for (const auto& e : trace.events) {
+    const auto& h = universe_.host(universe_.index_of(e.hostname));
+    if (h.kind != HostKind::kFirstParty) continue;
+    auto& counts = topic_counts[e.user_id];
+    counts.resize(universe_.topic_count());
+    std::size_t topic = static_cast<std::size_t>(
+        std::max_element(h.topic_mix.begin(), h.topic_mix.end()) -
+        h.topic_mix.begin());
+    ++counts[topic];
+  }
+  std::size_t aligned = 0;
+  std::size_t scored = 0;
+  for (const auto& [user_id, counts] : topic_counts) {
+    if (counts.empty()) continue;
+    std::size_t top = static_cast<std::size_t>(
+        std::max_element(counts.begin(), counts.end()) - counts.begin());
+    ++scored;
+    if (population_.user(user_id).interests[top] > 0.05F) ++aligned;
+  }
+  ASSERT_GT(scored, 10U);
+  EXPECT_GT(static_cast<double>(aligned) / static_cast<double>(scored), 0.7);
+}
+
+TEST_F(BrowsingTest, DeterministicForSameSeed) {
+  BrowsingSimulator sim1(universe_, population_);
+  BrowsingSimulator sim2(universe_, population_);
+  auto t1 = sim1.simulate(0, 1);
+  auto t2 = sim2.simulate(0, 1);
+  ASSERT_EQ(t1.events.size(), t2.events.size());
+  for (std::size_t i = 0; i < t1.events.size(); ++i) {
+    EXPECT_EQ(t1.events[i], t2.events[i]);
+  }
+}
+
+TEST_F(BrowsingTest, AdSlotsUseStandardSizes) {
+  BrowsingSimulator sim(universe_, population_);
+  auto trace = sim.simulate(0, 2);
+  const auto& sizes = standard_ad_sizes();
+  std::size_t slots = 0;
+  for (const auto& view : trace.page_views) {
+    EXPECT_LE(view.slots.size(), 3U);
+    for (const auto& slot : view.slots) {
+      ++slots;
+      EXPECT_NE(std::find(sizes.begin(), sizes.end(), slot), sizes.end());
+    }
+  }
+  EXPECT_GT(slots, 20U);
+}
+
+TEST_F(BrowsingTest, WirePathRoundTrip) {
+  // The headline integration property: events -> TLS bytes -> SniObserver
+  // reproduces exactly the hostname sequence per user (WiFi vantage).
+  BrowsingSimulator sim(universe_, population_);
+  auto trace = sim.simulate(0, 1);
+  ASSERT_GT(trace.events.size(), 50U);
+
+  TrafficParams tp;
+  tp.split_probability = 0.5;
+  TrafficSynthesizer synth(population_, tp);
+  auto packets = synth.synthesize(trace.events);
+  EXPECT_GT(packets.size(), trace.events.size());  // splits add packets
+
+  net::SniObserver observer(net::Vantage::kWifiProvider);
+  auto recovered = observer.observe_all(packets);
+  ASSERT_EQ(recovered.size(), trace.events.size());
+  // Same hostnames in the same order; user ids are remapped by the demux
+  // but must be consistent (same original user -> same observer id).
+  std::unordered_map<std::uint32_t, std::uint32_t> id_map;
+  for (std::size_t i = 0; i < recovered.size(); ++i) {
+    EXPECT_EQ(recovered[i].hostname, trace.events[i].hostname);
+    EXPECT_EQ(recovered[i].timestamp, trace.events[i].timestamp);
+    auto [it, inserted] =
+        id_map.emplace(trace.events[i].user_id, recovered[i].user_id);
+    EXPECT_EQ(it->second, recovered[i].user_id);
+  }
+}
+
+TEST_F(BrowsingTest, DnsPathRecoversHostnames) {
+  BrowsingSimulator sim(universe_, population_);
+  auto trace = sim.simulate(0, 1);
+  TrafficParams tp;
+  tp.emit_dns = true;
+  tp.split_probability = 0.0;
+  TrafficSynthesizer synth(population_, tp);
+  auto packets = synth.synthesize(trace.events);
+
+  net::DnsObserver observer(net::Vantage::kMobileOperator);
+  std::size_t dns_events = 0;
+  for (const auto& p : packets) {
+    dns_events += observer.observe(p).size();
+  }
+  EXPECT_EQ(dns_events, trace.events.size());
+}
+
+TEST_F(BrowsingTest, NatVantageCollapsesHouseholds) {
+  BrowsingSimulator sim(universe_, population_);
+  auto trace = sim.simulate(0, 1);
+  TrafficSynthesizer synth(population_);
+  auto packets = synth.synthesize(trace.events);
+
+  net::SniObserver wifi(net::Vantage::kWifiProvider);
+  net::SniObserver isp(net::Vantage::kLandlineIsp);
+  wifi.observe_all(packets);
+  isp.observe_all(packets);
+  EXPECT_GT(wifi.demux().distinct_users(), isp.demux().distinct_users());
+  // The ISP can at best distinguish households.
+  EXPECT_LE(isp.demux().distinct_users(), population_.household_count());
+}
+
+}  // namespace
+}  // namespace netobs::synth

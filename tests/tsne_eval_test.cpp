@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "embedding/knn.hpp"
+#include "embedding/sgns.hpp"
+#include "eval/diversity.hpp"
+#include "eval/purity.hpp"
+#include "eval/report.hpp"
+#include "tsne/tsne.hpp"
+#include "util/rng.hpp"
+
+namespace netobs {
+namespace {
+
+/// Three well-separated Gaussian blobs in 10 dimensions.
+std::vector<float> blob_data(std::size_t per_blob, std::size_t dim,
+                             std::vector<int>* labels) {
+  util::Pcg32 rng(5);
+  std::vector<float> rows;
+  for (int blob = 0; blob < 3; ++blob) {
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      for (std::size_t d = 0; d < dim; ++d) {
+        double center = d == static_cast<std::size_t>(blob) ? 8.0 : 0.0;
+        rows.push_back(static_cast<float>(rng.normal(center, 0.4)));
+      }
+      labels->push_back(blob);
+    }
+  }
+  return rows;
+}
+
+TEST(Tsne, SeparatesGaussianBlobs) {
+  std::vector<int> labels;
+  auto rows = blob_data(40, 10, &labels);
+  tsne::TsneParams params;
+  params.perplexity = 15.0;
+  params.iterations = 300;
+  auto result = tsne::run_tsne(rows, 120, 10, params);
+  ASSERT_EQ(result.points, 120U);
+  ASSERT_EQ(result.embedding.size(), 240U);
+
+  // Mean intra-blob distance must be far below inter-blob distance.
+  auto dist = [&](std::size_t i, std::size_t j) {
+    double dx = result.x(i, 0) - result.x(j, 0);
+    double dy = result.x(i, 1) - result.x(j, 1);
+    return std::sqrt(dx * dx + dy * dy);
+  };
+  double intra = 0.0;
+  double inter = 0.0;
+  std::size_t ni = 0;
+  std::size_t nj = 0;
+  for (std::size_t i = 0; i < 120; i += 3) {
+    for (std::size_t j = i + 1; j < 120; j += 3) {
+      if (labels[i] == labels[j]) {
+        intra += dist(i, j);
+        ++ni;
+      } else {
+        inter += dist(i, j);
+        ++nj;
+      }
+    }
+  }
+  ASSERT_GT(ni, 0U);
+  ASSERT_GT(nj, 0U);
+  EXPECT_GT(inter / static_cast<double>(nj),
+            2.0 * intra / static_cast<double>(ni));
+}
+
+TEST(Tsne, KlDecreasesAfterExaggeration) {
+  std::vector<int> labels;
+  auto rows = blob_data(25, 6, &labels);
+  tsne::TsneParams params;
+  params.perplexity = 10.0;
+  params.iterations = 220;
+  auto result = tsne::run_tsne(rows, 75, 6, params);
+  ASSERT_EQ(result.kl_history.size(), 220U);
+  // Compare KL right after exaggeration ends with the final KL.
+  double after_exag = result.kl_history[params.exaggeration_iters + 5];
+  EXPECT_LT(result.kl_history.back(), after_exag);
+  EXPECT_GT(result.kl_history.back(), 0.0);
+}
+
+TEST(Tsne, DeterministicForSeed) {
+  std::vector<int> labels;
+  auto rows = blob_data(25, 6, &labels);
+  tsne::TsneParams params;
+  params.perplexity = 8.0;
+  params.iterations = 50;
+  auto r1 = tsne::run_tsne(rows, 75, 6, params);
+  auto r2 = tsne::run_tsne(rows, 75, 6, params);
+  EXPECT_EQ(r1.embedding, r2.embedding);
+}
+
+TEST(Tsne, RejectsBadInput) {
+  std::vector<float> rows(10 * 3, 0.0F);
+  EXPECT_THROW(tsne::run_tsne(rows, 10, 4, {}), std::invalid_argument);
+  tsne::TsneParams params;
+  params.perplexity = 30.0;
+  EXPECT_THROW(tsne::run_tsne(rows, 10, 3, params), std::invalid_argument);
+  params.perplexity = 0.5;
+  EXPECT_THROW(tsne::run_tsne(rows, 10, 3, params), std::invalid_argument);
+}
+
+TEST(Diversity, CoresAndCcdfMatchHandComputation) {
+  // 4 users; item 1 touched by all, item 2 by 3 users, the rest unique.
+  std::vector<std::vector<std::uint64_t>> users = {
+      {1, 2, 10, 11},
+      {1, 2, 20},
+      {1, 2, 30, 31, 32},
+      {1, 40},
+  };
+  auto result = eval::analyze_diversity(users, {0.9, 0.6});
+  EXPECT_EQ(result.distinct_items, 9U);
+  ASSERT_EQ(result.cores.size(), 2U);
+
+  // Core 90: only item 1 (touched by 4/4 users).
+  EXPECT_EQ(result.cores[0].members, (std::vector<std::uint64_t>{1}));
+  // Core 60: items 1 and 2 (3/4 = 75% >= 60%).
+  EXPECT_EQ(result.cores[1].members, (std::vector<std::uint64_t>{1, 2}));
+
+  // Outside core 60 counts: {2, 1, 3, 1}; nobody has zero.
+  EXPECT_DOUBLE_EQ(result.cores[1].users_with_zero_outside, 0.0);
+  // 75% of users have >= 1 outside item; 25% have >= 3.
+  EXPECT_DOUBLE_EQ(result.items_at_user_fraction(1, 0.75), 1.0);
+  EXPECT_DOUBLE_EQ(result.items_at_user_fraction(1, 0.25), 3.0);
+}
+
+TEST(Diversity, AllCurveUsesTotals) {
+  std::vector<std::vector<std::uint64_t>> users = {{1, 2}, {1, 2, 3, 4}};
+  auto result = eval::analyze_diversity(users);
+  EXPECT_DOUBLE_EQ(
+      result.items_at_user_fraction(static_cast<std::size_t>(-1), 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(
+      result.items_at_user_fraction(static_cast<std::size_t>(-1), 0.5), 4.0);
+}
+
+TEST(Diversity, DuplicateItemsCountOnce) {
+  std::vector<std::vector<std::uint64_t>> users = {{5, 5, 5}, {5}};
+  auto result = eval::analyze_diversity(users, {0.8});
+  EXPECT_EQ(result.distinct_items, 1U);
+  EXPECT_DOUBLE_EQ(result.cores[0].users_with_zero_outside, 1.0);
+}
+
+TEST(Diversity, RejectsEmptyInput) {
+  EXPECT_THROW(eval::analyze_diversity({}), std::invalid_argument);
+}
+
+embedding::HostEmbedding clustered_model() {
+  std::vector<embedding::Sequence> corpus;
+  for (int i = 0; i < 80; ++i) {
+    corpus.push_back({"travel1.com", "travel2.com", "travel-api.net"});
+    corpus.push_back({"sport1.com", "sport2.com", "sport-api.net"});
+  }
+  embedding::SgnsParams params;
+  params.dim = 12;
+  params.epochs = 10;
+  embedding::VocabularyParams vp;
+  vp.min_count = 1;
+  vp.subsample_threshold = 0.0;
+  embedding::SgnsTrainer trainer(params, vp);
+  return trainer.fit(corpus);
+}
+
+TEST(Purity, HighForClusteredEmbeddings) {
+  auto model = clustered_model();
+  embedding::CosineKnnIndex index(model);
+  auto topic_of = [](const std::string& host) -> std::optional<std::size_t> {
+    if (host.starts_with("travel") && !host.ends_with(".net")) return 0;
+    if (host.starts_with("sport") && !host.ends_with(".net")) return 1;
+    return std::nullopt;  // APIs have no ground truth
+  };
+  auto result = eval::neighbor_topic_purity(model, index, topic_of, 1);
+  EXPECT_EQ(result.scored_hosts, 4U);
+  EXPECT_GT(result.mean_purity, 0.9);
+  EXPECT_NEAR(result.random_baseline, 0.5, 1e-9);
+}
+
+TEST(Purity, SatelliteAttachmentFindsOwners) {
+  auto model = clustered_model();
+  embedding::CosineKnnIndex index(model);
+  auto topic_of = [](const std::string& host) -> std::optional<std::size_t> {
+    if (host.ends_with(".net")) return std::nullopt;
+    return host.starts_with("travel") ? 0 : 1;
+  };
+  auto owner_of = [](const std::string& host) -> std::optional<std::string> {
+    if (host == "travel-api.net") return "travel1.com";
+    if (host == "sport-api.net") return "sport1.com";
+    return std::nullopt;
+  };
+  auto result = eval::satellite_attachment(model, index, owner_of, topic_of);
+  EXPECT_EQ(result.scored_satellites, 2U);
+  EXPECT_DOUBLE_EQ(result.same_topic_top1, 1.0);
+}
+
+TEST(Report, PercentageShares) {
+  std::vector<std::vector<double>> counts = {{2.0, 2.0}, {0.0, 0.0},
+                                             {3.0, 1.0}};
+  auto shares = eval::to_percentage_shares(counts);
+  EXPECT_DOUBLE_EQ(shares[0][0], 50.0);
+  EXPECT_DOUBLE_EQ(shares[1][0], 0.0);  // empty day stays zero
+  EXPECT_DOUBLE_EQ(shares[2][0], 75.0);
+
+  auto ranked = eval::mean_shares_descending(shares);
+  ASSERT_EQ(ranked.size(), 2U);
+  EXPECT_EQ(ranked[0].first, 0U);
+  EXPECT_GT(ranked[0].second, ranked[1].second);
+}
+
+TEST(Report, FormatCtr) {
+  EXPECT_EQ(eval::format_ctr(0.00217), "0.217%");
+  EXPECT_EQ(eval::format_ctr(0.0), "0.000%");
+}
+
+}  // namespace
+}  // namespace netobs

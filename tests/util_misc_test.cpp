@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+
+#include "util/sim_time.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/vec_math.hpp"
+
+namespace netobs::util {
+namespace {
+
+TEST(Split, BasicAndEdgeCases) {
+  EXPECT_EQ(split("a.b.c", '.'), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("", '.'), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("..", '.'), (std::vector<std::string>{"", "", ""}));
+  EXPECT_EQ(split_nonempty("..a..b.", '.'),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ToLower, MixedCase) {
+  EXPECT_EQ(to_lower("WwW.GooGle.COM"), "www.google.com");
+}
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  x y \t\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+}
+
+TEST(IsValidHostname, AcceptsNormalHosts) {
+  EXPECT_TRUE(is_valid_hostname("google.com"));
+  EXPECT_TRUE(is_valid_hostname("mail.google.com"));
+  EXPECT_TRUE(is_valid_hostname("ds-aksb-a.akamaihd.net"));
+  EXPECT_TRUE(is_valid_hostname("a1.b2.c3"));
+}
+
+TEST(IsValidHostname, RejectsMalformedHosts) {
+  EXPECT_FALSE(is_valid_hostname(""));
+  EXPECT_FALSE(is_valid_hostname("nodots"));
+  EXPECT_FALSE(is_valid_hostname(".leading.dot"));
+  EXPECT_FALSE(is_valid_hostname("trailing.dot."));
+  EXPECT_FALSE(is_valid_hostname("dou..ble"));
+  EXPECT_FALSE(is_valid_hostname("-dash.start.com"));
+  EXPECT_FALSE(is_valid_hostname("dash-.end.com"));
+  EXPECT_FALSE(is_valid_hostname("under_score.com"));
+  EXPECT_FALSE(is_valid_hostname(std::string(64, 'a') + ".com"));
+  EXPECT_FALSE(is_valid_hostname(std::string(254, 'a')));
+}
+
+TEST(HostMatchesDomain, SubdomainSemantics) {
+  EXPECT_TRUE(host_matches_domain("example.com", "example.com"));
+  EXPECT_TRUE(host_matches_domain("a.example.com", "example.com"));
+  EXPECT_TRUE(host_matches_domain("a.b.example.com", "example.com"));
+  EXPECT_FALSE(host_matches_domain("ample.com", "example.com"));
+  EXPECT_FALSE(host_matches_domain("example.com", "a.example.com"));
+  EXPECT_FALSE(host_matches_domain("badexample.com", "example.com"));
+}
+
+TEST(SecondLevelDomain, CollapsesAsInPaper) {
+  // The exact examples from Section 6.2.
+  EXPECT_EQ(second_level_domain("mail.google.com"), "google.com");
+  EXPECT_EQ(second_level_domain("ds-aksb-a.akamaihd.net"), "akamaihd.net");
+}
+
+TEST(SecondLevelDomain, HandlesMultiLabelSuffixes) {
+  EXPECT_EQ(second_level_domain("www.blogspot.com.es"), "blogspot.com.es");
+  EXPECT_EQ(second_level_domain("x.y.google.co.uk"), "google.co.uk");
+  EXPECT_EQ(second_level_domain("api.banco.com.ve"), "banco.com.ve");
+}
+
+TEST(SecondLevelDomain, ShortHostsUnchanged) {
+  EXPECT_EQ(second_level_domain("google.com"), "google.com");
+  EXPECT_EQ(second_level_domain("com.es"), "com.es");
+  EXPECT_EQ(second_level_domain("localhost.localdomain"),
+            "localhost.localdomain");
+}
+
+TEST(Format, BehavesLikePrintf) {
+  EXPECT_EQ(format("%d-%s-%.2f", 7, "x", 1.5), "7-x-1.50");
+  EXPECT_EQ(format("empty"), "empty");
+}
+
+TEST(VecMath, DotAndNorm) {
+  std::vector<float> a = {1.0F, 2.0F, 2.0F};
+  std::vector<float> b = {2.0F, 0.0F, 1.0F};
+  EXPECT_FLOAT_EQ(dot(a, b), 4.0F);
+  EXPECT_FLOAT_EQ(l2_norm(a), 3.0F);
+}
+
+TEST(VecMath, AxpyAndScale) {
+  std::vector<float> x = {1.0F, 2.0F};
+  std::vector<float> y = {10.0F, 20.0F};
+  axpy(2.0F, x, y);
+  EXPECT_FLOAT_EQ(y[0], 12.0F);
+  EXPECT_FLOAT_EQ(y[1], 24.0F);
+  scale(y, 0.5F);
+  EXPECT_FLOAT_EQ(y[0], 6.0F);
+}
+
+TEST(VecMath, NormalizeUnitLength) {
+  std::vector<float> v = {3.0F, 4.0F};
+  normalize(v);
+  EXPECT_NEAR(l2_norm(v), 1.0F, 1e-6F);
+  std::vector<float> zero = {0.0F, 0.0F};
+  normalize(zero);  // must not produce NaN
+  EXPECT_FLOAT_EQ(zero[0], 0.0F);
+}
+
+TEST(VecMath, CosineProperties) {
+  std::vector<float> a = {1.0F, 0.0F};
+  std::vector<float> b = {0.0F, 2.0F};
+  std::vector<float> c = {5.0F, 0.0F};
+  EXPECT_FLOAT_EQ(cosine(a, b), 0.0F);
+  EXPECT_FLOAT_EQ(cosine(a, c), 1.0F);
+  std::vector<float> zero = {0.0F, 0.0F};
+  EXPECT_FLOAT_EQ(cosine(a, zero), 0.0F);
+}
+
+TEST(VecMath, EuclideanDistance) {
+  std::vector<float> a = {0.0F, 3.0F};
+  std::vector<float> b = {4.0F, 0.0F};
+  EXPECT_FLOAT_EQ(euclidean_distance(a, b), 5.0F);
+}
+
+TEST(VecMath, MeanOfRows) {
+  std::vector<float> r1 = {1.0F, 3.0F};
+  std::vector<float> r2 = {3.0F, 5.0F};
+  auto m = mean_of_rows({std::span<const float>(r1), std::span<const float>(r2)});
+  ASSERT_EQ(m.size(), 2U);
+  EXPECT_FLOAT_EQ(m[0], 2.0F);
+  EXPECT_FLOAT_EQ(m[1], 4.0F);
+  EXPECT_TRUE(mean_of_rows({}).empty());
+}
+
+TEST(SigmoidTable, ApproximatesExactSigmoid) {
+  const auto& table = shared_sigmoid_table();
+  for (float x = -5.9F; x < 5.9F; x += 0.37F) {
+    EXPECT_NEAR(table(x), sigmoid(x), 0.01F) << "x=" << x;
+  }
+  EXPECT_LT(table(-100.0F), 0.01F);
+  EXPECT_GT(table(100.0F), 0.99F);
+}
+
+TEST(ThreadPool, RunsAllJobs) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  pool.parallel_for(100, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(10,
+                        [](std::size_t i) {
+                          if (i == 5) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ZeroThreadsCoercedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1U);
+  std::atomic<int> count{0};
+  pool.parallel_for(5, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 5);
+}
+
+TEST(SimTime, DayArithmetic) {
+  EXPECT_EQ(day_index(0), 0);
+  EXPECT_EQ(day_index(kDay - 1), 0);
+  EXPECT_EQ(day_index(kDay), 1);
+  EXPECT_EQ(day_index(30 * kDay + kHour), 30);
+  EXPECT_EQ(time_of_day(kDay + 5 * kMinute), 5 * kMinute);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  t.add_row_numeric({3.14159}, 2);
+  std::ostringstream os;
+  t.print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 3U);
+}
+
+}  // namespace
+}  // namespace netobs::util

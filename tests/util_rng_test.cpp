@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/alias_sampler.hpp"
+#include "util/rng.hpp"
+
+namespace netobs::util {
+namespace {
+
+TEST(Pcg32, IsDeterministicForSameSeed) {
+  Pcg32 a(42, 1);
+  Pcg32 b(42, 1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(Pcg32, StreamsAreDecorrelated) {
+  Pcg32 a(42, 1);
+  Pcg32 b(42, 2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next_u32() == b.next_u32()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Pcg32, NextDoubleInUnitInterval) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Pcg32, NextBelowCoversRangeUniformly) {
+  Pcg32 rng(3);
+  constexpr std::uint32_t kBound = 10;
+  std::vector<int> counts(kBound, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(kBound)];
+  for (std::uint32_t v = 0; v < kBound; ++v) {
+    EXPECT_NEAR(counts[v], kDraws / kBound, kDraws / kBound * 0.1)
+        << "bucket " << v;
+  }
+}
+
+TEST(Pcg32, NextBelowZeroThrows) {
+  Pcg32 rng(1);
+  EXPECT_THROW(rng.next_below(0), std::invalid_argument);
+}
+
+TEST(Pcg32, NormalHasExpectedMoments) {
+  Pcg32 rng(11);
+  double sum = 0.0;
+  double sumsq = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    double x = rng.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  double mean = sum / kN;
+  double var = sumsq / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Pcg32, ExponentialMeanMatchesRate) {
+  Pcg32 rng(13);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(Pcg32, ExponentialRejectsNonPositiveRate) {
+  Pcg32 rng(1);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(rng.exponential(-1.0), std::invalid_argument);
+}
+
+TEST(Pcg32, GammaMeanEqualsShape) {
+  Pcg32 rng(17);
+  for (double shape : {0.5, 1.0, 3.0, 9.0}) {
+    double sum = 0.0;
+    constexpr int kN = 50000;
+    for (int i = 0; i < kN; ++i) sum += rng.gamma(shape);
+    EXPECT_NEAR(sum / kN, shape, shape * 0.07) << "shape=" << shape;
+  }
+}
+
+TEST(Pcg32, DirichletSumsToOne) {
+  Pcg32 rng(19);
+  for (int rep = 0; rep < 50; ++rep) {
+    auto v = rng.dirichlet(10, 0.3);
+    double total = 0.0;
+    for (double x : v) {
+      EXPECT_GE(x, 0.0);
+      total += x;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(Pcg32, DirichletConcentrationControlsSpread) {
+  Pcg32 rng(23);
+  // Low alpha -> sparse vectors (high max); high alpha -> uniform-ish.
+  double max_low = 0.0;
+  double max_high = 0.0;
+  for (int rep = 0; rep < 200; ++rep) {
+    auto lo = rng.dirichlet(20, 0.05);
+    auto hi = rng.dirichlet(20, 50.0);
+    max_low += *std::max_element(lo.begin(), lo.end());
+    max_high += *std::max_element(hi.begin(), hi.end());
+  }
+  EXPECT_GT(max_low / 200, 0.5);
+  EXPECT_LT(max_high / 200, 0.15);
+}
+
+TEST(Pcg32, CategoricalFollowsWeights) {
+  Pcg32 rng(29);
+  std::vector<double> w = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  constexpr int kN = 60000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.categorical(w)];
+  EXPECT_NEAR(counts[0], kN * 0.1, kN * 0.01);
+  EXPECT_NEAR(counts[1], kN * 0.3, kN * 0.015);
+  EXPECT_NEAR(counts[2], kN * 0.6, kN * 0.015);
+}
+
+TEST(Pcg32, PoissonMeanMatches) {
+  Pcg32 rng(31);
+  for (double mean : {0.5, 4.0, 50.0}) {
+    double sum = 0.0;
+    constexpr int kN = 30000;
+    for (int i = 0; i < kN; ++i) sum += rng.poisson(mean);
+    EXPECT_NEAR(sum / kN, mean, mean * 0.05 + 0.02) << "mean=" << mean;
+  }
+}
+
+TEST(Pcg32, ShufflePreservesElements) {
+  Pcg32 rng(37);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Pcg32, ForkProducesIndependentStream) {
+  Pcg32 parent(41);
+  Pcg32 child = parent.fork(1);
+  Pcg32 child2 = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (child.next_u32() == child2.next_u32()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(ZipfSampler, PmfSumsToOne) {
+  ZipfSampler z(1000, 1.0);
+  double total = 0.0;
+  for (std::size_t r = 0; r < z.size(); ++r) total += z.pmf(r);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfSampler, HeadIsHeavierThanTail) {
+  ZipfSampler z(10000, 1.1);
+  EXPECT_GT(z.pmf(0), z.pmf(1));
+  EXPECT_GT(z.pmf(1), z.pmf(100));
+  EXPECT_GT(z.pmf(100), z.pmf(9999));
+}
+
+TEST(ZipfSampler, EmpiricalMatchesPmf) {
+  ZipfSampler z(50, 1.0);
+  Pcg32 rng(43);
+  std::vector<int> counts(50, 0);
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) ++counts[z.sample(rng)];
+  for (std::size_t r : {0UL, 1UL, 5UL, 20UL}) {
+    double expected = z.pmf(r) * kN;
+    EXPECT_NEAR(counts[r], expected, expected * 0.08 + 30) << "rank " << r;
+  }
+}
+
+TEST(ZipfSampler, RejectsEmptyUniverse) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+}
+
+TEST(AliasSampler, MatchesTargetDistribution) {
+  std::vector<double> w = {5.0, 1.0, 3.0, 1.0};
+  AliasSampler s(w);
+  Pcg32 rng(47);
+  std::vector<int> counts(4, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[s.sample(rng)];
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    double expected = w[i] / 10.0 * kN;
+    EXPECT_NEAR(counts[i], expected, expected * 0.06 + 30) << "idx " << i;
+  }
+}
+
+TEST(AliasSampler, ProbabilityIsNormalizedWeight) {
+  AliasSampler s(std::vector<double>{2.0, 6.0});
+  EXPECT_NEAR(s.probability(0), 0.25, 1e-12);
+  EXPECT_NEAR(s.probability(1), 0.75, 1e-12);
+  EXPECT_EQ(s.probability(5), 0.0);
+}
+
+TEST(AliasSampler, SingleBucketAlwaysSampled) {
+  AliasSampler s(std::vector<double>{3.0});
+  Pcg32 rng(53);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(s.sample(rng), 0U);
+}
+
+TEST(AliasSampler, RejectsInvalidWeights) {
+  EXPECT_THROW(AliasSampler(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(AliasSampler(std::vector<double>{0.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(AliasSampler(std::vector<double>{1.0, -1.0}),
+               std::invalid_argument);
+}
+
+TEST(AliasSampler, HandlesZeroWeightEntries) {
+  AliasSampler s(std::vector<double>{0.0, 1.0, 0.0, 1.0});
+  Pcg32 rng(59);
+  for (int i = 0; i < 1000; ++i) {
+    auto idx = s.sample(rng);
+    EXPECT_TRUE(idx == 1 || idx == 3);
+  }
+}
+
+// Property sweep: alias sampling stays faithful across universe sizes.
+class AliasSamplerSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AliasSamplerSweep, UniformWeightsSampleUniformly) {
+  std::size_t n = GetParam();
+  AliasSampler s(std::vector<double>(n, 1.0));
+  Pcg32 rng(61);
+  std::vector<int> counts(n, 0);
+  const int draws_per_bucket = 2000;
+  const int total = static_cast<int>(n) * draws_per_bucket;
+  for (int i = 0; i < total; ++i) ++counts[s.sample(rng)];
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(counts[i], draws_per_bucket, draws_per_bucket * 0.2)
+        << "n=" << n << " idx=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AliasSamplerSweep,
+                         ::testing::Values(1, 2, 3, 7, 16, 101));
+
+}  // namespace
+}  // namespace netobs::util

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace netobs::util {
+namespace {
+
+TEST(RunningStats, MatchesBatchFormulas) {
+  RunningStats rs;
+  std::vector<double> xs = {1.0, 2.0, 4.0, 8.0, 16.0};
+  for (double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), 5U);
+  EXPECT_DOUBLE_EQ(rs.mean(), mean(xs));
+  EXPECT_NEAR(rs.variance(), sample_variance(xs), 1e-12);
+}
+
+TEST(RunningStats, VarianceZeroForFewSamples) {
+  RunningStats rs;
+  EXPECT_EQ(rs.variance(), 0.0);
+  rs.add(5.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 1.75);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  EXPECT_THROW(percentile({}, 50), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, -1), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 101), std::invalid_argument);
+}
+
+TEST(LogGamma, MatchesKnownValues) {
+  // Gamma(1)=1, Gamma(2)=1, Gamma(5)=24, Gamma(0.5)=sqrt(pi).
+  EXPECT_NEAR(log_gamma(1.0), 0.0, 1e-10);
+  EXPECT_NEAR(log_gamma(2.0), 0.0, 1e-10);
+  EXPECT_NEAR(log_gamma(5.0), std::log(24.0), 1e-10);
+  EXPECT_NEAR(log_gamma(0.5), 0.5 * std::log(M_PI), 1e-10);
+}
+
+TEST(IncompleteBeta, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(incomplete_beta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(incomplete_beta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBeta, SymmetricCase) {
+  // I_x(a,a) at x=0.5 is exactly 0.5.
+  for (double a : {0.5, 1.0, 2.0, 7.5}) {
+    EXPECT_NEAR(incomplete_beta(a, a, 0.5), 0.5, 1e-10) << "a=" << a;
+  }
+}
+
+TEST(IncompleteBeta, UniformSpecialCase) {
+  // I_x(1,1) = x.
+  for (double x : {0.1, 0.37, 0.9}) {
+    EXPECT_NEAR(incomplete_beta(1.0, 1.0, x), x, 1e-10);
+  }
+}
+
+TEST(StudentTCdf, MatchesReferenceValues) {
+  // Reference values from scipy.stats.t.cdf.
+  EXPECT_NEAR(student_t_cdf(0.0, 5.0), 0.5, 1e-10);
+  EXPECT_NEAR(student_t_cdf(1.0, 1.0), 0.75, 1e-8);          // Cauchy
+  EXPECT_NEAR(student_t_cdf(2.0, 10.0), 0.963306, 1e-5);
+  EXPECT_NEAR(student_t_cdf(-2.0, 10.0), 1.0 - 0.963306, 1e-5);
+  EXPECT_NEAR(student_t_cdf(1.96, 1000.0), 0.974890, 2e-4);  // ~normal
+}
+
+TEST(PairedTTest, ZeroDifferenceGivesPValueOne) {
+  std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  auto r = paired_t_test(a, a);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+  EXPECT_DOUBLE_EQ(r.mean_difference, 0.0);
+  EXPECT_FALSE(r.significant());
+}
+
+TEST(PairedTTest, DetectsConstantShift) {
+  std::vector<double> a = {1.0, 2.0, 3.0, 4.1};
+  std::vector<double> b = {2.0, 3.1, 4.0, 5.0};
+  auto r = paired_t_test(a, b);
+  EXPECT_LT(r.mean_difference, 0.0);
+  EXPECT_LT(r.p_value, 0.01);
+  EXPECT_TRUE(r.significant());
+}
+
+TEST(PairedTTest, KnownFixture) {
+  // Reference values from exact arithmetic (t) and numerical integration of
+  // the t-density (p): t = 2.064187, p = 0.107938 (df = 4).
+  std::vector<double> a = {5.1, 4.8, 5.3, 5.0, 4.9};
+  std::vector<double> b = {4.9, 4.7, 5.1, 5.1, 4.6};
+  auto r = paired_t_test(a, b);
+  EXPECT_EQ(r.degrees_of_freedom, 4.0);
+  EXPECT_NEAR(r.t_statistic, 2.064187, 1e-5);
+  EXPECT_NEAR(r.p_value, 0.107938, 1e-5);
+}
+
+TEST(PairedTTest, RejectsMismatchedSizes) {
+  std::vector<double> a = {1.0, 2.0};
+  std::vector<double> b = {1.0};
+  EXPECT_THROW(paired_t_test(a, b), std::invalid_argument);
+  EXPECT_THROW(paired_t_test(b, b), std::invalid_argument);  // < 2 pairs
+}
+
+TEST(WelchTTest, EqualSamplesNotSignificant) {
+  std::vector<double> a = {1.0, 2.0, 3.0, 4.0, 5.0};
+  auto r = welch_t_test(a, a);
+  EXPECT_DOUBLE_EQ(r.t_statistic, 0.0);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(WelchTTest, KnownFixture) {
+  // Reference values from exact arithmetic (t, df) and numerical
+  // integration of the t-density (p):
+  // t = -2.835264, df = 27.713626, p = 0.008453.
+  std::vector<double> a = {27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1,
+                           21.9, 22.6, 23.1, 19.6, 19.0, 21.7, 21.4};
+  std::vector<double> b = {27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0,
+                           24.8, 20.2, 21.9, 22.1, 22.9, 30.0, 23.9};
+  auto r = welch_t_test(a, b);
+  EXPECT_NEAR(r.t_statistic, -2.835264, 1e-5);
+  EXPECT_NEAR(r.degrees_of_freedom, 27.713626, 1e-4);
+  EXPECT_NEAR(r.p_value, 0.008453, 1e-5);
+}
+
+TEST(TwoProportionZTest, IdenticalProportionsNotSignificant) {
+  auto r = two_proportion_z_test(10, 1000, 10, 1000);
+  EXPECT_DOUBLE_EQ(r.z_statistic, 0.0);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(TwoProportionZTest, LargeGapIsSignificant) {
+  auto r = two_proportion_z_test(100, 1000, 20, 1000);
+  EXPECT_LT(r.p_value, 1e-6);
+  EXPECT_GT(r.z_statistic, 0.0);
+}
+
+TEST(TwoProportionZTest, RejectsZeroTrials) {
+  EXPECT_THROW(two_proportion_z_test(0, 0, 1, 10), std::invalid_argument);
+}
+
+TEST(Ccdf, FirstPointIsOne) {
+  auto curve = ccdf({3.0, 1.0, 2.0, 2.0});
+  ASSERT_FALSE(curve.empty());
+  EXPECT_DOUBLE_EQ(curve.front().fraction, 1.0);
+  EXPECT_DOUBLE_EQ(curve.front().x, 1.0);
+}
+
+TEST(Ccdf, IsMonotoneDecreasing) {
+  auto curve = ccdf({5.0, 1.0, 3.0, 3.0, 9.0, 2.0, 7.0});
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GT(curve[i].x, curve[i - 1].x);
+    EXPECT_LT(curve[i].fraction, curve[i - 1].fraction);
+  }
+}
+
+TEST(Ccdf, HandlesDuplicates) {
+  auto curve = ccdf({2.0, 2.0, 2.0, 5.0});
+  ASSERT_EQ(curve.size(), 2U);
+  EXPECT_DOUBLE_EQ(curve[0].fraction, 1.0);
+  EXPECT_DOUBLE_EQ(curve[1].fraction, 0.25);
+}
+
+TEST(Ccdf, EmptyInputGivesEmptyCurve) {
+  EXPECT_TRUE(ccdf({}).empty());
+}
+
+TEST(CcdfValueAtFraction, ReadsSurvivalThreshold) {
+  // Values 1..100: 75% of samples are >= 26.
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  auto curve = ccdf(xs);
+  EXPECT_DOUBLE_EQ(ccdf_value_at_fraction(curve, 0.75), 26.0);
+  EXPECT_DOUBLE_EQ(ccdf_value_at_fraction(curve, 0.25), 76.0);
+  EXPECT_DOUBLE_EQ(ccdf_value_at_fraction(curve, 1.0), 1.0);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  std::vector<double> a = {1.0, 2.0, 3.0};
+  std::vector<double> b = {2.0, 4.0, 6.0};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+  std::vector<double> c = {6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(a, c), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSideGivesZero) {
+  std::vector<double> a = {1.0, 1.0, 1.0};
+  std::vector<double> b = {2.0, 4.0, 6.0};
+  EXPECT_EQ(pearson(a, b), 0.0);
+}
+
+TEST(NormalCdf, ReferencePoints) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.025, 1e-3);
+}
+
+}  // namespace
+}  // namespace netobs::util
