@@ -17,7 +17,7 @@
 
 int main(int argc, char** argv) {
   using namespace netobs;
-  auto cfg = bench::parse_config(argc, argv, {1000, 3, 2021});
+  auto cfg = bench::parse_config(argc, argv, {1000, 3, 2021, ""});
   util::print_banner(std::cout,
                      "Ablation: ontology coverage vs embedding (Section 4)");
 
@@ -47,5 +47,6 @@ int main(int argc, char** argv) {
                "profiles the ontology alone cannot; quality grows with\n"
                "coverage — exactly the paper's motivation for\n"
                "representation learning over raw ontology lookups.\n";
+  bench::dump_metrics(cfg);
   return 0;
 }

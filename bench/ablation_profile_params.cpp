@@ -15,7 +15,7 @@
 
 int main(int argc, char** argv) {
   using namespace netobs;
-  auto cfg = bench::parse_config(argc, argv, {1000, 3, 2021});
+  auto cfg = bench::parse_config(argc, argv, {1000, 3, 2021, ""});
   bench::QualityFixture fx(cfg);
   util::print_banner(std::cout, "Ablation: profiler parameters");
   bench::print_scale_note(cfg, fx.world);
@@ -77,5 +77,6 @@ int main(int argc, char** argv) {
                "vocabulary size (dilution) or is tiny (no propagation);\n"
                "tracker filtering helps; the embedding beats or matches the\n"
                "ontology-only baseline while profiling more sessions.\n";
+  bench::dump_metrics(cfg);
   return 0;
 }

@@ -16,7 +16,7 @@
 
 int main(int argc, char** argv) {
   using namespace netobs;
-  auto cfg = bench::parse_config(argc, argv, {1000, 3, 2021});
+  auto cfg = bench::parse_config(argc, argv, {1000, 3, 2021, ""});
   bench::QualityFixture fx(cfg);
   util::print_banner(std::cout, "Ablation: training variants");
   bench::print_scale_note(cfg, fx.world);
@@ -67,5 +67,6 @@ int main(int argc, char** argv) {
                "full-rate LR schedule of a warm restart re-shocks old rows,\n"
                "so warm-starting is no free win); Hogwild threading does\n"
                "not degrade quality.\n";
+  bench::dump_metrics(cfg);
   return 0;
 }

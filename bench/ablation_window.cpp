@@ -15,7 +15,7 @@
 
 int main(int argc, char** argv) {
   using namespace netobs;
-  auto cfg = bench::parse_config(argc, argv, {1000, 3, 2021});
+  auto cfg = bench::parse_config(argc, argv, {1000, 3, 2021, ""});
   bench::QualityFixture fx(cfg);
   util::print_banner(std::cout, "Ablation: profiling window T (Section 5.4)");
   bench::print_scale_note(cfg, fx.world);
@@ -52,5 +52,6 @@ int main(int argc, char** argv) {
   std::cout << "\nshape checks: very short windows yield fewer/poorer\n"
                "profiles, quality plateaus around the paper's T=20 min, and\n"
                "very long windows dilute the session's current interest.\n";
+  bench::dump_metrics(cfg);
   return 0;
 }

@@ -19,7 +19,7 @@
 
 int main(int argc, char** argv) {
   using namespace netobs;
-  auto cfg = bench::parse_config(argc, argv, {1000, 3, 2021});
+  auto cfg = bench::parse_config(argc, argv, {1000, 3, 2021, ""});
   bench::QualityFixture fx(cfg);
   util::print_banner(std::cout,
                      "Baseline: content-based labeling (Section 4)");
@@ -86,5 +86,6 @@ int main(int argc, char** argv) {
                "CDN/API endpoint dark; the embedding reaches them through\n"
                "co-requests — the paper's argument for representation\n"
                "learning over content analysis.\n";
+  bench::dump_metrics(cfg);
   return 0;
 }

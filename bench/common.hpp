@@ -14,6 +14,9 @@
 #include <memory>
 #include <string>
 
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "ontology/category_tree.hpp"
 #include "synth/browsing.hpp"
 #include "synth/users.hpp"
@@ -25,6 +28,9 @@ struct BenchConfig {
   std::size_t users = 300;
   std::int64_t days = 10;
   std::uint64_t seed = 2021;
+  /// When non-empty, the run dumps the metrics registry here on exit
+  /// (".json" → pretty JSON, anything else → Prometheus text format).
+  std::string metrics_out;
 };
 
 inline BenchConfig parse_config(int argc, char** argv, BenchConfig defaults) {
@@ -41,14 +47,58 @@ inline BenchConfig parse_config(int argc, char** argv, BenchConfig defaults) {
       cfg.days = std::strtoll(v2, nullptr, 10);
     } else if (const char* v3 = value_of("--seed=")) {
       cfg.seed = std::strtoull(v3, nullptr, 10);
+    } else if (const char* v4 = value_of("--metrics-out=")) {
+      cfg.metrics_out = v4;
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      cfg.metrics_out = argv[++i];
     } else if (arg == "--help") {
       std::cout << "usage: " << argv[0]
-                << " [--users=N] [--days=N] [--seed=N]\n";
+                << " [--users=N] [--days=N] [--seed=N] [--metrics-out=PATH]\n";
       std::exit(0);
     }
   }
   return cfg;
 }
+
+/// Writes the global metrics registry to cfg.metrics_out (no-op when the
+/// flag was not given). Call once at the end of main(). An unwritable path
+/// exits 1 with a message instead of aborting on the uncaught exception.
+inline void dump_metrics(const BenchConfig& cfg) {
+  if (cfg.metrics_out.empty()) return;
+  try {
+    obs::dump_metrics_file(cfg.metrics_out);
+  } catch (const std::exception& e) {
+    std::cerr << "[metrics] " << e.what() << "\n";
+    std::exit(1);
+  }
+  std::cout << "[metrics] wrote " << cfg.metrics_out << "\n";
+}
+
+/// Wall-times one named bench stage through the shared obs clock path: the
+/// duration lands in netobs_bench_stage_seconds{stage=...} AND is returned
+/// for printing, so bench-reported numbers and exported metrics agree.
+class StageTimer {
+ public:
+  explicit StageTimer(std::string stage)
+      : stage_(std::move(stage)),
+        timer_(&obs::MetricsRegistry::global().histogram(
+            "netobs_bench_stage_seconds", "Wall time of bench stages",
+            obs::default_latency_buckets(), {{"stage", stage_}})) {}
+
+  /// Records once; returns elapsed seconds.
+  double stop() { return timer_.stop(); }
+
+  /// stop() + a one-line "[time] stage: 1.234 s" report.
+  double stop_and_report() {
+    double s = stop();
+    std::cout << "[time] " << stage_ << ": " << s << " s\n";
+    return s;
+  }
+
+ private:
+  std::string stage_;
+  obs::ScopedTimer timer_;
+};
 
 /// Owns the ontology + universe + population (the space holds a pointer to
 /// the tree, so everything lives behind stable unique_ptrs).

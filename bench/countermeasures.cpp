@@ -37,7 +37,7 @@ struct Scenario {
 }  // namespace
 
 int main(int argc, char** argv) {
-  auto cfg = bench::parse_config(argc, argv, {800, 3, 2021});
+  auto cfg = bench::parse_config(argc, argv, {800, 3, 2021, ""});
   auto world = bench::make_world(cfg);
   util::print_banner(std::cout, "Countermeasures (Section 7.4)");
   bench::print_scale_note(cfg, world);
@@ -190,5 +190,6 @@ int main(int argc, char** argv) {
                "stop profiling once the observer falls back to destination\n"
                "IPs; removing the fallback under full ECH or tunnelling via\n"
                "a single relay (TOR) is what actually kills the signal.\n";
+  bench::dump_metrics(cfg);
   return 0;
 }

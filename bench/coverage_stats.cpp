@@ -13,7 +13,7 @@
 
 int main(int argc, char** argv) {
   using namespace netobs;
-  auto cfg = bench::parse_config(argc, argv, {300, 1, 2021});
+  auto cfg = bench::parse_config(argc, argv, {300, 1, 2021, ""});
   auto world = bench::make_world(cfg);
   util::print_banner(std::cout, "Section 4 / 5.4: coverage statistics");
   bench::print_scale_note(cfg, world);
@@ -81,5 +81,6 @@ int main(int argc, char** argv) {
   std::cout << "\nshape checks: coverage near 10%, uncrawlable fraction\n"
                "dominated by CDN/API/tracker endpoints, taxonomy counts\n"
                "matching Section 5.4 exactly.\n";
+  bench::dump_metrics(cfg);
   return 0;
 }

@@ -16,7 +16,7 @@
 
 int main(int argc, char** argv) {
   using namespace netobs;
-  auto cfg = bench::parse_config(argc, argv, {1000, 5, 2021});
+  auto cfg = bench::parse_config(argc, argv, {1000, 5, 2021, ""});
   auto world = bench::make_world(cfg);
   util::print_banner(std::cout, "Section 6.4: CTR experiment (headline)");
   bench::print_scale_note(cfg, world);
@@ -108,5 +108,6 @@ int main(int argc, char** argv) {
                     ? "yes"
                     : "NO")
             << "\n";
+  bench::dump_metrics(cfg);
   return 0;
 }

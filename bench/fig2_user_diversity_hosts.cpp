@@ -16,7 +16,7 @@
 
 int main(int argc, char** argv) {
   using namespace netobs;
-  auto cfg = bench::parse_config(argc, argv, {300, 30, 2021});
+  auto cfg = bench::parse_config(argc, argv, {300, 30, 2021, ""});
   auto world = bench::make_world(cfg);
   util::print_banner(std::cout, "Figure 2: user diversity (hostnames)");
   bench::print_scale_note(cfg, world);
@@ -85,5 +85,6 @@ int main(int argc, char** argv) {
   std::cout << "\nshape checks: cores shrink as the threshold rises; the\n"
                "outside-core CCDFs stay heavy-tailed (users remain\n"
                "distinguishable once the universal core is removed).\n";
+  bench::dump_metrics(cfg);
   return 0;
 }

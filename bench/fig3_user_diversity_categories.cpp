@@ -14,7 +14,7 @@
 
 int main(int argc, char** argv) {
   using namespace netobs;
-  auto cfg = bench::parse_config(argc, argv, {300, 30, 2021});
+  auto cfg = bench::parse_config(argc, argv, {300, 30, 2021, ""});
   auto world = bench::make_world(cfg);
   util::print_banner(std::cout, "Figure 3: user diversity (categories)");
   bench::print_scale_note(cfg, world);
@@ -88,5 +88,6 @@ int main(int argc, char** argv) {
                "space (linear-scale CCDF), a universal shared core exists,\n"
                "and a small user fraction has nothing outside each core,\n"
                "growing as the core threshold drops.\n";
+  bench::dump_metrics(cfg);
   return 0;
 }

@@ -26,7 +26,7 @@
 
 int main(int argc, char** argv) {
   using namespace netobs;
-  auto cfg = bench::parse_config(argc, argv, {1000, 1, 2021});
+  auto cfg = bench::parse_config(argc, argv, {1000, 1, 2021, ""});
   auto world = bench::make_world(cfg);
   util::print_banner(std::cout,
                      "Figures 4-5: hostname embeddings + t-SNE clusters");
@@ -228,5 +228,6 @@ int main(int argc, char** argv) {
                "satellites attach to their owners' neighbourhoods, and the\n"
                "2D projection separates topics (ratio > 1) — the clusters\n"
                "of Figure 5.\n";
+  bench::dump_metrics(cfg);
   return 0;
 }

@@ -50,7 +50,7 @@ void print_series(const std::string& title,
 
 int main(int argc, char** argv) {
   using namespace netobs;
-  auto cfg = bench::parse_config(argc, argv, {1000, 5, 2021});
+  auto cfg = bench::parse_config(argc, argv, {1000, 5, 2021, ""});
   auto world = bench::make_world(cfg);
   util::print_banner(std::cout, "Figure 6: topic time series");
   bench::print_scale_note(cfg, world);
@@ -104,5 +104,6 @@ int main(int argc, char** argv) {
                "hosts), ad mixes differing from the browsing mix (r < 1),\n"
                "and day-to-day stability of 6a vs more campaign-driven\n"
                "variation in 6b/6c.\n";
+  bench::dump_metrics(cfg);
   return 0;
 }

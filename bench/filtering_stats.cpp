@@ -16,7 +16,7 @@
 
 int main(int argc, char** argv) {
   using namespace netobs;
-  auto cfg = bench::parse_config(argc, argv, {300, 10, 2021});
+  auto cfg = bench::parse_config(argc, argv, {300, 10, 2021, ""});
   auto world = bench::make_world(cfg);
   util::print_banner(std::cout, "Section 5.4: tracker filtering");
   bench::print_scale_note(cfg, world);
@@ -71,5 +71,6 @@ int main(int argc, char** argv) {
                "tracker traffic concentrated in few very popular hostnames\n"
                "(note: the paper's 50-of-top-100 also counts ad *exchanges*\n"
                "embedded on every page; our tracker fan-out is lighter).\n";
+  bench::dump_metrics(cfg);
   return 0;
 }

@@ -1,0 +1,152 @@
+// Observability smoke check, registered as a ctest: drives a tiny synthetic
+// world through the full pipeline (wire bytes -> observer -> blocklist ->
+// retrain -> kNN -> profiles -> ad selection), dumps the registry as JSON,
+// and fails loudly when any expected metric is missing or silently zero —
+// so tier-1 catches dead instrumentation, not just compiling stubs.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ads/ad_database.hpp"
+#include "bench/quality_probe.hpp"
+#include "net/observer.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "synth/traffic.hpp"
+
+namespace {
+
+using namespace netobs;
+
+/// name -> "is it non-zero" (counters: summed over label sets; gauges:
+/// value != 0; histograms: count > 0).
+std::map<std::string, bool> nonzero_by_name(const obs::RegistrySnapshot& s) {
+  std::map<std::string, std::uint64_t> counter_sums;
+  std::map<std::string, bool> out;
+  for (const auto& c : s.counters) counter_sums[c.name] += c.value;
+  for (const auto& [name, sum] : counter_sums) out[name] = sum > 0;
+  for (const auto& g : s.gauges) out[g.name] = out[g.name] || g.value != 0.0;
+  for (const auto& h : s.histograms) out[h.name] = out[h.name] || h.count > 0;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto cfg = bench::parse_config(argc, argv, {80, 2, 2021, ""});
+  obs::MetricsRegistry::global().enable_tracing(1024);
+
+  // --- Tiny world end-to-end, over real wire bytes.
+  auto world = bench::make_world(cfg);
+  synth::BrowsingSimulator sim(*world.universe, *world.population);
+  auto trace = sim.simulate(0, cfg.days);
+  synth::TrafficSynthesizer synthesizer(*world.population);
+  auto packets = synthesizer.synthesize(trace.events);
+
+  net::SniObserver observer(net::Vantage::kWifiProvider);
+  auto events = observer.observe_all(packets);
+
+  auto labeler = world.universe->make_labeler();
+  filter::Blocklist blocklist;
+  blocklist.add_hosts_file("trackers", world.universe->tracker_hosts_file());
+
+  profile::ProfilingService service(labeler, &blocklist,
+                                    bench::scaled_service_params());
+  service.ingest(events);
+  if (!service.retrain(cfg.days - 1)) {
+    std::cerr << "metrics_smoke: retrain failed (world too small?)\n";
+    return 1;
+  }
+
+  ads::AdDatabase db = ads::AdDatabase::collect(*world.universe, labeler,
+                                                1000, cfg.seed);
+  ads::EavesdropperSelector selector(db, labeler);
+  util::Timestamp now = cfg.days * util::kDay - 1;
+  std::size_t profiled = 0;
+  for (std::uint32_t user : service.store().users()) {
+    auto profile = service.profile_user(user, now);
+    if (!profile.empty()) selector.select(profile.categories);
+    if (++profiled >= 10) break;
+  }
+
+  // --- Dump the artifact (both formats exercise the exporters).
+  const std::string json_path =
+      cfg.metrics_out.empty() ? "metrics_smoke.json" : cfg.metrics_out;
+  obs::dump_metrics_file(json_path);
+  obs::dump_metrics_file("metrics_smoke.prom");
+
+  // --- Assert: every subsystem left non-zero telemetry behind.
+  const std::vector<std::string> expected = {
+      // net
+      "netobs_net_packets_total",
+      "netobs_net_payload_bytes_total",
+      "netobs_net_flows_total",
+      "netobs_net_events_total",
+      // filter
+      "netobs_filter_lookups_total",
+      "netobs_filter_matches_total",
+      "netobs_filter_dropped_total",
+      // embedding
+      "netobs_embedding_train_pairs_total",
+      "netobs_embedding_epoch_seconds",
+      "netobs_embedding_vocab_size",
+      "netobs_embedding_knn_queries_total",
+      "netobs_embedding_knn_query_seconds",
+      // profile
+      "netobs_profile_events_ingested_total",
+      "netobs_profile_retrains_total",
+      "netobs_profile_retrain_seconds",
+      "netobs_profile_sessions_profiled_total",
+      "netobs_profile_latency_seconds",
+      // ads
+      "netobs_ads_selections_total",
+      "netobs_ads_selection_seconds",
+  };
+
+  auto snapshot = obs::MetricsRegistry::global().snapshot();
+  auto nonzero = nonzero_by_name(snapshot);
+
+  std::ifstream json_in(json_path);
+  std::stringstream json_text;
+  json_text << json_in.rdbuf();
+  const std::string json = json_text.str();
+
+  int failures = 0;
+  for (const auto& name : expected) {
+    auto it = nonzero.find(name);
+    if (it == nonzero.end()) {
+      std::cerr << "MISSING  " << name << " (never registered)\n";
+      ++failures;
+    } else if (!it->second) {
+      std::cerr << "ZERO     " << name << " (registered but never recorded)\n";
+      ++failures;
+    } else if (json.find('"' + name + '"') == std::string::npos) {
+      std::cerr << "NOT-EXPORTED " << name << " (absent from JSON dump)\n";
+      ++failures;
+    } else {
+      std::cout << "ok       " << name << "\n";
+    }
+  }
+
+  auto* spans = obs::MetricsRegistry::global().trace_buffer();
+  if (spans == nullptr || spans->size() == 0) {
+    std::cerr << "MISSING  trace spans (retrain should have recorded one)\n";
+    ++failures;
+  } else {
+    std::cout << "ok       " << spans->size() << " trace spans recorded\n";
+  }
+
+  if (failures > 0) {
+    std::cerr << "metrics_smoke: " << failures << " dead metric(s)\n";
+    return 1;
+  }
+  std::cout << "metrics_smoke: all " << expected.size()
+            << " expected metrics live; artifacts: " << json_path
+            << ", metrics_smoke.prom\n";
+  return 0;
+}

@@ -7,12 +7,17 @@
 // training throughput.
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+#include <string>
+#include <vector>
+
 #include "ads/ad_database.hpp"
 #include "bench/quality_probe.hpp"
 #include "net/dns.hpp"
 #include "net/observer.hpp"
 #include "net/quic.hpp"
 #include "net/tls.hpp"
+#include "obs/export.hpp"
 #include "synth/traffic.hpp"
 
 namespace {
@@ -20,7 +25,7 @@ namespace {
 using namespace netobs;
 
 const bench::QualityFixture& fixture() {
-  static const bench::QualityFixture fx(bench::BenchConfig{200, 1, 2021});
+  static const bench::QualityFixture fx(bench::BenchConfig{200, 1, 2021, ""});
   return fx;
 }
 
@@ -205,4 +210,40 @@ BENCHMARK(BM_SgnsTrainingEpoch)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN plus a --metrics-out flag: after the suite runs, the
+// registry (populated by the instrumented pipeline the benchmarks drive) is
+// dumped as a machine-readable artifact. Accepts "--metrics-out PATH" and
+// "--metrics-out=PATH"; the flag is stripped before google-benchmark parses
+// the rest.
+int main(int argc, char** argv) {
+  std::string metrics_out;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(std::string("--metrics-out=").size());
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!metrics_out.empty()) {
+    try {
+      netobs::obs::dump_metrics_file(metrics_out);
+    } catch (const std::exception& e) {
+      std::cerr << "[metrics] " << e.what() << "\n";
+      return 1;
+    }
+    std::cout << "[metrics] wrote " << metrics_out << "\n";
+  }
+  return 0;
+}

@@ -11,7 +11,7 @@
 
 int main(int argc, char** argv) {
   using namespace netobs;
-  auto cfg = bench::parse_config(argc, argv, {800, 3, 99});
+  auto cfg = bench::parse_config(argc, argv, {800, 3, 99, ""});
   auto world = bench::make_world(cfg);
   std::cout << "== mini ad-campaign experiment (Section 5) ==\n"
             << world.population->size() << " users, "
@@ -64,5 +64,6 @@ int main(int argc, char** argv) {
             << "Interpretation (paper, Section 6.4): if CTR proxies profile\n"
                "quality, a network observer's profiles are as good as the\n"
                "ad ecosystem's — despite seeing only TLS hostnames.\n";
+  bench::dump_metrics(cfg);
   return 0;
 }

@@ -16,7 +16,7 @@
 
 int main(int argc, char** argv) {
   using namespace netobs;
-  auto cfg = bench::parse_config(argc, argv, {120, 3, 23});
+  auto cfg = bench::parse_config(argc, argv, {120, 3, 23, ""});
   auto world = bench::make_world(cfg);
   std::cout << "== DNS-resolver observer (Section 7.2) ==\n";
 
@@ -106,5 +106,6 @@ int main(int argc, char** argv) {
   std::cout << "\nDoH/DoT hide queries from the path but not from the\n"
                "resolver itself — the resolver profiles exactly like the\n"
                "TLS eavesdropper, while NAT only blurs per-user separation.\n";
+  bench::dump_metrics(cfg);
   return 0;
 }

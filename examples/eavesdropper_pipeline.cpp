@@ -20,7 +20,7 @@
 
 int main(int argc, char** argv) {
   using namespace netobs;
-  auto cfg = bench::parse_config(argc, argv, {400, 4, 7});
+  auto cfg = bench::parse_config(argc, argv, {400, 4, 7, ""});
   auto world = bench::make_world(cfg);
   std::cout << "== eavesdropper pipeline (bytes on the wire) ==\n";
 
@@ -49,7 +49,9 @@ int main(int argc, char** argv) {
 
   // --- Passive observation at a WiFi vantage (per-device MAC demux).
   net::SniObserver observer(net::Vantage::kWifiProvider);
+  bench::StageTimer observe_timer("observe");
   auto events = observer.observe_all(packets);
+  observe_timer.stop_and_report();
   const auto& stats = observer.stats();
   std::cout << "observer: " << stats.events << " SNI hostnames from "
             << stats.flows << " flows ("
@@ -71,10 +73,12 @@ int main(int argc, char** argv) {
             << " events kept, " << service.filtered_events()
             << " tracker connections dropped\n";
 
+  bench::StageTimer retrain_timer("retrain");
   if (!service.retrain(cfg.days - 2)) {
     std::cerr << "not enough data to train — increase --users/--days\n";
     return 1;
   }
+  retrain_timer.stop_and_report();
   std::cout << "model: " << service.model().size() << " hostnames, d="
             << service.model().dim() << "\n\n";
 
@@ -120,5 +124,6 @@ int main(int argc, char** argv) {
   }
   std::cout << "\nThe entire chain consumed only bytes a passive network\n"
                "observer sees: TLS handshakes in, targeted ads out.\n";
+  bench::dump_metrics(cfg);
   return 0;
 }

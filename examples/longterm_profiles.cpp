@@ -20,7 +20,7 @@
 
 int main(int argc, char** argv) {
   using namespace netobs;
-  auto cfg = bench::parse_config(argc, argv, {800, 4, 5});
+  auto cfg = bench::parse_config(argc, argv, {800, 4, 5, ""});
   auto world = bench::make_world(cfg);
   std::cout << "== long-term user dossiers (Section 7.3) ==\n";
 
@@ -121,5 +121,6 @@ int main(int argc, char** argv) {
   }
   std::cout << "\nThe dossier is durable: it survives model retraining and\n"
                "decays stale interests — the asset Section 7.3 warns about.\n";
+  bench::dump_metrics(cfg);
   return 0;
 }

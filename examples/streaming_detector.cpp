@@ -20,7 +20,7 @@
 
 int main(int argc, char** argv) {
   using namespace netobs;
-  auto cfg = bench::parse_config(argc, argv, {800, 2, 17});
+  auto cfg = bench::parse_config(argc, argv, {800, 2, 17, ""});
   auto world = bench::make_world(cfg);
   std::cout << "== hostname-similarity detector (Section 6.2, cluster 2) ==\n";
 
@@ -124,5 +124,6 @@ int main(int argc, char** argv) {
       "\nprecision@%zu = %.2f (random baseline %.3f): the embedding finds\n"
       "the service's other hostnames from co-request behaviour alone.\n",
       scored, precision, base_rate);
+  bench::dump_metrics(cfg);
   return 0;
 }

@@ -4,10 +4,36 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/alias_sampler.hpp"
 #include "util/vec_math.hpp"
 
 namespace netobs::ads {
+
+namespace {
+
+struct SelectorMetrics {
+  obs::Counter& selections;
+  obs::Counter& ads_returned;
+  obs::Histogram& selection_seconds;
+
+  static SelectorMetrics& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static SelectorMetrics m{
+        reg.counter("netobs_ads_selections_total",
+                    "Eavesdropper ad-list selections"),
+        reg.counter("netobs_ads_list_entries_total",
+                    "Ads returned across all selections"),
+        reg.histogram("netobs_ads_selection_seconds",
+                      "Latency of one 20-NN ad selection",
+                      obs::default_latency_buckets()),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 AdDatabase AdDatabase::collect(const synth::HostnameUniverse& universe,
                                const ontology::HostLabeler& labeler,
@@ -97,6 +123,9 @@ EavesdropperSelector::EavesdropperSelector(
 
 std::vector<AdId> EavesdropperSelector::select(
     const ontology::CategoryVector& profile) const {
+  auto& metrics = SelectorMetrics::get();
+  metrics.selections.inc();
+  obs::ScopedTimer timer(&metrics.selection_seconds);
   std::vector<AdId> out;
   if (hosts_.empty() || profile.empty()) return out;
 
@@ -138,6 +167,7 @@ std::vector<AdId> EavesdropperSelector::select(
     }
     if (!any) break;
   }
+  metrics.ads_returned.inc(out.size());
   return out;
 }
 

@@ -4,9 +4,50 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace netobs::ads {
 
 namespace {
+
+/// Impression/click tallies per serving arm, Prometheus-labelled so the
+/// exported series mirror the Section 6.4 CTR table.
+struct ExperimentMetrics {
+  obs::Counter& impressions_original;
+  obs::Counter& impressions_eavesdropper;
+  obs::Counter& impressions_random;
+  obs::Counter& clicks_original;
+  obs::Counter& clicks_eavesdropper;
+  obs::Counter& clicks_random;
+  obs::Counter& reports;
+  obs::Counter& replacements;
+
+  static ExperimentMetrics& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    auto imp = [&reg](const char* arm) -> obs::Counter& {
+      return reg.counter("netobs_ads_impressions_total",
+                         "Ad impressions by serving arm", {{"arm", arm}});
+    };
+    auto clk = [&reg](const char* arm) -> obs::Counter& {
+      return reg.counter("netobs_ads_clicks_total", "Ad clicks by serving arm",
+                         {{"arm", arm}});
+    };
+    static ExperimentMetrics m{
+        imp("original"),
+        imp("eavesdropper"),
+        imp("random_control"),
+        clk("original"),
+        clk("eavesdropper"),
+        clk("random_control"),
+        reg.counter("netobs_ads_reports_total",
+                    "Extension reports (profile + ad-list refreshes)"),
+        reg.counter("netobs_ads_replacements_total",
+                    "Impressions replaced by an eavesdropper ad"),
+    };
+    return m;
+  }
+};
 
 /// Dominant top-level topic of a category vector (Figure 6 aggregation).
 std::size_t dominant_topic_of_label(const ontology::CategoryVector& label,
@@ -45,6 +86,8 @@ ExperimentRunner::ExperimentRunner(const synth::HostnameUniverse& universe,
       params_(params) {}
 
 ExperimentResult ExperimentRunner::run() {
+  auto& metrics = ExperimentMetrics::get();
+  obs::Span run_span("ads.experiment");
   const auto& space = universe_->category_space();
   std::size_t topic_count = universe_->topic_count();
 
@@ -143,6 +186,7 @@ ExperimentResult ExperimentRunner::run() {
          view.timestamp - state.last_report >= params_.report_interval)) {
       state.last_report = view.timestamp;
       ++result.reports;
+      metrics.reports.inc();
       auto profile = service.profile_user(view.user_id, view.timestamp);
       if (profile.empty()) {
         ++result.empty_profiles;
@@ -172,15 +216,20 @@ ExperimentResult ExperimentRunner::run() {
       bool clicked = clicks.click(user, shown, click_rng);
       if (replaced) {
         ++result.replacements;
+        metrics.replacements.inc();
         ++state.eavesdropper.impressions;
+        metrics.impressions_eavesdropper.inc();
         state.eavesdropper.clicks += clicked ? 1 : 0;
+        if (clicked) metrics.clicks_eavesdropper.inc();
         if (day < result.topics.eavesdropper_ads.size()) {
           result.topics.eavesdropper_ads
               [day][dominant_topic_of_mix(shown.topic_mix)] += 1.0;
         }
       } else {
         ++state.original.impressions;
+        metrics.impressions_original.inc();
         state.original.clicks += clicked ? 1 : 0;
+        if (clicked) metrics.clicks_original.inc();
         if (day < result.topics.original_ads.size()) {
           result.topics.original_ads
               [day][dominant_topic_of_mix(shown.topic_mix)] += 1.0;
@@ -191,8 +240,10 @@ ExperimentResult ExperimentRunner::run() {
       const Ad& random_ad = ad_db.ad(static_cast<AdId>(
           control_rng.next_below(static_cast<std::uint32_t>(ad_db.size()))));
       ++result.random_control.impressions;
-      result.random_control.clicks +=
-          clicks.click(user, random_ad, control_rng) ? 1 : 0;
+      metrics.impressions_random.inc();
+      bool random_clicked = clicks.click(user, random_ad, control_rng);
+      result.random_control.clicks += random_clicked ? 1 : 0;
+      if (random_clicked) metrics.clicks_random.inc();
     }
   }
   // Drain remaining events (after the last page view).

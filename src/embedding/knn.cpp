@@ -2,11 +2,33 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/vec_math.hpp"
 
 namespace netobs::embedding {
 
 namespace {
+
+struct KnnMetrics {
+  obs::Counter& queries;
+  obs::Histogram& query_seconds;
+  obs::Gauge& index_size;
+
+  static KnnMetrics& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static KnnMetrics m{
+        reg.counter("netobs_embedding_knn_queries_total",
+                    "Cosine kNN queries answered"),
+        reg.histogram("netobs_embedding_knn_query_seconds",
+                      "Latency of one kNN scan",
+                      obs::default_latency_buckets()),
+        reg.gauge("netobs_embedding_knn_index_size",
+                  "Rows in the most recently built kNN index"),
+    };
+    return m;
+  }
+};
 
 EmbeddingMatrix normalized_copy(const EmbeddingMatrix& matrix) {
   EmbeddingMatrix out = matrix;
@@ -19,14 +41,21 @@ EmbeddingMatrix normalized_copy(const EmbeddingMatrix& matrix) {
 }  // namespace
 
 CosineKnnIndex::CosineKnnIndex(const HostEmbedding& embedding)
-    : normalized_(normalized_copy(embedding.central())) {}
+    : normalized_(normalized_copy(embedding.central())) {
+  KnnMetrics::get().index_size.set(static_cast<double>(normalized_.rows()));
+}
 
 CosineKnnIndex::CosineKnnIndex(const EmbeddingMatrix& matrix)
-    : normalized_(normalized_copy(matrix)) {}
+    : normalized_(normalized_copy(matrix)) {
+  KnnMetrics::get().index_size.set(static_cast<double>(normalized_.rows()));
+}
 
 std::vector<CosineKnnIndex::Neighbor> CosineKnnIndex::scan(
     std::span<const float> unit_query, std::size_t n,
     std::ptrdiff_t exclude) const {
+  auto& metrics = KnnMetrics::get();
+  metrics.queries.inc();
+  obs::ScopedTimer timer(&metrics.query_seconds);
   std::vector<Neighbor> scored;
   scored.reserve(normalized_.rows());
   for (std::size_t i = 0; i < normalized_.rows(); ++i) {

@@ -7,9 +7,44 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/vec_math.hpp"
 
 namespace netobs::embedding {
+
+namespace {
+
+/// Training telemetry is recorded per epoch, never per pair, so the Hogwild
+/// inner loop stays untouched (the <3% overhead guarantee of the
+/// operational-loop benches is structural, not just the enabled flag).
+struct SgnsMetrics {
+  obs::Counter& train_pairs;
+  obs::Histogram& epoch_seconds;
+  obs::Gauge& vocab_size;
+  obs::Gauge& epoch_loss;
+  obs::Gauge& pairs_per_second;
+
+  static SgnsMetrics& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static SgnsMetrics m{
+        reg.counter("netobs_embedding_train_pairs_total",
+                    "SGNS (center, context) pairs processed"),
+        reg.histogram("netobs_embedding_epoch_seconds",
+                      "Wall time per SGNS training epoch",
+                      obs::default_latency_buckets()),
+        reg.gauge("netobs_embedding_vocab_size",
+                  "Vocabulary size of the last trained model"),
+        reg.gauge("netobs_embedding_epoch_loss",
+                  "Mean per-pair loss of the last completed epoch"),
+        reg.gauge("netobs_embedding_train_pairs_per_second",
+                  "Throughput of the last completed epoch"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 HostEmbedding::HostEmbedding(std::vector<std::string> tokens,
                              EmbeddingMatrix central, EmbeddingMatrix context)
@@ -176,10 +211,15 @@ HostEmbedding SgnsTrainer::train(const std::vector<Sequence>& corpus,
       total_tokens * static_cast<std::uint64_t>(params_.epochs);
   std::atomic<std::uint64_t> processed{0};
 
+  auto& metrics = SgnsMetrics::get();
+  metrics.vocab_size.set(static_cast<double>(vocab.size()));
+
   epoch_losses_.clear();
+  epoch_durations_.clear();
   std::size_t threads = std::max<std::size_t>(1, params_.threads);
 
   for (int epoch = 0; epoch < params_.epochs; ++epoch) {
+    obs::ScopedTimer epoch_timer(&metrics.epoch_seconds);
     std::atomic<double> epoch_loss{0.0};
     std::atomic<std::uint64_t> epoch_pairs{0};
 
@@ -276,6 +316,13 @@ HostEmbedding SgnsTrainer::train(const std::vector<Sequence>& corpus,
     std::uint64_t pairs = epoch_pairs.load();
     epoch_losses_.push_back(pairs == 0 ? 0.0 : epoch_loss.load() /
                                                    static_cast<double>(pairs));
+    double seconds = epoch_timer.stop();
+    epoch_durations_.push_back(seconds);
+    metrics.train_pairs.inc(pairs);
+    metrics.epoch_loss.set(epoch_losses_.back());
+    if (seconds > 0.0) {
+      metrics.pairs_per_second.set(static_cast<double>(pairs) / seconds);
+    }
   }
 
   return HostEmbedding(vocab.tokens(), std::move(central), std::move(context));

@@ -112,6 +112,13 @@ class SgnsTrainer {
   /// positive, expected to decrease on learnable data.
   const std::vector<double>& epoch_losses() const { return epoch_losses_; }
 
+  /// Wall time (seconds) of each epoch of the last fit() call, parallel to
+  /// epoch_losses(). The same timings feed the registry histogram
+  /// netobs_embedding_epoch_seconds.
+  const std::vector<double>& epoch_durations() const {
+    return epoch_durations_;
+  }
+
   const SgnsParams& params() const { return params_; }
 
  private:
@@ -121,6 +128,7 @@ class SgnsTrainer {
   SgnsParams params_;
   VocabularyParams vocab_params_;
   std::vector<double> epoch_losses_;
+  std::vector<double> epoch_durations_;
 };
 
 }  // namespace netobs::embedding

@@ -1,10 +1,32 @@
 #include "filter/blocklist.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/string_util.hpp"
 
 namespace netobs::filter {
 
 namespace {
+
+struct FilterMetrics {
+  obs::Counter& lookups;
+  obs::Counter& match_exact;
+  obs::Counter& match_suffix;
+  obs::Counter& rejected_domains;
+
+  static FilterMetrics& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static FilterMetrics m{
+        reg.counter("netobs_filter_lookups_total", "Blocklist queries"),
+        reg.counter("netobs_filter_matches_total",
+                    "Blocklist hits by match kind", {{"kind", "exact"}}),
+        reg.counter("netobs_filter_matches_total",
+                    "Blocklist hits by match kind", {{"kind", "suffix"}}),
+        reg.counter("netobs_filter_rejected_domains_total",
+                    "Invalid hostnames rejected while loading blocklists"),
+    };
+    return m;
+  }
+};
 
 /// True for dotted entries whose labels are all numeric ("0.0.0.0"): those
 /// are IP fields or sinkhole targets, never blockable hostnames.
@@ -24,18 +46,26 @@ void DomainSet::add(std::string_view domain) {
   std::string d = util::to_lower(util::trim(domain));
   if (!util::is_valid_hostname(d)) {
     ++rejected_;
+    FilterMetrics::get().rejected_domains.inc();
     return;
   }
   domains_.insert(std::move(d));
 }
 
 bool DomainSet::matches(std::string_view host) const {
+  auto& metrics = FilterMetrics::get();
+  metrics.lookups.inc();
   if (domains_.empty() || host.empty()) return false;
   // Probe the host and every parent suffix: "a.b.c.d" probes itself,
   // "b.c.d", "c.d". Single labels are never stored (invalid hostnames).
   std::string_view probe = host;
   for (;;) {
-    if (domains_.contains(std::string(probe))) return true;
+    if (domains_.contains(std::string(probe))) {
+      (probe.size() == host.size() ? metrics.match_exact
+                                   : metrics.match_suffix)
+          .inc();
+      return true;
+    }
     std::size_t dot = probe.find('.');
     if (dot == std::string_view::npos) return false;
     probe.remove_prefix(dot + 1);

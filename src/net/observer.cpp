@@ -3,10 +3,46 @@
 #include "net/dns.hpp"
 #include "net/quic.hpp"
 #include "net/tls.hpp"
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/string_util.hpp"
 
 namespace netobs::net {
+
+namespace {
+
+/// Registry handles cached once; every observe() path increments through
+/// these (relaxed atomics, no locks — see obs/metrics.hpp).
+struct NetMetrics {
+  obs::Counter& packets;
+  obs::Counter& payload_bytes;
+  obs::Counter& flows;
+  obs::Counter& events;
+  obs::Counter& sni_missing;
+  obs::Counter& parse_failures;
+  obs::Counter& flows_evicted;
+
+  static NetMetrics& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static NetMetrics m{
+        reg.counter("netobs_net_packets_total", "Packets fed to observers"),
+        reg.counter("netobs_net_payload_bytes_total",
+                    "Transport payload bytes seen by observers"),
+        reg.counter("netobs_net_flows_total",
+                    "Flows (TCP connections / QUIC initials / DNS queries)"),
+        reg.counter("netobs_net_events_total", "Hostname events extracted"),
+        reg.counter("netobs_net_sni_missing_total",
+                    "Complete ClientHellos without an SNI (ESNI/ECH)"),
+        reg.counter("netobs_net_parse_failures_total",
+                    "Flows/datagrams that failed TLS, QUIC or DNS parsing"),
+        reg.counter("netobs_net_flows_evicted_total",
+                    "Pending flows dropped by the flow-table cap"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 std::string ipv4_to_string(std::uint32_t ip) {
   return util::format("%u.%u.%u.%u", (ip >> 24) & 0xFF, (ip >> 16) & 0xFF,
@@ -42,7 +78,10 @@ SniObserver::SniObserver(Vantage vantage, SniObserverOptions options)
     : options_(options), demux_(vantage) {}
 
 std::optional<HostnameEvent> SniObserver::observe(const Packet& packet) {
+  auto& metrics = NetMetrics::get();
   ++stats_.packets;
+  metrics.packets.inc();
+  metrics.payload_bytes.inc(packet.payload.size());
   if (packet.payload.empty()) return std::nullopt;
   // QUIC: the ClientHello arrives in a single UDP Initial datagram whose
   // keys an on-path observer can derive (Section 7.2; RFC 9001 §5.2).
@@ -52,9 +91,11 @@ std::optional<HostnameEvent> SniObserver::observe(const Packet& packet) {
       return std::nullopt;
     }
     ++stats_.flows;
+    metrics.flows.inc();
     auto view = decrypt_quic_initial(packet.payload);
     if (!view) {
       ++stats_.not_tls;
+      metrics.parse_failures.inc();
       return std::nullopt;
     }
     HostnameEvent event;
@@ -64,10 +105,12 @@ std::optional<HostnameEvent> SniObserver::observe(const Packet& packet) {
       event.hostname = *view->client_hello.sni;
     } else {
       ++stats_.no_sni;
+      metrics.sni_missing.inc();
       if (!options_.ip_fallback) return std::nullopt;
       event.hostname = ip_pseudo_hostname(packet.tuple.dst_ip);
     }
     ++stats_.events;
+    metrics.events.inc();
     return event;
   }
   if (packet.tuple.proto != Transport::kTcp) return std::nullopt;
@@ -80,9 +123,11 @@ std::optional<HostnameEvent> SniObserver::observe(const Packet& packet) {
       // for the simulator any victim works and keeps memory bounded.
       flows_.erase(flows_.begin());
       ++stats_.evicted;
+      metrics.flows_evicted.inc();
     }
     it = flows_.emplace(packet.tuple, FlowState{}).first;
     ++stats_.flows;
+    metrics.flows.inc();
   }
   FlowState& flow = it->second;
   flow.buffer.insert(flow.buffer.end(), packet.payload.begin(),
@@ -95,6 +140,7 @@ std::optional<HostnameEvent> SniObserver::observe(const Packet& packet) {
         flows_.erase(it);
         done_.emplace(packet.tuple, false);
         ++stats_.not_tls;
+        metrics.parse_failures.inc();
       } else {
         ++stats_.incomplete;
       }
@@ -103,13 +149,16 @@ std::optional<HostnameEvent> SniObserver::observe(const Packet& packet) {
       flows_.erase(it);
       done_.emplace(packet.tuple, false);
       ++stats_.not_tls;
+      metrics.parse_failures.inc();
       return std::nullopt;
     case SniStatus::kNoSni: {
       flows_.erase(it);
       done_.emplace(packet.tuple, false);
       ++stats_.no_sni;
+      metrics.sni_missing.inc();
       if (!options_.ip_fallback) return std::nullopt;
       ++stats_.events;
+      metrics.events.inc();
       HostnameEvent ip_event;
       ip_event.user_id = demux_.user_of(packet);
       ip_event.timestamp = packet.timestamp;
@@ -123,6 +172,7 @@ std::optional<HostnameEvent> SniObserver::observe(const Packet& packet) {
   flows_.erase(it);
   done_.emplace(packet.tuple, true);
   ++stats_.events;
+  metrics.events.inc();
   HostnameEvent event;
   event.user_id = demux_.user_of(packet);
   event.timestamp = packet.timestamp;
@@ -142,17 +192,22 @@ std::vector<HostnameEvent> SniObserver::observe_all(
 DnsObserver::DnsObserver(Vantage vantage) : demux_(vantage) {}
 
 std::vector<HostnameEvent> DnsObserver::observe(const Packet& packet) {
+  auto& metrics = NetMetrics::get();
   ++stats_.packets;
+  metrics.packets.inc();
+  metrics.payload_bytes.inc(packet.payload.size());
   std::vector<HostnameEvent> events;
   if (packet.tuple.proto != Transport::kUdp || packet.tuple.dst_port != 53) {
     return events;
   }
   ++stats_.flows;
+  metrics.flows.inc();
   DnsMessage msg;
   try {
     msg = parse_dns_message(packet.payload);
   } catch (const ParseError&) {
     ++stats_.not_tls;  // counted as unparseable
+    metrics.parse_failures.inc();
     return events;
   }
   if (msg.is_response) return events;
@@ -164,6 +219,7 @@ std::vector<HostnameEvent> DnsObserver::observe(const Packet& packet) {
     e.hostname = q.qname;
     events.push_back(std::move(e));
     ++stats_.events;
+    metrics.events.inc();
   }
   return events;
 }

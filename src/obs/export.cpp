@@ -1,0 +1,261 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace netobs::obs {
+
+namespace {
+
+/// Shortest lossless double rendering (%.17g round-trips IEEE doubles; try
+/// shorter forms first so bucket bounds read "0.001", not 17 digits).
+std::string format_double(double v) {
+  char buf[64];
+  for (int precision : {6, 9, 12, 17}) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    double back = 0.0;
+    std::sscanf(buf, "%lf", &back);
+    if (back == v) break;
+  }
+  return buf;
+}
+
+/// Prometheus label-value / JSON string escaping (same rules for both:
+/// backslash, double quote, newline).
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string prom_labels(const Labels& labels, const std::string& extra_key = "",
+                        const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k + "=\"" + escape(v) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key + "=\"" + escape(extra_value) + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+void write_header(std::ostream& os, const std::string& name,
+                  const std::string& help, const char* type) {
+  if (!help.empty()) os << "# HELP " << name << ' ' << escape(help) << '\n';
+  os << "# TYPE " << name << ' ' << type << '\n';
+}
+
+}  // namespace
+
+void write_prometheus(std::ostream& os, const MetricsRegistry& registry) {
+  RegistrySnapshot snap = registry.snapshot();
+  // Samples arrive family-sorted from the snapshot; emit one header per
+  // family (consecutive samples share the name).
+  std::string last;
+  for (const auto& c : snap.counters) {
+    if (c.name != last) write_header(os, c.name, c.help, "counter");
+    last = c.name;
+    os << c.name << prom_labels(c.labels) << ' ' << c.value << '\n';
+  }
+  last.clear();
+  for (const auto& g : snap.gauges) {
+    if (g.name != last) write_header(os, g.name, g.help, "gauge");
+    last = g.name;
+    os << g.name << prom_labels(g.labels) << ' ' << format_double(g.value)
+       << '\n';
+  }
+  last.clear();
+  for (const auto& h : snap.histograms) {
+    if (h.name != last) write_header(os, h.name, h.help, "histogram");
+    last = h.name;
+    for (std::size_t i = 0; i < h.cumulative.size(); ++i) {
+      std::string le =
+          i < h.bounds.size() ? format_double(h.bounds[i]) : "+Inf";
+      os << h.name << "_bucket" << prom_labels(h.labels, "le", le) << ' '
+         << h.cumulative[i] << '\n';
+    }
+    os << h.name << "_sum" << prom_labels(h.labels) << ' '
+       << format_double(h.sum) << '\n';
+    os << h.name << "_count" << prom_labels(h.labels) << ' ' << h.count
+       << '\n';
+  }
+}
+
+void write_prometheus(std::ostream& os) {
+  write_prometheus(os, MetricsRegistry::global());
+}
+
+namespace {
+
+/// Tiny indentation-aware JSON writer: enough structure for the one
+/// document shape we emit, keeps pretty and compact output in one code path.
+class JsonWriter {
+ public:
+  JsonWriter(std::ostream& os, JsonStyle style) : os_(os), pretty_(style == JsonStyle::kPretty) {}
+
+  void open(char bracket) {
+    os_ << bracket;
+    ++depth_;
+    fresh_ = true;
+  }
+  void close(char bracket) {
+    --depth_;
+    if (!fresh_) newline();
+    os_ << bracket;
+    fresh_ = false;
+  }
+  void item() {
+    if (!fresh_) os_ << ',';
+    fresh_ = false;
+    newline();
+  }
+  void key(const std::string& k) {
+    item();
+    os_ << '"' << escape(k) << "\":";
+    if (pretty_) os_ << ' ';
+  }
+  std::ostream& os() { return os_; }
+
+ private:
+  void newline() {
+    if (!pretty_) return;
+    os_ << '\n';
+    for (int i = 0; i < depth_; ++i) os_ << "  ";
+  }
+
+  std::ostream& os_;
+  bool pretty_;
+  int depth_ = 0;
+  bool fresh_ = true;
+};
+
+void write_labels_json(JsonWriter& w, const Labels& labels) {
+  w.key("labels");
+  w.open('{');
+  for (const auto& [k, v] : labels) {
+    w.key(k);
+    w.os() << '"' << escape(v) << '"';
+  }
+  w.close('}');
+}
+
+}  // namespace
+
+void write_json(std::ostream& os, const MetricsRegistry& registry,
+                JsonStyle style) {
+  RegistrySnapshot snap = registry.snapshot();
+  JsonWriter w(os, style);
+  w.open('{');
+
+  w.key("counters");
+  w.open('[');
+  for (const auto& c : snap.counters) {
+    w.item();
+    w.open('{');
+    w.key("name");
+    w.os() << '"' << escape(c.name) << '"';
+    write_labels_json(w, c.labels);
+    w.key("value");
+    w.os() << c.value;
+    w.close('}');
+  }
+  w.close(']');
+
+  w.key("gauges");
+  w.open('[');
+  for (const auto& g : snap.gauges) {
+    w.item();
+    w.open('{');
+    w.key("name");
+    w.os() << '"' << escape(g.name) << '"';
+    write_labels_json(w, g.labels);
+    w.key("value");
+    w.os() << format_double(g.value);
+    w.close('}');
+  }
+  w.close(']');
+
+  w.key("histograms");
+  w.open('[');
+  for (const auto& h : snap.histograms) {
+    w.item();
+    w.open('{');
+    w.key("name");
+    w.os() << '"' << escape(h.name) << '"';
+    write_labels_json(w, h.labels);
+    w.key("count");
+    w.os() << h.count;
+    w.key("sum");
+    w.os() << format_double(h.sum);
+    w.key("buckets");
+    w.open('[');
+    for (std::size_t i = 0; i < h.cumulative.size(); ++i) {
+      w.item();
+      w.open('{');
+      w.key("le");
+      if (i < h.bounds.size()) {
+        w.os() << format_double(h.bounds[i]);
+      } else {
+        w.os() << "\"+Inf\"";
+      }
+      w.key("count");
+      w.os() << h.cumulative[i];
+      w.close('}');
+    }
+    w.close(']');
+    w.close('}');
+  }
+  w.close(']');
+
+  w.close('}');
+  os << '\n';
+}
+
+void write_json(std::ostream& os, JsonStyle style) {
+  write_json(os, MetricsRegistry::global(), style);
+}
+
+void dump_metrics_file(const std::string& path,
+                       const MetricsRegistry& registry) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("dump_metrics_file: cannot open " + path);
+  }
+  bool json = path.size() >= 5 && path.rfind(".json") == path.size() - 5;
+  if (json) {
+    write_json(out, registry, JsonStyle::kPretty);
+  } else {
+    write_prometheus(out, registry);
+  }
+  if (!out) throw std::runtime_error("dump_metrics_file: write failed");
+}
+
+void dump_metrics_file(const std::string& path) {
+  dump_metrics_file(path, MetricsRegistry::global());
+}
+
+}  // namespace netobs::obs

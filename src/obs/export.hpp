@@ -1,0 +1,36 @@
+// Exporters for the metrics registry: Prometheus text exposition format
+// (https://prometheus.io/docs/instrumenting/exposition_formats/) and JSON
+// (pretty or compact), writable to any std::ostream or straight to a file.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace netobs::obs {
+
+/// Prometheus text format: one `# HELP` / `# TYPE` pair per metric family,
+/// histograms expanded to `_bucket{le=...}` / `_sum` / `_count` series with
+/// cumulative bucket counts.
+void write_prometheus(std::ostream& os, const MetricsRegistry& registry);
+void write_prometheus(std::ostream& os);  ///< global registry
+
+enum class JsonStyle { kPretty, kCompact };
+
+/// JSON document: {"counters":[{name,labels,value}...], "gauges":[...],
+/// "histograms":[{name,labels,count,sum,buckets:[{le,count}...]}...]} with
+/// cumulative bucket counts (Prometheus semantics) and the +Inf bound
+/// rendered as the string "+Inf".
+void write_json(std::ostream& os, const MetricsRegistry& registry,
+                JsonStyle style = JsonStyle::kPretty);
+void write_json(std::ostream& os, JsonStyle style = JsonStyle::kPretty);
+
+/// Dumps the registry to `path`; format chosen by extension: ".json" gets
+/// pretty JSON, anything else (".prom", ".txt", ...) the Prometheus text
+/// format. Throws std::runtime_error when the file cannot be written.
+void dump_metrics_file(const std::string& path,
+                       const MetricsRegistry& registry);
+void dump_metrics_file(const std::string& path);  ///< global registry
+
+}  // namespace netobs::obs

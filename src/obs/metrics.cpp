@@ -1,0 +1,229 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/trace.hpp"
+
+namespace netobs::obs {
+
+namespace {
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name.front())) return false;
+  for (char c : name) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+/// Canonical instance key: labels sorted by key, tab-separated (tabs cannot
+/// appear in valid label keys, and values are compared verbatim).
+std::string label_key(Labels& labels) {
+  std::sort(labels.begin(), labels.end());
+  std::string key;
+  for (const auto& [k, v] : labels) {
+    key += k;
+    key += '\t';
+    key += v;
+    key += '\t';
+  }
+  return key;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds,
+                     const std::atomic<bool>* enabled)
+    : bounds_(std::move(bounds)), enabled_(enabled) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i - 1] < bounds_[i])) {
+      throw std::invalid_argument(
+          "Histogram: bounds must be strictly increasing");
+    }
+  }
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> exponential_buckets(double start, double factor,
+                                        std::size_t count) {
+  if (start <= 0.0 || factor <= 1.0) {
+    throw std::invalid_argument("exponential_buckets: need start>0, factor>1");
+  }
+  std::vector<double> out;
+  out.reserve(count);
+  double b = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(b);
+    b *= factor;
+  }
+  return out;
+}
+
+std::vector<double> linear_buckets(double start, double width,
+                                   std::size_t count) {
+  if (width <= 0.0) throw std::invalid_argument("linear_buckets: width<=0");
+  std::vector<double> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(start + width * static_cast<double>(i));
+  }
+  return out;
+}
+
+std::vector<double> default_latency_buckets() {
+  // 1us, 4us, ..., ~17s: wide enough for per-packet parses and full daily
+  // retrains in the same ladder.
+  return exponential_buckets(1e-6, 4.0, 13);
+}
+
+struct MetricsRegistry::Family {
+  MetricType type;
+  std::string help;
+  std::map<std::string, Labels> instance_labels;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::Family& MetricsRegistry::family_of(const std::string& name,
+                                                    const std::string& help,
+                                                    MetricType type) {
+  if (!valid_metric_name(name)) {
+    throw std::invalid_argument("MetricsRegistry: invalid metric name '" +
+                                name + "'");
+  }
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    auto fam = std::make_unique<Family>();
+    fam->type = type;
+    fam->help = help;
+    it = families_.emplace(name, std::move(fam)).first;
+  } else if (it->second->type != type) {
+    throw std::invalid_argument("MetricsRegistry: '" + name +
+                                "' already registered as a different type");
+  }
+  return *it->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help,
+                                  const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& fam = family_of(name, help, MetricType::kCounter);
+  Labels canon = labels;
+  std::string key = label_key(canon);
+  auto it = fam.counters.find(key);
+  if (it == fam.counters.end()) {
+    it = fam.counters
+             .emplace(key, std::unique_ptr<Counter>(new Counter(&enabled_)))
+             .first;
+    fam.instance_labels.emplace(key, std::move(canon));
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                              const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& fam = family_of(name, help, MetricType::kGauge);
+  Labels canon = labels;
+  std::string key = label_key(canon);
+  auto it = fam.gauges.find(key);
+  if (it == fam.gauges.end()) {
+    it = fam.gauges.emplace(key, std::unique_ptr<Gauge>(new Gauge(&enabled_)))
+             .first;
+    fam.instance_labels.emplace(key, std::move(canon));
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help,
+                                      std::vector<double> bounds,
+                                      const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& fam = family_of(name, help, MetricType::kHistogram);
+  Labels canon = labels;
+  std::string key = label_key(canon);
+  auto it = fam.histograms.find(key);
+  if (it == fam.histograms.end()) {
+    it = fam.histograms
+             .emplace(key, std::unique_ptr<Histogram>(
+                               new Histogram(std::move(bounds), &enabled_)))
+             .first;
+    fam.instance_labels.emplace(key, std::move(canon));
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, fam] : families_) {
+    for (auto& [key, c] : fam->counters) c->reset();
+    for (auto& [key, g] : fam->gauges) g->reset();
+    for (auto& [key, h] : fam->histograms) h->reset();
+  }
+  if (trace_) trace_->clear();
+}
+
+void MetricsRegistry::enable_tracing(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  trace_ = std::make_unique<TraceBuffer>(capacity);
+}
+
+RegistrySnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RegistrySnapshot snap;
+  for (const auto& [name, fam] : families_) {
+    for (const auto& [key, c] : fam->counters) {
+      snap.counters.push_back(
+          {name, fam->help, fam->instance_labels.at(key), c->value()});
+    }
+    for (const auto& [key, g] : fam->gauges) {
+      snap.gauges.push_back(
+          {name, fam->help, fam->instance_labels.at(key), g->value()});
+    }
+    for (const auto& [key, h] : fam->histograms) {
+      HistogramSample s;
+      s.name = name;
+      s.help = fam->help;
+      s.labels = fam->instance_labels.at(key);
+      s.bounds = h->bounds();
+      s.cumulative.resize(s.bounds.size() + 1);
+      std::uint64_t running = 0;
+      for (std::size_t i = 0; i <= s.bounds.size(); ++i) {
+        running += h->bucket_count(i);
+        s.cumulative[i] = running;
+      }
+      s.count = h->count();
+      s.sum = h->sum();
+      snap.histograms.push_back(std::move(s));
+    }
+  }
+  return snap;
+}
+
+}  // namespace netobs::obs

@@ -1,0 +1,233 @@
+// Process-wide metrics: named counters, gauges and fixed-bucket histograms
+// behind a thread-safe registry, exported in Prometheus text format or JSON
+// (see obs/export.hpp).
+//
+// Design constraints, in order:
+//   1. the hot increment path is a single relaxed std::atomic op — safe to
+//      call from Hogwild trainer workers and the per-packet observer loop,
+//   2. a registry-wide `enabled` flag short-circuits every record call so an
+//      uninstrumented-speed run is one branch away (the SGNS throughput
+//      guard of the operational-loop benches),
+//   3. registration is idempotent: asking for the same (name, labels) twice
+//      returns the same instance, so instrumentation sites can cache a
+//      reference in a function-local static and never lock again.
+//
+// Naming convention (enforced loosely, documented in README "Observability"):
+//   netobs_<subsystem>_<name>_<unit>, e.g. netobs_net_packets_total,
+//   netobs_profile_retrain_seconds.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace netobs::obs {
+
+/// Key/value metric labels ({{"arm", "eavesdropper"}}). Order-insensitive:
+/// the registry canonicalises by sorting on key.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+namespace detail {
+
+/// Lock-free add for atomic doubles (portable CAS loop; fetch_add on
+/// floating atomics is C++20 but not universally lowered well).
+inline void atomic_add(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace detail
+
+/// Monotonic event count. Increment-only; relaxed atomics, no locks.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    if (!enabled()) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+  bool enabled() const {
+    return enabled_ == nullptr || enabled_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  std::atomic<std::uint64_t> value_{0};
+  const std::atomic<bool>* enabled_;
+};
+
+/// A value that can go up and down (vocab size, pairs/sec of the last epoch).
+class Gauge {
+ public:
+  void set(double v) {
+    if (!enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(double delta) {
+    if (!enabled()) return;
+    detail::atomic_add(value_, delta);
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+  bool enabled() const {
+    return enabled_ == nullptr || enabled_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  std::atomic<double> value_{0.0};
+  const std::atomic<bool>* enabled_;
+};
+
+/// Fixed-bucket histogram with Prometheus `le` semantics: a value v lands in
+/// the first bucket whose upper bound satisfies v <= bound (upper bounds are
+/// INCLUSIVE, lower bounds exclusive); values above the last bound land in
+/// the implicit +Inf bucket. Buckets store per-bucket counts; exporters
+/// cumulate them.
+class Histogram {
+ public:
+  void observe(double v) {
+    if (!enabled()) return;
+    std::size_t b = bucket_of(v);
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    detail::atomic_add(sum_, v);
+  }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; index bounds().size() is +Inf.
+  std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  bool enabled() const {
+    return enabled_ == nullptr || enabled_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::vector<double> bounds, const std::atomic<bool>* enabled);
+
+  std::size_t bucket_of(double v) const {
+    // Branchless-ish linear probe: bucket counts are small (≤ ~20) so this
+    // beats binary search on real latency distributions.
+    std::size_t b = 0;
+    while (b < bounds_.size() && v > bounds_[b]) ++b;
+    return b;
+  }
+  void reset();
+
+  std::vector<double> bounds_;  ///< strictly increasing upper bounds
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  ///< size()+1 slots
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  const std::atomic<bool>* enabled_;
+};
+
+/// `count` bounds starting at `start`, each `factor` times the previous.
+std::vector<double> exponential_buckets(double start, double factor,
+                                        std::size_t count);
+/// `count` bounds starting at `start`, spaced `width` apart.
+std::vector<double> linear_buckets(double start, double width,
+                                   std::size_t count);
+/// 1 µs … ~17 s exponential ladder — the default for wall-time histograms.
+std::vector<double> default_latency_buckets();
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// Plain-struct view of the registry for exporters and assertions.
+struct CounterSample {
+  std::string name;
+  std::string help;
+  Labels labels;
+  std::uint64_t value = 0;
+};
+struct GaugeSample {
+  std::string name;
+  std::string help;
+  Labels labels;
+  double value = 0.0;
+};
+struct HistogramSample {
+  std::string name;
+  std::string help;
+  Labels labels;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> cumulative;  ///< bounds.size()+1, last == count
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+struct RegistrySnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+};
+
+class TraceBuffer;  // obs/trace.hpp
+
+/// Thread-safe metric registry. Registration takes a mutex; the returned
+/// references are stable for the registry's lifetime and record lock-free.
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry all library instrumentation records into.
+  static MetricsRegistry& global();
+
+  /// Finds or creates; throws std::invalid_argument on an invalid name or
+  /// when `name` is already registered as a different metric type.
+  Counter& counter(const std::string& name, const std::string& help,
+                   const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const std::string& help,
+               const Labels& labels = {});
+  Histogram& histogram(const std::string& name, const std::string& help,
+                       std::vector<double> bounds, const Labels& labels = {});
+
+  /// When false every inc/set/observe through this registry is a no-op
+  /// (single relaxed load + branch). Values freeze; readers still work.
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Zeroes every registered value (registrations survive).
+  void reset();
+
+  /// Attaches an in-memory span ring buffer (obs/trace.hpp). Spans
+  /// constructed without an explicit buffer record here when attached.
+  void enable_tracing(std::size_t capacity = 4096);
+  TraceBuffer* trace_buffer() const { return trace_.get(); }
+
+  RegistrySnapshot snapshot() const;
+
+ private:
+  struct Family;
+  Family& family_of(const std::string& name, const std::string& help,
+                    MetricType type);  // caller holds mutex_
+
+  mutable std::mutex mutex_;
+  std::atomic<bool> enabled_{true};
+  std::map<std::string, std::unique_ptr<Family>> families_;
+  std::unique_ptr<TraceBuffer> trace_;
+};
+
+}  // namespace netobs::obs

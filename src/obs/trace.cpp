@@ -1,0 +1,93 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <utility>
+
+namespace netobs::obs {
+
+void TraceBuffer::push(SpanRecord rec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (capacity_ == 0) {
+    ++dropped_;
+    return;
+  }
+  if (ring_.size() >= capacity_) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+  ring_.push_back(std::move(rec));
+}
+
+std::vector<SpanRecord> TraceBuffer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::size_t TraceBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+std::size_t TraceBuffer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void TraceBuffer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  dropped_ = 0;
+}
+
+namespace {
+
+thread_local Span* tls_current_span = nullptr;
+
+std::uint64_t next_span_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Process trace epoch: fixed at the first span, so start_seconds are
+/// comparable across threads.
+double seconds_since_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch)
+      .count();
+}
+
+}  // namespace
+
+Span::Span(std::string name, Histogram* latency, TraceBuffer* buffer)
+    : name_(std::move(name)),
+      latency_(latency),
+      buffer_(buffer),
+      parent_(tls_current_span),
+      id_(next_span_id()),
+      depth_(parent_ == nullptr ? 0 : parent_->depth_ + 1),
+      start_seconds_(seconds_since_epoch()),
+      timer_(latency) {
+  tls_current_span = this;
+}
+
+Span::~Span() {
+  double duration = timer_.stop();  // records into latency_ if given
+  tls_current_span = parent_;
+  TraceBuffer* sink = buffer_ != nullptr
+                          ? buffer_
+                          : MetricsRegistry::global().trace_buffer();
+  if (sink == nullptr) return;
+  SpanRecord rec;
+  rec.name = std::move(name_);
+  rec.id = id_;
+  rec.parent_id = parent_ == nullptr ? 0 : parent_->id_;
+  rec.depth = depth_;
+  rec.start_seconds = start_seconds_;
+  rec.duration_seconds = duration;
+  sink->push(std::move(rec));
+}
+
+const Span* Span::current() { return tls_current_span; }
+
+}  // namespace netobs::obs

@@ -1,0 +1,126 @@
+// RAII wall-time instrumentation: ScopedTimer records a scope's duration
+// into a Histogram; Span additionally maintains a per-thread parent chain so
+// nested scopes form a trace tree, optionally mirrored into a bounded
+// in-memory TraceBuffer for post-run inspection.
+//
+// Both measure with std::chrono::steady_clock — the single clock path shared
+// by bench-reported numbers and exported metrics.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace netobs::obs {
+
+/// Records elapsed seconds into a histogram when destroyed (or on stop()).
+class ScopedTimer {
+ public:
+  /// `hist` may be nullptr: the timer then only measures, never records.
+  explicit ScopedTimer(Histogram* hist)
+      : hist_(hist), start_(std::chrono::steady_clock::now()) {}
+  explicit ScopedTimer(Histogram& hist) : ScopedTimer(&hist) {}
+
+  ~ScopedTimer() {
+    if (!stopped_) stop();
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Records once and returns the elapsed seconds; idempotent.
+  double stop() {
+    if (!stopped_) {
+      stopped_ = true;
+      elapsed_ = elapsed_seconds();
+      if (hist_ != nullptr) hist_->observe(elapsed_);
+    }
+    return elapsed_;
+  }
+
+  /// Seconds since construction (live until stop(), then frozen).
+  double elapsed_seconds() const {
+    if (stopped_) return elapsed_;
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  Histogram* hist_;
+  bool stopped_ = false;
+  double elapsed_ = 0.0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// One finished span, as stored in a TraceBuffer.
+struct SpanRecord {
+  std::string name;
+  std::uint64_t id = 0;
+  std::uint64_t parent_id = 0;  ///< 0 = root span
+  int depth = 0;                ///< 0 = root
+  double start_seconds = 0.0;   ///< since the process trace epoch
+  double duration_seconds = 0.0;
+};
+
+/// Bounded MPSC-ish ring of finished spans (mutex-protected; pushes happen
+/// at span end, never on a per-event hot path). Oldest records are dropped
+/// when full and counted in dropped().
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  void push(SpanRecord rec);
+
+  std::vector<SpanRecord> snapshot() const;
+  std::size_t size() const;
+  std::size_t dropped() const;
+  std::size_t capacity() const { return capacity_; }
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::deque<SpanRecord> ring_;
+  std::size_t dropped_ = 0;
+};
+
+/// A named hierarchical timing scope. On destruction the span's wall time is
+/// recorded into `latency` (when given) and a SpanRecord is pushed to
+/// `buffer` — or, when no buffer is given, to the global registry's trace
+/// buffer if tracing has been enabled (MetricsRegistry::enable_tracing).
+/// Parent/depth come from a thread-local span stack, so spans nest per
+/// thread without any coordination.
+class Span {
+ public:
+  explicit Span(std::string name, Histogram* latency = nullptr,
+                TraceBuffer* buffer = nullptr);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  double elapsed_seconds() const { return timer_.elapsed_seconds(); }
+  std::uint64_t id() const { return id_; }
+  int depth() const { return depth_; }
+
+  /// Innermost live span on this thread (nullptr outside any span).
+  static const Span* current();
+
+ private:
+  std::string name_;
+  Histogram* latency_;
+  TraceBuffer* buffer_;
+  Span* parent_;
+  std::uint64_t id_;
+  int depth_;
+  double start_seconds_;
+  ScopedTimer timer_;
+};
+
+}  // namespace netobs::obs

@@ -2,18 +2,41 @@
 
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace netobs::profile {
 
 ProfilingService::ProfilingService(const ontology::HostLabeler& labeler,
                                    const filter::Blocklist* blocklist,
                                    ServiceParams params)
-    : labeler_(&labeler), blocklist_(blocklist), params_(params) {}
+    : labeler_(&labeler), blocklist_(blocklist), params_(params) {
+  auto& reg = obs::MetricsRegistry::global();
+  ingested_ = &reg.counter("netobs_profile_events_ingested_total",
+                           "Hostname events accepted into the session store");
+  dropped_ = &reg.counter("netobs_filter_dropped_total",
+                          "Observer events dropped by the blocklist");
+  dropped_base_ = dropped_->value();
+  retrains_ = &reg.counter("netobs_profile_retrains_total",
+                           "Successful daily retrainings");
+  retrain_failures_ =
+      &reg.counter("netobs_profile_retrain_failures_total",
+                   "Retrainings skipped for lack of usable data");
+  retrain_seconds_ = &reg.histogram("netobs_profile_retrain_seconds",
+                                    "Wall time of one daily retraining",
+                                    obs::default_latency_buckets());
+  profiles_ = &reg.counter("netobs_profile_sessions_profiled_total",
+                           "Session profiles computed");
+  profile_seconds_ = &reg.histogram("netobs_profile_latency_seconds",
+                                    "Latency of one session profile",
+                                    obs::default_latency_buckets());
+}
 
 void ProfilingService::ingest(const net::HostnameEvent& event) {
   if (blocklist_ != nullptr && blocklist_->is_blocked(event.hostname)) {
-    ++filtered_;
+    dropped_->inc();
     return;
   }
+  ingested_->inc();
   store_.ingest(event);
 }
 
@@ -22,8 +45,12 @@ void ProfilingService::ingest(const std::vector<net::HostnameEvent>& events) {
 }
 
 bool ProfilingService::retrain(std::int64_t train_day) {
+  obs::Span span("profile.retrain", retrain_seconds_);
   auto sequences = store_.day_sequences(train_day);
-  if (sequences.empty()) return false;
+  if (sequences.empty()) {
+    retrain_failures_->inc();
+    return false;
+  }
   embedding::SgnsTrainer trainer(params_.sgns, params_.vocab);
   std::unique_ptr<embedding::HostEmbedding> fresh;
   try {
@@ -33,12 +60,14 @@ bool ProfilingService::retrain(std::int64_t train_day) {
   } catch (const std::invalid_argument&) {
     // Not enough data for the vocabulary thresholds: keep the old model,
     // exactly what a production back-end would do on a thin day.
+    retrain_failures_->inc();
     return false;
   }
   model_ = std::move(fresh);
   index_ = std::make_unique<embedding::CosineKnnIndex>(*model_);
   profiler_ = std::make_unique<SessionProfiler>(*model_, *index_, *labeler_,
                                                 params_.profiler);
+  retrains_->inc();
   return true;
 }
 
@@ -57,6 +86,8 @@ SessionProfile ProfilingService::profile_user(std::uint32_t user,
   if (!profiler_) {
     throw std::logic_error("ProfilingService: profile before retrain()");
   }
+  obs::ScopedTimer timer(profile_seconds_);
+  profiles_->inc();
   return profiler_->profile(session_of(user, now));
 }
 
@@ -65,6 +96,8 @@ SessionProfile ProfilingService::profile_hostnames(
   if (!profiler_) {
     throw std::logic_error("ProfilingService: profile before retrain()");
   }
+  obs::ScopedTimer timer(profile_seconds_);
+  profiles_->inc();
   return profiler_->profile(hostnames);
 }
 

@@ -10,10 +10,12 @@
 //     hostnames of the last T = 20 minutes with the current model.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 
 #include "filter/blocklist.hpp"
+#include "obs/metrics.hpp"
 #include "profile/profiler.hpp"
 #include "profile/session.hpp"
 
@@ -42,8 +44,13 @@ class ProfilingService {
   void ingest(const net::HostnameEvent& event);
   void ingest(const std::vector<net::HostnameEvent>& events);
 
-  /// Number of events dropped by the blocklist so far.
-  std::size_t filtered_events() const { return filtered_; }
+  /// Number of events dropped by the blocklist since this service was
+  /// constructed. Thin reader over the registry counter
+  /// netobs_filter_dropped_total (per-instance baseline snapshotted at
+  /// construction); frozen while the metrics registry is disabled.
+  std::size_t filtered_events() const {
+    return static_cast<std::size_t>(dropped_->value() - dropped_base_);
+  }
 
   /// Retrains the model on the sequences of `train_day` (the operational
   /// loop passes yesterday). Returns false (keeping any previous model)
@@ -71,7 +78,17 @@ class ProfilingService {
   const filter::Blocklist* blocklist_;
   ServiceParams params_;
   SessionStore store_;
-  std::size_t filtered_ = 0;
+
+  // Registry handles (obs/metrics.hpp); dropped_base_ makes
+  // filtered_events() a per-instance view of the process-wide counter.
+  obs::Counter* ingested_;
+  obs::Counter* dropped_;
+  std::uint64_t dropped_base_;
+  obs::Counter* retrains_;
+  obs::Counter* retrain_failures_;
+  obs::Histogram* retrain_seconds_;
+  obs::Counter* profiles_;
+  obs::Histogram* profile_seconds_;
 
   std::unique_ptr<embedding::HostEmbedding> model_;
   std::unique_ptr<embedding::CosineKnnIndex> index_;

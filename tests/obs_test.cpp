@@ -1,0 +1,388 @@
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "embedding/sgns.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/thread_pool.hpp"
+
+namespace netobs::obs {
+namespace {
+
+// ---------------------------------------------------------------- counters
+
+TEST(Counter, IncrementAndRead) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("netobs_test_events_total", "help");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Counter, ConcurrentIncrementsSumExactly) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("netobs_test_concurrent_total", "help");
+  Histogram& h = reg.histogram("netobs_test_concurrent_seconds", "help",
+                               {0.5, 1.5});
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 50000;
+  util::ThreadPool pool(kThreads);
+  pool.parallel_for(kThreads, [&](std::size_t) {
+    for (std::size_t i = 0; i < kPerThread; ++i) {
+      c.inc();
+      h.observe(1.0);
+    }
+  });
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(h.sum(), static_cast<double>(kThreads * kPerThread));
+  EXPECT_EQ(h.bucket_count(1), kThreads * kPerThread);  // 1.0 <= 1.5
+}
+
+// ------------------------------------------------------------------ gauges
+
+TEST(Gauge, SetAndAdd) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("netobs_test_vocab_size", "help");
+  g.set(100.0);
+  EXPECT_DOUBLE_EQ(g.value(), 100.0);
+  g.add(-2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 97.5);
+}
+
+// -------------------------------------------------------------- histograms
+
+TEST(Histogram, UpperBoundsAreInclusive) {
+  MetricsRegistry reg;
+  Histogram& h =
+      reg.histogram("netobs_test_latency_seconds", "help", {1.0, 2.0});
+  h.observe(0.5);   // bucket 0: v <= 1.0
+  h.observe(1.0);   // bucket 0: le is INCLUSIVE
+  h.observe(1.001); // bucket 1: 1.0 < v <= 2.0
+  h.observe(2.0);   // bucket 1
+  h.observe(2.001); // +Inf bucket
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.001 + 2.0 + 2.001);
+
+  // Exporter-facing snapshot cumulates: last entry equals count.
+  auto snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const auto& hs = snap.histograms[0];
+  EXPECT_EQ(hs.cumulative, (std::vector<std::uint64_t>{2, 4, 5}));
+  EXPECT_EQ(hs.cumulative.back(), hs.count);
+}
+
+TEST(Histogram, RejectsNonIncreasingBounds) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.histogram("netobs_test_bad_seconds", "help", {2.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(reg.histogram("netobs_test_flat_seconds", "help", {1.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(Histogram, BucketHelpers) {
+  auto expo = exponential_buckets(1.0, 2.0, 4);
+  EXPECT_EQ(expo, (std::vector<double>{1.0, 2.0, 4.0, 8.0}));
+  auto lin = linear_buckets(0.5, 0.25, 3);
+  EXPECT_EQ(lin, (std::vector<double>{0.5, 0.75, 1.0}));
+  auto lat = default_latency_buckets();
+  EXPECT_GE(lat.size(), 10u);
+  for (std::size_t i = 1; i < lat.size(); ++i) EXPECT_GT(lat[i], lat[i - 1]);
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(MetricsRegistry, RegistrationIsIdempotent) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("netobs_test_total", "help");
+  Counter& b = reg.counter("netobs_test_total", "help");
+  EXPECT_EQ(&a, &b);
+  // Different label sets are different instances; label ORDER is ignored.
+  Counter& x = reg.counter("netobs_test_labeled_total", "h",
+                           {{"arm", "a"}, {"kind", "k"}});
+  Counter& y = reg.counter("netobs_test_labeled_total", "h",
+                           {{"kind", "k"}, {"arm", "a"}});
+  Counter& z = reg.counter("netobs_test_labeled_total", "h", {{"arm", "b"}});
+  EXPECT_EQ(&x, &y);
+  EXPECT_NE(&x, &z);
+}
+
+TEST(MetricsRegistry, TypeConflictAndBadNameThrow) {
+  MetricsRegistry reg;
+  reg.counter("netobs_test_total", "help");
+  EXPECT_THROW(reg.gauge("netobs_test_total", "help"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("netobs_test_total", "help", {1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(reg.counter("0bad name", "help"), std::invalid_argument);
+  EXPECT_THROW(reg.counter("", "help"), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, DisabledFastPathFreezesValues) {
+  MetricsRegistry reg;  // local: never touch the global enabled flag here
+  Counter& c = reg.counter("netobs_test_total", "help");
+  Gauge& g = reg.gauge("netobs_test_gauge", "help");
+  Histogram& h = reg.histogram("netobs_test_seconds", "help", {1.0});
+  c.inc();
+  g.set(5.0);
+  h.observe(0.5);
+
+  reg.set_enabled(false);
+  c.inc(100);
+  g.set(99.0);
+  g.add(1.0);
+  h.observe(0.5);
+  EXPECT_EQ(c.value(), 1u);        // frozen
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+  EXPECT_EQ(h.count(), 1u);
+
+  reg.set_enabled(true);
+  c.inc();
+  EXPECT_EQ(c.value(), 2u);
+}
+
+TEST(MetricsRegistry, ResetZeroesValuesButKeepsRegistrations) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("netobs_test_total", "help");
+  c.inc(7);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(&reg.counter("netobs_test_total", "help"), &c);
+}
+
+// ------------------------------------------------------------- ScopedTimer
+
+TEST(ScopedTimer, RecordsExactlyOnce) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("netobs_test_timer_seconds", "help",
+                               default_latency_buckets());
+  {
+    ScopedTimer t(&h);
+    double first = t.stop();
+    EXPECT_GE(first, 0.0);
+    EXPECT_DOUBLE_EQ(t.stop(), first);  // idempotent
+  }                                     // destructor must not record again
+  EXPECT_EQ(h.count(), 1u);
+
+  { ScopedTimer t(&h); }  // records on destruction
+  EXPECT_EQ(h.count(), 2u);
+
+  ScopedTimer free_running(nullptr);  // measure-only mode is safe
+  EXPECT_GE(free_running.stop(), 0.0);
+}
+
+// ------------------------------------------------------------------- spans
+
+TEST(Span, NestingTracksDepthAndParents) {
+  TraceBuffer buf(16);
+  {
+    Span outer("outer", nullptr, &buf);
+    EXPECT_EQ(Span::current(), &outer);
+    {
+      Span mid("mid", nullptr, &buf);
+      Span inner("inner", nullptr, &buf);
+      EXPECT_EQ(inner.depth(), 2);
+    }
+    EXPECT_EQ(Span::current(), &outer);
+  }
+  EXPECT_EQ(Span::current(), nullptr);
+
+  auto spans = buf.snapshot();  // finish order: inner, mid, outer
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[1].name, "mid");
+  EXPECT_EQ(spans[2].name, "outer");
+  EXPECT_EQ(spans[2].depth, 0);
+  EXPECT_EQ(spans[2].parent_id, 0u);
+  EXPECT_EQ(spans[1].parent_id, spans[2].id);
+  EXPECT_EQ(spans[0].parent_id, spans[1].id);
+  for (const auto& s : spans) EXPECT_GE(s.duration_seconds, 0.0);
+}
+
+TEST(Span, RecordsLatencyHistogram) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("netobs_test_span_seconds", "help",
+                               default_latency_buckets());
+  TraceBuffer buf(4);
+  { Span s("work", &h, &buf); }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(TraceBuffer, DropsOldestWhenFull) {
+  TraceBuffer buf(2);
+  for (int i = 0; i < 3; ++i) {
+    SpanRecord rec;
+    rec.name = "s" + std::to_string(i);
+    buf.push(std::move(rec));
+  }
+  EXPECT_EQ(buf.size(), 2u);
+  EXPECT_EQ(buf.dropped(), 1u);
+  auto spans = buf.snapshot();
+  EXPECT_EQ(spans[0].name, "s1");
+  EXPECT_EQ(spans[1].name, "s2");
+}
+
+// ------------------------------------------------------- Prometheus export
+
+/// True iff `line` is a valid sample line: name, optional {labels}, value.
+bool valid_sample_line(const std::string& line) {
+  std::size_t i = 0;
+  auto name_start = [](char ch) {
+    return std::isalpha(static_cast<unsigned char>(ch)) || ch == '_' ||
+           ch == ':';
+  };
+  if (i >= line.size() || !name_start(line[i])) return false;
+  while (i < line.size() &&
+         (name_start(line[i]) ||
+          std::isdigit(static_cast<unsigned char>(line[i])))) {
+    ++i;
+  }
+  if (i < line.size() && line[i] == '{') {
+    std::size_t close = line.find('}', i);
+    if (close == std::string::npos) return false;
+    i = close + 1;
+  }
+  if (i >= line.size() || line[i] != ' ') return false;
+  return i + 1 < line.size();  // something after the space = the value
+}
+
+TEST(PrometheusExport, GrammarAndNoDuplicateFamilies) {
+  MetricsRegistry reg;
+  reg.counter("netobs_test_total", "Total \"things\"\nseen").inc(3);
+  reg.counter("netobs_test_arm_total", "per-arm", {{"arm", "a"}}).inc(1);
+  reg.counter("netobs_test_arm_total", "per-arm", {{"arm", "b"}}).inc(2);
+  reg.gauge("netobs_test_gauge", "g").set(1.5);
+  Histogram& h = reg.histogram("netobs_test_seconds", "h", {1.0, 2.0});
+  h.observe(0.5);
+  h.observe(3.0);
+
+  std::ostringstream os;
+  write_prometheus(os, reg);
+  const std::string text = os.str();
+
+  std::set<std::string> type_lines;
+  std::set<std::string> sample_lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      // One TYPE declaration per family, even with several label sets.
+      EXPECT_TRUE(type_lines.insert(line).second) << "duplicate: " << line;
+    } else if (line.rfind("# HELP ", 0) == 0) {
+      EXPECT_EQ(line.find('\n'), std::string::npos);  // newline escaped
+    } else if (line.rfind("#", 0) != 0) {
+      EXPECT_TRUE(valid_sample_line(line)) << "bad sample line: " << line;
+      EXPECT_TRUE(sample_lines.insert(line).second) << "duplicate: " << line;
+    }
+  }
+  EXPECT_TRUE(type_lines.count("# TYPE netobs_test_total counter"));
+  EXPECT_TRUE(type_lines.count("# TYPE netobs_test_arm_total counter"));
+  EXPECT_TRUE(type_lines.count("# TYPE netobs_test_gauge gauge"));
+  EXPECT_TRUE(type_lines.count("# TYPE netobs_test_seconds histogram"));
+
+  EXPECT_NE(text.find("netobs_test_arm_total{arm=\"a\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("netobs_test_arm_total{arm=\"b\"} 2"),
+            std::string::npos);
+  // Histogram series: cumulative buckets, +Inf == count, _sum and _count.
+  EXPECT_NE(text.find("netobs_test_seconds_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("netobs_test_seconds_bucket{le=\"2\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("netobs_test_seconds_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("netobs_test_seconds_sum 3.5"), std::string::npos);
+  EXPECT_NE(text.find("netobs_test_seconds_count 2"), std::string::npos);
+}
+
+// ------------------------------------------------------------- JSON export
+
+/// Minimal structural validation: brackets balance outside of strings.
+bool balanced_json(const std::string& s) {
+  std::vector<char> stack;
+  bool in_string = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    char ch = s[i];
+    if (in_string) {
+      if (ch == '\\') ++i;
+      else if (ch == '"') in_string = false;
+      continue;
+    }
+    if (ch == '"') in_string = true;
+    else if (ch == '{' || ch == '[') stack.push_back(ch);
+    else if (ch == '}' || ch == ']') {
+      if (stack.empty()) return false;
+      char open = stack.back();
+      stack.pop_back();
+      if ((ch == '}') != (open == '{')) return false;
+    }
+  }
+  return stack.empty() && !in_string;
+}
+
+TEST(JsonExport, RoundTripsValuesInBothStyles) {
+  MetricsRegistry reg;
+  reg.counter("netobs_test_total", "help", {{"arm", "a\"b"}}).inc(12345);
+  reg.gauge("netobs_test_ratio", "help").set(0.25);
+  Histogram& h = reg.histogram("netobs_test_seconds", "help", {1.0});
+  h.observe(0.5);
+  h.observe(4.0);
+
+  for (JsonStyle style : {JsonStyle::kPretty, JsonStyle::kCompact}) {
+    std::ostringstream os;
+    write_json(os, reg, style);
+    const std::string json = os.str();
+    EXPECT_TRUE(balanced_json(json));
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+    EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(json.find("\"netobs_test_total\""), std::string::npos);
+    EXPECT_NE(json.find("12345"), std::string::npos);
+    EXPECT_NE(json.find("0.25"), std::string::npos);
+    EXPECT_NE(json.find("a\\\"b"), std::string::npos);  // label escaping
+    EXPECT_NE(json.find("\"+Inf\""), std::string::npos);
+  }
+  std::ostringstream pretty, compact;
+  write_json(pretty, reg, JsonStyle::kPretty);
+  write_json(compact, reg, JsonStyle::kCompact);
+  EXPECT_GT(pretty.str().size(), compact.str().size());
+  // Compact style is a single line (plus the final newline).
+  EXPECT_EQ(compact.str().find('\n'), compact.str().size() - 1);
+}
+
+// ---------------------------------------------- instrumentation accessors
+
+TEST(SgnsInstrumentation, EpochDurationsMatchEpochLosses) {
+  std::vector<embedding::Sequence> corpus;
+  for (int s = 0; s < 20; ++s) {
+    embedding::Sequence seq;
+    for (int i = 0; i < 12; ++i) {
+      seq.push_back("host" + std::to_string((s + i) % 6) + ".example");
+    }
+    corpus.push_back(std::move(seq));
+  }
+  embedding::SgnsParams params;
+  params.epochs = 3;
+  params.dim = 8;
+  embedding::VocabularyParams vp;
+  vp.min_count = 1;
+  embedding::SgnsTrainer trainer(params, vp);
+  trainer.fit(corpus);
+  EXPECT_EQ(trainer.epoch_durations().size(), 3u);
+  EXPECT_EQ(trainer.epoch_durations().size(), trainer.epoch_losses().size());
+  for (double d : trainer.epoch_durations()) EXPECT_GE(d, 0.0);
+}
+
+}  // namespace
+}  // namespace netobs::obs
