@@ -1,9 +1,15 @@
 #include "embedding/knn.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <limits>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/simd.hpp"
+#include "util/thread_pool.hpp"
 #include "util/vec_math.hpp"
 
 namespace netobs::embedding {
@@ -12,6 +18,7 @@ namespace {
 
 struct KnnMetrics {
   obs::Counter& queries;
+  obs::Counter& batch_queries;
   obs::Histogram& query_seconds;
   obs::Gauge& index_size;
 
@@ -20,6 +27,8 @@ struct KnnMetrics {
     static KnnMetrics m{
         reg.counter("netobs_embedding_knn_queries_total",
                     "Cosine kNN queries answered"),
+        reg.counter("netobs_embedding_knn_batch_queries_total",
+                    "Cosine kNN queries answered through query_batch"),
         reg.histogram("netobs_embedding_knn_query_seconds",
                       "Latency of one kNN scan",
                       obs::default_latency_buckets()),
@@ -38,7 +47,86 @@ EmbeddingMatrix normalized_copy(const EmbeddingMatrix& matrix) {
   return out;
 }
 
+/// Rows scored per dot_block call; sized so a block of d=100 rows plus the
+/// query stays comfortably inside L1, and capped at 64 so one simd::mask_ge
+/// call covers a whole block.
+constexpr std::size_t kScoreBlock = 64;
+static_assert(kScoreBlock <= 64, "mask_ge returns a 64-bit block mask");
+
+/// Descending similarity, ascending id — the published result order and
+/// the deterministic tie-break.
+inline bool better(float sim_a, TokenId id_a, float sim_b, TokenId id_b) {
+  if (sim_a != sim_b) return sim_a > sim_b;
+  return id_a < id_b;
+}
+
+using PaddedVector =
+    std::vector<float, netobs::util::simd::AlignedAllocator<float>>;
+
 }  // namespace
+
+/// Bounded top-k selector: a candidate reservoir of at most 2k entries that
+/// is pruned back to the exact k best with nth_element whenever it fills.
+/// Appends are O(1) and each prune is O(k), so a scan costs
+/// O(rows + m + (m / k) * k) = O(rows + m) for m candidate passes — cheaper
+/// in practice than a binary heap's per-displacement sift-down, and far
+/// cheaper than the old O(rows log rows) full materialise-and-sort. The kept
+/// set is the unique top k under (similarity desc, id asc), so every scan
+/// strategy built on this class returns bit-identical results.
+class CosineKnnIndex::TopK {
+ public:
+  explicit TopK(std::size_t k) : k_(k), cap_(2 * k) { entries_.reserve(cap_); }
+
+  void offer(TokenId id, float sim) {
+    // `sim == threshold_` still enters: the id tie-break is settled at the
+    // next prune, exactly like the simd::mask_ge '>=' block filter.
+    if (has_threshold_ && sim < threshold_) return;
+    entries_.push_back({id, sim});
+    if (entries_.size() >= cap_) prune();
+  }
+
+  /// Once true, worst_similarity() is a valid lower bound for new entries
+  /// and callers may pre-filter candidates with simd::mask_ge.
+  bool full() const { return has_threshold_ || entries_.size() >= k_; }
+
+  /// Current admission threshold; -inf until the first prune, afterwards
+  /// the similarity of the k-th best candidate seen so far (it lags the
+  /// true k-th best between prunes, which only makes filtering
+  /// conservative, never lossy).
+  float worst_similarity() const {
+    return has_threshold_ ? threshold_
+                          : -std::numeric_limits<float>::infinity();
+  }
+
+  /// Exact top k in published order (similarity desc, id asc).
+  std::vector<Neighbor> take_sorted() {
+    prune();
+    std::sort(entries_.begin(), entries_.end(), best_first);
+    return std::move(entries_);
+  }
+
+ private:
+  static bool best_first(const Neighbor& a, const Neighbor& b) {
+    return better(a.similarity, a.id, b.similarity, b.id);
+  }
+
+  /// Shrinks the reservoir to the exact k best and raises the admission
+  /// threshold to the new worst kept entry.
+  void prune() {
+    if (entries_.size() <= k_) return;
+    auto kth = entries_.begin() + static_cast<std::ptrdiff_t>(k_) - 1;
+    std::nth_element(entries_.begin(), kth, entries_.end(), best_first);
+    entries_.resize(k_);
+    threshold_ = entries_[k_ - 1].similarity;
+    has_threshold_ = true;
+  }
+
+  std::size_t k_;
+  std::size_t cap_;
+  bool has_threshold_ = false;
+  float threshold_ = 0.0F;
+  std::vector<Neighbor> entries_;
+};
 
 CosineKnnIndex::CosineKnnIndex(const HostEmbedding& embedding)
     : normalized_(normalized_copy(embedding.central())) {
@@ -50,44 +138,168 @@ CosineKnnIndex::CosineKnnIndex(const EmbeddingMatrix& matrix)
   KnnMetrics::get().index_size.set(static_cast<double>(normalized_.rows()));
 }
 
+void CosineKnnIndex::set_thread_pool(util::ThreadPool* pool,
+                                     std::size_t min_rows_per_shard) {
+  pool_ = pool;
+  min_rows_per_shard_ = std::max<std::size_t>(1, min_rows_per_shard);
+}
+
+void CosineKnnIndex::scan_range(const float* unit_query, std::size_t begin,
+                                std::size_t end, std::ptrdiff_t exclude,
+                                TopK& heap) const {
+  const float* base = normalized_.padded_data();
+  const std::size_t stride = normalized_.stride();
+  float scores[kScoreBlock];
+  for (std::size_t b = begin; b < end; b += kScoreBlock) {
+    std::size_t cnt = std::min(kScoreBlock, end - b);
+    util::simd::dot_block(unit_query, base + b * stride, stride, cnt, scores);
+    // The excluded row is a single index, so only the one block containing
+    // it pays a per-candidate exclusion compare; every other block goes
+    // through the vectorised threshold filter below.
+    std::size_t ex = static_cast<std::size_t>(exclude);
+    if (exclude >= 0 && ex >= b && ex < b + cnt) {
+      for (std::size_t j = 0; j < cnt; ++j) {
+        if (b + j == ex) continue;
+        heap.offer(static_cast<TokenId>(b + j), scores[j]);
+      }
+    } else if (!heap.full()) {
+      for (std::size_t j = 0; j < cnt; ++j) {
+        heap.offer(static_cast<TokenId>(b + j), scores[j]);
+      }
+    } else {
+      // Warm heap: one SIMD compare per 8 scores finds the candidates that
+      // could displace the current worst ('>=' keeps equal-similarity rows
+      // so the ascending-id tie-break still sees them); everything else is
+      // skipped without touching the heap. The threshold is re-read per
+      // block, so displacements within the block only make it conservative
+      // — offer() re-checks against the live worst entry.
+      std::uint64_t mask =
+          util::simd::mask_ge(scores, cnt, heap.worst_similarity());
+      while (mask != 0) {
+        auto j = static_cast<std::size_t>(std::countr_zero(mask));
+        mask &= mask - 1;
+        heap.offer(static_cast<TokenId>(b + j), scores[j]);
+      }
+    }
+  }
+}
+
 std::vector<CosineKnnIndex::Neighbor> CosineKnnIndex::scan(
-    std::span<const float> unit_query, std::size_t n,
-    std::ptrdiff_t exclude) const {
+    const float* unit_query, std::size_t n, std::ptrdiff_t exclude) const {
   auto& metrics = KnnMetrics::get();
   metrics.queries.inc();
   obs::ScopedTimer timer(&metrics.query_seconds);
-  std::vector<Neighbor> scored;
-  scored.reserve(normalized_.rows());
-  for (std::size_t i = 0; i < normalized_.rows(); ++i) {
-    if (static_cast<std::ptrdiff_t>(i) == exclude) continue;
-    scored.push_back(
-        {static_cast<TokenId>(i), util::dot(unit_query, normalized_.row(i))});
+  const std::size_t rows = normalized_.rows();
+  n = std::min(n, rows);  // bounds the heap reservation
+
+  bool sharded = pool_ != nullptr && rows >= 2 * min_rows_per_shard_;
+  if (!sharded) {
+    TopK heap(n);
+    scan_range(unit_query, 0, rows, exclude, heap);
+    return heap.take_sorted();
   }
-  n = std::min(n, scored.size());
-  std::partial_sort(scored.begin(),
-                    scored.begin() + static_cast<std::ptrdiff_t>(n),
-                    scored.end(), [](const Neighbor& a, const Neighbor& b) {
-                      if (a.similarity != b.similarity) {
-                        return a.similarity > b.similarity;
-                      }
-                      return a.id < b.id;  // deterministic ties
-                    });
-  scored.resize(n);
-  return scored;
+
+  // Shard the sweep; each shard keeps its own top-n, and the union of
+  // shard top-n sets contains the global top-n, so the merge below is
+  // exact (and bit-identical to the serial scan — same scores, same
+  // deterministic order).
+  std::size_t threads = std::max<std::size_t>(1, pool_->thread_count());
+  std::size_t grain =
+      std::max(min_rows_per_shard_, (rows + threads - 1) / threads);
+  std::size_t shards = (rows + grain - 1) / grain;
+  std::vector<std::vector<Neighbor>> partial(shards);
+  pool_->parallel_for_chunked(
+      rows, grain, [&](std::size_t begin, std::size_t end) {
+        TopK heap(n);
+        scan_range(unit_query, begin, end, exclude, heap);
+        partial[begin / grain] = heap.take_sorted();
+      });
+  TopK merged(n);
+  for (const auto& shard : partial) {
+    for (const auto& nb : shard) merged.offer(nb.id, nb.similarity);
+  }
+  return merged.take_sorted();
 }
 
 std::vector<CosineKnnIndex::Neighbor> CosineKnnIndex::query(
     std::span<const float> query_vec, std::size_t n) const {
-  std::vector<float> unit(query_vec.begin(), query_vec.end());
-  float norm = util::l2_norm(unit);
-  if (norm == 0.0F || n == 0) return {};
-  util::scale(unit, 1.0F / norm);
-  return scan(unit, n, -1);
+  if (n == 0 || normalized_.rows() == 0) return {};
+  PaddedVector unit(normalized_.stride(), 0.0F);
+  std::copy(query_vec.begin(), query_vec.end(), unit.begin());
+  float norm = util::l2_norm({unit.data(), query_vec.size()});
+  if (norm == 0.0F) return {};
+  util::scale({unit.data(), query_vec.size()}, 1.0F / norm);
+  return scan(unit.data(), n, -1);
+}
+
+std::vector<std::vector<CosineKnnIndex::Neighbor>> CosineKnnIndex::query_batch(
+    const std::vector<std::vector<float>>& queries, std::size_t n) const {
+  auto& metrics = KnnMetrics::get();
+  metrics.batch_queries.inc(queries.size());
+  obs::ScopedTimer timer(&metrics.query_seconds);
+
+  std::vector<std::vector<Neighbor>> results(queries.size());
+  const std::size_t rows = normalized_.rows();
+  const std::size_t stride = normalized_.stride();
+  if (n == 0 || rows == 0 || queries.empty()) return results;
+  n = std::min(n, rows);  // bounds the heap reservations
+
+  // Normalise every usable query into one padded scratch matrix.
+  PaddedVector units(queries.size() * stride, 0.0F);
+  std::vector<std::size_t> live;  // indexes into `queries`
+  live.reserve(queries.size());
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    float* dst = units.data() + qi * stride;
+    std::copy(queries[qi].begin(), queries[qi].end(), dst);
+    float norm = util::l2_norm({dst, queries[qi].size()});
+    if (norm == 0.0F) continue;
+    util::scale({dst, queries[qi].size()}, 1.0F / norm);
+    live.push_back(qi);
+  }
+  if (live.empty()) return results;
+
+  std::vector<TopK> heaps;
+  heaps.reserve(live.size());
+  for (std::size_t i = 0; i < live.size(); ++i) heaps.emplace_back(n);
+
+  // One sweep of the matrix: each row block is scored for every live query
+  // while it is cache-hot, amortising the memory traffic that dominates a
+  // per-session scan.
+  float scores[kScoreBlock];
+  for (std::size_t b = 0; b < rows; b += kScoreBlock) {
+    std::size_t cnt = std::min(kScoreBlock, rows - b);
+    const float* block = normalized_.padded_data() + b * stride;
+    for (std::size_t li = 0; li < live.size(); ++li) {
+      util::simd::dot_block(units.data() + live[li] * stride, block, stride,
+                            cnt, scores);
+      TopK& heap = heaps[li];
+      if (!heap.full()) {
+        for (std::size_t j = 0; j < cnt; ++j) {
+          heap.offer(static_cast<TokenId>(b + j), scores[j]);
+        }
+      } else {
+        // Same vectorised threshold filter as scan_range.
+        std::uint64_t mask =
+            util::simd::mask_ge(scores, cnt, heap.worst_similarity());
+        while (mask != 0) {
+          auto j = static_cast<std::size_t>(std::countr_zero(mask));
+          mask &= mask - 1;
+          heap.offer(static_cast<TokenId>(b + j), scores[j]);
+        }
+      }
+    }
+  }
+  for (std::size_t li = 0; li < live.size(); ++li) {
+    results[live[li]] = heaps[li].take_sorted();
+  }
+  return results;
 }
 
 std::vector<CosineKnnIndex::Neighbor> CosineKnnIndex::nearest_to(
     TokenId id, std::size_t n) const {
-  return scan(normalized_.row(id), n, static_cast<std::ptrdiff_t>(id));
+  // Stored rows are already unit-norm, padded and aligned: score in place.
+  return scan(normalized_.padded_data() + id * normalized_.stride(), n,
+              static_cast<std::ptrdiff_t>(id));
 }
 
 }  // namespace netobs::embedding

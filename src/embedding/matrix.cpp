@@ -1,5 +1,6 @@
 #include "embedding/matrix.hpp"
 
+#include <algorithm>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
@@ -11,29 +12,49 @@ constexpr std::uint32_t kMagic = 0x4E4F4231;  // "NOB1"
 }
 
 EmbeddingMatrix::EmbeddingMatrix(std::size_t rows, std::size_t dim)
-    : rows_(rows), dim_(dim), data_(rows * dim, 0.0F) {
+    : rows_(rows),
+      dim_(dim),
+      stride_(util::simd::padded_dim(dim)),
+      data_(rows * util::simd::padded_dim(dim), 0.0F) {
   if (dim == 0) throw std::invalid_argument("EmbeddingMatrix: dim must be > 0");
 }
 
 void EmbeddingMatrix::init_uniform(util::Pcg32& rng) {
+  // Row-major over the logical elements only, so the drawn sequence is
+  // independent of the padded layout (and matches the unpadded original).
   float half = 0.5F / static_cast<float>(dim_);
-  for (float& v : data_) {
-    v = static_cast<float>(rng.uniform(-half, half));
+  for (std::size_t i = 0; i < rows_; ++i) {
+    float* r = data_.data() + i * stride_;
+    for (std::size_t j = 0; j < dim_; ++j) {
+      r[j] = static_cast<float>(rng.uniform(-half, half));
+    }
   }
 }
 
 void EmbeddingMatrix::fill(float value) {
-  std::fill(data_.begin(), data_.end(), value);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    float* r = data_.data() + i * stride_;
+    std::fill(r, r + dim_, value);
+  }
 }
 
 std::span<float> EmbeddingMatrix::row(std::size_t i) {
   if (i >= rows_) throw std::out_of_range("EmbeddingMatrix::row");
-  return std::span<float>(data_.data() + i * dim_, dim_);
+  return std::span<float>(data_.data() + i * stride_, dim_);
 }
 
 std::span<const float> EmbeddingMatrix::row(std::size_t i) const {
   if (i >= rows_) throw std::out_of_range("EmbeddingMatrix::row");
-  return std::span<const float>(data_.data() + i * dim_, dim_);
+  return std::span<const float>(data_.data() + i * stride_, dim_);
+}
+
+std::vector<float> EmbeddingMatrix::packed_copy() const {
+  std::vector<float> out(rows_ * dim_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const float* r = data_.data() + i * stride_;
+    std::copy(r, r + dim_, out.begin() + static_cast<std::ptrdiff_t>(i * dim_));
+  }
+  return out;
 }
 
 void EmbeddingMatrix::save(std::ostream& os) const {
@@ -44,8 +65,10 @@ void EmbeddingMatrix::save(std::ostream& os) const {
   os.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
   put_u64(rows_);
   put_u64(dim_);
-  os.write(reinterpret_cast<const char*>(data_.data()),
-           static_cast<std::streamsize>(data_.size() * sizeof(float)));
+  for (std::size_t i = 0; i < rows_; ++i) {
+    os.write(reinterpret_cast<const char*>(data_.data() + i * stride_),
+             static_cast<std::streamsize>(dim_ * sizeof(float)));
+  }
   if (!os) throw std::runtime_error("EmbeddingMatrix::save: write failed");
 }
 
@@ -64,14 +87,22 @@ EmbeddingMatrix EmbeddingMatrix::load(std::istream& is) {
   }
   EmbeddingMatrix m(static_cast<std::size_t>(rows),
                     static_cast<std::size_t>(dim));
-  is.read(reinterpret_cast<char*>(m.data_.data()),
-          static_cast<std::streamsize>(m.data_.size() * sizeof(float)));
+  for (std::size_t i = 0; i < m.rows_; ++i) {
+    is.read(reinterpret_cast<char*>(m.data_.data() + i * m.stride_),
+            static_cast<std::streamsize>(m.dim_ * sizeof(float)));
+  }
   if (!is) throw std::runtime_error("EmbeddingMatrix::load: truncated data");
   return m;
 }
 
 bool EmbeddingMatrix::operator==(const EmbeddingMatrix& other) const {
-  return rows_ == other.rows_ && dim_ == other.dim_ && data_ == other.data_;
+  if (rows_ != other.rows_ || dim_ != other.dim_) return false;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const float* a = data_.data() + i * stride_;
+    const float* b = other.data_.data() + i * other.stride_;
+    if (!std::equal(a, a + dim_, b)) return false;
+  }
+  return true;
 }
 
 }  // namespace netobs::embedding

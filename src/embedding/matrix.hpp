@@ -2,8 +2,11 @@
 //
 // Two of these make up a trained SKIPGRAM model: the "central" matrix W and
 // the "context" matrix W' of Section 4.1 (a hostname h's embedding is
-// h = one_hot(h) W). Rows are contiguous so training updates and kNN scans
-// stay cache-friendly.
+// h = one_hot(h) W). Rows are contiguous, 32-byte aligned and zero-padded
+// to a multiple of util::simd::kLanes floats, so training updates and
+// blocked kNN sweeps run full-width SIMD loads with no tail handling. The
+// padding is storage-only: row() spans, serialisation, equality and the
+// packed copy all speak the logical rows() x dim() shape.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +15,7 @@
 #include <vector>
 
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace netobs::embedding {
 
@@ -31,11 +35,21 @@ class EmbeddingMatrix {
   std::size_t rows() const { return rows_; }
   std::size_t dim() const { return dim_; }
 
-  /// Raw storage (rows * dim floats, row-major).
-  std::span<const float> data() const { return data_; }
-  std::span<float> data() { return data_; }
+  /// Floats between consecutive row starts (dim rounded up to the SIMD
+  /// padding quantum); the trailing stride() - dim() floats of every row
+  /// are zero.
+  std::size_t stride() const { return stride_; }
 
-  /// Binary serialisation: magic, rows, dim, payload. Throws
+  /// Raw padded storage (rows * stride floats, 32-byte aligned). The pad
+  /// lanes are guaranteed zero — blocked kernels may sweep the full stride.
+  const float* padded_data() const { return data_.data(); }
+  float* padded_data() { return data_.data(); }
+
+  /// Dense rows * dim copy with the padding stripped (row-major).
+  std::vector<float> packed_copy() const;
+
+  /// Binary serialisation: magic, rows, dim, dense payload (padding never
+  /// hits the wire, so files are layout-independent). Throws
   /// std::runtime_error on I/O failure or bad magic.
   void save(std::ostream& os) const;
   static EmbeddingMatrix load(std::istream& is);
@@ -45,7 +59,8 @@ class EmbeddingMatrix {
  private:
   std::size_t rows_ = 0;
   std::size_t dim_ = 0;
-  std::vector<float> data_;
+  std::size_t stride_ = 0;
+  std::vector<float, util::simd::AlignedAllocator<float>> data_;
 };
 
 }  // namespace netobs::embedding

@@ -141,9 +141,9 @@ double sgns_step(std::span<const float> input, TokenId target_token,
     float score = util::dot(input, out_row);
     float pred = sig(score);
     float g = (label - pred) * lr;
-    // Accumulate gradient wrt the input before mutating the output row.
-    util::axpy(g, out_row, grad_input);
-    util::axpy(g, input, out_row);
+    // Single fused pass: the input gradient accumulates from the output
+    // row's pre-update values, then the output row absorbs g * input.
+    util::fused_grad_update(g, input, out_row, grad_input);
     // Numerically-safe loss for reporting.
     float p = label > 0.5F ? pred : 1.0F - pred;
     loss += -std::log(std::max(p, 1e-7F));

@@ -37,10 +37,27 @@ SessionProfiler::SessionProfiler(const embedding::HostEmbedding& embedding,
   }
 }
 
-SessionProfile SessionProfiler::profile(
+/// In-flight profile between the aggregation and normalisation stages.
+struct SessionProfiler::Pending {
+  SessionProfile profile;
+  std::vector<double> accum;
+  double total_weight = 0.0;
+  std::unordered_set<std::string> in_session_labeled;
+
+  void contribute(const ontology::CategoryVector& label, double alpha) {
+    for (std::size_t i = 0; i < label.size(); ++i) {
+      accum[i] += alpha * static_cast<double>(label[i]);
+    }
+    total_weight += alpha;
+  }
+};
+
+SessionProfiler::Pending SessionProfiler::begin_profile(
     const std::vector<std::string>& hostnames) const {
-  SessionProfile out;
+  Pending pending;
+  SessionProfile& out = pending.profile;
   out.categories.assign(labeler_->category_count(), 0.0F);
+  pending.accum.assign(out.categories.size(), 0.0);
 
   // --- Aggregate session vector s = g({h}).
   std::vector<std::span<const float>> rows;
@@ -59,53 +76,93 @@ SessionProfile SessionProfiler::profile(
     for (const auto& v : normalized_storage) rows.emplace_back(v);
   }
   out.hosts_in_vocab = rows.size();
-  if (rows.empty()) return out;  // nothing known about this session
+  if (rows.empty()) return pending;  // nothing known about this session
   out.session_vector = util::mean_of_rows(rows);
 
-  // --- Weighted contributors: alpha = 1 for labeled session hosts (L),
-  //     alpha = [cos(h, s)]_+ for labeled kNN hosts (Eq. 3). Only hosts in
-  //     H_L can contribute category mass (the Eq. 4 sum runs over the
-  //     intersection with H_L).
-  double total_weight = 0.0;
-  std::vector<double> accum(out.categories.size(), 0.0);
-  std::unordered_set<std::string> in_session_labeled;
-
-  auto contribute = [&](const ontology::CategoryVector& label, double alpha) {
-    for (std::size_t i = 0; i < label.size(); ++i) {
-      accum[i] += alpha * static_cast<double>(label[i]);
-    }
-    total_weight += alpha;
-  };
-
+  // --- alpha = 1 contributions of labeled session hosts (L). Labeled kNN
+  //     hosts come later via apply_neighbors; only hosts in H_L contribute
+  //     category mass (the Eq. 4 sum runs over the intersection with H_L).
   for (const auto& host : hostnames) {
     if (const auto* label = labeler_->label_of(host)) {
-      if (in_session_labeled.insert(host).second) {
-        contribute(*label, 1.0);
+      if (pending.in_session_labeled.insert(host).second) {
+        pending.contribute(*label, 1.0);
         ++out.labeled_in_session;
       }
     }
   }
+  return pending;
+}
 
-  auto neighbors = params_.use_embedding_neighbors
-                       ? index_->query(out.session_vector, params_.knn)
-                       : std::vector<embedding::CosineKnnIndex::Neighbor>{};
+void SessionProfiler::apply_neighbors(
+    Pending& pending,
+    const std::vector<embedding::CosineKnnIndex::Neighbor>& neighbors) const {
   for (const auto& nb : neighbors) {
     const std::string& host = embedding_->token(nb.id);
-    if (in_session_labeled.contains(host)) continue;  // already alpha = 1
+    if (pending.in_session_labeled.contains(host)) continue;  // alpha = 1
     const auto* label = labeler_->label_of(host);
     if (label == nullptr) continue;
-    ++out.labeled_neighbors;
-    double alpha = std::max(0.0F, nb.similarity);  // [x]_+
+    ++pending.profile.labeled_neighbors;
+    double alpha = std::max(0.0F, nb.similarity);  // [x]_+ of Eq. 3
     if (alpha == 0.0) continue;
-    contribute(*label, alpha);
+    pending.contribute(*label, alpha);
+  }
+}
+
+SessionProfile SessionProfiler::finish_profile(Pending&& pending) const {
+  SessionProfile out = std::move(pending.profile);
+  out.weight_mass = pending.total_weight;
+  if (pending.total_weight > 0.0) {
+    for (std::size_t i = 0; i < pending.accum.size(); ++i) {
+      // c^h_i in [0,1] and alpha-weighted average keeps c_i in [0,1].
+      out.categories[i] =
+          static_cast<float>(pending.accum[i] / pending.total_weight);
+    }
+  }
+  return out;
+}
+
+SessionProfile SessionProfiler::profile(
+    const std::vector<std::string>& hostnames) const {
+  Pending pending = begin_profile(hostnames);
+  if (params_.use_embedding_neighbors &&
+      !pending.profile.session_vector.empty()) {
+    apply_neighbors(
+        pending, index_->query(pending.profile.session_vector, params_.knn));
+  }
+  return finish_profile(std::move(pending));
+}
+
+std::vector<SessionProfile> SessionProfiler::profile_batch(
+    const std::vector<std::vector<std::string>>& sessions) const {
+  std::vector<Pending> pendings;
+  pendings.reserve(sessions.size());
+  for (const auto& hostnames : sessions) {
+    pendings.push_back(begin_profile(hostnames));
   }
 
-  out.weight_mass = total_weight;
-  if (total_weight > 0.0) {
-    for (std::size_t i = 0; i < accum.size(); ++i) {
-      // c^h_i in [0,1] and alpha-weighted average keeps c_i in [0,1].
-      out.categories[i] = static_cast<float>(accum[i] / total_weight);
+  if (params_.use_embedding_neighbors) {
+    // One batched sweep answers every session with a usable vector;
+    // query_batch returns empty neighbour lists for the rest.
+    std::vector<std::vector<float>> queries;
+    std::vector<std::size_t> owner;
+    queries.reserve(pendings.size());
+    for (std::size_t i = 0; i < pendings.size(); ++i) {
+      if (pendings[i].profile.session_vector.empty()) continue;
+      queries.push_back(pendings[i].profile.session_vector);
+      owner.push_back(i);
     }
+    if (!queries.empty()) {
+      auto neighbor_lists = index_->query_batch(queries, params_.knn);
+      for (std::size_t qi = 0; qi < owner.size(); ++qi) {
+        apply_neighbors(pendings[owner[qi]], neighbor_lists[qi]);
+      }
+    }
+  }
+
+  std::vector<SessionProfile> out;
+  out.reserve(pendings.size());
+  for (auto& pending : pendings) {
+    out.push_back(finish_profile(std::move(pending)));
   }
   return out;
 }

@@ -70,9 +70,28 @@ class SessionProfiler {
     return profile(session.hostnames);
   }
 
+  /// Profiles many sessions at once. The kNN step runs as a single batched
+  /// sweep of the embedding matrix (CosineKnnIndex::query_batch), which
+  /// amortises the matrix memory traffic across sessions; results are
+  /// bit-identical to calling profile() on each session in turn.
+  std::vector<SessionProfile> profile_batch(
+      const std::vector<std::vector<std::string>>& sessions) const;
+
   const ProfilerParams& params() const { return params_; }
 
  private:
+  struct Pending;
+
+  /// Stages 1-2 of the pipeline: session-vector aggregation plus the
+  /// alpha = 1 contributions of labeled in-session hosts.
+  Pending begin_profile(const std::vector<std::string>& hostnames) const;
+  /// Stage 3: alpha = [cos]_+ contributions of labeled kNN neighbours.
+  void apply_neighbors(
+      Pending& pending,
+      const std::vector<embedding::CosineKnnIndex::Neighbor>& neighbors) const;
+  /// Stage 4: Eq. 4 normalisation.
+  SessionProfile finish_profile(Pending&& pending) const;
+
   const embedding::HostEmbedding* embedding_;
   const embedding::CosineKnnIndex* index_;
   const ontology::HostLabeler* labeler_;

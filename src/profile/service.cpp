@@ -101,4 +101,24 @@ SessionProfile ProfilingService::profile_hostnames(
   return profiler_->profile(hostnames);
 }
 
+std::vector<SessionProfile> ProfilingService::profile_batch(
+    const std::vector<std::vector<std::string>>& sessions) const {
+  if (!profiler_) {
+    throw std::logic_error("ProfilingService: profile before retrain()");
+  }
+  obs::ScopedTimer timer(profile_seconds_);
+  profiles_->inc(sessions.size());
+  return profiler_->profile_batch(sessions);
+}
+
+std::vector<SessionProfile> ProfilingService::profile_users(
+    const std::vector<std::uint32_t>& users, util::Timestamp now) const {
+  std::vector<std::vector<std::string>> sessions;
+  sessions.reserve(users.size());
+  for (std::uint32_t user : users) {
+    sessions.push_back(session_of(user, now).hostnames);
+  }
+  return profile_batch(sessions);
+}
+
 }  // namespace netobs::profile

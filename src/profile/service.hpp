@@ -70,6 +70,18 @@ class ProfilingService {
   SessionProfile profile_hostnames(
       const std::vector<std::string>& hostnames) const;
 
+  /// Profiles many users at `now` in one batched kNN sweep; result i
+  /// corresponds to users[i] and is bit-identical to profile_user(users[i],
+  /// now). This is the line-rate path for reporting bursts: the embedding
+  /// matrix is swept once per batch instead of once per user.
+  std::vector<SessionProfile> profile_users(
+      const std::vector<std::uint32_t>& users, util::Timestamp now) const;
+
+  /// Batched variant of profile_hostnames (one matrix sweep for the whole
+  /// batch).
+  std::vector<SessionProfile> profile_batch(
+      const std::vector<std::vector<std::string>>& sessions) const;
+
   SessionStore& store() { return store_; }
   const SessionStore& store() const { return store_; }
 

@@ -354,7 +354,7 @@ TsneResult run_bhtsne(const std::vector<float>& rows, std::size_t n,
 
 TsneResult run_bhtsne(const embedding::EmbeddingMatrix& data,
                       BhTsneParams params) {
-  std::vector<float> rows(data.data().begin(), data.data().end());
+  std::vector<float> rows = data.packed_copy();
   return run_bhtsne(rows, data.rows(), data.dim(), params);
 }
 

@@ -185,7 +185,7 @@ TsneResult run_tsne(const std::vector<float>& rows, std::size_t n,
 
 TsneResult run_tsne(const embedding::EmbeddingMatrix& data,
                     TsneParams params) {
-  std::vector<float> rows(data.data().begin(), data.data().end());
+  std::vector<float> rows = data.packed_copy();
   return run_tsne(rows, data.rows(), data.dim(), params);
 }
 

@@ -1,0 +1,419 @@
+#include "util/simd.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define NETOBS_X86 1
+#include <immintrin.h>
+#else
+#define NETOBS_X86 0
+#endif
+
+namespace netobs::util::simd {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar tier: emulates the 8-lane FMA accumulation of the AVX2 tier with
+// std::fma so the two tiers are bit-identical (the canonical order the file
+// header documents). This is the portable reference, not a naive loop.
+// ---------------------------------------------------------------------------
+
+float dot_scalar(const float* a, const float* b, std::size_t n) {
+  float acc[kLanes] = {};
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      acc[l] = std::fma(a[i + l], b[i + l], acc[l]);
+    }
+  }
+  for (std::size_t l = 0; i + l < n; ++l) {
+    acc[l] = std::fma(a[i + l], b[i + l], acc[l]);
+  }
+  return ((acc[0] + acc[4]) + (acc[2] + acc[6])) +
+         ((acc[1] + acc[5]) + (acc[3] + acc[7]));
+}
+
+void axpy_scalar(float alpha, const float* x, float* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] = std::fma(alpha, x[i], y[i]);
+}
+
+void scale_scalar(float* x, float alpha, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+void fused_scalar(float g, const float* in, float* out, float* grad,
+                  std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    grad[i] = std::fma(g, out[i], grad[i]);
+    out[i] = std::fma(g, in[i], out[i]);
+  }
+}
+
+void dot_block_scalar(const float* q, const float* base, std::size_t stride,
+                      std::size_t nrows, float* out) {
+  for (std::size_t r = 0; r < nrows; ++r) {
+    out[r] = dot_scalar(q, base + r * stride, stride);
+  }
+}
+
+std::uint64_t mask_ge_scalar(const float* x, std::size_t n, float threshold) {
+  std::uint64_t m = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    m |= static_cast<std::uint64_t>(x[i] >= threshold) << i;
+  }
+  return m;
+}
+
+#if NETOBS_X86
+
+// ---------------------------------------------------------------------------
+// SSE2 tier: 4 lanes, separate multiply and add (no FMA in the ISA), so it
+// matches the other tiers only to rounding.
+// ---------------------------------------------------------------------------
+
+inline float hsum128(__m128 v) {
+  __m128 sh = _mm_movehl_ps(v, v);          // [l2, l3, ., .]
+  v = _mm_add_ps(v, sh);                    // [l0+l2, l1+l3, ., .]
+  sh = _mm_shuffle_ps(v, v, 0x55);          // lane 1
+  v = _mm_add_ss(v, sh);                    // (l0+l2) + (l1+l3)
+  return _mm_cvtss_f32(v);
+}
+
+float dot_sse2(const float* a, const float* b, std::size_t n) {
+  __m128 acc = _mm_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm_add_ps(acc, _mm_mul_ps(_mm_loadu_ps(a + i), _mm_loadu_ps(b + i)));
+  }
+  alignas(16) float ta[4] = {};
+  alignas(16) float tb[4] = {};
+  for (std::size_t l = 0; i + l < n; ++l) {
+    ta[l] = a[i + l];
+    tb[l] = b[i + l];
+  }
+  if (i < n) {
+    acc = _mm_add_ps(acc, _mm_mul_ps(_mm_load_ps(ta), _mm_load_ps(tb)));
+  }
+  return hsum128(acc);
+}
+
+void axpy_sse2(float alpha, const float* x, float* y, std::size_t n) {
+  __m128 va = _mm_set1_ps(alpha);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m128 vy = _mm_loadu_ps(y + i);
+    vy = _mm_add_ps(vy, _mm_mul_ps(va, _mm_loadu_ps(x + i)));
+    _mm_storeu_ps(y + i, vy);
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void scale_sse2(float* x, float alpha, std::size_t n) {
+  __m128 va = _mm_set1_ps(alpha);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm_storeu_ps(x + i, _mm_mul_ps(va, _mm_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) x[i] *= alpha;
+}
+
+void fused_sse2(float g, const float* in, float* out, float* grad,
+                std::size_t n) {
+  __m128 vg = _mm_set1_ps(g);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m128 vo = _mm_loadu_ps(out + i);
+    __m128 vgr = _mm_loadu_ps(grad + i);
+    vgr = _mm_add_ps(vgr, _mm_mul_ps(vg, vo));
+    vo = _mm_add_ps(vo, _mm_mul_ps(vg, _mm_loadu_ps(in + i)));
+    _mm_storeu_ps(grad + i, vgr);
+    _mm_storeu_ps(out + i, vo);
+  }
+  for (; i < n; ++i) {
+    grad[i] += g * out[i];
+    out[i] += g * in[i];
+  }
+}
+
+void dot_block_sse2(const float* q, const float* base, std::size_t stride,
+                    std::size_t nrows, float* out) {
+  std::size_t r = 0;
+  for (; r + 4 <= nrows; r += 4) {
+    const float* r0 = base + (r + 0) * stride;
+    const float* r1 = base + (r + 1) * stride;
+    const float* r2 = base + (r + 2) * stride;
+    const float* r3 = base + (r + 3) * stride;
+    __m128 a0 = _mm_setzero_ps(), a1 = _mm_setzero_ps();
+    __m128 a2 = _mm_setzero_ps(), a3 = _mm_setzero_ps();
+    for (std::size_t i = 0; i < stride; i += 4) {
+      __m128 vq = _mm_load_ps(q + i);
+      a0 = _mm_add_ps(a0, _mm_mul_ps(vq, _mm_load_ps(r0 + i)));
+      a1 = _mm_add_ps(a1, _mm_mul_ps(vq, _mm_load_ps(r1 + i)));
+      a2 = _mm_add_ps(a2, _mm_mul_ps(vq, _mm_load_ps(r2 + i)));
+      a3 = _mm_add_ps(a3, _mm_mul_ps(vq, _mm_load_ps(r3 + i)));
+    }
+    out[r + 0] = hsum128(a0);
+    out[r + 1] = hsum128(a1);
+    out[r + 2] = hsum128(a2);
+    out[r + 3] = hsum128(a3);
+  }
+  for (; r < nrows; ++r) {
+    __m128 a0 = _mm_setzero_ps();
+    const float* row = base + r * stride;
+    for (std::size_t i = 0; i < stride; i += 4) {
+      a0 = _mm_add_ps(a0, _mm_mul_ps(_mm_load_ps(q + i), _mm_load_ps(row + i)));
+    }
+    out[r] = hsum128(a0);
+  }
+}
+
+std::uint64_t mask_ge_sse2(const float* x, std::size_t n, float threshold) {
+  std::uint64_t m = 0;
+  __m128 vt = _mm_set1_ps(threshold);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    unsigned bits = static_cast<unsigned>(
+        _mm_movemask_ps(_mm_cmpge_ps(_mm_loadu_ps(x + i), vt)));
+    m |= static_cast<std::uint64_t>(bits) << i;
+  }
+  for (; i < n; ++i) {
+    m |= static_cast<std::uint64_t>(x[i] >= threshold) << i;
+  }
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// AVX2+FMA tier. One 8-lane accumulator per row keeps the per-row lane
+// assignment identical to the scalar tier; dot_block gets its instruction-
+// level parallelism from four independent row chains, not from unrolling a
+// single row (which would change the accumulation order).
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx2,fma"))) inline float hsum256(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 s = _mm_add_ps(lo, hi);            // [l0+l4, l1+l5, l2+l6, l3+l7]
+  __m128 sh = _mm_movehl_ps(s, s);
+  s = _mm_add_ps(s, sh);
+  sh = _mm_shuffle_ps(s, s, 0x55);
+  s = _mm_add_ss(s, sh);
+  return _mm_cvtss_f32(s);
+}
+
+__attribute__((target("avx2,fma"))) float dot_avx2(const float* a,
+                                                   const float* b,
+                                                   std::size_t n) {
+  __m256 acc = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    acc = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i), acc);
+  }
+  if (i < n) {
+    // Tail through a zero-padded block so the elements land in the same
+    // lanes a padded row sweep would use.
+    alignas(32) float ta[kLanes] = {};
+    alignas(32) float tb[kLanes] = {};
+    for (std::size_t l = 0; i + l < n; ++l) {
+      ta[l] = a[i + l];
+      tb[l] = b[i + l];
+    }
+    acc = _mm256_fmadd_ps(_mm256_load_ps(ta), _mm256_load_ps(tb), acc);
+  }
+  return hsum256(acc);
+}
+
+__attribute__((target("avx2,fma"))) void axpy_avx2(float alpha, const float* x,
+                                                   float* y, std::size_t n) {
+  __m256 va = _mm256_set1_ps(alpha);
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    __m256 vy = _mm256_loadu_ps(y + i);
+    vy = _mm256_fmadd_ps(va, _mm256_loadu_ps(x + i), vy);
+    _mm256_storeu_ps(y + i, vy);
+  }
+  for (; i < n; ++i) y[i] = std::fma(alpha, x[i], y[i]);
+}
+
+__attribute__((target("avx2,fma"))) void scale_avx2(float* x, float alpha,
+                                                    std::size_t n) {
+  __m256 va = _mm256_set1_ps(alpha);
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    _mm256_storeu_ps(x + i, _mm256_mul_ps(va, _mm256_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) x[i] *= alpha;
+}
+
+__attribute__((target("avx2,fma"))) void fused_avx2(float g, const float* in,
+                                                    float* out, float* grad,
+                                                    std::size_t n) {
+  __m256 vg = _mm256_set1_ps(g);
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    __m256 vo = _mm256_loadu_ps(out + i);
+    __m256 vgr = _mm256_loadu_ps(grad + i);
+    vgr = _mm256_fmadd_ps(vg, vo, vgr);
+    vo = _mm256_fmadd_ps(vg, _mm256_loadu_ps(in + i), vo);
+    _mm256_storeu_ps(grad + i, vgr);
+    _mm256_storeu_ps(out + i, vo);
+  }
+  for (; i < n; ++i) {
+    grad[i] = std::fma(g, out[i], grad[i]);
+    out[i] = std::fma(g, in[i], out[i]);
+  }
+}
+
+__attribute__((target("avx2,fma"))) void dot_block_avx2(
+    const float* q, const float* base, std::size_t stride, std::size_t nrows,
+    float* out) {
+  std::size_t r = 0;
+  for (; r + 4 <= nrows; r += 4) {
+    const float* r0 = base + (r + 0) * stride;
+    const float* r1 = base + (r + 1) * stride;
+    const float* r2 = base + (r + 2) * stride;
+    const float* r3 = base + (r + 3) * stride;
+    __m256 a0 = _mm256_setzero_ps(), a1 = _mm256_setzero_ps();
+    __m256 a2 = _mm256_setzero_ps(), a3 = _mm256_setzero_ps();
+    for (std::size_t i = 0; i < stride; i += kLanes) {
+      __m256 vq = _mm256_load_ps(q + i);
+      a0 = _mm256_fmadd_ps(vq, _mm256_load_ps(r0 + i), a0);
+      a1 = _mm256_fmadd_ps(vq, _mm256_load_ps(r1 + i), a1);
+      a2 = _mm256_fmadd_ps(vq, _mm256_load_ps(r2 + i), a2);
+      a3 = _mm256_fmadd_ps(vq, _mm256_load_ps(r3 + i), a3);
+    }
+    out[r + 0] = hsum256(a0);
+    out[r + 1] = hsum256(a1);
+    out[r + 2] = hsum256(a2);
+    out[r + 3] = hsum256(a3);
+  }
+  for (; r < nrows; ++r) {
+    __m256 a0 = _mm256_setzero_ps();
+    const float* row = base + r * stride;
+    for (std::size_t i = 0; i < stride; i += kLanes) {
+      a0 = _mm256_fmadd_ps(_mm256_load_ps(q + i), _mm256_load_ps(row + i), a0);
+    }
+    out[r] = hsum256(a0);
+  }
+}
+
+__attribute__((target("avx2,fma"))) std::uint64_t mask_ge_avx2(
+    const float* x, std::size_t n, float threshold) {
+  std::uint64_t m = 0;
+  __m256 vt = _mm256_set1_ps(threshold);
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    unsigned bits = static_cast<unsigned>(_mm256_movemask_ps(
+        _mm256_cmp_ps(_mm256_loadu_ps(x + i), vt, _CMP_GE_OQ)));
+    m |= static_cast<std::uint64_t>(bits) << i;
+  }
+  for (; i < n; ++i) {
+    m |= static_cast<std::uint64_t>(x[i] >= threshold) << i;
+  }
+  return m;
+}
+
+#endif  // NETOBS_X86
+
+struct Kernels {
+  float (*dot)(const float*, const float*, std::size_t);
+  void (*axpy)(float, const float*, float*, std::size_t);
+  void (*scale)(float*, float, std::size_t);
+  void (*fused)(float, const float*, float*, float*, std::size_t);
+  void (*dot_block)(const float*, const float*, std::size_t, std::size_t,
+                    float*);
+  std::uint64_t (*mask_ge)(const float*, std::size_t, float);
+};
+
+Kernels kernels_for(Tier tier) {
+#if NETOBS_X86
+  switch (tier) {
+    case Tier::kAvx2:
+      return {dot_avx2, axpy_avx2,      scale_avx2,
+              fused_avx2, dot_block_avx2, mask_ge_avx2};
+    case Tier::kSse2:
+      return {dot_sse2, axpy_sse2,      scale_sse2,
+              fused_sse2, dot_block_sse2, mask_ge_sse2};
+    case Tier::kScalar:
+      break;
+  }
+#else
+  (void)tier;
+#endif
+  return {dot_scalar,   axpy_scalar,      scale_scalar,
+          fused_scalar, dot_block_scalar, mask_ge_scalar};
+}
+
+struct Dispatch {
+  Tier tier;
+  Kernels k;
+};
+
+Dispatch& dispatch() {
+  static Dispatch d{best_supported_tier(), kernels_for(best_supported_tier())};
+  return d;
+}
+
+}  // namespace
+
+Tier best_supported_tier() {
+#if NETOBS_X86
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return Tier::kAvx2;
+  }
+  return Tier::kSse2;  // baseline on x86-64
+#else
+  return Tier::kScalar;
+#endif
+}
+
+Tier active_tier() { return dispatch().tier; }
+
+const char* tier_name(Tier tier) {
+  switch (tier) {
+    case Tier::kAvx2:
+      return "avx2";
+    case Tier::kSse2:
+      return "sse2";
+    case Tier::kScalar:
+      return "scalar";
+  }
+  return "unknown";
+}
+
+Tier force_tier(Tier tier) {
+  Tier best = best_supported_tier();
+  if (static_cast<int>(tier) > static_cast<int>(best)) tier = best;
+  dispatch().tier = tier;
+  dispatch().k = kernels_for(tier);
+  return tier;
+}
+
+float dot(const float* a, const float* b, std::size_t n) {
+  return dispatch().k.dot(a, b, n);
+}
+
+void axpy(float alpha, const float* x, float* y, std::size_t n) {
+  dispatch().k.axpy(alpha, x, y, n);
+}
+
+void scale(float* x, float alpha, std::size_t n) {
+  dispatch().k.scale(x, alpha, n);
+}
+
+void fused_grad_update(float g, const float* in, float* out, float* grad,
+                       std::size_t n) {
+  dispatch().k.fused(g, in, out, grad, n);
+}
+
+void dot_block(const float* q, const float* base, std::size_t stride,
+               std::size_t nrows, float* out) {
+  dispatch().k.dot_block(q, base, stride, nrows, out);
+}
+
+std::uint64_t mask_ge(const float* x, std::size_t n, float threshold) {
+  return dispatch().k.mask_ge(x, n, threshold);
+}
+
+}  // namespace netobs::util::simd

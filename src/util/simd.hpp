@@ -1,0 +1,108 @@
+// Runtime-dispatched SIMD kernels for the dense-float hot paths.
+//
+// Three tiers — AVX2+FMA, SSE2, scalar — selected once per process from
+// CPUID (overridable per-thread-unsafe via force_tier for tests and
+// benchmarks). All tiers share one canonical accumulation order: a dot
+// product is accumulated into kLanes independent fused-multiply-add chains
+// (element i feeds chain i % kLanes) and reduced in the fixed tree
+// ((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7)). The scalar tier emulates this with
+// std::fma, which makes the scalar and AVX2+FMA tiers *bit-identical* — the
+// kNN oracle tests rely on that, not on tolerances. SSE2 has no fused
+// multiply-add, so it agrees only to rounding (covered by tolerance tests).
+//
+// The multi-row kernels (`dot_block`) assume the matrix rows are padded to
+// a multiple of kLanes floats and zero-filled in the pad — zeros feed the
+// same accumulator lanes the in-bounds tail elements would, so a padded
+// full-width sweep is bit-identical to the span kernel on the unpadded row.
+// EmbeddingMatrix provides exactly this layout.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace netobs::util::simd {
+
+/// Vector width (floats) of the widest tier; also the row-padding quantum.
+inline constexpr std::size_t kLanes = 8;
+/// Row alignment in bytes (one AVX2 register).
+inline constexpr std::size_t kRowAlignBytes = 32;
+
+enum class Tier { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+/// Best tier the running CPU supports (AVX2 requires FMA too).
+Tier best_supported_tier();
+
+/// Tier currently wired into the dispatch table.
+Tier active_tier();
+
+/// Human-readable tier name ("scalar", "sse2", "avx2").
+const char* tier_name(Tier tier);
+
+/// Rewires dispatch to `tier` (clamped to best_supported_tier()). Returns
+/// the tier actually selected. Not thread-safe; call from tests/benches
+/// before spawning workers.
+Tier force_tier(Tier tier);
+
+/// dim rounded up to the padding quantum.
+inline std::size_t padded_dim(std::size_t dim) {
+  return (dim + kLanes - 1) / kLanes * kLanes;
+}
+
+// --- Dispatched kernels. Pointers may be unaligned; n is the logical
+//     element count (tails handled inside, in canonical lane order).
+
+float dot(const float* a, const float* b, std::size_t n);
+
+/// y += alpha * x
+void axpy(float alpha, const float* x, float* y, std::size_t n);
+
+/// x *= alpha
+void scale(float* x, float alpha, std::size_t n);
+
+/// Fused SGNS inner update, one pass: grad += g * out; out += g * in.
+/// `in` must not alias `out` or `grad`.
+void fused_grad_update(float g, const float* in, float* out, float* grad,
+                       std::size_t n);
+
+/// Bit i of the result is set iff x[i] >= threshold (IEEE compare, so NaN
+/// scores never pass). n must be <= 64. Exact and therefore identical
+/// across tiers; the kNN scan uses it to skip whole score blocks that
+/// cannot displace anything in a warm top-k heap.
+std::uint64_t mask_ge(const float* x, std::size_t n, float threshold);
+
+/// Scores one query against `nrows` consecutive rows of a padded matrix:
+/// out[r] = dot(q, base + r * stride) over `stride` floats. `q` must be
+/// padded (zero-filled) to `stride` and aligned to kRowAlignBytes, `stride`
+/// a multiple of kLanes, and `base` aligned to kRowAlignBytes. Per-row
+/// accumulation is bit-identical to dot() on the unpadded row.
+void dot_block(const float* q, const float* base, std::size_t stride,
+               std::size_t nrows, float* out);
+
+/// Minimal aligned allocator so matrix storage can live in a std::vector
+/// while every row starts on a kRowAlignBytes boundary.
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) {}
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    void* p = ::operator new(n * sizeof(T), std::align_val_t(kRowAlignBytes));
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(kRowAlignBytes));
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const {
+    return true;
+  }
+};
+
+}  // namespace netobs::util::simd

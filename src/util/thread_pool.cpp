@@ -43,6 +43,19 @@ void ThreadPool::parallel_for(std::size_t n,
   for (auto& f : futures) f.get();
 }
 
+void ThreadPool::parallel_for_chunked(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  grain = std::max<std::size_t>(1, grain);
+  std::vector<std::future<void>> futures;
+  futures.reserve((n + grain - 1) / grain);
+  for (std::size_t begin = 0; begin < n; begin += grain) {
+    std::size_t end = std::min(n, begin + grain);
+    futures.push_back(submit([&fn, begin, end] { fn(begin, end); }));
+  }
+  for (auto& f : futures) f.get();
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::packaged_task<void()> task;

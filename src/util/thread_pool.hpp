@@ -35,6 +35,16 @@ class ThreadPool {
   /// The first exception (if any) is rethrown in the caller.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Chunked variant: runs fn(begin, end) over half-open ranges covering
+  /// [0, n), at most ceil(n / grain) jobs of up to `grain` indices each
+  /// (grain 0 is coerced to 1). One std::function dispatch per *chunk*
+  /// instead of per index — use this for cheap per-index work like the kNN
+  /// shard scan. Blocks until all chunks finish; the first exception (if
+  /// any) is rethrown in the caller.
+  void parallel_for_chunked(
+      std::size_t n, std::size_t grain,
+      const std::function<void(std::size_t, std::size_t)>& fn);
+
   std::size_t thread_count() const { return workers_.size(); }
 
  private:

@@ -3,26 +3,32 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/simd.hpp"
+
 namespace netobs::util {
 
 float dot(std::span<const float> a, std::span<const float> b) {
   assert(a.size() == b.size());
-  float s = 0.0F;
-  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
-  return s;
+  return simd::dot(a.data(), b.data(), a.size());
 }
 
 void axpy(float alpha, std::span<const float> x, std::span<float> y) {
   assert(x.size() == y.size());
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  simd::axpy(alpha, x.data(), y.data(), x.size());
 }
 
 void scale(std::span<float> x, float alpha) {
-  for (float& v : x) v *= alpha;
+  simd::scale(x.data(), alpha, x.size());
+}
+
+void fused_grad_update(float g, std::span<const float> in, std::span<float> out,
+                       std::span<float> grad) {
+  assert(in.size() == out.size() && in.size() == grad.size());
+  simd::fused_grad_update(g, in.data(), out.data(), grad.data(), in.size());
 }
 
 float l2_norm(std::span<const float> x) {
-  return std::sqrt(dot(x, x));
+  return std::sqrt(simd::dot(x.data(), x.data(), x.size()));
 }
 
 void normalize(std::span<float> x) {
@@ -54,7 +60,7 @@ std::vector<float> mean_of_rows(
   out.assign(rows.front().size(), 0.0F);
   for (const auto& row : rows) {
     assert(row.size() == out.size());
-    for (std::size_t i = 0; i < out.size(); ++i) out[i] += row[i];
+    axpy(1.0F, row, out);
   }
   float inv = 1.0F / static_cast<float>(rows.size());
   scale(out, inv);
@@ -63,23 +69,30 @@ std::vector<float> mean_of_rows(
 
 float sigmoid(float x) { return 1.0F / (1.0F + std::exp(-x)); }
 
-SigmoidTable::SigmoidTable() : table_(kTableSize) {
-  for (std::size_t i = 0; i < kTableSize; ++i) {
-    float x = (static_cast<float>(i) / static_cast<float>(kTableSize) * 2.0F -
-               1.0F) *
-              kMaxExp;
-    table_[i] = sigmoid(x);
+SigmoidTable::SigmoidTable() : half_(kTableSize / 2 + 1) {
+  // half_[j] = sigmoid(j / (half - 1) * kMaxExp), so half_[0] is exactly
+  // 0.5 and half_.back() is exactly sigmoid(kMaxExp): the endpoints of the
+  // clamped range are knots, unlike the historical full-range table whose
+  // last knot fell short of +kMaxExp.
+  std::size_t knots = half_.size();
+  for (std::size_t j = 0; j < knots; ++j) {
+    float x = static_cast<float>(j) / static_cast<float>(knots - 1) * kMaxExp;
+    half_[j] = sigmoid(x);
   }
 }
 
 float SigmoidTable::operator()(float x) const {
-  if (x <= -kMaxExp) return table_.front();
-  if (x >= kMaxExp) return table_.back();
-  auto idx = static_cast<std::size_t>((x + kMaxExp) /
-                                      (2.0F * kMaxExp) *
-                                      static_cast<float>(kTableSize));
-  if (idx >= kTableSize) idx = kTableSize - 1;
-  return table_[idx];
+  float ax = x < 0.0F ? -x : x;
+  std::size_t j;
+  if (ax >= kMaxExp) {
+    j = half_.size() - 1;
+  } else {
+    j = static_cast<std::size_t>(
+        ax / kMaxExp * static_cast<float>(half_.size() - 1) + 0.5F);
+    if (j >= half_.size()) j = half_.size() - 1;
+  }
+  float p = half_[j];
+  return x < 0.0F ? 1.0F - p : p;
 }
 
 const SigmoidTable& shared_sigmoid_table() {

@@ -1,7 +1,8 @@
 // Dense float vector kernels shared by the embedding trainer, the kNN index
-// and the profiler. Everything operates on contiguous float spans so the hot
-// loops vectorise; the trainer's sigmoid goes through a lookup table exactly
-// like the word2vec/GENSIM reference implementations.
+// and the profiler. Everything operates on contiguous float spans; the hot
+// loops dispatch to the runtime-selected SIMD tier in util/simd.hpp
+// (AVX2+FMA / SSE2 / scalar), and the trainer's sigmoid goes through a
+// lookup table exactly like the word2vec/GENSIM reference implementations.
 #pragma once
 
 #include <cstddef>
@@ -17,6 +18,13 @@ void axpy(float alpha, std::span<const float> x, std::span<float> y);
 
 /// x *= alpha
 void scale(std::span<float> x, float alpha);
+
+/// Fused SGNS inner update, one pass over the rows:
+///   grad += g * out;  out += g * in.
+/// `in` must not alias `out` or `grad`. Equivalent to axpy(g, out, grad)
+/// followed by axpy(g, in, out), but touches each cache line once.
+void fused_grad_update(float g, std::span<const float> in, std::span<float> out,
+                       std::span<float> grad);
 
 float l2_norm(std::span<const float> x);
 
@@ -36,19 +44,26 @@ float sigmoid(float x);
 
 /// Precomputed sigmoid table over [-kMaxExp, kMaxExp], the word2vec trick:
 /// callers clamp to the bounds (the gradient saturates there anyway).
+///
+/// Only the non-negative half is stored; negative inputs are answered via
+/// the identity sigmoid(-x) = 1 - sigmoid(x), which makes the table exactly
+/// symmetric (sig(-x) == 1 - sig(x) bitwise), exactly monotone, and exact
+/// at x = 0 and at the clamped endpoints ±kMaxExp.
 class SigmoidTable {
  public:
   static constexpr float kMaxExp = 6.0F;
+  /// Knot count over the full [-kMaxExp, kMaxExp] range (the stored
+  /// half-table has kTableSize / 2 + 1 entries).
   static constexpr std::size_t kTableSize = 1024;
 
   SigmoidTable();
 
-  /// Approximate sigmoid; exact at the table knots, clamped outside
-  /// [-kMaxExp, kMaxExp].
+  /// Approximate sigmoid; rounds to the nearest knot, exact at the knots,
+  /// clamped outside [-kMaxExp, kMaxExp].
   float operator()(float x) const;
 
  private:
-  std::vector<float> table_;
+  std::vector<float> half_;  ///< sigmoid on [0, kMaxExp], half_[0] = 0.5
 };
 
 /// Process-wide shared table (construction is cheap but the trainer calls

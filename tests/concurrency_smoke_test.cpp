@@ -1,0 +1,66 @@
+// The lock-free concurrency hot spots in one place, registered as the
+// `sanitizer_smoke` ctest: under -DNETOBS_SANITIZE=thread this is the TSan
+// gate for the Hogwild SGNS trainer, the shard-parallel kNN scan and the
+// chunked thread-pool dispatch; in plain builds it is a fast smoke test.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "embedding/knn.hpp"
+#include "embedding/sgns.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace netobs {
+namespace {
+
+TEST(ConcurrencySmoke, HogwildTrainerRaces) {
+  std::vector<embedding::Sequence> corpus;
+  for (int r = 0; r < 40; ++r) {
+    corpus.push_back({"a.com", "b.com", "c.com", "d.com"});
+    corpus.push_back({"c.com", "d.com", "e.com", "f.com"});
+  }
+  embedding::SgnsParams params;
+  params.dim = 16;
+  params.epochs = 2;
+  params.threads = 4;
+  embedding::VocabularyParams vp;
+  vp.min_count = 1;
+  embedding::SgnsTrainer trainer(params, vp);
+  auto model = trainer.fit(corpus);
+  EXPECT_EQ(model.size(), 6U);
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    for (float v : model.vector_of(static_cast<embedding::TokenId>(i))) {
+      EXPECT_TRUE(std::isfinite(v));
+    }
+  }
+}
+
+TEST(ConcurrencySmoke, ShardParallelKnnScan) {
+  embedding::EmbeddingMatrix m(600, 12);
+  util::Pcg32 rng(77);
+  m.init_uniform(rng);
+  embedding::CosineKnnIndex index(m);
+  util::ThreadPool pool(4);
+  index.set_thread_pool(&pool, 32);
+  std::vector<float> q(m.row(3).begin(), m.row(3).end());
+  for (int i = 0; i < 8; ++i) {
+    auto nbs = index.query(q, 25);
+    ASSERT_EQ(nbs.size(), 25U);
+    EXPECT_EQ(nbs.front().id, 3U);  // the row itself wins
+  }
+}
+
+TEST(ConcurrencySmoke, ChunkedDispatchCoversAllIndices) {
+  util::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for_chunked(1000, 37, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+}  // namespace
+}  // namespace netobs

@@ -107,9 +107,17 @@ TEST(EmbeddingMatrix, InitUniformRange) {
   util::Pcg32 rng(3);
   m.init_uniform(rng);
   float bound = 0.5F / 50.0F;
-  for (float v : m.data()) {
+  for (float v : m.packed_copy()) {
     EXPECT_GE(v, -bound);
     EXPECT_LT(v, bound);
+  }
+  // Storage is padded to the SIMD lane quantum; pad lanes stay zero.
+  EXPECT_EQ(m.stride(), util::simd::padded_dim(50));
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const float* row = m.padded_data() + i * m.stride();
+    for (std::size_t j = m.dim(); j < m.stride(); ++j) {
+      EXPECT_EQ(row[j], 0.0F);
+    }
   }
 }
 
@@ -187,6 +195,27 @@ TEST(SgnsTrainer, MultiThreadedTrainingLearns) {
   auto vec = [&](const std::string& h) { return *model.vector_of(h); };
   EXPECT_GT(util::cosine(vec("travel1.com"), vec("travel2.com")),
             util::cosine(vec("travel1.com"), vec("sport3.com")));
+}
+
+TEST(SgnsTrainer, TierParityAtTolerance) {
+  // The fused SIMD kernels must train to the same model as the scalar
+  // reference tier (bit-identical on AVX2+FMA hosts, tolerance elsewhere).
+  auto corpus = clustered_corpus();
+  util::simd::Tier saved = util::simd::active_tier();
+  util::simd::force_tier(util::simd::Tier::kScalar);
+  auto scalar_model = SgnsTrainer(small_params(), loose_vocab()).fit(corpus);
+  util::simd::force_tier(util::simd::best_supported_tier());
+  auto simd_model = SgnsTrainer(small_params(), loose_vocab()).fit(corpus);
+  util::simd::force_tier(saved);
+
+  ASSERT_EQ(scalar_model.size(), simd_model.size());
+  for (std::size_t i = 0; i < scalar_model.size(); ++i) {
+    auto a = scalar_model.vector_of(static_cast<TokenId>(i));
+    auto b = simd_model.vector_of(static_cast<TokenId>(i));
+    for (std::size_t j = 0; j < a.size(); ++j) {
+      EXPECT_NEAR(a[j], b[j], 1e-3F) << "row " << i << " dim " << j;
+    }
+  }
 }
 
 TEST(SgnsTrainer, RejectsBadParams) {

@@ -1,0 +1,156 @@
+// kNN oracle: the blocked heap scan, the batched sweep and the sharded
+// scan must all reproduce a naive full-sort reference *bit-identically*
+// (same ids, same float similarities, same deterministic tie-break).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "embedding/knn.hpp"
+#include "embedding/matrix.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "util/vec_math.hpp"
+
+namespace netobs::embedding {
+namespace {
+
+EmbeddingMatrix random_matrix(std::size_t rows, std::size_t dim,
+                              std::uint64_t seed) {
+  EmbeddingMatrix m(rows, dim);
+  util::Pcg32 rng(seed);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (float& v : m.row(i)) {
+      v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    }
+  }
+  return m;
+}
+
+/// Naive reference: normalise everything, score every row with the span
+/// kernel, full sort with the published tie-break.
+std::vector<CosineKnnIndex::Neighbor> naive_topk(const EmbeddingMatrix& m,
+                                                 std::vector<float> query,
+                                                 std::size_t n) {
+  float norm = util::l2_norm(query);
+  if (norm == 0.0F || n == 0) return {};
+  util::scale(query, 1.0F / norm);
+  std::vector<CosineKnnIndex::Neighbor> scored;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    std::vector<float> row(m.row(i).begin(), m.row(i).end());
+    util::normalize(row);
+    scored.push_back({static_cast<TokenId>(i), util::dot(query, row)});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const CosineKnnIndex::Neighbor& a,
+               const CosineKnnIndex::Neighbor& b) {
+              if (a.similarity != b.similarity) {
+                return a.similarity > b.similarity;
+              }
+              return a.id < b.id;
+            });
+  scored.resize(std::min(n, scored.size()));
+  return scored;
+}
+
+void expect_identical(const std::vector<CosineKnnIndex::Neighbor>& got,
+                      const std::vector<CosineKnnIndex::Neighbor>& want,
+                      const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id) << what << " rank " << i;
+    // Bit-identical, not approximately equal: every path must compute the
+    // very same floats.
+    EXPECT_EQ(got[i].similarity, want[i].similarity) << what << " rank " << i;
+  }
+}
+
+TEST(KnnOracle, BlockedScanMatchesNaiveReference) {
+  // 403 rows hits partial tail blocks; dim 37 exercises padded lanes.
+  auto m = random_matrix(403, 37, 7);
+  CosineKnnIndex index(m);
+  util::Pcg32 rng(11);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<float> q(37);
+    for (auto& v : q) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    for (std::size_t n : {1UL, 10UL, 100UL, 500UL}) {
+      expect_identical(index.query(q, n), naive_topk(m, q, n), "query");
+    }
+  }
+}
+
+TEST(KnnOracle, BatchMatchesPerQueryScan) {
+  auto m = random_matrix(257, 24, 9);
+  CosineKnnIndex index(m);
+  util::Pcg32 rng(13);
+  std::vector<std::vector<float>> queries;
+  for (int i = 0; i < 9; ++i) {
+    std::vector<float> q(24);
+    for (auto& v : q) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    queries.push_back(std::move(q));
+  }
+  queries.push_back(std::vector<float>(24, 0.0F));  // zero-norm slot
+
+  auto batched = index.query_batch(queries, 20);
+  ASSERT_EQ(batched.size(), queries.size());
+  for (std::size_t i = 0; i + 1 < queries.size(); ++i) {
+    expect_identical(batched[i], index.query(queries[i], 20), "batch");
+    expect_identical(batched[i], naive_topk(m, queries[i], 20),
+                     "batch-vs-naive");
+  }
+  EXPECT_TRUE(batched.back().empty()) << "zero query must stay empty";
+}
+
+TEST(KnnOracle, ShardedScanIsBitIdenticalToSerial) {
+  auto m = random_matrix(1000, 16, 21);
+  CosineKnnIndex serial(m);
+  CosineKnnIndex sharded(m);
+  util::ThreadPool pool(4);
+  sharded.set_thread_pool(&pool, 64);  // force several shards
+
+  util::Pcg32 rng(17);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<float> q(16);
+    for (auto& v : q) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    expect_identical(sharded.query(q, 50), serial.query(q, 50), "sharded");
+    expect_identical(sharded.query(q, 50), naive_topk(m, q, 50),
+                     "sharded-vs-naive");
+  }
+  // nearest_to excludes the row itself on both paths.
+  auto nb_serial = serial.nearest_to(5, 10);
+  auto nb_sharded = sharded.nearest_to(5, 10);
+  expect_identical(nb_sharded, nb_serial, "nearest_to");
+  for (const auto& nb : nb_sharded) EXPECT_NE(nb.id, 5U);
+}
+
+TEST(KnnOracle, TiesBreakByAscendingId) {
+  // Five identical rows plus one orthogonal row: the tie group must come
+  // back in ascending id order on every path.
+  EmbeddingMatrix m(6, 4);
+  for (std::size_t i = 0; i < 5; ++i) m.row(i)[0] = 2.0F;
+  m.row(5)[1] = 1.0F;
+  CosineKnnIndex index(m);
+  std::vector<float> q = {1.0F, 0.0F, 0.0F, 0.0F};
+
+  auto got = index.query(q, 5);
+  ASSERT_EQ(got.size(), 5U);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(got[i].id, static_cast<TokenId>(i));
+  }
+  auto batched = index.query_batch({q}, 5);
+  expect_identical(batched[0], got, "tie batch");
+  expect_identical(got, naive_topk(m, q, 5), "tie naive");
+}
+
+TEST(KnnOracle, ExcludedRowNeverAppears) {
+  auto m = random_matrix(100, 8, 3);
+  CosineKnnIndex index(m);
+  for (TokenId id : {0U, 50U, 99U}) {  // first, middle and last block
+    auto nbs = index.nearest_to(id, 99);
+    EXPECT_EQ(nbs.size(), 99U);
+    for (const auto& nb : nbs) EXPECT_NE(nb.id, id);
+  }
+}
+
+}  // namespace
+}  // namespace netobs::embedding

@@ -190,6 +190,35 @@ TEST_F(ProfilerTest, NormalizedMeanAggregationWorksToo) {
   EXPECT_GT(p.categories[0], p.categories[1]);
 }
 
+TEST_F(ProfilerTest, BatchProfilesAreBitIdenticalToSerial) {
+  SessionProfiler profiler(*model_, *index_, labeler_);
+  std::vector<std::vector<std::string>> sessions = {
+      {"travel-a.com", "travel-b.com"},
+      {"travel-api.net"},
+      {},                  // empty session
+      {"never-seen.com"},  // out of vocabulary
+      {"travel-a.com", "sport-a.com"},
+      {"sport-b.com", "sport-api.net"},
+  };
+  auto batched = profiler.profile_batch(sessions);
+  ASSERT_EQ(batched.size(), sessions.size());
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    auto serial = profiler.profile(sessions[i]);
+    EXPECT_EQ(batched[i].empty(), serial.empty()) << "session " << i;
+    EXPECT_EQ(batched[i].hosts_in_vocab, serial.hosts_in_vocab);
+    EXPECT_EQ(batched[i].labeled_in_session, serial.labeled_in_session);
+    EXPECT_EQ(batched[i].labeled_neighbors, serial.labeled_neighbors);
+    EXPECT_EQ(batched[i].weight_mass, serial.weight_mass);
+    EXPECT_EQ(batched[i].session_vector, serial.session_vector);
+    ASSERT_EQ(batched[i].categories.size(), serial.categories.size());
+    for (std::size_t c = 0; c < serial.categories.size(); ++c) {
+      // The batched kNN path must reproduce the serial floats exactly.
+      EXPECT_EQ(batched[i].categories[c], serial.categories[c])
+          << "session " << i << " category " << c;
+    }
+  }
+}
+
 TEST_F(ProfilerTest, RejectsZeroKnn) {
   ProfilerParams params;
   params.knn = 0;
@@ -238,6 +267,42 @@ TEST(ProfilingService, EndToEndDailyLoop) {
 
   // Unknown user yields an empty profile, not an error.
   EXPECT_TRUE(service.profile_user(99, now).empty());
+}
+
+TEST(ProfilingService, BatchedUserProfilesMatchSerial) {
+  ontology::HostLabeler labeler(2);
+  labeler.set_label("travel-a.com", {1.0F, 0.0F});
+  labeler.set_label("sport-a.com", {0.0F, 1.0F});
+  ServiceParams params;
+  params.sgns.dim = 12;
+  params.sgns.epochs = 10;
+  params.vocab.min_count = 1;
+  params.vocab.subsample_threshold = 0.0;
+  ProfilingService service(labeler, nullptr, params);
+  for (int rep = 0; rep < 50; ++rep) {
+    util::Timestamp base = rep * 10 * util::kMinute;
+    service.ingest({{1, base + 1, "travel-a.com"},
+                    {1, base + 2, "travel-api.net"},
+                    {2, base + 1, "sport-a.com"},
+                    {2, base + 2, "sport-api.net"}});
+  }
+  ASSERT_TRUE(service.retrain(0));
+  util::Timestamp now = util::kDay + 5 * util::kMinute;
+  service.ingest({{1, now - util::kMinute, "travel-api.net"},
+                  {2, now - util::kMinute, "sport-api.net"}});
+
+  auto batched = service.profile_users({1, 2, 99}, now);
+  ASSERT_EQ(batched.size(), 3U);
+  for (std::size_t i = 0; i < 2; ++i) {
+    auto serial = service.profile_user(static_cast<std::uint32_t>(i + 1), now);
+    ASSERT_EQ(batched[i].categories.size(), serial.categories.size());
+    for (std::size_t c = 0; c < serial.categories.size(); ++c) {
+      EXPECT_EQ(batched[i].categories[c], serial.categories[c]);
+    }
+  }
+  EXPECT_TRUE(batched[2].empty());  // unknown user, no error
+  EXPECT_THROW(ProfilingService(labeler, nullptr).profile_batch({{}}),
+               std::logic_error);
 }
 
 TEST(ProfilingService, RetrainFailsGracefullyOnEmptyDay) {

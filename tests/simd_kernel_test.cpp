@@ -1,0 +1,215 @@
+// SIMD-vs-scalar parity for every dispatched kernel, across random lengths
+// (including non-multiples-of-8) and unaligned tails, plus the bit-identity
+// guarantee between the scalar and AVX2+FMA tiers that the kNN oracle
+// relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/simd.hpp"
+#include "util/vec_math.hpp"
+
+namespace netobs::util {
+namespace {
+
+/// Restores the dispatch tier even if a test fails mid-way.
+struct TierGuard {
+  simd::Tier saved = simd::active_tier();
+  ~TierGuard() { simd::force_tier(saved); }
+};
+
+std::vector<simd::Tier> available_tiers() {
+  std::vector<simd::Tier> tiers = {simd::Tier::kScalar};
+  if (static_cast<int>(simd::best_supported_tier()) >=
+      static_cast<int>(simd::Tier::kSse2)) {
+    tiers.push_back(simd::Tier::kSse2);
+  }
+  if (simd::best_supported_tier() == simd::Tier::kAvx2) {
+    tiers.push_back(simd::Tier::kAvx2);
+  }
+  return tiers;
+}
+
+std::vector<float> random_vec(Pcg32& rng, std::size_t n) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+// Plain double-precision reference, deliberately *not* the lane-emulating
+// scalar tier.
+double ref_dot(const float* a, const float* b, std::size_t n) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    s += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return s;
+}
+
+// Lengths that cover multiples of 8, stragglers around the lane width, and
+// short vectors that never reach the main loop.
+const std::size_t kLengths[] = {1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17,
+                                31, 63, 64, 100, 127, 128, 300};
+
+TEST(SimdKernels, DotMatchesReferenceOnEveryTier) {
+  TierGuard guard;
+  Pcg32 rng(41);
+  for (simd::Tier tier : available_tiers()) {
+    ASSERT_EQ(simd::force_tier(tier), tier);
+    for (std::size_t n : kLengths) {
+      for (std::size_t offset : {0U, 1U, 3U}) {  // unaligned tails
+        auto a = random_vec(rng, n + offset);
+        auto b = random_vec(rng, n + offset);
+        float got = simd::dot(a.data() + offset, b.data() + offset, n);
+        double want = ref_dot(a.data() + offset, b.data() + offset, n);
+        EXPECT_NEAR(got, want, 1e-4 * static_cast<double>(n) + 1e-5)
+            << simd::tier_name(tier) << " n=" << n << " off=" << offset;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, AxpyScaleFusedMatchReferenceOnEveryTier) {
+  TierGuard guard;
+  Pcg32 rng(43);
+  for (simd::Tier tier : available_tiers()) {
+    ASSERT_EQ(simd::force_tier(tier), tier);
+    for (std::size_t n : kLengths) {
+      auto x = random_vec(rng, n);
+      auto y = random_vec(rng, n);
+      auto grad = random_vec(rng, n);
+      float alpha = 0.37F;
+
+      auto y_axpy = y;
+      simd::axpy(alpha, x.data(), y_axpy.data(), n);
+      auto y_scale = y;
+      simd::scale(y_scale.data(), alpha, n);
+      auto out_fused = y;
+      auto grad_fused = grad;
+      simd::fused_grad_update(alpha, x.data(), out_fused.data(),
+                              grad_fused.data(), n);
+
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(y_axpy[i], y[i] + alpha * x[i], 1e-5)
+            << simd::tier_name(tier) << " axpy i=" << i;
+        EXPECT_FLOAT_EQ(y_scale[i], y[i] * alpha)
+            << simd::tier_name(tier) << " scale i=" << i;
+        // fused = axpy(g, out_before, grad) then axpy(g, in, out).
+        EXPECT_NEAR(grad_fused[i], grad[i] + alpha * y[i], 1e-5)
+            << simd::tier_name(tier) << " fused/grad i=" << i;
+        EXPECT_NEAR(out_fused[i], y[i] + alpha * x[i], 1e-5)
+            << simd::tier_name(tier) << " fused/out i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, DotBlockIsBitIdenticalToSpanDot) {
+  TierGuard guard;
+  Pcg32 rng(47);
+  for (simd::Tier tier : available_tiers()) {
+    ASSERT_EQ(simd::force_tier(tier), tier);
+    for (std::size_t dim : {1UL, 7UL, 8UL, 100UL, 129UL}) {
+      std::size_t stride = simd::padded_dim(dim);
+      constexpr std::size_t kRows = 11;  // exercises the 4-row chunk tail
+      std::vector<float, simd::AlignedAllocator<float>> mat(kRows * stride,
+                                                            0.0F);
+      std::vector<float, simd::AlignedAllocator<float>> q(stride, 0.0F);
+      for (std::size_t r = 0; r < kRows; ++r) {
+        for (std::size_t j = 0; j < dim; ++j) {
+          mat[r * stride + j] = static_cast<float>(rng.uniform(-1.0, 1.0));
+        }
+      }
+      for (std::size_t j = 0; j < dim; ++j) {
+        q[j] = static_cast<float>(rng.uniform(-1.0, 1.0));
+      }
+      float out[kRows];
+      simd::dot_block(q.data(), mat.data(), stride, kRows, out);
+      for (std::size_t r = 0; r < kRows; ++r) {
+        // The padded sweep must reproduce the span kernel exactly — this
+        // is what makes blocked kNN scores identical to per-row scores.
+        EXPECT_EQ(out[r], simd::dot(q.data(), mat.data() + r * stride, dim))
+            << simd::tier_name(tier) << " dim=" << dim << " row=" << r;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, ScalarTierIsBitIdenticalToAvx2) {
+  if (simd::best_supported_tier() != simd::Tier::kAvx2) {
+    GTEST_SKIP() << "no AVX2+FMA on this host";
+  }
+  TierGuard guard;
+  Pcg32 rng(53);
+  for (std::size_t n : kLengths) {
+    auto a = random_vec(rng, n);
+    auto b = random_vec(rng, n);
+    simd::force_tier(simd::Tier::kScalar);
+    float scalar = simd::dot(a.data(), b.data(), n);
+    simd::force_tier(simd::Tier::kAvx2);
+    float avx2 = simd::dot(a.data(), b.data(), n);
+    // Same lane assignment, same fma rounding, same reduction tree.
+    EXPECT_EQ(scalar, avx2) << "n=" << n;
+
+    auto y1 = b;
+    auto y2 = b;
+    simd::force_tier(simd::Tier::kScalar);
+    simd::axpy(0.77F, a.data(), y1.data(), n);
+    simd::force_tier(simd::Tier::kAvx2);
+    simd::axpy(0.77F, a.data(), y2.data(), n);
+    EXPECT_EQ(y1, y2) << "axpy n=" << n;
+  }
+}
+
+TEST(SimdKernels, MaskGeIsExactOnEveryTier) {
+  // An IEEE compare has one right answer, so every tier must agree bit for
+  // bit — including equal-to-threshold (kept, for the id tie-break) and
+  // NaN scores (always dropped).
+  TierGuard guard;
+  Pcg32 rng(43);
+  for (std::size_t n : kLengths) {
+    if (n > 64) continue;  // contract: one 64-bit block at most
+    auto x = random_vec(rng, n);
+    x[rng.next_below(static_cast<std::uint32_t>(n))] = 0.25F;  // exact hit
+    if (n > 2) x[1] = std::nanf("");
+    for (float threshold : {-2.0F, 0.25F, 0.0F, 2.0F}) {
+      std::uint64_t want = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        want |= static_cast<std::uint64_t>(x[i] >= threshold) << i;
+      }
+      for (simd::Tier tier : available_tiers()) {
+        ASSERT_EQ(simd::force_tier(tier), tier);
+        EXPECT_EQ(simd::mask_ge(x.data(), n, threshold), want)
+            << simd::tier_name(tier) << " n=" << n << " t=" << threshold;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, ForceTierClampsToSupported) {
+  TierGuard guard;
+  simd::Tier got = simd::force_tier(simd::Tier::kAvx2);
+  EXPECT_LE(static_cast<int>(got),
+            static_cast<int>(simd::best_supported_tier()));
+  EXPECT_EQ(simd::active_tier(), got);
+  EXPECT_STREQ(simd::tier_name(simd::Tier::kScalar), "scalar");
+  EXPECT_STREQ(simd::tier_name(simd::Tier::kSse2), "sse2");
+  EXPECT_STREQ(simd::tier_name(simd::Tier::kAvx2), "avx2");
+}
+
+TEST(SimdKernels, VecMathWrappersDispatch) {
+  // The span-level API must agree with the raw kernels it forwards to.
+  std::vector<float> a = {1.0F, 2.0F, 3.0F, 4.0F, 5.0F, 6.0F, 7.0F, 8.0F,
+                          9.0F};
+  std::vector<float> b = {9.0F, 8.0F, 7.0F, 6.0F, 5.0F, 4.0F, 3.0F, 2.0F,
+                          1.0F};
+  EXPECT_EQ(dot(a, b), simd::dot(a.data(), b.data(), a.size()));
+  EXPECT_FLOAT_EQ(dot(a, b), 165.0F);
+}
+
+}  // namespace
+}  // namespace netobs::util

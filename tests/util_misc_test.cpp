@@ -144,6 +144,30 @@ TEST(SigmoidTable, ApproximatesExactSigmoid) {
   EXPECT_GT(table(100.0F), 0.99F);
 }
 
+TEST(SigmoidTable, EndpointsAreExact) {
+  // The clamped range ends are knots: sigmoid(kMaxExp) exactly, not the
+  // last interior knot (the historical table returned sigmoid(~5.988)).
+  const auto& table = shared_sigmoid_table();
+  EXPECT_EQ(table(SigmoidTable::kMaxExp), sigmoid(SigmoidTable::kMaxExp));
+  EXPECT_EQ(table(1000.0F), sigmoid(SigmoidTable::kMaxExp));
+  EXPECT_EQ(table(-SigmoidTable::kMaxExp),
+            1.0F - sigmoid(SigmoidTable::kMaxExp));
+  EXPECT_EQ(table(-1000.0F), 1.0F - sigmoid(SigmoidTable::kMaxExp));
+  EXPECT_EQ(table(0.0F), 0.5F);
+}
+
+TEST(SigmoidTable, SymmetricAndMonotone) {
+  const auto& table = shared_sigmoid_table();
+  float prev = 0.0F;
+  for (float x = -7.0F; x <= 7.0F; x += 0.013F) {
+    // Exact symmetry by construction, not within tolerance.
+    EXPECT_EQ(table(-x), 1.0F - table(x)) << "x=" << x;
+    float y = table(x);
+    EXPECT_GE(y, prev) << "x=" << x;  // monotone non-decreasing
+    prev = y;
+  }
+}
+
 TEST(ThreadPool, RunsAllJobs) {
   ThreadPool pool(4);
   std::atomic<int> count{0};
@@ -159,6 +183,45 @@ TEST(ThreadPool, PropagatesExceptions) {
                           if (i == 5) throw std::runtime_error("boom");
                         }),
       std::runtime_error);
+}
+
+TEST(ThreadPool, ChunkedCoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(101);
+  pool.parallel_for_chunked(101, 10, [&](std::size_t begin, std::size_t end) {
+    ASSERT_LT(begin, end);
+    ASSERT_LE(end - begin, 10U);
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ChunkedHandlesDegenerateInputs) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  // grain 0 coerced to 1; n == 0 dispatches nothing.
+  pool.parallel_for_chunked(3, 0, [&](std::size_t begin, std::size_t end) {
+    count += static_cast<int>(end - begin);
+  });
+  EXPECT_EQ(count.load(), 3);
+  pool.parallel_for_chunked(
+      0, 8, [&](std::size_t, std::size_t) { count += 1000; });
+  EXPECT_EQ(count.load(), 3);
+  // A grain larger than n collapses to one chunk.
+  pool.parallel_for_chunked(5, 100, [&](std::size_t begin, std::size_t end) {
+    EXPECT_EQ(begin, 0U);
+    EXPECT_EQ(end, 5U);
+  });
+}
+
+TEST(ThreadPool, ChunkedPropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for_chunked(
+                   20, 4,
+                   [](std::size_t begin, std::size_t) {
+                     if (begin == 8) throw std::runtime_error("boom");
+                   }),
+               std::runtime_error);
 }
 
 TEST(ThreadPool, ZeroThreadsCoercedToOne) {
