@@ -47,6 +47,6 @@ int main(int argc, char** argv) {
                "profiles the ontology alone cannot; quality grows with\n"
                "coverage — exactly the paper's motivation for\n"
                "representation learning over raw ontology lookups.\n";
-  bench::dump_metrics(cfg);
+  bench::dump_telemetry(cfg);
   return 0;
 }

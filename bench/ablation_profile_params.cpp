@@ -77,6 +77,6 @@ int main(int argc, char** argv) {
                "vocabulary size (dilution) or is tiny (no propagation);\n"
                "tracker filtering helps; the embedding beats or matches the\n"
                "ontology-only baseline while profiling more sessions.\n";
-  bench::dump_metrics(cfg);
+  bench::dump_telemetry(cfg);
   return 0;
 }

@@ -67,6 +67,6 @@ int main(int argc, char** argv) {
                "full-rate LR schedule of a warm restart re-shocks old rows,\n"
                "so warm-starting is no free win); Hogwild threading does\n"
                "not degrade quality.\n";
-  bench::dump_metrics(cfg);
+  bench::dump_telemetry(cfg);
   return 0;
 }

@@ -52,6 +52,6 @@ int main(int argc, char** argv) {
   std::cout << "\nshape checks: very short windows yield fewer/poorer\n"
                "profiles, quality plateaus around the paper's T=20 min, and\n"
                "very long windows dilute the session's current interest.\n";
-  bench::dump_metrics(cfg);
+  bench::dump_telemetry(cfg);
   return 0;
 }

@@ -86,6 +86,6 @@ int main(int argc, char** argv) {
                "CDN/API endpoint dark; the embedding reaches them through\n"
                "co-requests — the paper's argument for representation\n"
                "learning over content analysis.\n";
-  bench::dump_metrics(cfg);
+  bench::dump_telemetry(cfg);
   return 0;
 }

@@ -1,0 +1,140 @@
+// CI perf gate: re-runs the --bench-baseline micro suite (the measurement
+// shared with bench/micro_pipeline via bench/micro_baseline.hpp) and
+// compares against the committed BENCH_micro.json. A current timing more
+// than --tolerance (default 30%) slower than the recorded number, or an
+// acceptance speedup dropping below its target, exits non-zero with a
+// per-metric report.
+//
+//   check_bench_regression [--baseline=PATH] [--tolerance=0.30]
+//                          [--update[=PATH]]
+//
+// --update rewrites the baseline file from the fresh run instead of
+// comparing (for refreshing BENCH_micro.json on a quiet machine). Wire into
+// ctest with -DNETOBS_BENCH_GATE=ON; off by default because wall-clock
+// numbers from a loaded CI box would make tier-1 flaky.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/micro_baseline.hpp"
+
+namespace {
+
+using namespace netobs;
+
+/// Minimal scan for `"key": <number>` in a flat JSON document. Good enough
+/// for the file this repo writes; returns false when the key is absent.
+bool find_number(const std::string& doc, const std::string& key,
+                 double* out) {
+  std::string needle = "\"" + key + "\":";
+  auto pos = doc.find(needle);
+  if (pos == std::string::npos) return false;
+  pos += needle.size();
+  while (pos < doc.size() && (doc[pos] == ' ' || doc[pos] == '\t')) ++pos;
+  char* end = nullptr;
+  double v = std::strtod(doc.c_str() + pos, &end);
+  if (end == doc.c_str() + pos) return false;
+  *out = v;
+  return true;
+}
+
+struct Check {
+  const char* key;        ///< key in BENCH_micro.json
+  double current;         ///< freshly measured value
+  bool lower_is_better;   ///< timings: true; speedups: false
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path = "BENCH_micro.json";
+  double tolerance = 0.30;
+  bool update = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(std::string("--baseline=").size());
+    } else if (arg.rfind("--tolerance=", 0) == 0) {
+      tolerance =
+          std::strtod(arg.c_str() + std::string("--tolerance=").size(),
+                      nullptr);
+    } else if (arg == "--update") {
+      update = true;
+    } else if (arg.rfind("--update=", 0) == 0) {
+      update = true;
+      baseline_path = arg.substr(std::string("--update=").size());
+    } else if (arg == "--help") {
+      std::cout << "usage: " << argv[0]
+                << " [--baseline=PATH] [--tolerance=0.30] [--update]\n";
+      return 0;
+    }
+  }
+
+  bench::MicroBaselineResult r = bench::run_micro_baseline();
+  if (update) {
+    if (!bench::write_micro_baseline_json(baseline_path, r)) return 1;
+    std::cout << "[gate] baseline refreshed: " << baseline_path << "\n";
+    return 0;
+  }
+
+  std::ifstream in(baseline_path);
+  if (!in) {
+    std::cerr << "[gate] cannot read baseline " << baseline_path
+              << " (run micro_pipeline --bench-baseline or pass --update)\n";
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string doc = buf.str();
+
+  std::vector<Check> checks = {
+      {"scalar_fullsort_ms", r.fullsort_s * 1e3, true},
+      {"blocked_heap_ms", r.blocked_s * 1e3, true},
+      {"batch32_per_query_ms", r.batch_per_query_s * 1e3, true},
+      {"scalar_ns", r.dot_scalar_ns, true},
+      {"speedup_vs_scalar_fullsort", r.knn_speedup(), false},
+      {"batch_speedup_vs_single_query", r.batch_speedup(), false},
+  };
+
+  int failures = 0;
+  for (const Check& c : checks) {
+    double recorded = 0.0;
+    if (!find_number(doc, c.key, &recorded)) {
+      std::cerr << "[gate] MISSING  " << c.key << " not in " << baseline_path
+                << "\n";
+      ++failures;
+      continue;
+    }
+    bool ok = c.lower_is_better
+                  ? c.current <= recorded * (1.0 + tolerance)
+                  : c.current >= recorded * (1.0 - tolerance);
+    std::cout << "[gate] " << (ok ? "ok      " : "REGRESSED ") << c.key
+              << ": recorded " << recorded << ", current " << c.current
+              << " (tolerance " << tolerance * 100 << "%)\n";
+    if (!ok) ++failures;
+  }
+
+  // The absolute acceptance targets must hold regardless of the recorded
+  // numbers — a stale baseline cannot grandfather a slow build in.
+  if (r.knn_speedup() < 3.0) {
+    std::cerr << "[gate] REGRESSED knn speedup " << r.knn_speedup()
+              << " below the 3.0 acceptance target\n";
+    ++failures;
+  }
+  if (r.batch_speedup() < 1.5) {
+    std::cerr << "[gate] REGRESSED batch speedup " << r.batch_speedup()
+              << " below the 1.5 acceptance target\n";
+    ++failures;
+  }
+
+  if (failures > 0) {
+    std::cerr << "[gate] " << failures << " check(s) failed against "
+              << baseline_path << "\n";
+    return 1;
+  }
+  std::cout << "[gate] all checks passed against " << baseline_path << "\n";
+  return 0;
+}

@@ -11,26 +11,44 @@
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "obs/export.hpp"
+#include "obs/http_server.hpp"
 #include "obs/metrics.hpp"
+#include "obs/stats_stream.hpp"
 #include "obs/trace.hpp"
 #include "ontology/category_tree.hpp"
 #include "synth/browsing.hpp"
 #include "synth/users.hpp"
 #include "synth/world.hpp"
+#include "util/simd.hpp"
 
 namespace netobs::bench {
 
 struct BenchConfig {
+  BenchConfig() = default;
+  /// Bench defaults are spelled `{users, days, seed, metrics_out}` at every
+  /// call site; the telemetry fields below are flag-driven only.
+  BenchConfig(std::size_t u, std::int64_t d, std::uint64_t s,
+              std::string metrics = "")
+      : users(u), days(d), seed(s), metrics_out(std::move(metrics)) {}
+
   std::size_t users = 300;
   std::int64_t days = 10;
   std::uint64_t seed = 2021;
   /// When non-empty, the run dumps the metrics registry here on exit
   /// (".json" → pretty JSON, anything else → Prometheus text format).
   std::string metrics_out;
+  /// When non-empty, tracing is enabled and the span tree is dumped here on
+  /// exit (see obs::write_trace_tree).
+  std::string trace_out;
+  /// When >= 0, serve_telemetry() starts the embedded HTTP endpoint on this
+  /// port (0 = ephemeral) and hold_if_serving() blocks at the end of the run.
+  int serve_port = -1;
 };
 
 inline BenchConfig parse_config(int argc, char** argv, BenchConfig defaults) {
@@ -51,27 +69,91 @@ inline BenchConfig parse_config(int argc, char** argv, BenchConfig defaults) {
       cfg.metrics_out = v4;
     } else if (arg == "--metrics-out" && i + 1 < argc) {
       cfg.metrics_out = argv[++i];
+    } else if (const char* v5 = value_of("--trace-out=")) {
+      cfg.trace_out = v5;
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      cfg.trace_out = argv[++i];
+    } else if (const char* v6 = value_of("--serve-telemetry=")) {
+      cfg.serve_port = static_cast<int>(std::strtol(v6, nullptr, 10));
+    } else if (arg == "--serve-telemetry" && i + 1 < argc) {
+      cfg.serve_port = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
     } else if (arg == "--help") {
       std::cout << "usage: " << argv[0]
-                << " [--users=N] [--days=N] [--seed=N] [--metrics-out=PATH]\n";
+                << " [--users=N] [--days=N] [--seed=N] [--metrics-out=PATH]"
+                   " [--trace-out=PATH] [--serve-telemetry=PORT]\n";
       std::exit(0);
     }
+  }
+  if (!cfg.trace_out.empty()) {
+    obs::MetricsRegistry::global().enable_tracing(8192);
   }
   return cfg;
 }
 
-/// Writes the global metrics registry to cfg.metrics_out (no-op when the
-/// flag was not given). Call once at the end of main(). An unwritable path
-/// exits 1 with a message instead of aborting on the uncaught exception.
-inline void dump_metrics(const BenchConfig& cfg) {
-  if (cfg.metrics_out.empty()) return;
-  try {
-    obs::dump_metrics_file(cfg.metrics_out);
-  } catch (const std::exception& e) {
-    std::cerr << "[metrics] " << e.what() << "\n";
-    std::exit(1);
+/// Writes the global metrics registry to cfg.metrics_out and the span tree
+/// to cfg.trace_out (each a no-op when its flag was not given). Derived
+/// gauges (rates, quantiles) are flushed through the StatsHub first so the
+/// dump matches what a live scrape would see. Call once at the end of
+/// main(). An unwritable path exits 1 with a message instead of aborting on
+/// the uncaught exception.
+inline void dump_telemetry(const BenchConfig& cfg) {
+  if (cfg.metrics_out.empty() && cfg.trace_out.empty()) return;
+  obs::StatsHub::global().publish();
+  if (!cfg.metrics_out.empty()) {
+    try {
+      obs::dump_metrics_file(cfg.metrics_out);
+    } catch (const std::exception& e) {
+      std::cerr << "[metrics] " << e.what() << "\n";
+      std::exit(1);
+    }
+    std::cout << "[metrics] wrote " << cfg.metrics_out << "\n";
   }
-  std::cout << "[metrics] wrote " << cfg.metrics_out << "\n";
+  if (!cfg.trace_out.empty()) {
+    const obs::TraceBuffer* buffer =
+        obs::MetricsRegistry::global().trace_buffer();
+    if (buffer == nullptr) {
+      std::cerr << "[trace] tracing not enabled\n";
+      std::exit(1);
+    }
+    try {
+      obs::dump_trace_file(cfg.trace_out, *buffer);
+    } catch (const std::exception& e) {
+      std::cerr << "[trace] " << e.what() << "\n";
+      std::exit(1);
+    }
+    std::cout << "[trace] wrote " << cfg.trace_out << "\n";
+  }
+}
+
+/// Starts the embedded telemetry endpoint when --serve-telemetry was given;
+/// returns nullptr otherwise. The /statusz page carries the run
+/// configuration and host facts so a scrape identifies the process.
+inline std::unique_ptr<obs::HttpServer> serve_telemetry(
+    const BenchConfig& cfg) {
+  if (cfg.serve_port < 0) return nullptr;
+  obs::HttpServerOptions options;
+  options.port = static_cast<std::uint16_t>(cfg.serve_port);
+  options.status_info = {
+      {"simd_tier", util::simd::tier_name(util::simd::active_tier())},
+      {"hardware_threads", std::to_string(std::thread::hardware_concurrency())},
+      {"users", std::to_string(cfg.users)},
+      {"days", std::to_string(cfg.days)},
+      {"seed", std::to_string(cfg.seed)},
+  };
+  auto server = std::make_unique<obs::HttpServer>(std::move(options));
+  std::uint16_t port = server->start();
+  std::cout << "[telemetry] serving http://127.0.0.1:" << port
+            << " (/metrics /healthz /tracez /statusz)\n";
+  return server;
+}
+
+/// Blocks until stdin closes (EOF / Ctrl-D) so a user can curl the endpoint
+/// after the run's work is done. No-op when the server was not started.
+inline void hold_if_serving(const std::unique_ptr<obs::HttpServer>& server) {
+  if (server == nullptr || !server->running()) return;
+  std::cout << "[telemetry] run finished; endpoint stays up until EOF on "
+               "stdin (Ctrl-D to exit)\n";
+  std::cin.ignore(std::numeric_limits<std::streamsize>::max());
 }
 
 /// Wall-times one named bench stage through the shared obs clock path: the

@@ -190,6 +190,6 @@ int main(int argc, char** argv) {
                "stop profiling once the observer falls back to destination\n"
                "IPs; removing the fallback under full ECH or tunnelling via\n"
                "a single relay (TOR) is what actually kills the signal.\n";
-  bench::dump_metrics(cfg);
+  bench::dump_telemetry(cfg);
   return 0;
 }

@@ -81,6 +81,6 @@ int main(int argc, char** argv) {
   std::cout << "\nshape checks: coverage near 10%, uncrawlable fraction\n"
                "dominated by CDN/API/tracker endpoints, taxonomy counts\n"
                "matching Section 5.4 exactly.\n";
-  bench::dump_metrics(cfg);
+  bench::dump_telemetry(cfg);
   return 0;
 }

@@ -108,6 +108,6 @@ int main(int argc, char** argv) {
                     ? "yes"
                     : "NO")
             << "\n";
-  bench::dump_metrics(cfg);
+  bench::dump_telemetry(cfg);
   return 0;
 }

@@ -85,6 +85,6 @@ int main(int argc, char** argv) {
   std::cout << "\nshape checks: cores shrink as the threshold rises; the\n"
                "outside-core CCDFs stay heavy-tailed (users remain\n"
                "distinguishable once the universal core is removed).\n";
-  bench::dump_metrics(cfg);
+  bench::dump_telemetry(cfg);
   return 0;
 }

@@ -88,6 +88,6 @@ int main(int argc, char** argv) {
                "space (linear-scale CCDF), a universal shared core exists,\n"
                "and a small user fraction has nothing outside each core,\n"
                "growing as the core threshold drops.\n";
-  bench::dump_metrics(cfg);
+  bench::dump_telemetry(cfg);
   return 0;
 }

@@ -228,6 +228,6 @@ int main(int argc, char** argv) {
                "satellites attach to their owners' neighbourhoods, and the\n"
                "2D projection separates topics (ratio > 1) — the clusters\n"
                "of Figure 5.\n";
-  bench::dump_metrics(cfg);
+  bench::dump_telemetry(cfg);
   return 0;
 }

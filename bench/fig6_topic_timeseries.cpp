@@ -104,6 +104,6 @@ int main(int argc, char** argv) {
                "hosts), ad mixes differing from the browsing mix (r < 1),\n"
                "and day-to-day stability of 6a vs more campaign-driven\n"
                "variation in 6b/6c.\n";
-  bench::dump_metrics(cfg);
+  bench::dump_telemetry(cfg);
   return 0;
 }

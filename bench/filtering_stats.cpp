@@ -71,6 +71,6 @@ int main(int argc, char** argv) {
                "tracker traffic concentrated in few very popular hostnames\n"
                "(note: the paper's 50-of-top-100 also counts ad *exchanges*\n"
                "embedded on every page; our tracker fan-out is lighter).\n";
-  bench::dump_metrics(cfg);
+  bench::dump_telemetry(cfg);
   return 0;
 }

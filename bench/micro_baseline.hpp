@@ -1,0 +1,248 @@
+// The --bench-baseline micro suite, shared between bench/micro_pipeline
+// (which writes BENCH_micro.json) and bench/check_bench_regression (which
+// re-runs the same measurements and compares against that file).
+//
+// Measures, on a synthetic 50K x 100 vocabulary (the paper's d=100 at a
+// large-deployment vocabulary size), the kNN N=1000 sweep three ways:
+//   1. the pre-SIMD algorithm — plain scalar dot per row, materialise every
+//      similarity, partial_sort the whole vocabulary;
+//   2. the blocked SIMD sweep + bounded top-k heap (CosineKnnIndex::query);
+//   3. the batched sweep at batch 32 (CosineKnnIndex::query_batch).
+// Plus the d=100 dot kernel, scalar tier vs best tier.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "embedding/knn.hpp"
+#include "embedding/matrix.hpp"
+#include "util/rng.hpp"
+#include "util/simd.hpp"
+#include "util/vec_math.hpp"
+
+namespace netobs::bench {
+
+struct MicroBaselineResult {
+  std::size_t rows = 0;
+  std::size_t dim = 0;
+  std::size_t top_n = 0;
+  std::size_t batch = 0;
+  double fullsort_s = 0.0;
+  double blocked_s = 0.0;
+  double batch_per_query_s = 0.0;
+  double dot_scalar_ns = 0.0;
+  double dot_best_ns = 0.0;
+
+  double knn_speedup() const { return fullsort_s / blocked_s; }
+  double batch_speedup() const { return blocked_s / batch_per_query_s; }
+  double dot_speedup() const { return dot_scalar_ns / dot_best_ns; }
+};
+
+namespace baseline_detail {
+
+inline double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// The seed implementation's inner product: one scalar accumulator chain.
+/// (No -ffast-math in the build, so the compiler cannot vectorise the
+/// reduction — this is genuinely the scalar baseline.)
+inline float plain_dot(const float* a, const float* b, std::size_t n) {
+  float acc = 0.0F;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+/// The seed algorithm: score all rows, partial_sort the full score vector.
+inline std::vector<embedding::CosineKnnIndex::Neighbor> fullsort_scalar_query(
+    const std::vector<float>& unit_rows, std::size_t rows, std::size_t dim,
+    const std::vector<float>& unit_query, std::size_t n) {
+  using Neighbor = embedding::CosineKnnIndex::Neighbor;
+  std::vector<Neighbor> scored(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    scored[r].id = static_cast<embedding::TokenId>(r);
+    scored[r].similarity =
+        plain_dot(unit_rows.data() + r * dim, unit_query.data(), dim);
+  }
+  if (n > rows) n = rows;
+  std::partial_sort(scored.begin(),
+                    scored.begin() + static_cast<std::ptrdiff_t>(n),
+                    scored.end(), [](const Neighbor& a, const Neighbor& b) {
+                      if (a.similarity != b.similarity)
+                        return a.similarity > b.similarity;
+                      return a.id < b.id;
+                    });
+  scored.resize(n);
+  return scored;
+}
+
+}  // namespace baseline_detail
+
+/// Runs the full measurement (tens of seconds). The three kNN paths are
+/// timed round-robin and summarised by the median round, so CPU-frequency /
+/// noisy-neighbour drift hits all of them equally instead of whichever
+/// phase ran during the slow window.
+inline MicroBaselineResult run_micro_baseline() {
+  using baseline_detail::fullsort_scalar_query;
+  using baseline_detail::seconds_since;
+
+  MicroBaselineResult result;
+  result.rows = 50000;
+  result.dim = 100;
+  result.top_n = 1000;
+  result.batch = 32;
+  const std::size_t kRows = result.rows;
+  const std::size_t kDim = result.dim;
+  const std::size_t kTopN = result.top_n;
+  const std::size_t kBatch = result.batch;
+
+  std::cerr << "[baseline] building " << kRows << " x " << kDim
+            << " matrix...\n";
+  embedding::EmbeddingMatrix matrix(kRows, kDim);
+  util::Pcg32 rng(2021);
+  matrix.init_uniform(rng);
+
+  // Dense unnormalised copies for queries, pre-normalised dense rows for the
+  // full-sort baseline (normalisation is build-time cost in both designs).
+  std::vector<std::vector<float>> queries;
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    auto row = matrix.row((i * 1543) % kRows);
+    queries.emplace_back(row.begin(), row.end());
+  }
+  std::vector<float> unit_rows(kRows * kDim);
+  for (std::size_t r = 0; r < kRows; ++r) {
+    auto row = matrix.row(r);
+    float norm = util::l2_norm(row);
+    float inv = norm > 0.0F ? 1.0F / norm : 0.0F;
+    for (std::size_t j = 0; j < kDim; ++j) {
+      unit_rows[r * kDim + j] = row[j] * inv;
+    }
+  }
+
+  embedding::CosineKnnIndex index(matrix);
+
+  // Pre-normalised queries for the full-sort baseline (the index paths
+  // normalise internally; doing it outside the timed region for the
+  // baseline only biases the comparison *against* the new code).
+  std::vector<std::vector<float>> unit_queries = queries;
+  for (auto& q : unit_queries) {
+    float norm = util::l2_norm(q);
+    for (auto& v : q) v /= norm;
+  }
+
+  std::cerr << "[baseline] interleaved rounds ("
+            << util::simd::tier_name(util::simd::active_tier()) << ")...\n";
+  constexpr int kRounds = 9;
+  constexpr int kBlockedPerRound = 4;
+  std::vector<double> fullsort_times, blocked_times, batch_times;
+  auto round_queries = [&](int round) {
+    return static_cast<std::size_t>(round) % kBatch;
+  };
+  // Warm-up: touch every buffer once outside the timed rounds.
+  benchmark::DoNotOptimize(
+      fullsort_scalar_query(unit_rows, kRows, kDim, unit_queries[0], kTopN));
+  benchmark::DoNotOptimize(index.query(queries[0], kTopN));
+  benchmark::DoNotOptimize(index.query_batch(queries, kTopN));
+  for (int round = 0; round < kRounds; ++round) {
+    auto t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(fullsort_scalar_query(
+        unit_rows, kRows, kDim, unit_queries[round_queries(round)], kTopN));
+    fullsort_times.push_back(seconds_since(t0));
+
+    t0 = std::chrono::steady_clock::now();
+    for (int rep = 0; rep < kBlockedPerRound; ++rep) {
+      benchmark::DoNotOptimize(
+          index.query(queries[round_queries(round + rep)], kTopN));
+    }
+    blocked_times.push_back(seconds_since(t0) / kBlockedPerRound);
+
+    t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(index.query_batch(queries, kTopN));
+    batch_times.push_back(seconds_since(t0) / static_cast<double>(kBatch));
+  }
+  auto median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  result.fullsort_s = median(fullsort_times);
+  result.blocked_s = median(blocked_times);
+  result.batch_per_query_s = median(batch_times);
+
+  // d=100 dot kernel, scalar tier vs best tier.
+  constexpr int kDotReps = 2000000;
+  auto time_dot = [&](util::simd::Tier tier) {
+    auto previous = util::simd::active_tier();
+    util::simd::force_tier(tier);
+    const float* a = unit_rows.data();
+    const float* b = unit_rows.data() + kDim;
+    auto start = std::chrono::steady_clock::now();
+    float sink = 0.0F;
+    for (int rep = 0; rep < kDotReps; ++rep) {
+      sink += util::simd::dot(a, b, kDim);
+    }
+    benchmark::DoNotOptimize(sink);
+    double ns = seconds_since(start) / kDotReps * 1e9;
+    util::simd::force_tier(previous);
+    return ns;
+  };
+  result.dot_scalar_ns = time_dot(util::simd::Tier::kScalar);
+  result.dot_best_ns = time_dot(util::simd::best_supported_tier());
+  return result;
+}
+
+/// Writes the BENCH_micro.json document. Returns false (with a message on
+/// stderr) when the file cannot be written.
+inline bool write_micro_baseline_json(const std::string& path,
+                                      const MicroBaselineResult& r) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "[baseline] cannot write " << path << "\n";
+    return false;
+  }
+  out.setf(std::ios::fixed);
+  out.precision(2);
+  out << "{\n"
+      << "  \"bench\": \"micro_pipeline --bench-baseline\",\n"
+      << "  \"config\": {\"rows\": " << r.rows << ", \"dim\": " << r.dim
+      << ", \"top_n\": " << r.top_n << ", \"batch\": " << r.batch << "},\n"
+      << "  \"simd_tier\": \""
+      << util::simd::tier_name(util::simd::active_tier()) << "\",\n"
+      << "  \"knn_query\": {\n"
+      << "    \"scalar_fullsort_ms\": " << r.fullsort_s * 1e3 << ",\n"
+      << "    \"blocked_heap_ms\": " << r.blocked_s * 1e3 << ",\n"
+      << "    \"batch32_per_query_ms\": " << r.batch_per_query_s * 1e3
+      << ",\n"
+      << "    \"scalar_fullsort_qps\": " << 1.0 / r.fullsort_s << ",\n"
+      << "    \"blocked_heap_qps\": " << 1.0 / r.blocked_s << ",\n"
+      << "    \"batch32_per_query_qps\": " << 1.0 / r.batch_per_query_s
+      << ",\n"
+      << "    \"speedup_vs_scalar_fullsort\": " << r.knn_speedup() << ",\n"
+      << "    \"batch_speedup_vs_single_query\": " << r.batch_speedup()
+      << "\n"
+      << "  },\n"
+      << "  \"dot_d100\": {\n"
+      << "    \"scalar_ns\": " << r.dot_scalar_ns << ",\n"
+      << "    \"" << util::simd::tier_name(util::simd::best_supported_tier())
+      << "_ns\": " << r.dot_best_ns << ",\n"
+      << "    \"speedup\": " << r.dot_speedup() << "\n"
+      << "  },\n"
+      << "  \"acceptance\": {\n"
+      << "    \"knn_speedup_target\": 3.0,\n"
+      << "    \"knn_speedup_met\": "
+      << (r.knn_speedup() >= 3.0 ? "true" : "false") << ",\n"
+      << "    \"batch_speedup_target\": 1.5,\n"
+      << "    \"batch_speedup_met\": "
+      << (r.batch_speedup() >= 1.5 ? "true" : "false") << "\n"
+      << "  }\n"
+      << "}\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace netobs::bench

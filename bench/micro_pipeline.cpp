@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "ads/ad_database.hpp"
+#include "bench/micro_baseline.hpp"
 #include "bench/quality_probe.hpp"
 #include "embedding/knn.hpp"
 #include "embedding/matrix.hpp"
@@ -23,6 +24,7 @@
 #include "net/quic.hpp"
 #include "net/tls.hpp"
 #include "obs/export.hpp"
+#include "obs/stats_stream.hpp"
 #include "synth/traffic.hpp"
 #include "util/rng.hpp"
 #include "util/simd.hpp"
@@ -288,212 +290,33 @@ BENCHMARK(BM_SgnsTrainingEpoch)->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------------
 // --bench-baseline: the acceptance numbers behind the "line rate" claim.
-//
-// Measures, on a synthetic 50K x 100 vocabulary (the paper's d=100 at a
-// large-deployment vocabulary size), the kNN N=1000 sweep three ways:
-//   1. the pre-SIMD algorithm — plain scalar dot per row, materialise every
-//      similarity, partial_sort the whole vocabulary;
-//   2. the blocked SIMD sweep + bounded top-k heap (CosineKnnIndex::query);
-//   3. the batched sweep at batch 32 (CosineKnnIndex::query_batch).
-// Plus the d=100 dot kernel per tier. Results land in BENCH_micro.json.
-
-double seconds_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-      .count();
-}
-
-/// The seed implementation's inner product: one scalar accumulator chain.
-/// (No -ffast-math in the build, so the compiler cannot vectorise the
-/// reduction — this is genuinely the scalar baseline.)
-float plain_dot(const float* a, const float* b, std::size_t n) {
-  float acc = 0.0F;
-  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
-  return acc;
-}
-
-/// The seed algorithm: score all rows, partial_sort the full score vector.
-std::vector<embedding::CosineKnnIndex::Neighbor> fullsort_scalar_query(
-    const std::vector<float>& unit_rows, std::size_t rows, std::size_t dim,
-    const std::vector<float>& unit_query, std::size_t n) {
-  using Neighbor = embedding::CosineKnnIndex::Neighbor;
-  std::vector<Neighbor> scored(rows);
-  for (std::size_t r = 0; r < rows; ++r) {
-    scored[r].id = static_cast<embedding::TokenId>(r);
-    scored[r].similarity =
-        plain_dot(unit_rows.data() + r * dim, unit_query.data(), dim);
-  }
-  if (n > rows) n = rows;
-  std::partial_sort(scored.begin(),
-                    scored.begin() + static_cast<std::ptrdiff_t>(n),
-                    scored.end(), [](const Neighbor& a, const Neighbor& b) {
-                      if (a.similarity != b.similarity)
-                        return a.similarity > b.similarity;
-                      return a.id < b.id;
-                    });
-  scored.resize(n);
-  return scored;
-}
+// The measurement itself lives in bench/micro_baseline.hpp so the
+// check_bench_regression gate can re-run it bit-for-bit.
 
 int run_bench_baseline(const std::string& path) {
-  constexpr std::size_t kRows = 50000;
-  constexpr std::size_t kDim = 100;
-  constexpr std::size_t kTopN = 1000;
-  constexpr std::size_t kBatch = 32;
-
-  std::cerr << "[baseline] building " << kRows << " x " << kDim
-            << " matrix...\n";
-  embedding::EmbeddingMatrix matrix(kRows, kDim);
-  util::Pcg32 rng(2021);
-  matrix.init_uniform(rng);
-
-  // Dense unnormalised copies for queries, pre-normalised dense rows for the
-  // full-sort baseline (normalisation is build-time cost in both designs).
-  std::vector<std::vector<float>> queries;
-  for (std::size_t i = 0; i < kBatch; ++i) {
-    auto row = matrix.row((i * 1543) % kRows);
-    queries.emplace_back(row.begin(), row.end());
-  }
-  std::vector<float> unit_rows(kRows * kDim);
-  for (std::size_t r = 0; r < kRows; ++r) {
-    auto row = matrix.row(r);
-    float norm = util::l2_norm(row);
-    float inv = norm > 0.0F ? 1.0F / norm : 0.0F;
-    for (std::size_t j = 0; j < kDim; ++j) {
-      unit_rows[r * kDim + j] = row[j] * inv;
-    }
-  }
-
-  embedding::CosineKnnIndex index(matrix);
-
-  // Pre-normalised queries for the full-sort baseline (the index paths
-  // normalise internally; doing it outside the timed region for the
-  // baseline only biases the comparison *against* the new code).
-  std::vector<std::vector<float>> unit_queries = queries;
-  for (auto& q : unit_queries) {
-    float norm = util::l2_norm(q);
-    for (auto& v : q) v /= norm;
-  }
-
-  // The three paths are timed round-robin and summarised by the median
-  // round, so CPU-frequency / noisy-neighbour drift hits all of them
-  // equally instead of whichever phase ran during the slow window.
-  std::cerr << "[baseline] interleaved rounds ("
-            << util::simd::tier_name(util::simd::active_tier()) << ")...\n";
-  constexpr int kRounds = 9;
-  constexpr int kBlockedPerRound = 4;
-  std::vector<double> fullsort_times, blocked_times, batch_times;
-  auto round_queries = [&](int round) {
-    return static_cast<std::size_t>(round) % kBatch;
-  };
-  // Warm-up: touch every buffer once outside the timed rounds.
-  benchmark::DoNotOptimize(
-      fullsort_scalar_query(unit_rows, kRows, kDim, unit_queries[0], kTopN));
-  benchmark::DoNotOptimize(index.query(queries[0], kTopN));
-  benchmark::DoNotOptimize(index.query_batch(queries, kTopN));
-  for (int round = 0; round < kRounds; ++round) {
-    auto t0 = std::chrono::steady_clock::now();
-    benchmark::DoNotOptimize(fullsort_scalar_query(
-        unit_rows, kRows, kDim, unit_queries[round_queries(round)], kTopN));
-    fullsort_times.push_back(seconds_since(t0));
-
-    t0 = std::chrono::steady_clock::now();
-    for (int rep = 0; rep < kBlockedPerRound; ++rep) {
-      benchmark::DoNotOptimize(
-          index.query(queries[round_queries(round + rep)], kTopN));
-    }
-    blocked_times.push_back(seconds_since(t0) / kBlockedPerRound);
-
-    t0 = std::chrono::steady_clock::now();
-    benchmark::DoNotOptimize(index.query_batch(queries, kTopN));
-    batch_times.push_back(seconds_since(t0) / static_cast<double>(kBatch));
-  }
-  auto median = [](std::vector<double> v) {
-    std::sort(v.begin(), v.end());
-    return v[v.size() / 2];
-  };
-  double fullsort_s = median(fullsort_times);
-  double blocked_s = median(blocked_times);
-  double batch_per_query_s = median(batch_times);
-
-  // d=100 dot kernel, scalar tier vs best tier.
-  constexpr int kDotReps = 2000000;
-  auto time_dot = [&](util::simd::Tier tier) {
-    auto previous = util::simd::active_tier();
-    util::simd::force_tier(tier);
-    const float* a = unit_rows.data();
-    const float* b = unit_rows.data() + kDim;
-    auto start = std::chrono::steady_clock::now();
-    float sink = 0.0F;
-    for (int rep = 0; rep < kDotReps; ++rep) {
-      sink += util::simd::dot(a, b, kDim);
-    }
-    benchmark::DoNotOptimize(sink);
-    double ns = seconds_since(start) / kDotReps * 1e9;
-    util::simd::force_tier(previous);
-    return ns;
-  };
-  double dot_scalar_ns = time_dot(util::simd::Tier::kScalar);
-  double dot_best_ns = time_dot(util::simd::best_supported_tier());
-
-  double knn_speedup = fullsort_s / blocked_s;
-  double batch_speedup = blocked_s / batch_per_query_s;
-
-  std::ofstream out(path);
-  if (!out) {
-    std::cerr << "[baseline] cannot write " << path << "\n";
-    return 1;
-  }
-  out.setf(std::ios::fixed);
-  out.precision(2);
-  out << "{\n"
-      << "  \"bench\": \"micro_pipeline --bench-baseline\",\n"
-      << "  \"config\": {\"rows\": " << kRows << ", \"dim\": " << kDim
-      << ", \"top_n\": " << kTopN << ", \"batch\": " << kBatch << "},\n"
-      << "  \"simd_tier\": \""
-      << util::simd::tier_name(util::simd::active_tier()) << "\",\n"
-      << "  \"knn_query\": {\n"
-      << "    \"scalar_fullsort_ms\": " << fullsort_s * 1e3 << ",\n"
-      << "    \"blocked_heap_ms\": " << blocked_s * 1e3 << ",\n"
-      << "    \"batch32_per_query_ms\": " << batch_per_query_s * 1e3 << ",\n"
-      << "    \"scalar_fullsort_qps\": " << 1.0 / fullsort_s << ",\n"
-      << "    \"blocked_heap_qps\": " << 1.0 / blocked_s << ",\n"
-      << "    \"batch32_per_query_qps\": " << 1.0 / batch_per_query_s << ",\n"
-      << "    \"speedup_vs_scalar_fullsort\": " << knn_speedup << ",\n"
-      << "    \"batch_speedup_vs_single_query\": " << batch_speedup << "\n"
-      << "  },\n"
-      << "  \"dot_d100\": {\n"
-      << "    \"scalar_ns\": " << dot_scalar_ns << ",\n"
-      << "    \"" << util::simd::tier_name(util::simd::best_supported_tier())
-      << "_ns\": " << dot_best_ns << ",\n"
-      << "    \"speedup\": " << dot_scalar_ns / dot_best_ns << "\n"
-      << "  },\n"
-      << "  \"acceptance\": {\n"
-      << "    \"knn_speedup_target\": 3.0,\n"
-      << "    \"knn_speedup_met\": " << (knn_speedup >= 3.0 ? "true" : "false")
-      << ",\n"
-      << "    \"batch_speedup_target\": 1.5,\n"
-      << "    \"batch_speedup_met\": "
-      << (batch_speedup >= 1.5 ? "true" : "false") << "\n"
-      << "  }\n"
-      << "}\n";
-  std::cout << "[baseline] fullsort " << fullsort_s * 1e3 << " ms, blocked "
-            << blocked_s * 1e3 << " ms (x" << knn_speedup << "), batch32 "
-            << batch_per_query_s * 1e3 << " ms/query (x" << batch_speedup
-            << " vs single)\n[baseline] wrote " << path << "\n";
+  bench::MicroBaselineResult r = bench::run_micro_baseline();
+  if (!bench::write_micro_baseline_json(path, r)) return 1;
+  std::cout << "[baseline] fullsort " << r.fullsort_s * 1e3 << " ms, blocked "
+            << r.blocked_s * 1e3 << " ms (x" << r.knn_speedup()
+            << "), batch32 " << r.batch_per_query_s * 1e3 << " ms/query (x"
+            << r.batch_speedup() << " vs single)\n[baseline] wrote " << path
+            << "\n";
   return 0;
 }
 
 }  // namespace
 
-// BENCHMARK_MAIN plus two extra flags. "--metrics-out[=PATH]": after the
+// BENCHMARK_MAIN plus three extra flags. "--metrics-out[=PATH]": after the
 // suite runs, the registry (populated by the instrumented pipeline the
 // benchmarks drive) is dumped as a machine-readable artifact.
+// "--trace-out[=PATH]": enable tracing and dump the span tree at exit.
 // "--bench-baseline[=PATH]": skip the google-benchmark suite and run the
 // hand-timed kNN acceptance baseline instead, writing PATH (default
-// BENCH_micro.json). Both flags are stripped before google-benchmark parses
+// BENCH_micro.json). All flags are stripped before google-benchmark parses
 // the rest.
 int main(int argc, char** argv) {
   std::string metrics_out;
+  std::string trace_out;
   std::string baseline_out;
   bool run_baseline = false;
   std::vector<char*> args;
@@ -504,6 +327,10 @@ int main(int argc, char** argv) {
       metrics_out = arg.substr(std::string("--metrics-out=").size());
     } else if (arg == "--metrics-out" && i + 1 < argc) {
       metrics_out = argv[++i];
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(std::string("--trace-out=").size());
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
     } else if (arg.rfind("--bench-baseline=", 0) == 0) {
       run_baseline = true;
       baseline_out = arg.substr(std::string("--bench-baseline=").size());
@@ -512,6 +339,9 @@ int main(int argc, char** argv) {
     } else {
       args.push_back(argv[i]);
     }
+  }
+  if (!trace_out.empty()) {
+    netobs::obs::MetricsRegistry::global().enable_tracing(8192);
   }
   if (run_baseline) {
     if (baseline_out.empty()) baseline_out = "BENCH_micro.json";
@@ -524,6 +354,7 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  netobs::obs::StatsHub::global().publish();
   if (!metrics_out.empty()) {
     try {
       netobs::obs::dump_metrics_file(metrics_out);
@@ -532,6 +363,17 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::cout << "[metrics] wrote " << metrics_out << "\n";
+  }
+  if (!trace_out.empty()) {
+    const auto* buffer =
+        netobs::obs::MetricsRegistry::global().trace_buffer();
+    try {
+      netobs::obs::dump_trace_file(trace_out, *buffer);
+    } catch (const std::exception& e) {
+      std::cerr << "[trace] " << e.what() << "\n";
+      return 1;
+    }
+    std::cout << "[trace] wrote " << trace_out << "\n";
   }
   return 0;
 }

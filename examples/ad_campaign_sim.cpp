@@ -64,6 +64,6 @@ int main(int argc, char** argv) {
             << "Interpretation (paper, Section 6.4): if CTR proxies profile\n"
                "quality, a network observer's profiles are as good as the\n"
                "ad ecosystem's — despite seeing only TLS hostnames.\n";
-  bench::dump_metrics(cfg);
+  bench::dump_telemetry(cfg);
   return 0;
 }

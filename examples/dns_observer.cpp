@@ -106,6 +106,6 @@ int main(int argc, char** argv) {
   std::cout << "\nDoH/DoT hide queries from the path but not from the\n"
                "resolver itself — the resolver profiles exactly like the\n"
                "TLS eavesdropper, while NAT only blurs per-user separation.\n";
-  bench::dump_metrics(cfg);
+  bench::dump_telemetry(cfg);
   return 0;
 }

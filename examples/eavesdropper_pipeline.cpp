@@ -14,13 +14,17 @@
 #include "bench/common.hpp"
 #include "net/observer.hpp"
 #include "net/pcap.hpp"
+#include "obs/log.hpp"
 #include "profile/service.hpp"
 #include "synth/traffic.hpp"
 #include "util/string_util.hpp"
 
 int main(int argc, char** argv) {
   using namespace netobs;
+  constexpr const char* kSite = "examples.eavesdropper";
   auto cfg = bench::parse_config(argc, argv, {400, 4, 7, ""});
+  auto server = bench::serve_telemetry(cfg);
+  if (server) server->health().set_status("model", false, "not trained yet");
   auto world = bench::make_world(cfg);
   std::cout << "== eavesdropper pipeline (bytes on the wire) ==\n";
 
@@ -34,6 +38,9 @@ int main(int argc, char** argv) {
   auto packets = synthesizer.synthesize(trace.events);
   std::cout << "wire: " << packets.size() << " packets carrying "
             << trace.events.size() << " TLS/QUIC connections\n";
+  obs::log_info(kSite, "traffic synthesised",
+                {{"packets", std::to_string(packets.size())},
+                 {"connections", std::to_string(trace.events.size())}});
 
   // --- Round-trip the capture through a standard pcap file, as a real tap
   // deployment would (open /tmp/netobs_capture.pcap in Wireshark).
@@ -56,6 +63,11 @@ int main(int argc, char** argv) {
   std::cout << "observer: " << stats.events << " SNI hostnames from "
             << stats.flows << " flows ("
             << observer.demux().distinct_users() << " distinct devices)\n";
+  obs::log_info(kSite, "observation pass done",
+                {{"events", std::to_string(stats.events)},
+                 {"flows", std::to_string(stats.flows)},
+                 {"devices",
+                  std::to_string(observer.demux().distinct_users())}});
 
   // --- Back-end: blocklists, daily retraining, profiling.
   auto labeler = world.universe->make_labeler();
@@ -75,10 +87,12 @@ int main(int argc, char** argv) {
 
   bench::StageTimer retrain_timer("retrain");
   if (!service.retrain(cfg.days - 2)) {
-    std::cerr << "not enough data to train — increase --users/--days\n";
+    obs::log_error(kSite, "not enough data to train",
+                   {{"hint", "increase --users/--days"}});
     return 1;
   }
   retrain_timer.stop_and_report();
+  if (server) server->health().set_status("model", true, "trained");
   std::cout << "model: " << service.model().size() << " hostnames, d="
             << service.model().dim() << "\n\n";
 
@@ -124,6 +138,7 @@ int main(int argc, char** argv) {
   }
   std::cout << "\nThe entire chain consumed only bytes a passive network\n"
                "observer sees: TLS handshakes in, targeted ads out.\n";
-  bench::dump_metrics(cfg);
+  bench::dump_telemetry(cfg);
+  bench::hold_if_serving(server);
   return 0;
 }

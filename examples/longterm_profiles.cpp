@@ -14,6 +14,7 @@
 #include <sstream>
 
 #include "bench/common.hpp"
+#include "obs/log.hpp"
 #include "profile/service.hpp"
 #include "profile/user_profile.hpp"
 #include "util/string_util.hpp"
@@ -49,6 +50,7 @@ int main(int argc, char** argv) {
   std::size_t sessions_folded = 0;
   for (std::int64_t day = 1; day < cfg.days; ++day) {
     if (!service.retrain(day - 1)) continue;
+    std::size_t folded_before = sessions_folded;
     for (util::Timestamp t = day * util::kDay;
          t < (day + 1) * util::kDay; t += 30 * util::kMinute) {
       for (std::uint32_t u : service.store().users()) {
@@ -58,6 +60,11 @@ int main(int argc, char** argv) {
         ++sessions_folded;
       }
     }
+    obs::log_info("examples.longterm", "operational day done",
+                  {{"day", std::to_string(day)},
+                   {"sessions_folded",
+                    std::to_string(sessions_folded - folded_before)},
+                   {"users", std::to_string(dossiers.user_count())}});
   }
   std::cout << "folded " << sessions_folded
             << " session profiles into dossiers for "
@@ -121,6 +128,6 @@ int main(int argc, char** argv) {
   }
   std::cout << "\nThe dossier is durable: it survives model retraining and\n"
                "decays stale interests — the asset Section 7.3 warns about.\n";
-  bench::dump_metrics(cfg);
+  bench::dump_telemetry(cfg);
   return 0;
 }

@@ -15,12 +15,16 @@
 #include "bench/common.hpp"
 #include "embedding/knn.hpp"
 #include "embedding/sgns.hpp"
+#include "obs/log.hpp"
 #include "profile/session.hpp"
 #include "util/string_util.hpp"
 
 int main(int argc, char** argv) {
   using namespace netobs;
+  constexpr const char* kSite = "examples.streaming_detector";
   auto cfg = bench::parse_config(argc, argv, {800, 2, 17, ""});
+  auto server = bench::serve_telemetry(cfg);
+  if (server) server->health().set_status("model", false, "not trained yet");
   auto world = bench::make_world(cfg);
   std::cout << "== hostname-similarity detector (Section 6.2, cluster 2) ==\n";
 
@@ -44,6 +48,10 @@ int main(int argc, char** argv) {
   auto model = trainer.fit(corpus);
   embedding::CosineKnnIndex index(model);
   std::cout << "model: " << model.size() << " hostnames\n";
+  if (server) server->health().set_status("model", true, "trained");
+  obs::log_info(kSite, "embedding trained",
+                {{"hostnames", std::to_string(model.size())},
+                 {"sequences", std::to_string(corpus.size())}});
 
   // "Streaming" = the topic with the most in-vocabulary sites.
   std::size_t topic = 0;
@@ -124,6 +132,10 @@ int main(int argc, char** argv) {
       "\nprecision@%zu = %.2f (random baseline %.3f): the embedding finds\n"
       "the service's other hostnames from co-request behaviour alone.\n",
       scored, precision, base_rate);
-  bench::dump_metrics(cfg);
+  obs::log_info(kSite, "detector scored",
+                {{"hits", std::to_string(hits)},
+                 {"scored", std::to_string(scored)}});
+  bench::dump_telemetry(cfg);
+  bench::hold_if_serving(server);
   return 0;
 }

@@ -4,6 +4,7 @@
 #include "net/quic.hpp"
 #include "net/tls.hpp"
 #include "obs/metrics.hpp"
+#include "obs/stats_stream.hpp"
 #include "util/rng.hpp"
 #include "util/string_util.hpp"
 
@@ -21,6 +22,9 @@ struct NetMetrics {
   obs::Counter& sni_missing;
   obs::Counter& parse_failures;
   obs::Counter& flows_evicted;
+  obs::Gauge& pending_flows;
+  obs::RateGauge packet_rate;
+  obs::RateGauge event_rate;
 
   static NetMetrics& get() {
     auto& reg = obs::MetricsRegistry::global();
@@ -37,6 +41,12 @@ struct NetMetrics {
                     "Flows/datagrams that failed TLS, QUIC or DNS parsing"),
         reg.counter("netobs_net_flows_evicted_total",
                     "Pending flows dropped by the flow-table cap"),
+        reg.gauge("netobs_net_pending_flows",
+                  "TCP flows buffered awaiting a complete ClientHello"),
+        obs::RateGauge(reg, "netobs_net_packets_per_second",
+                       "Packets observed per second (sliding window)"),
+        obs::RateGauge(reg, "netobs_net_events_per_second",
+                       "Hostname events extracted per second (sliding window)"),
     };
     return m;
   }
@@ -81,6 +91,7 @@ std::optional<HostnameEvent> SniObserver::observe(const Packet& packet) {
   auto& metrics = NetMetrics::get();
   ++stats_.packets;
   metrics.packets.inc();
+  metrics.packet_rate.record();
   metrics.payload_bytes.inc(packet.payload.size());
   if (packet.payload.empty()) return std::nullopt;
   // QUIC: the ClientHello arrives in a single UDP Initial datagram whose
@@ -111,6 +122,7 @@ std::optional<HostnameEvent> SniObserver::observe(const Packet& packet) {
     }
     ++stats_.events;
     metrics.events.inc();
+    metrics.event_rate.record();
     return event;
   }
   if (packet.tuple.proto != Transport::kTcp) return std::nullopt;
@@ -128,6 +140,7 @@ std::optional<HostnameEvent> SniObserver::observe(const Packet& packet) {
     it = flows_.emplace(packet.tuple, FlowState{}).first;
     ++stats_.flows;
     metrics.flows.inc();
+    metrics.pending_flows.set(static_cast<double>(flows_.size()));
   }
   FlowState& flow = it->second;
   flow.buffer.insert(flow.buffer.end(), packet.payload.begin(),
@@ -138,6 +151,7 @@ std::optional<HostnameEvent> SniObserver::observe(const Packet& packet) {
     case SniStatus::kNeedMoreData:
       if (flow.buffer.size() > options_.max_buffered_bytes) {
         flows_.erase(it);
+        metrics.pending_flows.set(static_cast<double>(flows_.size()));
         done_.emplace(packet.tuple, false);
         ++stats_.not_tls;
         metrics.parse_failures.inc();
@@ -147,18 +161,21 @@ std::optional<HostnameEvent> SniObserver::observe(const Packet& packet) {
       return std::nullopt;
     case SniStatus::kNotTls:
       flows_.erase(it);
+      metrics.pending_flows.set(static_cast<double>(flows_.size()));
       done_.emplace(packet.tuple, false);
       ++stats_.not_tls;
       metrics.parse_failures.inc();
       return std::nullopt;
     case SniStatus::kNoSni: {
       flows_.erase(it);
+      metrics.pending_flows.set(static_cast<double>(flows_.size()));
       done_.emplace(packet.tuple, false);
       ++stats_.no_sni;
       metrics.sni_missing.inc();
       if (!options_.ip_fallback) return std::nullopt;
       ++stats_.events;
       metrics.events.inc();
+      metrics.event_rate.record();
       HostnameEvent ip_event;
       ip_event.user_id = demux_.user_of(packet);
       ip_event.timestamp = packet.timestamp;
@@ -170,9 +187,11 @@ std::optional<HostnameEvent> SniObserver::observe(const Packet& packet) {
   }
 
   flows_.erase(it);
+  metrics.pending_flows.set(static_cast<double>(flows_.size()));
   done_.emplace(packet.tuple, true);
   ++stats_.events;
   metrics.events.inc();
+  metrics.event_rate.record();
   HostnameEvent event;
   event.user_id = demux_.user_of(packet);
   event.timestamp = packet.timestamp;
@@ -195,6 +214,7 @@ std::vector<HostnameEvent> DnsObserver::observe(const Packet& packet) {
   auto& metrics = NetMetrics::get();
   ++stats_.packets;
   metrics.packets.inc();
+  metrics.packet_rate.record();
   metrics.payload_bytes.inc(packet.payload.size());
   std::vector<HostnameEvent> events;
   if (packet.tuple.proto != Transport::kUdp || packet.tuple.dst_port != 53) {
@@ -220,6 +240,7 @@ std::vector<HostnameEvent> DnsObserver::observe(const Packet& packet) {
     events.push_back(std::move(e));
     ++stats_.events;
     metrics.events.inc();
+    metrics.event_rate.record();
   }
   return events;
 }

@@ -1,9 +1,14 @@
 #include "obs/export.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <ostream>
 #include <stdexcept>
+#include <vector>
+
+#include "obs/trace.hpp"
 
 namespace netobs::obs {
 
@@ -22,8 +27,8 @@ std::string format_double(double v) {
   return buf;
 }
 
-/// Prometheus label-value / JSON string escaping (same rules for both:
-/// backslash, double quote, newline).
+/// Prometheus label-value escaping: backslash, double quote and line feed
+/// (exposition format §"Comments, help text, and type information").
 std::string escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -40,6 +45,63 @@ std::string escape(const std::string& s) {
         break;
       default:
         out += c;
+    }
+  }
+  return out;
+}
+
+/// Prometheus HELP text escaping: only backslash and line feed — double
+/// quotes are NOT escaped in help lines (they are not quoted), and a parser
+/// following the spec would render a stray `\"` literally.
+std::string escape_help(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// JSON string escaping: the label rules plus \r, \t and \u00XX for the
+/// remaining control characters (raw controls make the document invalid).
+std::string escape_json(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  char buf[8];
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
     }
   }
   return out;
@@ -65,7 +127,9 @@ std::string prom_labels(const Labels& labels, const std::string& extra_key = "",
 
 void write_header(std::ostream& os, const std::string& name,
                   const std::string& help, const char* type) {
-  if (!help.empty()) os << "# HELP " << name << ' ' << escape(help) << '\n';
+  if (!help.empty()) {
+    os << "# HELP " << name << ' ' << escape_help(help) << '\n';
+  }
   os << "# TYPE " << name << ' ' << type << '\n';
 }
 
@@ -135,7 +199,7 @@ class JsonWriter {
   }
   void key(const std::string& k) {
     item();
-    os_ << '"' << escape(k) << "\":";
+    os_ << '"' << escape_json(k) << "\":";
     if (pretty_) os_ << ' ';
   }
   std::ostream& os() { return os_; }
@@ -158,7 +222,7 @@ void write_labels_json(JsonWriter& w, const Labels& labels) {
   w.open('{');
   for (const auto& [k, v] : labels) {
     w.key(k);
-    w.os() << '"' << escape(v) << '"';
+    w.os() << '"' << escape_json(v) << '"';
   }
   w.close('}');
 }
@@ -177,7 +241,7 @@ void write_json(std::ostream& os, const MetricsRegistry& registry,
     w.item();
     w.open('{');
     w.key("name");
-    w.os() << '"' << escape(c.name) << '"';
+    w.os() << '"' << escape_json(c.name) << '"';
     write_labels_json(w, c.labels);
     w.key("value");
     w.os() << c.value;
@@ -191,7 +255,7 @@ void write_json(std::ostream& os, const MetricsRegistry& registry,
     w.item();
     w.open('{');
     w.key("name");
-    w.os() << '"' << escape(g.name) << '"';
+    w.os() << '"' << escape_json(g.name) << '"';
     write_labels_json(w, g.labels);
     w.key("value");
     w.os() << format_double(g.value);
@@ -205,7 +269,7 @@ void write_json(std::ostream& os, const MetricsRegistry& registry,
     w.item();
     w.open('{');
     w.key("name");
-    w.os() << '"' << escape(h.name) << '"';
+    w.os() << '"' << escape_json(h.name) << '"';
     write_labels_json(w, h.labels);
     w.key("count");
     w.os() << h.count;
@@ -256,6 +320,80 @@ void dump_metrics_file(const std::string& path,
 
 void dump_metrics_file(const std::string& path) {
   dump_metrics_file(path, MetricsRegistry::global());
+}
+
+namespace {
+
+std::string format_seconds(double v) {
+  char buf[48];
+  if (v < 0.001) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", v * 1e6);
+  } else if (v < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", v * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", v);
+  }
+  return buf;
+}
+
+void write_span_subtree(
+    std::ostream& os, const SpanRecord& span,
+    const std::map<std::uint64_t, std::vector<const SpanRecord*>>& children,
+    double epoch, int indent) {
+  for (int i = 0; i < indent; ++i) os << "  ";
+  os << span.name << "  " << format_seconds(span.duration_seconds) << "  @+"
+     << format_seconds(span.start_seconds - epoch) << '\n';
+  auto it = children.find(span.id);
+  if (it == children.end()) return;
+  for (const SpanRecord* child : it->second) {
+    write_span_subtree(os, *child, children, epoch, indent + 1);
+  }
+}
+
+}  // namespace
+
+void write_trace_tree(std::ostream& os, const TraceBuffer& buffer) {
+  std::vector<SpanRecord> spans = buffer.snapshot();
+  os << "trace buffer: " << spans.size() << " spans (dropped "
+     << buffer.dropped() << ", capacity " << buffer.capacity() << ")\n";
+  if (spans.empty()) return;
+
+  std::map<std::uint64_t, const SpanRecord*> by_id;
+  for (const SpanRecord& s : spans) by_id[s.id] = &s;
+
+  // A span whose parent was evicted from the ring is promoted to a root so
+  // partial traces stay readable.
+  std::map<std::uint64_t, std::vector<const SpanRecord*>> children;
+  std::vector<const SpanRecord*> roots;
+  for (const SpanRecord& s : spans) {
+    if (s.parent_id != 0 && by_id.count(s.parent_id) != 0) {
+      children[s.parent_id].push_back(&s);
+    } else {
+      roots.push_back(&s);
+    }
+  }
+  auto by_start = [](const SpanRecord* a, const SpanRecord* b) {
+    return a->start_seconds < b->start_seconds;
+  };
+  std::sort(roots.begin(), roots.end(), by_start);
+  for (auto& [id, kids] : children) {
+    (void)id;
+    std::sort(kids.begin(), kids.end(), by_start);
+  }
+
+  double epoch = roots.front()->start_seconds;
+  for (const SpanRecord* root : roots) {
+    write_span_subtree(os, *root, children, epoch, 0);
+  }
+}
+
+void dump_trace_file(const std::string& path, const TraceBuffer& buffer) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("dump_trace_file: cannot open " + path);
+  }
+  write_trace_tree(out, buffer);
+  if (!out) throw std::runtime_error("dump_trace_file: write failed");
 }
 
 }  // namespace netobs::obs

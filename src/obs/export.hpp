@@ -33,4 +33,16 @@ void dump_metrics_file(const std::string& path,
                        const MetricsRegistry& registry);
 void dump_metrics_file(const std::string& path);  ///< global registry
 
+class TraceBuffer;  // obs/trace.hpp
+
+/// Renders a TraceBuffer snapshot as an indented span tree (roots ordered
+/// by start time, children nested under their parent). Spans whose parent
+/// was evicted from the ring print as roots, so partial traces stay
+/// readable. Shared by /tracez and --trace-out.
+void write_trace_tree(std::ostream& os, const TraceBuffer& buffer);
+
+/// Writes the span tree to `path`; throws std::runtime_error when the file
+/// cannot be written.
+void dump_trace_file(const std::string& path, const TraceBuffer& buffer);
+
 }  // namespace netobs::obs

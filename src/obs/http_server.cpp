@@ -1,0 +1,350 @@
+#include "obs/http_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/export.hpp"
+#include "obs/log.hpp"
+#include "obs/stats_stream.hpp"
+#include "obs/trace.hpp"
+
+namespace netobs::obs {
+
+// ----------------------------------------------------------- HealthRegistry
+
+void HealthRegistry::register_check(const std::string& name,
+                                    std::function<HealthResult()> check) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  checks_.emplace_back(name, std::move(check));
+}
+
+void HealthRegistry::set_status(const std::string& name, bool ok,
+                                const std::string& detail) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  statuses_[name] = HealthResult{ok, detail};
+}
+
+std::vector<std::pair<std::string, HealthResult>> HealthRegistry::run() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, HealthResult>> results;
+  results.reserve(checks_.size() + statuses_.size());
+  for (const auto& [name, check] : checks_) {
+    try {
+      results.emplace_back(name, check());
+    } catch (const std::exception& e) {
+      results.emplace_back(name, HealthResult{false, e.what()});
+    }
+  }
+  for (const auto& [name, result] : statuses_) {
+    results.emplace_back(name, result);
+  }
+  return results;
+}
+
+bool HealthRegistry::healthy() const {
+  for (const auto& [name, result] : run()) {
+    (void)name;
+    if (!result.ok) return false;
+  }
+  return true;
+}
+
+// --------------------------------------------------------------- HttpServer
+
+namespace {
+
+constexpr const char* kServeSite = "obs.http";
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Error";
+  }
+}
+
+/// Known endpoint or "other" — bounds the path label cardinality.
+const char* path_label(const std::string& path) {
+  static const char* known[] = {"/",       "/metrics", "/metrics.json",
+                                "/healthz", "/tracez",  "/statusz"};
+  for (const char* p : known) {
+    if (path == p) return p;
+  }
+  return "other";
+}
+
+bool send_all(int fd, const char* data, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(HttpServerOptions options, MetricsRegistry* registry)
+    : options_(std::move(options)),
+      registry_(registry != nullptr ? registry : &MetricsRegistry::global()) {}
+
+HttpServer::~HttpServer() { stop(); }
+
+std::uint16_t HttpServer::start() {
+  if (running()) return port_;
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error("HttpServer: socket() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(fd);
+    throw std::runtime_error("HttpServer: bad bind address '" +
+                             options_.bind_address + "'");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    int err = errno;
+    ::close(fd);
+    throw std::runtime_error("HttpServer: bind(" + options_.bind_address +
+                             ":" + std::to_string(options_.port) +
+                             ") failed: " + std::strerror(err));
+  }
+  if (::listen(fd, options_.backlog) != 0) {
+    int err = errno;
+    ::close(fd);
+    throw std::runtime_error("HttpServer: listen() failed: " +
+                             std::string(std::strerror(err)));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  port_ = ntohs(bound.sin_port);
+  listen_fd_ = fd;
+  started_ = std::chrono::steady_clock::now();
+
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+  log_info(kServeSite, "telemetry server listening",
+           {{"address", options_.bind_address},
+            {"port", std::to_string(port_)}});
+  return port_;
+}
+
+void HttpServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  log_info(kServeSite, "telemetry server stopped",
+           {{"requests", std::to_string(requests_served())}});
+}
+
+void HttpServer::add_collector(std::function<void()> collector) {
+  std::lock_guard<std::mutex> lock(collectors_mutex_);
+  collectors_.push_back(std::move(collector));
+}
+
+void HttpServer::serve_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, 100);  // 100 ms stop latency bound
+    if (ready <= 0) continue;
+    int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (running_.load(std::memory_order_acquire)) {
+        log_warn(kServeSite, "accept failed",
+                 {{"error", std::strerror(errno)}});
+      }
+      continue;
+    }
+    timeval tv{};
+    tv.tv_sec = options_.io_timeout_ms / 1000;
+    tv.tv_usec = (options_.io_timeout_ms % 1000) * 1000;
+    ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    serve_connection(conn);
+    ::close(conn);
+  }
+}
+
+void HttpServer::serve_connection(int fd) {
+  // Read the request head (we never accept bodies).
+  std::string request;
+  char buf[2048];
+  bool too_large = false;
+  while (request.find("\r\n\r\n") == std::string::npos) {
+    if (request.size() >= options_.max_request_bytes) {
+      too_large = true;
+      break;
+    }
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return;  // timeout / reset: drop silently
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+
+  Response response;
+  if (too_large) {
+    response = Response{431, "text/plain; charset=utf-8", "request too large\n"};
+  } else {
+    // "GET /path HTTP/1.1" — method and path only; headers are ignored.
+    std::string method, target;
+    std::istringstream head(request.substr(0, request.find("\r\n")));
+    head >> method >> target;
+    if (auto query = target.find('?'); query != std::string::npos) {
+      target.resize(query);
+    }
+    response = handle(method, target);
+  }
+
+  std::string payload = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                        status_text(response.status) +
+                        "\r\nContent-Type: " + response.content_type +
+                        "\r\nContent-Length: " +
+                        std::to_string(response.body.size()) +
+                        "\r\nConnection: close\r\n\r\n" + response.body;
+  send_all(fd, payload.data(), payload.size());
+}
+
+HttpServer::Response HttpServer::handle(const std::string& method,
+                                        const std::string& path) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  registry_
+      ->counter("netobs_telemetry_http_requests_total",
+                "Requests served by the embedded telemetry endpoint",
+                {{"path", path_label(path)}})
+      .inc();
+  if (method != "GET" && method != "HEAD") {
+    return Response{405, "text/plain; charset=utf-8",
+                    "only GET is supported\n"};
+  }
+  if (path == "/metrics") return metrics_text();
+  if (path == "/metrics.json") return metrics_json();
+  if (path == "/healthz") return healthz();
+  if (path == "/tracez") return tracez();
+  if (path == "/statusz") return statusz();
+  if (path == "/" || path.empty()) return index();
+  return Response{404, "text/plain; charset=utf-8",
+                  "unknown endpoint; see / for the index\n"};
+}
+
+void HttpServer::run_collectors() {
+  StatsHub::global().publish();
+  std::lock_guard<std::mutex> lock(collectors_mutex_);
+  for (const auto& collector : collectors_) collector();
+}
+
+HttpServer::Response HttpServer::metrics_text() {
+  run_collectors();
+  std::ostringstream os;
+  write_prometheus(os, *registry_);
+  return Response{200, "text/plain; version=0.0.4; charset=utf-8", os.str()};
+}
+
+HttpServer::Response HttpServer::metrics_json() {
+  run_collectors();
+  std::ostringstream os;
+  write_json(os, *registry_, JsonStyle::kPretty);
+  return Response{200, "application/json; charset=utf-8", os.str()};
+}
+
+HttpServer::Response HttpServer::healthz() {
+  auto results = health_.run();
+  bool ok = true;
+  for (const auto& [name, result] : results) {
+    (void)name;
+    ok = ok && result.ok;
+  }
+  std::ostringstream os;
+  os << (ok ? "ok" : "unhealthy") << '\n';
+  for (const auto& [name, result] : results) {
+    os << name << ": " << (result.ok ? "ok" : "FAIL");
+    if (!result.detail.empty()) os << " (" << result.detail << ")";
+    os << '\n';
+  }
+  return Response{ok ? 200 : 503, "text/plain; charset=utf-8", os.str()};
+}
+
+HttpServer::Response HttpServer::tracez() {
+  const TraceBuffer* buffer = registry_->trace_buffer();
+  if (buffer == nullptr) {
+    return Response{200, "text/plain; charset=utf-8",
+                    "tracing disabled — call "
+                    "MetricsRegistry::enable_tracing() (or pass --trace-out "
+                    "to a bench/example)\n"};
+  }
+  std::ostringstream os;
+  write_trace_tree(os, *buffer);
+  return Response{200, "text/plain; charset=utf-8", os.str()};
+}
+
+HttpServer::Response HttpServer::statusz() {
+  auto uptime = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - started_)
+                    .count();
+  auto snap = registry_->snapshot();
+  std::ostringstream os;
+  os << "netobs telemetry\n"
+     << "uptime_seconds: " << static_cast<std::int64_t>(uptime) << '\n'
+     << "pid: " << ::getpid() << '\n'
+     << "registry_enabled: " << (registry_->enabled() ? "true" : "false")
+     << '\n'
+     << "counters: " << snap.counters.size() << '\n'
+     << "gauges: " << snap.gauges.size() << '\n'
+     << "histograms: " << snap.histograms.size() << '\n';
+  if (const TraceBuffer* buffer = registry_->trace_buffer()) {
+    os << "trace_spans: " << buffer->size() << " (dropped "
+       << buffer->dropped() << ", capacity " << buffer->capacity() << ")\n";
+  } else {
+    os << "trace_spans: tracing disabled\n";
+  }
+  os << "requests_served: " << requests_served() << '\n';
+  for (const auto& [key, value] : options_.status_info) {
+    os << key << ": " << value << '\n';
+  }
+  return Response{200, "text/plain; charset=utf-8", os.str()};
+}
+
+HttpServer::Response HttpServer::index() {
+  return Response{200, "text/plain; charset=utf-8",
+                  "netobs telemetry endpoints:\n"
+                  "  /metrics       Prometheus text exposition\n"
+                  "  /metrics.json  registry as JSON\n"
+                  "  /healthz       readiness/liveness checks\n"
+                  "  /tracez        span tree of the trace buffer\n"
+                  "  /statusz       build/runtime status\n"};
+}
+
+}  // namespace netobs::obs

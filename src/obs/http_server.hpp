@@ -1,0 +1,142 @@
+// Embedded telemetry endpoint: a dependency-free HTTP/1.1 server exposing
+// the metrics registry, health checks and the trace buffer while a run is
+// live — the Prometheus pull model an always-on vantage point needs, instead
+// of PR 1's dump-on-exit file.
+//
+//   GET /             endpoint index
+//   GET /metrics      Prometheus text exposition (rate/quantile gauges are
+//                     refreshed through StatsHub before every render)
+//   GET /metrics.json same registry as pretty JSON
+//   GET /healthz      per-check readiness; 200 when all pass, 503 otherwise
+//   GET /tracez       TraceBuffer snapshot rendered as a span tree
+//   GET /statusz      build info, uptime, caller-supplied status key/values
+//
+// Design: one background thread runs a blocking accept loop (poll with a
+// short timeout so stop() is prompt) and serves connections serially —
+// telemetry scrapes are rare and tiny, so a serial loop bounds resource use
+// by construction. Responses are built entirely from registry snapshots;
+// the hot instrumentation paths never see the server.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace netobs::obs {
+
+struct HealthResult {
+  bool ok = true;
+  std::string detail;
+};
+
+/// Pluggable readiness/liveness checks behind /healthz. Two flavours:
+/// callback checks (evaluated per request) and stored statuses flipped with
+/// set_status() from anywhere in the pipeline.
+class HealthRegistry {
+ public:
+  void register_check(const std::string& name,
+                      std::function<HealthResult()> check);
+  /// Creates or updates a stored status check named `name`.
+  void set_status(const std::string& name, bool ok,
+                  const std::string& detail = "");
+
+  /// Evaluates every check. Callback checks that throw count as failing
+  /// with the exception text as detail.
+  std::vector<std::pair<std::string, HealthResult>> run() const;
+  bool healthy() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::pair<std::string, std::function<HealthResult()>>> checks_;
+  std::map<std::string, HealthResult> statuses_;
+};
+
+struct HttpServerOptions {
+  std::uint16_t port = 0;  ///< 0 = pick an ephemeral port (see port())
+  std::string bind_address = "127.0.0.1";
+  int backlog = 16;
+  std::size_t max_request_bytes = 8192;  ///< request head cap; 431 beyond
+  int io_timeout_ms = 2000;              ///< per-connection read/write budget
+  /// Extra key/value lines for /statusz (SIMD tier, thread-pool size, run
+  /// configuration — whatever the embedding binary wants visible).
+  std::vector<std::pair<std::string, std::string>> status_info;
+};
+
+class HttpServer {
+ public:
+  /// `registry` may be nullptr for the process-global registry. The server
+  /// never outlives it (no ownership taken).
+  explicit HttpServer(HttpServerOptions options = HttpServerOptions(),
+                      MetricsRegistry* registry = nullptr);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens and spawns the serving thread. Returns the bound port
+  /// (the chosen one when options.port was 0). Throws std::runtime_error
+  /// when the socket cannot be set up. Idempotent while running.
+  std::uint16_t start();
+
+  /// Stops the loop, joins the thread, closes the socket. Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  std::uint16_t port() const { return port_; }
+
+  HealthRegistry& health() { return health_; }
+
+  /// Registers a hook run before every /metrics or /metrics.json render
+  /// (after the StatsHub flush) — e.g. refreshing queue-depth gauges.
+  void add_collector(std::function<void()> collector);
+
+  std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+  /// Request router, exposed for tests: returns (status, content-type,
+  /// body) for a method + path (query strings already stripped by the
+  /// transport layer).
+  struct Response {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+  };
+  Response handle(const std::string& method, const std::string& path);
+
+ private:
+  void serve_loop();
+  void serve_connection(int fd);
+  void run_collectors();
+  Response metrics_text();
+  Response metrics_json();
+  Response healthz();
+  Response tracez();
+  Response statusz();
+  Response index();
+
+  HttpServerOptions options_;
+  MetricsRegistry* registry_;
+  HealthRegistry health_;
+
+  std::mutex collectors_mutex_;
+  std::vector<std::function<void()>> collectors_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::chrono::steady_clock::time_point started_{};
+};
+
+}  // namespace netobs::obs

@@ -1,0 +1,237 @@
+#include "obs/log.hpp"
+
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <iostream>
+
+#include "obs/metrics.hpp"
+
+namespace netobs::obs {
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "?";
+}
+
+namespace {
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("NETOBS_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kInfo;
+  std::string v = env;
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "warn" || v == "warning") return LogLevel::kWarn;
+  if (v == "error") return LogLevel::kError;
+  if (v == "off" || v == "none") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+bool json_from_env() {
+  const char* env = std::getenv("NETOBS_LOG_FORMAT");
+  return env != nullptr && std::strcmp(env, "json") == 0;
+}
+
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// "2026-08-05T10:21:07.114Z" — UTC wall clock with millisecond precision.
+std::string utc_timestamp() {
+  auto now = std::chrono::system_clock::now();
+  std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                now.time_since_epoch())
+                .count() %
+            1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[40];
+  std::size_t n = std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%S", &tm);
+  std::snprintf(buf + n, sizeof(buf) - n, ".%03dZ", static_cast<int>(ms));
+  return buf;
+}
+
+/// JSON string escaping incl. control characters (the logger may be handed
+/// arbitrary hostnames / error strings).
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  char buf[8];
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// key=value with the value quoted only when it contains spaces/quotes.
+void append_text_field(std::string& line, const std::string& key,
+                       const std::string& value) {
+  line += ' ';
+  line += key;
+  line += '=';
+  bool needs_quotes =
+      value.empty() || value.find_first_of(" \"=\n\t") != std::string::npos;
+  if (!needs_quotes) {
+    line += value;
+    return;
+  }
+  line += '"';
+  for (char c : value) {
+    if (c == '"' || c == '\\') line += '\\';
+    if (c == '\n') {
+      line += "\\n";
+      continue;
+    }
+    line += c;
+  }
+  line += '"';
+}
+
+Counter& level_counter(LogLevel level) {
+  auto& reg = MetricsRegistry::global();
+  return reg.counter("netobs_log_messages_total",
+                     "Log lines emitted, by level (WARN and above)",
+                     {{"level", log_level_name(level)}});
+}
+
+Counter& suppressed_counter() {
+  return MetricsRegistry::global().counter(
+      "netobs_log_suppressed_total",
+      "Log lines suppressed by the per-site rate limiter");
+}
+
+}  // namespace
+
+Logger& Logger::global() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() : level_(static_cast<int>(level_from_env())) {
+  json_.store(json_from_env(), std::memory_order_relaxed);
+}
+
+void Logger::set_sink(std::ostream* sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sink_ = sink;
+}
+
+void Logger::set_site_limit_per_second(std::uint64_t limit) {
+  site_limit_.store(limit, std::memory_order_relaxed);
+}
+
+void Logger::log(LogLevel level, std::string_view site,
+                 std::string_view message, const LogFields& fields) {
+  if (!should_log(level)) return;
+
+  std::string line;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Per-site token window: at most `site_limit_` lines per wall second.
+    std::uint64_t limit = site_limit_.load(std::memory_order_relaxed);
+    if (limit > 0) {
+      SiteState& state = sites_[std::string(site)];
+      double now = steady_seconds();
+      if (now - state.window_start >= 1.0) {
+        state.window_start = now;
+        state.in_window = 0;
+      }
+      if (state.in_window >= limit) {
+        suppressed_.fetch_add(1, std::memory_order_relaxed);
+        suppressed_counter().inc();
+        return;
+      }
+      ++state.in_window;
+    }
+
+    if (json_.load(std::memory_order_relaxed)) {
+      line = "{\"ts\":\"" + utc_timestamp() + "\",\"level\":\"" +
+             log_level_name(level) + "\",\"site\":\"" +
+             json_escape(site) + "\",\"msg\":\"" + json_escape(message) + "\"";
+      for (const auto& [k, v] : fields) {
+        line += ",\"" + json_escape(k) + "\":\"" + json_escape(v) + "\"";
+      }
+      line += '}';
+    } else {
+      const char* name = log_level_name(level);
+      line = utc_timestamp();
+      line += ' ';
+      std::size_t width = 0;
+      for (const char* p = name; *p != '\0'; ++p, ++width) {
+        line += static_cast<char>(std::toupper(static_cast<unsigned char>(*p)));
+      }
+      for (; width < 6; ++width) line += ' ';  // "ERROR" + 1 column
+      line += site;
+      line += ' ';
+      line += message;
+      for (const auto& [k, v] : fields) append_text_field(line, k, v);
+    }
+
+    std::ostream& os = sink_ != nullptr ? *sink_ : std::cerr;
+    os << line << '\n';
+    if (level >= LogLevel::kWarn) os.flush();
+  }
+  emitted_.fetch_add(1, std::memory_order_relaxed);
+  if (level >= LogLevel::kWarn) level_counter(level).inc();
+}
+
+void log_debug(std::string_view site, std::string_view message,
+               const LogFields& fields) {
+  Logger::global().log(LogLevel::kDebug, site, message, fields);
+}
+void log_info(std::string_view site, std::string_view message,
+              const LogFields& fields) {
+  Logger::global().log(LogLevel::kInfo, site, message, fields);
+}
+void log_warn(std::string_view site, std::string_view message,
+              const LogFields& fields) {
+  Logger::global().log(LogLevel::kWarn, site, message, fields);
+}
+void log_error(std::string_view site, std::string_view message,
+               const LogFields& fields) {
+  Logger::global().log(LogLevel::kError, site, message, fields);
+}
+
+}  // namespace netobs::obs

@@ -1,0 +1,118 @@
+// Leveled structured logging for the library and its operational binaries.
+//
+// One process-wide Logger (text or JSON lines, key=value fields, level
+// filtering) replaces ad-hoc std::cerr prints so long-running runs emit
+// machine-greppable progress lines next to the metrics plane:
+//
+//   obs::log_info("profile.service", "retrain complete",
+//                 {{"day", "3"}, {"vocab", "1412"}});
+//   -> 2026-08-05T10:21:07.114Z INFO  profile.service retrain complete day=3 vocab=1412
+//
+// Operational properties:
+//   - level filter is one relaxed atomic load, so disabled levels cost a
+//     branch (NETOBS_LOG_LEVEL=debug|info|warn|error|off, default info;
+//     NETOBS_LOG_FORMAT=json switches to JSON lines),
+//   - per-site rate limiting: each site emits at most N lines per second
+//     (default 10); the excess is counted, not printed, so a hot WARN in
+//     the packet loop cannot melt the sink,
+//   - the metrics plane sees the log stream: emitted WARN/ERROR lines
+//     increment netobs_log_messages_total{level=...} and suppressed lines
+//     increment netobs_log_suppressed_total, so a scrape shows error bursts
+//     even when nobody is tailing stderr.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace netobs::obs {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// "debug", "info", "warn", "error" (lowercase, for the metrics label).
+const char* log_level_name(LogLevel level);
+
+enum class LogFormat { kText, kJson };
+
+/// Ordered key/value context attached to one log line.
+using LogFields = std::vector<std::pair<std::string, std::string>>;
+
+class Logger {
+ public:
+  /// The process-wide logger all library call sites use.
+  static Logger& global();
+
+  Logger();  ///< level/format initialised from the NETOBS_LOG_* environment
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  void set_level(LogLevel level) {
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  LogLevel level() const {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+  bool should_log(LogLevel level) const {
+    return level != LogLevel::kOff && level >= this->level();
+  }
+
+  void set_format(LogFormat format) {
+    json_.store(format == LogFormat::kJson, std::memory_order_relaxed);
+  }
+  LogFormat format() const {
+    return json_.load(std::memory_order_relaxed) ? LogFormat::kJson
+                                                 : LogFormat::kText;
+  }
+
+  /// Redirects output (tests); nullptr restores the default std::cerr.
+  void set_sink(std::ostream* sink);
+
+  /// Per-site lines-per-second cap; 0 disables rate limiting.
+  void set_site_limit_per_second(std::uint64_t limit);
+
+  /// Emits one line. `site` is the instrumentation site ("net.observer",
+  /// "profile.service") — it keys the rate limiter and is printed verbatim.
+  void log(LogLevel level, std::string_view site, std::string_view message,
+           const LogFields& fields = {});
+
+  std::uint64_t emitted() const {
+    return emitted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t suppressed() const {
+    return suppressed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct SiteState {
+    double window_start = 0.0;
+    std::uint64_t in_window = 0;
+  };
+
+  std::atomic<int> level_;
+  std::atomic<bool> json_{false};
+  std::atomic<std::uint64_t> site_limit_{10};
+  std::atomic<std::uint64_t> emitted_{0};
+  std::atomic<std::uint64_t> suppressed_{0};
+
+  std::mutex mutex_;  ///< guards sink_ writes and sites_
+  std::ostream* sink_ = nullptr;
+  std::unordered_map<std::string, SiteState> sites_;
+};
+
+// Convenience wrappers over Logger::global().
+void log_debug(std::string_view site, std::string_view message,
+               const LogFields& fields = {});
+void log_info(std::string_view site, std::string_view message,
+              const LogFields& fields = {});
+void log_warn(std::string_view site, std::string_view message,
+              const LogFields& fields = {});
+void log_error(std::string_view site, std::string_view message,
+               const LogFields& fields = {});
+
+}  // namespace netobs::obs

@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "obs/trace.hpp"
@@ -41,6 +42,16 @@ std::string label_key(Labels& labels) {
 Histogram::Histogram(std::vector<double> bounds,
                      const std::atomic<bool>* enabled)
     : bounds_(std::move(bounds)), enabled_(enabled) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument(
+        "Histogram: need at least one bucket bound (all observations would "
+        "land in +Inf)");
+  }
+  for (double b : bounds_) {
+    if (std::isnan(b)) {
+      throw std::invalid_argument("Histogram: NaN bucket bound");
+    }
+  }
   for (std::size_t i = 1; i < bounds_.size(); ++i) {
     if (!(bounds_[i - 1] < bounds_[i])) {
       throw std::invalid_argument(
@@ -94,6 +105,7 @@ std::vector<double> default_latency_buckets() {
 struct MetricsRegistry::Family {
   MetricType type;
   std::string help;
+  std::vector<double> hist_bounds;  ///< bounds of the first registration
   std::map<std::string, Labels> instance_labels;
   std::map<std::string, std::unique_ptr<Counter>> counters;
   std::map<std::string, std::unique_ptr<Gauge>> gauges;
@@ -166,6 +178,14 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
                                       const Labels& labels) {
   std::lock_guard<std::mutex> lock(mutex_);
   Family& fam = family_of(name, help, MetricType::kHistogram);
+  // One bucket layout per family: Prometheus clients cannot aggregate a
+  // histogram whose series disagree on `le` bounds.
+  if (fam.histograms.empty()) {
+    fam.hist_bounds = bounds;
+  } else if (bounds != fam.hist_bounds) {
+    throw std::invalid_argument("MetricsRegistry: histogram '" + name +
+                                "' already registered with different bounds");
+  }
   Labels canon = labels;
   std::string key = label_key(canon);
   auto it = fam.histograms.find(key);

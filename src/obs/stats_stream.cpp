@@ -1,0 +1,246 @@
+#include "obs/stats_stream.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace netobs::obs {
+
+namespace {
+
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// "10s" / "1.5s" / "0.99" — shortest %g rendering for label values.
+std::string format_number(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ RateEstimator
+
+RateEstimator::RateEstimator(double window_seconds, std::size_t buckets)
+    : bucket_seconds_(window_seconds / static_cast<double>(buckets)),
+      nbuckets_(buckets) {
+  if (!(window_seconds > 0.0) || buckets == 0) {
+    throw std::invalid_argument("RateEstimator: need window>0, buckets>0");
+  }
+  slots_ = std::make_unique<Slot[]>(nbuckets_);
+}
+
+void RateEstimator::record(double n) { record_at(steady_seconds(), n); }
+
+void RateEstimator::record_at(double now_seconds, double n) {
+  auto tick = static_cast<std::int64_t>(now_seconds / bucket_seconds_);
+  Slot& slot = slots_[static_cast<std::size_t>(tick) % nbuckets_];
+  std::int64_t owner = slot.tick.load(std::memory_order_relaxed);
+  if (owner != tick) {
+    // Recycle the slot for the new tick. The winner of the CAS resets the
+    // count; a concurrent add that lands between the CAS and the store is
+    // lost — see the class comment.
+    if (slot.tick.compare_exchange_strong(owner, tick,
+                                          std::memory_order_relaxed)) {
+      slot.count.store(n, std::memory_order_relaxed);
+      return;
+    }
+  }
+  detail::atomic_add(slot.count, n);
+}
+
+double RateEstimator::rate() const { return rate_at(steady_seconds()); }
+
+double RateEstimator::rate_at(double now_seconds) const {
+  auto tick = static_cast<std::int64_t>(now_seconds / bucket_seconds_);
+  std::int64_t oldest = tick - static_cast<std::int64_t>(nbuckets_) + 1;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < nbuckets_; ++i) {
+    std::int64_t owner = slots_[i].tick.load(std::memory_order_relaxed);
+    if (owner >= oldest && owner <= tick) {
+      sum += slots_[i].count.load(std::memory_order_relaxed);
+    }
+  }
+  return sum / window_seconds();
+}
+
+// --------------------------------------------------------------- P2Quantile
+
+P2Quantile::P2Quantile(double quantile) : q_(quantile) {
+  if (!(quantile > 0.0 && quantile < 1.0)) {
+    throw std::invalid_argument("P2Quantile: quantile must be in (0,1)");
+  }
+}
+
+void P2Quantile::observe(double x) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ < 5) {
+    heights_[count_++] = x;
+    if (count_ == 5) {
+      std::sort(heights_, heights_ + 5);
+      pos_[0] = 1;
+      pos_[1] = 2;
+      pos_[2] = 3;
+      pos_[3] = 4;
+      pos_[4] = 5;
+      desired_[0] = 1.0;
+      desired_[1] = 1.0 + 2.0 * q_;
+      desired_[2] = 1.0 + 4.0 * q_;
+      desired_[3] = 3.0 + 2.0 * q_;
+      desired_[4] = 5.0;
+      incr_[0] = 0.0;
+      incr_[1] = q_ / 2.0;
+      incr_[2] = q_;
+      incr_[3] = (1.0 + q_) / 2.0;
+      incr_[4] = 1.0;
+    }
+    return;
+  }
+  ++count_;
+
+  // Cell k the observation falls into; extremes clamp to the end markers.
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+
+  for (int i = k + 1; i < 5; ++i) pos_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += incr_[i];
+
+  // Adjust the three interior markers toward their desired positions with a
+  // piecewise-parabolic (fallback linear) height update.
+  for (int i = 1; i <= 3; ++i) {
+    double d = desired_[i] - pos_[i];
+    if ((d >= 1.0 && pos_[i + 1] - pos_[i] > 1.0) ||
+        (d <= -1.0 && pos_[i - 1] - pos_[i] < -1.0)) {
+      double s = d >= 0.0 ? 1.0 : -1.0;
+      double np = pos_[i + 1], nc = pos_[i], nm = pos_[i - 1];
+      double hp = heights_[i + 1], hc = heights_[i], hm = heights_[i - 1];
+      double parabolic =
+          hc + s / (np - nm) *
+                   ((nc - nm + s) * (hp - hc) / (np - nc) +
+                    (np - nc - s) * (hc - hm) / (nc - nm));
+      if (parabolic > hm && parabolic < hp) {
+        heights_[i] = parabolic;
+      } else {
+        // Linear toward the neighbour in the movement direction.
+        int j = i + static_cast<int>(s);
+        heights_[i] = hc + s * (heights_[j] - hc) / (pos_[j] - nc);
+      }
+      pos_[i] += s;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0) return std::nan("");
+  if (count_ < 5) {
+    double sorted[5];
+    std::copy(heights_, heights_ + count_, sorted);
+    std::sort(sorted, sorted + count_);
+    auto idx = static_cast<std::size_t>(
+        q_ * static_cast<double>(count_ - 1) + 0.5);
+    return sorted[std::min(idx, static_cast<std::size_t>(count_ - 1))];
+  }
+  return heights_[2];
+}
+
+std::uint64_t P2Quantile::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+// ----------------------------------------------------------------- StatsHub
+
+StatsHub& StatsHub::global() {
+  static StatsHub hub;
+  return hub;
+}
+
+std::uint64_t StatsHub::add(std::function<void()> publish) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t handle = next_handle_++;
+  publishers_.emplace(handle, std::move(publish));
+  return handle;
+}
+
+void StatsHub::remove(std::uint64_t handle) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  publishers_.erase(handle);
+}
+
+void StatsHub::publish() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [handle, fn] : publishers_) fn();
+}
+
+// ---------------------------------------------------------------- RateGauge
+
+RateGauge::RateGauge(MetricsRegistry& registry, const std::string& name,
+                     const std::string& help,
+                     std::vector<double> windows_seconds, const Labels& labels) {
+  for (double w : windows_seconds) {
+    Labels cell_labels = labels;
+    cell_labels.emplace_back("window", format_number(w) + "s");
+    cells_.push_back(Cell{std::make_unique<RateEstimator>(w),
+                          &registry.gauge(name, help, cell_labels)});
+  }
+  hub_handle_ = StatsHub::global().add([this] { publish(); });
+}
+
+RateGauge::~RateGauge() { StatsHub::global().remove(hub_handle_); }
+
+void RateGauge::record(double n) {
+  if (cells_.empty() || !cells_.front().gauge->enabled()) return;
+  for (Cell& cell : cells_) cell.estimator->record(n);
+}
+
+void RateGauge::publish() {
+  for (Cell& cell : cells_) cell.gauge->set(cell.estimator->rate());
+}
+
+// ----------------------------------------------------------- QuantileGauges
+
+QuantileGauges::QuantileGauges(MetricsRegistry& registry,
+                               const std::string& name,
+                               const std::string& help,
+                               std::vector<double> quantiles,
+                               const Labels& labels) {
+  for (double q : quantiles) {
+    Labels cell_labels = labels;
+    cell_labels.emplace_back("quantile", format_number(q));
+    cells_.push_back(Cell{std::make_unique<P2Quantile>(q),
+                          &registry.gauge(name, help, cell_labels)});
+  }
+  hub_handle_ = StatsHub::global().add([this] { publish(); });
+}
+
+QuantileGauges::~QuantileGauges() { StatsHub::global().remove(hub_handle_); }
+
+void QuantileGauges::observe(double v) {
+  if (cells_.empty() || !cells_.front().gauge->enabled()) return;
+  for (Cell& cell : cells_) cell.estimator->observe(v);
+}
+
+void QuantileGauges::publish() {
+  for (Cell& cell : cells_) {
+    double v = cell.estimator->value();
+    if (!std::isnan(v)) cell.gauge->set(v);
+  }
+}
+
+}  // namespace netobs::obs

@@ -1,0 +1,172 @@
+// Streaming rate and quantile estimators for the live telemetry plane.
+//
+// The registry (obs/metrics.hpp) stores what happened; these classes answer
+// "how fast is it happening *now*" and "what does the latency distribution
+// look like" without buffering raw samples:
+//
+//   RateEstimator — events/sec over a sliding window of coarse time buckets.
+//     record() is one clock read plus two relaxed atomics, cheap enough for
+//     the per-packet observer path.
+//   P2Quantile — the P² algorithm (Jain & Chlamtac, CACM 1985): a five-marker
+//     streaming quantile estimate in O(1) memory, no sample buffer.
+//
+// RateGauge / QuantileGauges bind estimators to registry gauges so scrapes
+// see `netobs_net_packets_per_second{window="10s"}` and
+// `netobs_profile_knn_latency_seconds{quantile="0.99"}` instead of having to
+// derive rates and percentiles from raw counters/histograms themselves.
+// Both auto-register a publisher with the process-wide StatsHub, which every
+// export path (HTTP scrape, --metrics-out dump) flushes first, so the gauge
+// values are fresh at read time.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace netobs::obs {
+
+/// Sliding-window event rate over a ring of per-tick buckets. Writers race
+/// benignly on bucket rotation (a concurrent add into a bucket that is being
+/// recycled can be lost); this is monitoring-grade arithmetic, not
+/// accounting — the registry counters stay exact.
+class RateEstimator {
+ public:
+  /// `window_seconds` of history split into `buckets` ring slots; finer
+  /// buckets give smoother decay at slightly more memory.
+  explicit RateEstimator(double window_seconds = 10.0,
+                         std::size_t buckets = 20);
+
+  RateEstimator(const RateEstimator&) = delete;
+  RateEstimator& operator=(const RateEstimator&) = delete;
+
+  void record(double n = 1.0);
+  /// Deterministic variant for tests: the caller supplies the clock.
+  void record_at(double now_seconds, double n = 1.0);
+
+  /// Events per second over the window ending now.
+  double rate() const;
+  double rate_at(double now_seconds) const;
+
+  double window_seconds() const { return bucket_seconds_ * double(nbuckets_); }
+
+ private:
+  struct Slot {
+    std::atomic<std::int64_t> tick{-1};  ///< which window tick owns the slot
+    std::atomic<double> count{0.0};
+  };
+
+  double bucket_seconds_;
+  std::size_t nbuckets_;
+  std::unique_ptr<Slot[]> slots_;
+};
+
+/// Streaming quantile estimate via the P² algorithm: five markers track the
+/// min, the target quantile, its half-way neighbours and the max, adjusted
+/// with a piecewise-parabolic fit on every observation. Exact for the first
+/// five samples, approximate (typically within a bucket width of the true
+/// percentile) afterwards. Mutex-protected: observe() is called on
+/// per-session paths, not per-packet ones.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double quantile);
+
+  P2Quantile(const P2Quantile&) = delete;
+  P2Quantile& operator=(const P2Quantile&) = delete;
+
+  void observe(double x);
+  /// Current estimate; NaN until the first observation, exact while fewer
+  /// than five samples have been seen.
+  double value() const;
+  std::uint64_t count() const;
+  double quantile() const { return q_; }
+
+ private:
+  mutable std::mutex mutex_;
+  double q_;
+  std::uint64_t count_ = 0;
+  double heights_[5] = {0, 0, 0, 0, 0};  ///< marker heights q_i
+  double pos_[5] = {1, 2, 3, 4, 5};      ///< actual marker positions n_i
+  double desired_[5] = {0, 0, 0, 0, 0};  ///< desired positions n'_i
+  double incr_[5] = {0, 0, 0, 0, 0};     ///< desired-position increments
+};
+
+/// Process-wide list of gauge publishers, flushed by every export path
+/// (HTTP server scrape, dump_metrics_file callers) right before the registry
+/// snapshot so derived gauges are fresh at read time.
+class StatsHub {
+ public:
+  static StatsHub& global();
+
+  std::uint64_t add(std::function<void()> publish);
+  void remove(std::uint64_t handle);
+  /// Runs every registered publisher (under the hub lock: publishers only
+  /// touch their own estimators and gauges, never the hub).
+  void publish();
+
+ private:
+  std::mutex mutex_;
+  std::uint64_t next_handle_ = 1;
+  std::map<std::uint64_t, std::function<void()>> publishers_;
+};
+
+/// One rate estimator per window, each exported as
+/// `<name>{window="10s",...}`. record() respects the registry enabled flag
+/// (single relaxed load when disabled).
+class RateGauge {
+ public:
+  RateGauge(MetricsRegistry& registry, const std::string& name,
+            const std::string& help,
+            std::vector<double> windows_seconds = {10.0, 60.0},
+            const Labels& labels = {});
+  ~RateGauge();
+
+  RateGauge(const RateGauge&) = delete;
+  RateGauge& operator=(const RateGauge&) = delete;
+
+  void record(double n = 1.0);
+  /// Copies the current rates into the bound gauges (also run by StatsHub).
+  void publish();
+
+ private:
+  struct Cell {
+    std::unique_ptr<RateEstimator> estimator;
+    Gauge* gauge;
+  };
+  std::vector<Cell> cells_;
+  std::uint64_t hub_handle_ = 0;
+};
+
+/// One P² estimator per requested quantile, each exported as
+/// `<name>{quantile="0.99",...}` — the summary shape Prometheus clients
+/// expect for pre-aggregated percentiles.
+class QuantileGauges {
+ public:
+  QuantileGauges(MetricsRegistry& registry, const std::string& name,
+                 const std::string& help,
+                 std::vector<double> quantiles = {0.5, 0.9, 0.99},
+                 const Labels& labels = {});
+  ~QuantileGauges();
+
+  QuantileGauges(const QuantileGauges&) = delete;
+  QuantileGauges& operator=(const QuantileGauges&) = delete;
+
+  void observe(double v);
+  void publish();
+
+ private:
+  struct Cell {
+    std::unique_ptr<P2Quantile> estimator;
+    Gauge* gauge;
+  };
+  std::vector<Cell> cells_;
+  std::uint64_t hub_handle_ = 0;
+};
+
+}  // namespace netobs::obs

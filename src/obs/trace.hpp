@@ -36,8 +36,10 @@ class ScopedTimer {
   /// Records once and returns the elapsed seconds; idempotent.
   double stop() {
     if (!stopped_) {
-      stopped_ = true;
+      // Freeze the measurement before flipping stopped_: elapsed_seconds()
+      // short-circuits to the frozen value once stopped_ is set.
       elapsed_ = elapsed_seconds();
+      stopped_ = true;
       if (hist_ != nullptr) hist_->observe(elapsed_);
     }
     return elapsed_;

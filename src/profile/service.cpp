@@ -2,14 +2,27 @@
 
 #include <stdexcept>
 
+#include "obs/log.hpp"
 #include "obs/trace.hpp"
+
+namespace {
+constexpr const char* kLogSite = "profile.service";
+}
 
 namespace netobs::profile {
 
 ProfilingService::ProfilingService(const ontology::HostLabeler& labeler,
                                    const filter::Blocklist* blocklist,
                                    ServiceParams params)
-    : labeler_(&labeler), blocklist_(blocklist), params_(params) {
+    : labeler_(&labeler),
+      blocklist_(blocklist),
+      params_(params),
+      ingest_rate_(obs::MetricsRegistry::global(),
+                   "netobs_profile_ingested_per_second",
+                   "Hostname events accepted per second (sliding window)"),
+      profile_latency_q_(obs::MetricsRegistry::global(),
+                         "netobs_profile_knn_latency_seconds",
+                         "Streaming percentiles of session-profile latency") {
   auto& reg = obs::MetricsRegistry::global();
   ingested_ = &reg.counter("netobs_profile_events_ingested_total",
                            "Hostname events accepted into the session store");
@@ -29,6 +42,10 @@ ProfilingService::ProfilingService(const ontology::HostLabeler& labeler,
   profile_seconds_ = &reg.histogram("netobs_profile_latency_seconds",
                                     "Latency of one session profile",
                                     obs::default_latency_buckets());
+  store_events_ = &reg.gauge("netobs_profile_store_events",
+                             "Hostname events held by the session store");
+  store_users_ = &reg.gauge("netobs_profile_store_users",
+                            "Users with at least one stored event");
 }
 
 void ProfilingService::ingest(const net::HostnameEvent& event) {
@@ -37,7 +54,10 @@ void ProfilingService::ingest(const net::HostnameEvent& event) {
     return;
   }
   ingested_->inc();
+  ingest_rate_.record();
   store_.ingest(event);
+  store_events_->set(static_cast<double>(store_.event_count()));
+  store_users_->set(static_cast<double>(store_.user_count()));
 }
 
 void ProfilingService::ingest(const std::vector<net::HostnameEvent>& events) {
@@ -49,6 +69,8 @@ bool ProfilingService::retrain(std::int64_t train_day) {
   auto sequences = store_.day_sequences(train_day);
   if (sequences.empty()) {
     retrain_failures_->inc();
+    obs::log_warn(kLogSite, "retrain skipped: no data for day",
+                  {{"day", std::to_string(train_day)}});
     return false;
   }
   embedding::SgnsTrainer trainer(params_.sgns, params_.vocab);
@@ -57,10 +79,12 @@ bool ProfilingService::retrain(std::int64_t train_day) {
     fresh = std::make_unique<embedding::HostEmbedding>(
         params_.warm_start && model_ ? trainer.fit_warm(sequences, *model_)
                                      : trainer.fit(sequences));
-  } catch (const std::invalid_argument&) {
+  } catch (const std::invalid_argument& e) {
     // Not enough data for the vocabulary thresholds: keep the old model,
     // exactly what a production back-end would do on a thin day.
     retrain_failures_->inc();
+    obs::log_warn(kLogSite, "retrain failed: keeping previous model",
+                  {{"day", std::to_string(train_day)}, {"error", e.what()}});
     return false;
   }
   model_ = std::move(fresh);
@@ -68,6 +92,11 @@ bool ProfilingService::retrain(std::int64_t train_day) {
   profiler_ = std::make_unique<SessionProfiler>(*model_, *index_, *labeler_,
                                                 params_.profiler);
   retrains_->inc();
+  obs::log_info(kLogSite, "retrained model",
+                {{"day", std::to_string(train_day)},
+                 {"sequences", std::to_string(sequences.size())},
+                 {"vocab", std::to_string(model_->size())},
+                 {"seconds", std::to_string(span.elapsed_seconds())}});
   return true;
 }
 
@@ -88,7 +117,9 @@ SessionProfile ProfilingService::profile_user(std::uint32_t user,
   }
   obs::ScopedTimer timer(profile_seconds_);
   profiles_->inc();
-  return profiler_->profile(session_of(user, now));
+  SessionProfile result = profiler_->profile(session_of(user, now));
+  profile_latency_q_.observe(timer.stop());
+  return result;
 }
 
 SessionProfile ProfilingService::profile_hostnames(
@@ -98,7 +129,9 @@ SessionProfile ProfilingService::profile_hostnames(
   }
   obs::ScopedTimer timer(profile_seconds_);
   profiles_->inc();
-  return profiler_->profile(hostnames);
+  SessionProfile result = profiler_->profile(hostnames);
+  profile_latency_q_.observe(timer.stop());
+  return result;
 }
 
 std::vector<SessionProfile> ProfilingService::profile_batch(
@@ -108,7 +141,14 @@ std::vector<SessionProfile> ProfilingService::profile_batch(
   }
   obs::ScopedTimer timer(profile_seconds_);
   profiles_->inc(sessions.size());
-  return profiler_->profile_batch(sessions);
+  std::vector<SessionProfile> results = profiler_->profile_batch(sessions);
+  // One quantile sample per profile: the batch sweep amortises the matrix
+  // scan, so per-profile latency is batch time divided by batch size.
+  if (!sessions.empty()) {
+    profile_latency_q_.observe(timer.stop() /
+                               static_cast<double>(sessions.size()));
+  }
+  return results;
 }
 
 std::vector<SessionProfile> ProfilingService::profile_users(

@@ -16,6 +16,7 @@
 
 #include "filter/blocklist.hpp"
 #include "obs/metrics.hpp"
+#include "obs/stats_stream.hpp"
 #include "profile/profiler.hpp"
 #include "profile/session.hpp"
 
@@ -101,6 +102,12 @@ class ProfilingService {
   obs::Histogram* retrain_seconds_;
   obs::Counter* profiles_;
   obs::Histogram* profile_seconds_;
+  // Live-telemetry derivatives (obs/stats_stream.hpp): ingest rate, profile
+  // latency percentiles and session-store depth, published on every scrape.
+  obs::Gauge* store_events_;
+  obs::Gauge* store_users_;
+  obs::RateGauge ingest_rate_;
+  mutable obs::QuantileGauges profile_latency_q_;  // observed from const profilers
 
   std::unique_ptr<embedding::HostEmbedding> model_;
   std::unique_ptr<embedding::CosineKnnIndex> index_;

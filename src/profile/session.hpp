@@ -74,6 +74,8 @@ class SessionStore {
   std::vector<std::uint32_t> users() const;
 
   std::size_t event_count() const { return event_count_; }
+  /// Users with at least one stored event (cheap: map size, no scan).
+  std::size_t user_count() const { return per_user_.size(); }
 
  private:
   struct Visit {

@@ -1,0 +1,235 @@
+// End-to-end tests for the embedded telemetry endpoint (obs/http_server):
+// router-level checks through HttpServer::handle() plus a real-socket smoke
+// test that scrapes a live server on an ephemeral port with a hand-rolled
+// HTTP/1.1 GET — no external tools, so it runs anywhere ctest does.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "obs/http_server.hpp"
+#include "obs/metrics.hpp"
+#include "obs/stats_stream.hpp"
+#include "obs/trace.hpp"
+
+namespace netobs::obs {
+namespace {
+
+struct HttpReply {
+  int status = 0;
+  std::string head;
+  std::string body;
+};
+
+/// Minimal blocking HTTP GET against 127.0.0.1:`port` using raw sockets.
+HttpReply http_get(std::uint16_t port, const std::string& path) {
+  HttpReply reply;
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return reply;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return reply;
+  }
+  std::string request = "GET " + path +
+                        " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                        "Connection: close\r\n\r\n";
+  const char* p = request.data();
+  std::size_t remaining = request.size();
+  while (remaining > 0) {
+    ssize_t n = ::send(fd, p, remaining, 0);
+    if (n <= 0) break;
+    p += n;
+    remaining -= static_cast<std::size_t>(n);
+  }
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  auto split = raw.find("\r\n\r\n");
+  if (split == std::string::npos) return reply;
+  reply.head = raw.substr(0, split);
+  reply.body = raw.substr(split + 4);
+  if (reply.head.rfind("HTTP/1.1 ", 0) == 0) {
+    reply.status = std::atoi(reply.head.c_str() + 9);
+  }
+  return reply;
+}
+
+bool balanced(const std::string& s) {
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{' || c == '[') ++depth;
+    else if (c == '}' || c == ']') --depth;
+    if (depth < 0) return false;
+  }
+  return depth == 0 && !in_string;
+}
+
+// ------------------------------------------------------------ router level
+
+TEST(HttpTelemetry, RouterServesIndexAndRejectsUnknown) {
+  MetricsRegistry reg;
+  HttpServer server(HttpServerOptions(), &reg);
+  auto index = server.handle("GET", "/");
+  EXPECT_EQ(index.status, 200);
+  EXPECT_NE(index.body.find("/metrics"), std::string::npos);
+  EXPECT_NE(index.body.find("/healthz"), std::string::npos);
+
+  EXPECT_EQ(server.handle("GET", "/nope").status, 404);
+  EXPECT_EQ(server.handle("POST", "/metrics").status, 405);
+}
+
+TEST(HttpTelemetry, HealthzFlipsBetweenOkAndFail) {
+  MetricsRegistry reg;
+  HttpServer server(HttpServerOptions(), &reg);
+  server.health().set_status("model", true, "trained");
+  auto ok = server.handle("GET", "/healthz");
+  EXPECT_EQ(ok.status, 200);
+  EXPECT_NE(ok.body.find("model"), std::string::npos);
+
+  server.health().set_status("model", false, "retraining");
+  auto fail = server.handle("GET", "/healthz");
+  EXPECT_EQ(fail.status, 503);
+  EXPECT_NE(fail.body.find("retraining"), std::string::npos);
+
+  server.health().set_status("model", true);
+  EXPECT_EQ(server.handle("GET", "/healthz").status, 200);
+}
+
+TEST(HttpTelemetry, HealthzCallbackExceptionCountsAsFailure) {
+  MetricsRegistry reg;
+  HttpServer server(HttpServerOptions(), &reg);
+  server.health().register_check("throwing", []() -> HealthResult {
+    throw std::runtime_error("backend gone");
+  });
+  auto reply = server.handle("GET", "/healthz");
+  EXPECT_EQ(reply.status, 503);
+  EXPECT_NE(reply.body.find("backend gone"), std::string::npos);
+}
+
+TEST(HttpTelemetry, StatuszCarriesCallerInfo) {
+  MetricsRegistry reg;
+  HttpServerOptions options;
+  options.status_info = {{"simd_tier", "avx2"}, {"users", "100"}};
+  HttpServer server(options, &reg);
+  auto reply = server.handle("GET", "/statusz");
+  EXPECT_EQ(reply.status, 200);
+  EXPECT_NE(reply.body.find("simd_tier"), std::string::npos);
+  EXPECT_NE(reply.body.find("avx2"), std::string::npos);
+  EXPECT_NE(reply.body.find("users"), std::string::npos);
+}
+
+TEST(HttpTelemetry, CollectorsRunBeforeMetricsRender) {
+  MetricsRegistry reg;
+  Gauge& depth = reg.gauge("netobs_test_queue_depth", "help");
+  HttpServer server(HttpServerOptions(), &reg);
+  server.add_collector([&depth] { depth.set(17.0); });
+  auto reply = server.handle("GET", "/metrics");
+  EXPECT_EQ(reply.status, 200);
+  EXPECT_NE(reply.body.find("netobs_test_queue_depth 17"), std::string::npos)
+      << reply.body;
+}
+
+// ------------------------------------------------------- live socket smoke
+
+TEST(HttpTelemetry, ScrapeOverRealSocket) {
+  MetricsRegistry reg;
+  reg.counter("netobs_test_scrapes_total", "help").inc(3);
+  RateGauge rate(reg, "netobs_test_packets_per_second",
+                 "Synthetic packet rate", {10.0});
+  QuantileGauges lat(reg, "netobs_test_latency_seconds", "Synthetic latency",
+                     {0.5, 0.99});
+  for (int i = 0; i < 200; ++i) rate.record();
+  for (int i = 1; i <= 50; ++i) lat.observe(i * 0.002);
+
+  HttpServerOptions options;
+  options.port = 0;  // ephemeral: never collides with a busy CI box
+  HttpServer server(options, &reg);
+  std::uint16_t port = server.start();
+  ASSERT_GT(port, 0);
+  ASSERT_TRUE(server.running());
+
+  // /metrics carries the counter, the sliding-window rate gauge and the
+  // streaming quantile gauge (StatsHub is flushed per scrape).
+  auto metrics = http_get(port, "/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.head.find("text/plain"), std::string::npos);
+  EXPECT_NE(metrics.body.find("netobs_test_scrapes_total 3"),
+            std::string::npos)
+      << metrics.body;
+  EXPECT_NE(
+      metrics.body.find("netobs_test_packets_per_second{window=\"10s\"}"),
+      std::string::npos)
+      << metrics.body;
+  EXPECT_NE(metrics.body.find("netobs_test_latency_seconds{quantile=\"0.99\"}"),
+            std::string::npos)
+      << metrics.body;
+
+  auto json = http_get(port, "/metrics.json");
+  EXPECT_EQ(json.status, 200);
+  EXPECT_NE(json.head.find("application/json"), std::string::npos);
+  EXPECT_TRUE(balanced(json.body));
+  EXPECT_NE(json.body.find("netobs_test_scrapes_total"), std::string::npos);
+
+  // Health flips 200 -> 503 -> 200 as the pipeline reports readiness.
+  server.health().set_status("model", true, "trained");
+  EXPECT_EQ(http_get(port, "/healthz").status, 200);
+  server.health().set_status("model", false, "day rollover");
+  auto unhealthy = http_get(port, "/healthz");
+  EXPECT_EQ(unhealthy.status, 503);
+  EXPECT_NE(unhealthy.body.find("day rollover"), std::string::npos);
+  server.health().set_status("model", true);
+  EXPECT_EQ(http_get(port, "/healthz").status, 200);
+
+  // Tracing off: /tracez explains how to turn it on.
+  auto tracez_off = http_get(port, "/tracez");
+  EXPECT_EQ(tracez_off.status, 200);
+  EXPECT_NE(tracez_off.body.find("tracing disabled"), std::string::npos);
+
+  reg.enable_tracing(64);
+  SpanRecord rec;
+  rec.name = "scrape-span";
+  rec.id = 1;
+  rec.duration_seconds = 0.002;
+  reg.trace_buffer()->push(rec);
+  auto tracez = http_get(port, "/tracez");
+  EXPECT_EQ(tracez.status, 200);
+  EXPECT_NE(tracez.body.find("trace buffer: 1 spans"), std::string::npos);
+  EXPECT_NE(tracez.body.find("scrape-span"), std::string::npos);
+
+  auto statusz = http_get(port, "/statusz");
+  EXPECT_EQ(statusz.status, 200);
+  EXPECT_NE(statusz.body.find("uptime"), std::string::npos);
+
+  EXPECT_EQ(http_get(port, "/missing").status, 404);
+  EXPECT_GE(server.requests_served(), 8u);
+
+  server.stop();
+  EXPECT_FALSE(server.running());
+  // stop() is idempotent and start() works again after it.
+  server.stop();
+}
+
+}  // namespace
+}  // namespace netobs::obs

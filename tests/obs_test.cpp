@@ -1,15 +1,24 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
 #include <set>
+#include <thread>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "embedding/sgns.hpp"
 #include "obs/export.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/stats_stream.hpp"
 #include "obs/trace.hpp"
+#include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
 namespace netobs::obs {
@@ -90,6 +99,43 @@ TEST(Histogram, RejectsNonIncreasingBounds) {
                std::invalid_argument);
 }
 
+TEST(Histogram, RejectsEmptyAndNanBounds) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.histogram("netobs_test_empty_seconds", "help", {}),
+               std::invalid_argument);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(reg.histogram("netobs_test_nan_seconds", "help", {nan}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      reg.histogram("netobs_test_nan2_seconds", "help", {1.0, nan, 3.0}),
+      std::invalid_argument);
+  // A failed registration must not poison the name: a valid retry works.
+  Histogram& h =
+      reg.histogram("netobs_test_empty_seconds", "help", {1.0, 2.0});
+  h.observe(0.5);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Histogram, RejectsReRegistrationWithDifferentBounds) {
+  MetricsRegistry reg;
+  reg.histogram("netobs_test_seconds", "help", {1.0, 2.0}, {{"arm", "a"}});
+  // Same bounds, different labels: fine (one family, two series).
+  reg.histogram("netobs_test_seconds", "help", {1.0, 2.0}, {{"arm", "b"}});
+  // Different bounds under the same name: Prometheus clients cannot
+  // aggregate the family — reject.
+  EXPECT_THROW(
+      reg.histogram("netobs_test_seconds", "help", {1.0, 3.0}, {{"arm", "c"}}),
+      std::invalid_argument);
+  EXPECT_THROW(reg.histogram("netobs_test_seconds", "help", {1.0}),
+               std::invalid_argument);
+  // Idempotent re-registration of an existing series still returns it.
+  Histogram& a1 =
+      reg.histogram("netobs_test_seconds", "help", {1.0, 2.0}, {{"arm", "a"}});
+  Histogram& a2 =
+      reg.histogram("netobs_test_seconds", "help", {1.0, 2.0}, {{"arm", "a"}});
+  EXPECT_EQ(&a1, &a2);
+}
+
 TEST(Histogram, BucketHelpers) {
   auto expo = exponential_buckets(1.0, 2.0, 4);
   EXPECT_EQ(expo, (std::vector<double>{1.0, 2.0, 4.0, 8.0}));
@@ -167,9 +213,13 @@ TEST(ScopedTimer, RecordsExactlyOnce) {
                                default_latency_buckets());
   {
     ScopedTimer t(&h);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
     double first = t.stop();
-    EXPECT_GE(first, 0.0);
+    // Regression guard: stop() must freeze the *measured* time, not the
+    // zero-initialised elapsed_ (stopped_ was once flipped before reading).
+    EXPECT_GT(first, 0.0);
     EXPECT_DOUBLE_EQ(t.stop(), first);  // idempotent
+    EXPECT_DOUBLE_EQ(t.elapsed_seconds(), first);  // frozen after stop
   }                                     // destructor must not record again
   EXPECT_EQ(h.count(), 1u);
 
@@ -382,6 +432,257 @@ TEST(SgnsInstrumentation, EpochDurationsMatchEpochLosses) {
   EXPECT_EQ(trainer.epoch_durations().size(), 3u);
   EXPECT_EQ(trainer.epoch_durations().size(), trainer.epoch_losses().size());
   for (double d : trainer.epoch_durations()) EXPECT_GE(d, 0.0);
+}
+
+// ------------------------------------------------------- exporter escaping
+
+TEST(PrometheusExport, LabelValueEscaping) {
+  MetricsRegistry reg;
+  reg.counter("netobs_test_total", "help",
+              {{"path", "C:\\tmp"}, {"quote", "a\"b"}, {"nl", "x\ny"}})
+      .inc();
+  std::ostringstream os;
+  write_prometheus(os, reg);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("path=\"C:\\\\tmp\""), std::string::npos) << text;
+  EXPECT_NE(text.find("quote=\"a\\\"b\""), std::string::npos) << text;
+  EXPECT_NE(text.find("nl=\"x\\ny\""), std::string::npos) << text;
+  // The raw newline must not survive into the sample line.
+  EXPECT_EQ(text.find("x\ny"), std::string::npos);
+}
+
+TEST(PrometheusExport, HelpEscapesBackslashAndNewlineButNotQuotes) {
+  MetricsRegistry reg;
+  reg.counter("netobs_test_total", "a \"quoted\" word, a \\ and a\nbreak")
+      .inc();
+  std::ostringstream os;
+  write_prometheus(os, reg);
+  const std::string text = os.str();
+  auto help_pos = text.find("# HELP netobs_test_total ");
+  ASSERT_NE(help_pos, std::string::npos);
+  std::string help_line = text.substr(help_pos, text.find('\n', help_pos) - help_pos);
+  // Exposition-format HELP rules: backslash and newline are escaped, quotes
+  // are NOT (unlike label values).
+  EXPECT_NE(help_line.find("a \"quoted\" word"), std::string::npos)
+      << help_line;
+  EXPECT_EQ(help_line.find("\\\""), std::string::npos) << help_line;
+  EXPECT_NE(help_line.find("\\\\"), std::string::npos) << help_line;
+  EXPECT_NE(help_line.find("a\\nbreak"), std::string::npos) << help_line;
+}
+
+TEST(Exporters, DumpFileErrorPaths) {
+  MetricsRegistry reg;
+  reg.counter("netobs_test_total", "help").inc();
+  EXPECT_THROW(
+      dump_metrics_file("/nonexistent-dir-xyz/metrics.json", reg),
+      std::runtime_error);
+  TraceBuffer buffer(8);
+  EXPECT_THROW(dump_trace_file("/nonexistent-dir-xyz/trace.txt", buffer),
+               std::runtime_error);
+
+  // Success path: round-trip through a real file, format picked by extension.
+  const std::string path =
+      ::testing::TempDir() + "/netobs_obs_test_metrics.json";
+  dump_metrics_file(path, reg);
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_TRUE(balanced_json(buf.str()));
+  EXPECT_NE(buf.str().find("netobs_test_total"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------- streaming estimators
+
+TEST(RateEstimator, SlidingWindowRateAt) {
+  RateEstimator est(10.0, 20);
+  // 100 events spread over the first 5 seconds.
+  for (int i = 0; i < 100; ++i) est.record_at(i * 0.05);
+  // Read just after the burst: 100 events / 10s window = 10/s.
+  EXPECT_NEAR(est.rate_at(5.0), 10.0, 1.0);
+  // 9s later the burst is sliding out of the window.
+  EXPECT_LT(est.rate_at(14.5), 10.0);
+  // 20s later nothing remains.
+  EXPECT_EQ(est.rate_at(30.0), 0.0);
+}
+
+TEST(RateEstimator, WeightedCounts) {
+  RateEstimator est(5.0, 10);
+  est.record_at(1.0, 50.0);
+  est.record_at(1.2, 25.0);
+  EXPECT_NEAR(est.rate_at(1.3), 75.0 / 5.0, 1e-9);
+}
+
+TEST(P2Quantile, ExactForSmallSamples) {
+  P2Quantile q(0.5);
+  EXPECT_TRUE(std::isnan(q.value()));
+  q.observe(5.0);
+  EXPECT_DOUBLE_EQ(q.value(), 5.0);
+  q.observe(1.0);
+  q.observe(3.0);
+  EXPECT_EQ(q.count(), 3u);
+  EXPECT_DOUBLE_EQ(q.value(), 3.0);  // exact median of {1, 3, 5}
+}
+
+TEST(P2Quantile, ApproximatesUniformQuantiles) {
+  P2Quantile p50(0.5);
+  P2Quantile p99(0.99);
+  util::Pcg32 rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    double x = rng.next_double();  // U(0, 1)
+    p50.observe(x);
+    p99.observe(x);
+  }
+  EXPECT_NEAR(p50.value(), 0.5, 0.05);
+  EXPECT_NEAR(p99.value(), 0.99, 0.02);
+  EXPECT_EQ(p50.count(), 20000u);
+}
+
+TEST(StatsStream, RateGaugeAndQuantileGaugesPublishThroughHub) {
+  MetricsRegistry reg;
+  RateGauge rate(reg, "netobs_test_events_per_second", "help", {10.0});
+  QuantileGauges lat(reg, "netobs_test_latency_seconds", "help", {0.5, 0.99});
+  for (int i = 0; i < 50; ++i) rate.record();
+  for (int i = 1; i <= 100; ++i) lat.observe(i * 0.001);
+
+  // StatsHub::publish() runs both registered publishers; the gauges must
+  // carry the estimator values afterwards.
+  StatsHub::global().publish();
+  std::ostringstream os;
+  write_prometheus(os, reg);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("netobs_test_events_per_second{window=\"10s\"}"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("netobs_test_latency_seconds{quantile=\"0.5\"}"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("netobs_test_latency_seconds{quantile=\"0.99\"}"),
+            std::string::npos)
+      << text;
+  Gauge& p50 =
+      reg.gauge("netobs_test_latency_seconds", "help", {{"quantile", "0.5"}});
+  EXPECT_NEAR(p50.value(), 0.050, 0.01);
+  Gauge& r10 = reg.gauge("netobs_test_events_per_second", "help",
+                         {{"window", "10s"}});
+  EXPECT_GT(r10.value(), 0.0);
+}
+
+// ------------------------------------------------------------------ logger
+
+TEST(Logger, LevelFilterAndTextFields) {
+  Logger logger;
+  std::ostringstream sink;
+  logger.set_sink(&sink);
+  logger.set_format(LogFormat::kText);
+  logger.set_level(LogLevel::kWarn);
+  logger.set_site_limit_per_second(0);
+
+  logger.log(LogLevel::kInfo, "test.site", "filtered out");
+  EXPECT_TRUE(sink.str().empty());
+  EXPECT_EQ(logger.emitted(), 0u);
+
+  logger.log(LogLevel::kWarn, "test.site", "queue behind",
+             {{"depth", "42"}, {"window", "10s"}});
+  const std::string line = sink.str();
+  EXPECT_EQ(logger.emitted(), 1u);
+  EXPECT_NE(line.find("WARN"), std::string::npos) << line;
+  EXPECT_NE(line.find("test.site queue behind"), std::string::npos) << line;
+  EXPECT_NE(line.find("depth=42"), std::string::npos) << line;
+  EXPECT_NE(line.find("window=10s"), std::string::npos) << line;
+  EXPECT_EQ(line.back(), '\n');
+}
+
+TEST(Logger, JsonLinesAreBalanced) {
+  Logger logger;
+  std::ostringstream sink;
+  logger.set_sink(&sink);
+  logger.set_format(LogFormat::kJson);
+  logger.set_level(LogLevel::kDebug);
+  logger.set_site_limit_per_second(0);
+
+  logger.log(LogLevel::kError, "test.site", "a \"quoted\" failure",
+             {{"path", "C:\\tmp"}});
+  std::string line = sink.str();
+  ASSERT_FALSE(line.empty());
+  line.pop_back();  // trailing newline
+  EXPECT_TRUE(balanced_json(line)) << line;
+  EXPECT_NE(line.find("\"level\":\"error\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"site\":\"test.site\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\\\"quoted\\\""), std::string::npos) << line;
+  EXPECT_NE(line.find("C:\\\\tmp"), std::string::npos) << line;
+}
+
+TEST(Logger, PerSiteRateLimitSuppressesExcess) {
+  Logger logger;
+  std::ostringstream sink;
+  logger.set_sink(&sink);
+  logger.set_level(LogLevel::kDebug);
+  logger.set_site_limit_per_second(2);
+
+  for (int i = 0; i < 5; ++i) {
+    logger.log(LogLevel::kInfo, "hot.site", "spam " + std::to_string(i));
+  }
+  // A different site has its own budget.
+  logger.log(LogLevel::kInfo, "cold.site", "once");
+
+  EXPECT_EQ(logger.emitted(), 3u);
+  EXPECT_EQ(logger.suppressed(), 3u);
+  const std::string out = sink.str();
+  EXPECT_NE(out.find("spam 0"), std::string::npos);
+  EXPECT_NE(out.find("spam 1"), std::string::npos);
+  EXPECT_EQ(out.find("spam 2"), std::string::npos);
+  EXPECT_NE(out.find("cold.site once"), std::string::npos);
+}
+
+// -------------------------------------------------------------- trace tree
+
+TEST(TraceTree, RendersNestingAndPromotesOrphans) {
+  TraceBuffer buffer(16);
+  SpanRecord root;
+  root.name = "pipeline";
+  root.id = 1;
+  root.start_seconds = 0.0;
+  root.duration_seconds = 1.5;
+  SpanRecord child;
+  child.name = "ingest";
+  child.id = 2;
+  child.parent_id = 1;
+  child.depth = 1;
+  child.start_seconds = 0.1;
+  child.duration_seconds = 0.0005;
+  SpanRecord orphan;  // parent 99 was evicted from the ring
+  orphan.name = "stray";
+  orphan.id = 3;
+  orphan.parent_id = 99;
+  orphan.depth = 2;
+  orphan.start_seconds = 0.2;
+  orphan.duration_seconds = 0.25;
+  buffer.push(child);
+  buffer.push(orphan);
+  buffer.push(root);
+
+  std::ostringstream os;
+  write_trace_tree(os, buffer);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("trace buffer: 3 spans (dropped 0, capacity 16)"),
+            std::string::npos)
+      << text;
+  // The child nests (indented) under its parent; the orphan prints as an
+  // unindented root despite its recorded depth.
+  EXPECT_NE(text.find("\npipeline  1.500s  @+0.0us\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\n  ingest  500.0us"), std::string::npos) << text;
+  EXPECT_NE(text.find("\nstray  250.000ms"), std::string::npos) << text;
+  // Roots are ordered by start time: pipeline before stray.
+  EXPECT_LT(text.find("pipeline"), text.find("stray"));
+}
+
+TEST(TraceTree, EmptyBufferPrintsHeaderOnly) {
+  TraceBuffer buffer(4);
+  std::ostringstream os;
+  write_trace_tree(os, buffer);
+  EXPECT_EQ(os.str(), "trace buffer: 0 spans (dropped 0, capacity 4)\n");
 }
 
 }  // namespace
