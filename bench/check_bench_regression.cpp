@@ -6,12 +6,20 @@
 // per-metric report.
 //
 //   check_bench_regression [--baseline=PATH] [--tolerance=0.30]
-//                          [--update[=PATH]]
+//                          [--bench-rows=N] [--update[=PATH]]
 //
 // --update rewrites the baseline file from the fresh run instead of
-// comparing (for refreshing BENCH_micro.json on a quiet machine). Wire into
-// ctest with -DNETOBS_BENCH_GATE=ON; off by default because wall-clock
-// numbers from a loaded CI box would make tier-1 flaky.
+// comparing (for refreshing BENCH_micro.json on a quiet machine).
+// --bench-rows overrides the vocabulary size; without it the gate re-runs
+// at the row count recorded in the baseline's config block, so the
+// comparison is always like-for-like. Wire into ctest with
+// -DNETOBS_BENCH_GATE=ON; off by default because wall-clock numbers from a
+// loaded CI box would make tier-1 flaky.
+//
+// Two classes of absolute floors (never grandfathered by a stale
+// baseline): the exact-path speedups, and the IVF floors — recall@1000 >=
+// 0.98 at the default nprobe always, and ivf speedup >= 5.0 vs the blocked
+// heap at deployment scale (rows >= 400000).
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -53,6 +61,8 @@ int main(int argc, char** argv) {
   std::string baseline_path = "BENCH_micro.json";
   double tolerance = 0.30;
   bool update = false;
+  bench::MicroBaselineOptions opts;
+  bool rows_overridden = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--baseline=", 0) == 0) {
@@ -61,6 +71,10 @@ int main(int argc, char** argv) {
       tolerance =
           std::strtod(arg.c_str() + std::string("--tolerance=").size(),
                       nullptr);
+    } else if (arg.rfind("--bench-rows=", 0) == 0) {
+      opts.rows = static_cast<std::size_t>(std::strtoull(
+          arg.c_str() + std::string("--bench-rows=").size(), nullptr, 10));
+      rows_overridden = true;
     } else if (arg == "--update") {
       update = true;
     } else if (arg.rfind("--update=", 0) == 0) {
@@ -68,27 +82,37 @@ int main(int argc, char** argv) {
       baseline_path = arg.substr(std::string("--update=").size());
     } else if (arg == "--help") {
       std::cout << "usage: " << argv[0]
-                << " [--baseline=PATH] [--tolerance=0.30] [--update]\n";
+                << " [--baseline=PATH] [--tolerance=0.30] [--bench-rows=N]"
+                   " [--update]\n";
       return 0;
     }
   }
 
-  bench::MicroBaselineResult r = bench::run_micro_baseline();
+  std::string doc;
+  if (!update) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::cerr << "[gate] cannot read baseline " << baseline_path
+                << " (run micro_pipeline --bench-baseline or pass --update)\n";
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    doc = buf.str();
+    // Like-for-like by default: measure at the recorded vocabulary size.
+    double recorded_rows = 0.0;
+    if (!rows_overridden && find_number(doc, "rows", &recorded_rows) &&
+        recorded_rows > 0.0) {
+      opts.rows = static_cast<std::size_t>(recorded_rows);
+    }
+  }
+
+  bench::MicroBaselineResult r = bench::run_micro_baseline(opts);
   if (update) {
     if (!bench::write_micro_baseline_json(baseline_path, r)) return 1;
     std::cout << "[gate] baseline refreshed: " << baseline_path << "\n";
     return 0;
   }
-
-  std::ifstream in(baseline_path);
-  if (!in) {
-    std::cerr << "[gate] cannot read baseline " << baseline_path
-              << " (run micro_pipeline --bench-baseline or pass --update)\n";
-    return 1;
-  }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  std::string doc = buf.str();
 
   std::vector<Check> checks = {
       {"scalar_fullsort_ms", r.fullsort_s * 1e3, true},
@@ -97,6 +121,9 @@ int main(int argc, char** argv) {
       {"scalar_ns", r.dot_scalar_ns, true},
       {"speedup_vs_scalar_fullsort", r.knn_speedup(), false},
       {"batch_speedup_vs_single_query", r.batch_speedup(), false},
+      {"ivf_query_ms", r.ivf_s * 1e3, true},
+      {"recall_at_1000", r.ivf_recall, false},
+      {"speedup_vs_blocked_heap", r.ivf_speedup(), false},
   };
 
   int failures = 0;
@@ -119,15 +146,31 @@ int main(int argc, char** argv) {
 
   // The absolute acceptance targets must hold regardless of the recorded
   // numbers — a stale baseline cannot grandfather a slow build in.
-  if (r.knn_speedup() < 3.0) {
+  if (r.knn_speedup() < r.knn_speedup_target()) {
     std::cerr << "[gate] REGRESSED knn speedup " << r.knn_speedup()
-              << " below the 3.0 acceptance target\n";
+              << " below the " << r.knn_speedup_target()
+              << " acceptance target at " << r.rows << " rows\n";
     ++failures;
   }
   if (r.batch_speedup() < 1.5) {
     std::cerr << "[gate] REGRESSED batch speedup " << r.batch_speedup()
               << " below the 1.5 acceptance target\n";
     ++failures;
+  }
+  if (r.ivf_recall < 0.98) {
+    std::cerr << "[gate] REGRESSED ivf recall@" << r.top_n << " "
+              << r.ivf_recall << " below the 0.98 acceptance floor\n";
+    ++failures;
+  }
+  if (r.ivf_speedup_enforced() && r.ivf_speedup() < 5.0) {
+    std::cerr << "[gate] REGRESSED ivf speedup " << r.ivf_speedup()
+              << " below the 5.0 acceptance target at " << r.rows
+              << " rows\n";
+    ++failures;
+  } else if (!r.ivf_speedup_enforced()) {
+    std::cout << "[gate] note     ivf speedup " << r.ivf_speedup()
+              << " informational only below 400000 rows (current "
+              << r.rows << ")\n";
   }
 
   if (failures > 0) {

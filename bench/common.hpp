@@ -147,6 +147,18 @@ inline std::unique_ptr<obs::HttpServer> serve_telemetry(
   return server;
 }
 
+/// Publishes a live /statusz provider from any object exposing
+/// knn_status() (profile::ProfilingService): active kNN backend, IVF
+/// geometry and the int8 SIMD tier, re-read on every scrape so backend
+/// swaps across retrains stay visible. No-op without a server. The service
+/// must outlive the server.
+template <typename Service>
+inline void attach_knn_status(const std::unique_ptr<obs::HttpServer>& server,
+                              const Service& service) {
+  if (server == nullptr) return;
+  server->add_status_provider([&service] { return service.knn_status(); });
+}
+
 /// Blocks until stdin closes (EOF / Ctrl-D) so a user can curl the endpoint
 /// after the run's work is done. No-op when the server was not started.
 inline void hold_if_serving(const std::unique_ptr<obs::HttpServer>& server) {

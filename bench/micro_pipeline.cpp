@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -17,6 +18,7 @@
 #include "ads/ad_database.hpp"
 #include "bench/micro_baseline.hpp"
 #include "bench/quality_probe.hpp"
+#include "embedding/ivf_index.hpp"
 #include "embedding/knn.hpp"
 #include "embedding/matrix.hpp"
 #include "net/dns.hpp"
@@ -164,6 +166,21 @@ void BM_KnnQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_KnnQuery)->Arg(10)->Arg(100)->Arg(1000);
 
+void BM_IvfQuery(benchmark::State& state) {
+  // The approximate backend on the same trained model (stock IvfParams).
+  auto& service = trained_service();
+  embedding::IvfKnnIndex index(service.model().central());
+  std::vector<float> query(service.model().vector_of(0).begin(),
+                           service.model().vector_of(0).end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index.query(query, static_cast<std::size_t>(state.range(0))));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel("nlists=" + std::to_string(index.nlists()));
+}
+BENCHMARK(BM_IvfQuery)->Arg(10)->Arg(100)->Arg(1000);
+
 void BM_DotKernel(benchmark::State& state) {
   // d=100 dot product on the tier selected by Arg(0); skipped when the CPU
   // lacks it. Restores the best tier afterwards.
@@ -293,14 +310,18 @@ BENCHMARK(BM_SgnsTrainingEpoch)->Unit(benchmark::kMillisecond);
 // The measurement itself lives in bench/micro_baseline.hpp so the
 // check_bench_regression gate can re-run it bit-for-bit.
 
-int run_bench_baseline(const std::string& path) {
-  bench::MicroBaselineResult r = bench::run_micro_baseline();
+int run_bench_baseline(const std::string& path,
+                       const bench::MicroBaselineOptions& opts) {
+  bench::MicroBaselineResult r = bench::run_micro_baseline(opts);
   if (!bench::write_micro_baseline_json(path, r)) return 1;
   std::cout << "[baseline] fullsort " << r.fullsort_s * 1e3 << " ms, blocked "
             << r.blocked_s * 1e3 << " ms (x" << r.knn_speedup()
             << "), batch32 " << r.batch_per_query_s * 1e3 << " ms/query (x"
-            << r.batch_speedup() << " vs single)\n[baseline] wrote " << path
-            << "\n";
+            << r.batch_speedup() << " vs single)\n[baseline] ivf "
+            << r.ivf_s * 1e3 << " ms/query (x" << r.ivf_speedup()
+            << " vs blocked, recall@" << r.top_n << " " << r.ivf_recall
+            << ", nlists=" << r.ivf_nlists << " nprobe=" << r.ivf_nprobe
+            << ")\n[baseline] wrote " << path << "\n";
   return 0;
 }
 
@@ -312,12 +333,14 @@ int run_bench_baseline(const std::string& path) {
 // "--trace-out[=PATH]": enable tracing and dump the span tree at exit.
 // "--bench-baseline[=PATH]": skip the google-benchmark suite and run the
 // hand-timed kNN acceptance baseline instead, writing PATH (default
-// BENCH_micro.json). All flags are stripped before google-benchmark parses
-// the rest.
+// BENCH_micro.json). "--bench-rows=N": vocabulary size for the baseline
+// (default 50000; 470000 = the paper's deployment scale). All flags are
+// stripped before google-benchmark parses the rest.
 int main(int argc, char** argv) {
   std::string metrics_out;
   std::string trace_out;
   std::string baseline_out;
+  netobs::bench::MicroBaselineOptions baseline_opts;
   bool run_baseline = false;
   std::vector<char*> args;
   args.reserve(static_cast<std::size_t>(argc));
@@ -336,6 +359,9 @@ int main(int argc, char** argv) {
       baseline_out = arg.substr(std::string("--bench-baseline=").size());
     } else if (arg == "--bench-baseline") {
       run_baseline = true;
+    } else if (arg.rfind("--bench-rows=", 0) == 0) {
+      baseline_opts.rows = static_cast<std::size_t>(std::strtoull(
+          arg.c_str() + std::string("--bench-rows=").size(), nullptr, 10));
     } else {
       args.push_back(argv[i]);
     }
@@ -345,7 +371,7 @@ int main(int argc, char** argv) {
   }
   if (run_baseline) {
     if (baseline_out.empty()) baseline_out = "BENCH_micro.json";
-    return run_bench_baseline(baseline_out);
+    return run_bench_baseline(baseline_out, baseline_opts);
   }
   int filtered_argc = static_cast<int>(args.size());
   benchmark::Initialize(&filtered_argc, args.data());

@@ -80,6 +80,7 @@ int main(int argc, char** argv) {
   sp.vocab.min_count = 2;
   sp.sgns.epochs = 15;
   profile::ProfilingService service(labeler, &blocklist, sp);
+  bench::attach_knn_status(server, service);
   service.ingest(events);
   std::cout << "back-end: " << service.store().event_count()
             << " events kept, " << service.filtered_events()

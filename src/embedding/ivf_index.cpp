@@ -1,0 +1,354 @@
+#include "embedding/ivf_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/stats_stream.hpp"
+#include "obs/trace.hpp"
+#include "util/thread_pool.hpp"
+#include "util/vec_math.hpp"
+
+namespace netobs::embedding {
+
+namespace {
+
+struct IvfMetrics {
+  obs::Counter& queries;
+  obs::Counter& recall_samples;
+  obs::Gauge& index_size;
+  obs::Gauge& nlists;
+  obs::Gauge& nprobe;
+  obs::Gauge& probed_lists;
+  obs::Gauge& candidate_pool;
+  obs::Gauge& last_recall;
+  obs::QuantileGauges latency;
+  /// Counters and gauges are atomic, but the P2 latency estimator is not;
+  /// queries may run concurrently from many threads.
+  std::mutex latency_mutex;
+
+  static IvfMetrics& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static IvfMetrics m{
+        reg.counter("netobs_embedding_ivf_queries_total",
+                    "IVF approximate kNN queries answered"),
+        reg.counter("netobs_embedding_ivf_recall_samples_total",
+                    "Queries that also ran the exact sweep to sample recall"),
+        reg.gauge("netobs_embedding_ivf_index_size",
+                  "Rows in the most recently built IVF index"),
+        reg.gauge("netobs_embedding_ivf_nlists",
+                  "Coarse partitions in the most recently built IVF index"),
+        reg.gauge("netobs_embedding_ivf_nprobe",
+                  "Configured partitions scanned per query"),
+        reg.gauge("netobs_embedding_ivf_probed_lists",
+                  "Partitions actually scanned by the latest query"),
+        reg.gauge("netobs_embedding_ivf_candidate_pool",
+                  "Int8-stage candidates re-ranked by the latest query"),
+        reg.gauge("netobs_embedding_ivf_last_recall",
+                  "recall@n observed by the most recent recall sample"),
+        obs::QuantileGauges(reg, "netobs_embedding_ivf_query_latency_seconds",
+                            "Latency quantiles of IVF kNN queries"),
+    };
+    return m;
+  }
+};
+
+EmbeddingMatrix normalized_copy(const EmbeddingMatrix& matrix) {
+  EmbeddingMatrix out = matrix;
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    util::normalize(out.row(i));
+  }
+  return out;
+}
+
+/// Centroids / rows scored per dot_block call (see knn.cpp kScoreBlock).
+constexpr std::size_t kScoreBlock = 64;
+
+using PaddedVector =
+    std::vector<float, netobs::util::simd::AlignedAllocator<float>>;
+
+/// Per-row scalar quantization: code_j = round(x_j * 127 / max|x|), the
+/// max-abs scheme that keeps the row's largest component at full int8
+/// range. Rounding is ties-away-from-zero, spelled out in plain arithmetic
+/// so every build of every tier emits identical codes. Pads [dim, qstride)
+/// with zero so full-width integer kernels can sweep the pad.
+float quantize_row(const float* src, std::size_t dim, std::int8_t* dst,
+                   std::size_t qstride) {
+  float max_abs = 0.0F;
+  for (std::size_t j = 0; j < dim; ++j) {
+    max_abs = std::max(max_abs, std::fabs(src[j]));
+  }
+  if (max_abs == 0.0F) {
+    std::memset(dst, 0, qstride);
+    return 0.0F;
+  }
+  const float inv = 127.0F / max_abs;
+  for (std::size_t j = 0; j < dim; ++j) {
+    float v = src[j] * inv;
+    int q = static_cast<int>(v >= 0.0F ? v + 0.5F : v - 0.5F);
+    q = std::clamp(q, -127, 127);
+    dst[j] = static_cast<std::int8_t>(q);
+  }
+  std::memset(dst + dim, 0, qstride - dim);
+  return max_abs / 127.0F;
+}
+
+}  // namespace
+
+IvfKnnIndex::IvfKnnIndex(const EmbeddingMatrix& matrix, IvfParams params,
+                         util::ThreadPool* pool)
+    : normalized_(normalized_copy(matrix)), params_(params) {
+  build(pool, nullptr);
+}
+
+IvfKnnIndex::IvfKnnIndex(const HostEmbedding& embedding, IvfParams params,
+                         util::ThreadPool* pool)
+    : normalized_(normalized_copy(embedding.central())), params_(params) {
+  build(pool, nullptr);
+}
+
+IvfKnnIndex::IvfKnnIndex(const EmbeddingMatrix& matrix,
+                         const EmbeddingMatrix& warm_centroids,
+                         IvfParams params, util::ThreadPool* pool)
+    : normalized_(normalized_copy(matrix)), params_(params) {
+  if (warm_centroids.rows() == 0 || warm_centroids.dim() != normalized_.dim()) {
+    throw std::invalid_argument(
+        "IvfKnnIndex: warm centroids must be non-empty with matching dim");
+  }
+  build(pool, &warm_centroids);
+}
+
+void IvfKnnIndex::build(util::ThreadPool* pool,
+                        const EmbeddingMatrix* warm_centroids) {
+  const std::size_t rows = normalized_.rows();
+  // int8 rows padded to the register width so the integer kernels can load
+  // full 32-byte blocks; the pad is zero and contributes nothing.
+  qstride_ = (normalized_.dim() + util::simd::kRowAlignBytes - 1) /
+             util::simd::kRowAlignBytes * util::simd::kRowAlignBytes;
+  if (rows == 0) {
+    centroids_ = EmbeddingMatrix(0, normalized_.dim());
+    return;
+  }
+
+  std::vector<std::uint32_t> assignment;
+  if (warm_centroids != nullptr) {
+    centroids_ = *warm_centroids;
+    assignment = assign_to_centroids(normalized_, centroids_, pool);
+  } else {
+    std::size_t nlists = params_.nlists;
+    if (nlists == 0) {
+      // sqrt(rows) balances centroid-scan and list-scan cost: both are
+      // O(sqrt(rows)) per probe at the default configuration.
+      nlists = static_cast<std::size_t>(
+          std::lround(std::sqrt(static_cast<double>(rows))));
+    }
+    nlists = std::clamp<std::size_t>(nlists, 1, rows);
+    KmeansParams kp;
+    kp.clusters = nlists;
+    kp.iterations = params_.kmeans_iterations;
+    kp.seed = params_.seed;
+    kp.train_sample = params_.train_sample;
+    KmeansResult km = spherical_kmeans(normalized_, kp, pool);
+    centroids_ = std::move(km.centroids);
+    assignment = std::move(km.assignment);
+  }
+
+  lists_.assign(centroids_.rows(), List{});
+  quantize_into_lists(assignment, 0);
+
+  auto& metrics = IvfMetrics::get();
+  metrics.index_size.set(static_cast<double>(rows));
+  metrics.nlists.set(static_cast<double>(centroids_.rows()));
+  metrics.nprobe.set(
+      static_cast<double>(std::min(params_.nprobe, centroids_.rows())));
+}
+
+void IvfKnnIndex::quantize_into_lists(
+    const std::vector<std::uint32_t>& assignment, std::size_t first_row) {
+  const float* base = normalized_.padded_data();
+  const std::size_t stride = normalized_.stride();
+  const std::size_t dim = normalized_.dim();
+  for (std::size_t r = first_row; r < normalized_.rows(); ++r) {
+    List& list = lists_[assignment[r - first_row]];
+    list.ids.push_back(static_cast<TokenId>(r));
+    std::size_t off = list.codes.size();
+    list.codes.resize(off + qstride_);
+    list.scales.push_back(
+        quantize_row(base + r * stride, dim, list.codes.data() + off,
+                     qstride_));
+  }
+}
+
+void IvfKnnIndex::add_rows(const EmbeddingMatrix& more) {
+  if (more.rows() == 0) return;
+  if (more.dim() != normalized_.dim()) {
+    throw std::invalid_argument("IvfKnnIndex::add_rows: dim mismatch");
+  }
+  if (centroids_.rows() == 0) {
+    throw std::logic_error("IvfKnnIndex::add_rows: index built empty");
+  }
+  const std::size_t old_rows = normalized_.rows();
+  const std::size_t stride = normalized_.stride();
+
+  EmbeddingMatrix grown(old_rows + more.rows(), normalized_.dim());
+  std::memcpy(grown.padded_data(), normalized_.padded_data(),
+              old_rows * stride * sizeof(float));
+  for (std::size_t r = 0; r < more.rows(); ++r) {
+    auto src = more.row(r);
+    auto dst = grown.row(old_rows + r);
+    std::copy(src.begin(), src.end(), dst.begin());
+    util::normalize(dst);
+  }
+  normalized_ = std::move(grown);
+
+  // New rows keep ascending TokenIds, so per-list id order stays ascending
+  // and the deterministic scan order is preserved.
+  std::vector<std::uint32_t> assignment(more.rows());
+  const float* base = normalized_.padded_data();
+  for (std::size_t r = 0; r < more.rows(); ++r) {
+    assignment[r] =
+        nearest_centroid(centroids_, base + (old_rows + r) * stride);
+  }
+  quantize_into_lists(assignment, old_rows);
+
+  IvfMetrics::get().index_size.set(static_cast<double>(normalized_.rows()));
+}
+
+std::vector<IvfKnnIndex::Neighbor> IvfKnnIndex::exact_scan(
+    const float* unit_query, std::size_t n) const {
+  const float* base = normalized_.padded_data();
+  const std::size_t stride = normalized_.stride();
+  const std::size_t rows = normalized_.rows();
+  TopK heap(n);
+  float scores[kScoreBlock];
+  for (std::size_t b = 0; b < rows; b += kScoreBlock) {
+    std::size_t cnt = std::min(kScoreBlock, rows - b);
+    util::simd::dot_block(unit_query, base + b * stride, stride, cnt, scores);
+    for (std::size_t j = 0; j < cnt; ++j) {
+      heap.offer(static_cast<TokenId>(b + j), scores[j]);
+    }
+  }
+  return heap.take_sorted();
+}
+
+std::vector<IvfKnnIndex::Neighbor> IvfKnnIndex::scan(const float* unit_query,
+                                                     std::size_t n) const {
+  auto& metrics = IvfMetrics::get();
+  metrics.queries.inc();
+  obs::ScopedTimer timer(static_cast<obs::Histogram*>(nullptr));
+
+  // Stage 1 — coarse quantizer: rank all centroids, keep the nprobe best.
+  const std::size_t nprobe = std::min(params_.nprobe, centroids_.rows());
+  TopK probe_heap(nprobe);
+  {
+    const float* cbase = centroids_.padded_data();
+    const std::size_t cstride = centroids_.stride();
+    float scores[kScoreBlock];
+    for (std::size_t b = 0; b < centroids_.rows(); b += kScoreBlock) {
+      std::size_t cnt = std::min(kScoreBlock, centroids_.rows() - b);
+      util::simd::dot_block(unit_query, cbase + b * cstride, cstride, cnt,
+                            scores);
+      for (std::size_t j = 0; j < cnt; ++j) {
+        probe_heap.offer(static_cast<TokenId>(b + j), scores[j]);
+      }
+    }
+  }
+  std::vector<Neighbor> probes = probe_heap.take_sorted();
+
+  // Stage 2 — int8 list scan: rank every row of the probed lists by the
+  // dequantised integer dot product. The combined scale (query * row) maps
+  // the exact int32 score into float once per row; equal approximate scores
+  // fall back to the ascending-id tie-break inside TopK, so the candidate
+  // pool is deterministic across tiers and thread counts.
+  const std::size_t dim = normalized_.dim();
+  std::vector<std::int8_t, util::simd::AlignedAllocator<std::int8_t>> qcodes(
+      qstride_);
+  const float qscale = quantize_row(unit_query, dim, qcodes.data(), qstride_);
+  const std::size_t pool_k = std::max(n, params_.rerank * n);
+  TopK candidates(pool_k);
+  std::size_t pooled = 0;
+  for (const Neighbor& probe : probes) {
+    const List& list = lists_[probe.id];
+    for (std::size_t i = 0; i < list.ids.size(); ++i) {
+      std::int32_t idot = util::simd::dot_i8(
+          qcodes.data(), list.codes.data() + i * qstride_, qstride_);
+      candidates.offer(list.ids[i],
+                       static_cast<float>(idot) * (qscale * list.scales[i]));
+    }
+    pooled += list.ids.size();
+  }
+
+  // Stage 3 — exact re-rank: rescore the surviving candidates against the
+  // full-precision rows with the same kernel the exact index uses, so the
+  // returned similarities (and their order) are exact.
+  const float* base = normalized_.padded_data();
+  const std::size_t stride = normalized_.stride();
+  std::vector<Neighbor> pool_entries = candidates.take_sorted();
+  TopK result(n);
+  for (const Neighbor& c : pool_entries) {
+    result.offer(c.id,
+                 util::simd::dot(unit_query, base + c.id * stride, stride));
+  }
+  std::vector<Neighbor> out = result.take_sorted();
+
+  metrics.probed_lists.set(static_cast<double>(probes.size()));
+  metrics.candidate_pool.set(
+      static_cast<double>(std::min(pool_entries.size(), pool_k)));
+  {
+    std::lock_guard<std::mutex> lock(metrics.latency_mutex);
+    metrics.latency.observe(timer.elapsed_seconds());
+  }
+
+  // Continuous recall monitoring: one query in every recall_sample_every
+  // also pays for the exact sweep and publishes the observed overlap.
+  if (params_.recall_sample_every > 0) {
+    std::uint64_t seq =
+        query_seq_.fetch_add(1, std::memory_order_relaxed);
+    if (seq % params_.recall_sample_every == 0) {
+      std::vector<Neighbor> exact = exact_scan(unit_query, n);
+      std::size_t hits = 0;
+      // Both lists are small (<= n); membership via sorted-id probing.
+      std::vector<TokenId> got;
+      got.reserve(out.size());
+      for (const Neighbor& nb : out) got.push_back(nb.id);
+      std::sort(got.begin(), got.end());
+      for (const Neighbor& nb : exact) {
+        hits += std::binary_search(got.begin(), got.end(), nb.id) ? 1 : 0;
+      }
+      metrics.recall_samples.inc();
+      if (!exact.empty()) {
+        metrics.last_recall.set(static_cast<double>(hits) /
+                                static_cast<double>(exact.size()));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<IvfKnnIndex::Neighbor> IvfKnnIndex::query(
+    std::span<const float> query_vec, std::size_t n) const {
+  if (n == 0 || normalized_.rows() == 0) return {};
+  n = std::min(n, normalized_.rows());
+  PaddedVector unit(normalized_.stride(), 0.0F);
+  std::copy(query_vec.begin(), query_vec.end(), unit.begin());
+  float norm = util::l2_norm({unit.data(), query_vec.size()});
+  if (norm == 0.0F) return {};
+  util::scale({unit.data(), query_vec.size()}, 1.0F / norm);
+  return scan(unit.data(), n);
+}
+
+std::vector<std::vector<IvfKnnIndex::Neighbor>> IvfKnnIndex::query_batch(
+    const std::vector<std::vector<float>>& queries, std::size_t n) const {
+  // The probed fraction already makes each query cheap; a per-query loop
+  // keeps batch results trivially bit-identical to single queries.
+  std::vector<std::vector<Neighbor>> results(queries.size());
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    results[qi] = query(queries[qi], n);
+  }
+  return results;
+}
+
+}  // namespace netobs::embedding

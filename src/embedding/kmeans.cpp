@@ -1,0 +1,192 @@
+#include "embedding/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+#include "util/simd.hpp"
+#include "util/thread_pool.hpp"
+#include "util/vec_math.hpp"
+
+namespace netobs::embedding {
+
+namespace {
+
+/// Centroids scored per dot_block call during assignment (same L1 sizing
+/// rationale as the kNN score block).
+constexpr std::size_t kCentroidBlock = 64;
+
+/// Fixed parallel grain: chunk boundaries must not depend on the pool's
+/// thread count or the parallel assignment would stay deterministic only
+/// per machine. Assignments are computed per row independently, so any
+/// chunking yields the same values — the fixed grain just keeps the chunk
+/// *set* (and with it the scheduling) canonical.
+constexpr std::size_t kAssignGrain = 8192;
+
+struct BestCentroid {
+  std::uint32_t id = 0;
+  float score = 0.0F;
+};
+
+BestCentroid best_centroid(const EmbeddingMatrix& centroids,
+                           const float* unit_row) {
+  const float* base = centroids.padded_data();
+  const std::size_t stride = centroids.stride();
+  const std::size_t k = centroids.rows();
+  float scores[kCentroidBlock];
+  BestCentroid best{0, -2.0F};  // cosines live in [-1, 1]
+  for (std::size_t b = 0; b < k; b += kCentroidBlock) {
+    std::size_t cnt = std::min(kCentroidBlock, k - b);
+    util::simd::dot_block(unit_row, base + b * stride, stride, cnt, scores);
+    for (std::size_t j = 0; j < cnt; ++j) {
+      // Strict '>' keeps the lowest centroid id on ties — the deterministic
+      // tie-break every caller relies on.
+      if (scores[j] > best.score) {
+        best = {static_cast<std::uint32_t>(b + j), scores[j]};
+      }
+    }
+  }
+  return best;
+}
+
+/// Deterministic sample of `count` distinct indices from [0, n) in the
+/// order the partial Fisher-Yates emits them.
+std::vector<std::size_t> sample_indices(std::size_t n, std::size_t count,
+                                        util::Pcg32& rng) {
+  std::vector<std::size_t> all(n);
+  std::iota(all.begin(), all.end(), 0);
+  count = std::min(count, n);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::size_t j =
+        i + rng.next_below(static_cast<std::uint32_t>(n - i));
+    std::swap(all[i], all[j]);
+  }
+  all.resize(count);
+  return all;
+}
+
+void assign_rows(const EmbeddingMatrix& rows,
+                 const std::vector<std::size_t>& which,
+                 const EmbeddingMatrix& centroids, util::ThreadPool* pool,
+                 std::vector<std::uint32_t>* assignment,
+                 std::vector<float>* fit) {
+  const float* base = rows.padded_data();
+  const std::size_t stride = rows.stride();
+  auto chunk = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      BestCentroid best =
+          best_centroid(centroids, base + which[i] * stride);
+      (*assignment)[i] = best.id;
+      if (fit != nullptr) (*fit)[i] = best.score;
+    }
+  };
+  if (pool != nullptr && which.size() >= 2 * kAssignGrain) {
+    pool->parallel_for_chunked(which.size(), kAssignGrain, chunk);
+  } else {
+    chunk(0, which.size());
+  }
+}
+
+}  // namespace
+
+std::uint32_t nearest_centroid(const EmbeddingMatrix& centroids,
+                               const float* unit_row) {
+  return best_centroid(centroids, unit_row).id;
+}
+
+std::vector<std::uint32_t> assign_to_centroids(const EmbeddingMatrix& rows,
+                                               const EmbeddingMatrix& centroids,
+                                               util::ThreadPool* pool) {
+  std::vector<std::size_t> which(rows.rows());
+  std::iota(which.begin(), which.end(), 0);
+  std::vector<std::uint32_t> assignment(rows.rows(), 0);
+  assign_rows(rows, which, centroids, pool, &assignment, nullptr);
+  return assignment;
+}
+
+KmeansResult spherical_kmeans(const EmbeddingMatrix& rows, KmeansParams params,
+                              util::ThreadPool* pool) {
+  const std::size_t n = rows.rows();
+  const std::size_t dim = rows.dim();
+  const std::size_t k = params.clusters;
+  if (k == 0 || k > n) {
+    throw std::invalid_argument("spherical_kmeans: clusters must be in [1, rows]");
+  }
+
+  util::Pcg32 rng(params.seed, 0x1f5);
+
+  // Initial centroids: k distinct rows, copied verbatim (rows are already
+  // unit norm).
+  KmeansResult result;
+  result.centroids = EmbeddingMatrix(k, dim);
+  auto seeds = sample_indices(n, k, rng);
+  for (std::size_t c = 0; c < k; ++c) {
+    auto src = rows.row(seeds[c]);
+    std::copy(src.begin(), src.end(), result.centroids.row(c).begin());
+  }
+
+  // Lloyd iterations over the (possibly sampled) training set.
+  std::vector<std::size_t> train =
+      (params.train_sample != 0 && params.train_sample < n)
+          ? sample_indices(n, params.train_sample, rng)
+          : sample_indices(n, n, rng);
+  std::sort(train.begin(), train.end());  // ascending for cache locality
+
+  std::vector<std::uint32_t> train_assign(train.size(), 0);
+  std::vector<float> train_fit(train.size(), 0.0F);
+  std::vector<double> accum(k * dim);
+  std::vector<std::size_t> counts(k);
+  const float* base = rows.padded_data();
+  const std::size_t stride = rows.stride();
+
+  for (int iter = 0; iter < std::max(1, params.iterations); ++iter) {
+    assign_rows(rows, train, result.centroids, pool, &train_assign,
+                &train_fit);
+
+    // Mean update, accumulated sequentially in double over the fixed train
+    // order — deterministic for any pool size.
+    std::fill(accum.begin(), accum.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (std::size_t i = 0; i < train.size(); ++i) {
+      const float* row = base + train[i] * stride;
+      double* dst = accum.data() + train_assign[i] * dim;
+      for (std::size_t j = 0; j < dim; ++j) dst[j] += row[j];
+      ++counts[train_assign[i]];
+    }
+
+    // Empty clusters are reseeded from the worst-fit training rows (lowest
+    // similarity to their centroid, ascending train order on ties) so k
+    // partitions survive to the end — deterministic, no RNG involved.
+    std::vector<std::size_t> order;
+    std::size_t next_worst = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+      auto centroid = result.centroids.row(c);
+      if (counts[c] == 0) {
+        if (order.empty()) {
+          order.resize(train.size());
+          std::iota(order.begin(), order.end(), 0);
+          std::stable_sort(order.begin(), order.end(),
+                           [&](std::size_t a, std::size_t b) {
+                             return train_fit[a] < train_fit[b];
+                           });
+        }
+        const float* row = base + train[order[next_worst++]] * stride;
+        std::copy(row, row + dim, centroid.begin());
+        continue;
+      }
+      double inv = 1.0 / static_cast<double>(counts[c]);
+      const double* src = accum.data() + c * dim;
+      for (std::size_t j = 0; j < dim; ++j) {
+        centroid[j] = static_cast<float>(src[j] * inv);
+      }
+      util::normalize(centroid);  // spherical k-means: re-project to the sphere
+    }
+  }
+
+  result.assignment = assign_to_centroids(rows, result.centroids, pool);
+  return result;
+}
+
+}  // namespace netobs::embedding

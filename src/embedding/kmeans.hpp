@@ -1,0 +1,62 @@
+// Deterministic spherical k-means — the coarse quantizer behind the IVF
+// approximate kNN index (ivf_index.hpp).
+//
+// Rows are expected unit-norm (the kNN indexes normalise at build time), so
+// "nearest centroid" under Euclidean distance is "largest dot product" and
+// every assignment pass is a dot_block sweep over the centroid matrix.
+// Lloyd iterations on an optional deterministic subsample keep paper-scale
+// builds (470K rows) in seconds; the final assignment always covers every
+// row. Everything is seeded through util::Pcg32 and the parallel assignment
+// uses a fixed chunk grain with sequential reduction, so results are
+// bit-identical for any thread-pool size (including none).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "embedding/matrix.hpp"
+
+namespace netobs::util {
+class ThreadPool;
+}
+
+namespace netobs::embedding {
+
+struct KmeansParams {
+  std::size_t clusters = 0;  ///< k; must be >= 1 and <= rows
+  int iterations = 8;        ///< Lloyd iterations over the training sample
+  std::uint64_t seed = 2021;
+  /// Rows used for the Lloyd iterations (deterministic sample without
+  /// replacement); 0 = train on every row. The final assignment is always
+  /// over all rows regardless.
+  std::size_t train_sample = 131072;
+};
+
+struct KmeansResult {
+  /// k unit-norm centroid rows (padded/aligned like any EmbeddingMatrix).
+  EmbeddingMatrix centroids;
+  /// assignment[r] = centroid of row r, for every input row.
+  std::vector<std::uint32_t> assignment;
+};
+
+/// Index of the centroid with the largest dot product against `unit_row`
+/// (ties by ascending centroid id). `unit_row` must point at
+/// centroids.stride() floats, zero-padded and 32-byte aligned.
+std::uint32_t nearest_centroid(const EmbeddingMatrix& centroids,
+                               const float* unit_row);
+
+/// Clusters the unit-norm rows of `rows` into params.clusters partitions.
+/// `pool` (optional) parallelises the assignment passes; the output is
+/// bit-identical with or without it. Throws std::invalid_argument when
+/// params.clusters is 0 or exceeds rows.rows().
+KmeansResult spherical_kmeans(const EmbeddingMatrix& rows, KmeansParams params,
+                              util::ThreadPool* pool = nullptr);
+
+/// Assigns every row of `rows` to its nearest centroid (the final pass of
+/// spherical_kmeans, reusable for warm rebuilds against kept centroids).
+std::vector<std::uint32_t> assign_to_centroids(const EmbeddingMatrix& rows,
+                                               const EmbeddingMatrix& centroids,
+                                               util::ThreadPool* pool = nullptr);
+
+}  // namespace netobs::embedding

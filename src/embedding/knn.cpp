@@ -53,80 +53,20 @@ EmbeddingMatrix normalized_copy(const EmbeddingMatrix& matrix) {
 constexpr std::size_t kScoreBlock = 64;
 static_assert(kScoreBlock <= 64, "mask_ge returns a 64-bit block mask");
 
-/// Descending similarity, ascending id — the published result order and
-/// the deterministic tie-break.
-inline bool better(float sim_a, TokenId id_a, float sim_b, TokenId id_b) {
-  if (sim_a != sim_b) return sim_a > sim_b;
-  return id_a < id_b;
-}
-
 using PaddedVector =
     std::vector<float, netobs::util::simd::AlignedAllocator<float>>;
 
 }  // namespace
 
-/// Bounded top-k selector: a candidate reservoir of at most 2k entries that
-/// is pruned back to the exact k best with nth_element whenever it fills.
-/// Appends are O(1) and each prune is O(k), so a scan costs
-/// O(rows + m + (m / k) * k) = O(rows + m) for m candidate passes — cheaper
-/// in practice than a binary heap's per-displacement sift-down, and far
-/// cheaper than the old O(rows log rows) full materialise-and-sort. The kept
-/// set is the unique top k under (similarity desc, id asc), so every scan
-/// strategy built on this class returns bit-identical results.
-class CosineKnnIndex::TopK {
- public:
-  explicit TopK(std::size_t k) : k_(k), cap_(2 * k) { entries_.reserve(cap_); }
-
-  void offer(TokenId id, float sim) {
-    // `sim == threshold_` still enters: the id tie-break is settled at the
-    // next prune, exactly like the simd::mask_ge '>=' block filter.
-    if (has_threshold_ && sim < threshold_) return;
-    entries_.push_back({id, sim});
-    if (entries_.size() >= cap_) prune();
+const char* knn_backend_name(KnnBackend backend) {
+  switch (backend) {
+    case KnnBackend::kExact:
+      return "exact";
+    case KnnBackend::kIvf:
+      return "ivf";
   }
-
-  /// Once true, worst_similarity() is a valid lower bound for new entries
-  /// and callers may pre-filter candidates with simd::mask_ge.
-  bool full() const { return has_threshold_ || entries_.size() >= k_; }
-
-  /// Current admission threshold; -inf until the first prune, afterwards
-  /// the similarity of the k-th best candidate seen so far (it lags the
-  /// true k-th best between prunes, which only makes filtering
-  /// conservative, never lossy).
-  float worst_similarity() const {
-    return has_threshold_ ? threshold_
-                          : -std::numeric_limits<float>::infinity();
-  }
-
-  /// Exact top k in published order (similarity desc, id asc).
-  std::vector<Neighbor> take_sorted() {
-    prune();
-    std::sort(entries_.begin(), entries_.end(), best_first);
-    return std::move(entries_);
-  }
-
- private:
-  static bool best_first(const Neighbor& a, const Neighbor& b) {
-    return better(a.similarity, a.id, b.similarity, b.id);
-  }
-
-  /// Shrinks the reservoir to the exact k best and raises the admission
-  /// threshold to the new worst kept entry.
-  void prune() {
-    if (entries_.size() <= k_) return;
-    auto kth = entries_.begin() + static_cast<std::ptrdiff_t>(k_) - 1;
-    std::nth_element(entries_.begin(), kth, entries_.end(), best_first);
-    entries_.resize(k_);
-    threshold_ = entries_[k_ - 1].similarity;
-    has_threshold_ = true;
-  }
-
-  std::size_t k_;
-  std::size_t cap_;
-  bool has_threshold_ = false;
-  float threshold_ = 0.0F;
-  std::vector<Neighbor> entries_;
-};
+  return "unknown";
+}
 
 CosineKnnIndex::CosineKnnIndex(const HostEmbedding& embedding)
     : normalized_(normalized_copy(embedding.central())) {
@@ -232,6 +172,40 @@ std::vector<CosineKnnIndex::Neighbor> CosineKnnIndex::query(
   return scan(unit.data(), n, -1);
 }
 
+void CosineKnnIndex::scan_range_batch(const float* units,
+                                      const std::vector<std::size_t>& live,
+                                      std::size_t begin, std::size_t end,
+                                      std::vector<TopK>& heaps) const {
+  const std::size_t stride = normalized_.stride();
+  // One sweep of the row range: each row block is scored for every live
+  // query while it is cache-hot, amortising the memory traffic that
+  // dominates a per-session scan.
+  float scores[kScoreBlock];
+  for (std::size_t b = begin; b < end; b += kScoreBlock) {
+    std::size_t cnt = std::min(kScoreBlock, end - b);
+    const float* block = normalized_.padded_data() + b * stride;
+    for (std::size_t li = 0; li < live.size(); ++li) {
+      util::simd::dot_block(units + live[li] * stride, block, stride, cnt,
+                            scores);
+      TopK& heap = heaps[li];
+      if (!heap.full()) {
+        for (std::size_t j = 0; j < cnt; ++j) {
+          heap.offer(static_cast<TokenId>(b + j), scores[j]);
+        }
+      } else {
+        // Same vectorised threshold filter as scan_range.
+        std::uint64_t mask =
+            util::simd::mask_ge(scores, cnt, heap.worst_similarity());
+        while (mask != 0) {
+          auto j = static_cast<std::size_t>(std::countr_zero(mask));
+          mask &= mask - 1;
+          heap.offer(static_cast<TokenId>(b + j), scores[j]);
+        }
+      }
+    }
+  }
+}
+
 std::vector<std::vector<CosineKnnIndex::Neighbor>> CosineKnnIndex::query_batch(
     const std::vector<std::vector<float>>& queries, std::size_t n) const {
   auto& metrics = KnnMetrics::get();
@@ -258,39 +232,45 @@ std::vector<std::vector<CosineKnnIndex::Neighbor>> CosineKnnIndex::query_batch(
   }
   if (live.empty()) return results;
 
-  std::vector<TopK> heaps;
-  heaps.reserve(live.size());
-  for (std::size_t i = 0; i < live.size(); ++i) heaps.emplace_back(n);
-
-  // One sweep of the matrix: each row block is scored for every live query
-  // while it is cache-hot, amortising the memory traffic that dominates a
-  // per-session scan.
-  float scores[kScoreBlock];
-  for (std::size_t b = 0; b < rows; b += kScoreBlock) {
-    std::size_t cnt = std::min(kScoreBlock, rows - b);
-    const float* block = normalized_.padded_data() + b * stride;
+  bool sharded = pool_ != nullptr && rows >= 2 * min_rows_per_shard_;
+  if (!sharded) {
+    std::vector<TopK> heaps;
+    heaps.reserve(live.size());
+    for (std::size_t i = 0; i < live.size(); ++i) heaps.emplace_back(n);
+    scan_range_batch(units.data(), live, 0, rows, heaps);
     for (std::size_t li = 0; li < live.size(); ++li) {
-      util::simd::dot_block(units.data() + live[li] * stride, block, stride,
-                            cnt, scores);
-      TopK& heap = heaps[li];
-      if (!heap.full()) {
-        for (std::size_t j = 0; j < cnt; ++j) {
-          heap.offer(static_cast<TokenId>(b + j), scores[j]);
-        }
-      } else {
-        // Same vectorised threshold filter as scan_range.
-        std::uint64_t mask =
-            util::simd::mask_ge(scores, cnt, heap.worst_similarity());
-        while (mask != 0) {
-          auto j = static_cast<std::size_t>(std::countr_zero(mask));
-          mask &= mask - 1;
-          heap.offer(static_cast<TokenId>(b + j), scores[j]);
-        }
-      }
+      results[live[li]] = heaps[li].take_sorted();
     }
+    return results;
   }
+
+  // Shard the batched sweep exactly like single-query scans: every shard
+  // runs the cache-hot block loop for all live queries into its own top-n
+  // heaps, and the per-query merge of shard results is exact, so the output
+  // is bit-identical to the serial batch (and to per-query scans).
+  std::size_t threads = std::max<std::size_t>(1, pool_->thread_count());
+  std::size_t grain =
+      std::max(min_rows_per_shard_, (rows + threads - 1) / threads);
+  std::size_t shards = (rows + grain - 1) / grain;
+  std::vector<std::vector<std::vector<Neighbor>>> partial(shards);
+  pool_->parallel_for_chunked(
+      rows, grain, [&](std::size_t begin, std::size_t end) {
+        std::vector<TopK> heaps;
+        heaps.reserve(live.size());
+        for (std::size_t i = 0; i < live.size(); ++i) heaps.emplace_back(n);
+        scan_range_batch(units.data(), live, begin, end, heaps);
+        auto& out = partial[begin / grain];
+        out.resize(live.size());
+        for (std::size_t li = 0; li < live.size(); ++li) {
+          out[li] = heaps[li].take_sorted();
+        }
+      });
   for (std::size_t li = 0; li < live.size(); ++li) {
-    results[live[li]] = heaps[li].take_sorted();
+    TopK merged(n);
+    for (const auto& shard : partial) {
+      for (const auto& nb : shard[li]) merged.offer(nb.id, nb.similarity);
+    }
+    results[live[li]] = merged.take_sorted();
   }
   return results;
 }

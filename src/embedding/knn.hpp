@@ -1,15 +1,20 @@
-// Brute-force cosine k-nearest-neighbour index over hostname embeddings.
+// Cosine k-nearest-neighbour retrieval over hostname embeddings.
 //
 // Section 4.1 computes, for a session representation s, the N=1000 hostname
-// embeddings most similar to s under cosine similarity (the set H_s). Row
-// vectors are L2-normalised once at build time into an aligned, row-padded
-// matrix; a query is then a blocked SIMD dot-product sweep feeding a
-// bounded top-k heap — no full-vocabulary materialise/sort. The sweep can
-// be amortised across many sessions (query_batch) and sharded across a
-// util::ThreadPool for large vocabularies. All four paths (single, batched,
-// sharded, and any SIMD tier whose kernels are bit-compatible) return
-// bit-identical neighbours with the deterministic (similarity desc, id asc)
-// order.
+// embeddings most similar to s under cosine similarity (the set H_s). Two
+// backends implement the `KnnIndex` interface:
+//
+//   CosineKnnIndex (this file) — the exact blocked sweep: row vectors are
+//     L2-normalised once at build time into an aligned, row-padded matrix; a
+//     query is a blocked SIMD dot-product sweep feeding a bounded top-k
+//     reservoir. The sweep can be amortised across many sessions
+//     (query_batch) and sharded across a util::ThreadPool for large
+//     vocabularies. All paths (single, batched, sharded, and any SIMD tier
+//     whose kernels are bit-compatible) return bit-identical neighbours with
+//     the deterministic (similarity desc, id asc) order.
+//   IvfKnnIndex (ivf_index.hpp) — the approximate inverted-file index for
+//     paper-scale vocabularies, which scans only the nprobe closest k-means
+//     partitions in int8 and exact-re-ranks the survivors.
 #pragma once
 
 #include <cstddef>
@@ -18,6 +23,7 @@
 
 #include "embedding/matrix.hpp"
 #include "embedding/sgns.hpp"
+#include "embedding/topk.hpp"
 
 namespace netobs::util {
 class ThreadPool;
@@ -25,13 +31,42 @@ class ThreadPool;
 
 namespace netobs::embedding {
 
-class CosineKnnIndex {
- public:
-  struct Neighbor {
-    TokenId id = 0;
-    float similarity = 0.0F;  ///< cosine in [-1, 1]
-  };
+/// Retrieval backend selector for the profiling pipeline. Exact is the
+/// default; kIvf trades a bounded recall loss (see IvfParams) for an
+/// order-of-magnitude latency cut at paper-scale vocabularies.
+enum class KnnBackend {
+  kExact,
+  kIvf,
+};
 
+const char* knn_backend_name(KnnBackend backend);
+
+/// Interface every retrieval backend implements; SessionProfiler and
+/// ProfilingService only speak this. Results are always in the published
+/// (similarity desc, id asc) order; zero-norm queries return empty lists.
+class KnnIndex {
+ public:
+  using Neighbor = embedding::Neighbor;
+
+  virtual ~KnnIndex() = default;
+
+  /// Top-n rows most similar to `query`, descending similarity (ties by
+  /// ascending id). `query` need not be normalised.
+  virtual std::vector<Neighbor> query(std::span<const float> query_vec,
+                                      std::size_t n) const = 0;
+
+  /// Answers many queries at once; result i corresponds to queries[i] and
+  /// matches query(queries[i], n) bit-for-bit on both backends.
+  virtual std::vector<std::vector<Neighbor>> query_batch(
+      const std::vector<std::vector<float>>& queries, std::size_t n) const = 0;
+
+  virtual std::size_t size() const = 0;
+  virtual std::size_t dim() const = 0;
+  virtual KnnBackend backend() const = 0;
+};
+
+class CosineKnnIndex : public KnnIndex {
+ public:
   /// Builds the index from a model's central vectors.
   explicit CosineKnnIndex(const HostEmbedding& embedding);
 
@@ -42,32 +77,38 @@ class CosineKnnIndex {
   /// ascending id). `query` need not be normalised. Zero-norm queries
   /// return an empty vector.
   std::vector<Neighbor> query(std::span<const float> query_vec,
-                              std::size_t n) const;
+                              std::size_t n) const override;
 
   /// Answers many queries in one sweep of the matrix: each scored row
   /// block is reused across all queries while it is cache-hot, which is
   /// substantially faster than calling query() per session. Result i
   /// corresponds to queries[i] and is bit-identical to query(queries[i], n)
-  /// (zero-norm queries yield empty results).
+  /// (zero-norm queries yield empty results). Sharded across the thread
+  /// pool (set_thread_pool) once the index is large enough, with the same
+  /// bit-identical merge as single-query scans.
   std::vector<std::vector<Neighbor>> query_batch(
-      const std::vector<std::vector<float>>& queries, std::size_t n) const;
+      const std::vector<std::vector<float>>& queries,
+      std::size_t n) const override;
 
   /// Top-n neighbours of a stored row, excluding the row itself.
   std::vector<Neighbor> nearest_to(TokenId id, std::size_t n) const;
 
-  /// Opts single-query scans into shard-parallel sweeps on `pool` (pass
-  /// nullptr to go back to serial). Shards only kick in once the index has
-  /// at least 2 * min_rows_per_shard rows; results stay bit-identical to
-  /// the serial scan. The pool must outlive the index.
+  /// Opts single-query and batched scans into shard-parallel sweeps on
+  /// `pool` (pass nullptr to go back to serial). Shards only kick in once
+  /// the index has at least 2 * min_rows_per_shard rows; results stay
+  /// bit-identical to the serial scan. The pool must outlive the index.
   void set_thread_pool(util::ThreadPool* pool,
                        std::size_t min_rows_per_shard = 16384);
 
-  std::size_t size() const { return normalized_.rows(); }
-  std::size_t dim() const { return normalized_.dim(); }
+  std::size_t size() const override { return normalized_.rows(); }
+  std::size_t dim() const override { return normalized_.dim(); }
+  KnnBackend backend() const override { return KnnBackend::kExact; }
+
+  /// The unit-norm padded row matrix (rows indexed by TokenId) — shared
+  /// with IvfKnnIndex's exact re-rank stage and the recall sampler.
+  const EmbeddingMatrix& normalized_rows() const { return normalized_; }
 
  private:
-  class TopK;
-
   /// `unit_query` must point at stride() floats (zero-padded, 32-byte
   /// aligned, unit norm).
   std::vector<Neighbor> scan(const float* unit_query, std::size_t n,
@@ -76,6 +117,13 @@ class CosineKnnIndex {
   /// Blocked sweep of rows [begin, end) into `heap`.
   void scan_range(const float* unit_query, std::size_t begin, std::size_t end,
                   std::ptrdiff_t exclude, TopK& heap) const;
+
+  /// The batched blocked sweep of rows [begin, end) for every live query:
+  /// heaps[i] accumulates candidates for the query at units + live[i] *
+  /// stride.
+  void scan_range_batch(const float* units, const std::vector<std::size_t>& live,
+                        std::size_t begin, std::size_t end,
+                        std::vector<TopK>& heaps) const;
 
   EmbeddingMatrix normalized_;
   util::ThreadPool* pool_ = nullptr;

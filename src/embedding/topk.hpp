@@ -1,0 +1,92 @@
+// Bounded top-k selection under the published (similarity desc, id asc)
+// order — the selector shared by the exact blocked sweep (knn.cpp) and the
+// IVF candidate/re-rank stages (ivf_index.cpp).
+//
+// A candidate reservoir of at most 2k entries is pruned back to the exact k
+// best with nth_element whenever it fills. Appends are O(1) and each prune
+// is O(k), so a scan costs O(rows + m) for m candidate passes — cheaper in
+// practice than a binary heap's per-displacement sift-down, and far cheaper
+// than a full materialise-and-sort. The kept set is the unique top k under
+// (similarity desc, id asc), so every scan strategy built on this class
+// returns bit-identical results.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "embedding/vocabulary.hpp"
+
+namespace netobs::embedding {
+
+/// One kNN result entry; ordered by (similarity desc, id asc) everywhere.
+struct Neighbor {
+  TokenId id = 0;
+  float similarity = 0.0F;  ///< cosine in [-1, 1]
+};
+
+/// Descending similarity, ascending id — the published result order and
+/// the deterministic tie-break.
+inline bool neighbor_better(float sim_a, TokenId id_a, float sim_b,
+                            TokenId id_b) {
+  if (sim_a != sim_b) return sim_a > sim_b;
+  return id_a < id_b;
+}
+
+class TopK {
+ public:
+  explicit TopK(std::size_t k) : k_(k), cap_(2 * k) { entries_.reserve(cap_); }
+
+  void offer(TokenId id, float sim) {
+    // `sim == threshold_` still enters: the id tie-break is settled at the
+    // next prune, exactly like the simd::mask_ge '>=' block filter.
+    if (has_threshold_ && sim < threshold_) return;
+    entries_.push_back({id, sim});
+    if (entries_.size() >= cap_) prune();
+  }
+
+  /// Once true, worst_similarity() is a valid lower bound for new entries
+  /// and callers may pre-filter candidates with simd::mask_ge.
+  bool full() const { return has_threshold_ || entries_.size() >= k_; }
+
+  /// Current admission threshold; -inf until the first prune, afterwards
+  /// the similarity of the k-th best candidate seen so far (it lags the
+  /// true k-th best between prunes, which only makes filtering
+  /// conservative, never lossy).
+  float worst_similarity() const {
+    return has_threshold_ ? threshold_
+                          : -std::numeric_limits<float>::infinity();
+  }
+
+  /// Exact top k in published order (similarity desc, id asc).
+  std::vector<Neighbor> take_sorted() {
+    prune();
+    std::sort(entries_.begin(), entries_.end(), best_first);
+    return std::move(entries_);
+  }
+
+ private:
+  static bool best_first(const Neighbor& a, const Neighbor& b) {
+    return neighbor_better(a.similarity, a.id, b.similarity, b.id);
+  }
+
+  /// Shrinks the reservoir to the exact k best and raises the admission
+  /// threshold to the new worst kept entry.
+  void prune() {
+    if (entries_.size() <= k_) return;
+    auto kth = entries_.begin() + static_cast<std::ptrdiff_t>(k_) - 1;
+    std::nth_element(entries_.begin(), kth, entries_.end(), best_first);
+    entries_.resize(k_);
+    threshold_ = entries_[k_ - 1].similarity;
+    has_threshold_ = true;
+  }
+
+  std::size_t k_;
+  std::size_t cap_;
+  bool has_threshold_ = false;
+  float threshold_ = 0.0F;
+  std::vector<Neighbor> entries_;
+};
+
+}  // namespace netobs::embedding

@@ -177,6 +177,13 @@ void HttpServer::add_collector(std::function<void()> collector) {
   collectors_.push_back(std::move(collector));
 }
 
+void HttpServer::add_status_provider(
+    std::function<std::vector<std::pair<std::string, std::string>>()>
+        provider) {
+  std::lock_guard<std::mutex> lock(collectors_mutex_);
+  status_providers_.push_back(std::move(provider));
+}
+
 void HttpServer::serve_loop() {
   while (running_.load(std::memory_order_acquire)) {
     pollfd pfd{listen_fd_, POLLIN, 0};
@@ -333,6 +340,18 @@ HttpServer::Response HttpServer::statusz() {
   os << "requests_served: " << requests_served() << '\n';
   for (const auto& [key, value] : options_.status_info) {
     os << key << ": " << value << '\n';
+  }
+  {
+    std::lock_guard<std::mutex> lock(collectors_mutex_);
+    for (const auto& provider : status_providers_) {
+      try {
+        for (const auto& [key, value] : provider()) {
+          os << key << ": " << value << '\n';
+        }
+      } catch (const std::exception& e) {
+        os << "<error>: status provider failed: " << e.what() << '\n';
+      }
+    }
   }
   return Response{200, "text/plain; charset=utf-8", os.str()};
 }

@@ -99,6 +99,15 @@ class HttpServer {
   /// (after the StatsHub flush) — e.g. refreshing queue-depth gauges.
   void add_collector(std::function<void()> collector);
 
+  /// Registers a provider of live /statusz key/value lines, evaluated per
+  /// request and rendered after options_.status_info — use for state that
+  /// changes at runtime (active kNN backend, index geometry, ...) where the
+  /// static status_info snapshot would go stale. A provider that throws
+  /// renders one `<error>` line instead of killing the page.
+  void add_status_provider(
+      std::function<std::vector<std::pair<std::string, std::string>>()>
+          provider);
+
   std::uint64_t requests_served() const {
     return requests_.load(std::memory_order_relaxed);
   }
@@ -130,6 +139,8 @@ class HttpServer {
 
   std::mutex collectors_mutex_;
   std::vector<std::function<void()>> collectors_;
+  std::vector<std::function<std::vector<std::pair<std::string, std::string>>()>>
+      status_providers_;
 
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> requests_{0};

@@ -25,7 +25,7 @@ std::vector<std::size_t> SessionProfile::top_categories(std::size_t k) const {
 }
 
 SessionProfiler::SessionProfiler(const embedding::HostEmbedding& embedding,
-                                 const embedding::CosineKnnIndex& index,
+                                 const embedding::KnnIndex& index,
                                  const ontology::HostLabeler& labeler,
                                  ProfilerParams params)
     : embedding_(&embedding),
@@ -95,7 +95,7 @@ SessionProfiler::Pending SessionProfiler::begin_profile(
 
 void SessionProfiler::apply_neighbors(
     Pending& pending,
-    const std::vector<embedding::CosineKnnIndex::Neighbor>& neighbors) const {
+    const std::vector<embedding::Neighbor>& neighbors) const {
   for (const auto& nb : neighbors) {
     const std::string& host = embedding_->token(nb.id);
     if (pending.in_session_labeled.contains(host)) continue;  // alpha = 1

@@ -58,8 +58,10 @@ struct SessionProfile {
 class SessionProfiler {
  public:
   /// Non-owning: embedding, index and labeler must outlive the profiler.
+  /// `index` is any retrieval backend (exact CosineKnnIndex or approximate
+  /// IvfKnnIndex) over the same vocabulary as `embedding`.
   SessionProfiler(const embedding::HostEmbedding& embedding,
-                  const embedding::CosineKnnIndex& index,
+                  const embedding::KnnIndex& index,
                   const ontology::HostLabeler& labeler,
                   ProfilerParams params = ProfilerParams());
 
@@ -88,12 +90,12 @@ class SessionProfiler {
   /// Stage 3: alpha = [cos]_+ contributions of labeled kNN neighbours.
   void apply_neighbors(
       Pending& pending,
-      const std::vector<embedding::CosineKnnIndex::Neighbor>& neighbors) const;
+      const std::vector<embedding::Neighbor>& neighbors) const;
   /// Stage 4: Eq. 4 normalisation.
   SessionProfile finish_profile(Pending&& pending) const;
 
   const embedding::HostEmbedding* embedding_;
-  const embedding::CosineKnnIndex* index_;
+  const embedding::KnnIndex* index_;
   const ontology::HostLabeler* labeler_;
   ProfilerParams params_;
 };

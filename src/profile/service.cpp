@@ -1,5 +1,6 @@
 #include "profile/service.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "obs/log.hpp"
@@ -87,8 +88,24 @@ bool ProfilingService::retrain(std::int64_t train_day) {
                   {{"day", std::to_string(train_day)}, {"error", e.what()}});
     return false;
   }
+  // Daily warm rebuilds reuse the previous day's coarse quantizer: the
+  // embedding drifts little between consecutive days, so skipping Lloyd
+  // training keeps rebuild cost at one assignment pass.
+  const embedding::IvfKnnIndex* prev_ivf =
+      dynamic_cast<const embedding::IvfKnnIndex*>(index_.get());
   model_ = std::move(fresh);
-  index_ = std::make_unique<embedding::CosineKnnIndex>(*model_);
+  if (params_.knn_backend == embedding::KnnBackend::kIvf) {
+    if (params_.warm_start && prev_ivf != nullptr &&
+        prev_ivf->centroids().dim() == model_->central().dim()) {
+      index_ = std::make_unique<embedding::IvfKnnIndex>(
+          model_->central(), prev_ivf->centroids(), params_.ivf);
+    } else {
+      index_ = std::make_unique<embedding::IvfKnnIndex>(model_->central(),
+                                                        params_.ivf);
+    }
+  } else {
+    index_ = std::make_unique<embedding::CosineKnnIndex>(*model_);
+  }
   profiler_ = std::make_unique<SessionProfiler>(*model_, *index_, *labeler_,
                                                 params_.profiler);
   retrains_->inc();
@@ -96,8 +113,31 @@ bool ProfilingService::retrain(std::int64_t train_day) {
                 {{"day", std::to_string(train_day)},
                  {"sequences", std::to_string(sequences.size())},
                  {"vocab", std::to_string(model_->size())},
+                 {"knn_backend",
+                  embedding::knn_backend_name(params_.knn_backend)},
                  {"seconds", std::to_string(span.elapsed_seconds())}});
   return true;
+}
+
+std::vector<std::pair<std::string, std::string>> ProfilingService::knn_status()
+    const {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.emplace_back("knn_backend",
+                   embedding::knn_backend_name(params_.knn_backend));
+  out.emplace_back("knn_index_rows",
+                   std::to_string(index_ ? index_->size() : 0));
+  if (const auto* ivf =
+          dynamic_cast<const embedding::IvfKnnIndex*>(index_.get())) {
+    out.emplace_back("knn_nlists", std::to_string(ivf->nlists()));
+    out.emplace_back("knn_nprobe",
+                     std::to_string(std::min(ivf->params().nprobe,
+                                             ivf->nlists())));
+    out.emplace_back("knn_rerank", std::to_string(ivf->params().rerank));
+  }
+  out.emplace_back(
+      "simd_int8_tier",
+      util::simd::tier_name(util::simd::active_tier()));
+  return out;
 }
 
 const embedding::HostEmbedding& ProfilingService::model() const {

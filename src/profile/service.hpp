@@ -13,7 +13,11 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "embedding/ivf_index.hpp"
 #include "filter/blocklist.hpp"
 #include "obs/metrics.hpp"
 #include "obs/stats_stream.hpp"
@@ -31,6 +35,13 @@ struct ServiceParams {
   /// model instead of training from scratch (extension; the paper retrains
   /// fresh every day).
   bool warm_start = false;
+  /// Retrieval backend behind every profile: kExact reproduces the paper's
+  /// full sweep; kIvf answers with the approximate inverted-file index
+  /// (embedding/ivf_index.hpp) — recommended at paper-scale vocabularies.
+  embedding::KnnBackend knn_backend = embedding::KnnBackend::kExact;
+  /// IVF tuning; only read when knn_backend == kIvf. Under warm_start the
+  /// daily rebuild also reuses the previous day's coarse quantizer.
+  embedding::IvfParams ivf;
 };
 
 class ProfilingService {
@@ -86,6 +97,15 @@ class ProfilingService {
   SessionStore& store() { return store_; }
   const SessionStore& store() const { return store_; }
 
+  /// Retrieval backend currently answering profiles (config value until the
+  /// first retrain builds an index).
+  embedding::KnnBackend knn_backend() const { return params_.knn_backend; }
+
+  /// Key/value lines describing the live retrieval configuration —
+  /// backend, IVF geometry and the int8 SIMD tier — for /statusz status
+  /// providers (obs::HttpServer::add_status_provider).
+  std::vector<std::pair<std::string, std::string>> knn_status() const;
+
  private:
   const ontology::HostLabeler* labeler_;
   const filter::Blocklist* blocklist_;
@@ -110,7 +130,7 @@ class ProfilingService {
   mutable obs::QuantileGauges profile_latency_q_;  // observed from const profilers
 
   std::unique_ptr<embedding::HostEmbedding> model_;
-  std::unique_ptr<embedding::CosineKnnIndex> index_;
+  std::unique_ptr<embedding::KnnIndex> index_;
   std::unique_ptr<SessionProfiler> profiler_;
 };
 

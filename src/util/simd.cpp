@@ -66,6 +66,15 @@ std::uint64_t mask_ge_scalar(const float* x, std::size_t n, float threshold) {
   return m;
 }
 
+std::int32_t dot_i8_scalar(const std::int8_t* a, const std::int8_t* b,
+                           std::size_t n) {
+  std::int32_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
+  }
+  return acc;
+}
+
 #if NETOBS_X86
 
 // ---------------------------------------------------------------------------
@@ -167,6 +176,35 @@ void dot_block_sse2(const float* q, const float* base, std::size_t stride,
     }
     out[r] = hsum128(a0);
   }
+}
+
+std::int32_t dot_i8_sse2(const std::int8_t* a, const std::int8_t* b,
+                         std::size_t n) {
+  __m128i acc = _mm_setzero_si128();
+  const __m128i zero = _mm_setzero_si128();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    // SSE2 has no int8 multiply: sign-extend both operands to int16 (the
+    // cmpgt mask is 0xFF exactly for negative lanes) and use the int16
+    // multiply-add, which pairs into exact int32 partial sums.
+    __m128i sa = _mm_cmpgt_epi8(zero, va);
+    __m128i sb = _mm_cmpgt_epi8(zero, vb);
+    __m128i a_lo = _mm_unpacklo_epi8(va, sa);
+    __m128i a_hi = _mm_unpackhi_epi8(va, sa);
+    __m128i b_lo = _mm_unpacklo_epi8(vb, sb);
+    __m128i b_hi = _mm_unpackhi_epi8(vb, sb);
+    acc = _mm_add_epi32(acc, _mm_madd_epi16(a_lo, b_lo));
+    acc = _mm_add_epi32(acc, _mm_madd_epi16(a_hi, b_hi));
+  }
+  alignas(16) std::int32_t lanes[4];
+  _mm_store_si128(reinterpret_cast<__m128i*>(lanes), acc);
+  std::int32_t sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  for (; i < n; ++i) {
+    sum += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
+  }
+  return sum;
 }
 
 std::uint64_t mask_ge_sse2(const float* x, std::size_t n, float threshold) {
@@ -314,6 +352,35 @@ __attribute__((target("avx2,fma"))) std::uint64_t mask_ge_avx2(
   return m;
 }
 
+__attribute__((target("avx2"))) std::int32_t dot_i8_avx2(const std::int8_t* a,
+                                                         const std::int8_t* b,
+                                                         std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    // Widen each 16-byte half to int16 and multiply-add into int32 lanes;
+    // exact integer arithmetic, so lane/summation order is irrelevant.
+    __m256i a_lo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(va));
+    __m256i a_hi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(va, 1));
+    __m256i b_lo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(vb));
+    __m256i b_hi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(vb, 1));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(a_lo, b_lo));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(a_hi, b_hi));
+  }
+  alignas(32) std::int32_t lanes[8];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  std::int32_t sum = 0;
+  for (std::int32_t lane : lanes) sum += lane;
+  for (; i < n; ++i) {
+    sum += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
+  }
+  return sum;
+}
+
 #endif  // NETOBS_X86
 
 struct Kernels {
@@ -324,17 +391,18 @@ struct Kernels {
   void (*dot_block)(const float*, const float*, std::size_t, std::size_t,
                     float*);
   std::uint64_t (*mask_ge)(const float*, std::size_t, float);
+  std::int32_t (*dot_i8)(const std::int8_t*, const std::int8_t*, std::size_t);
 };
 
 Kernels kernels_for(Tier tier) {
 #if NETOBS_X86
   switch (tier) {
     case Tier::kAvx2:
-      return {dot_avx2, axpy_avx2,      scale_avx2,
-              fused_avx2, dot_block_avx2, mask_ge_avx2};
+      return {dot_avx2,   axpy_avx2,      scale_avx2,
+              fused_avx2, dot_block_avx2, mask_ge_avx2, dot_i8_avx2};
     case Tier::kSse2:
-      return {dot_sse2, axpy_sse2,      scale_sse2,
-              fused_sse2, dot_block_sse2, mask_ge_sse2};
+      return {dot_sse2,   axpy_sse2,      scale_sse2,
+              fused_sse2, dot_block_sse2, mask_ge_sse2, dot_i8_sse2};
     case Tier::kScalar:
       break;
   }
@@ -342,7 +410,7 @@ Kernels kernels_for(Tier tier) {
   (void)tier;
 #endif
   return {dot_scalar,   axpy_scalar,      scale_scalar,
-          fused_scalar, dot_block_scalar, mask_ge_scalar};
+          fused_scalar, dot_block_scalar, mask_ge_scalar, dot_i8_scalar};
 }
 
 struct Dispatch {
@@ -414,6 +482,11 @@ void dot_block(const float* q, const float* base, std::size_t stride,
 
 std::uint64_t mask_ge(const float* x, std::size_t n, float threshold) {
   return dispatch().k.mask_ge(x, n, threshold);
+}
+
+std::int32_t dot_i8(const std::int8_t* a, const std::int8_t* b,
+                    std::size_t n) {
+  return dispatch().k.dot_i8(a, b, n);
 }
 
 }  // namespace netobs::util::simd

@@ -72,6 +72,15 @@ void fused_grad_update(float g, const float* in, float* out, float* grad,
 /// cannot displace anything in a warm top-k heap.
 std::uint64_t mask_ge(const float* x, std::size_t n, float threshold);
 
+/// Signed int8 inner product accumulated in int32. Integer arithmetic is
+/// associative, so — unlike the float kernels — every tier is *exactly*
+/// identical for any accumulation order; the IVF index relies on that for
+/// cross-tier bit-compatibility of its quantized candidate scores. Values
+/// are codes in [-127, 127]; n * 127^2 stays far below INT32_MAX for any
+/// realistic embedding width.
+std::int32_t dot_i8(const std::int8_t* a, const std::int8_t* b,
+                    std::size_t n);
+
 /// Scores one query against `nrows` consecutive rows of a padded matrix:
 /// out[r] = dot(q, base + r * stride) over `stride` floats. `q` must be
 /// padded (zero-filled) to `stride` and aligned to kRowAlignBytes, `stride`

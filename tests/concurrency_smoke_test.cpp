@@ -8,6 +8,7 @@
 #include <cmath>
 #include <vector>
 
+#include "embedding/ivf_index.hpp"
 #include "embedding/knn.hpp"
 #include "embedding/sgns.hpp"
 #include "util/rng.hpp"
@@ -51,6 +52,40 @@ TEST(ConcurrencySmoke, ShardParallelKnnScan) {
     ASSERT_EQ(nbs.size(), 25U);
     EXPECT_EQ(nbs.front().id, 3U);  // the row itself wins
   }
+}
+
+TEST(ConcurrencySmoke, IvfBuildAndQueryUnderThreadPool) {
+  // The parallel paths of the IVF build (k-means assignment sweeps) plus
+  // concurrent read-only queries against the finished index.
+  embedding::EmbeddingMatrix m(3000, 12);
+  util::Pcg32 rng(79);
+  m.init_uniform(rng);
+  util::ThreadPool pool(4);
+  embedding::IvfParams params;
+  params.nlists = 24;
+  embedding::IvfKnnIndex index(m, params, &pool);
+  ASSERT_EQ(index.nlists(), 24U);
+
+  std::vector<float> q(m.row(7).begin(), m.row(7).end());
+  auto want = index.query(q, 10);
+  std::atomic<int> mismatches{0};
+  pool.parallel_for_chunked(64, 8, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      auto got = index.query(q, 10);
+      if (got.size() != want.size()) {
+        mismatches.fetch_add(1);
+        continue;
+      }
+      for (std::size_t r = 0; r < got.size(); ++r) {
+        if (got[r].id != want[r].id ||
+            got[r].similarity != want[r].similarity) {
+          mismatches.fetch_add(1);
+          break;
+        }
+      }
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 TEST(ConcurrencySmoke, ChunkedDispatchCoversAllIndices) {

@@ -140,6 +140,41 @@ TEST(HttpTelemetry, StatuszCarriesCallerInfo) {
   EXPECT_NE(reply.body.find("users"), std::string::npos);
 }
 
+TEST(HttpTelemetry, StatusProvidersRenderLiveRows) {
+  MetricsRegistry reg;
+  HttpServerOptions options;
+  options.status_info = {{"static_key", "static_value"}};
+  HttpServer server(options, &reg);
+  int backend_gen = 0;
+  server.add_status_provider(
+      [&backend_gen]() -> std::vector<std::pair<std::string, std::string>> {
+        return {{"knn_backend", backend_gen == 0 ? "exact" : "ivf"},
+                {"knn_nlists", "686"}};
+      });
+  auto reply = server.handle("GET", "/statusz");
+  EXPECT_EQ(reply.status, 200);
+  EXPECT_NE(reply.body.find("static_key"), std::string::npos);
+  EXPECT_NE(reply.body.find("exact"), std::string::npos);
+  EXPECT_NE(reply.body.find("knn_nlists"), std::string::npos);
+
+  // Providers are re-invoked per scrape: a backend swap (e.g. a retrain
+  // switching exact -> ivf) shows up without re-registering anything.
+  backend_gen = 1;
+  reply = server.handle("GET", "/statusz");
+  EXPECT_NE(reply.body.find("ivf"), std::string::npos) << reply.body;
+
+  // A throwing provider degrades to an error row, never a dead page.
+  server.add_status_provider(
+      []() -> std::vector<std::pair<std::string, std::string>> {
+        throw std::runtime_error("backend gone");
+      });
+  reply = server.handle("GET", "/statusz");
+  EXPECT_EQ(reply.status, 200);
+  EXPECT_NE(reply.body.find("status provider failed"), std::string::npos)
+      << reply.body;
+  EXPECT_NE(reply.body.find("backend gone"), std::string::npos);
+}
+
 TEST(HttpTelemetry, CollectorsRunBeforeMetricsRender) {
   MetricsRegistry reg;
   Gauge& depth = reg.gauge("netobs_test_queue_depth", "help");

@@ -123,6 +123,43 @@ TEST(KnnOracle, ShardedScanIsBitIdenticalToSerial) {
   for (const auto& nb : nb_sharded) EXPECT_NE(nb.id, 5U);
 }
 
+TEST(KnnOracle, ShardedBatchIsBitIdenticalToSerialBatch) {
+  auto m = random_matrix(1200, 20, 23);
+  CosineKnnIndex serial(m);
+  CosineKnnIndex sharded(m);
+  util::ThreadPool pool(4);
+  sharded.set_thread_pool(&pool, 64);  // rows >= 2 * 64 => sharded path
+
+  util::Pcg32 rng(29);
+  std::vector<std::vector<float>> queries;
+  for (int i = 0; i < 7; ++i) {
+    std::vector<float> q(20);
+    for (auto& v : q) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    queries.push_back(std::move(q));
+  }
+  queries.insert(queries.begin() + 3,
+                 std::vector<float>(20, 0.0F));  // zero-norm mid-batch
+
+  auto got = sharded.query_batch(queries, 30);
+  auto want = serial.query_batch(queries, 30);
+  ASSERT_EQ(got.size(), queries.size());
+  ASSERT_EQ(want.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if (i == 3) {
+      EXPECT_TRUE(got[i].empty());
+      EXPECT_TRUE(want[i].empty());
+      continue;
+    }
+    expect_identical(got[i], want[i], "sharded batch");
+    // ... and both agree with the single-query serial scan and the naive
+    // reference, closing the loop across all four paths.
+    expect_identical(got[i], serial.query(queries[i], 30),
+                     "sharded-batch-vs-query");
+    expect_identical(got[i], naive_topk(m, queries[i], 30),
+                     "sharded-batch-vs-naive");
+  }
+}
+
 TEST(KnnOracle, TiesBreakByAscendingId) {
   // Five identical rows plus one orthogonal row: the tie group must come
   // back in ascending id order on every path.

@@ -305,6 +305,72 @@ TEST(ProfilingService, BatchedUserProfilesMatchSerial) {
                std::logic_error);
 }
 
+TEST(ProfilingService, IvfBackendWithFullProbeMatchesExactProfiles) {
+  // Same data, two services: exact backend vs IVF configured to probe every
+  // list with a saturated re-rank pool — the profiles must be identical
+  // float for float, and knn_status() must describe the live backend.
+  ontology::HostLabeler labeler(2);
+  labeler.set_label("travel-a.com", {1.0F, 0.0F});
+  labeler.set_label("sport-a.com", {0.0F, 1.0F});
+  ServiceParams params;
+  params.sgns.dim = 12;
+  params.sgns.epochs = 10;
+  params.vocab.min_count = 1;
+  params.vocab.subsample_threshold = 0.0;
+  ServiceParams ivf_params = params;
+  ivf_params.knn_backend = embedding::KnnBackend::kIvf;
+  ivf_params.ivf.nprobe = 1U << 20;  // clamped to nlists: probe everything
+  ivf_params.ivf.rerank = 1U << 20;  // re-rank the whole candidate pool
+
+  ProfilingService exact(labeler, nullptr, params);
+  ProfilingService approx(labeler, nullptr, ivf_params);
+  EXPECT_EQ(exact.knn_backend(), embedding::KnnBackend::kExact);
+  EXPECT_EQ(approx.knn_backend(), embedding::KnnBackend::kIvf);
+
+  for (int rep = 0; rep < 50; ++rep) {
+    util::Timestamp base = rep * 10 * util::kMinute;
+    for (auto* svc : {&exact, &approx}) {
+      svc->ingest({{1, base + 1, "travel-a.com"},
+                   {1, base + 2, "travel-api.net"},
+                   {2, base + 1, "sport-a.com"},
+                   {2, base + 2, "sport-api.net"}});
+    }
+  }
+  ASSERT_TRUE(exact.retrain(0));
+  ASSERT_TRUE(approx.retrain(0));
+
+  util::Timestamp now = util::kDay + 5 * util::kMinute;
+  for (auto* svc : {&exact, &approx}) {
+    svc->ingest({{1, now - util::kMinute, "travel-api.net"},
+                 {2, now - util::kMinute, "sport-api.net"}});
+  }
+  for (std::uint32_t user : {1U, 2U}) {
+    auto pe = exact.profile_user(user, now);
+    auto pa = approx.profile_user(user, now);
+    ASSERT_EQ(pa.categories.size(), pe.categories.size());
+    for (std::size_t c = 0; c < pe.categories.size(); ++c) {
+      EXPECT_EQ(pa.categories[c], pe.categories[c])
+          << "user " << user << " category " << c;
+    }
+  }
+
+  // knn_status() rows: backend name always; IVF geometry + the int8 simd
+  // tier once the ivf backend is live.
+  auto find_row = [](const auto& rows, const std::string& key) {
+    for (const auto& [k, v] : rows) {
+      if (k == key) return v;
+    }
+    return std::string();
+  };
+  auto exact_rows = exact.knn_status();
+  EXPECT_EQ(find_row(exact_rows, "knn_backend"), "exact");
+  auto ivf_rows = approx.knn_status();
+  EXPECT_EQ(find_row(ivf_rows, "knn_backend"), "ivf");
+  EXPECT_FALSE(find_row(ivf_rows, "knn_nlists").empty());
+  EXPECT_FALSE(find_row(ivf_rows, "knn_nprobe").empty());
+  EXPECT_FALSE(find_row(ivf_rows, "simd_int8_tier").empty());
+}
+
 TEST(ProfilingService, RetrainFailsGracefullyOnEmptyDay) {
   ontology::HostLabeler labeler(2);
   ProfilingService service(labeler, nullptr);

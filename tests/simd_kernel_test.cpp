@@ -190,6 +190,41 @@ TEST(SimdKernels, MaskGeIsExactOnEveryTier) {
   }
 }
 
+TEST(SimdKernels, DotI8IsExactOnEveryTier) {
+  // Integer arithmetic has one right answer: every tier must equal the
+  // plain int32 reference exactly, for any length (the IVF candidate stage
+  // depends on this, not on a tolerance).
+  TierGuard guard;
+  Pcg32 rng(59);
+  for (std::size_t n : kLengths) {
+    std::vector<std::int8_t> a(n), b(n);
+    for (auto& v : a) {
+      v = static_cast<std::int8_t>(
+          static_cast<int>(rng.next_below(255)) - 127);
+    }
+    for (auto& v : b) {
+      v = static_cast<std::int8_t>(
+          static_cast<int>(rng.next_below(255)) - 127);
+    }
+    std::int32_t want = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      want += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
+    }
+    for (simd::Tier tier : available_tiers()) {
+      ASSERT_EQ(simd::force_tier(tier), tier);
+      EXPECT_EQ(simd::dot_i8(a.data(), b.data(), n), want)
+          << simd::tier_name(tier) << " n=" << n;
+    }
+  }
+  // Saturation-adjacent extremes: +/-127 codes across a full AVX2 block.
+  std::vector<std::int8_t> lo(64, -127), hi(64, 127);
+  for (simd::Tier tier : available_tiers()) {
+    ASSERT_EQ(simd::force_tier(tier), tier);
+    EXPECT_EQ(simd::dot_i8(lo.data(), hi.data(), 64), -127 * 127 * 64);
+    EXPECT_EQ(simd::dot_i8(hi.data(), hi.data(), 64), 127 * 127 * 64);
+  }
+}
+
 TEST(SimdKernels, ForceTierClampsToSupported) {
   TierGuard guard;
   simd::Tier got = simd::force_tier(simd::Tier::kAvx2);
