@@ -1,0 +1,120 @@
+// Heap-allocation counting for the allocs/event numbers in
+// BENCH_micro.json's ingest_throughput section.
+//
+// Usage: exactly one translation unit per binary defines
+// NETOBS_ALLOC_COUNT_IMPL before including this header — that TU provides
+// the program-wide replacement operator new/delete (replaceable allocation
+// functions must be defined exactly once per program). Every other includer
+// just reads the counter. Binaries that never define the macro still link;
+// allocations_now() then stays at 0 and alloc-derived metrics read as
+// "not measured".
+//
+// Under ASan/TSan/MSan the replacement is compiled out (the sanitizer
+// runtimes intercept the allocator themselves) and the counter stays 0.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace netobs::bench {
+
+inline std::atomic<std::uint64_t> g_heap_allocations{0};
+
+/// Total operator-new calls in this process so far (0 when the counting
+/// operator new is not linked in — see the header comment).
+inline std::uint64_t allocations_now() {
+  return g_heap_allocations.load(std::memory_order_relaxed);
+}
+
+}  // namespace netobs::bench
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#undef NETOBS_ALLOC_COUNT_IMPL
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#undef NETOBS_ALLOC_COUNT_IMPL
+#endif
+#endif
+
+#ifdef NETOBS_ALLOC_COUNT_IMPL
+
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+void* netobs_counted_alloc(std::size_t size) {
+  netobs::bench::g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void* netobs_counted_alloc_aligned(std::size_t size, std::size_t align) {
+  netobs::bench::g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
+                     size == 0 ? 1 : size) != 0) {
+    return nullptr;
+  }
+  return p;
+}
+
+}  // namespace
+
+// The replacements pair new->malloc with delete->free, so mixed
+// new/free-path ownership across TUs stays consistent. GCC cannot see that
+// pairing through the replacement and warns on every inlined delete; the
+// diagnostic is a false positive here.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+void* operator new(std::size_t size) {
+  if (void* p = netobs_counted_alloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  if (void* p = netobs_counted_alloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return netobs_counted_alloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return netobs_counted_alloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  if (void* p = netobs_counted_alloc_aligned(
+          size, static_cast<std::size_t>(align))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  if (void* p = netobs_counted_alloc_aligned(
+          size, static_cast<std::size_t>(align))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+#endif  // NETOBS_ALLOC_COUNT_IMPL

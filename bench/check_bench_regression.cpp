@@ -16,10 +16,14 @@
 // -DNETOBS_BENCH_GATE=ON; off by default because wall-clock numbers from a
 // loaded CI box would make tier-1 flaky.
 //
-// Two classes of absolute floors (never grandfathered by a stale
-// baseline): the exact-path speedups, and the IVF floors — recall@1000 >=
-// 0.98 at the default nprobe always, and ivf speedup >= 5.0 vs the blocked
-// heap at deployment scale (rows >= 400000).
+// Three classes of absolute floors (never grandfathered by a stale
+// baseline): the exact-path speedups; the IVF floors — recall@1000 >= 0.98
+// at the default nprobe always, and ivf speedup >= 5.0 vs the blocked heap
+// at deployment scale (rows >= 400000); and the sharded-ingest floors —
+// ideal speedup >= 3.0 at >= 4 shards always, measured wall-clock speedup
+// >= 3.0 where the box has >= shards hardware threads, zero event loss
+// under the block policy, and 1-shard output identical to the
+// single-threaded observer.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -27,6 +31,10 @@
 #include <string>
 #include <vector>
 
+// Program-wide counting allocator for the ingest allocs/event numbers.
+#define NETOBS_ALLOC_COUNT_IMPL
+#include "bench/alloc_count.hpp"
+#include "bench/ingest_baseline.hpp"
 #include "bench/micro_baseline.hpp"
 
 namespace {
@@ -108,8 +116,9 @@ int main(int argc, char** argv) {
   }
 
   bench::MicroBaselineResult r = bench::run_micro_baseline(opts);
+  bench::IngestBaselineResult ing = bench::run_ingest_baseline();
   if (update) {
-    if (!bench::write_micro_baseline_json(baseline_path, r)) return 1;
+    if (!bench::write_micro_baseline_json(baseline_path, r, ing)) return 1;
     std::cout << "[gate] baseline refreshed: " << baseline_path << "\n";
     return 0;
   }
@@ -124,6 +133,8 @@ int main(int argc, char** argv) {
       {"ivf_query_ms", r.ivf_s * 1e3, true},
       {"recall_at_1000", r.ivf_recall, false},
       {"speedup_vs_blocked_heap", r.ivf_speedup(), false},
+      {"ingest_singlethread_pps", ing.st_pps(), false},
+      {"ingest_speedup_ideal", ing.speedup_ideal(), false},
   };
 
   int failures = 0;
@@ -171,6 +182,38 @@ int main(int argc, char** argv) {
     std::cout << "[gate] note     ivf speedup " << r.ivf_speedup()
               << " informational only below 400000 rows (current "
               << r.rows << ")\n";
+  }
+  const double ingest_target = bench::IngestBaselineResult::speedup_target();
+  if (ing.ideal_speedup_enforced() && ing.speedup_ideal() < ingest_target) {
+    std::cerr << "[gate] REGRESSED ingest ideal speedup "
+              << ing.speedup_ideal() << " below the " << ingest_target
+              << " acceptance target at " << ing.shards << " shards\n";
+    ++failures;
+  }
+  if (ing.measured_speedup_enforced() &&
+      ing.speedup_measured() < ingest_target) {
+    std::cerr << "[gate] REGRESSED ingest measured speedup "
+              << ing.speedup_measured() << " below the " << ingest_target
+              << " acceptance target (" << ing.hardware_threads
+              << " hw threads, " << ing.shards << " shards)\n";
+    ++failures;
+  } else if (!ing.measured_speedup_enforced()) {
+    std::cout << "[gate] note     ingest measured speedup "
+              << ing.speedup_measured()
+              << " informational only: " << ing.hardware_threads
+              << " hw thread(s) < " << ing.shards
+              << " shards (ideal speedup " << ing.speedup_ideal()
+              << " is enforced)\n";
+  }
+  if (ing.dropped != 0) {
+    std::cerr << "[gate] REGRESSED ingest dropped " << ing.dropped
+              << " events under the block policy (must be 0)\n";
+    ++failures;
+  }
+  if (!ing.oneshard_identical) {
+    std::cerr << "[gate] REGRESSED 1-shard ingest output differs from the "
+                 "single-threaded observer\n";
+    ++failures;
   }
 
   if (failures > 0) {

@@ -15,6 +15,8 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "obs/export.hpp"
 #include "obs/http_server.hpp"
@@ -157,6 +159,21 @@ inline void attach_knn_status(const std::unique_ptr<obs::HttpServer>& server,
                               const Service& service) {
   if (server == nullptr) return;
   server->add_status_provider([&service] { return service.knn_status(); });
+}
+
+/// Publishes a live /statusz row from any object exposing status() as a
+/// one-line string (net::IngestPipeline): shard count, queue depth,
+/// delivered/dropped totals, distinct users/hostnames — re-read on every
+/// scrape. No-op without a server. The pipeline must outlive the server.
+template <typename Pipeline>
+inline void attach_ingest_status(
+    const std::unique_ptr<obs::HttpServer>& server,
+    const Pipeline& pipeline) {
+  if (server == nullptr) return;
+  server->add_status_provider([&pipeline] {
+    return std::vector<std::pair<std::string, std::string>>{
+        {"ingest", pipeline.status()}};
+  });
 }
 
 /// Blocks until stdin closes (EOF / Ctrl-D) so a user can curl the endpoint

@@ -1,0 +1,288 @@
+// The ingest_throughput section of --bench-baseline: packets-per-second of
+// the legacy single-threaded SniObserver vs the sharded IngestPipeline
+// (net/ingest.hpp) on the same synthetic ClientHello corpus, plus heap
+// allocations per delivered event on each path.
+//
+// Two speedups are recorded because they answer different questions:
+//   - speedup_measured: wall-clock ST time / wall-clock pipeline time. Only
+//     meaningful when the machine has at least `shards` hardware threads;
+//     on a smaller box the workers time-slice one core and the number
+//     measures the scheduler, not the design.
+//   - speedup_ideal: ST time / max per-shard *serial* time, using the same
+//     ShardEngine code the workers run. This is the parallel-section bound
+//     (Amdahl numerator) of the sharding itself — how evenly identity-key
+//     routing splits the work and how much per-packet cost the engine path
+//     sheds (no per-packet registry, interned events, open-addressed
+//     tables). It is machine-independent, so the >= 3x acceptance floor at
+//     >= 4 shards is enforced on every box; the measured speedup is gated
+//     only where hardware_concurrency() >= shards (the same scale-gating
+//     pattern as ivf_speedup_enforced()).
+//
+// The corpus is flow-realistic, not adversarial: every flow is a distinct
+// 5-tuple whose first segment(s) carry a real serialised ClientHello
+// (build_client_hello_record), a quarter of the flows split across two TCP
+// segments to exercise reassembly, and users/hostnames repeat with uniform
+// popularity so the intern pool sees the hit-dominated regime the paper's
+// ~1300-repeats-per-hostname deployment implies.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/alloc_count.hpp"
+#include "net/ingest.hpp"
+#include "net/observer.hpp"
+#include "net/tls.hpp"
+#include "util/rng.hpp"
+
+namespace netobs::bench {
+
+struct IngestBaselineOptions {
+  std::size_t flows = 150000;    ///< TLS flows in the corpus
+  std::size_t shards = 4;        ///< pipeline width under test
+  std::size_t users = 512;       ///< distinct senders (MAC-identified)
+  std::size_t hostnames = 4096;  ///< distinct SNI values
+  std::uint64_t seed = 2021;
+};
+
+struct IngestBaselineResult {
+  std::size_t packets = 0;
+  std::size_t flows = 0;
+  std::size_t shards = 0;
+  std::size_t events = 0;  ///< hostname events per full pass
+  double st_s = 0.0;                ///< single-threaded SniObserver pass
+  double mt_wall_s = 0.0;           ///< sharded pipeline push+flush
+  double shard_serial_max_s = 0.0;  ///< slowest shard, run serially
+  double shard_serial_sum_s = 0.0;  ///< all shards, run serially
+  /// Heap allocations per delivered event; -1 when the counting allocator
+  /// is not linked into this binary (see bench/alloc_count.hpp).
+  double alloc_per_event_st = -1.0;
+  double alloc_per_event_sharded = -1.0;
+  std::uint64_t dropped = 0;        ///< pipeline events lost (kBlock: 0)
+  bool oneshard_identical = false;  ///< 1-shard pipeline == observer output
+  unsigned hardware_threads = 0;
+
+  double st_pps() const {
+    return st_s > 0.0 ? static_cast<double>(packets) / st_s : 0.0;
+  }
+  double mt_pps() const {
+    return mt_wall_s > 0.0 ? static_cast<double>(packets) / mt_wall_s : 0.0;
+  }
+  double speedup_measured() const {
+    return mt_wall_s > 0.0 ? st_s / mt_wall_s : 0.0;
+  }
+  double speedup_ideal() const {
+    return shard_serial_max_s > 0.0 ? st_s / shard_serial_max_s : 0.0;
+  }
+
+  /// The >= 3x floor is claimed "at >= 4 shards" (ISSUE acceptance); a
+  /// narrower pipeline cannot be expected to reach it.
+  bool ideal_speedup_enforced() const { return shards >= 4; }
+  /// Wall-clock gating: only boxes that can actually run the shards in
+  /// parallel are held to the floor.
+  bool measured_speedup_enforced() const {
+    return ideal_speedup_enforced() && hardware_threads >= shards;
+  }
+  static double speedup_target() { return 3.0; }
+};
+
+namespace ingest_detail {
+
+inline double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Builds the packet corpus: one ClientHello flow per `flows`, every 4th
+/// flow split across two segments, unique 5-tuples throughout, timestamps
+/// advancing ~256 flows per sim-second.
+inline std::vector<net::Packet> make_corpus(
+    const IngestBaselineOptions& opts) {
+  util::Pcg32 rng(opts.seed, 0x16e5);
+  std::vector<std::vector<std::uint8_t>> records;
+  records.reserve(opts.hostnames);
+  for (std::size_t h = 0; h < opts.hostnames; ++h) {
+    net::ClientHelloSpec spec;
+    spec.sni = "svc" + std::to_string(h) + ".topic" +
+               std::to_string(h % 330) + ".example.com";
+    records.push_back(net::build_client_hello_record(spec));
+  }
+  std::vector<net::Packet> packets;
+  packets.reserve(opts.flows + opts.flows / 4 + 1);
+  for (std::size_t i = 0; i < opts.flows; ++i) {
+    std::uint32_t user =
+        rng.next_below(static_cast<std::uint32_t>(opts.users));
+    std::uint32_t host =
+        rng.next_below(static_cast<std::uint32_t>(opts.hostnames));
+    net::Packet p;
+    p.timestamp = static_cast<util::Timestamp>(i / 256);
+    p.tuple.src_ip = 0x0A000000u + user;
+    // Flow-unique destination: the SNI comes from the payload, so the
+    // address only has to make the 5-tuple distinct.
+    p.tuple.dst_ip = 0xC0000000u + static_cast<std::uint32_t>(i);
+    p.tuple.src_port = static_cast<std::uint16_t>(1024 + (i & 0x7FFF));
+    p.tuple.dst_port = 443;
+    p.tuple.proto = net::Transport::kTcp;
+    p.src_mac = 0x02000000000ULL + user;
+    const auto& rec = records[host];
+    if (i % 4 == 0 && rec.size() > 40) {
+      p.payload.assign(rec.begin(), rec.begin() + 40);
+      net::Packet rest = p;
+      rest.payload.assign(rec.begin() + 40, rec.end());
+      packets.push_back(std::move(p));
+      packets.push_back(std::move(rest));
+    } else {
+      p.payload = rec;
+      packets.push_back(std::move(p));
+    }
+  }
+  return packets;
+}
+
+}  // namespace ingest_detail
+
+/// Runs the four measurements (ST pass, 1-shard identity oracle, per-shard
+/// serial pass, sharded wall-clock pass) on one shared corpus.
+inline IngestBaselineResult run_ingest_baseline(
+    const IngestBaselineOptions& opts = {}) {
+  using ingest_detail::seconds_since;
+
+  IngestBaselineResult result;
+  result.flows = opts.flows;
+  result.shards = opts.shards;
+  result.hardware_threads = std::thread::hardware_concurrency();
+
+  std::cerr << "[baseline] building " << opts.flows
+            << "-flow ClientHello corpus (" << opts.users << " users, "
+            << opts.hostnames << " hostnames)...\n";
+  std::vector<net::Packet> packets = ingest_detail::make_corpus(opts);
+  result.packets = packets.size();
+
+  net::IngestOptions pipe_opts;
+  pipe_opts.vantage = net::Vantage::kWifiProvider;
+
+  // Warm-up: touch the registry statics and the allocator pools outside the
+  // measured regions.
+  {
+    net::SniObserver warm(pipe_opts.vantage, pipe_opts.sni_options);
+    for (std::size_t i = 0; i < std::min<std::size_t>(packets.size(), 2048);
+         ++i) {
+      warm.observe(packets[i]);
+    }
+  }
+
+  // 1. The legacy path as it ships: one observer, owning-string events,
+  //    per-packet registry updates.
+  std::cerr << "[baseline] ingest: single-threaded observer pass...\n";
+  std::vector<net::HostnameEvent> st_events;
+  st_events.reserve(opts.flows);
+  std::uint64_t alloc0 = allocations_now();
+  auto t0 = std::chrono::steady_clock::now();
+  {
+    net::SniObserver observer(pipe_opts.vantage, pipe_opts.sni_options);
+    for (const net::Packet& p : packets) {
+      if (auto ev = observer.observe(p)) st_events.push_back(std::move(*ev));
+    }
+  }
+  result.st_s = seconds_since(t0);
+  std::uint64_t alloc_st = allocations_now() - alloc0;
+  result.events = st_events.size();
+  if (alloc_st > 0 && !st_events.empty()) {
+    result.alloc_per_event_st =
+        static_cast<double>(alloc_st) / static_cast<double>(st_events.size());
+  }
+
+  // 2. Identity oracle: a 1-shard pipeline must reproduce the observer's
+  //    event stream bit for bit (same ids, same order, same names).
+  std::cerr << "[baseline] ingest: 1-shard identity oracle...\n";
+  {
+    util::InternPool pool;
+    std::vector<net::InternedEvent> got;
+    got.reserve(st_events.size());
+    net::IngestOptions one = pipe_opts;
+    one.shards = 1;
+    net::IngestPipeline pipeline(
+        one, pool, [&](std::span<const net::InternedEvent> batch) {
+          got.insert(got.end(), batch.begin(), batch.end());
+        });
+    pipeline.push(packets);
+    pipeline.stop();
+    result.oneshard_identical = got.size() == st_events.size();
+    for (std::size_t i = 0; result.oneshard_identical && i < got.size();
+         ++i) {
+      result.oneshard_identical =
+          got[i].user_id == st_events[i].user_id &&
+          got[i].timestamp == st_events[i].timestamp &&
+          got[i].host_id != util::InternPool::kInvalidId &&
+          pool.name(got[i].host_id) == st_events[i].hostname;
+    }
+  }
+
+  // 3. Per-shard serial pass: the parallel-section bound. Same routing,
+  //    same engines, same intern pool type as the workers, run one shard
+  //    at a time on one core.
+  std::cerr << "[baseline] ingest: per-shard serial pass (" << opts.shards
+            << " shards)...\n";
+  {
+    std::vector<std::vector<const net::Packet*>> lanes(opts.shards);
+    for (const net::Packet& p : packets) {
+      lanes[net::IngestPipeline::shard_of(p, pipe_opts.vantage, opts.shards)]
+          .push_back(&p);
+    }
+    net::IngestOptions sharded = pipe_opts;
+    sharded.shards = opts.shards;
+    util::InternPool pool;
+    std::vector<net::InternedEvent> events;
+    events.reserve(result.events + 16);
+    std::size_t serial_events = 0;
+    std::uint64_t alloc1 = allocations_now();
+    for (std::size_t s = 0; s < opts.shards; ++s) {
+      net::ShardEngine engine(sharded, static_cast<std::uint32_t>(s), pool);
+      auto ts = std::chrono::steady_clock::now();
+      for (const net::Packet* p : lanes[s]) engine.process(*p, events);
+      double shard_s = seconds_since(ts);
+      result.shard_serial_sum_s += shard_s;
+      result.shard_serial_max_s =
+          std::max(result.shard_serial_max_s, shard_s);
+      serial_events += events.size();
+      events.clear();
+    }
+    std::uint64_t alloc_mt = allocations_now() - alloc1;
+    if (alloc_mt > 0 && serial_events > 0) {
+      result.alloc_per_event_sharded = static_cast<double>(alloc_mt) /
+                                       static_cast<double>(serial_events);
+    }
+  }
+
+  // 4. Sharded wall clock: the pipeline end to end under the lossless
+  //    policy. On boxes with fewer cores than shards this measures
+  //    time-slicing, not parallelism — reported, gated only when
+  //    measured_speedup_enforced().
+  std::cerr << "[baseline] ingest: " << opts.shards
+            << "-shard pipeline wall-clock pass...\n";
+  {
+    net::IngestOptions sharded = pipe_opts;
+    sharded.shards = opts.shards;
+    util::InternPool pool;
+    std::uint64_t delivered = 0;
+    net::IngestPipeline pipeline(
+        sharded, pool, [&](std::span<const net::InternedEvent> batch) {
+          delivered += batch.size();
+        });
+    auto tw = std::chrono::steady_clock::now();
+    pipeline.push(packets);
+    pipeline.flush();
+    result.mt_wall_s = seconds_since(tw);
+    pipeline.stop();
+    result.dropped = pipeline.stats().dropped;
+  }
+  return result;
+}
+
+}  // namespace netobs::bench

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/ingest_baseline.hpp"
 #include "embedding/ivf_index.hpp"
 #include "embedding/knn.hpp"
 #include "embedding/matrix.hpp"
@@ -297,10 +298,11 @@ inline MicroBaselineResult run_micro_baseline(
   return result;
 }
 
-/// Writes the BENCH_micro.json document. Returns false (with a message on
-/// stderr) when the file cannot be written.
+/// Writes the BENCH_micro.json document (kNN + ingest sections). Returns
+/// false (with a message on stderr) when the file cannot be written.
 inline bool write_micro_baseline_json(const std::string& path,
-                                      const MicroBaselineResult& r) {
+                                      const MicroBaselineResult& r,
+                                      const IngestBaselineResult& ing) {
   std::ofstream out(path);
   if (!out) {
     std::cerr << "[baseline] cannot write " << path << "\n";
@@ -344,6 +346,31 @@ inline bool write_micro_baseline_json(const std::string& path,
       << "_ns\": " << r.dot_best_ns << ",\n"
       << "    \"speedup\": " << r.dot_speedup() << "\n"
       << "  },\n"
+      << "  \"ingest_throughput\": {\n"
+      << "    \"packets\": " << ing.packets << ",\n"
+      << "    \"flows\": " << ing.flows << ",\n"
+      << "    \"events\": " << ing.events << ",\n"
+      << "    \"shards\": " << ing.shards << ",\n"
+      << "    \"hardware_threads\": " << ing.hardware_threads << ",\n"
+      << "    \"singlethread_ms\": " << ing.st_s * 1e3 << ",\n"
+      << "    \"ingest_singlethread_pps\": " << ing.st_pps() << ",\n"
+      << "    \"sharded_wall_ms\": " << ing.mt_wall_s * 1e3 << ",\n"
+      << "    \"ingest_sharded_pps\": " << ing.mt_pps() << ",\n"
+      << "    \"max_shard_serial_ms\": " << ing.shard_serial_max_s * 1e3
+      << ",\n"
+      << "    \"sum_shard_serial_ms\": " << ing.shard_serial_sum_s * 1e3
+      << ",\n"
+      << "    \"ingest_speedup_measured\": " << ing.speedup_measured()
+      << ",\n"
+      << "    \"ingest_speedup_ideal\": " << ing.speedup_ideal() << ",\n"
+      << "    \"alloc_per_event_singlethread\": " << ing.alloc_per_event_st
+      << ",\n"
+      << "    \"alloc_per_event_sharded\": " << ing.alloc_per_event_sharded
+      << ",\n"
+      << "    \"ingest_dropped\": " << ing.dropped << ",\n"
+      << "    \"oneshard_identical\": "
+      << (ing.oneshard_identical ? "true" : "false") << "\n"
+      << "  },\n"
       << "  \"acceptance\": {\n"
       << "    \"knn_speedup_target\": " << r.knn_speedup_target() << ",\n"
       << "    \"knn_speedup_met\": "
@@ -360,7 +387,29 @@ inline bool write_micro_baseline_json(const std::string& path,
       << "    \"ivf_speedup_met\": "
       << (!r.ivf_speedup_enforced() || r.ivf_speedup() >= 5.0 ? "true"
                                                               : "false")
-      << "\n"
+      << ",\n"
+      << "    \"ingest_speedup_target\": "
+      << IngestBaselineResult::speedup_target() << ",\n"
+      << "    \"ingest_ideal_speedup_enforced_at_shards\": 4,\n"
+      << "    \"ingest_ideal_speedup_met\": "
+      << (!ing.ideal_speedup_enforced() ||
+                  ing.speedup_ideal() >= IngestBaselineResult::speedup_target()
+              ? "true"
+              : "false")
+      << ",\n"
+      << "    \"ingest_measured_speedup_enforced\": "
+      << (ing.measured_speedup_enforced() ? "true" : "false") << ",\n"
+      << "    \"ingest_measured_speedup_met\": "
+      << (!ing.measured_speedup_enforced() ||
+                  ing.speedup_measured() >=
+                      IngestBaselineResult::speedup_target()
+              ? "true"
+              : "false")
+      << ",\n"
+      << "    \"ingest_zero_loss_met\": "
+      << (ing.dropped == 0 ? "true" : "false") << ",\n"
+      << "    \"ingest_oneshard_identical_met\": "
+      << (ing.oneshard_identical ? "true" : "false") << "\n"
       << "  }\n"
       << "}\n";
   return static_cast<bool>(out);

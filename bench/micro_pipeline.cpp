@@ -15,8 +15,14 @@
 #include <string>
 #include <vector>
 
+// This TU provides the program-wide counting allocator behind the
+// allocs/event numbers in the ingest_throughput baseline section.
+#define NETOBS_ALLOC_COUNT_IMPL
 #include "ads/ad_database.hpp"
+#include "bench/alloc_count.hpp"
+#include "bench/ingest_baseline.hpp"
 #include "bench/micro_baseline.hpp"
+#include "net/ingest.hpp"
 #include "bench/quality_probe.hpp"
 #include "embedding/ivf_index.hpp"
 #include "embedding/knn.hpp"
@@ -111,6 +117,39 @@ void BM_QuicInitialDecrypt(benchmark::State& state) {
                           static_cast<std::int64_t>(packet.size()));
 }
 BENCHMARK(BM_QuicInitialDecrypt);
+
+void BM_InternPoolHit(benchmark::State& state) {
+  // Steady-state cost of interning an already-seen hostname — the
+  // hit-dominated regime of the sharded ingest workers.
+  util::InternPool pool;
+  std::vector<std::string> hosts;
+  for (std::size_t i = 0; i < 64; ++i) {
+    hosts.push_back("svc" + std::to_string(i) + ".example.com");
+  }
+  for (const auto& h : hosts) pool.intern(h);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.intern(hosts[i & 63]));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_InternPoolHit);
+
+void BM_ExtractSniView(benchmark::State& state) {
+  // The allocation-free scanner the flow engines run per completed record.
+  net::ClientHelloSpec spec;
+  spec.sni = "api.bkng.azure.com";
+  auto record = net::build_client_hello_record(spec);
+  std::string scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::extract_sni_view(record, scratch));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(record.size()));
+}
+BENCHMARK(BM_ExtractSniView);
 
 void BM_ParseDnsQuery(benchmark::State& state) {
   net::DnsMessage msg;
@@ -311,9 +350,11 @@ BENCHMARK(BM_SgnsTrainingEpoch)->Unit(benchmark::kMillisecond);
 // check_bench_regression gate can re-run it bit-for-bit.
 
 int run_bench_baseline(const std::string& path,
-                       const bench::MicroBaselineOptions& opts) {
+                       const bench::MicroBaselineOptions& opts,
+                       const bench::IngestBaselineOptions& ingest_opts) {
   bench::MicroBaselineResult r = bench::run_micro_baseline(opts);
-  if (!bench::write_micro_baseline_json(path, r)) return 1;
+  bench::IngestBaselineResult ing = bench::run_ingest_baseline(ingest_opts);
+  if (!bench::write_micro_baseline_json(path, r, ing)) return 1;
   std::cout << "[baseline] fullsort " << r.fullsort_s * 1e3 << " ms, blocked "
             << r.blocked_s * 1e3 << " ms (x" << r.knn_speedup()
             << "), batch32 " << r.batch_per_query_s * 1e3 << " ms/query (x"
@@ -321,26 +362,39 @@ int run_bench_baseline(const std::string& path,
             << r.ivf_s * 1e3 << " ms/query (x" << r.ivf_speedup()
             << " vs blocked, recall@" << r.top_n << " " << r.ivf_recall
             << ", nlists=" << r.ivf_nlists << " nprobe=" << r.ivf_nprobe
-            << ")\n[baseline] wrote " << path << "\n";
+            << ")\n[baseline] ingest " << ing.packets << " pkts: "
+            << ing.st_pps() / 1e3 << " kpps 1-thread vs "
+            << ing.mt_pps() / 1e3 << " kpps " << ing.shards
+            << "-shard wall (x" << ing.speedup_measured() << " measured, x"
+            << ing.speedup_ideal() << " ideal, " << ing.hardware_threads
+            << " hw threads), dropped=" << ing.dropped
+            << ", 1-shard identical="
+            << (ing.oneshard_identical ? "yes" : "NO")
+            << ", allocs/event " << ing.alloc_per_event_st << " -> "
+            << ing.alloc_per_event_sharded << "\n[baseline] wrote " << path
+            << "\n";
   return 0;
 }
 
 }  // namespace
 
-// BENCHMARK_MAIN plus three extra flags. "--metrics-out[=PATH]": after the
+// BENCHMARK_MAIN plus a few extra flags. "--metrics-out[=PATH]": after the
 // suite runs, the registry (populated by the instrumented pipeline the
 // benchmarks drive) is dumped as a machine-readable artifact.
 // "--trace-out[=PATH]": enable tracing and dump the span tree at exit.
 // "--bench-baseline[=PATH]": skip the google-benchmark suite and run the
 // hand-timed kNN acceptance baseline instead, writing PATH (default
 // BENCH_micro.json). "--bench-rows=N": vocabulary size for the baseline
-// (default 50000; 470000 = the paper's deployment scale). All flags are
-// stripped before google-benchmark parses the rest.
+// (default 50000; 470000 = the paper's deployment scale).
+// "--ingest-flows=N" / "--ingest-shards=N": corpus size and pipeline width
+// for the baseline's ingest_throughput section. All flags are stripped
+// before google-benchmark parses the rest.
 int main(int argc, char** argv) {
   std::string metrics_out;
   std::string trace_out;
   std::string baseline_out;
   netobs::bench::MicroBaselineOptions baseline_opts;
+  netobs::bench::IngestBaselineOptions ingest_opts;
   bool run_baseline = false;
   std::vector<char*> args;
   args.reserve(static_cast<std::size_t>(argc));
@@ -362,6 +416,14 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--bench-rows=", 0) == 0) {
       baseline_opts.rows = static_cast<std::size_t>(std::strtoull(
           arg.c_str() + std::string("--bench-rows=").size(), nullptr, 10));
+    } else if (arg.rfind("--ingest-flows=", 0) == 0) {
+      ingest_opts.flows = static_cast<std::size_t>(std::strtoull(
+          arg.c_str() + std::string("--ingest-flows=").size(), nullptr, 10));
+    } else if (arg.rfind("--ingest-shards=", 0) == 0) {
+      ingest_opts.shards = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::strtoull(
+                 arg.c_str() + std::string("--ingest-shards=").size(),
+                 nullptr, 10)));
     } else {
       args.push_back(argv[i]);
     }
@@ -371,7 +433,7 @@ int main(int argc, char** argv) {
   }
   if (run_baseline) {
     if (baseline_out.empty()) baseline_out = "BENCH_micro.json";
-    return run_bench_baseline(baseline_out, baseline_opts);
+    return run_bench_baseline(baseline_out, baseline_opts, ingest_opts);
   }
   int filtered_argc = static_cast<int>(args.size());
   benchmark::Initialize(&filtered_argc, args.data());

@@ -37,7 +37,9 @@ int main(int argc, char** argv) {
     dns_events.insert(dns_events.end(), es.begin(), es.end());
   }
   std::cout << "resolver: " << dns_events.size() << " QNAMEs from "
-            << resolver.demux().distinct_users() << " subscribers\n";
+            << resolver.demux().distinct_users() << " subscribers ("
+            << resolver.stats().deduped
+            << " duplicate queries suppressed)\n";
 
   // Observer B: landline ISP watching the same wire behind NAT.
   net::SniObserver isp(net::Vantage::kLandlineIsp);

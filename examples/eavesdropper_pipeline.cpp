@@ -2,27 +2,43 @@
 //
 // Synthetic users browse -> every request is serialised as a genuine TLS
 // ClientHello (SNI in the handshake bytes, sometimes split across TCP
-// segments) -> a passive SniObserver at a WiFi vantage reassembles flows
-// and extracts hostnames -> the profiling back-end filters trackers,
-// retrains the SKIPGRAM model daily, and serves per-session profiles and
-// eavesdropper ad lists. Nothing in the observer or profiler ever touches
-// the simulator's ground truth.
+// segments) -> the sharded ingest pipeline at a WiFi vantage reassembles
+// flows, extracts hostnames, interns them, and hands batched events to the
+// profiling back-end, which filters trackers, retrains the SKIPGRAM model
+// daily, and serves per-session profiles and eavesdropper ad lists. Nothing
+// in the observer or profiler ever touches the simulator's ground truth.
+//
+// --ingest-shards=N sets the worker count (default 4; 1 reproduces the
+// single-threaded observer event stream bit for bit).
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <span>
+#include <string>
 
 #include "ads/ad_database.hpp"
 #include "bench/common.hpp"
-#include "net/observer.hpp"
+#include "net/ingest.hpp"
 #include "net/pcap.hpp"
 #include "obs/log.hpp"
 #include "profile/service.hpp"
 #include "synth/traffic.hpp"
+#include "util/intern_pool.hpp"
 #include "util/string_util.hpp"
 
 int main(int argc, char** argv) {
   using namespace netobs;
   constexpr const char* kSite = "examples.eavesdropper";
   auto cfg = bench::parse_config(argc, argv, {400, 4, 7, ""});
+  std::size_t ingest_shards = 4;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--ingest-shards=", 0) == 0) {
+      ingest_shards = static_cast<std::size_t>(std::strtoull(
+          arg.c_str() + std::string("--ingest-shards=").size(), nullptr, 10));
+      if (ingest_shards == 0) ingest_shards = 1;
+    }
+  }
   auto server = bench::serve_telemetry(cfg);
   if (server) server->health().set_status("model", false, "not trained yet");
   auto world = bench::make_world(cfg);
@@ -54,22 +70,8 @@ int main(int argc, char** argv) {
                "/tmp/netobs_capture.pcap ("
             << packets.size() << " frames)\n";
 
-  // --- Passive observation at a WiFi vantage (per-device MAC demux).
-  net::SniObserver observer(net::Vantage::kWifiProvider);
-  bench::StageTimer observe_timer("observe");
-  auto events = observer.observe_all(packets);
-  observe_timer.stop_and_report();
-  const auto& stats = observer.stats();
-  std::cout << "observer: " << stats.events << " SNI hostnames from "
-            << stats.flows << " flows ("
-            << observer.demux().distinct_users() << " distinct devices)\n";
-  obs::log_info(kSite, "observation pass done",
-                {{"events", std::to_string(stats.events)},
-                 {"flows", std::to_string(stats.flows)},
-                 {"devices",
-                  std::to_string(observer.demux().distinct_users())}});
-
-  // --- Back-end: blocklists, daily retraining, profiling.
+  // --- Back-end: blocklists, daily retraining, profiling. Constructed
+  // first because the ingest pipeline delivers straight into it.
   auto labeler = world.universe->make_labeler();
   filter::Blocklist blocklist;
   blocklist.add_hosts_file("trackers", world.universe->tracker_hosts_file());
@@ -81,7 +83,34 @@ int main(int argc, char** argv) {
   sp.sgns.epochs = 15;
   profile::ProfilingService service(labeler, &blocklist, sp);
   bench::attach_knn_status(server, service);
-  service.ingest(events);
+
+  // --- Passive observation at a WiFi vantage (per-device MAC demux),
+  // through the sharded ingest pipeline: packets are routed to per-shard
+  // flow tables by sender identity, hostnames are interned once, and the
+  // profiler receives batched 16-byte events instead of owning strings.
+  util::InternPool pool;
+  net::IngestOptions io;
+  io.shards = ingest_shards;
+  net::IngestPipeline pipeline(
+      io, pool, [&](std::span<const net::InternedEvent> batch) {
+        service.ingest_interned(batch, pool);
+      });
+  bench::attach_ingest_status(server, pipeline);
+  bench::StageTimer observe_timer("observe");
+  pipeline.push(packets);
+  pipeline.flush();
+  observe_timer.stop_and_report();
+  auto istats = pipeline.stats();
+  std::cout << "observer: " << istats.observer.events
+            << " SNI hostnames from " << istats.observer.flows << " flows ("
+            << istats.distinct_users << " distinct devices, "
+            << istats.shards << " shards, " << pool.size()
+            << " interned names)\n";
+  obs::log_info(kSite, "observation pass done",
+                {{"events", std::to_string(istats.observer.events)},
+                 {"flows", std::to_string(istats.observer.flows)},
+                 {"devices", std::to_string(istats.distinct_users)},
+                 {"shards", std::to_string(istats.shards)}});
   std::cout << "back-end: " << service.store().event_count()
             << " events kept, " << service.filtered_events()
             << " tracker connections dropped\n";

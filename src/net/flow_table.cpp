@@ -1,0 +1,156 @@
+#include "net/flow_table.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace netobs::net {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 16;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+FlowTable::FlowTable(std::size_t initial_capacity)
+    : slots_(round_up_pow2(initial_capacity)),
+      used_(slots_.size(), false) {}
+
+std::size_t FlowTable::find(const FiveTuple& key) const {
+  std::size_t slot = FiveTupleHash{}(key) & mask();
+  for (std::size_t dist = 0; dist <= mask(); ++dist) {
+    if (!used_[slot]) return kNone;
+    if (slots_[slot].key == key) return slot;
+    // Linear probing keeps clusters contiguous: once we have probed further
+    // than this entry's own displacement we cannot meet `key` any more.
+    if (probe_distance(slot) < dist) return kNone;
+    slot = (slot + 1) & mask();
+  }
+  return kNone;
+}
+
+std::size_t FlowTable::probe_distance(std::size_t slot) const {
+  std::size_t home = FiveTupleHash{}(slots_[slot].key) & mask();
+  return (slot + slots_.size() - home) & mask();
+}
+
+std::size_t FlowTable::insert(const FiveTuple& key, util::Timestamp now) {
+  if ((size_ + 1) * 10 > slots_.size() * 7) rehash(slots_.size() * 2);
+  FlowEntry incoming;
+  incoming.key = key;
+  incoming.last_seen = now;
+  incoming.phase = FlowPhase::kPending;
+  ++size_;
+  ++pending_;
+
+  // Robin-Hood insertion: displace entries that are closer to home than the
+  // incoming one, which keeps worst-case probe lengths tight.
+  std::size_t slot = FiveTupleHash{}(key) & mask();
+  std::size_t dist = 0;
+  std::size_t result = kNone;
+  for (;;) {
+    if (!used_[slot]) {
+      slots_[slot] = std::move(incoming);
+      used_[slot] = true;
+      if (result == kNone) result = slot;
+      return result;
+    }
+    std::size_t existing_dist = probe_distance(slot);
+    if (existing_dist < dist) {
+      std::swap(slots_[slot], incoming);
+      if (result == kNone) result = slot;
+      dist = existing_dist;
+    }
+    slot = (slot + 1) & mask();
+    ++dist;
+  }
+}
+
+void FlowTable::erase(std::size_t slot) {
+  if (slots_[slot].phase == FlowPhase::kPending) --pending_;
+  --size_;
+  // Backward-shift deletion: pull successors one step left until a hole or
+  // an entry already at its home slot.
+  std::size_t hole = slot;
+  for (;;) {
+    std::size_t next = (hole + 1) & mask();
+    if (!used_[next] || probe_distance(next) == 0) break;
+    slots_[hole] = std::move(slots_[next]);
+    hole = next;
+  }
+  slots_[hole] = FlowEntry{};
+  used_[hole] = false;
+  if (evict_cursor_ > hole) evict_cursor_ = hole;
+}
+
+void FlowTable::set_phase(std::size_t slot, FlowPhase phase) {
+  FlowEntry& e = slots_[slot];
+  if (e.phase == FlowPhase::kPending && phase != FlowPhase::kPending) {
+    --pending_;
+    e.buffer.clear();
+    e.buffer.shrink_to_fit();
+  } else if (e.phase != FlowPhase::kPending && phase == FlowPhase::kPending) {
+    ++pending_;
+  }
+  e.phase = phase;
+}
+
+bool FlowTable::evict_one_pending() {
+  if (pending_ == 0) return false;
+  for (std::size_t probed = 0; probed < slots_.size(); ++probed) {
+    std::size_t slot = evict_cursor_;
+    evict_cursor_ = (evict_cursor_ + 1) % slots_.size();
+    if (used_[slot] && slots_[slot].phase == FlowPhase::kPending) {
+      erase(slot);
+      return true;
+    }
+  }
+  return false;
+}
+
+FlowTable::SweepResult FlowTable::evict_idle(util::Timestamp cutoff) {
+  SweepResult result;
+  std::size_t slot = 0;
+  while (slot < slots_.size()) {
+    if (used_[slot] && slots_[slot].last_seen < cutoff) {
+      if (slots_[slot].phase == FlowPhase::kPending) {
+        ++result.pending;
+      } else {
+        ++result.done;
+      }
+      erase(slot);
+      // erase() may have shifted a successor into `slot`; re-examine it.
+      continue;
+    }
+    ++slot;
+  }
+  return result;
+}
+
+void FlowTable::rehash(std::size_t new_capacity) {
+  std::vector<FlowEntry> old_slots = std::move(slots_);
+  std::vector<bool> old_used = std::move(used_);
+  slots_.assign(new_capacity, FlowEntry{});
+  used_.assign(new_capacity, false);
+  std::size_t old_size = size_;
+  std::size_t old_pending = pending_;
+  size_ = 0;
+  pending_ = 0;
+  evict_cursor_ = 0;
+  for (std::size_t i = 0; i < old_slots.size(); ++i) {
+    if (!old_used[i]) continue;
+    FlowEntry& e = old_slots[i];
+    std::size_t slot = insert(e.key, e.last_seen);
+    FlowPhase phase = e.phase;
+    slots_[slot].buffer = std::move(e.buffer);
+    if (phase != FlowPhase::kPending) set_phase(slot, phase);
+  }
+  if (size_ != old_size || pending_ > old_pending) {
+    throw std::logic_error("FlowTable: rehash lost entries");
+  }
+}
+
+}  // namespace netobs::net

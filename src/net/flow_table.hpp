@@ -1,0 +1,93 @@
+// Open-addressed flow table for the observer hot path.
+//
+// Replaces the two std::unordered_maps the SNI observer used to keep per
+// flow (`flows_` for pending reassembly state, `done_` as a forever-growing
+// resolved set): one linear-probed, power-of-two table whose entries carry
+// a pending/done state, a last-seen timestamp, and the reassembly buffer.
+// Erasure uses backward-shift deletion (no tombstones), so lookup cost
+// stays proportional to genuine cluster length even under heavy churn.
+//
+// Memory is bounded two ways:
+//   - a cap on *pending* flows (kept from the old observer: an arbitrary
+//     pending victim is evicted when the cap is hit),
+//   - idle eviction: entries (pending or done) whose last_seen is older
+//     than the configured idle timeout are swept out, so a month-long
+//     capture cannot grow the resolved set without bound.
+//
+// Single-threaded by design — in the sharded ingest pipeline every worker
+// owns a private table, which is the whole point of sharding by flow key.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace netobs::net {
+
+/// Lifecycle of a tracked flow.
+enum class FlowPhase : std::uint8_t {
+  kPending,      ///< reassembling the head of the stream
+  kDoneEmitted,  ///< resolved, an event was emitted
+  kDoneDead,     ///< resolved as non-TLS / SNI-less / over budget
+};
+
+struct FlowEntry {
+  FiveTuple key;
+  util::Timestamp last_seen = 0;
+  FlowPhase phase = FlowPhase::kPending;
+  std::vector<std::uint8_t> buffer;  ///< only meaningful while kPending
+};
+
+class FlowTable {
+ public:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  explicit FlowTable(std::size_t initial_capacity = 1024);
+
+  /// Slot index of `key`, or kNone. Valid until the next insert/erase.
+  std::size_t find(const FiveTuple& key) const;
+
+  /// Inserts `key` (must be absent) and returns its slot index. May rehash.
+  std::size_t insert(const FiveTuple& key, util::Timestamp now);
+
+  FlowEntry& entry(std::size_t slot) { return slots_[slot]; }
+  const FlowEntry& entry(std::size_t slot) const { return slots_[slot]; }
+
+  /// Removes the entry at `slot` (backward-shift; other slot indices are
+  /// invalidated).
+  void erase(std::size_t slot);
+
+  /// Evicts one arbitrary pending flow (rotating scan, O(1) amortised).
+  /// Returns true when a victim was found.
+  bool evict_one_pending();
+
+  /// Removes every entry with last_seen < cutoff. Returns {pending, done}
+  /// eviction counts.
+  struct SweepResult {
+    std::size_t pending = 0;
+    std::size_t done = 0;
+  };
+  SweepResult evict_idle(util::Timestamp cutoff);
+
+  std::size_t size() const { return size_; }
+  std::size_t pending() const { return pending_; }
+  std::size_t done() const { return size_ - pending_; }
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Changes an entry's phase, keeping the pending count coherent.
+  void set_phase(std::size_t slot, FlowPhase phase);
+
+ private:
+  std::size_t probe_distance(std::size_t slot) const;
+  void rehash(std::size_t new_capacity);
+  std::size_t mask() const { return slots_.size() - 1; }
+
+  std::vector<FlowEntry> slots_;
+  std::vector<bool> used_;
+  std::size_t size_ = 0;
+  std::size_t pending_ = 0;
+  std::size_t evict_cursor_ = 0;
+};
+
+}  // namespace netobs::net

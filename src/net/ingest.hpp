@@ -1,0 +1,218 @@
+// Line-rate sharded ingest: packets -> interned hostname events.
+//
+// The single-threaded observers (net/observer.hpp) top out on one core
+// because every packet funnels through one flow table and every event
+// carries an owning std::string. This pipeline removes both limits without
+// changing what the profiler sees:
+//
+//   producer ──push()──> [shard router: identity_key % S]
+//        │ batches of Packets, one lane per shard
+//        v
+//   worker 0..S-1: private SniFlowEngine/DnsFlowEngine + private UserDemux
+//        │ InternedEvent{user_id, host_id, timestamp} (16-byte POD,
+//        │ hostname interned through a shared util::InternPool)
+//        v
+//   bounded MPSC EventRing  ──batched drain──>  consumer thread ──> Sink
+//
+// Identity guarantees (what makes the refactor safe):
+//   - packets are sharded by UserDemux::identity_key — the same key user
+//     ids are assigned from — so each sender's flows AND user state live on
+//     exactly one shard; no cross-thread state, no locks on the hot path;
+//   - shard s allocates user ids s, s+S, s+2S, ... (UserDemux stride), so
+//     ids never collide across shards and a 1-shard pipeline (stride 1)
+//     assigns exactly the ids the legacy observers would;
+//   - with shards=1 the event stream is bit-identical to running the
+//     observers directly; with shards>1 each user's event subsequence is
+//     unchanged (per-shard FIFO end to end), only the interleaving between
+//     users differs — and the profiler's SessionStore is per-user.
+//
+// Backpressure is explicit: kBlock (lossless; workers wait for the
+// consumer) or kDropOldest (bounded latency; oldest queued events are
+// discarded and counted in IngestStats::dropped).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/observer.hpp"
+#include "util/intern_pool.hpp"
+
+namespace netobs::net {
+
+/// What crosses the worker->profiler boundary: a 16-byte POD instead of an
+/// owning string. `host_id` resolves through the pipeline's InternPool.
+struct InternedEvent {
+  std::uint32_t user_id = 0;
+  util::InternPool::Id host_id = util::InternPool::kInvalidId;
+  util::Timestamp timestamp = 0;
+
+  bool operator==(const InternedEvent&) const = default;
+};
+
+enum class BackpressurePolicy {
+  kBlock,       ///< producer-side loss-free: workers wait for ring space
+  kDropOldest,  ///< bounded latency: discard the oldest queued events
+};
+
+struct IngestOptions {
+  std::size_t shards = 1;
+  Vantage vantage = Vantage::kWifiProvider;
+  bool sni = true;  ///< run the SNI/QUIC engine
+  bool dns = false; ///< run the DNS engine
+  SniObserverOptions sni_options;
+  DnsObserverOptions dns_options;
+  std::size_t ring_capacity = 1 << 14;  ///< events buffered toward the sink
+  std::size_t batch_size = 256;         ///< packets per worker hand-off
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  /// Sync per-shard deltas into the obs registry after every batch
+  /// (labelled netobs_ingest_* series). Off for allocation benchmarks.
+  bool registry_metrics = true;
+};
+
+/// Aggregated pipeline counters. Exact after flush(); a live snapshot
+/// otherwise (per-shard totals are synced at batch boundaries).
+struct IngestStats {
+  ObserverStats observer;       ///< summed across shards
+  std::uint64_t pushed = 0;     ///< packets accepted by push()
+  std::uint64_t delivered = 0;  ///< events handed to the sink
+  std::uint64_t dropped = 0;    ///< events discarded under kDropOldest
+  std::size_t shards = 0;
+  std::size_t queue_depth = 0;  ///< instantaneous ring occupancy
+  std::size_t distinct_users = 0;
+  std::size_t distinct_hostnames = 0;
+};
+
+/// Bounded multi-producer single-consumer ring of InternedEvents with
+/// batched push/drain. Producers are the shard workers; the consumer is
+/// the pipeline's sink thread.
+class EventRing {
+ public:
+  EventRing(std::size_t capacity, BackpressurePolicy policy);
+
+  /// Pushes a batch, blocking (kBlock) or discarding the oldest queued
+  /// events (kDropOldest) when full. Returns how many events were dropped
+  /// to make room. After close(), pushes are discarded entirely.
+  std::size_t push(std::span<const InternedEvent> batch);
+
+  /// Appends up to `max` events to `out`, blocking while the ring is empty
+  /// and open. Returns false once the ring is closed and drained.
+  bool drain(std::vector<InternedEvent>& out, std::size_t max);
+
+  void close();
+  std::size_t size() const;
+  std::uint64_t dropped() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::vector<InternedEvent> buf_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;   ///< index of the oldest event
+  std::size_t count_ = 0;
+  BackpressurePolicy policy_;
+  bool closed_ = false;
+  std::uint64_t dropped_ = 0;
+};
+
+/// One shard's synchronous core: private demux + engines + intern calls.
+/// Public so benchmarks can time per-shard work serially (the "ideal
+/// speedup" denominator) with exactly the code the workers run.
+class ShardEngine {
+ public:
+  ShardEngine(const IngestOptions& options, std::uint32_t shard_index,
+              util::InternPool& pool);
+
+  // The engines hold references into this object; it must not move.
+  ShardEngine(const ShardEngine&) = delete;
+  ShardEngine& operator=(const ShardEngine&) = delete;
+
+  /// Feeds one packet; appends the resulting events to `out`.
+  void process(const Packet& packet, std::vector<InternedEvent>& out);
+
+  const ObserverStats& stats() const { return stats_; }
+  const UserDemux& demux() const { return demux_; }
+  std::size_t pending_flows() const {
+    return sni_ ? sni_->pending_flows() : 0;
+  }
+
+ private:
+  util::InternPool& pool_;
+  UserDemux demux_;
+  ObserverStats stats_;
+  std::optional<SniFlowEngine> sni_;
+  std::optional<DnsFlowEngine> dns_;
+  std::vector<RawEvent> dns_raw_;
+};
+
+/// The multi-threaded pipeline. push()/flush()/stop() are single-producer:
+/// call them from one thread (the capture loop).
+class IngestPipeline {
+ public:
+  /// Receives batches of events on the consumer thread. The span is only
+  /// valid for the duration of the call.
+  using Sink = std::function<void(std::span<const InternedEvent>)>;
+
+  IngestPipeline(IngestOptions options, util::InternPool& pool, Sink sink);
+  ~IngestPipeline();
+
+  IngestPipeline(const IngestPipeline&) = delete;
+  IngestPipeline& operator=(const IngestPipeline&) = delete;
+
+  void push(const Packet& packet);
+  void push(std::span<const Packet> packets);
+
+  /// Blocks until every pushed packet has been processed and every
+  /// resulting event has been delivered to the sink (or counted dropped).
+  void flush();
+
+  /// flush() + join all threads. Idempotent; the destructor calls it.
+  void stop();
+
+  IngestStats stats() const;
+  std::size_t queue_depth() const { return ring_.size(); }
+  const IngestOptions& options() const { return options_; }
+  util::InternPool& pool() { return pool_; }
+
+  /// One-line summary for /statusz.
+  std::string status() const;
+
+  /// Which shard owns a packet's sender at this vantage.
+  static std::size_t shard_of(const Packet& packet, Vantage vantage,
+                              std::size_t shards);
+
+ private:
+  struct Worker;
+
+  void worker_loop(Worker& w);
+  void consumer_loop();
+  void enqueue_staging(Worker& w);
+  void sync_worker_metrics(Worker& w);
+
+  IngestOptions options_;
+  util::InternPool& pool_;
+  Sink sink_;
+  EventRing ring_;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::thread consumer_;
+
+  std::uint64_t pushed_ = 0;  ///< producer-thread only
+
+  mutable std::mutex consumer_mutex_;
+  std::condition_variable consumer_cv_;
+  std::uint64_t delivered_ = 0;  ///< guarded by consumer_mutex_
+  bool stopped_ = false;         ///< producer-thread only
+};
+
+}  // namespace netobs::net

@@ -1,6 +1,5 @@
 #include "net/observer.hpp"
 
-#include "net/dns.hpp"
 #include "net/quic.hpp"
 #include "net/tls.hpp"
 #include "obs/metrics.hpp"
@@ -22,6 +21,8 @@ struct NetMetrics {
   obs::Counter& sni_missing;
   obs::Counter& parse_failures;
   obs::Counter& flows_evicted;
+  obs::Counter& flows_idle_evicted;
+  obs::Counter& dns_deduped;
   obs::Gauge& pending_flows;
   obs::RateGauge packet_rate;
   obs::RateGauge event_rate;
@@ -41,6 +42,10 @@ struct NetMetrics {
                     "Flows/datagrams that failed TLS, QUIC or DNS parsing"),
         reg.counter("netobs_net_flows_evicted_total",
                     "Pending flows dropped by the flow-table cap"),
+        reg.counter("netobs_net_flows_idle_evicted_total",
+                    "Flow-table entries aged out by the idle timeout"),
+        reg.counter("netobs_net_dns_deduped_total",
+                    "DNS queries suppressed as duplicates within the window"),
         reg.gauge("netobs_net_pending_flows",
                   "TCP flows buffered awaiting a complete ClientHello"),
         obs::RateGauge(reg, "netobs_net_packets_per_second",
@@ -51,6 +56,15 @@ struct NetMetrics {
     return m;
   }
 };
+
+std::uint64_t qname_hash(std::string_view qname) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : qname) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
 
 }  // namespace
 
@@ -63,9 +77,9 @@ std::string ip_pseudo_hostname(std::uint32_t dst_ip) {
   return util::format("ip-%08x.addr", dst_ip);
 }
 
-std::uint32_t UserDemux::user_of(const Packet& packet) {
+std::uint64_t UserDemux::identity_key(const Packet& packet, Vantage vantage) {
   std::uint64_t key = 0;
-  switch (vantage_) {
+  switch (vantage) {
     case Vantage::kWifiProvider:
       key = packet.src_mac;
       break;
@@ -78,21 +92,55 @@ std::uint32_t UserDemux::user_of(const Packet& packet) {
   }
   // Tag the key domain so a MAC never collides with an IP if the vantage is
   // reconfigured between traces.
-  key = util::mix64(key ^ (static_cast<std::uint64_t>(vantage_) << 56));
-  auto [it, inserted] =
-      ids_.emplace(key, static_cast<std::uint32_t>(ids_.size()));
+  return util::mix64(key ^ (static_cast<std::uint64_t>(vantage) << 56));
+}
+
+std::uint32_t UserDemux::user_of(const Packet& packet) {
+  std::uint64_t key = identity_key(packet, vantage_);
+  auto [it, inserted] = ids_.emplace(key, next_id_);
+  if (inserted) next_id_ += stride_;
   return it->second;
 }
 
-SniObserver::SniObserver(Vantage vantage, SniObserverOptions options)
-    : options_(options), demux_(vantage) {}
+SniFlowEngine::SniFlowEngine(UserDemux& demux, ObserverStats& stats,
+                             SniObserverOptions options, bool registry_metrics)
+    : options_(options),
+      demux_(&demux),
+      stats_(&stats),
+      registry_metrics_(registry_metrics) {}
 
-std::optional<HostnameEvent> SniObserver::observe(const Packet& packet) {
-  auto& metrics = NetMetrics::get();
-  ++stats_.packets;
-  metrics.packets.inc();
-  metrics.packet_rate.record();
-  metrics.payload_bytes.inc(packet.payload.size());
+void SniFlowEngine::maybe_sweep(util::Timestamp now) {
+  if (options_.idle_timeout <= 0) return;
+  if (!saw_packet_) {
+    saw_packet_ = true;
+    max_ts_ = now;
+    last_sweep_ = now;
+    return;
+  }
+  if (now > max_ts_) max_ts_ = now;
+  if (max_ts_ - last_sweep_ < options_.sweep_interval) return;
+  last_sweep_ = max_ts_;
+  auto swept = table_.evict_idle(max_ts_ - options_.idle_timeout);
+  std::size_t total = swept.pending + swept.done;
+  if (total > 0) {
+    stats_->idle_evicted += total;
+    if (registry_metrics_) {
+      auto& metrics = NetMetrics::get();
+      metrics.flows_idle_evicted.inc(total);
+      metrics.pending_flows.set(static_cast<double>(table_.pending()));
+    }
+  }
+}
+
+std::optional<RawEvent> SniFlowEngine::observe(const Packet& packet) {
+  NetMetrics* metrics = registry_metrics_ ? &NetMetrics::get() : nullptr;
+  ++stats_->packets;
+  if (metrics) {
+    metrics->packets.inc();
+    metrics->packet_rate.record();
+    metrics->payload_bytes.inc(packet.payload.size());
+  }
+  maybe_sweep(packet.timestamp);
   if (packet.payload.empty()) return std::nullopt;
   // QUIC: the ClientHello arrives in a single UDP Initial datagram whose
   // keys an on-path observer can derive (Section 7.2; RFC 9001 §5.2).
@@ -101,101 +149,209 @@ std::optional<HostnameEvent> SniObserver::observe(const Packet& packet) {
         !looks_like_quic_initial(packet.payload)) {
       return std::nullopt;
     }
-    ++stats_.flows;
-    metrics.flows.inc();
+    ++stats_->flows;
+    if (metrics) metrics->flows.inc();
     auto view = decrypt_quic_initial(packet.payload);
     if (!view) {
-      ++stats_.not_tls;
-      metrics.parse_failures.inc();
+      ++stats_->not_tls;
+      if (metrics) metrics->parse_failures.inc();
       return std::nullopt;
     }
-    HostnameEvent event;
-    event.user_id = demux_.user_of(packet);
+    RawEvent event;
+    event.user_id = demux_->user_of(packet);
     event.timestamp = packet.timestamp;
     if (view->client_hello.sni) {
-      event.hostname = *view->client_hello.sni;
+      host_buf_ = *view->client_hello.sni;
     } else {
-      ++stats_.no_sni;
-      metrics.sni_missing.inc();
+      ++stats_->no_sni;
+      if (metrics) metrics->sni_missing.inc();
       if (!options_.ip_fallback) return std::nullopt;
-      event.hostname = ip_pseudo_hostname(packet.tuple.dst_ip);
+      host_buf_ = ip_pseudo_hostname(packet.tuple.dst_ip);
     }
-    ++stats_.events;
-    metrics.events.inc();
-    metrics.event_rate.record();
+    event.hostname = host_buf_;
+    ++stats_->events;
+    if (metrics) {
+      metrics->events.inc();
+      metrics->event_rate.record();
+    }
     return event;
   }
   if (packet.tuple.proto != Transport::kTcp) return std::nullopt;
-  if (done_.contains(packet.tuple)) return std::nullopt;
 
-  auto it = flows_.find(packet.tuple);
-  if (it == flows_.end()) {
-    if (flows_.size() >= options_.max_pending_flows) {
+  std::size_t slot = table_.find(packet.tuple);
+  if (slot != FlowTable::kNone) {
+    FlowEntry& e = table_.entry(slot);
+    e.last_seen = packet.timestamp;
+    // Flows already resolved (SNI emitted / classified non-TLS) stay in the
+    // table so later segments of the same connection are ignored cheaply.
+    if (e.phase != FlowPhase::kPending) return std::nullopt;
+  } else {
+    if (table_.pending() >= options_.max_pending_flows) {
       // Evict an arbitrary stale flow; a production observer would use LRU,
       // for the simulator any victim works and keeps memory bounded.
-      flows_.erase(flows_.begin());
-      ++stats_.evicted;
-      metrics.flows_evicted.inc();
+      if (table_.evict_one_pending()) {
+        ++stats_->evicted;
+        if (metrics) metrics->flows_evicted.inc();
+      }
     }
-    it = flows_.emplace(packet.tuple, FlowState{}).first;
-    ++stats_.flows;
-    metrics.flows.inc();
-    metrics.pending_flows.set(static_cast<double>(flows_.size()));
+    slot = table_.insert(packet.tuple, packet.timestamp);
+    ++stats_->flows;
+    if (metrics) {
+      metrics->flows.inc();
+      metrics->pending_flows.set(static_cast<double>(table_.pending()));
+    }
   }
-  FlowState& flow = it->second;
+  FlowEntry& flow = table_.entry(slot);
   flow.buffer.insert(flow.buffer.end(), packet.payload.begin(),
                      packet.payload.end());
 
-  SniResult result = extract_sni(flow.buffer);
+  SniViewResult result = extract_sni_view(flow.buffer, scratch_);
   switch (result.status) {
     case SniStatus::kNeedMoreData:
       if (flow.buffer.size() > options_.max_buffered_bytes) {
-        flows_.erase(it);
-        metrics.pending_flows.set(static_cast<double>(flows_.size()));
-        done_.emplace(packet.tuple, false);
-        ++stats_.not_tls;
-        metrics.parse_failures.inc();
+        table_.set_phase(slot, FlowPhase::kDoneDead);
+        if (metrics) {
+          metrics->pending_flows.set(static_cast<double>(table_.pending()));
+          metrics->parse_failures.inc();
+        }
+        ++stats_->not_tls;
       } else {
-        ++stats_.incomplete;
+        ++stats_->incomplete;
       }
       return std::nullopt;
     case SniStatus::kNotTls:
-      flows_.erase(it);
-      metrics.pending_flows.set(static_cast<double>(flows_.size()));
-      done_.emplace(packet.tuple, false);
-      ++stats_.not_tls;
-      metrics.parse_failures.inc();
+      table_.set_phase(slot, FlowPhase::kDoneDead);
+      if (metrics) {
+        metrics->pending_flows.set(static_cast<double>(table_.pending()));
+        metrics->parse_failures.inc();
+      }
+      ++stats_->not_tls;
       return std::nullopt;
     case SniStatus::kNoSni: {
-      flows_.erase(it);
-      metrics.pending_flows.set(static_cast<double>(flows_.size()));
-      done_.emplace(packet.tuple, false);
-      ++stats_.no_sni;
-      metrics.sni_missing.inc();
+      table_.set_phase(slot, FlowPhase::kDoneDead);
+      if (metrics) {
+        metrics->pending_flows.set(static_cast<double>(table_.pending()));
+        metrics->sni_missing.inc();
+      }
+      ++stats_->no_sni;
       if (!options_.ip_fallback) return std::nullopt;
-      ++stats_.events;
-      metrics.events.inc();
-      metrics.event_rate.record();
-      HostnameEvent ip_event;
-      ip_event.user_id = demux_.user_of(packet);
+      ++stats_->events;
+      if (metrics) {
+        metrics->events.inc();
+        metrics->event_rate.record();
+      }
+      RawEvent ip_event;
+      ip_event.user_id = demux_->user_of(packet);
       ip_event.timestamp = packet.timestamp;
-      ip_event.hostname = ip_pseudo_hostname(packet.tuple.dst_ip);
+      host_buf_ = ip_pseudo_hostname(packet.tuple.dst_ip);
+      ip_event.hostname = host_buf_;
       return ip_event;
     }
     case SniStatus::kFound:
       break;
   }
 
-  flows_.erase(it);
-  metrics.pending_flows.set(static_cast<double>(flows_.size()));
-  done_.emplace(packet.tuple, true);
-  ++stats_.events;
-  metrics.events.inc();
-  metrics.event_rate.record();
-  HostnameEvent event;
-  event.user_id = demux_.user_of(packet);
+  // The view may point into the flow buffer that set_phase() is about to
+  // release; move the name into engine-owned scratch first.
+  host_buf_.assign(result.sni);
+  table_.set_phase(slot, FlowPhase::kDoneEmitted);
+  if (metrics) {
+    metrics->pending_flows.set(static_cast<double>(table_.pending()));
+  }
+  ++stats_->events;
+  if (metrics) {
+    metrics->events.inc();
+    metrics->event_rate.record();
+  }
+  RawEvent event;
+  event.user_id = demux_->user_of(packet);
   event.timestamp = packet.timestamp;
-  event.hostname = std::move(result.sni);
+  event.hostname = host_buf_;
+  return event;
+}
+
+DnsFlowEngine::DnsFlowEngine(UserDemux& demux, ObserverStats& stats,
+                             DnsObserverOptions options, bool registry_metrics)
+    : options_(options),
+      demux_(&demux),
+      stats_(&stats),
+      registry_metrics_(registry_metrics) {}
+
+void DnsFlowEngine::observe(const Packet& packet, std::vector<RawEvent>& out) {
+  NetMetrics* metrics = registry_metrics_ ? &NetMetrics::get() : nullptr;
+  ++stats_->packets;
+  if (metrics) {
+    metrics->packets.inc();
+    metrics->packet_rate.record();
+    metrics->payload_bytes.inc(packet.payload.size());
+  }
+  if (packet.tuple.proto != Transport::kUdp || packet.tuple.dst_port != 53) {
+    return;
+  }
+  ++stats_->flows;
+  if (metrics) metrics->flows.inc();
+  try {
+    msg_ = parse_dns_message(packet.payload);
+  } catch (const ParseError&) {
+    ++stats_->not_tls;  // counted as unparseable
+    if (metrics) metrics->parse_failures.inc();
+    return;
+  }
+  if (msg_.is_response) return;
+  std::uint32_t user = demux_->user_of(packet);
+  std::uint64_t flow_hash = FiveTupleHash{}(packet.tuple);
+  for (const auto& q : msg_.questions) {
+    if (options_.dedupe_window > 0) {
+      std::uint64_t key = util::mix64(flow_hash ^ qname_hash(q.qname));
+      auto it = recent_.find(key);
+      if (it != recent_.end()) {
+        util::Timestamp last = it->second;
+        util::Timestamp delta =
+            packet.timestamp >= last ? packet.timestamp - last
+                                     : last - packet.timestamp;
+        if (delta <= options_.dedupe_window) {
+          ++stats_->deduped;
+          if (metrics) metrics->dns_deduped.inc();
+          continue;
+        }
+        it->second = packet.timestamp;
+      } else {
+        if (recent_.size() >= options_.max_dedupe_entries) {
+          // Prune everything outside the window; duplicates whose state is
+          // dropped here are merely re-emitted later, never lost.
+          util::Timestamp now = packet.timestamp;
+          std::erase_if(recent_, [&](const auto& kv) {
+            util::Timestamp d = now >= kv.second ? now - kv.second
+                                                 : kv.second - now;
+            return d > options_.dedupe_window;
+          });
+        }
+        recent_.emplace(key, packet.timestamp);
+      }
+    }
+    RawEvent e;
+    e.user_id = user;
+    e.timestamp = packet.timestamp;
+    e.hostname = q.qname;
+    out.push_back(e);
+    ++stats_->events;
+    if (metrics) {
+      metrics->events.inc();
+      metrics->event_rate.record();
+    }
+  }
+}
+
+SniObserver::SniObserver(Vantage vantage, SniObserverOptions options)
+    : demux_(vantage), engine_(demux_, stats_, options, true) {}
+
+std::optional<HostnameEvent> SniObserver::observe(const Packet& packet) {
+  auto raw = engine_.observe(packet);
+  if (!raw) return std::nullopt;
+  HostnameEvent event;
+  event.user_id = raw->user_id;
+  event.timestamp = raw->timestamp;
+  event.hostname.assign(raw->hostname);
   return event;
 }
 
@@ -208,39 +364,20 @@ std::vector<HostnameEvent> SniObserver::observe_all(
   return events;
 }
 
-DnsObserver::DnsObserver(Vantage vantage) : demux_(vantage) {}
+DnsObserver::DnsObserver(Vantage vantage, DnsObserverOptions options)
+    : demux_(vantage), engine_(demux_, stats_, options, true) {}
 
 std::vector<HostnameEvent> DnsObserver::observe(const Packet& packet) {
-  auto& metrics = NetMetrics::get();
-  ++stats_.packets;
-  metrics.packets.inc();
-  metrics.packet_rate.record();
-  metrics.payload_bytes.inc(packet.payload.size());
+  raw_.clear();
+  engine_.observe(packet, raw_);
   std::vector<HostnameEvent> events;
-  if (packet.tuple.proto != Transport::kUdp || packet.tuple.dst_port != 53) {
-    return events;
-  }
-  ++stats_.flows;
-  metrics.flows.inc();
-  DnsMessage msg;
-  try {
-    msg = parse_dns_message(packet.payload);
-  } catch (const ParseError&) {
-    ++stats_.not_tls;  // counted as unparseable
-    metrics.parse_failures.inc();
-    return events;
-  }
-  if (msg.is_response) return events;
-  std::uint32_t user = demux_.user_of(packet);
-  for (const auto& q : msg.questions) {
+  events.reserve(raw_.size());
+  for (const RawEvent& r : raw_) {
     HostnameEvent e;
-    e.user_id = user;
-    e.timestamp = packet.timestamp;
-    e.hostname = q.qname;
+    e.user_id = r.user_id;
+    e.timestamp = r.timestamp;
+    e.hostname.assign(r.hostname);
     events.push_back(std::move(e));
-    ++stats_.events;
-    metrics.events.inc();
-    metrics.event_rate.record();
   }
   return events;
 }

@@ -7,13 +7,23 @@
 //
 // Both demultiplex packets to observer-side user ids through a UserDemux
 // whose fidelity depends on the configured vantage point.
+//
+// Internally each observer is a thin wrapper over a *flow engine*
+// (SniFlowEngine / DnsFlowEngine): allocation-free cores that emit events
+// as string views and keep their per-flow state in an open-addressed
+// FlowTable. The sharded ingest pipeline (net/ingest.hpp) instantiates the
+// same engines — one pair per shard — so the single-threaded observers and
+// the multi-threaded pipeline run byte-identical logic.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "net/dns.hpp"
+#include "net/flow_table.hpp"
 #include "net/packet.hpp"
 
 namespace netobs::net {
@@ -26,18 +36,34 @@ enum class Vantage {
 };
 
 /// Maps packets to stable observer-side user ids according to the vantage.
-/// Ids are dense (0, 1, 2, ...) in order of first appearance.
+/// With the default (first_id=0, id_stride=1) ids are dense (0, 1, 2, ...)
+/// in order of first appearance. The sharded pipeline gives shard `s` of `S`
+/// a demux with (first_id=s, id_stride=S): since every sender is routed to
+/// exactly one shard by identity_key(), the strided sequences are disjoint
+/// and ids stay collision-free without any cross-thread coordination.
 class UserDemux {
  public:
-  explicit UserDemux(Vantage vantage) : vantage_(vantage) {}
+  explicit UserDemux(Vantage vantage, std::uint32_t first_id = 0,
+                     std::uint32_t id_stride = 1)
+      : vantage_(vantage),
+        next_id_(first_id),
+        stride_(id_stride == 0 ? 1 : id_stride) {}
 
   std::uint32_t user_of(const Packet& packet);
+
+  /// The mixed, vantage-dependent identity key of a packet's sender — what
+  /// user ids are keyed on. The ingest pipeline shards packets by this key,
+  /// which makes both flow state *and* user state shard-private (a flow's
+  /// five-tuple shares its src identity with its sender).
+  static std::uint64_t identity_key(const Packet& packet, Vantage vantage);
 
   std::size_t distinct_users() const { return ids_.size(); }
   Vantage vantage() const { return vantage_; }
 
  private:
   Vantage vantage_;
+  std::uint32_t next_id_;
+  std::uint32_t stride_;
   std::unordered_map<std::uint64_t, std::uint32_t> ids_;
 };
 
@@ -50,6 +76,8 @@ struct ObserverStats {
   std::size_t not_tls = 0;        ///< flow did not start with TLS
   std::size_t incomplete = 0;     ///< flows still waiting for bytes
   std::size_t evicted = 0;        ///< abandoned flows dropped by the cap
+  std::size_t idle_evicted = 0;   ///< flows aged out by the idle timeout
+  std::size_t deduped = 0;        ///< duplicate DNS queries suppressed
 };
 
 struct SniObserverOptions {
@@ -61,16 +89,123 @@ struct SniObserverOptions {
   /// used by the profiling algorithm" — the representation learner treats
   /// the IP token like any other hostname.
   bool ip_fallback = false;
+  /// Flows idle for longer than this (sim-time seconds) are swept from the
+  /// table — pending *and* resolved entries, so a month-long capture cannot
+  /// grow the resolved set without bound. 0 disables idle eviction.
+  util::Timestamp idle_timeout = 60;
+  /// Minimum sim-time between idle sweeps (a sweep walks the whole table).
+  util::Timestamp sweep_interval = 15;
+};
+
+struct DnsObserverOptions {
+  /// A query identical to one already seen on the same flow within this
+  /// window (sim-time seconds) is suppressed — resolvers are asked the same
+  /// qname in bursts (A + AAAA retries, renewals) and the profiler should
+  /// count intent, not retransmissions. 0 disables deduplication.
+  util::Timestamp dedupe_window = 5;
+  /// Bound on the dedupe memory; when exceeded, entries older than the
+  /// window are pruned (duplicates may then be re-emitted, never lost).
+  std::size_t max_dedupe_entries = 1 << 16;
 };
 
 /// The pseudo-hostname the IP fallback emits for a destination address.
 std::string ip_pseudo_hostname(std::uint32_t dst_ip);
+
+/// A hostname observation whose name is a *view* into engine-owned scratch
+/// storage: valid only until the next call into the engine that produced
+/// it. The ingest pipeline interns the view immediately; the observer
+/// wrappers copy it into an owning HostnameEvent.
+struct RawEvent {
+  std::uint32_t user_id = 0;
+  util::Timestamp timestamp = 0;
+  std::string_view hostname;
+};
+
+/// Allocation-free SNI-extraction core. Single-threaded; the caller owns
+/// the demux and stats so several engines can share one (observer wrappers)
+/// or each own a private pair (pipeline shards).
+class SniFlowEngine {
+ public:
+  /// `registry_metrics` selects per-packet obs-registry updates (observer
+  /// wrappers) vs none (pipeline workers, which batch-sync stat deltas).
+  SniFlowEngine(UserDemux& demux, ObserverStats& stats,
+                SniObserverOptions options, bool registry_metrics);
+
+  /// Feeds one packet; the returned view is valid until the next call.
+  std::optional<RawEvent> observe(const Packet& packet);
+
+  std::size_t pending_flows() const { return table_.pending(); }
+  std::size_t tracked_flows() const { return table_.size(); }
+  const FlowTable& table() const { return table_; }
+
+  /// Repoints the engine at a new demux/stats pair (used by the observer
+  /// wrappers' move operations, whose members the engine refers to).
+  void rebind(UserDemux& demux, ObserverStats& stats) {
+    demux_ = &demux;
+    stats_ = &stats;
+  }
+
+ private:
+  void maybe_sweep(util::Timestamp now);
+
+  SniObserverOptions options_;
+  UserDemux* demux_;
+  ObserverStats* stats_;
+  bool registry_metrics_;
+  FlowTable table_;
+  std::string scratch_;    ///< lowercase scratch for extract_sni_view
+  std::string host_buf_;   ///< owns QUIC / ip-fallback hostnames
+  util::Timestamp max_ts_ = 0;
+  util::Timestamp last_sweep_ = 0;
+  bool saw_packet_ = false;
+};
+
+/// Allocation-light DNS-extraction core (the parsed message is reused
+/// across calls; qname views point into it).
+class DnsFlowEngine {
+ public:
+  DnsFlowEngine(UserDemux& demux, ObserverStats& stats,
+                DnsObserverOptions options, bool registry_metrics);
+
+  /// Appends one RawEvent per non-duplicate question in a query datagram.
+  /// Views are valid until the next call.
+  void observe(const Packet& packet, std::vector<RawEvent>& out);
+
+  /// See SniFlowEngine::rebind.
+  void rebind(UserDemux& demux, ObserverStats& stats) {
+    demux_ = &demux;
+    stats_ = &stats;
+  }
+
+ private:
+  DnsObserverOptions options_;
+  UserDemux* demux_;
+  ObserverStats* stats_;
+  bool registry_metrics_;
+  DnsMessage msg_;
+  /// (flow ^ qname) hash -> timestamp of the last emitted occurrence.
+  std::unordered_map<std::uint64_t, util::Timestamp> recent_;
+};
 
 /// Extracts SNI hostnames from TCP flows.
 class SniObserver {
  public:
   explicit SniObserver(Vantage vantage,
                        SniObserverOptions options = SniObserverOptions());
+
+  SniObserver(SniObserver&& other) noexcept
+      : demux_(std::move(other.demux_)),
+        stats_(other.stats_),
+        engine_(std::move(other.engine_)) {
+    engine_.rebind(demux_, stats_);
+  }
+  SniObserver& operator=(SniObserver&& other) noexcept {
+    demux_ = std::move(other.demux_);
+    stats_ = other.stats_;
+    engine_ = std::move(other.engine_);
+    engine_.rebind(demux_, stats_);
+    return *this;
+  }
 
   /// Feeds one packet; returns an event when this packet completes a
   /// ClientHello carrying an SNI.
@@ -80,29 +215,40 @@ class SniObserver {
   std::vector<HostnameEvent> observe_all(const std::vector<Packet>& packets);
 
   const ObserverStats& stats() const { return stats_; }
-  std::size_t pending_flows() const { return flows_.size(); }
+  std::size_t pending_flows() const { return engine_.pending_flows(); }
+  /// All tracked flows, resolved ones included (bounded by idle eviction).
+  std::size_t tracked_flows() const { return engine_.tracked_flows(); }
   UserDemux& demux() { return demux_; }
 
  private:
-  struct FlowState {
-    std::vector<std::uint8_t> buffer;
-  };
-
-  SniObserverOptions options_;
   UserDemux demux_;
   ObserverStats stats_;
-  std::unordered_map<FiveTuple, FlowState, FiveTupleHash> flows_;
-  // Flows already resolved (SNI emitted / classified non-TLS): remembered so
-  // later segments of the same connection don't recreate state.
-  std::unordered_map<FiveTuple, bool, FiveTupleHash> done_;
+  SniFlowEngine engine_;
 };
 
 /// Extracts QNAMEs from UDP datagrams addressed to port 53.
 class DnsObserver {
  public:
-  explicit DnsObserver(Vantage vantage);
+  explicit DnsObserver(Vantage vantage,
+                       DnsObserverOptions options = DnsObserverOptions());
 
-  /// Returns one event per question in a well-formed query datagram.
+  DnsObserver(DnsObserver&& other) noexcept
+      : demux_(std::move(other.demux_)),
+        stats_(other.stats_),
+        engine_(std::move(other.engine_)),
+        raw_(std::move(other.raw_)) {
+    engine_.rebind(demux_, stats_);
+  }
+  DnsObserver& operator=(DnsObserver&& other) noexcept {
+    demux_ = std::move(other.demux_);
+    stats_ = other.stats_;
+    engine_ = std::move(other.engine_);
+    raw_ = std::move(other.raw_);
+    engine_.rebind(demux_, stats_);
+    return *this;
+  }
+
+  /// Returns one event per non-duplicate question in a query datagram.
   std::vector<HostnameEvent> observe(const Packet& packet);
 
   const ObserverStats& stats() const { return stats_; }
@@ -111,6 +257,8 @@ class DnsObserver {
  private:
   UserDemux demux_;
   ObserverStats stats_;
+  DnsFlowEngine engine_;
+  std::vector<RawEvent> raw_;
 };
 
 }  // namespace netobs::net

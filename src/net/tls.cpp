@@ -1,5 +1,7 @@
 #include "net/tls.hpp"
 
+#include <cctype>
+
 #include "util/string_util.hpp"
 
 namespace netobs::net {
@@ -202,8 +204,92 @@ std::size_t first_record_span(std::span<const std::uint8_t> stream_prefix) {
   return 5 + body;
 }
 
-SniResult extract_sni(std::span<const std::uint8_t> stream_prefix) {
-  SniResult result;
+namespace {
+
+// Walks the ClientHello structure in place without materialising any of it.
+// The sequence of reads and checks mirrors parse_client_hello_record /
+// parse_client_hello_body statement for statement so the two paths agree on
+// every malformed input (the robustness tests fuzz exactly this property).
+// Returns the first host_name entry of the first server_name extension as a
+// view into `record`, or nullopt for a well-formed hello without SNI.
+// Throws ParseError wherever the full parser would.
+std::optional<std::string_view> scan_client_hello_sni(
+    std::span<const std::uint8_t> record) {
+  ByteReader r(record);
+  auto content_type = r.get_u8();
+  if (content_type != static_cast<std::uint8_t>(ContentType::kHandshake)) {
+    throw ParseError("not a handshake record");
+  }
+  std::uint16_t version = r.get_u16();
+  if ((version >> 8) != 0x03) throw ParseError("bad record version");
+  std::uint16_t record_len = r.get_u16();
+  ByteReader body = r.sub_reader(record_len);
+
+  auto msg_type = body.get_u8();
+  if (msg_type != static_cast<std::uint8_t>(HandshakeType::kClientHello)) {
+    throw ParseError("not a ClientHello");
+  }
+  std::uint32_t hs_len = body.get_u24();
+  ByteReader hs = body.sub_reader(hs_len);
+
+  hs.get_u16();      // legacy_version
+  hs.get_bytes(32);  // random
+
+  std::uint8_t sid_len = hs.get_u8();
+  if (sid_len > 32) throw ParseError("ClientHello: session_id too long");
+  hs.get_bytes(sid_len);
+
+  std::uint16_t cs_len = hs.get_u16();
+  if (cs_len % 2 != 0) throw ParseError("ClientHello: odd cipher_suites len");
+  hs.get_bytes(cs_len);
+  if (cs_len == 0) throw ParseError("ClientHello: empty cipher_suites");
+
+  std::uint8_t comp_len = hs.get_u8();
+  hs.get_bytes(comp_len);
+  if (comp_len == 0) throw ParseError("ClientHello: empty compression_methods");
+
+  std::optional<std::string_view> sni;
+  if (hs.empty()) return sni;  // extensions are optional pre-1.3
+
+  std::uint16_t ext_total = hs.get_u16();
+  ByteReader exts = hs.sub_reader(ext_total);
+  while (!exts.empty()) {
+    std::uint16_t type = exts.get_u16();
+    std::uint16_t len = exts.get_u16();
+    auto ext_body = exts.get_bytes(len);
+    if (type == ExtensionType::kServerName) {
+      ByteReader sr(ext_body);
+      std::uint16_t list_len = sr.get_u16();
+      ByteReader list = sr.sub_reader(list_len);
+      while (!list.empty()) {
+        std::uint8_t name_type = list.get_u8();
+        std::uint16_t name_len = list.get_u16();
+        auto name = list.get_bytes(name_len);
+        if (name_type == kSniTypeHostName && !sni) {
+          sni = std::string_view(reinterpret_cast<const char*>(name.data()),
+                                 name.size());
+        }
+      }
+    } else if (type == ExtensionType::kAlpn) {
+      // Validation only (the full parser throws on truncated ALPN bodies);
+      // nothing is kept.
+      ByteReader ar(ext_body);
+      std::uint16_t list_len = ar.get_u16();
+      ByteReader list = ar.sub_reader(list_len);
+      while (!list.empty()) {
+        std::uint8_t len8 = list.get_u8();
+        list.get_bytes(len8);
+      }
+    }
+  }
+  return sni;
+}
+
+}  // namespace
+
+SniViewResult extract_sni_view(std::span<const std::uint8_t> stream_prefix,
+                               std::string& scratch) {
+  SniViewResult result;
   if (stream_prefix.empty()) {
     result.status = SniStatus::kNeedMoreData;
     return result;
@@ -223,17 +309,44 @@ SniResult extract_sni(std::span<const std::uint8_t> stream_prefix) {
     return result;
   }
   try {
-    ClientHello hello =
-        parse_client_hello_record(stream_prefix.subspan(0, span));
-    if (hello.sni) {
-      result.status = SniStatus::kFound;
-      result.sni = *hello.sni;
-    } else {
+    std::optional<std::string_view> sni =
+        scan_client_hello_sni(stream_prefix.subspan(0, span));
+    if (!sni) {
       result.status = SniStatus::kNoSni;
+      return result;
     }
+    // Same lowercasing as util::to_lower, but only copying into the caller's
+    // scratch when a byte actually changes — real-world SNIs are lowercase
+    // already, so the steady state is zero-copy.
+    bool needs_lower = false;
+    for (unsigned char c : *sni) {
+      if (static_cast<char>(std::tolower(c)) != static_cast<char>(c)) {
+        needs_lower = true;
+        break;
+      }
+    }
+    if (needs_lower) {
+      scratch.assign(*sni);
+      for (char& c : scratch) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+      result.sni = scratch;
+    } else {
+      result.sni = *sni;
+    }
+    result.status = SniStatus::kFound;
   } catch (const ParseError&) {
     result.status = SniStatus::kNotTls;
   }
+  return result;
+}
+
+SniResult extract_sni(std::span<const std::uint8_t> stream_prefix) {
+  std::string scratch;
+  SniViewResult view = extract_sni_view(stream_prefix, scratch);
+  SniResult result;
+  result.status = view.status;
+  if (view.status == SniStatus::kFound) result.sni.assign(view.sni);
   return result;
 }
 

@@ -106,10 +106,26 @@ struct SniResult {
   std::string sni;
 };
 
+/// Zero-copy outcome of the fast scanner: `sni` views into the caller's
+/// stream bytes (or into the scratch string passed to extract_sni_view when
+/// the wire name needed lowercasing) and is only valid while both live.
+struct SniViewResult {
+  SniStatus status = SniStatus::kNotTls;
+  std::string_view sni;
+};
+
 /// Extracts the SNI from the first bytes of a TCP stream without fully
 /// validating the handshake — the fast path a passive observer runs per flow.
 /// Handles ClientHellos split across TCP segments via kNeedMoreData.
 SniResult extract_sni(std::span<const std::uint8_t> stream_prefix);
+
+/// Allocation-free variant of extract_sni for the line-rate ingest path: the
+/// ClientHello structure is walked in place (same validation outcomes as
+/// extract_sni, which delegates here) and the host name is returned as a
+/// view instead of an owning string. `scratch` is reused storage the result
+/// borrows when the wire bytes contain uppercase characters.
+SniViewResult extract_sni_view(std::span<const std::uint8_t> stream_prefix,
+                               std::string& scratch);
 
 /// Returns the total length (record header + body) of the first TLS record,
 /// or 0 if the header itself is incomplete.

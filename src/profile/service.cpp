@@ -49,20 +49,53 @@ ProfilingService::ProfilingService(const ontology::HostLabeler& labeler,
                             "Users with at least one stored event");
 }
 
-void ProfilingService::ingest(const net::HostnameEvent& event) {
-  if (blocklist_ != nullptr && blocklist_->is_blocked(event.hostname)) {
+bool ProfilingService::ingest_one(std::uint32_t user,
+                                  util::Timestamp timestamp,
+                                  std::string_view hostname) {
+  if (blocklist_ != nullptr && blocklist_->is_blocked(hostname)) {
     dropped_->inc();
-    return;
+    return false;
   }
   ingested_->inc();
   ingest_rate_.record();
-  store_.ingest(event);
+  store_.ingest(user, timestamp, hostname);
+  return true;
+}
+
+void ProfilingService::sync_store_gauges() {
   store_events_->set(static_cast<double>(store_.event_count()));
   store_users_->set(static_cast<double>(store_.user_count()));
 }
 
+void ProfilingService::ingest(const net::HostnameEvent& event) {
+  ingest_one(event.user_id, event.timestamp, event.hostname);
+  sync_store_gauges();
+}
+
+void ProfilingService::ingest(std::uint32_t user, util::Timestamp timestamp,
+                              std::string_view hostname) {
+  ingest_one(user, timestamp, hostname);
+  sync_store_gauges();
+}
+
 void ProfilingService::ingest(const std::vector<net::HostnameEvent>& events) {
-  for (const auto& e : events) ingest(e);
+  for (const auto& e : events) ingest_one(e.user_id, e.timestamp, e.hostname);
+  sync_store_gauges();
+}
+
+void ProfilingService::ingest(std::span<const net::HostnameEvent> events) {
+  for (const auto& e : events) ingest_one(e.user_id, e.timestamp, e.hostname);
+  sync_store_gauges();
+}
+
+void ProfilingService::ingest_interned(
+    std::span<const net::InternedEvent> events,
+    const util::InternPool& pool) {
+  for (const auto& e : events) {
+    if (e.host_id == util::InternPool::kInvalidId) continue;
+    ingest_one(e.user_id, e.timestamp, pool.name(e.host_id));
+  }
+  sync_store_gauges();
 }
 
 bool ProfilingService::retrain(std::int64_t train_day) {

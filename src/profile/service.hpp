@@ -13,12 +13,14 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "embedding/ivf_index.hpp"
 #include "filter/blocklist.hpp"
+#include "net/ingest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/stats_stream.hpp"
 #include "profile/profiler.hpp"
@@ -55,6 +57,22 @@ class ProfilingService {
   /// Feeds observer events (blocked hostnames are silently dropped).
   void ingest(const net::HostnameEvent& event);
   void ingest(const std::vector<net::HostnameEvent>& events);
+
+  /// Batch entry points for the sharded ingest pipeline: no per-event
+  /// HostnameEvent materialisation, store-depth gauges updated once per
+  /// batch instead of once per event. Behaviour (blocklist included) is
+  /// identical to calling ingest() per event.
+  void ingest(std::span<const net::HostnameEvent> events);
+  void ingest(std::uint32_t user, util::Timestamp timestamp,
+              std::string_view hostname);
+
+  /// Interned-event batch: hostnames resolve through `pool` (the pipeline's
+  /// InternPool). The natural Sink for net::IngestPipeline:
+  ///   IngestPipeline::Sink sink = [&](std::span<const InternedEvent> b) {
+  ///     service.ingest_interned(b, pool);
+  ///   };
+  void ingest_interned(std::span<const net::InternedEvent> events,
+                       const util::InternPool& pool);
 
   /// Number of events dropped by the blocklist since this service was
   /// constructed. Thin reader over the registry counter
@@ -107,6 +125,12 @@ class ProfilingService {
   std::vector<std::pair<std::string, std::string>> knn_status() const;
 
  private:
+  /// Blocklist + store insert for one event, no gauge updates. Returns
+  /// whether the event was accepted.
+  bool ingest_one(std::uint32_t user, util::Timestamp timestamp,
+                  std::string_view hostname);
+  void sync_store_gauges();
+
   const ontology::HostLabeler* labeler_;
   const filter::Blocklist* blocklist_;
   ServiceParams params_;

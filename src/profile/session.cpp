@@ -13,13 +13,18 @@ SessionStore::SessionStore(util::Timestamp horizon) : horizon_(horizon) {
 }
 
 void SessionStore::ingest(const net::HostnameEvent& event) {
-  auto& visits = per_user_[event.user_id];
+  ingest(event.user_id, event.timestamp, event.hostname);
+}
+
+void SessionStore::ingest(std::uint32_t user, util::Timestamp timestamp,
+                          std::string_view hostname) {
+  auto& visits = per_user_[user];
   // Events are expected roughly in order; tolerate small reordering by
   // inserting at the back (queries sort nothing, they scan backwards).
-  visits.push_back({event.timestamp, event.hostname});
+  visits.push_back({timestamp, std::string(hostname)});
   ++event_count_;
   // Prune anything older than the horizon.
-  util::Timestamp cutoff = event.timestamp - horizon_;
+  util::Timestamp cutoff = timestamp - horizon_;
   while (!visits.empty() && visits.front().timestamp < cutoff) {
     visits.pop_front();
     --event_count_;

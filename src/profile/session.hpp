@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <deque>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -57,6 +58,12 @@ class SessionStore {
 
   void ingest(const net::HostnameEvent& event);
   void ingest(const std::vector<net::HostnameEvent>& events);
+
+  /// Field-wise variant for the interned ingest path: the hostname view is
+  /// copied into the store exactly once, with no intermediate
+  /// HostnameEvent materialisation.
+  void ingest(std::uint32_t user, util::Timestamp timestamp,
+              std::string_view hostname);
 
   /// The session of `user` at time `now` for the given window, applying the
   /// first-visit-only rule.

@@ -1,0 +1,107 @@
+#include "util/intern_pool.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace netobs::util {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::uint64_t hash_of(std::string_view s) {
+  // FNV-1a, then a 64-bit finaliser — short hostname keys, no seeds needed.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return mix64(h);
+}
+
+}  // namespace
+
+InternPool::InternPool(std::size_t shards)
+    : shard_mask_(round_up_pow2(shards == 0 ? 1 : shards) - 1),
+      shards_(new Shard[shard_mask_ + 1]),
+      chunks_(new std::atomic<Chunk*>[kMaxChunks]) {
+  for (std::size_t i = 0; i < kMaxChunks; ++i) {
+    chunks_[i].store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+InternPool::~InternPool() {
+  for (std::size_t i = 0; i < kMaxChunks; ++i) {
+    delete chunks_[i].load(std::memory_order_relaxed);
+  }
+}
+
+InternPool::Shard& InternPool::shard_of(std::string_view s) const {
+  // Use the high hash bits for the shard so the map's internal bucketing
+  // (low bits) stays independent of the shard choice.
+  return shards_[(hash_of(s) >> 56) & shard_mask_];
+}
+
+void InternPool::publish(Id id, const std::string* name) {
+  std::size_t chunk_index = id >> kChunkBits;
+  if (chunk_index >= kMaxChunks) {
+    throw std::length_error("InternPool: id space exhausted");
+  }
+  Chunk* chunk = chunks_[chunk_index].load(std::memory_order_acquire);
+  if (chunk == nullptr) {
+    std::lock_guard<std::mutex> lock(chunk_alloc_mutex_);
+    chunk = chunks_[chunk_index].load(std::memory_order_acquire);
+    if (chunk == nullptr) {
+      chunk = new Chunk();
+      chunks_[chunk_index].store(chunk, std::memory_order_release);
+    }
+  }
+  chunk->slots[id & (kChunkSize - 1)].store(name, std::memory_order_release);
+}
+
+InternPool::Id InternPool::intern(std::string_view s) {
+  Shard& shard = shard_of(s);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(s);
+  if (it != shard.index.end()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
+  shard.names.emplace_back(s);
+  const std::string& stored = shard.names.back();
+  Id id = next_id_.fetch_add(1, std::memory_order_acq_rel);
+  publish(id, &stored);
+  shard.index.emplace(std::string_view(stored), id);
+  bytes_.fetch_add(stored.size(), std::memory_order_relaxed);
+  return id;
+}
+
+std::optional<InternPool::Id> InternPool::find(std::string_view s) const {
+  Shard& shard = shard_of(s);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(s);
+  if (it == shard.index.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& InternPool::name(Id id) const {
+  std::size_t chunk_index = id >> kChunkBits;
+  const Chunk* chunk = chunk_index < kMaxChunks
+                           ? chunks_[chunk_index].load(std::memory_order_acquire)
+                           : nullptr;
+  const std::string* s =
+      chunk != nullptr
+          ? chunk->slots[id & (kChunkSize - 1)].load(std::memory_order_acquire)
+          : nullptr;
+  if (s == nullptr) {
+    throw std::out_of_range("InternPool::name: unknown id");
+  }
+  return *s;
+}
+
+}  // namespace netobs::util

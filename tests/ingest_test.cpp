@@ -1,0 +1,623 @@
+// Tests for the sharded ingest pipeline (net/ingest.hpp) and its parts:
+// the hostname intern pool, the open-addressed flow table, the observers'
+// idle-eviction / DNS-dedupe satellites, and the end-to-end identity
+// guarantees (1-shard output bit-identical to the single-threaded
+// observers; identical user profiles under both ingest modes).
+//
+// The IngestConcurrency suite is part of the sanitizer_smoke ctest: it
+// exercises the worker/consumer/interning hot paths under TSan.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/dns.hpp"
+#include "net/flow_table.hpp"
+#include "net/ingest.hpp"
+#include "net/observer.hpp"
+#include "net/tls.hpp"
+#include "ontology/category_tree.hpp"
+#include "profile/service.hpp"
+#include "util/intern_pool.hpp"
+
+namespace netobs::net {
+namespace {
+
+Packet tls_packet(std::uint32_t src_ip, std::uint64_t mac,
+                  const std::string& host, util::Timestamp ts = 0,
+                  std::uint16_t src_port = 40000,
+                  std::uint32_t dst_ip = 0x01010101) {
+  Packet p;
+  p.timestamp = ts;
+  p.tuple = {src_ip, dst_ip, src_port, 443, Transport::kTcp};
+  p.src_mac = mac;
+  p.subscriber_id = mac;
+  ClientHelloSpec spec;
+  spec.sni = host;
+  p.payload = build_client_hello_record(spec);
+  return p;
+}
+
+Packet dns_packet(std::uint32_t src_ip, std::uint64_t mac,
+                  const std::string& qname, util::Timestamp ts,
+                  std::uint16_t src_port = 5353) {
+  Packet p;
+  p.timestamp = ts;
+  p.tuple = {src_ip, 0x08080808, src_port, 53, Transport::kUdp};
+  p.src_mac = mac;
+  p.subscriber_id = mac;
+  DnsMessage msg;
+  msg.questions.push_back({qname, DnsType::kA, 1});
+  p.payload = build_dns_query(msg);
+  return p;
+}
+
+// --- InternPool -----------------------------------------------------------
+
+TEST(InternPool, DenseIdsAndLockFreeResolution) {
+  util::InternPool pool;
+  EXPECT_EQ(pool.intern("a.com"), 0U);
+  EXPECT_EQ(pool.intern("b.com"), 1U);
+  EXPECT_EQ(pool.intern("c.com"), 2U);
+  EXPECT_EQ(pool.intern("b.com"), 1U);  // second sight: same id
+  EXPECT_EQ(pool.size(), 3U);
+  EXPECT_EQ(pool.hits(), 1U);
+  EXPECT_EQ(pool.misses(), 3U);
+  EXPECT_EQ(pool.name(0), "a.com");
+  EXPECT_EQ(pool.name(2), "c.com");
+  EXPECT_GT(pool.bytes(), 0U);
+  ASSERT_TRUE(pool.find("a.com").has_value());
+  EXPECT_EQ(*pool.find("a.com"), 0U);
+  EXPECT_FALSE(pool.find("never-seen.com").has_value());
+  EXPECT_THROW(pool.name(99), std::out_of_range);
+  EXPECT_THROW(pool.name(util::InternPool::kInvalidId), std::out_of_range);
+}
+
+TEST(InternPool, SurvivesChunkBoundary) {
+  // The id directory is chunked at 4096 entries; cross the boundary and
+  // resolve everything back.
+  util::InternPool pool(1);
+  constexpr std::size_t kCount = 5000;
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(pool.intern("host" + std::to_string(i)), i);
+  }
+  EXPECT_EQ(pool.size(), kCount);
+  EXPECT_EQ(pool.name(4095), "host4095");
+  EXPECT_EQ(pool.name(4096), "host4096");
+  EXPECT_EQ(pool.name(kCount - 1), "host" + std::to_string(kCount - 1));
+}
+
+// --- FlowTable ------------------------------------------------------------
+
+FiveTuple tuple_n(std::uint32_t n) {
+  return {0x0A000000u + n, 0x01010101, static_cast<std::uint16_t>(1024 + n),
+          443, Transport::kTcp};
+}
+
+TEST(FlowTable, InsertFindEraseWithBackwardShift) {
+  FlowTable table(8);
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    std::size_t slot = table.insert(tuple_n(i), i);
+    table.entry(slot).buffer.push_back(static_cast<std::uint8_t>(i));
+  }
+  EXPECT_EQ(table.size(), 6U);
+  EXPECT_EQ(table.pending(), 6U);
+  std::size_t slot = table.find(tuple_n(3));
+  ASSERT_NE(slot, FlowTable::kNone);
+  table.erase(slot);
+  EXPECT_EQ(table.size(), 5U);
+  EXPECT_EQ(table.find(tuple_n(3)), FlowTable::kNone);
+  // Every other entry must survive the backward shift, data intact.
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    if (i == 3) continue;
+    std::size_t s = table.find(tuple_n(i));
+    ASSERT_NE(s, FlowTable::kNone) << "key " << i;
+    ASSERT_EQ(table.entry(s).buffer.size(), 1U);
+    EXPECT_EQ(table.entry(s).buffer[0], static_cast<std::uint8_t>(i));
+  }
+}
+
+TEST(FlowTable, RehashPreservesEntriesAndPhases) {
+  FlowTable table(4);  // force several rehashes
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    std::size_t slot = table.insert(tuple_n(i), i);
+    if (i % 3 == 0) table.set_phase(slot, FlowPhase::kDoneEmitted);
+  }
+  EXPECT_EQ(table.size(), 100U);
+  EXPECT_EQ(table.pending(), 100U - 34U);
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    std::size_t s = table.find(tuple_n(i));
+    ASSERT_NE(s, FlowTable::kNone) << "key " << i;
+    EXPECT_EQ(table.entry(s).phase, i % 3 == 0 ? FlowPhase::kDoneEmitted
+                                               : FlowPhase::kPending);
+    EXPECT_EQ(table.entry(s).last_seen, static_cast<util::Timestamp>(i));
+  }
+}
+
+TEST(FlowTable, SetPhaseReleasesBufferAndPendingCount) {
+  FlowTable table(8);
+  std::size_t slot = table.insert(tuple_n(1), 0);
+  table.entry(slot).buffer.assign(512, 0xAB);
+  EXPECT_EQ(table.pending(), 1U);
+  table.set_phase(slot, FlowPhase::kDoneDead);
+  EXPECT_EQ(table.pending(), 0U);
+  EXPECT_EQ(table.done(), 1U);
+  EXPECT_TRUE(table.entry(slot).buffer.empty());
+  EXPECT_EQ(table.entry(slot).buffer.capacity(), 0U);
+}
+
+TEST(FlowTable, EvictOnePendingSkipsDoneEntries) {
+  FlowTable table(16);
+  std::size_t done_slot = table.insert(tuple_n(0), 0);
+  table.set_phase(done_slot, FlowPhase::kDoneEmitted);
+  table.insert(tuple_n(1), 0);
+  table.insert(tuple_n(2), 0);
+  EXPECT_TRUE(table.evict_one_pending());
+  EXPECT_TRUE(table.evict_one_pending());
+  EXPECT_FALSE(table.evict_one_pending());  // only the done entry remains
+  EXPECT_EQ(table.size(), 1U);
+  EXPECT_NE(table.find(tuple_n(0)), FlowTable::kNone);
+}
+
+TEST(FlowTable, EvictIdleSweepsBothPhases) {
+  FlowTable table(16);
+  table.insert(tuple_n(0), 10);                       // pending, idle
+  std::size_t s = table.insert(tuple_n(1), 20);       // done, idle
+  table.set_phase(s, FlowPhase::kDoneEmitted);
+  table.insert(tuple_n(2), 100);                      // pending, fresh
+  auto swept = table.evict_idle(50);
+  EXPECT_EQ(swept.pending, 1U);
+  EXPECT_EQ(swept.done, 1U);
+  EXPECT_EQ(table.size(), 1U);
+  EXPECT_NE(table.find(tuple_n(2)), FlowTable::kNone);
+}
+
+// --- Observer satellites: idle eviction, DNS dedupe -----------------------
+
+TEST(SniObserver, IdleEvictionAgesOutPendingAndResolvedFlows) {
+  SniObserver obs(Vantage::kWifiProvider);
+  // A pending stub (1 byte, never completes) and a resolved flow at t=0.
+  Packet stub = tls_packet(0x0A000001, 7, "stub.com", 0, 50001);
+  stub.payload = {0x16};
+  obs.observe(stub);
+  ASSERT_TRUE(obs.observe(tls_packet(0x0A000001, 7, "done.com", 0, 50002)));
+  EXPECT_EQ(obs.tracked_flows(), 2U);
+  EXPECT_EQ(obs.pending_flows(), 1U);
+
+  // 100 sim-seconds later (default idle_timeout 60) a new packet triggers
+  // the sweep: both the stub and the resolved entry are aged out.
+  ASSERT_TRUE(
+      obs.observe(tls_packet(0x0A000001, 7, "later.com", 100, 50003)));
+  EXPECT_EQ(obs.stats().idle_evicted, 2U);
+  EXPECT_EQ(obs.pending_flows(), 0U);
+  EXPECT_EQ(obs.tracked_flows(), 1U);  // just later.com
+}
+
+TEST(SniObserver, IdleTimeoutZeroDisablesSweeping) {
+  SniObserverOptions opts;
+  opts.idle_timeout = 0;
+  SniObserver obs(Vantage::kWifiProvider, opts);
+  Packet stub = tls_packet(0x0A000001, 7, "stub.com", 0, 50001);
+  stub.payload = {0x16};
+  obs.observe(stub);
+  obs.observe(tls_packet(0x0A000001, 7, "later.com", 1000, 50002));
+  EXPECT_EQ(obs.stats().idle_evicted, 0U);
+  EXPECT_EQ(obs.tracked_flows(), 2U);
+}
+
+TEST(SniObserver, ActiveFlowsSurviveTheSweep) {
+  SniObserver obs(Vantage::kWifiProvider);
+  // A long-lived resolved flow touched every 30 s stays tracked (its
+  // last_seen advances), so later segments keep hitting the done entry
+  // instead of being re-parsed as a fresh flow.
+  ASSERT_TRUE(obs.observe(tls_packet(0x0A000001, 7, "keep.com", 0, 50001)));
+  for (util::Timestamp t = 30; t <= 240; t += 30) {
+    Packet seg = tls_packet(0x0A000001, 7, "keep.com", t, 50001);
+    seg.payload = {0x17, 0x03, 0x03, 0x00, 0x01, 0x00};
+    EXPECT_FALSE(obs.observe(seg).has_value());
+  }
+  EXPECT_EQ(obs.tracked_flows(), 1U);
+  EXPECT_EQ(obs.stats().events, 1U);
+}
+
+TEST(DnsObserver, DedupesRepeatedQueriesWithinWindow) {
+  DnsObserver obs(Vantage::kWifiProvider);  // default window: 5 s
+  EXPECT_EQ(obs.observe(dns_packet(0x0A000001, 7, "x.com", 0)).size(), 1U);
+  // Same flow, same qname, inside the window: suppressed.
+  EXPECT_TRUE(obs.observe(dns_packet(0x0A000001, 7, "x.com", 3)).empty());
+  EXPECT_EQ(obs.stats().deduped, 1U);
+  // Beyond the window (measured from the last *emitted* occurrence): the
+  // query is intent again.
+  EXPECT_EQ(obs.observe(dns_packet(0x0A000001, 7, "x.com", 9)).size(), 1U);
+  // A different qname on the same flow is never a duplicate.
+  EXPECT_EQ(obs.observe(dns_packet(0x0A000001, 7, "y.com", 9)).size(), 1U);
+  // Same qname from a different flow (other src port) is not a duplicate.
+  EXPECT_EQ(
+      obs.observe(dns_packet(0x0A000001, 7, "x.com", 9, 5454)).size(), 1U);
+  EXPECT_EQ(obs.stats().deduped, 1U);
+  EXPECT_EQ(obs.stats().events, 4U);
+}
+
+TEST(DnsObserver, DedupeWindowZeroDisables) {
+  DnsObserverOptions opts;
+  opts.dedupe_window = 0;
+  DnsObserver obs(Vantage::kWifiProvider, opts);
+  EXPECT_EQ(obs.observe(dns_packet(0x0A000001, 7, "x.com", 0)).size(), 1U);
+  EXPECT_EQ(obs.observe(dns_packet(0x0A000001, 7, "x.com", 0)).size(), 1U);
+  EXPECT_EQ(obs.stats().deduped, 0U);
+}
+
+TEST(DnsObserver, DedupeMemoryIsBoundedAndPruned) {
+  DnsObserverOptions opts;
+  opts.max_dedupe_entries = 8;
+  DnsObserver obs(Vantage::kWifiProvider, opts);
+  // 32 distinct qnames at widening timestamps: the table must stay near the
+  // cap because stale entries are pruned, and nothing is suppressed.
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    auto events = obs.observe(
+        dns_packet(0x0A000001, 7, "q" + std::to_string(i) + ".com",
+                   static_cast<util::Timestamp>(i * 10)));
+    EXPECT_EQ(events.size(), 1U) << i;
+  }
+  EXPECT_EQ(obs.stats().deduped, 0U);
+  EXPECT_EQ(obs.stats().events, 32U);
+}
+
+// --- UserDemux vantage behaviour (satellite: NAT collapse, reorderings) ---
+
+TEST(UserDemux, LandlineNatCollapseInPipeline) {
+  // Two devices (distinct MACs) behind one NAT IP: a landline ISP vantage
+  // must see one user — including through the sharded pipeline, where the
+  // identity key that routes packets is the one ids are assigned from.
+  util::InternPool pool;
+  std::vector<InternedEvent> got;
+  IngestOptions opts;
+  opts.shards = 4;
+  opts.vantage = Vantage::kLandlineIsp;
+  IngestPipeline pipeline(opts, pool,
+                          [&](std::span<const InternedEvent> batch) {
+                            got.insert(got.end(), batch.begin(), batch.end());
+                          });
+  pipeline.push(tls_packet(0x0A000001, 111, "x.com", 0, 40001));
+  pipeline.push(tls_packet(0x0A000001, 222, "y.com", 1, 40002));
+  pipeline.push(tls_packet(0x0A000002, 333, "z.com", 2, 40003));
+  pipeline.stop();
+  ASSERT_EQ(got.size(), 3U);
+  std::map<std::string, std::uint32_t> user_of;
+  for (const auto& e : got) user_of[pool.name(e.host_id)] = e.user_id;
+  EXPECT_EQ(user_of["x.com"], user_of["y.com"]);  // NAT collapse
+  EXPECT_NE(user_of["x.com"], user_of["z.com"]);
+  EXPECT_EQ(pipeline.stats().distinct_users, 2U);
+}
+
+TEST(UserDemux, GroupingIsStableAcrossPacketReorderings) {
+  // Reordering packets may permute which dense id each sender gets, but
+  // never how packets group into users.
+  std::vector<Packet> packets;
+  for (std::uint32_t i = 0; i < 12; ++i) {
+    packets.push_back(tls_packet(0x0A000000 + i % 3, 100 + i % 3, "h.com", 0,
+                                 static_cast<std::uint16_t>(41000 + i)));
+  }
+  auto grouping = [](UserDemux& demux, const std::vector<Packet>& order) {
+    std::map<std::uint32_t, std::vector<std::uint64_t>> by_user;
+    for (const auto& p : order) by_user[demux.user_of(p)].push_back(p.src_mac);
+    std::vector<std::vector<std::uint64_t>> groups;
+    for (auto& [id, macs] : by_user) {
+      std::sort(macs.begin(), macs.end());
+      groups.push_back(macs);
+    }
+    std::sort(groups.begin(), groups.end());
+    return groups;
+  };
+  UserDemux forward_demux(Vantage::kWifiProvider);
+  auto forward = grouping(forward_demux, packets);
+  std::vector<Packet> reversed(packets.rbegin(), packets.rend());
+  UserDemux reversed_demux(Vantage::kWifiProvider);
+  EXPECT_EQ(forward, grouping(reversed_demux, reversed));
+  // Within one run, ids are stable: re-feeding the same packets changes
+  // nothing.
+  EXPECT_EQ(forward, grouping(forward_demux, reversed));
+  EXPECT_EQ(forward_demux.distinct_users(), 3U);
+}
+
+// --- Pipeline identity oracle ---------------------------------------------
+
+std::vector<Packet> mixed_corpus(std::size_t flows, std::size_t users,
+                                 std::size_t hosts) {
+  std::vector<Packet> packets;
+  for (std::size_t i = 0; i < flows; ++i) {
+    std::size_t u = (i * 7) % users;
+    Packet p = tls_packet(
+        0x0A000000 + static_cast<std::uint32_t>(u), 100 + u,
+        "svc" + std::to_string(i % hosts) + ".example.com",
+        static_cast<util::Timestamp>(i / 50),
+        static_cast<std::uint16_t>(20000 + i % 30000),
+        0xC0000000 + static_cast<std::uint32_t>(i));
+    if (i % 5 == 0) {  // split across two segments
+      Packet head = p;
+      head.payload.assign(p.payload.begin(), p.payload.begin() + 30);
+      Packet tail = p;
+      tail.payload.assign(p.payload.begin() + 30, p.payload.end());
+      packets.push_back(std::move(head));
+      packets.push_back(std::move(tail));
+    } else {
+      packets.push_back(std::move(p));
+    }
+  }
+  return packets;
+}
+
+TEST(IngestPipeline, OneShardOutputBitIdenticalToObserver) {
+  auto packets = mixed_corpus(600, 9, 40);
+
+  SniObserver observer(Vantage::kWifiProvider);
+  std::vector<HostnameEvent> expected;
+  for (const auto& p : packets) {
+    if (auto e = observer.observe(p)) expected.push_back(std::move(*e));
+  }
+
+  util::InternPool pool;
+  std::vector<InternedEvent> got;
+  IngestOptions opts;  // shards = 1
+  IngestPipeline pipeline(opts, pool,
+                          [&](std::span<const InternedEvent> batch) {
+                            got.insert(got.end(), batch.begin(), batch.end());
+                          });
+  pipeline.push(packets);
+  pipeline.stop();
+
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].user_id, expected[i].user_id) << i;
+    EXPECT_EQ(got[i].timestamp, expected[i].timestamp) << i;
+    ASSERT_NE(got[i].host_id, util::InternPool::kInvalidId) << i;
+    EXPECT_EQ(pool.name(got[i].host_id), expected[i].hostname) << i;
+  }
+
+  // Stats must agree with the wrapper path too.
+  auto stats = pipeline.stats();
+  EXPECT_EQ(stats.observer.packets, observer.stats().packets);
+  EXPECT_EQ(stats.observer.flows, observer.stats().flows);
+  EXPECT_EQ(stats.observer.events, observer.stats().events);
+  EXPECT_EQ(stats.observer.not_tls, observer.stats().not_tls);
+  EXPECT_EQ(stats.observer.idle_evicted, observer.stats().idle_evicted);
+  EXPECT_EQ(stats.distinct_users, observer.demux().distinct_users());
+  EXPECT_EQ(stats.pushed, packets.size());
+  EXPECT_EQ(stats.delivered, expected.size());
+  EXPECT_EQ(stats.dropped, 0U);
+}
+
+TEST(IngestPipeline, ShardedPreservesPerUserSubsequences) {
+  auto packets = mixed_corpus(800, 16, 60);
+
+  SniObserver observer(Vantage::kWifiProvider);
+  std::map<std::uint32_t, std::vector<std::string>> st_seq;
+  std::size_t st_events = 0;
+  for (const auto& p : packets) {
+    if (auto e = observer.observe(p)) {
+      st_seq[e->user_id].push_back(std::to_string(e->timestamp) + "|" +
+                                   e->hostname);
+      ++st_events;
+    }
+  }
+
+  util::InternPool pool;
+  IngestOptions opts;
+  opts.shards = 4;
+  std::map<std::uint32_t, std::vector<std::string>> mt_seq;
+  std::size_t mt_events = 0;
+  IngestPipeline pipeline(opts, pool,
+                          [&](std::span<const InternedEvent> batch) {
+                            for (const auto& e : batch) {
+                              mt_seq[e.user_id].push_back(
+                                  std::to_string(e.timestamp) + "|" +
+                                  pool.name(e.host_id));
+                              ++mt_events;
+                            }
+                          });
+  pipeline.push(packets);
+  pipeline.stop();
+
+  EXPECT_EQ(mt_events, st_events);
+  EXPECT_EQ(pipeline.stats().dropped, 0U);
+  EXPECT_EQ(pipeline.stats().distinct_users, st_seq.size());
+  // Ids may differ across modes (strided allocation), but the multiset of
+  // per-user event sequences must be exactly the legacy one.
+  std::vector<std::vector<std::string>> st_groups, mt_groups;
+  for (auto& [id, seq] : st_seq) st_groups.push_back(seq);
+  for (auto& [id, seq] : mt_seq) mt_groups.push_back(seq);
+  std::sort(st_groups.begin(), st_groups.end());
+  std::sort(mt_groups.begin(), mt_groups.end());
+  EXPECT_EQ(st_groups, mt_groups);
+}
+
+TEST(IngestPipeline, CombinedSniAndDnsShareOneUserSpace) {
+  util::InternPool pool;
+  std::vector<InternedEvent> got;
+  IngestOptions opts;
+  opts.dns = true;  // sni stays on
+  IngestPipeline pipeline(opts, pool,
+                          [&](std::span<const InternedEvent> batch) {
+                            got.insert(got.end(), batch.begin(), batch.end());
+                          });
+  // One sender: a DNS lookup then the TLS connection it resolved.
+  pipeline.push(dns_packet(0x0A000001, 7, "shop.example.com", 10));
+  pipeline.push(tls_packet(0x0A000001, 7, "shop.example.com", 11, 40001));
+  pipeline.stop();
+  ASSERT_EQ(got.size(), 2U);
+  EXPECT_EQ(got[0].user_id, got[1].user_id);
+  EXPECT_EQ(pool.name(got[0].host_id), "shop.example.com");
+  EXPECT_EQ(pool.name(got[1].host_id), "shop.example.com");
+  EXPECT_EQ(pipeline.stats().distinct_users, 1U);
+}
+
+TEST(IngestPipeline, StatusLineMentionsShardsAndQueue) {
+  util::InternPool pool;
+  IngestOptions opts;
+  opts.shards = 2;
+  IngestPipeline pipeline(opts, pool, [](std::span<const InternedEvent>) {});
+  std::string line = pipeline.status();
+  EXPECT_NE(line.find("shards=2"), std::string::npos) << line;
+  EXPECT_NE(line.find("queue="), std::string::npos) << line;
+  pipeline.stop();
+}
+
+// --- End-to-end: identical profiles under both ingest modes ---------------
+
+TEST(IngestE2E, ProfilesIdenticalAcrossIngestModes) {
+  ontology::HostLabeler labeler(2);
+  labeler.set_label("travel-a.com", {1.0F, 0.0F});
+  labeler.set_label("sport-a.com", {0.0F, 1.0F});
+  profile::ServiceParams params;
+  params.sgns.dim = 12;
+  params.sgns.epochs = 10;
+  params.vocab.min_count = 1;
+  params.vocab.subsample_threshold = 0.0;
+
+  // Day-0 training traffic + a day-1 session, as raw packets.
+  std::vector<Packet> day0, day1;
+  std::uint16_t port = 30000;
+  for (int rep = 0; rep < 50; ++rep) {
+    util::Timestamp base = rep * 10 * util::kMinute;
+    day0.push_back(tls_packet(0x0A000001, 11, "travel-a.com", base + 1, ++port));
+    day0.push_back(
+        tls_packet(0x0A000001, 11, "travel-api.net", base + 2, ++port));
+    day0.push_back(tls_packet(0x0A000002, 22, "sport-a.com", base + 1, ++port));
+    day0.push_back(
+        tls_packet(0x0A000002, 22, "sport-api.net", base + 2, ++port));
+  }
+  util::Timestamp now = util::kDay + 5 * util::kMinute;
+  day1.push_back(
+      tls_packet(0x0A000001, 11, "travel-api.net", now - util::kMinute, ++port));
+  day1.push_back(
+      tls_packet(0x0A000002, 22, "sport-api.net", now - util::kMinute, ++port));
+
+  // Mode A: single-threaded observer -> owning events -> ingest().
+  profile::ProfilingService service_st(labeler, nullptr, params);
+  SniObserver observer(Vantage::kWifiProvider);
+  service_st.ingest(observer.observe_all(day0));
+  ASSERT_TRUE(service_st.retrain(0));
+  service_st.ingest(observer.observe_all(day1));
+
+  // Mode B: ingest pipeline -> interned batches -> ingest_interned().
+  profile::ProfilingService service_mt(labeler, nullptr, params);
+  util::InternPool pool;
+  IngestOptions opts;  // 1 shard: ids match mode A exactly
+  IngestPipeline pipeline(opts, pool,
+                          [&](std::span<const InternedEvent> batch) {
+                            service_mt.ingest_interned(batch, pool);
+                          });
+  pipeline.push(day0);
+  pipeline.flush();
+  ASSERT_TRUE(service_mt.retrain(0));
+  pipeline.push(day1);
+  pipeline.stop();
+
+  // Same users, same models, same profiles — float for float.
+  for (std::uint32_t user : {0U, 1U}) {
+    auto a = service_st.profile_user(user, now);
+    auto b = service_mt.profile_user(user, now);
+    ASSERT_EQ(a.categories.size(), b.categories.size());
+    for (std::size_t c = 0; c < a.categories.size(); ++c) {
+      EXPECT_EQ(a.categories[c], b.categories[c]) << "user " << user
+                                                  << " cat " << c;
+    }
+  }
+}
+
+// --- Concurrency suite (runs under TSan via the sanitizer_smoke ctest) ----
+
+TEST(IngestConcurrency, InternPoolConcurrentInternsAgree) {
+  util::InternPool pool(4);
+  constexpr int kThreads = 4;
+  constexpr int kNames = 128;
+  constexpr int kReps = 500;
+  std::vector<std::vector<util::InternPool::Id>> seen(
+      kThreads, std::vector<util::InternPool::Id>(kNames));
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int rep = 0; rep < kReps; ++rep) {
+        for (int n = 0; n < kNames; ++n) {
+          std::string name = "host" + std::to_string(n) + ".example.com";
+          util::InternPool::Id id = pool.intern(name);
+          // Read back through the lock-free directory while other threads
+          // keep interning.
+          ASSERT_EQ(pool.name(id), name);
+          seen[static_cast<std::size_t>(t)][static_cast<std::size_t>(n)] = id;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(pool.size(), static_cast<std::size_t>(kNames));
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(t)], seen[0]) << "thread " << t;
+  }
+}
+
+TEST(IngestConcurrency, ShardedPipelineDeliversEverythingLossFree) {
+  auto packets = mixed_corpus(1500, 24, 80);
+  util::InternPool pool;
+  std::atomic<std::uint64_t> delivered{0};
+  IngestOptions opts;
+  opts.shards = 4;
+  opts.batch_size = 64;
+  opts.ring_capacity = 512;
+  IngestPipeline pipeline(opts, pool,
+                          [&](std::span<const InternedEvent> batch) {
+                            delivered.fetch_add(batch.size());
+                          });
+  // Exercise the concurrent read paths while the workers run.
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    pipeline.push(packets[i]);
+    if (i % 256 == 0) {
+      (void)pipeline.queue_depth();
+      (void)pipeline.stats();
+      (void)pipeline.status();
+    }
+  }
+  pipeline.flush();
+  auto stats = pipeline.stats();
+  pipeline.stop();
+  EXPECT_EQ(stats.dropped, 0U);
+  EXPECT_EQ(stats.delivered, delivered.load());
+  EXPECT_EQ(stats.observer.events, delivered.load());
+  EXPECT_EQ(stats.pushed, packets.size());
+}
+
+TEST(IngestConcurrency, DropOldestBoundsTheRingAndCountsLoss) {
+  auto packets = mixed_corpus(2000, 8, 16);
+  util::InternPool pool;
+  std::atomic<std::uint64_t> delivered{0};
+  IngestOptions opts;
+  opts.shards = 2;
+  opts.batch_size = 32;
+  opts.ring_capacity = 64;
+  opts.backpressure = BackpressurePolicy::kDropOldest;
+  IngestPipeline pipeline(opts, pool,
+                          [&](std::span<const InternedEvent> batch) {
+                            delivered.fetch_add(batch.size());
+                            // A deliberately slow sink forces the ring full.
+                            std::this_thread::sleep_for(
+                                std::chrono::milliseconds(1));
+                          });
+  pipeline.push(packets);
+  pipeline.flush();
+  auto stats = pipeline.stats();
+  pipeline.stop();
+  // Under drop-oldest nothing blocks, and the accounting is airtight:
+  // every produced event is either delivered or counted dropped.
+  EXPECT_EQ(stats.delivered + stats.dropped, stats.observer.events);
+  EXPECT_EQ(stats.delivered, delivered.load());
+  EXPECT_GT(stats.dropped, 0U);
+}
+
+}  // namespace
+}  // namespace netobs::net
