@@ -1,16 +1,21 @@
 // Heap-allocation counting for the allocs/event numbers in
-// BENCH_micro.json's ingest_throughput section.
+// BENCH_micro.json's ingest_throughput section, plus live-byte tracking
+// for reconciling the obs::MemoryAccountant ledger against the real heap.
 //
 // Usage: exactly one translation unit per binary defines
 // NETOBS_ALLOC_COUNT_IMPL before including this header — that TU provides
 // the program-wide replacement operator new/delete (replaceable allocation
 // functions must be defined exactly once per program). Every other includer
-// just reads the counter. Binaries that never define the macro still link;
-// allocations_now() then stays at 0 and alloc-derived metrics read as
-// "not measured".
+// just reads the counters. Binaries that never define the macro still link;
+// allocations_now() / heap_bytes_now() then stay at 0 and alloc-derived
+// metrics read as "not measured".
+//
+// Live bytes are measured with malloc_usable_size() on the pointer the
+// allocator actually returned, so the number includes glibc chunk rounding —
+// the same rounding util::malloc_rounded models on the accounting side.
 //
 // Under ASan/TSan/MSan the replacement is compiled out (the sanitizer
-// runtimes intercept the allocator themselves) and the counter stays 0.
+// runtimes intercept the allocator themselves) and the counters stay 0.
 #pragma once
 
 #include <atomic>
@@ -19,11 +24,18 @@
 namespace netobs::bench {
 
 inline std::atomic<std::uint64_t> g_heap_allocations{0};
+inline std::atomic<std::uint64_t> g_heap_live_bytes{0};
 
 /// Total operator-new calls in this process so far (0 when the counting
 /// operator new is not linked in — see the header comment).
 inline std::uint64_t allocations_now() {
   return g_heap_allocations.load(std::memory_order_relaxed);
+}
+
+/// Live operator-new bytes (usable sizes) right now; 0 when the counting
+/// allocator is not linked in — callers treat 0 as "not measured".
+inline std::uint64_t heap_bytes_now() {
+  return g_heap_live_bytes.load(std::memory_order_relaxed);
 }
 
 }  // namespace netobs::bench
@@ -39,6 +51,8 @@ inline std::uint64_t allocations_now() {
 
 #ifdef NETOBS_ALLOC_COUNT_IMPL
 
+#include <malloc.h>
+
 #include <cstdlib>
 #include <new>
 
@@ -46,7 +60,12 @@ namespace {
 
 void* netobs_counted_alloc(std::size_t size) {
   netobs::bench::g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
-  return std::malloc(size == 0 ? 1 : size);
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p != nullptr) {
+    netobs::bench::g_heap_live_bytes.fetch_add(malloc_usable_size(p),
+                                               std::memory_order_relaxed);
+  }
+  return p;
 }
 
 void* netobs_counted_alloc_aligned(std::size_t size, std::size_t align) {
@@ -56,7 +75,17 @@ void* netobs_counted_alloc_aligned(std::size_t size, std::size_t align) {
                      size == 0 ? 1 : size) != 0) {
     return nullptr;
   }
+  netobs::bench::g_heap_live_bytes.fetch_add(malloc_usable_size(p),
+                                             std::memory_order_relaxed);
   return p;
+}
+
+void netobs_counted_free(void* p) {
+  if (p != nullptr) {
+    netobs::bench::g_heap_live_bytes.fetch_sub(malloc_usable_size(p),
+                                               std::memory_order_relaxed);
+  }
+  std::free(p);
 }
 
 }  // namespace
@@ -97,21 +126,29 @@ void* operator new[](std::size_t size, std::align_val_t align) {
   }
   throw std::bad_alloc();
 }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
-void operator delete[](void* p, const std::nothrow_t&) noexcept {
-  std::free(p);
+void operator delete(void* p) noexcept { netobs_counted_free(p); }
+void operator delete[](void* p) noexcept { netobs_counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { netobs_counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept {
+  netobs_counted_free(p);
 }
-void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  netobs_counted_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  netobs_counted_free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept {
+  netobs_counted_free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  netobs_counted_free(p);
+}
 void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
-  std::free(p);
+  netobs_counted_free(p);
 }
 void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
-  std::free(p);
+  netobs_counted_free(p);
 }
 #if defined(__GNUC__) && !defined(__clang__)
 #pragma GCC diagnostic pop

@@ -22,8 +22,9 @@
 // at deployment scale (rows >= 400000); and the sharded-ingest floors —
 // ideal speedup >= 3.0 at >= 4 shards always, measured wall-clock speedup
 // >= 3.0 where the box has >= shards hardware threads, zero event loss
-// under the block policy, and 1-shard output identical to the
-// single-threaded observer.
+// under the block policy, 1-shard output identical to the single-threaded
+// observer, and flight-recorder overhead <= 2% of serial engine throughput
+// at the shipped 1/1024 sampling rate.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -209,6 +210,20 @@ int main(int argc, char** argv) {
     std::cerr << "[gate] REGRESSED ingest dropped " << ing.dropped
               << " events under the block policy (must be 0)\n";
     ++failures;
+  }
+  const double flight_target =
+      bench::IngestBaselineResult::flight_overhead_target_pct();
+  if (ing.flight_overhead_enforced() &&
+      ing.flight_overhead_pct() > flight_target) {
+    std::cerr << "[gate] REGRESSED flight-recorder overhead "
+              << ing.flight_overhead_pct() << "% above the " << flight_target
+              << "% ceiling at 1/" << ing.flight_sample_every
+              << " sampling\n";
+    ++failures;
+  } else if (ing.flight_overhead_enforced()) {
+    std::cout << "[gate] ok       flight-recorder overhead "
+              << ing.flight_overhead_pct() << "% (ceiling " << flight_target
+              << "%)\n";
   }
   if (!ing.oneshard_identical) {
     std::cerr << "[gate] REGRESSED 1-shard ingest output differs from the "

@@ -371,6 +371,28 @@ inline bool write_micro_baseline_json(const std::string& path,
       << "    \"oneshard_identical\": "
       << (ing.oneshard_identical ? "true" : "false") << "\n"
       << "  },\n"
+      << "  \"flight_recorder\": {\n"
+      << "    \"flight_sample_every\": " << ing.flight_sample_every << ",\n"
+      << "    \"flight_serial_off_ms\": " << ing.flight_off_s * 1e3 << ",\n"
+      << "    \"flight_serial_on_ms\": " << ing.flight_on_s * 1e3 << ",\n"
+      << "    \"flight_overhead_pct\": " << ing.flight_overhead_pct() << ",\n"
+      << "    \"flight_sampled_events\": " << ing.flight_sampled << "\n"
+      << "  },\n"
+      << "  \"memory_accounting\": {\n"
+      << "    \"memory_total_bytes\": " << ing.memory.total_bytes << ",\n"
+      << "    \"memory_per_user_bytes\": " << ing.memory.per_user_bytes
+      << ",\n"
+      << "    \"memory_tracked_users\": " << ing.memory.users << ",\n"
+      << "    \"memory_bytes_per_user\": " << ing.memory.bytes_per_user
+      << ",\n"
+      << "    \"subsystems\": {";
+  for (std::size_t i = 0; i < ing.memory.subsystems.size(); ++i) {
+    const auto& sub = ing.memory.subsystems[i];
+    out << (i == 0 ? "\n" : ",\n") << "      \"" << sub.subsystem
+        << "\": " << sub.bytes;
+  }
+  out << "\n    }\n"
+      << "  },\n"
       << "  \"acceptance\": {\n"
       << "    \"knn_speedup_target\": " << r.knn_speedup_target() << ",\n"
       << "    \"knn_speedup_met\": "
@@ -409,7 +431,16 @@ inline bool write_micro_baseline_json(const std::string& path,
       << "    \"ingest_zero_loss_met\": "
       << (ing.dropped == 0 ? "true" : "false") << ",\n"
       << "    \"ingest_oneshard_identical_met\": "
-      << (ing.oneshard_identical ? "true" : "false") << "\n"
+      << (ing.oneshard_identical ? "true" : "false") << ",\n"
+      << "    \"flight_overhead_target_pct\": "
+      << IngestBaselineResult::flight_overhead_target_pct() << ",\n"
+      << "    \"flight_overhead_met\": "
+      << (!ing.flight_overhead_enforced() ||
+                  ing.flight_overhead_pct() <=
+                      IngestBaselineResult::flight_overhead_target_pct()
+              ? "true"
+              : "false")
+      << "\n"
       << "  }\n"
       << "}\n";
   return static_cast<bool>(out);

@@ -371,8 +371,13 @@ int run_bench_baseline(const std::string& path,
             << ", 1-shard identical="
             << (ing.oneshard_identical ? "yes" : "NO")
             << ", allocs/event " << ing.alloc_per_event_st << " -> "
-            << ing.alloc_per_event_sharded << "\n[baseline] wrote " << path
-            << "\n";
+            << ing.alloc_per_event_sharded << "\n[baseline] flight recorder 1/"
+            << ing.flight_sample_every << ": " << ing.flight_overhead_pct()
+            << "% overhead (" << ing.flight_sampled
+            << " sampled)\n[baseline] memory: "
+            << ing.memory.total_bytes / 1024.0 / 1024.0 << " MiB total, "
+            << ing.memory.users << " users, " << ing.memory.bytes_per_user
+            << " bytes/user\n[baseline] wrote " << path << "\n";
   return 0;
 }
 

@@ -20,6 +20,7 @@
 #include "bench/common.hpp"
 #include "net/ingest.hpp"
 #include "net/pcap.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/log.hpp"
 #include "profile/service.hpp"
 #include "synth/traffic.hpp"
@@ -88,14 +89,26 @@ int main(int argc, char** argv) {
   // through the sharded ingest pipeline: packets are routed to per-shard
   // flow tables by sender identity, hostnames are interned once, and the
   // profiler receives batched 16-byte events instead of owning strings.
+  // Provenance flight recorder: 1-in-64 of the wire events is stamped at
+  // every hop (parse -> ring -> session -> profile), feeding the staleness
+  // quantiles on /metrics and the flight_* rows on /statusz.
+  obs::FlightRecorderOptions fro;
+  fro.sample_every = 64;
+  obs::FlightRecorder flight(fro);
+
   util::InternPool pool;
   net::IngestOptions io;
   io.shards = ingest_shards;
+  io.flight = &flight;
   net::IngestPipeline pipeline(
       io, pool, [&](std::span<const net::InternedEvent> batch) {
         service.ingest_interned(batch, pool);
       });
+  service.set_flight_recorder(&flight);
   bench::attach_ingest_status(server, pipeline);
+  if (server) {
+    server->add_status_provider([&flight] { return flight.status(); });
+  }
   bench::StageTimer observe_timer("observe");
   pipeline.push(packets);
   pipeline.flush();
@@ -114,6 +127,10 @@ int main(int argc, char** argv) {
   std::cout << "back-end: " << service.store().event_count()
             << " events kept, " << service.filtered_events()
             << " tracker connections dropped\n";
+  std::cout << "flight: " << flight.sampled_count() << " events traced 1/"
+            << fro.sample_every << " (" << flight.completed_count()
+            << " closed at session, " << flight.in_flight()
+            << " in flight)\n";
 
   bench::StageTimer retrain_timer("retrain");
   if (!service.retrain(cfg.days - 2)) {

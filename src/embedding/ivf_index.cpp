@@ -351,4 +351,15 @@ std::vector<std::vector<IvfKnnIndex::Neighbor>> IvfKnnIndex::query_batch(
   return results;
 }
 
+std::size_t IvfKnnIndex::memory_bytes() const {
+  std::size_t bytes = normalized_.memory_bytes() + centroids_.memory_bytes() +
+                      lists_.capacity() * sizeof(List);
+  for (const List& list : lists_) {
+    bytes += list.ids.capacity() * sizeof(TokenId) +
+             list.codes.capacity() * sizeof(std::int8_t) +
+             list.scales.capacity() * sizeof(float);
+  }
+  return bytes;
+}
+
 }  // namespace netobs::embedding

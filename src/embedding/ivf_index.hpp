@@ -100,6 +100,7 @@ class IvfKnnIndex : public KnnIndex {
   std::size_t size() const override { return normalized_.rows(); }
   std::size_t dim() const override { return normalized_.dim(); }
   KnnBackend backend() const override { return KnnBackend::kIvf; }
+  std::size_t memory_bytes() const override;
 
   std::size_t nlists() const { return centroids_.rows(); }
   const IvfParams& params() const { return params_; }

@@ -63,6 +63,10 @@ class KnnIndex {
   virtual std::size_t size() const = 0;
   virtual std::size_t dim() const = 0;
   virtual KnnBackend backend() const = 0;
+
+  /// Heap footprint of the backend's retrieval structures, for the memory
+  /// accounting plane.
+  virtual std::size_t memory_bytes() const = 0;
 };
 
 class CosineKnnIndex : public KnnIndex {
@@ -103,6 +107,9 @@ class CosineKnnIndex : public KnnIndex {
   std::size_t size() const override { return normalized_.rows(); }
   std::size_t dim() const override { return normalized_.dim(); }
   KnnBackend backend() const override { return KnnBackend::kExact; }
+  std::size_t memory_bytes() const override {
+    return normalized_.memory_bytes();
+  }
 
   /// The unit-norm padded row matrix (rows indexed by TokenId) — shared
   /// with IvfKnnIndex's exact re-rank stage and the recall sampler.

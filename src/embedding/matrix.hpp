@@ -48,6 +48,9 @@ class EmbeddingMatrix {
   /// Dense rows * dim copy with the padding stripped (row-major).
   std::vector<float> packed_copy() const;
 
+  /// Heap footprint of the padded storage.
+  std::size_t memory_bytes() const { return data_.capacity() * sizeof(float); }
+
   /// Binary serialisation: magic, rows, dim, dense payload (padding never
   /// hits the wire, so files are layout-independent). Throws
   /// std::runtime_error on I/O failure or bad magic.

@@ -71,6 +71,7 @@ std::size_t FlowTable::insert(const FiveTuple& key, util::Timestamp now) {
 
 void FlowTable::erase(std::size_t slot) {
   if (slots_[slot].phase == FlowPhase::kPending) --pending_;
+  buffer_bytes_ -= slots_[slot].buffer.capacity();
   --size_;
   // Backward-shift deletion: pull successors one step left until a hole or
   // an entry already at its home slot.
@@ -90,12 +91,22 @@ void FlowTable::set_phase(std::size_t slot, FlowPhase phase) {
   FlowEntry& e = slots_[slot];
   if (e.phase == FlowPhase::kPending && phase != FlowPhase::kPending) {
     --pending_;
+    buffer_bytes_ -= e.buffer.capacity();
     e.buffer.clear();
     e.buffer.shrink_to_fit();
+    buffer_bytes_ += e.buffer.capacity();
   } else if (e.phase != FlowPhase::kPending && phase == FlowPhase::kPending) {
     ++pending_;
   }
   e.phase = phase;
+}
+
+void FlowTable::append_buffer(std::size_t slot,
+                              std::span<const std::uint8_t> data) {
+  std::vector<std::uint8_t>& buf = slots_[slot].buffer;
+  buffer_bytes_ -= buf.capacity();
+  buf.insert(buf.end(), data.begin(), data.end());
+  buffer_bytes_ += buf.capacity();
 }
 
 bool FlowTable::evict_one_pending() {

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "net/packet.hpp"
@@ -78,6 +79,18 @@ class FlowTable {
   /// Changes an entry's phase, keeping the pending count coherent.
   void set_phase(std::size_t slot, FlowPhase phase);
 
+  /// Appends reassembly payload to `slot`'s buffer. All buffer growth goes
+  /// through here so the table's buffer-byte ledger (capacity, which is
+  /// what the allocator actually holds) stays coherent.
+  void append_buffer(std::size_t slot, std::span<const std::uint8_t> data);
+
+  /// Heap footprint: slot storage plus the live reassembly buffers
+  /// (tracked incrementally — O(1), fit for per-batch gauges).
+  std::size_t memory_bytes() const {
+    return slots_.capacity() * sizeof(FlowEntry) + used_.capacity() / 8 +
+           buffer_bytes_;
+  }
+
  private:
   std::size_t probe_distance(std::size_t slot) const;
   void rehash(std::size_t new_capacity);
@@ -88,6 +101,7 @@ class FlowTable {
   std::size_t size_ = 0;
   std::size_t pending_ = 0;
   std::size_t evict_cursor_ = 0;
+  std::size_t buffer_bytes_ = 0;  ///< sum of entry buffer capacities
 };
 
 }  // namespace netobs::net

@@ -1,7 +1,10 @@
 #include "net/ingest.hpp"
 
 #include <atomic>
+#include <chrono>
 
+#include "obs/flight_recorder.hpp"
+#include "obs/memory.hpp"
 #include "obs/metrics.hpp"
 #include "obs/stats_stream.hpp"
 #include "util/string_util.hpp"
@@ -57,9 +60,11 @@ EventRing::EventRing(std::size_t capacity, BackpressurePolicy policy)
       capacity_(capacity == 0 ? 1 : capacity),
       policy_(policy) {}
 
-std::size_t EventRing::push(std::span<const InternedEvent> batch) {
+std::size_t EventRing::push(std::span<const InternedEvent> batch,
+                            double* stalled_seconds) {
   std::size_t dropped_now = 0;
   std::size_t i = 0;
+  double stalled = 0.0;
   std::unique_lock<std::mutex> lk(mutex_);
   while (i < batch.size()) {
     if (closed_) {
@@ -69,7 +74,12 @@ std::size_t EventRing::push(std::span<const InternedEvent> batch) {
     }
     if (count_ == capacity_) {
       if (policy_ == BackpressurePolicy::kBlock) {
+        // The clock is read only on the (already slow) blocked path.
+        auto wait_start = std::chrono::steady_clock::now();
         not_full_.wait(lk, [&] { return count_ < capacity_ || closed_; });
+        stalled += std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - wait_start)
+                       .count();
         continue;
       }
       // kDropOldest: make room for as much of the remainder as fits.
@@ -83,8 +93,11 @@ std::size_t EventRing::push(std::span<const InternedEvent> batch) {
       buf_[(head_ + count_) % capacity_] = batch[i++];
       ++count_;
     }
+    if (count_ > hwm_) hwm_ = count_;
     not_empty_.notify_one();
   }
+  stall_seconds_ += stalled;
+  if (stalled_seconds != nullptr) *stalled_seconds = stalled;
   return dropped_now;
 }
 
@@ -120,6 +133,16 @@ std::uint64_t EventRing::dropped() const {
   return dropped_;
 }
 
+std::size_t EventRing::high_watermark() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return hwm_;
+}
+
+double EventRing::stall_seconds() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return stall_seconds_;
+}
+
 // -------------------------------------------------------------- ShardEngine
 
 ShardEngine::ShardEngine(const IngestOptions& options,
@@ -127,7 +150,9 @@ ShardEngine::ShardEngine(const IngestOptions& options,
     : pool_(pool),
       demux_(options.vantage, shard_index,
              static_cast<std::uint32_t>(options.shards == 0 ? 1
-                                                            : options.shards)) {
+                                                            : options.shards)),
+      flight_(options.flight),
+      shard_index_(shard_index) {
   if (options.sni) {
     sni_.emplace(demux_, stats_, options.sni_options,
                  /*registry_metrics=*/false);
@@ -138,20 +163,39 @@ ShardEngine::ShardEngine(const IngestOptions& options,
   }
 }
 
+void ShardEngine::maybe_record(std::uint32_t user_id,
+                               util::InternPool::Id host_id,
+                               util::Timestamp timestamp,
+                               std::string_view hostname) {
+  // The sampling decision keys on (timestamp, hostname bytes) only — never
+  // on the shard-layout-dependent ids — so every shard count samples the
+  // same events (see flight_recorder.hpp).
+  if (!flight_->sampled(timestamp, hostname)) return;
+  flight_->record_parse(user_id, host_id, timestamp, shard_index_, hostname);
+  sampled_keys_.push_back(
+      obs::FlightRecorder::event_key(user_id, host_id, timestamp));
+}
+
 void ShardEngine::process(const Packet& packet,
                           std::vector<InternedEvent>& out) {
   if (sni_) {
     if (auto raw = sni_->observe(packet)) {
-      out.push_back(InternedEvent{raw->user_id, pool_.intern(raw->hostname),
-                                  raw->timestamp});
+      util::InternPool::Id host_id = pool_.intern(raw->hostname);
+      if (flight_ != nullptr) {
+        maybe_record(raw->user_id, host_id, raw->timestamp, raw->hostname);
+      }
+      out.push_back(InternedEvent{raw->user_id, host_id, raw->timestamp});
     }
   }
   if (dns_) {
     dns_raw_.clear();
     dns_->observe(packet, dns_raw_);
     for (const RawEvent& r : dns_raw_) {
-      out.push_back(
-          InternedEvent{r.user_id, pool_.intern(r.hostname), r.timestamp});
+      util::InternPool::Id host_id = pool_.intern(r.hostname);
+      if (flight_ != nullptr) {
+        maybe_record(r.user_id, host_id, r.timestamp, r.hostname);
+      }
+      out.push_back(InternedEvent{r.user_id, host_id, r.timestamp});
     }
   }
 }
@@ -182,9 +226,17 @@ struct IngestPipeline::Worker {
   obs::Counter* m_events = nullptr;
   obs::Counter* m_flows = nullptr;
   obs::Counter* m_evicted = nullptr;
+  obs::Gauge* m_stall = nullptr;
   ObserverStats synced;
+  double stall_total = 0.0;  ///< worker thread only
 
   std::atomic<std::uint64_t> produced{0};  ///< events created pre-ring
+
+  // Engine footprints mirrored after each batch so MemoryAccountant probes
+  // (scraping thread) never touch the live engine.
+  std::atomic<std::size_t> flow_bytes{0};
+  std::atomic<std::size_t> demux_bytes{0};
+  std::atomic<std::size_t> users{0};
 
   std::thread thread;
 };
@@ -218,9 +270,13 @@ IngestPipeline::IngestPipeline(IngestOptions options, util::InternPool& pool,
       w->m_evicted = &reg.counter(
           "netobs_ingest_flows_evicted_total",
           "Flows evicted (cap or idle) by ingest shards", labels);
+      w->m_stall = &reg.gauge(
+          "netobs_ingest_stall_seconds",
+          "Cumulative worker time blocked on a full hand-off ring", labels);
     }
     workers_.push_back(std::move(w));
   }
+  if (options_.registry_metrics) register_memory_probes();
   for (auto& w : workers_) {
     w->thread = std::thread([this, &w = *w] { worker_loop(w); });
   }
@@ -271,7 +327,53 @@ void IngestPipeline::sync_worker_metrics(Worker& w) {
   w.m_flows->inc(s.flows - w.synced.flows);
   w.m_evicted->inc((s.evicted + s.idle_evicted) -
                    (w.synced.evicted + w.synced.idle_evicted));
+  w.m_stall->set(w.stall_total);
   w.synced = s;
+}
+
+void IngestPipeline::register_memory_probes() {
+  auto& acct = obs::MemoryAccountant::global();
+  memory_probe_handles_.push_back(acct.add_probe(
+      "intern_pool", /*per_user=*/false, [this] { return pool_.bytes(); }));
+  memory_probe_handles_.push_back(
+      acct.add_probe("flow_tables", /*per_user=*/false, [this] {
+        std::uint64_t total = 0;
+        for (const auto& w : workers_) {
+          total += w->flow_bytes.load(std::memory_order_relaxed);
+        }
+        return total;
+      }));
+  memory_probe_handles_.push_back(
+      acct.add_probe("user_demux", /*per_user=*/true, [this] {
+        std::uint64_t total = 0;
+        for (const auto& w : workers_) {
+          total += w->demux_bytes.load(std::memory_order_relaxed);
+        }
+        return total;
+      }));
+  memory_probe_handles_.push_back(
+      acct.add_probe("event_ring", /*per_user=*/false, [this] {
+        return std::uint64_t{ring_.capacity()} * sizeof(InternedEvent);
+      }));
+  user_probe_handle_ = acct.add_user_probe([this] {
+    std::uint64_t total = 0;
+    for (const auto& w : workers_) {
+      total += w->users.load(std::memory_order_relaxed);
+    }
+    return total;
+  });
+}
+
+void IngestPipeline::remove_memory_probes() {
+  auto& acct = obs::MemoryAccountant::global();
+  for (std::uint64_t handle : memory_probe_handles_) {
+    acct.remove_probe(handle);
+  }
+  memory_probe_handles_.clear();
+  if (user_probe_handle_ != 0) {
+    acct.remove_user_probe(user_probe_handle_);
+    user_probe_handle_ = 0;
+  }
 }
 
 void IngestPipeline::worker_loop(Worker& w) {
@@ -289,8 +391,26 @@ void IngestPipeline::worker_loop(Worker& w) {
     events.clear();
     for (const Packet& p : batch) w.engine->process(p, events);
     w.produced.fetch_add(events.size(), std::memory_order_release);
-    if (!events.empty()) ring_.push(events);
+    if (!events.empty()) {
+      // kEnqueue is stamped *before* the push: per-shard FIFO through the
+      // ring mutex then guarantees the consumer's kDequeue stamp follows,
+      // and any blocking stall lands in the enqueue→dequeue hop.
+      std::vector<std::uint64_t>& keys = w.engine->sampled_keys();
+      if (options_.flight != nullptr && !keys.empty()) {
+        options_.flight->stamp_keys(obs::FlightHop::kEnqueue, keys);
+      }
+      keys.clear();
+      double stalled = 0.0;
+      ring_.push(events, &stalled);
+      w.stall_total += stalled;
+    }
     sync_worker_metrics(w);
+    w.flow_bytes.store(w.engine->flow_memory_bytes(),
+                       std::memory_order_relaxed);
+    w.demux_bytes.store(w.engine->demux_memory_bytes(),
+                        std::memory_order_relaxed);
+    w.users.store(w.engine->demux().distinct_users(),
+                  std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lk(w.mutex);
       w.busy = false;
@@ -310,6 +430,12 @@ void IngestPipeline::consumer_loop() {
     out.clear();
     bool alive = ring_.drain(out, 4096);
     if (!out.empty()) {
+      if (options_.flight != nullptr) {
+        for (const InternedEvent& e : out) {
+          options_.flight->stamp(obs::FlightHop::kDequeue, e.user_id,
+                                 e.host_id, e.timestamp);
+        }
+      }
       sink_(std::span<const InternedEvent>(out));
       {
         std::lock_guard<std::mutex> lk(consumer_mutex_);
@@ -363,6 +489,7 @@ void IngestPipeline::stop() {
   }
   ring_.close();
   if (consumer_.joinable()) consumer_.join();
+  remove_memory_probes();
 }
 
 IngestStats IngestPipeline::stats() const {
@@ -376,6 +503,8 @@ IngestStats IngestPipeline::stats() const {
   out.pushed = pushed_;
   out.dropped = ring_.dropped();
   out.queue_depth = ring_.size();
+  out.queue_hwm = ring_.high_watermark();
+  out.stall_seconds = ring_.stall_seconds();
   {
     std::lock_guard<std::mutex> lk(consumer_mutex_);
     out.delivered = delivered_;
@@ -395,11 +524,13 @@ std::string IngestPipeline::status() const {
   // bench::attach_ingest_status already keys this line as "ingest".
   return util::format(
       "shards=%zu pushed=%llu events=%zu delivered=%llu dropped=%llu "
-      "queue=%zu/%zu users=%zu hostnames=%zu pending_flows=%zu",
+      "queue=%zu/%zu queue_hwm=%zu stall_s=%.3f users=%zu hostnames=%zu "
+      "pending_flows=%zu",
       s.shards, static_cast<unsigned long long>(s.pushed), s.observer.events,
       static_cast<unsigned long long>(s.delivered),
       static_cast<unsigned long long>(s.dropped), s.queue_depth,
-      ring_.capacity(), s.distinct_users, s.distinct_hostnames, pending);
+      ring_.capacity(), s.queue_hwm, s.stall_seconds, s.distinct_users,
+      s.distinct_hostnames, pending);
 }
 
 }  // namespace netobs::net

@@ -46,6 +46,10 @@
 #include "net/observer.hpp"
 #include "util/intern_pool.hpp"
 
+namespace netobs::obs {
+class FlightRecorder;
+}
+
 namespace netobs::net {
 
 /// What crosses the worker->profiler boundary: a 16-byte POD instead of an
@@ -76,6 +80,10 @@ struct IngestOptions {
   /// Sync per-shard deltas into the obs registry after every batch
   /// (labelled netobs_ingest_* series). Off for allocation benchmarks.
   bool registry_metrics = true;
+  /// Optional provenance tracer (obs/flight_recorder.hpp). When set, shard
+  /// workers open records for sampled events (kParse/kEnqueue) and the
+  /// consumer stamps kDequeue; must outlive the pipeline.
+  obs::FlightRecorder* flight = nullptr;
 };
 
 /// Aggregated pipeline counters. Exact after flush(); a live snapshot
@@ -87,6 +95,8 @@ struct IngestStats {
   std::uint64_t dropped = 0;    ///< events discarded under kDropOldest
   std::size_t shards = 0;
   std::size_t queue_depth = 0;  ///< instantaneous ring occupancy
+  std::size_t queue_hwm = 0;    ///< ring occupancy high-watermark
+  double stall_seconds = 0.0;   ///< worker time blocked on a full ring
   std::size_t distinct_users = 0;
   std::size_t distinct_hostnames = 0;
 };
@@ -100,8 +110,11 @@ class EventRing {
 
   /// Pushes a batch, blocking (kBlock) or discarding the oldest queued
   /// events (kDropOldest) when full. Returns how many events were dropped
-  /// to make room. After close(), pushes are discarded entirely.
-  std::size_t push(std::span<const InternedEvent> batch);
+  /// to make room. After close(), pushes are discarded entirely. When
+  /// `stalled_seconds` is non-null it receives the wall time this call
+  /// spent blocked waiting for ring space (0 when it never waited).
+  std::size_t push(std::span<const InternedEvent> batch,
+                   double* stalled_seconds = nullptr);
 
   /// Appends up to `max` events to `out`, blocking while the ring is empty
   /// and open. Returns false once the ring is closed and drained.
@@ -111,6 +124,11 @@ class EventRing {
   std::size_t size() const;
   std::uint64_t dropped() const;
   std::size_t capacity() const { return capacity_; }
+
+  /// Highest occupancy the ring ever reached (backpressure headroom gauge).
+  std::size_t high_watermark() const;
+  /// Total producer wall time spent blocked on a full ring (kBlock only).
+  double stall_seconds() const;
 
  private:
   mutable std::mutex mutex_;
@@ -123,6 +141,8 @@ class EventRing {
   BackpressurePolicy policy_;
   bool closed_ = false;
   std::uint64_t dropped_ = 0;
+  std::size_t hwm_ = 0;           ///< max count_ ever observed
+  double stall_seconds_ = 0.0;    ///< cumulative blocked-push time
 };
 
 /// One shard's synchronous core: private demux + engines + intern calls.
@@ -146,13 +166,33 @@ class ShardEngine {
     return sni_ ? sni_->pending_flows() : 0;
   }
 
+  /// Estimated heap footprint of the flow engines (tables + buffers + dedupe
+  /// map). Worker thread only — the pipeline mirrors it into an atomic.
+  std::size_t flow_memory_bytes() const {
+    return (sni_ ? sni_->memory_bytes() : 0) +
+           (dns_ ? dns_->memory_bytes() : 0);
+  }
+  /// Estimated heap footprint of the user-identity map (same caveat).
+  std::size_t demux_memory_bytes() const { return demux_.memory_bytes(); }
+
+  /// Flight-recorder keys collected by process() for events that passed the
+  /// sampling decision this batch. The worker stamps them kEnqueue before
+  /// the ring push and clears the vector.
+  std::vector<std::uint64_t>& sampled_keys() { return sampled_keys_; }
+
  private:
   util::InternPool& pool_;
   UserDemux demux_;
   ObserverStats stats_;
+  obs::FlightRecorder* flight_;
+  std::uint32_t shard_index_;
   std::optional<SniFlowEngine> sni_;
   std::optional<DnsFlowEngine> dns_;
   std::vector<RawEvent> dns_raw_;
+  std::vector<std::uint64_t> sampled_keys_;
+
+  void maybe_record(std::uint32_t user_id, util::InternPool::Id host_id,
+                    util::Timestamp timestamp, std::string_view hostname);
 };
 
 /// The multi-threaded pipeline. push()/flush()/stop() are single-producer:
@@ -198,11 +238,18 @@ class IngestPipeline {
   void consumer_loop();
   void enqueue_staging(Worker& w);
   void sync_worker_metrics(Worker& w);
+  void register_memory_probes();
+  void remove_memory_probes();
 
   IngestOptions options_;
   util::InternPool& pool_;
   Sink sink_;
   EventRing ring_;
+
+  // MemoryAccountant::global() probe handles (registered only with
+  // registry_metrics on; removed in stop()).
+  std::vector<std::uint64_t> memory_probe_handles_;
+  std::uint64_t user_probe_handle_ = 0;
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::thread consumer_;

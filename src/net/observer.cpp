@@ -202,8 +202,7 @@ std::optional<RawEvent> SniFlowEngine::observe(const Packet& packet) {
     }
   }
   FlowEntry& flow = table_.entry(slot);
-  flow.buffer.insert(flow.buffer.end(), packet.payload.begin(),
-                     packet.payload.end());
+  table_.append_buffer(slot, packet.payload);
 
   SniViewResult result = extract_sni_view(flow.buffer, scratch_);
   switch (result.status) {

@@ -25,6 +25,7 @@
 #include "net/dns.hpp"
 #include "net/flow_table.hpp"
 #include "net/packet.hpp"
+#include "util/mem_estimate.hpp"
 
 namespace netobs::net {
 
@@ -59,6 +60,11 @@ class UserDemux {
 
   std::size_t distinct_users() const { return ids_.size(); }
   Vantage vantage() const { return vantage_; }
+
+  /// Estimated heap footprint of the identity-key → user-id map.
+  std::size_t memory_bytes() const {
+    return util::unordered_map_bytes(ids_);
+  }
 
  private:
   Vantage vantage_;
@@ -138,6 +144,12 @@ class SniFlowEngine {
   std::size_t tracked_flows() const { return table_.size(); }
   const FlowTable& table() const { return table_; }
 
+  /// Heap footprint of per-flow state (table slots, reassembly buffers,
+  /// scratch strings).
+  std::size_t memory_bytes() const {
+    return table_.memory_bytes() + scratch_.capacity() + host_buf_.capacity();
+  }
+
   /// Repoints the engine at a new demux/stats pair (used by the observer
   /// wrappers' move operations, whose members the engine refers to).
   void rebind(UserDemux& demux, ObserverStats& stats) {
@@ -175,6 +187,12 @@ class DnsFlowEngine {
   void rebind(UserDemux& demux, ObserverStats& stats) {
     demux_ = &demux;
     stats_ = &stats;
+  }
+
+  /// Estimated heap footprint of the dedupe map (the parsed-message scratch
+  /// is bounded by one datagram and not counted).
+  std::size_t memory_bytes() const {
+    return util::unordered_map_bytes(recent_);
   }
 
  private:

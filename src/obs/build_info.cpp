@@ -1,0 +1,63 @@
+#include "obs/build_info.hpp"
+
+#include <chrono>
+#include <cstdint>
+
+#include "util/simd.hpp"
+
+#ifndef NETOBS_GIT_DESCRIBE
+#define NETOBS_GIT_DESCRIBE "unknown"
+#endif
+#ifndef NETOBS_BUILD_TYPE
+#define NETOBS_BUILD_TYPE "unknown"
+#endif
+#ifndef NETOBS_SANITIZER
+#define NETOBS_SANITIZER "none"
+#endif
+
+namespace netobs::obs {
+
+namespace {
+
+// Static-initialisation epoch: close enough to process start that uptime is
+// honest, and needs no hook in main().
+const std::chrono::steady_clock::time_point g_process_start =
+    std::chrono::steady_clock::now();
+
+}  // namespace
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{
+      NETOBS_GIT_DESCRIBE,
+      NETOBS_BUILD_TYPE,
+      NETOBS_SANITIZER,
+#if defined(__VERSION__)
+      __VERSION__,
+#else
+      "unknown",
+#endif
+      util::simd::tier_name(util::simd::active_tier()),
+  };
+  return info;
+}
+
+double process_uptime_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       g_process_start)
+      .count();
+}
+
+std::vector<std::pair<std::string, std::string>> build_info_rows() {
+  const BuildInfo& info = build_info();
+  return {
+      {"build_git", info.git_describe},
+      {"build_type", info.build_type},
+      {"build_sanitizer", info.sanitizer},
+      {"build_compiler", info.compiler},
+      {"build_simd_tier", info.simd_tier},
+      {"process_uptime_seconds",
+       std::to_string(static_cast<std::int64_t>(process_uptime_seconds()))},
+  };
+}
+
+}  // namespace netobs::obs

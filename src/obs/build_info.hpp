@@ -1,0 +1,38 @@
+// Build and process metadata for the telemetry plane.
+//
+// One struct answering "what binary is this" — git describe, build type,
+// sanitizer, compiler, and the *runtime-detected* SIMD tier — plus the
+// process uptime. Rendered three ways: key/value lines on /statusz, a
+// "build" object in the JSON metrics export, and the Prometheus idiom
+// `netobs_build_info{git_describe=...,...} 1` on /metrics, so a scraper can
+// join any series against the exact binary that produced it.
+//
+// The git/build/sanitizer strings are burned in at configure time through
+// compile definitions (see src/CMakeLists.txt); binaries built outside
+// CMake fall back to "unknown".
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace netobs::obs {
+
+struct BuildInfo {
+  std::string git_describe;  ///< `git describe --always --dirty` at configure
+  std::string build_type;    ///< CMAKE_BUILD_TYPE
+  std::string sanitizer;     ///< NETOBS_SANITIZE value or "none"
+  std::string compiler;      ///< compiler id + version (__VERSION__)
+  std::string simd_tier;     ///< runtime tier (scalar / sse2 / avx2)
+};
+
+/// The process-wide build info (computed once, then cached).
+const BuildInfo& build_info();
+
+/// Seconds since this process loaded (static-initialisation epoch).
+double process_uptime_seconds();
+
+/// The build info plus uptime as /statusz key/value lines.
+std::vector<std::pair<std::string, std::string>> build_info_rows();
+
+}  // namespace netobs::obs

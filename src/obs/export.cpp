@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/build_info.hpp"
 #include "obs/trace.hpp"
 
 namespace netobs::obs {
@@ -136,6 +137,17 @@ void write_header(std::ostream& os, const std::string& name,
 }  // namespace
 
 void write_prometheus(std::ostream& os, const MetricsRegistry& registry) {
+  // Synthetic build-info gauge (value always 1, metadata in the labels) —
+  // the standard Prometheus idiom for joining build facts onto any series.
+  const BuildInfo& build = build_info();
+  write_header(os, "netobs_build_info",
+               "Build metadata (constant 1; facts live in the labels)",
+               "gauge");
+  os << "netobs_build_info{git=\"" << escape(build.git_describe)
+     << "\",build_type=\"" << escape(build.build_type) << "\",sanitizer=\""
+     << escape(build.sanitizer) << "\",compiler=\"" << escape(build.compiler)
+     << "\",simd_tier=\"" << escape(build.simd_tier) << "\"} 1\n";
+
   RegistrySnapshot snap = registry.snapshot();
   // Samples arrive family-sorted from the snapshot; emit one header per
   // family (consecutive samples share the name).
@@ -234,6 +246,23 @@ void write_json(std::ostream& os, const MetricsRegistry& registry,
   RegistrySnapshot snap = registry.snapshot();
   JsonWriter w(os, style);
   w.open('{');
+
+  w.key("build");
+  w.open('{');
+  const BuildInfo& build = build_info();
+  w.key("git");
+  w.os() << '"' << escape_json(build.git_describe) << '"';
+  w.key("build_type");
+  w.os() << '"' << escape_json(build.build_type) << '"';
+  w.key("sanitizer");
+  w.os() << '"' << escape_json(build.sanitizer) << '"';
+  w.key("compiler");
+  w.os() << '"' << escape_json(build.compiler) << '"';
+  w.key("simd_tier");
+  w.os() << '"' << escape_json(build.simd_tier) << '"';
+  w.key("uptime_seconds");
+  w.os() << format_double(process_uptime_seconds());
+  w.close('}');
 
   w.key("counters");
   w.open('[');

@@ -1,0 +1,218 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/rng.hpp"
+
+namespace netobs::obs {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(FlightRecorderOptions options)
+    : options_(options),
+      epoch_(std::chrono::steady_clock::now()),
+      slot_mask_(
+          round_up_pow2(options.max_in_flight == 0 ? 1
+                                                   : options.max_in_flight) -
+          1),
+      slots_(new Slot[slot_mask_ + 1]),
+      hop_parse_enqueue_(MetricsRegistry::global(),
+                         "netobs_flight_hop_seconds",
+                         "Per-hop latency of sampled pipeline events",
+                         {0.5, 0.9, 0.99}, {{"hop", "parse_to_enqueue"}}),
+      hop_enqueue_dequeue_(MetricsRegistry::global(),
+                           "netobs_flight_hop_seconds",
+                           "Per-hop latency of sampled pipeline events",
+                           {0.5, 0.9, 0.99}, {{"hop", "enqueue_to_dequeue"}}),
+      hop_dequeue_session_(MetricsRegistry::global(),
+                           "netobs_flight_hop_seconds",
+                           "Per-hop latency of sampled pipeline events",
+                           {0.5, 0.9, 0.99}, {{"hop", "dequeue_to_session"}}),
+      staleness_session_(MetricsRegistry::global(),
+                         "netobs_flight_staleness_seconds",
+                         "End-to-end packet age when a stage saw it",
+                         {0.5, 0.9, 0.99}, {{"stage", "session"}}),
+      staleness_profile_(MetricsRegistry::global(),
+                         "netobs_flight_staleness_seconds",
+                         "End-to-end packet age when a stage saw it",
+                         {0.5, 0.9, 0.99}, {{"stage", "profile"}}) {}
+
+std::uint64_t FlightRecorder::event_key(std::uint32_t user_id,
+                                        std::uint32_t host_id,
+                                        std::int64_t timestamp) {
+  std::uint64_t k = util::mix64(
+      ((static_cast<std::uint64_t>(user_id) << 32) | host_id) ^
+      (static_cast<std::uint64_t>(timestamp) * kGolden));
+  // Clear the top bit and set the bottom one: never 0, never kReserved.
+  return (k >> 1) | 1;
+}
+
+void FlightRecorder::record_parse(std::uint32_t user_id, std::uint32_t host_id,
+                                  std::int64_t timestamp, std::uint32_t shard,
+                                  std::string_view hostname) {
+  std::uint64_t key = event_key(user_id, host_id, timestamp);
+  sampled_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.keep_sample_log) {
+    std::lock_guard<std::mutex> lock(log_mutex_);
+    log_.emplace_back(timestamp, std::string(hostname));
+  }
+  double now = now_seconds();
+  std::size_t idx = key & slot_mask_;
+  for (int probe = 0; probe < kMaxProbes; ++probe, idx = (idx + 1) & slot_mask_) {
+    Slot& s = slots_[idx];
+    if (s.key.load(std::memory_order_relaxed) != 0) continue;
+    std::uint64_t expected = 0;
+    if (!s.key.compare_exchange_strong(expected, kReserved,
+                                       std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+      continue;
+    }
+    s.user_id.store(user_id, std::memory_order_relaxed);
+    s.shard.store(shard, std::memory_order_relaxed);
+    s.timestamp.store(timestamp, std::memory_order_relaxed);
+    s.stamps[0].store(now, std::memory_order_relaxed);
+    s.stamps[1].store(0, std::memory_order_relaxed);
+    s.stamps[2].store(0, std::memory_order_relaxed);
+    s.stamps[3].store(0, std::memory_order_relaxed);
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+    s.key.store(key, std::memory_order_release);
+    return;
+  }
+  // Probe window full: steal the home slot so a record that will never be
+  // completed (e.g. its event was dropped) cannot pin the table forever.
+  // The displaced record counts as overflowed; in-flight total is unchanged.
+  Slot& home = slots_[key & slot_mask_];
+  std::uint64_t current = home.key.load(std::memory_order_relaxed);
+  if (current != 0 && current != kReserved &&
+      home.key.compare_exchange_strong(current, kReserved,
+                                       std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+    home.user_id.store(user_id, std::memory_order_relaxed);
+    home.shard.store(shard, std::memory_order_relaxed);
+    home.timestamp.store(timestamp, std::memory_order_relaxed);
+    home.stamps[0].store(now, std::memory_order_relaxed);
+    home.stamps[1].store(0, std::memory_order_relaxed);
+    home.stamps[2].store(0, std::memory_order_relaxed);
+    home.stamps[3].store(0, std::memory_order_relaxed);
+    home.key.store(key, std::memory_order_release);
+  }
+  overflow_.fetch_add(1, std::memory_order_relaxed);
+}
+
+FlightRecorder::Slot* FlightRecorder::find_slot(std::uint64_t key) {
+  // Scan the whole probe window: completions clear slots back to empty, so
+  // an empty slot does NOT terminate the probe chain (a record inserted
+  // past it would become unreachable — the open-addressing deletion trap).
+  // kMaxProbes is small and lookups only run for sampled events.
+  std::size_t idx = key & slot_mask_;
+  for (int probe = 0; probe < kMaxProbes; ++probe, idx = (idx + 1) & slot_mask_) {
+    if (slots_[idx].key.load(std::memory_order_acquire) == key) {
+      return &slots_[idx];
+    }
+  }
+  return nullptr;
+}
+
+void FlightRecorder::stamp_key(FlightHop hop, std::uint64_t key, double now) {
+  Slot* s = find_slot(key);
+  if (s == nullptr) return;
+  s->stamps[static_cast<std::size_t>(hop)].store(now,
+                                                 std::memory_order_relaxed);
+}
+
+void FlightRecorder::stamp_keys(FlightHop hop,
+                                std::span<const std::uint64_t> keys) {
+  if (keys.empty()) return;
+  double now = now_seconds();
+  for (std::uint64_t key : keys) stamp_key(hop, key, now);
+}
+
+void FlightRecorder::stamp(FlightHop hop, std::uint32_t user_id,
+                           std::uint32_t host_id, std::int64_t timestamp) {
+  // The unsampled fast path: one relaxed load, one integer hash, one or two
+  // atomic probes — no clock read unless the event is actually in flight.
+  if (in_flight_.load(std::memory_order_relaxed) == 0) return;
+  Slot* s = find_slot(event_key(user_id, host_id, timestamp));
+  if (s == nullptr) return;
+  s->stamps[static_cast<std::size_t>(hop)].store(now_seconds(),
+                                                 std::memory_order_relaxed);
+}
+
+void FlightRecorder::complete_session(std::uint32_t user_id,
+                                      std::uint32_t host_id,
+                                      std::int64_t timestamp) {
+  if (in_flight_.load(std::memory_order_relaxed) == 0) return;
+  Slot* s = find_slot(event_key(user_id, host_id, timestamp));
+  if (s == nullptr) return;
+  double now = now_seconds();
+  double parse = s->stamps[0].load(std::memory_order_relaxed);
+  double enqueue = s->stamps[1].load(std::memory_order_relaxed);
+  double dequeue = s->stamps[2].load(std::memory_order_relaxed);
+  std::uint32_t user = s->user_id.load(std::memory_order_relaxed);
+  s->key.store(0, std::memory_order_release);
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  completed_.fetch_add(1, std::memory_order_relaxed);
+
+  if (enqueue >= parse && enqueue > 0) {
+    hop_parse_enqueue_.observe(enqueue - parse);
+  }
+  if (dequeue > 0 && enqueue > 0 && dequeue >= enqueue) {
+    hop_enqueue_dequeue_.observe(dequeue - enqueue);
+  }
+  if (dequeue > 0 && now >= dequeue) {
+    hop_dequeue_session_.observe(now - dequeue);
+  }
+  if (now >= parse) staleness_session_.observe(now - parse);
+
+  std::lock_guard<std::mutex> lock(awaiting_mutex_);
+  if (awaiting_profile_.size() < options_.max_awaiting_profile ||
+      awaiting_profile_.count(user) != 0) {
+    awaiting_profile_[user] = parse;
+    awaiting_.store(awaiting_profile_.size(), std::memory_order_relaxed);
+  }
+}
+
+void FlightRecorder::record_profile(std::uint32_t user_id) {
+  if (awaiting_.load(std::memory_order_relaxed) == 0) return;
+  double parse = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(awaiting_mutex_);
+    auto it = awaiting_profile_.find(user_id);
+    if (it == awaiting_profile_.end()) return;
+    parse = it->second;
+    awaiting_profile_.erase(it);
+    awaiting_.store(awaiting_profile_.size(), std::memory_order_relaxed);
+  }
+  profiled_.fetch_add(1, std::memory_order_relaxed);
+  double age = now_seconds() - parse;
+  if (age >= 0) staleness_profile_.observe(age);
+}
+
+std::vector<std::pair<std::int64_t, std::string>> FlightRecorder::sample_log()
+    const {
+  std::lock_guard<std::mutex> lock(log_mutex_);
+  return log_;
+}
+
+std::vector<std::pair<std::string, std::string>> FlightRecorder::status()
+    const {
+  return {
+      {"flight_sample_every", std::to_string(options_.sample_every)},
+      {"flight_sampled", std::to_string(sampled_count())},
+      {"flight_completed", std::to_string(completed_count())},
+      {"flight_profile_closed", std::to_string(profiled_count())},
+      {"flight_in_flight", std::to_string(in_flight())},
+      {"flight_overflow", std::to_string(overflow_count())},
+  };
+}
+
+}  // namespace netobs::obs

@@ -1,0 +1,216 @@
+// FlightRecorder: deterministic 1-in-N provenance tracing for the sharded
+// ingest pipeline.
+//
+// A sampled event is stamped at every stage it crosses —
+//
+//   kParse    packet parsed, hostname extracted (shard worker)
+//   kEnqueue  offered to the EventRing (shard worker, pre-push)
+//   kDequeue  drained from the ring (consumer thread)
+//   kSession  folded into the session store (consumer thread)
+//   kProfile  the user's next profile/kNN query (any thread)
+//
+// — and the recorder publishes per-hop latencies plus end-to-end
+// packet→session and packet→profile staleness through P² quantile gauges
+// (obs/stats_stream.hpp):
+//
+//   netobs_flight_hop_seconds{hop="parse_to_enqueue"|"enqueue_to_dequeue"
+//                             |"dequeue_to_session"}
+//   netobs_flight_staleness_seconds{stage="session"|"profile"}
+//
+// Sampling is a pure function of (seed, event timestamp, hostname bytes) —
+// deliberately NOT of user_id/host_id, which depend on the shard layout
+// (strided id allocation, racing interns). The same capture therefore
+// samples the same set of events at any shard count, which is what makes
+// cross-config traces comparable (and is pinned by a test).
+//
+// Hot-path budget: the non-sampled cost is one short hash at parse time and
+// one integer-hash + one or two atomic loads per downstream probe — the
+// bench gate holds the whole recorder at 1/1024 under 2% of ingest
+// throughput. In-flight records live in a small fixed open-addressed table
+// of atomic keys; pipeline FIFO order (worker → ring mutex → consumer)
+// provides the happens-before between stage stamps on one record.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/stats_stream.hpp"
+#include "util/rng.hpp"
+
+namespace netobs::obs {
+
+inline constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+
+enum class FlightHop : std::uint8_t {
+  kParse = 0,
+  kEnqueue = 1,
+  kDequeue = 2,
+  kSession = 3,
+  kProfile = 4,
+};
+
+struct FlightRecorderOptions {
+  /// Sample one event in this many (deterministically); 0 disables, 1
+  /// traces everything (tests).
+  std::uint64_t sample_every = 1024;
+  std::uint64_t seed = 2021;
+  /// In-flight slot table size (rounded up to a power of two). Records that
+  /// find no free slot are counted overflowed, never blocked on.
+  std::size_t max_in_flight = 256;
+  /// Cap on records parked between session update and the user's next
+  /// profile query (one per user).
+  std::size_t max_awaiting_profile = 4096;
+  /// Test hook: keep a log of sampled (timestamp, hostname) pairs so suites
+  /// can compare sampled sets across shard counts.
+  bool keep_sample_log = false;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderOptions options = {});
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// The deterministic, shard-layout-invariant sampling decision. Inline:
+  /// it runs for every ingested event once a recorder is attached, and the
+  /// ≤2% pps budget (check_bench_regression) does not cover a cross-TU
+  /// call. Hashes the first/last 8 hostname bytes plus the length —
+  /// constant time, enough entropy on real hostnames — and never
+  /// user_id/host_id (those are shard-layout-dependent).
+  bool sampled(std::int64_t timestamp, std::string_view hostname) const {
+    std::uint64_t every = options_.sample_every;
+    if (every <= 1) return every == 1;
+    std::uint64_t head = 0;
+    std::uint64_t tail = 0;
+    std::size_t n = hostname.size();
+    if (n != 0) {
+      std::memcpy(&head, hostname.data(), n < 8 ? n : 8);
+      if (n > 8) std::memcpy(&tail, hostname.data() + (n - 8), 8);
+    }
+    std::uint64_t h = util::mix64(options_.seed + head * kGolden +
+                                  (tail + n) * 0xff51afd7ed558ccdULL +
+                                  static_cast<std::uint64_t>(timestamp));
+    if ((every & (every - 1)) == 0) return (h & (every - 1)) == 0;
+    return h % every == 0;
+  }
+
+  /// Identity of one event downstream of parse (collision-tolerant; never
+  /// zero).
+  static std::uint64_t event_key(std::uint32_t user_id, std::uint32_t host_id,
+                                 std::int64_t timestamp);
+
+  /// Opens an in-flight record with its kParse stamp. Call only for events
+  /// sampled() said yes to; `hostname` feeds the optional sample log.
+  void record_parse(std::uint32_t user_id, std::uint32_t host_id,
+                    std::int64_t timestamp, std::uint32_t shard,
+                    std::string_view hostname);
+
+  /// Batch stamp by precomputed keys — the shard worker collected them at
+  /// parse time, so the enqueue stage costs nothing per unsampled event.
+  void stamp_keys(FlightHop hop, std::span<const std::uint64_t> keys);
+
+  /// Per-event probe for the consumer side (kDequeue). Near-free when the
+  /// event is not in flight.
+  void stamp(FlightHop hop, std::uint32_t user_id, std::uint32_t host_id,
+             std::int64_t timestamp);
+
+  /// kSession: closes the in-flight record — publishes the hop and
+  /// packet→session staleness quantiles and parks the parse stamp under
+  /// `user_id` for the profile stage.
+  void complete_session(std::uint32_t user_id, std::uint32_t host_id,
+                        std::int64_t timestamp);
+
+  /// kProfile: if a completed record is parked for `user_id`, publishes the
+  /// end-to-end packet→profile staleness and retires it.
+  void record_profile(std::uint32_t user_id);
+
+  // Lifetime totals (internal atomics — valid with the registry disabled).
+  std::uint64_t sampled_count() const {
+    return sampled_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t completed_count() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t overflow_count() const {
+    return overflow_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t profiled_count() const {
+    return profiled_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+
+  const FlightRecorderOptions& options() const { return options_; }
+
+  /// Sampled (timestamp, hostname) pairs when keep_sample_log is on.
+  std::vector<std::pair<std::int64_t, std::string>> sample_log() const;
+
+  /// Key/value lines for /statusz status providers.
+  std::vector<std::pair<std::string, std::string>> status() const;
+
+ private:
+  // Payload fields are relaxed atomics: pipeline FIFO order gives the
+  // happens-before between a record's stage stamps, but a table overflow
+  // can steal a slot mid-record — the stolen record's stamps then race
+  // benignly, and atomics keep that defined (and TSan-clean).
+  struct Slot {
+    std::atomic<std::uint64_t> key{0};  ///< 0 free, kReserved mid-claim
+    std::atomic<std::uint32_t> user_id{0};
+    std::atomic<std::uint32_t> shard{0};
+    std::atomic<std::int64_t> timestamp{0};
+    std::atomic<double> stamps[4];  ///< kParse..kSession, recorder seconds
+  };
+
+  static constexpr std::uint64_t kReserved = ~std::uint64_t{0};
+  static constexpr int kMaxProbes = 8;
+
+  double now_seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch_)
+        .count();
+  }
+  Slot* find_slot(std::uint64_t key);
+  void stamp_key(FlightHop hop, std::uint64_t key, double now);
+
+  FlightRecorderOptions options_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::size_t slot_mask_ = 0;
+  std::unique_ptr<Slot[]> slots_;
+
+  std::atomic<std::uint64_t> sampled_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> overflow_{0};
+  std::atomic<std::uint64_t> profiled_{0};
+  std::atomic<std::uint64_t> in_flight_{0};
+  std::atomic<std::uint64_t> awaiting_{0};
+
+  // Session→profile hand-off: rare path (one entry per sampled event that
+  // reached the store), mutex is fine.
+  std::mutex awaiting_mutex_;
+  std::unordered_map<std::uint32_t, double> awaiting_profile_;
+
+  mutable std::mutex log_mutex_;
+  std::vector<std::pair<std::int64_t, std::string>> log_;
+
+  // Published quantiles (P² gauges on the global registry).
+  QuantileGauges hop_parse_enqueue_;
+  QuantileGauges hop_enqueue_dequeue_;
+  QuantileGauges hop_dequeue_session_;
+  QuantileGauges staleness_session_;
+  QuantileGauges staleness_profile_;
+};
+
+}  // namespace netobs::obs

@@ -13,8 +13,10 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/build_info.hpp"
 #include "obs/export.hpp"
 #include "obs/log.hpp"
+#include "obs/memory.hpp"
 #include "obs/stats_stream.hpp"
 #include "obs/trace.hpp"
 
@@ -84,8 +86,9 @@ const char* status_text(int status) {
 
 /// Known endpoint or "other" — bounds the path label cardinality.
 const char* path_label(const std::string& path) {
-  static const char* known[] = {"/",       "/metrics", "/metrics.json",
-                                "/healthz", "/tracez",  "/statusz"};
+  static const char* known[] = {"/",        "/metrics", "/metrics.json",
+                                "/healthz", "/tracez",  "/statusz",
+                                "/memz"};
   for (const char* p : known) {
     if (path == p) return p;
   }
@@ -262,6 +265,7 @@ HttpServer::Response HttpServer::handle(const std::string& method,
   if (path == "/healthz") return healthz();
   if (path == "/tracez") return tracez();
   if (path == "/statusz") return statusz();
+  if (path == "/memz") return memz();
   if (path == "/" || path.empty()) return index();
   return Response{404, "text/plain; charset=utf-8",
                   "unknown endpoint; see / for the index\n"};
@@ -338,6 +342,9 @@ HttpServer::Response HttpServer::statusz() {
     os << "trace_spans: tracing disabled\n";
   }
   os << "requests_served: " << requests_served() << '\n';
+  for (const auto& [key, value] : build_info_rows()) {
+    os << key << ": " << value << '\n';
+  }
   for (const auto& [key, value] : options_.status_info) {
     os << key << ": " << value << '\n';
   }
@@ -356,6 +363,14 @@ HttpServer::Response HttpServer::statusz() {
   return Response{200, "text/plain; charset=utf-8", os.str()};
 }
 
+HttpServer::Response HttpServer::memz() {
+  // Flush StatsHub publishers first so ledger mirrors synced through the
+  // hub are as fresh as the pull probes evaluated inside to_json().
+  run_collectors();
+  return Response{200, "application/json; charset=utf-8",
+                  MemoryAccountant::global().to_json()};
+}
+
 HttpServer::Response HttpServer::index() {
   return Response{200, "text/plain; charset=utf-8",
                   "netobs telemetry endpoints:\n"
@@ -363,7 +378,8 @@ HttpServer::Response HttpServer::index() {
                   "  /metrics.json  registry as JSON\n"
                   "  /healthz       readiness/liveness checks\n"
                   "  /tracez        span tree of the trace buffer\n"
-                  "  /statusz       build/runtime status\n"};
+                  "  /statusz       build/runtime status\n"
+                  "  /memz          per-subsystem memory accounting\n"};
 }
 
 }  // namespace netobs::obs

@@ -131,6 +131,7 @@ class HttpServer {
   Response healthz();
   Response tracez();
   Response statusz();
+  Response memz();
   Response index();
 
   HttpServerOptions options_;

@@ -1,0 +1,174 @@
+#include "obs/memory.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "obs/stats_stream.hpp"
+
+namespace netobs::obs {
+
+MemoryAccountant::~MemoryAccountant() {
+  if (hub_handle_ != 0) StatsHub::global().remove(hub_handle_);
+}
+
+MemoryAccountant& MemoryAccountant::global() {
+  static MemoryAccountant* instance = [] {
+    auto* a = new MemoryAccountant();
+    // Leaked on purpose (like the global registry pattern): probes owned by
+    // static-lifetime objects may still run during shutdown.
+    a->hub_handle_ = StatsHub::global().add(
+        [a] { a->publish(MetricsRegistry::global()); });
+    return a;
+  }();
+  return *instance;
+}
+
+MemoryAccountant::Ledger* MemoryAccountant::ledger(
+    const std::string& subsystem, bool per_user) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ledgers_.emplace_back();
+  Ledger& cell = ledgers_.back();
+  cell.subsystem_ = subsystem;
+  cell.per_user_ = per_user;
+  return &cell;
+}
+
+void MemoryAccountant::release(Ledger* cell) {
+  if (cell == nullptr) return;
+  cell->active_.store(false, std::memory_order_relaxed);
+}
+
+std::uint64_t MemoryAccountant::add_probe(const std::string& subsystem,
+                                          bool per_user, Probe probe) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t handle = next_handle_++;
+  probes_.push_back(ProbeEntry{handle, subsystem, per_user, std::move(probe)});
+  return handle;
+}
+
+void MemoryAccountant::remove_probe(std::uint64_t handle) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::erase_if(probes_,
+                [handle](const ProbeEntry& p) { return p.handle == handle; });
+}
+
+std::uint64_t MemoryAccountant::add_user_probe(
+    std::function<std::uint64_t()> probe) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t handle = next_handle_++;
+  user_probes_.emplace_back(handle, std::move(probe));
+  return handle;
+}
+
+void MemoryAccountant::remove_user_probe(std::uint64_t handle) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::erase_if(user_probes_,
+                [handle](const auto& p) { return p.first == handle; });
+}
+
+MemorySnapshot MemoryAccountant::snapshot() const {
+  // subsystem name -> (bytes, per_user); per_user is a property of the
+  // subsystem, so mixed registrations resolve to "any registrant said so".
+  std::map<std::string, std::pair<std::uint64_t, bool>> agg;
+  MemorySnapshot snap;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Ledger& cell : ledgers_) {
+    if (!cell.active_.load(std::memory_order_relaxed)) continue;
+    auto& slot = agg[cell.subsystem_];
+    slot.first += cell.bytes();
+    slot.second = slot.second || cell.per_user_;
+  }
+  for (const ProbeEntry& p : probes_) {
+    std::uint64_t bytes = 0;
+    try {
+      bytes = p.probe();
+    } catch (...) {
+      bytes = 0;
+    }
+    auto& slot = agg[p.subsystem];
+    slot.first += bytes;
+    slot.second = slot.second || p.per_user;
+  }
+  for (const auto& [handle, probe] : user_probes_) {
+    (void)handle;
+    std::uint64_t users = 0;
+    try {
+      users = probe();
+    } catch (...) {
+      users = 0;
+    }
+    snap.users = std::max(snap.users, users);
+  }
+  snap.subsystems.reserve(agg.size());
+  for (const auto& [name, cell] : agg) {
+    snap.subsystems.push_back(MemoryBytes{name, cell.first, cell.second});
+    snap.total_bytes += cell.first;
+    if (cell.second) snap.per_user_bytes += cell.first;
+  }
+  snap.bytes_per_user =
+      static_cast<double>(snap.per_user_bytes) /
+      static_cast<double>(snap.users == 0 ? 1 : snap.users);
+  return snap;
+}
+
+std::string MemoryAccountant::to_json() const {
+  MemorySnapshot snap = snapshot();
+  std::string out;
+  out.reserve(256 + snap.subsystems.size() * 64);
+  char buf[64];
+  out += "{\n";
+  std::snprintf(buf, sizeof(buf), "  \"total_bytes\": %llu,\n",
+                static_cast<unsigned long long>(snap.total_bytes));
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "  \"per_user_bytes\": %llu,\n",
+                static_cast<unsigned long long>(snap.per_user_bytes));
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "  \"users\": %llu,\n",
+                static_cast<unsigned long long>(snap.users));
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "  \"bytes_per_user\": %.3f,\n",
+                snap.bytes_per_user);
+  out += buf;
+  out += "  \"subsystems\": [\n";
+  for (std::size_t i = 0; i < snap.subsystems.size(); ++i) {
+    const MemoryBytes& s = snap.subsystems[i];
+    // Subsystem names are code-side identifiers (no quotes/backslashes to
+    // escape by construction).
+    out += "    {\"name\": \"" + s.subsystem + "\", \"bytes\": ";
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(s.bytes));
+    out += buf;
+    out += ", \"per_user\": ";
+    out += s.per_user ? "true" : "false";
+    out += "}";
+    if (i + 1 < snap.subsystems.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+void MemoryAccountant::publish(MetricsRegistry& registry) const {
+  MemorySnapshot snap = snapshot();
+  for (const MemoryBytes& s : snap.subsystems) {
+    registry
+        .gauge("netobs_memory_bytes", "Live bytes attributed per subsystem",
+               {{"subsystem", s.subsystem}})
+        .set(static_cast<double>(s.bytes));
+  }
+  registry
+      .gauge("netobs_memory_total_bytes",
+             "Live bytes across all accounted subsystems")
+      .set(static_cast<double>(snap.total_bytes));
+  registry
+      .gauge("netobs_memory_bytes_per_user",
+             "Per-user state bytes divided by tracked users")
+      .set(snap.bytes_per_user);
+  registry
+      .gauge("netobs_memory_tracked_users",
+             "User population behind the bytes-per-user gauge")
+      .set(static_cast<double>(snap.users));
+}
+
+}  // namespace netobs::obs

@@ -1,0 +1,136 @@
+// MemoryAccountant: a per-subsystem live-byte ledger for the serve path.
+//
+// ROADMAP item 3 ("million-user memory-budgeted user store") needs to know
+// where the bytes are *before* anything can budget them. Every stateful
+// subsystem — intern pool chunks, per-shard flow tables, session windows,
+// long-term user profiles, embedding matrices, IVF lists — reports its live
+// footprint here, and the accountant aggregates the ledger into:
+//
+//   - a /memz JSON document (subsystem totals, tracked users, bytes/user),
+//   - Prometheus gauges netobs_memory_bytes{subsystem=...} plus the
+//     total / per-user rollups, refreshed through StatsHub on every scrape,
+//   - MemorySnapshot for tests and the bench baseline writer.
+//
+// Two reporting styles, both safe against concurrent mutators:
+//   - Ledger cells: the subsystem owns an atomic byte counter and calls
+//     set()/add() from its own thread(s); the hot path is one relaxed
+//     atomic op, no locks (this is the "lock-free ledger" shape);
+//   - pull Probes: a callback evaluated at snapshot time. Probes run on the
+//     scraping thread, so they must only read state that is safe to read
+//     cross-thread (atomics, immutable-after-build members).
+//
+// Subsystems registered with per_user=true count toward the bytes-per-user
+// breakdown; the user denominator comes from user probes (the largest
+// reported population wins, so co-registered demux/session views do not
+// double-count people).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace netobs::obs {
+
+/// One subsystem's contribution to a MemorySnapshot.
+struct MemoryBytes {
+  std::string subsystem;
+  std::uint64_t bytes = 0;
+  bool per_user = false;
+};
+
+struct MemorySnapshot {
+  std::vector<MemoryBytes> subsystems;  ///< aggregated by name, name-sorted
+  std::uint64_t total_bytes = 0;
+  std::uint64_t per_user_bytes = 0;  ///< sum over per_user subsystems
+  std::uint64_t users = 0;           ///< max over registered user probes
+  double bytes_per_user = 0.0;       ///< per_user_bytes / max(users, 1)
+};
+
+class MemoryAccountant {
+ public:
+  /// Push-style byte cell. set()/add() are single relaxed atomic ops —
+  /// callable from any hot path. Stable address for the accountant's
+  /// lifetime; release() retires it from snapshots.
+  class Ledger {
+   public:
+    void set(std::uint64_t bytes) {
+      bytes_.store(bytes, std::memory_order_relaxed);
+    }
+    void add(std::int64_t delta) {
+      bytes_.fetch_add(static_cast<std::uint64_t>(delta),
+                       std::memory_order_relaxed);
+    }
+    std::uint64_t bytes() const {
+      return bytes_.load(std::memory_order_relaxed);
+    }
+
+   private:
+    friend class MemoryAccountant;
+    std::atomic<std::uint64_t> bytes_{0};
+    std::string subsystem_;
+    bool per_user_ = false;
+    std::atomic<bool> active_{true};
+  };
+
+  using Probe = std::function<std::uint64_t()>;
+
+  MemoryAccountant() = default;
+  ~MemoryAccountant();
+
+  MemoryAccountant(const MemoryAccountant&) = delete;
+  MemoryAccountant& operator=(const MemoryAccountant&) = delete;
+
+  /// The process-wide accountant behind /memz. Its gauges are published
+  /// into MetricsRegistry::global() through a StatsHub publisher, so every
+  /// export path sees fresh values.
+  static MemoryAccountant& global();
+
+  /// Registers a push-style cell; several cells may share one subsystem
+  /// name (per-shard tables), snapshots sum them.
+  Ledger* ledger(const std::string& subsystem, bool per_user = false);
+  void release(Ledger* cell);
+
+  /// Registers a pull probe (evaluated on the snapshotting thread; a probe
+  /// that throws contributes 0). Returns a handle for remove_probe().
+  std::uint64_t add_probe(const std::string& subsystem, bool per_user,
+                          Probe probe);
+  void remove_probe(std::uint64_t handle);
+
+  /// Registers a tracked-user-count source for the bytes-per-user
+  /// denominator; snapshots take the max across sources.
+  std::uint64_t add_user_probe(std::function<std::uint64_t()> probe);
+  void remove_user_probe(std::uint64_t handle);
+
+  MemorySnapshot snapshot() const;
+
+  /// The /memz document (pretty JSON).
+  std::string to_json() const;
+
+  /// Writes netobs_memory_bytes{subsystem=...} + rollup gauges into
+  /// `registry` from a fresh snapshot.
+  void publish(MetricsRegistry& registry) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<Ledger> ledgers_;  ///< deque: stable addresses across growth
+  std::uint64_t next_handle_ = 1;
+  struct ProbeEntry {
+    std::uint64_t handle;
+    std::string subsystem;
+    bool per_user;
+    Probe probe;
+  };
+  std::vector<ProbeEntry> probes_;
+  std::vector<std::pair<std::uint64_t, std::function<std::uint64_t()>>>
+      user_probes_;
+  std::uint64_t hub_handle_ = 0;  ///< set by global() only
+};
+
+}  // namespace netobs::obs

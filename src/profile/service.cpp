@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/log.hpp"
+#include "obs/memory.hpp"
 #include "obs/trace.hpp"
 
 namespace {
@@ -47,6 +48,30 @@ ProfilingService::ProfilingService(const ontology::HostLabeler& labeler,
                              "Hostname events held by the session store");
   store_users_ = &reg.gauge("netobs_profile_store_users",
                             "Users with at least one stored event");
+  register_memory_probes();
+}
+
+void ProfilingService::register_memory_probes() {
+  auto& acct = obs::MemoryAccountant::global();
+  memory_probe_handles_.push_back(acct.add_probe(
+      "session_windows", /*per_user=*/true,
+      [this] { return store_bytes_.load(std::memory_order_relaxed); }));
+  memory_probe_handles_.push_back(acct.add_probe(
+      "embedding_matrix", /*per_user=*/false,
+      [this] { return model_bytes_.load(std::memory_order_relaxed); }));
+  memory_probe_handles_.push_back(acct.add_probe(
+      "knn_index", /*per_user=*/false,
+      [this] { return index_bytes_.load(std::memory_order_relaxed); }));
+  user_probe_handle_ = acct.add_user_probe(
+      [this] { return store_users_count_.load(std::memory_order_relaxed); });
+}
+
+ProfilingService::~ProfilingService() {
+  auto& acct = obs::MemoryAccountant::global();
+  for (std::uint64_t handle : memory_probe_handles_) {
+    acct.remove_probe(handle);
+  }
+  acct.remove_user_probe(user_probe_handle_);
 }
 
 bool ProfilingService::ingest_one(std::uint32_t user,
@@ -65,6 +90,8 @@ bool ProfilingService::ingest_one(std::uint32_t user,
 void ProfilingService::sync_store_gauges() {
   store_events_->set(static_cast<double>(store_.event_count()));
   store_users_->set(static_cast<double>(store_.user_count()));
+  store_bytes_.store(store_.memory_bytes(), std::memory_order_relaxed);
+  store_users_count_.store(store_.user_count(), std::memory_order_relaxed);
 }
 
 void ProfilingService::ingest(const net::HostnameEvent& event) {
@@ -93,7 +120,10 @@ void ProfilingService::ingest_interned(
     const util::InternPool& pool) {
   for (const auto& e : events) {
     if (e.host_id == util::InternPool::kInvalidId) continue;
-    ingest_one(e.user_id, e.timestamp, pool.name(e.host_id));
+    bool accepted = ingest_one(e.user_id, e.timestamp, pool.name(e.host_id));
+    if (accepted && flight_ != nullptr) {
+      flight_->complete_session(e.user_id, e.host_id, e.timestamp);
+    }
   }
   sync_store_gauges();
 }
@@ -141,6 +171,10 @@ bool ProfilingService::retrain(std::int64_t train_day) {
   }
   profiler_ = std::make_unique<SessionProfiler>(*model_, *index_, *labeler_,
                                                 params_.profiler);
+  model_bytes_.store(
+      model_->central().memory_bytes() + model_->context().memory_bytes(),
+      std::memory_order_relaxed);
+  index_bytes_.store(index_->memory_bytes(), std::memory_order_relaxed);
   retrains_->inc();
   obs::log_info(kLogSite, "retrained model",
                 {{"day", std::to_string(train_day)},
@@ -192,6 +226,7 @@ SessionProfile ProfilingService::profile_user(std::uint32_t user,
   profiles_->inc();
   SessionProfile result = profiler_->profile(session_of(user, now));
   profile_latency_q_.observe(timer.stop());
+  if (flight_ != nullptr) flight_->record_profile(user);
   return result;
 }
 
@@ -231,7 +266,11 @@ std::vector<SessionProfile> ProfilingService::profile_users(
   for (std::uint32_t user : users) {
     sessions.push_back(session_of(user, now).hostnames);
   }
-  return profile_batch(sessions);
+  std::vector<SessionProfile> results = profile_batch(sessions);
+  if (flight_ != nullptr) {
+    for (std::uint32_t user : users) flight_->record_profile(user);
+  }
+  return results;
 }
 
 }  // namespace netobs::profile

@@ -18,9 +18,12 @@
 #include <utility>
 #include <vector>
 
+#include <atomic>
+
 #include "embedding/ivf_index.hpp"
 #include "filter/blocklist.hpp"
 #include "net/ingest.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/stats_stream.hpp"
 #include "profile/profiler.hpp"
@@ -53,6 +56,7 @@ class ProfilingService {
   ProfilingService(const ontology::HostLabeler& labeler,
                    const filter::Blocklist* blocklist,
                    ServiceParams params = ServiceParams());
+  ~ProfilingService();
 
   /// Feeds observer events (blocked hostnames are silently dropped).
   void ingest(const net::HostnameEvent& event);
@@ -124,12 +128,18 @@ class ProfilingService {
   /// providers (obs::HttpServer::add_status_provider).
   std::vector<std::pair<std::string, std::string>> knn_status() const;
 
+  /// Attaches a provenance tracer: ingest_interned() closes in-flight
+  /// records (kSession) and profile queries retire parked ones (kProfile).
+  /// Pass the same recorder the ingest pipeline uses; nullptr detaches.
+  void set_flight_recorder(obs::FlightRecorder* flight) { flight_ = flight; }
+
  private:
   /// Blocklist + store insert for one event, no gauge updates. Returns
   /// whether the event was accepted.
   bool ingest_one(std::uint32_t user, util::Timestamp timestamp,
                   std::string_view hostname);
   void sync_store_gauges();
+  void register_memory_probes();
 
   const ontology::HostLabeler* labeler_;
   const filter::Blocklist* blocklist_;
@@ -156,6 +166,18 @@ class ProfilingService {
   std::unique_ptr<embedding::HostEmbedding> model_;
   std::unique_ptr<embedding::KnnIndex> index_;
   std::unique_ptr<SessionProfiler> profiler_;
+
+  obs::FlightRecorder* flight_ = nullptr;
+
+  // MemoryAccountant mirrors: the store/model/index are mutated on the
+  // consumer (or caller) thread while probes read from the scraping thread,
+  // so probes only ever see these atomics (refreshed per batch / retrain).
+  std::atomic<std::size_t> store_bytes_{0};
+  std::atomic<std::size_t> store_users_count_{0};
+  std::atomic<std::size_t> model_bytes_{0};
+  std::atomic<std::size_t> index_bytes_{0};
+  std::vector<std::uint64_t> memory_probe_handles_;
+  std::uint64_t user_probe_handle_ = 0;
 };
 
 }  // namespace netobs::profile

@@ -22,10 +22,12 @@ void SessionStore::ingest(std::uint32_t user, util::Timestamp timestamp,
   // Events are expected roughly in order; tolerate small reordering by
   // inserting at the back (queries sort nothing, they scan backwards).
   visits.push_back({timestamp, std::string(hostname)});
+  visit_bytes_ += visit_cost(visits.back());
   ++event_count_;
   // Prune anything older than the horizon.
   util::Timestamp cutoff = timestamp - horizon_;
   while (!visits.empty() && visits.front().timestamp < cutoff) {
+    visit_bytes_ -= visit_cost(visits.front());
     visits.pop_front();
     --event_count_;
   }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "net/packet.hpp"
+#include "util/mem_estimate.hpp"
 #include "util/sim_time.hpp"
 
 namespace netobs::profile {
@@ -84,15 +85,27 @@ class SessionStore {
   /// Users with at least one stored event (cheap: map size, no scan).
   std::size_t user_count() const { return per_user_.size(); }
 
+  /// Estimated heap footprint: the per-user map plus every stored visit
+  /// (deque slot + spilled hostname heap), tracked incrementally on
+  /// ingest/prune so the call is O(1).
+  std::size_t memory_bytes() const {
+    return util::unordered_map_bytes(per_user_) + visit_bytes_;
+  }
+
  private:
   struct Visit {
     util::Timestamp timestamp;
     std::string hostname;
   };
 
+  static std::size_t visit_cost(const Visit& v) {
+    return sizeof(Visit) + util::string_heap_bytes(v.hostname);
+  }
+
   util::Timestamp horizon_;
   std::unordered_map<std::uint32_t, std::deque<Visit>> per_user_;
   std::size_t event_count_ = 0;
+  std::size_t visit_bytes_ = 0;  ///< sum of visit_cost over stored visits
 };
 
 }  // namespace netobs::profile

@@ -14,6 +14,7 @@
 
 #include "ontology/category_tree.hpp"
 #include "profile/profiler.hpp"
+#include "util/mem_estimate.hpp"
 #include "util/sim_time.hpp"
 
 namespace netobs::profile {
@@ -46,6 +47,14 @@ class UserProfileStore {
 
   std::size_t user_count() const { return users_.size(); }
   std::size_t category_count() const { return category_count_; }
+
+  /// Estimated heap footprint: one map node per user plus each user's
+  /// accumulator vector (every accumulator holds category_count doubles).
+  std::size_t memory_bytes() const {
+    return util::unordered_map_bytes(users_) +
+           users_.size() *
+               util::malloc_rounded(category_count_ * sizeof(double));
+  }
 
  private:
   struct State {

@@ -1,7 +1,9 @@
 #include "util/intern_pool.hpp"
 
 #include <stdexcept>
+#include <utility>
 
+#include "util/mem_estimate.hpp"
 #include "util/rng.hpp"
 
 namespace netobs::util {
@@ -59,6 +61,7 @@ void InternPool::publish(Id id, const std::string* name) {
     if (chunk == nullptr) {
       chunk = new Chunk();
       chunks_[chunk_index].store(chunk, std::memory_order_release);
+      bytes_.fetch_add(sizeof(Chunk), std::memory_order_relaxed);
     }
   }
   chunk->slots[id & (kChunkSize - 1)].store(name, std::memory_order_release);
@@ -77,7 +80,17 @@ InternPool::Id InternPool::intern(std::string_view s) {
   Id id = next_id_.fetch_add(1, std::memory_order_acq_rel);
   publish(id, &stored);
   shard.index.emplace(std::string_view(stored), id);
-  bytes_.fetch_add(stored.size(), std::memory_order_relaxed);
+  // Full per-string footprint: the deque slot holding the std::string, any
+  // heap the string spilled past its SSO buffer, and the index map node —
+  // plus whatever the bucket array grew by if this insert rehashed (tracked
+  // as a delta under the shard mutex; the array only ever grows).
+  std::size_t node = malloc_rounded(
+      sizeof(std::pair<const std::string_view, Id>) + 2 * sizeof(void*));
+  std::size_t buckets = shard.index.bucket_count() * sizeof(void*);
+  bytes_.fetch_add(sizeof(std::string) + string_heap_bytes(stored) + node +
+                       (buckets - shard.bucket_bytes),
+                   std::memory_order_relaxed);
+  shard.bucket_bytes = buckets;
   return id;
 }
 

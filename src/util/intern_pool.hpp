@@ -70,7 +70,9 @@ class InternPool {
     return next_id_.load(std::memory_order_relaxed);
   }
 
-  /// Approximate heap footprint of the interned strings, for gauges.
+  /// Approximate heap footprint of the pool: interned strings (deque slots
+  /// plus spilled heap), index map nodes, and id-directory chunks. Tracked
+  /// incrementally with relaxed atomics; safe to read from any thread.
   std::size_t bytes() const { return bytes_.load(std::memory_order_relaxed); }
 
  private:
@@ -94,6 +96,7 @@ class InternPool {
     // directory can publish raw pointers while the map grows.
     std::unordered_map<std::string_view, Id> index;
     std::deque<std::string> names;
+    std::size_t bucket_bytes = 0;  ///< last accounted index bucket array
   };
 
   Shard& shard_of(std::string_view s) const;

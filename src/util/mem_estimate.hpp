@@ -1,0 +1,40 @@
+// Heap-footprint estimators for standard containers, shared by every
+// subsystem that reports into obs::MemoryAccountant.
+//
+// These are *estimates*: node-based containers are modelled as one
+// allocation per element (libstdc++ layout: next pointer + cached hash +
+// value, malloc-rounded) plus the bucket pointer array. The memz
+// reconciliation test pins them against the counting allocator to within
+// 10%, which is the accuracy the budgeting work (ROADMAP item 3) needs —
+// trend and magnitude, not malloc-exact bytes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace netobs::util {
+
+/// Malloc-style size rounding: glibc serves requests in 16-byte steps with
+/// an 8-byte usable-size bonus over the header.
+inline std::size_t malloc_rounded(std::size_t request) {
+  if (request == 0) return 0;
+  std::size_t chunk = (request + 8 + 15) & ~std::size_t{15};
+  return chunk < 32 ? 24 : chunk - 8;
+}
+
+/// Approximate heap bytes of an unordered associative container: one node
+/// per element plus the bucket pointer array.
+template <class Map>
+std::size_t unordered_map_bytes(const Map& map) {
+  using Value = typename Map::value_type;
+  std::size_t node = malloc_rounded(sizeof(Value) + 2 * sizeof(void*));
+  return map.size() * node + map.bucket_count() * sizeof(void*);
+}
+
+/// Heap payload of one std::string — zero while the small-string
+/// optimisation holds the bytes inline.
+inline std::size_t string_heap_bytes(const std::string& s) {
+  return s.capacity() > 15 ? malloc_rounded(s.capacity() + 1) : 0;
+}
+
+}  // namespace netobs::util

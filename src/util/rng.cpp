@@ -5,15 +5,6 @@
 
 namespace netobs::util {
 
-std::uint64_t mix64(std::uint64_t x) {
-  x ^= x >> 33;
-  x *= 0xff51afd7ed558ccdULL;
-  x ^= x >> 33;
-  x *= 0xc4ceb9fe1a85ec53ULL;
-  x ^= x >> 33;
-  return x;
-}
-
 Pcg32::Pcg32(std::uint64_t seed, std::uint64_t stream) {
   inc_ = (stream << 1U) | 1U;
   state_ = 0;

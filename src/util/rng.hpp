@@ -29,8 +29,17 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
-/// Stateless 64-bit mix; usable as a hash of (seed, value) pairs.
-std::uint64_t mix64(std::uint64_t x);
+/// Stateless 64-bit mix (murmur3 finalizer); usable as a hash of
+/// (seed, value) pairs. Inline: per-event hot paths (flight-recorder
+/// sampling, intern hashing) cannot afford a cross-TU call.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
 
 /// PCG-XSH-RR 32-bit generator (O'Neill 2014). Small state, good statistical
 /// quality, cheap to fork into independent streams.

@@ -1,0 +1,252 @@
+// Tests for the provenance flight recorder (obs/flight_recorder.hpp): the
+// shard-layout-invariant sampling function, end-to-end hop stamping through
+// a real IngestPipeline, overflow bounds on the in-flight table, and a
+// FlightConcurrency suite that runs under the sanitizer_smoke ctest.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/ingest.hpp"
+#include "net/tls.hpp"
+#include "obs/export.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/stats_stream.hpp"
+#include "util/intern_pool.hpp"
+
+namespace netobs::obs {
+namespace {
+
+net::Packet tls_packet(std::uint32_t src_ip, std::uint64_t mac,
+                       const std::string& host, util::Timestamp ts,
+                       std::uint16_t src_port, std::uint32_t dst_ip) {
+  net::Packet p;
+  p.timestamp = ts;
+  p.tuple = {src_ip, dst_ip, src_port, 443, net::Transport::kTcp};
+  p.src_mac = mac;
+  p.subscriber_id = mac;
+  net::ClientHelloSpec spec;
+  spec.sni = host;
+  p.payload = net::build_client_hello_record(spec);
+  return p;
+}
+
+/// Flow-per-packet corpus with advancing timestamps — enough hostname and
+/// timestamp variety for the sampling hash to exercise both outcomes.
+std::vector<net::Packet> corpus(std::size_t flows, std::size_t users,
+                                std::size_t hosts) {
+  std::vector<net::Packet> packets;
+  packets.reserve(flows);
+  for (std::size_t i = 0; i < flows; ++i) {
+    std::size_t u = (i * 7) % users;
+    packets.push_back(tls_packet(
+        0x0A000000 + static_cast<std::uint32_t>(u), 100 + u,
+        "svc" + std::to_string(i % hosts) + ".example.com",
+        static_cast<util::Timestamp>(i / 50),
+        static_cast<std::uint16_t>(20000 + i % 30000),
+        0xC0000000 + static_cast<std::uint32_t>(i)));
+  }
+  return packets;
+}
+
+/// Sorted (timestamp, hostname) sample log — the shard-count-invariant view.
+std::vector<std::pair<std::int64_t, std::string>> sorted_log(
+    const FlightRecorder& recorder) {
+  auto log = recorder.sample_log();
+  std::sort(log.begin(), log.end());
+  return log;
+}
+
+TEST(FlightRecorder, SamplingIsDeterministicAndSeedSensitive) {
+  FlightRecorderOptions opts;
+  opts.sample_every = 8;
+  opts.seed = 42;
+  FlightRecorder a(opts), b(opts);
+  FlightRecorderOptions other = opts;
+  other.seed = 43;
+  FlightRecorder c(other);
+
+  int sampled = 0, seed_disagreements = 0;
+  for (int i = 0; i < 512; ++i) {
+    std::string host = "svc" + std::to_string(i) + ".example.com";
+    std::int64_t ts = i / 50;
+    bool hit = a.sampled(ts, host);
+    EXPECT_EQ(hit, b.sampled(ts, host)) << host;  // pure function of opts
+    sampled += hit ? 1 : 0;
+    seed_disagreements += hit != c.sampled(ts, host) ? 1 : 0;
+  }
+  // Roughly 1-in-8 of 512 inputs; a different seed picks a different set.
+  EXPECT_GT(sampled, 20);
+  EXPECT_LT(sampled, 200);
+  EXPECT_GT(seed_disagreements, 0);
+
+  FlightRecorderOptions off = opts;
+  off.sample_every = 0;
+  EXPECT_FALSE(FlightRecorder(off).sampled(0, "any.example.com"));
+  FlightRecorderOptions all = opts;
+  all.sample_every = 1;
+  EXPECT_TRUE(FlightRecorder(all).sampled(0, "any.example.com"));
+}
+
+TEST(FlightRecorder, SampledSetInvariantAcrossShardCounts) {
+  auto packets = corpus(1200, 16, 60);
+  FlightRecorderOptions fr;
+  fr.sample_every = 16;
+  fr.keep_sample_log = true;
+
+  auto run = [&](std::size_t shards, FlightRecorder& recorder) {
+    util::InternPool pool;
+    net::IngestOptions opts;
+    opts.shards = shards;
+    opts.flight = &recorder;
+    net::IngestPipeline pipeline(opts, pool,
+                                 [](std::span<const net::InternedEvent>) {});
+    pipeline.push(packets);
+    pipeline.stop();
+  };
+
+  FlightRecorder one(fr), three(fr);
+  run(1, one);
+  run(3, three);
+
+  // user_id/host_id differ across shard layouts; the sampled
+  // (timestamp, hostname) set must not.
+  auto log1 = sorted_log(one);
+  auto log3 = sorted_log(three);
+  EXPECT_FALSE(log1.empty());
+  EXPECT_EQ(log1, log3);
+  EXPECT_EQ(one.sampled_count(), three.sampled_count());
+}
+
+TEST(FlightRecorder, StampsEveryHopAndPublishesStaleness) {
+  auto packets = corpus(400, 8, 30);
+  FlightRecorderOptions fr;
+  fr.sample_every = 1;  // trace everything: each event must close
+  FlightRecorder recorder(fr);
+
+  util::InternPool pool;
+  net::IngestOptions opts;  // shards = 1
+  opts.flight = &recorder;
+  std::vector<std::uint32_t> users;
+  net::IngestPipeline pipeline(
+      opts, pool, [&](std::span<const net::InternedEvent> batch) {
+        for (const auto& e : batch) {
+          recorder.complete_session(e.user_id, e.host_id, e.timestamp);
+          users.push_back(e.user_id);
+        }
+      });
+  pipeline.push(packets);
+  pipeline.stop();
+
+  EXPECT_EQ(recorder.sampled_count(), packets.size());
+  EXPECT_GT(recorder.completed_count(), 0u);
+  // The consumer completes records batch by batch, so the small in-flight
+  // table never overflows on the lossless path.
+  EXPECT_EQ(recorder.completed_count(),
+            recorder.sampled_count() - recorder.overflow_count());
+  EXPECT_EQ(recorder.in_flight(), 0u);
+
+  // Profile queries retire the parked packet->profile records.
+  std::sort(users.begin(), users.end());
+  users.erase(std::unique(users.begin(), users.end()), users.end());
+  for (std::uint32_t user : users) recorder.record_profile(user);
+  EXPECT_GT(recorder.profiled_count(), 0u);
+  EXPECT_EQ(recorder.profiled_count(), users.size());
+
+  // The hop and staleness quantiles land on the global registry.
+  StatsHub::global().publish();
+  std::ostringstream os;
+  write_prometheus(os, MetricsRegistry::global());
+  const std::string text = os.str();
+  for (const char* series :
+       {"netobs_flight_hop_seconds{hop=\"parse_to_enqueue\"",
+        "netobs_flight_hop_seconds{hop=\"enqueue_to_dequeue\"",
+        "netobs_flight_hop_seconds{hop=\"dequeue_to_session\"",
+        "netobs_flight_staleness_seconds{quantile=\"0.5\",stage=\"session\"",
+        "netobs_flight_staleness_seconds{quantile=\"0.99\",stage=\"profile\""}) {
+    EXPECT_NE(text.find(series), std::string::npos) << series;
+  }
+
+  // /statusz rows carry the lifetime counters.
+  auto rows = recorder.status();
+  auto find_row = [&](const std::string& key) {
+    for (const auto& [k, v] : rows) {
+      if (k == key) return v;
+    }
+    return std::string("<missing>");
+  };
+  EXPECT_EQ(find_row("flight_sample_every"), "1");
+  EXPECT_EQ(find_row("flight_sampled"), std::to_string(packets.size()));
+}
+
+TEST(FlightRecorder, OverflowIsBoundedAndCounted) {
+  FlightRecorderOptions fr;
+  fr.sample_every = 1;
+  fr.max_in_flight = 8;
+  FlightRecorder recorder(fr);
+  // Open far more records than the table holds, never completing any: the
+  // table must not grow, and the spill must be counted, not blocked on.
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    recorder.record_parse(i, i, static_cast<std::int64_t>(i), 0,
+                          "host.example.com");
+  }
+  EXPECT_EQ(recorder.sampled_count(), 200u);
+  EXPECT_LE(recorder.in_flight(), 8u);
+  EXPECT_GT(recorder.overflow_count(), 0u);
+}
+
+// Part of the sanitizer_smoke ctest: worker threads stamp kParse/kEnqueue,
+// the consumer stamps kDequeue/kSession, and a scraping thread reads the
+// counters and status rows — the full cross-thread surface under TSan.
+TEST(FlightConcurrency, PipelineTracingUnderLoad) {
+  auto packets = corpus(1500, 24, 80);
+  FlightRecorderOptions fr;
+  fr.sample_every = 4;
+  FlightRecorder recorder(fr);
+
+  util::InternPool pool;
+  net::IngestOptions opts;
+  opts.shards = 3;
+  opts.batch_size = 64;
+  opts.ring_capacity = 512;
+  opts.flight = &recorder;
+  std::atomic<std::uint64_t> delivered{0};
+  net::IngestPipeline pipeline(
+      opts, pool, [&](std::span<const net::InternedEvent> batch) {
+        for (const auto& e : batch) {
+          recorder.complete_session(e.user_id, e.host_id, e.timestamp);
+        }
+        delivered.fetch_add(batch.size());
+        if (!batch.empty()) recorder.record_profile(batch.front().user_id);
+      });
+  std::atomic<bool> done{false};
+  std::thread scraper([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      (void)recorder.in_flight();
+      (void)recorder.status();
+      std::this_thread::yield();
+    }
+  });
+  pipeline.push(packets);
+  pipeline.flush();
+  done.store(true, std::memory_order_release);
+  scraper.join();
+  pipeline.stop();
+
+  EXPECT_GT(delivered.load(), 0u);
+  EXPECT_GT(recorder.sampled_count(), 0u);
+  // Every sampled record was completed, displaced (overflow) or is still
+  // parked in the table — the accounting never loses one.
+  EXPECT_EQ(recorder.completed_count() + recorder.overflow_count() +
+                recorder.in_flight(),
+            recorder.sampled_count());
+}
+
+}  // namespace
+}  // namespace netobs::obs

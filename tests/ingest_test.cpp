@@ -464,7 +464,42 @@ TEST(IngestPipeline, StatusLineMentionsShardsAndQueue) {
   std::string line = pipeline.status();
   EXPECT_NE(line.find("shards=2"), std::string::npos) << line;
   EXPECT_NE(line.find("queue="), std::string::npos) << line;
+  EXPECT_NE(line.find("queue_hwm="), std::string::npos) << line;
+  EXPECT_NE(line.find("stall_s="), std::string::npos) << line;
   pipeline.stop();
+}
+
+TEST(EventRing, TracksHighWatermarkAndStallTime) {
+  EventRing ring(8, BackpressurePolicy::kBlock);
+  std::vector<InternedEvent> batch(6);
+  EXPECT_EQ(ring.push(batch), 0u);
+  EXPECT_EQ(ring.high_watermark(), 6u);
+
+  // The high watermark is sticky across drains.
+  std::vector<InternedEvent> out;
+  ring.drain(out, 6);
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.high_watermark(), 6u);
+  EXPECT_EQ(ring.stall_seconds(), 0.0);  // never blocked so far
+
+  // Fill the ring, then push against the full ring while a consumer drains
+  // after a delay: the blocked push must report its own stall time and the
+  // ring must fold it into the cumulative gauge.
+  std::vector<InternedEvent> fill(8);
+  ring.push(fill);
+  EXPECT_EQ(ring.high_watermark(), 8u);
+  std::thread consumer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    std::vector<InternedEvent> sink;
+    ring.drain(sink, 4);
+  });
+  double stalled = 0.0;
+  std::vector<InternedEvent> two(2);
+  EXPECT_EQ(ring.push(two, &stalled), 0u);
+  consumer.join();
+  EXPECT_GT(stalled, 0.0);
+  EXPECT_GE(ring.stall_seconds(), stalled);
+  ring.close();
 }
 
 // --- End-to-end: identical profiles under both ingest modes ---------------
@@ -590,6 +625,8 @@ TEST(IngestConcurrency, ShardedPipelineDeliversEverythingLossFree) {
   EXPECT_EQ(stats.delivered, delivered.load());
   EXPECT_EQ(stats.observer.events, delivered.load());
   EXPECT_EQ(stats.pushed, packets.size());
+  // Events flowed through the ring, so its occupancy gauge moved.
+  EXPECT_GE(stats.queue_hwm, 1u);
 }
 
 TEST(IngestConcurrency, DropOldestBoundsTheRingAndCountsLoss) {

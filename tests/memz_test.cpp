@@ -1,0 +1,283 @@
+// Tests for the memory accounting plane (obs/memory.hpp): ledger/probe
+// aggregation, the /memz JSON document over a real socket, and the
+// reconciliation of the subsystem byte estimates against the counting
+// allocator (bench/alloc_count.hpp).
+//
+// This is the one test TU that defines NETOBS_ALLOC_COUNT_IMPL, so the
+// whole test binary runs under the counting operator new/delete and
+// heap_bytes_now() reports live usable bytes (0 under sanitizers, where
+// the reconciliation cases skip).
+#include <gtest/gtest.h>
+
+#define NETOBS_ALLOC_COUNT_IMPL
+#include "bench/alloc_count.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "embedding/matrix.hpp"
+#include "obs/http_server.hpp"
+#include "obs/memory.hpp"
+#include "profile/session.hpp"
+#include "util/intern_pool.hpp"
+
+namespace netobs::obs {
+namespace {
+
+// ------------------------------------------------- ledger/probe aggregation
+
+TEST(MemoryAccounting, LedgersAndProbesAggregateIntoSnapshots) {
+  MemoryAccountant acct;
+  MemoryAccountant::Ledger* flow_a = acct.ledger("flow_tables");
+  MemoryAccountant::Ledger* flow_b = acct.ledger("flow_tables");
+  MemoryAccountant::Ledger* sessions =
+      acct.ledger("session_windows", /*per_user=*/true);
+  flow_a->set(1000);
+  flow_b->set(500);   // same subsystem: snapshots sum the cells
+  sessions->set(4000);
+  std::uint64_t probe = acct.add_probe("embedding_matrix", /*per_user=*/false,
+                                       [] { return std::uint64_t{2500}; });
+  std::uint64_t users_a = acct.add_user_probe([] { return std::uint64_t{8}; });
+  std::uint64_t users_b = acct.add_user_probe([] { return std::uint64_t{5}; });
+
+  MemorySnapshot snap = acct.snapshot();
+  EXPECT_EQ(snap.total_bytes, 1000u + 500u + 4000u + 2500u);
+  EXPECT_EQ(snap.per_user_bytes, 4000u);
+  EXPECT_EQ(snap.users, 8u);  // max across user probes, not the sum
+  EXPECT_DOUBLE_EQ(snap.bytes_per_user, 4000.0 / 8.0);
+  ASSERT_EQ(snap.subsystems.size(), 3u);  // aggregated by name, name-sorted
+  EXPECT_EQ(snap.subsystems[0].subsystem, "embedding_matrix");
+  EXPECT_EQ(snap.subsystems[1].subsystem, "flow_tables");
+  EXPECT_EQ(snap.subsystems[1].bytes, 1500u);
+  EXPECT_EQ(snap.subsystems[2].subsystem, "session_windows");
+  EXPECT_TRUE(snap.subsystems[2].per_user);
+
+  // Retired sources drop out of the next snapshot.
+  acct.release(flow_b);
+  acct.remove_probe(probe);
+  acct.remove_user_probe(users_a);
+  snap = acct.snapshot();
+  EXPECT_EQ(snap.total_bytes, 1000u + 4000u);
+  EXPECT_EQ(snap.users, 5u);
+  acct.remove_user_probe(users_b);
+
+  // A throwing probe contributes 0 instead of killing the scrape.
+  std::uint64_t bad = acct.add_probe("broken", false, []() -> std::uint64_t {
+    throw std::runtime_error("subsystem gone");
+  });
+  EXPECT_EQ(acct.snapshot().total_bytes, 1000u + 4000u);
+  acct.remove_probe(bad);
+}
+
+TEST(MemoryAccounting, PublishesGaugesIntoRegistry) {
+  MemoryAccountant acct;
+  acct.ledger("flow_tables")->set(2048);
+  acct.ledger("session_windows", true)->set(1024);
+  std::uint64_t users = acct.add_user_probe([] { return std::uint64_t{4}; });
+  MetricsRegistry reg;
+  acct.publish(reg);
+  EXPECT_EQ(reg.gauge("netobs_memory_bytes", "",
+                      {{"subsystem", "flow_tables"}})
+                .value(),
+            2048.0);
+  EXPECT_EQ(reg.gauge("netobs_memory_total_bytes", "").value(), 3072.0);
+  EXPECT_EQ(reg.gauge("netobs_memory_bytes_per_user", "").value(), 256.0);
+  EXPECT_EQ(reg.gauge("netobs_memory_tracked_users", "").value(), 4.0);
+  acct.remove_user_probe(users);
+}
+
+// ----------------------------------------- counting-allocator reconciliation
+
+/// Live heap delta around `body`, or -1 when byte counting is unavailable
+/// (sanitizer builds compile the counting allocator out).
+template <class Fn>
+std::int64_t heap_delta(Fn&& body) {
+  std::uint64_t before = bench::heap_bytes_now();
+  body();
+  std::uint64_t after = bench::heap_bytes_now();
+  return static_cast<std::int64_t>(after) - static_cast<std::int64_t>(before);
+}
+
+void expect_within_10pct(std::size_t estimate, std::int64_t actual,
+                         const char* what) {
+  ASSERT_GT(actual, 0) << what;
+  double ratio = static_cast<double>(estimate) / static_cast<double>(actual);
+  EXPECT_GE(ratio, 0.9) << what << ": estimate " << estimate << " vs actual "
+                        << actual;
+  EXPECT_LE(ratio, 1.1) << what << ": estimate " << estimate << " vs actual "
+                        << actual;
+}
+
+TEST(MemoryAccounting, EmbeddingMatrixBytesReconcile) {
+  if (bench::heap_bytes_now() == 0) {
+    GTEST_SKIP() << "counting allocator inactive (sanitizer build)";
+  }
+  std::unique_ptr<embedding::EmbeddingMatrix> matrix;
+  std::int64_t actual =
+      heap_delta([&] {
+        matrix = std::make_unique<embedding::EmbeddingMatrix>(4700, 100);
+      });
+  expect_within_10pct(matrix->memory_bytes(), actual, "embedding_matrix");
+}
+
+TEST(MemoryAccounting, InternPoolBytesReconcile) {
+  if (bench::heap_bytes_now() == 0) {
+    GTEST_SKIP() << "counting allocator inactive (sanitizer build)";
+  }
+  auto pool = std::make_unique<util::InternPool>();
+  std::int64_t actual = heap_delta([&] {
+    for (int i = 0; i < 4000; ++i) {
+      // Long enough to spill the SSO buffer, like real FQDNs.
+      pool->intern("svc" + std::to_string(i) +
+                   ".tier1.edge.compute.cloud.example.com");
+    }
+  });
+  EXPECT_EQ(pool->size(), 4000u);
+  expect_within_10pct(pool->bytes(), actual, "intern_pool");
+}
+
+TEST(MemoryAccounting, SessionStoreBytesReconcile) {
+  if (bench::heap_bytes_now() == 0) {
+    GTEST_SKIP() << "counting allocator inactive (sanitizer build)";
+  }
+  auto store = std::make_unique<profile::SessionStore>();
+  std::int64_t actual = heap_delta([&] {
+    for (std::uint32_t user = 0; user < 64; ++user) {
+      for (int visit = 0; visit < 200; ++visit) {
+        store->ingest(user, visit * 10,
+                      "host" + std::to_string(visit % 37) +
+                          ".shard.service.example.com");
+      }
+    }
+  });
+  EXPECT_EQ(store->event_count(), 64u * 200u);
+  expect_within_10pct(store->memory_bytes(), actual, "session_windows");
+}
+
+// ------------------------------------------------------- /memz over a socket
+
+struct HttpReply {
+  int status = 0;
+  std::string head;
+  std::string body;
+};
+
+/// Minimal blocking HTTP GET against 127.0.0.1:`port` using raw sockets.
+HttpReply http_get(std::uint16_t port, const std::string& path) {
+  HttpReply reply;
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return reply;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return reply;
+  }
+  std::string request = "GET " + path +
+                        " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                        "Connection: close\r\n\r\n";
+  const char* p = request.data();
+  std::size_t remaining = request.size();
+  while (remaining > 0) {
+    ssize_t n = ::send(fd, p, remaining, 0);
+    if (n <= 0) break;
+    p += n;
+    remaining -= static_cast<std::size_t>(n);
+  }
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  auto split = raw.find("\r\n\r\n");
+  if (split == std::string::npos) return reply;
+  reply.head = raw.substr(0, split);
+  reply.body = raw.substr(split + 4);
+  if (reply.head.rfind("HTTP/1.1 ", 0) == 0) {
+    reply.status = std::atoi(reply.head.c_str() + 9);
+  }
+  return reply;
+}
+
+bool balanced(const std::string& s) {
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{' || c == '[') ++depth;
+    else if (c == '}' || c == ']') --depth;
+    if (depth < 0) return false;
+  }
+  return depth == 0 && !in_string;
+}
+
+TEST(MemzEndpoint, ServesAccountantJsonOverRawSocket) {
+  auto& acct = MemoryAccountant::global();
+  std::uint64_t probe = acct.add_probe("memz_smoke_fixture", /*per_user=*/true,
+                                       [] { return std::uint64_t{12345}; });
+  std::uint64_t users = acct.add_user_probe([] { return std::uint64_t{10}; });
+
+  HttpServerOptions options;
+  options.port = 0;  // ephemeral
+  HttpServer server(options, nullptr);  // nullptr = the global registry
+  std::uint16_t port = server.start();
+  ASSERT_GT(port, 0);
+
+  // The index advertises the endpoint.
+  auto index = http_get(port, "/");
+  EXPECT_EQ(index.status, 200);
+  EXPECT_NE(index.body.find("/memz"), std::string::npos);
+
+  // The /memz document: JSON schema with rollups and per-subsystem rows.
+  auto memz = http_get(port, "/memz");
+  EXPECT_EQ(memz.status, 200);
+  EXPECT_NE(memz.head.find("application/json"), std::string::npos);
+  EXPECT_TRUE(balanced(memz.body)) << memz.body;
+  for (const char* key : {"\"total_bytes\"", "\"per_user_bytes\"", "\"users\"",
+                          "\"bytes_per_user\"", "\"subsystems\"", "\"name\"",
+                          "\"per_user\"", "memz_smoke_fixture"}) {
+    EXPECT_NE(memz.body.find(key), std::string::npos) << key << "\n"
+                                                      << memz.body;
+  }
+
+  // The same snapshot backs the Prometheus gauges on /metrics.
+  auto metrics = http_get(port, "/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find(
+                "netobs_memory_bytes{subsystem=\"memz_smoke_fixture\"}"),
+            std::string::npos)
+      << metrics.body;
+  EXPECT_NE(metrics.body.find("netobs_memory_bytes_per_user"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("netobs_build_info{"), std::string::npos);
+
+  // Build metadata renders on /statusz (satellite of the same PR).
+  auto statusz = http_get(port, "/statusz");
+  EXPECT_EQ(statusz.status, 200);
+  EXPECT_NE(statusz.body.find("build_git"), std::string::npos);
+  EXPECT_NE(statusz.body.find("build_simd_tier"), std::string::npos);
+
+  server.stop();
+  acct.remove_probe(probe);
+  acct.remove_user_probe(users);
+}
+
+}  // namespace
+}  // namespace netobs::obs

@@ -538,6 +538,32 @@ TEST(P2Quantile, ApproximatesUniformQuantiles) {
   EXPECT_EQ(p50.count(), 20000u);
 }
 
+TEST(P2Quantile, DuplicateHeavyStreamsStayStable) {
+  // A constant stream must never drift off the constant: every P² marker
+  // sits on the same value, so the parabolic update has nothing to bend.
+  P2Quantile constant(0.9);
+  for (int i = 0; i < 5000; ++i) constant.observe(2.5);
+  EXPECT_DOUBLE_EQ(constant.value(), 2.5);
+  EXPECT_EQ(constant.count(), 5000u);
+
+  // 90% duplicates at zero with a sparse positive tail — the degenerate
+  // shape flight-recorder hop gauges see when most hops are sub-tick. The
+  // median must stick to the duplicated mass and stay inside the support.
+  P2Quantile p50(0.5);
+  P2Quantile p99(0.99);
+  util::Pcg32 rng(11);
+  for (int i = 0; i < 20000; ++i) {
+    double x = (i % 10 == 0) ? rng.next_double() : 0.0;
+    p50.observe(x);
+    p99.observe(x);
+  }
+  EXPECT_NEAR(p50.value(), 0.0, 0.05);
+  EXPECT_GE(p50.value(), 0.0);
+  EXPECT_LE(p50.value(), 1.0);
+  EXPECT_GE(p99.value(), 0.0);
+  EXPECT_LE(p99.value(), 1.0);
+}
+
 TEST(StatsStream, RateGaugeAndQuantileGaugesPublishThroughHub) {
   MetricsRegistry reg;
   RateGauge rate(reg, "netobs_test_events_per_second", "help", {10.0});
