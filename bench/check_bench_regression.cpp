@@ -16,15 +16,20 @@
 // -DNETOBS_BENCH_GATE=ON; off by default because wall-clock numbers from a
 // loaded CI box would make tier-1 flaky.
 //
-// Three classes of absolute floors (never grandfathered by a stale
+// Four classes of absolute floors (never grandfathered by a stale
 // baseline): the exact-path speedups; the IVF floors — recall@1000 >= 0.98
-// at the default nprobe always, and ivf speedup >= 5.0 vs the blocked heap
-// at deployment scale (rows >= 400000); and the sharded-ingest floors —
-// ideal speedup >= 3.0 at >= 4 shards always, measured wall-clock speedup
-// >= 3.0 where the box has >= shards hardware threads, zero event loss
-// under the block policy, 1-shard output identical to the single-threaded
-// observer, and flight-recorder overhead <= 2% of serial engine throughput
-// at the shipped 1/1024 sampling rate.
+// at the default nprobe always, ivf speedup >= 5.0 vs the blocked heap at
+// deployment scale (rows >= 400000), build time under the 3483 ms ceiling
+// at deployment scale, and the build bit-identical for any pool size; the
+// sharded-ingest floors — ideal speedup >= 3.0 at >= 4 shards always,
+// measured wall-clock speedup >= 3.0 where the box has >= shards hardware
+// threads, zero event loss under the block policy, 1-shard output identical
+// to the single-threaded observer, and flight-recorder overhead <= 2% of
+// serial engine throughput at the shipped 1/1024 sampling rate; and the
+// parallel-retrain floors — SGNS ideal speedup >= 3.0 at 4 Hogwild workers
+// always, measured wall-clock speedup >= 3.0 where the box has >= 4
+// hardware threads, and the threads=1 model digest equal to the seed
+// trainer's (the refactor must not move a single float on the serial path).
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -55,6 +60,20 @@ bool find_number(const std::string& doc, const std::string& key,
   double v = std::strtod(doc.c_str() + pos, &end);
   if (end == doc.c_str() + pos) return false;
   *out = v;
+  return true;
+}
+
+/// Companion scan for `"key": "value"` string fields (digests/hashes).
+bool find_string(const std::string& doc, const std::string& key,
+                 std::string* out) {
+  std::string needle = "\"" + key + "\":";
+  auto pos = doc.find(needle);
+  if (pos == std::string::npos) return false;
+  pos = doc.find('"', pos + needle.size());
+  if (pos == std::string::npos) return false;
+  auto end = doc.find('"', pos + 1);
+  if (end == std::string::npos) return false;
+  *out = doc.substr(pos + 1, end - pos - 1);
   return true;
 }
 
@@ -118,8 +137,11 @@ int main(int argc, char** argv) {
 
   bench::MicroBaselineResult r = bench::run_micro_baseline(opts);
   bench::IngestBaselineResult ing = bench::run_ingest_baseline();
+  bench::TrainBaselineResult tr = bench::run_train_baseline();
   if (update) {
-    if (!bench::write_micro_baseline_json(baseline_path, r, ing)) return 1;
+    if (!bench::write_micro_baseline_json(baseline_path, r, ing, tr)) {
+      return 1;
+    }
     std::cout << "[gate] baseline refreshed: " << baseline_path << "\n";
     return 0;
   }
@@ -136,6 +158,9 @@ int main(int argc, char** argv) {
       {"speedup_vs_blocked_heap", r.ivf_speedup(), false},
       {"ingest_singlethread_pps", ing.st_pps(), false},
       {"ingest_speedup_ideal", ing.speedup_ideal(), false},
+      {"ivf_build_serial_ms", r.ivf_build_s * 1e3, true},
+      {"train_t1_wall_ms", tr.t1_wall_s * 1e3, true},
+      {"train_ideal_speedup_t4", tr.ideal_speedup_t4(), false},
   };
 
   int failures = 0;
@@ -228,6 +253,63 @@ int main(int argc, char** argv) {
   if (!ing.oneshard_identical) {
     std::cerr << "[gate] REGRESSED 1-shard ingest output differs from the "
                  "single-threaded observer\n";
+    ++failures;
+  }
+  // Parallel-retrain floors: ideal speedup always, measured where the box
+  // has the cores, and the serial path bit-identical to the seed trainer.
+  const double train_target = bench::TrainBaselineResult::speedup_target();
+  if (tr.ideal_speedup_t4() < train_target) {
+    std::cerr << "[gate] REGRESSED train ideal speedup "
+              << tr.ideal_speedup_t4() << " below the " << train_target
+              << " acceptance target at 4 Hogwild workers\n";
+    ++failures;
+  }
+  if (tr.measured_speedup_enforced() &&
+      tr.measured_speedup_t4() < train_target) {
+    std::cerr << "[gate] REGRESSED train measured speedup "
+              << tr.measured_speedup_t4() << " below the " << train_target
+              << " acceptance target (" << tr.hardware_threads
+              << " hw threads)\n";
+    ++failures;
+  } else if (!tr.measured_speedup_enforced()) {
+    std::cout << "[gate] note     train measured speedup "
+              << tr.measured_speedup_t4()
+              << " informational only: " << tr.hardware_threads
+              << " hw thread(s) < 4 workers (ideal speedup "
+              << tr.ideal_speedup_t4() << " is enforced)\n";
+  }
+  if (!tr.digest_matches()) {
+    std::cerr << "[gate] REGRESSED threads=1 model digest " << tr.digest_t1
+              << " differs from the seed trainer's "
+              << bench::kTrainDigestT1 << "\n";
+    ++failures;
+  }
+  // And the recorded digest must match too — catches a baseline refreshed
+  // against drifted numerics.
+  std::string recorded_digest;
+  if (find_string(doc, "train_digest_t1", &recorded_digest) &&
+      recorded_digest != tr.digest_t1) {
+    std::cerr << "[gate] REGRESSED threads=1 model digest " << tr.digest_t1
+              << " differs from the recorded " << recorded_digest << "\n";
+    ++failures;
+  }
+  // IVF build floors: the deployment-scale ceiling and pool-invariance.
+  if (r.ivf_build_enforced() &&
+      r.ivf_build_s * 1e3 >
+          bench::MicroBaselineResult::ivf_build_ceiling_ms()) {
+    std::cerr << "[gate] REGRESSED ivf build " << r.ivf_build_s * 1e3
+              << " ms above the "
+              << bench::MicroBaselineResult::ivf_build_ceiling_ms()
+              << " ms ceiling at " << r.rows << " rows\n";
+    ++failures;
+  } else if (!r.ivf_build_enforced()) {
+    std::cout << "[gate] note     ivf build " << r.ivf_build_s * 1e3
+              << " ms informational only below 400000 rows (current "
+              << r.rows << ")\n";
+  }
+  if (!r.ivf_pool_invariant) {
+    std::cerr << "[gate] REGRESSED ivf build is not pool-invariant: the "
+                 "2/4-thread pool builds differ from the serial index\n";
     ++failures;
   }
 

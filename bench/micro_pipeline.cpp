@@ -322,6 +322,11 @@ void BM_AdSelection(benchmark::State& state) {
 }
 BENCHMARK(BM_AdSelection);
 
+// --train-threads=N (default 1, the bit-exact serial path): Hogwild worker
+// count for BM_SgnsTrainingEpoch, so the epoch benchmark can be pointed at
+// the parallel path without recompiling.
+std::size_t g_train_threads = 1;
+
 void BM_SgnsTrainingEpoch(benchmark::State& state) {
   const auto& fx = fixture();
   // One user-day sequence corpus, one epoch per iteration.
@@ -330,6 +335,7 @@ void BM_SgnsTrainingEpoch(benchmark::State& state) {
   auto corpus = store.day_sequences(1);
   embedding::SgnsParams params;
   params.epochs = 1;
+  params.threads = g_train_threads;
   embedding::VocabularyParams vp;
   vp.min_count = 2;
   std::uint64_t tokens = 0;
@@ -354,7 +360,9 @@ int run_bench_baseline(const std::string& path,
                        const bench::IngestBaselineOptions& ingest_opts) {
   bench::MicroBaselineResult r = bench::run_micro_baseline(opts);
   bench::IngestBaselineResult ing = bench::run_ingest_baseline(ingest_opts);
-  if (!bench::write_micro_baseline_json(path, r, ing)) return 1;
+  std::cerr << "[baseline] training SGNS at 1/2/4 Hogwild workers...\n";
+  bench::TrainBaselineResult tr = bench::run_train_baseline();
+  if (!bench::write_micro_baseline_json(path, r, ing, tr)) return 1;
   std::cout << "[baseline] fullsort " << r.fullsort_s * 1e3 << " ms, blocked "
             << r.blocked_s * 1e3 << " ms (x" << r.knn_speedup()
             << "), batch32 " << r.batch_per_query_s * 1e3 << " ms/query (x"
@@ -377,7 +385,19 @@ int run_bench_baseline(const std::string& path,
             << " sampled)\n[baseline] memory: "
             << ing.memory.total_bytes / 1024.0 / 1024.0 << " MiB total, "
             << ing.memory.users << " users, " << ing.memory.bytes_per_user
-            << " bytes/user\n[baseline] wrote " << path << "\n";
+            << " bytes/user\n[baseline] ivf build " << r.ivf_build_s * 1e3
+            << " ms serial (kmeans " << r.ivf_build_kmeans_s * 1e3
+            << " + encode " << r.ivf_build_encode_s * 1e3 << "), pool2 "
+            << r.ivf_build_pool2_s * 1e3 << " ms, pool4 "
+            << r.ivf_build_pool4_s * 1e3 << " ms, pool-invariant="
+            << (r.ivf_pool_invariant ? "yes" : "NO")
+            << "\n[baseline] train " << tr.pairs << " pairs: "
+            << tr.t1_wall_s * 1e3 << " ms 1-thread vs " << tr.t4_wall_s * 1e3
+            << " ms 4-thread wall (x" << tr.measured_speedup_t4()
+            << " measured, x" << tr.ideal_speedup_t4() << " ideal, "
+            << tr.hardware_threads << " hw threads), t1 digest "
+            << (tr.digest_matches() ? "matches seed" : "DIFFERS FROM SEED")
+            << "\n[baseline] wrote " << path << "\n";
   return 0;
 }
 
@@ -392,7 +412,8 @@ int run_bench_baseline(const std::string& path,
 // BENCH_micro.json). "--bench-rows=N": vocabulary size for the baseline
 // (default 50000; 470000 = the paper's deployment scale).
 // "--ingest-flows=N" / "--ingest-shards=N": corpus size and pipeline width
-// for the baseline's ingest_throughput section. All flags are stripped
+// for the baseline's ingest_throughput section. "--train-threads=N": Hogwild
+// worker count for BM_SgnsTrainingEpoch (default 1). All flags are stripped
 // before google-benchmark parses the rest.
 int main(int argc, char** argv) {
   std::string metrics_out;
@@ -428,6 +449,11 @@ int main(int argc, char** argv) {
       ingest_opts.shards = std::max<std::size_t>(
           1, static_cast<std::size_t>(std::strtoull(
                  arg.c_str() + std::string("--ingest-shards=").size(),
+                 nullptr, 10)));
+    } else if (arg.rfind("--train-threads=", 0) == 0) {
+      g_train_threads = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::strtoull(
+                 arg.c_str() + std::string("--train-threads=").size(),
                  nullptr, 10)));
     } else {
       args.push_back(argv[i]);

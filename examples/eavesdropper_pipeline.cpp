@@ -10,6 +10,9 @@
 //
 // --ingest-shards=N sets the worker count (default 4; 1 reproduces the
 // single-threaded observer event stream bit for bit).
+// --train-threads=N sets the Hogwild worker count of the daily SKIPGRAM
+// retrain (default: hardware concurrency; 1 is the bit-exact serial path).
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -32,12 +35,16 @@ int main(int argc, char** argv) {
   constexpr const char* kSite = "examples.eavesdropper";
   auto cfg = bench::parse_config(argc, argv, {400, 4, 7, ""});
   std::size_t ingest_shards = 4;
+  std::size_t train_threads = 0;  // 0 = keep the service default (hardware)
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--ingest-shards=", 0) == 0) {
       ingest_shards = static_cast<std::size_t>(std::strtoull(
           arg.c_str() + std::string("--ingest-shards=").size(), nullptr, 10));
       if (ingest_shards == 0) ingest_shards = 1;
+    } else if (arg.rfind("--train-threads=", 0) == 0) {
+      train_threads = static_cast<std::size_t>(std::strtoull(
+          arg.c_str() + std::string("--train-threads=").size(), nullptr, 10));
     }
   }
   auto server = bench::serve_telemetry(cfg);
@@ -82,6 +89,9 @@ int main(int argc, char** argv) {
   sp.profiler.aggregation = profile::Aggregation::kNormalizedMean;
   sp.vocab.min_count = 2;
   sp.sgns.epochs = 15;
+  if (train_threads > 0) sp.sgns.threads = train_threads;
+  std::cout << "retrain: " << std::max<std::size_t>(1, sp.sgns.threads)
+            << " Hogwild worker(s)\n";
   profile::ProfilingService service(labeler, &blocklist, sp);
   bench::attach_knn_status(server, service);
 

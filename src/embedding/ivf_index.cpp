@@ -1,11 +1,13 @@
 #include "embedding/ivf_index.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <mutex>
 #include <stdexcept>
 
+#include "crypto/sha256.hpp"
 #include "obs/metrics.hpp"
 #include "obs/stats_stream.hpp"
 #include "obs/trace.hpp"
@@ -25,6 +27,10 @@ struct IvfMetrics {
   obs::Gauge& probed_lists;
   obs::Gauge& candidate_pool;
   obs::Gauge& last_recall;
+  obs::Gauge& build_seconds;
+  obs::Gauge& build_kmeans_seconds;
+  obs::Gauge& build_assign_seconds;
+  obs::Gauge& build_encode_seconds;
   obs::QuantileGauges latency;
   /// Counters and gauges are atomic, but the P2 latency estimator is not;
   /// queries may run concurrently from many threads.
@@ -49,6 +55,14 @@ struct IvfMetrics {
                   "Int8-stage candidates re-ranked by the latest query"),
         reg.gauge("netobs_embedding_ivf_last_recall",
                   "recall@n observed by the most recent recall sample"),
+        reg.gauge("netobs_embedding_ivf_build_seconds",
+                  "Wall seconds of the most recent IVF index build"),
+        reg.gauge("netobs_embedding_ivf_build_kmeans_seconds",
+                  "Lloyd-training seconds of the most recent build (0 = warm)"),
+        reg.gauge("netobs_embedding_ivf_build_assign_seconds",
+                  "Final all-rows assignment seconds of the most recent build"),
+        reg.gauge("netobs_embedding_ivf_build_encode_seconds",
+                  "Int8 list-encode seconds of the most recent build"),
         obs::QuantileGauges(reg, "netobs_embedding_ivf_query_latency_seconds",
                             "Latency quantiles of IVF kNN queries"),
     };
@@ -66,6 +80,11 @@ EmbeddingMatrix normalized_copy(const EmbeddingMatrix& matrix) {
 
 /// Centroids / rows scored per dot_block call (see knn.cpp kScoreBlock).
 constexpr std::size_t kScoreBlock = 64;
+
+/// Fixed grain of the parallel int8 encode — rows per pool chunk. Purely a
+/// scheduling knob: encode output is slot-addressed, so it cannot affect
+/// the built lists.
+constexpr std::size_t kEncodeGrain = 8192;
 
 using PaddedVector =
     std::vector<float, netobs::util::simd::AlignedAllocator<float>>;
@@ -133,10 +152,20 @@ void IvfKnnIndex::build(util::ThreadPool* pool,
     return;
   }
 
+  using Clock = std::chrono::steady_clock;
+  auto seconds_since = [](Clock::time_point from) {
+    return std::chrono::duration<double>(Clock::now() - from).count();
+  };
+  const auto build_start = Clock::now();
+  build_stats_ = IvfBuildStats{};
+
   std::vector<std::uint32_t> assignment;
   if (warm_centroids != nullptr) {
     centroids_ = *warm_centroids;
-    assignment = assign_to_centroids(normalized_, centroids_, pool);
+    const auto assign_start = Clock::now();
+    assignment = assign_to_centroids(normalized_, centroids_, pool,
+                                     params_.assign_fanout);
+    build_stats_.assign_s = seconds_since(assign_start);
   } else {
     std::size_t nlists = params_.nlists;
     if (nlists == 0) {
@@ -151,19 +180,93 @@ void IvfKnnIndex::build(util::ThreadPool* pool,
     kp.iterations = params_.kmeans_iterations;
     kp.seed = params_.seed;
     kp.train_sample = params_.train_sample;
+    kp.assign_fanout = params_.assign_fanout;
+    const auto kmeans_start = Clock::now();
     KmeansResult km = spherical_kmeans(normalized_, kp, pool);
+    build_stats_.kmeans_s = seconds_since(kmeans_start);
     centroids_ = std::move(km.centroids);
     assignment = std::move(km.assignment);
   }
 
-  lists_.assign(centroids_.rows(), List{});
-  quantize_into_lists(assignment, 0);
+  const auto encode_start = Clock::now();
+  encode_lists(assignment, pool);
+  build_stats_.encode_s = seconds_since(encode_start);
+  build_stats_.total_s = seconds_since(build_start);
 
   auto& metrics = IvfMetrics::get();
   metrics.index_size.set(static_cast<double>(rows));
   metrics.nlists.set(static_cast<double>(centroids_.rows()));
   metrics.nprobe.set(
       static_cast<double>(std::min(params_.nprobe, centroids_.rows())));
+  metrics.build_seconds.set(build_stats_.total_s);
+  metrics.build_kmeans_seconds.set(build_stats_.kmeans_s);
+  metrics.build_assign_seconds.set(build_stats_.assign_s);
+  metrics.build_encode_seconds.set(build_stats_.encode_s);
+}
+
+void IvfKnnIndex::encode_lists(const std::vector<std::uint32_t>& assignment,
+                               util::ThreadPool* pool) {
+  const std::size_t rows = normalized_.rows();
+  lists_.assign(centroids_.rows(), List{});
+  // Pass 1 (serial): per-row slot within its list. Ascending row order
+  // means ascending slot order, so every list's ids stay ascending — the
+  // published deterministic scan order.
+  std::vector<std::uint32_t> slot(rows);
+  std::vector<std::uint32_t> sizes(lists_.size(), 0);
+  for (std::size_t r = 0; r < rows; ++r) slot[r] = sizes[assignment[r]]++;
+  for (std::size_t l = 0; l < lists_.size(); ++l) {
+    lists_[l].ids.resize(sizes[l]);
+    lists_[l].codes.resize(std::size_t{sizes[l]} * qstride_);
+    lists_[l].scales.resize(sizes[l]);
+  }
+  // Pass 2 (pool-parallel): every row owns a disjoint pre-sized slot and
+  // quantize_row is a pure per-row function, so any chunking — or none —
+  // produces bit-identical lists.
+  const float* base = normalized_.padded_data();
+  const std::size_t stride = normalized_.stride();
+  const std::size_t dim = normalized_.dim();
+  auto chunk = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t r = begin; r < end; ++r) {
+      List& list = lists_[assignment[r]];
+      const std::size_t s = slot[r];
+      list.ids[s] = static_cast<TokenId>(r);
+      list.scales[s] = quantize_row(base + r * stride, dim,
+                                    list.codes.data() + s * qstride_,
+                                    qstride_);
+    }
+  };
+  if (pool != nullptr && rows >= 2 * kEncodeGrain) {
+    pool->parallel_for_chunked(rows, kEncodeGrain, chunk);
+  } else {
+    chunk(0, rows);
+  }
+}
+
+std::string IvfKnnIndex::contents_hash() const {
+  crypto::Sha256 hasher;
+  auto hash_bytes = [&](const void* data, std::size_t bytes) {
+    hasher.update({static_cast<const std::uint8_t*>(data), bytes});
+  };
+  const std::size_t dim = centroids_.dim();
+  for (std::size_t c = 0; c < centroids_.rows(); ++c) {
+    hash_bytes(centroids_.row(c).data(), dim * sizeof(float));
+  }
+  for (const List& list : lists_) {
+    std::uint64_t count = list.ids.size();
+    hash_bytes(&count, sizeof(count));
+    hash_bytes(list.ids.data(), list.ids.size() * sizeof(TokenId));
+    hash_bytes(list.codes.data(), list.codes.size());
+    hash_bytes(list.scales.data(), list.scales.size() * sizeof(float));
+  }
+  crypto::Digest d = hasher.finish();
+  static const char* kHex = "0123456789abcdef";
+  std::string hex;
+  hex.reserve(d.size() * 2);
+  for (std::uint8_t byte : d) {
+    hex.push_back(kHex[byte >> 4]);
+    hex.push_back(kHex[byte & 0xF]);
+  }
+  return hex;
 }
 
 void IvfKnnIndex::quantize_into_lists(

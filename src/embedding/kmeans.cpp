@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
 
 #include "util/rng.hpp"
@@ -22,8 +23,18 @@ constexpr std::size_t kCentroidBlock = 64;
 /// thread count or the parallel assignment would stay deterministic only
 /// per machine. Assignments are computed per row independently, so any
 /// chunking yields the same values — the fixed grain just keeps the chunk
-/// *set* (and with it the scheduling) canonical.
+/// *set* (and with it the scheduling and the update-reduction order)
+/// canonical.
 constexpr std::size_t kAssignGrain = 8192;
+
+/// Below this many centroids the two-level pruned scan cannot recoup the
+/// cost of building and probing the group layer; assignment stays exact.
+constexpr std::size_t kGroupedMinCentroids = 128;
+
+/// Cap on the per-chunk partial-sum scratch of the parallel centroid
+/// update (doubles). Above it the update degrades to one chunk — still
+/// deterministic, because the chunk set depends only on problem sizes.
+constexpr std::size_t kUpdateScratchDoubles = std::size_t{1} << 24;  // 128 MiB
 
 struct BestCentroid {
   std::uint32_t id = 0;
@@ -67,17 +78,147 @@ std::vector<std::size_t> sample_indices(std::size_t n, std::size_t count,
   return all;
 }
 
+/// The acceleration structure of the two-level pruned scan: centroids
+/// re-clustered into ~sqrt(k) groups and copied group-contiguous so each
+/// probed group is one dense dot_block sweep.
+struct CentroidGrouping {
+  EmbeddingMatrix reps;     ///< unit-norm group representatives
+  EmbeddingMatrix grouped;  ///< centroid rows, group-major, id-ascending
+  std::vector<std::uint32_t> orig_id;      ///< grouped row -> centroid id
+  std::vector<std::uint32_t> group_begin;  ///< reps.rows() + 1 offsets
+};
+
+CentroidGrouping group_centroids(const EmbeddingMatrix& centroids,
+                                 std::size_t fanout, util::ThreadPool* pool) {
+  const std::size_t k = centroids.rows();
+  KmeansParams gp;
+  // Per-row scan cost is s + fanout * k / s dots (group layer + descended
+  // groups), minimised at s = sqrt(fanout * k).
+  gp.clusters = std::clamp<std::size_t>(
+      static_cast<std::size_t>(std::lround(std::sqrt(
+          static_cast<double>(k) * static_cast<double>(std::max<std::size_t>(
+                                       fanout, 1))))),
+      1, k);
+  gp.iterations = 4;
+  // Fixed seed: the grouping is an acceleration structure, not part of the
+  // clustering contract — one canonical layout per centroid matrix.
+  gp.seed = 0xA5516EULL;
+  gp.train_sample = 0;
+  gp.assign_fanout = 0;  // the group layer itself is always exact
+  KmeansResult g = spherical_kmeans(centroids, gp, pool);
+
+  CentroidGrouping out;
+  const std::size_t s = g.centroids.rows();
+  out.reps = std::move(g.centroids);
+  out.grouped = EmbeddingMatrix(k, centroids.dim());
+  out.orig_id.resize(k);
+  out.group_begin.assign(s + 1, 0);
+  for (std::uint32_t a : g.assignment) ++out.group_begin[a + 1];
+  for (std::size_t i = 1; i <= s; ++i) {
+    out.group_begin[i] += out.group_begin[i - 1];
+  }
+  std::vector<std::uint32_t> fill(out.group_begin.begin(),
+                                  out.group_begin.end() - 1);
+  // Ascending centroid-id scan keeps each group's rows id-ascending, so the
+  // pruned tie-break below sees candidates in a canonical order.
+  for (std::size_t c = 0; c < k; ++c) {
+    std::uint32_t pos = fill[g.assignment[c]]++;
+    out.orig_id[pos] = static_cast<std::uint32_t>(c);
+    auto src = centroids.row(c);
+    std::copy(src.begin(), src.end(), out.grouped.row(pos).begin());
+  }
+  return out;
+}
+
+/// Per-worker scratch for the pruned scan (group scores + selected group
+/// ids), reused across the rows of one chunk.
+struct PruneScratch {
+  std::vector<float> rep_scores;
+  std::vector<std::uint32_t> top_groups;
+  std::vector<float> top_scores;
+};
+
+BestCentroid best_centroid_pruned(const CentroidGrouping& grouping,
+                                  const float* unit_row, std::size_t fanout,
+                                  PruneScratch& scratch) {
+  const std::size_t s = grouping.reps.rows();
+  scratch.rep_scores.resize(s);
+  {
+    const float* base = grouping.reps.padded_data();
+    const std::size_t stride = grouping.reps.stride();
+    for (std::size_t b = 0; b < s; b += kCentroidBlock) {
+      std::size_t cnt = std::min(kCentroidBlock, s - b);
+      util::simd::dot_block(unit_row, base + b * stride, stride, cnt,
+                            scratch.rep_scores.data() + b);
+    }
+  }
+  // Top-fanout groups by (score desc, id asc) via insertion into a sorted
+  // window — ascending-id scan plus strict '>' at the window floor gives
+  // the id-ascending tie-break for free, with no per-row sort.
+  fanout = std::min(std::max<std::size_t>(fanout, 1), s);
+  auto& top_groups = scratch.top_groups;
+  auto& top_scores = scratch.top_scores;
+  top_groups.clear();
+  top_scores.clear();
+  for (std::uint32_t g = 0; g < s; ++g) {
+    float score = scratch.rep_scores[g];
+    if (top_groups.size() == fanout && score <= top_scores.back()) continue;
+    std::size_t pos = top_scores.size();
+    while (pos > 0 && score > top_scores[pos - 1]) --pos;
+    if (top_groups.size() == fanout) {
+      top_groups.pop_back();
+      top_scores.pop_back();
+    }
+    top_groups.insert(top_groups.begin() + static_cast<std::ptrdiff_t>(pos), g);
+    top_scores.insert(top_scores.begin() + static_cast<std::ptrdiff_t>(pos),
+                      score);
+  }
+
+  const float* base = grouping.grouped.padded_data();
+  const std::size_t stride = grouping.grouped.stride();
+  float scores[kCentroidBlock];
+  BestCentroid best{0, -2.0F};
+  bool seeded = false;
+  for (std::size_t fi = 0; fi < top_groups.size(); ++fi) {
+    std::uint32_t g = top_groups[fi];
+    const std::size_t begin = grouping.group_begin[g];
+    const std::size_t end = grouping.group_begin[g + 1];
+    for (std::size_t b = begin; b < end; b += kCentroidBlock) {
+      std::size_t cnt = std::min(kCentroidBlock, end - b);
+      util::simd::dot_block(unit_row, base + b * stride, stride, cnt, scores);
+      for (std::size_t j = 0; j < cnt; ++j) {
+        std::uint32_t id = grouping.orig_id[b + j];
+        // Same contract as the exact scan: highest score, lowest centroid
+        // id on ties — made explicit here because groups are visited in
+        // score order, not id order.
+        if (!seeded || scores[j] > best.score ||
+            (scores[j] == best.score && id < best.id)) {
+          best = {id, scores[j]};
+          seeded = true;
+        }
+      }
+    }
+  }
+  return best;
+}
+
 void assign_rows(const EmbeddingMatrix& rows,
                  const std::vector<std::size_t>& which,
                  const EmbeddingMatrix& centroids, util::ThreadPool* pool,
                  std::vector<std::uint32_t>* assignment,
-                 std::vector<float>* fit) {
+                 std::vector<float>* fit,
+                 const CentroidGrouping* grouping = nullptr,
+                 std::size_t fanout = 0) {
   const float* base = rows.padded_data();
   const std::size_t stride = rows.stride();
   auto chunk = [&](std::size_t begin, std::size_t end) {
+    PruneScratch scratch;
     for (std::size_t i = begin; i < end; ++i) {
       BestCentroid best =
-          best_centroid(centroids, base + which[i] * stride);
+          grouping != nullptr
+              ? best_centroid_pruned(*grouping, base + which[i] * stride,
+                                     fanout, scratch)
+              : best_centroid(centroids, base + which[i] * stride);
       (*assignment)[i] = best.id;
       if (fit != nullptr) (*fit)[i] = best.score;
     }
@@ -98,11 +239,17 @@ std::uint32_t nearest_centroid(const EmbeddingMatrix& centroids,
 
 std::vector<std::uint32_t> assign_to_centroids(const EmbeddingMatrix& rows,
                                                const EmbeddingMatrix& centroids,
-                                               util::ThreadPool* pool) {
+                                               util::ThreadPool* pool,
+                                               std::size_t fanout) {
+  std::optional<CentroidGrouping> grouping;
+  if (fanout > 0 && centroids.rows() >= kGroupedMinCentroids) {
+    grouping = group_centroids(centroids, fanout, pool);
+  }
   std::vector<std::size_t> which(rows.rows());
   std::iota(which.begin(), which.end(), 0);
   std::vector<std::uint32_t> assignment(rows.rows(), 0);
-  assign_rows(rows, which, centroids, pool, &assignment, nullptr);
+  assign_rows(rows, which, centroids, pool, &assignment, nullptr,
+              grouping ? &*grouping : nullptr, fanout);
   return assignment;
 }
 
@@ -134,6 +281,9 @@ KmeansResult spherical_kmeans(const EmbeddingMatrix& rows, KmeansParams params,
           : sample_indices(n, n, rng);
   std::sort(train.begin(), train.end());  // ascending for cache locality
 
+  const bool pruned =
+      params.assign_fanout > 0 && k >= kGroupedMinCentroids;
+
   std::vector<std::uint32_t> train_assign(train.size(), 0);
   std::vector<float> train_fit(train.size(), 0.0F);
   std::vector<double> accum(k * dim);
@@ -141,19 +291,62 @@ KmeansResult spherical_kmeans(const EmbeddingMatrix& rows, KmeansParams params,
   const float* base = rows.padded_data();
   const std::size_t stride = rows.stride();
 
-  for (int iter = 0; iter < std::max(1, params.iterations); ++iter) {
-    assign_rows(rows, train, result.centroids, pool, &train_assign,
-                &train_fit);
+  // Fixed chunking for the parallel centroid update: per-chunk partial
+  // sums in double, merged in ascending chunk order below. The chunk set
+  // depends only on problem sizes, never on the pool, so the update is
+  // bit-identical for any pool size (including none).
+  std::size_t update_grain = kAssignGrain;
+  std::size_t nchunks = train.empty()
+                            ? 0
+                            : (train.size() + update_grain - 1) / update_grain;
+  if (nchunks * k * dim > kUpdateScratchDoubles) {
+    update_grain = train.size();
+    nchunks = 1;
+  }
+  std::vector<std::vector<double>> part_sum(nchunks);
+  std::vector<std::vector<std::uint32_t>> part_cnt(nchunks);
 
-    // Mean update, accumulated sequentially in double over the fixed train
-    // order — deterministic for any pool size.
+  for (int iter = 0; iter < std::max(1, params.iterations); ++iter) {
+    std::optional<CentroidGrouping> grouping;
+    if (pruned) {
+      grouping = group_centroids(result.centroids, params.assign_fanout, pool);
+    }
+    assign_rows(rows, train, result.centroids, pool, &train_assign,
+                &train_fit, grouping ? &*grouping : nullptr,
+                params.assign_fanout);
+
+    // Mean update: per-chunk partial sums in double over the fixed train
+    // order, merged sequentially in ascending chunk order.
+    auto update_chunk = [&](std::size_t begin, std::size_t end) {
+      std::size_t ci = begin / update_grain;
+      auto& acc = part_sum[ci];
+      auto& cnt = part_cnt[ci];
+      acc.assign(k * dim, 0.0);
+      cnt.assign(k, 0);
+      for (std::size_t i = begin; i < end; ++i) {
+        const float* row = base + train[i] * stride;
+        double* dst = acc.data() + train_assign[i] * dim;
+        for (std::size_t j = 0; j < dim; ++j) dst[j] += row[j];
+        ++cnt[train_assign[i]];
+      }
+    };
+    if (pool != nullptr && nchunks >= 2) {
+      pool->parallel_for_chunked(train.size(), update_grain, update_chunk);
+    } else {
+      for (std::size_t ci = 0; ci < nchunks; ++ci) {
+        update_chunk(ci * update_grain,
+                     std::min(train.size(), (ci + 1) * update_grain));
+      }
+    }
     std::fill(accum.begin(), accum.end(), 0.0);
     std::fill(counts.begin(), counts.end(), 0);
-    for (std::size_t i = 0; i < train.size(); ++i) {
-      const float* row = base + train[i] * stride;
-      double* dst = accum.data() + train_assign[i] * dim;
-      for (std::size_t j = 0; j < dim; ++j) dst[j] += row[j];
-      ++counts[train_assign[i]];
+    for (std::size_t ci = 0; ci < nchunks; ++ci) {
+      const auto& acc = part_sum[ci];
+      for (std::size_t idx = 0; idx < accum.size(); ++idx) {
+        accum[idx] += acc[idx];
+      }
+      const auto& cnt = part_cnt[ci];
+      for (std::size_t c = 0; c < k; ++c) counts[c] += cnt[c];
     }
 
     // Empty clusters are reseeded from the worst-fit training rows (lowest
@@ -185,7 +378,8 @@ KmeansResult spherical_kmeans(const EmbeddingMatrix& rows, KmeansParams params,
     }
   }
 
-  result.assignment = assign_to_centroids(rows, result.centroids, pool);
+  result.assignment = assign_to_centroids(rows, result.centroids, pool,
+                                          params.assign_fanout);
   return result;
 }
 

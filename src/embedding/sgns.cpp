@@ -2,14 +2,27 @@
 
 #include <atomic>
 #include <cmath>
+#include <ctime>
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <stdexcept>
-#include <thread>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/thread_pool.hpp"
 #include "util/vec_math.hpp"
+
+// Hogwild training races on the embedding rows by design; under TSan the
+// multi-thread schedule switches to relaxed-atomic row access (see
+// sgns_step_atomic) so the sanitizer sees no unannotated race.
+#if defined(__SANITIZE_THREAD__)
+#define NETOBS_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define NETOBS_TSAN 1
+#endif
+#endif
 
 namespace netobs::embedding {
 
@@ -24,6 +37,7 @@ struct SgnsMetrics {
   obs::Gauge& vocab_size;
   obs::Gauge& epoch_loss;
   obs::Gauge& pairs_per_second;
+  obs::Gauge& train_threads;
 
   static SgnsMetrics& get() {
     auto& reg = obs::MetricsRegistry::global();
@@ -39,6 +53,8 @@ struct SgnsMetrics {
                   "Mean per-pair loss of the last completed epoch"),
         reg.gauge("netobs_embedding_train_pairs_per_second",
                   "Throughput of the last completed epoch"),
+        reg.gauge("netobs_embedding_train_threads",
+                  "Hogwild worker threads of the last SGNS fit"),
     };
     return m;
   }
@@ -158,19 +174,94 @@ double sgns_step(std::span<const float> input, TokenId target_token,
   return loss;
 }
 
+#if NETOBS_TSAN
+/// TSan-only Hogwild step: shared context rows are read through one
+/// relaxed-atomic snapshot and written through relaxed fetch_add, so the
+/// sanitizer sees only annotated concurrent access. Element-wise loads are
+/// not the fused kernel, so numerics can differ from sgns_step — which is
+/// why this path replaces only the racy multi-thread schedule; threads == 1
+/// always runs the plain, bit-exact step.
+double sgns_step_atomic(std::span<const float> input, TokenId target_token,
+                        const Vocabulary& vocab, EmbeddingMatrix& ctx_matrix,
+                        int negatives, float lr, util::Pcg32& rng,
+                        std::span<float> grad_input,
+                        std::span<float> row_scratch) {
+  const auto& sig = util::shared_sigmoid_table();
+  std::fill(grad_input.begin(), grad_input.end(), 0.0F);
+  double loss = 0.0;
+
+  auto update_output = [&](TokenId target, float label) {
+    std::span<float> out_row = ctx_matrix.row(target);
+    for (std::size_t j = 0; j < out_row.size(); ++j) {
+      row_scratch[j] =
+          std::atomic_ref<float>(out_row[j]).load(std::memory_order_relaxed);
+    }
+    float score =
+        util::dot(input, std::span<const float>(row_scratch.data(),
+                                                out_row.size()));
+    float pred = sig(score);
+    float g = (label - pred) * lr;
+    for (std::size_t j = 0; j < out_row.size(); ++j) {
+      grad_input[j] += g * row_scratch[j];
+      std::atomic_ref<float>(out_row[j])
+          .fetch_add(g * input[j], std::memory_order_relaxed);
+    }
+    float p = label > 0.5F ? pred : 1.0F - pred;
+    loss += -std::log(std::max(p, 1e-7F));
+  };
+
+  update_output(target_token, 1.0F);
+  for (int k = 0; k < negatives; ++k) {
+    TokenId neg = vocab.sample_negative(rng);
+    if (neg == target_token) continue;
+    update_output(neg, 0.0F);
+  }
+  return loss;
+}
+
+void atomic_load_row(std::span<const float> row, std::span<float> dst) {
+  // atomic_ref<const T> arrives only in C++26; the const_cast is sound
+  // because the underlying matrix storage is mutable.
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    dst[j] = std::atomic_ref<float>(const_cast<float&>(row[j]))
+                 .load(std::memory_order_relaxed);
+  }
+}
+
+void atomic_add_row(std::span<float> row, std::span<const float> delta) {
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    std::atomic_ref<float>(row[j]).fetch_add(delta[j],
+                                             std::memory_order_relaxed);
+  }
+}
+#endif
+
+/// CPU seconds the calling thread has consumed (CLOCK_THREAD_CPUTIME_ID) —
+/// sampled at job entry/exit to attribute work to Hogwild workers even
+/// when the pool multiplexes them onto fewer hardware threads.
+double thread_cpu_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
 }  // namespace
 
-HostEmbedding SgnsTrainer::fit(const std::vector<Sequence>& corpus) {
-  return train(corpus, nullptr);
+HostEmbedding SgnsTrainer::fit(const std::vector<Sequence>& corpus,
+                               util::ThreadPool* pool) {
+  return train(corpus, nullptr, pool);
 }
 
 HostEmbedding SgnsTrainer::fit_warm(const std::vector<Sequence>& corpus,
-                                    const HostEmbedding& previous) {
-  return train(corpus, &previous);
+                                    const HostEmbedding& previous,
+                                    util::ThreadPool* pool) {
+  return train(corpus, &previous, pool);
 }
 
 HostEmbedding SgnsTrainer::train(const std::vector<Sequence>& corpus,
-                                 const HostEmbedding* previous) {
+                                 const HostEmbedding* previous,
+                                 util::ThreadPool* pool) {
   Vocabulary vocab(corpus, vocab_params_);
   util::Pcg32 master(params_.seed, 0x5e'ed);
 
@@ -217,6 +308,24 @@ HostEmbedding SgnsTrainer::train(const std::vector<Sequence>& corpus,
   epoch_losses_.clear();
   epoch_durations_.clear();
   std::size_t threads = std::max<std::size_t>(1, params_.threads);
+  worker_cpu_seconds_.assign(threads, 0.0);
+  total_pairs_ = 0;
+  pairs_per_second_ = 0.0;
+  metrics.train_threads.set(static_cast<double>(threads));
+
+  // One pool for the whole fit — epochs hand off worker jobs instead of
+  // spawning threads. threads == 1 never touches a pool (bit-exact inline
+  // path).
+  std::optional<util::ThreadPool> owned_pool;
+  util::ThreadPool* train_pool = nullptr;
+  if (threads > 1) {
+    if (pool != nullptr) {
+      train_pool = pool;
+    } else {
+      owned_pool.emplace(threads);
+      train_pool = &*owned_pool;
+    }
+  }
 
   for (int epoch = 0; epoch < params_.epochs; ++epoch) {
     obs::ScopedTimer epoch_timer(&metrics.epoch_seconds);
@@ -224,11 +333,17 @@ HostEmbedding SgnsTrainer::train(const std::vector<Sequence>& corpus,
     std::atomic<std::uint64_t> epoch_pairs{0};
 
     auto worker = [&](std::size_t worker_idx) {
+      const double cpu_start = thread_cpu_seconds();
       util::Pcg32 rng(params_.seed,
                       util::mix64((static_cast<std::uint64_t>(epoch) << 16) ^
                                   worker_idx ^ 0xABCDULL));
       std::vector<float> grad(params_.dim, 0.0F);
       std::vector<float> cbow_input(params_.dim, 0.0F);
+#if NETOBS_TSAN
+      const bool atomic_rows = threads > 1;
+      std::vector<float> center_scratch(params_.dim, 0.0F);
+      std::vector<float> row_scratch(params_.dim, 0.0F);
+#endif
       std::vector<TokenId> kept;
       double local_loss = 0.0;
       std::uint64_t local_pairs = 0;
@@ -269,6 +384,17 @@ HostEmbedding SgnsTrainer::train(const std::vector<Sequence>& corpus,
             for (std::size_t j = lo; j <= hi; ++j) {
               if (j == c) continue;
               std::span<float> center_row = central.row(kept[c]);
+#if NETOBS_TSAN
+              if (atomic_rows) {
+                atomic_load_row(center_row, center_scratch);
+                local_loss += sgns_step_atomic(
+                    center_scratch, kept[j], vocab, context,
+                    params_.negatives, lr, rng, grad, row_scratch);
+                atomic_add_row(center_row, grad);
+                ++local_pairs;
+                continue;
+              }
+#endif
               local_loss += sgns_step(center_row, kept[j], vocab, context,
                                       params_.negatives, lr, rng, grad);
               util::axpy(1.0F, grad, center_row);
@@ -281,11 +407,32 @@ HostEmbedding SgnsTrainer::train(const std::vector<Sequence>& corpus,
             float count = 0.0F;
             for (std::size_t j = lo; j <= hi; ++j) {
               if (j == c) continue;
+#if NETOBS_TSAN
+              if (atomic_rows) {
+                atomic_load_row(central.row(kept[j]), center_scratch);
+                util::axpy(1.0F, center_scratch, cbow_input);
+                count += 1.0F;
+                continue;
+              }
+#endif
               util::axpy(1.0F, central.row(kept[j]), cbow_input);
               count += 1.0F;
             }
             if (count == 0.0F) continue;
             util::scale(std::span<float>(cbow_input), 1.0F / count);
+#if NETOBS_TSAN
+            if (atomic_rows) {
+              local_loss += sgns_step_atomic(cbow_input, kept[c], vocab,
+                                             context, params_.negatives, lr,
+                                             rng, grad, row_scratch);
+              for (std::size_t j = lo; j <= hi; ++j) {
+                if (j == c) continue;
+                atomic_add_row(central.row(kept[j]), grad);
+              }
+              ++local_pairs;
+              continue;
+            }
+#endif
             local_loss += sgns_step(cbow_input, kept[c], vocab, context,
                                     params_.negatives, lr, rng, grad);
             for (std::size_t j = lo; j <= hi; ++j) {
@@ -302,15 +449,14 @@ HostEmbedding SgnsTrainer::train(const std::vector<Sequence>& corpus,
       processed.fetch_add(local_tokens, std::memory_order_relaxed);
       epoch_loss.fetch_add(local_loss);
       epoch_pairs.fetch_add(local_pairs);
+      // Distinct index per worker; no synchronisation needed.
+      worker_cpu_seconds_[worker_idx] += thread_cpu_seconds() - cpu_start;
     };
 
     if (threads == 1) {
       worker(0);
     } else {
-      std::vector<std::thread> pool;
-      pool.reserve(threads);
-      for (std::size_t w = 0; w < threads; ++w) pool.emplace_back(worker, w);
-      for (auto& t : pool) t.join();
+      train_pool->parallel_for(threads, worker);
     }
 
     std::uint64_t pairs = epoch_pairs.load();
@@ -323,6 +469,13 @@ HostEmbedding SgnsTrainer::train(const std::vector<Sequence>& corpus,
     if (seconds > 0.0) {
       metrics.pairs_per_second.set(static_cast<double>(pairs) / seconds);
     }
+    total_pairs_ += pairs;
+  }
+
+  double total_wall = 0.0;
+  for (double s : epoch_durations_) total_wall += s;
+  if (total_wall > 0.0) {
+    pairs_per_second_ = static_cast<double>(total_pairs_) / total_wall;
   }
 
   return HostEmbedding(vocab.tokens(), std::move(central), std::move(context));

@@ -13,8 +13,17 @@
 // defaults: d=100, window 5 (m=2), K=5.
 //
 // Training is "fully parallelizable" (Section 4.1): sequences are sharded
-// across threads which update the shared matrices lock-free (Hogwild), the
-// standard word2vec trick.
+// across `threads` workers which update the shared matrices lock-free
+// (Hogwild), the standard word2vec trick. Workers are dispatched onto a
+// util::ThreadPool — the caller's (so a daily retrain reuses the service
+// pool) or one owned pool created once per fit() — so an epoch costs a
+// task hand-off, not thread spawn/join. threads == 1 runs the worker
+// inline and is bit-identical run to run (the golden-digest oracle of the
+// train bench); threads > 1 is Hogwild and only statistically
+// reproducible. The linear LR schedule reads a batched global token
+// counter, so decay is monotone and thread-count independent in
+// expectation; epoch_losses() at different thread counts agree within a
+// small tolerance, not bitwise.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +36,10 @@
 
 #include "embedding/matrix.hpp"
 #include "embedding/vocabulary.hpp"
+
+namespace netobs::util {
+class ThreadPool;
+}
 
 namespace netobs::embedding {
 
@@ -97,8 +110,12 @@ class SgnsTrainer {
                        VocabularyParams vocab_params = VocabularyParams());
 
   /// Trains a fresh model on the corpus (one Sequence per user-session or
-  /// user-day, as in Section 5.4's daily retraining).
-  HostEmbedding fit(const std::vector<Sequence>& corpus);
+  /// user-day, as in Section 5.4's daily retraining). `pool` (optional)
+  /// carries the params().threads Hogwild workers; without one, a pool is
+  /// created once per fit when threads > 1. threads == 1 never touches a
+  /// pool and is bit-identical run to run.
+  HostEmbedding fit(const std::vector<Sequence>& corpus,
+                    util::ThreadPool* pool = nullptr);
 
   /// Warm-start training: rows of hosts also present in `previous` are
   /// initialised from that model before training (Section 5.4 notes the
@@ -106,7 +123,8 @@ class SgnsTrainer {
   /// hosts that are sparse today but were seen before). New hosts are
   /// initialised as in fit().
   HostEmbedding fit_warm(const std::vector<Sequence>& corpus,
-                         const HostEmbedding& previous);
+                         const HostEmbedding& previous,
+                         util::ThreadPool* pool = nullptr);
 
   /// Mean per-pair loss of each epoch of the last fit() call; strictly
   /// positive, expected to decrease on learnable data.
@@ -119,16 +137,35 @@ class SgnsTrainer {
     return epoch_durations_;
   }
 
+  /// CPU seconds each worker spent inside its training jobs, summed over
+  /// every epoch of the last fit() (CLOCK_THREAD_CPUTIME_ID, measured
+  /// inside the job). On a box with fewer hardware threads than workers,
+  /// wall time cannot show the parallel split — but
+  /// total CPU(threads=1) / max over workers of this vector is the ideal
+  /// speedup the sharding achieves, which the bench gate enforces.
+  const std::vector<double>& worker_cpu_seconds() const {
+    return worker_cpu_seconds_;
+  }
+
+  /// (center, context) pairs processed across all epochs of the last fit().
+  std::uint64_t total_pairs() const { return total_pairs_; }
+
+  /// total_pairs() over the summed epoch wall time of the last fit().
+  double pairs_per_second() const { return pairs_per_second_; }
+
   const SgnsParams& params() const { return params_; }
 
  private:
   HostEmbedding train(const std::vector<Sequence>& corpus,
-                      const HostEmbedding* previous);
+                      const HostEmbedding* previous, util::ThreadPool* pool);
 
   SgnsParams params_;
   VocabularyParams vocab_params_;
   std::vector<double> epoch_losses_;
   std::vector<double> epoch_durations_;
+  std::vector<double> worker_cpu_seconds_;
+  std::uint64_t total_pairs_ = 0;
+  double pairs_per_second_ = 0.0;
 };
 
 }  // namespace netobs::embedding

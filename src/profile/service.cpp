@@ -6,6 +6,7 @@
 #include "obs/log.hpp"
 #include "obs/memory.hpp"
 #include "obs/trace.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 constexpr const char* kLogSite = "profile.service";
@@ -138,11 +139,15 @@ bool ProfilingService::retrain(std::int64_t train_day) {
     return false;
   }
   embedding::SgnsTrainer trainer(params_.sgns, params_.vocab);
+  // One pool feeds every parallel retrain stage: the Hogwild SGNS workers
+  // and the IVF build (k-means + int8 encode) below.
+  util::ThreadPool* pool = retrain_pool();
   std::unique_ptr<embedding::HostEmbedding> fresh;
   try {
     fresh = std::make_unique<embedding::HostEmbedding>(
-        params_.warm_start && model_ ? trainer.fit_warm(sequences, *model_)
-                                     : trainer.fit(sequences));
+        params_.warm_start && model_
+            ? trainer.fit_warm(sequences, *model_, pool)
+            : trainer.fit(sequences, pool));
   } catch (const std::invalid_argument& e) {
     // Not enough data for the vocabulary thresholds: keep the old model,
     // exactly what a production back-end would do on a thin day.
@@ -161,10 +166,10 @@ bool ProfilingService::retrain(std::int64_t train_day) {
     if (params_.warm_start && prev_ivf != nullptr &&
         prev_ivf->centroids().dim() == model_->central().dim()) {
       index_ = std::make_unique<embedding::IvfKnnIndex>(
-          model_->central(), prev_ivf->centroids(), params_.ivf);
+          model_->central(), prev_ivf->centroids(), params_.ivf, pool);
     } else {
       index_ = std::make_unique<embedding::IvfKnnIndex>(model_->central(),
-                                                        params_.ivf);
+                                                        params_.ivf, pool);
     }
   } else {
     index_ = std::make_unique<embedding::CosineKnnIndex>(*model_);
@@ -175,6 +180,8 @@ bool ProfilingService::retrain(std::int64_t train_day) {
       model_->central().memory_bytes() + model_->context().memory_bytes(),
       std::memory_order_relaxed);
   index_bytes_.store(index_->memory_bytes(), std::memory_order_relaxed);
+  last_train_threads_ = std::max<std::size_t>(1, params_.sgns.threads);
+  last_train_pairs_per_s_ = trainer.pairs_per_second();
   retrains_->inc();
   obs::log_info(kLogSite, "retrained model",
                 {{"day", std::to_string(train_day)},
@@ -182,8 +189,20 @@ bool ProfilingService::retrain(std::int64_t train_day) {
                  {"vocab", std::to_string(model_->size())},
                  {"knn_backend",
                   embedding::knn_backend_name(params_.knn_backend)},
+                 {"train_threads", std::to_string(last_train_threads_)},
+                 {"train_pairs_per_s",
+                  std::to_string(last_train_pairs_per_s_)},
                  {"seconds", std::to_string(span.elapsed_seconds())}});
   return true;
+}
+
+util::ThreadPool* ProfilingService::retrain_pool() {
+  const std::size_t threads = std::max<std::size_t>(1, params_.sgns.threads);
+  if (threads <= 1) return nullptr;
+  if (!retrain_pool_ || retrain_pool_->thread_count() != threads) {
+    retrain_pool_ = std::make_unique<util::ThreadPool>(threads);
+  }
+  return retrain_pool_.get();
 }
 
 std::vector<std::pair<std::string, std::string>> ProfilingService::knn_status()
@@ -200,6 +219,16 @@ std::vector<std::pair<std::string, std::string>> ProfilingService::knn_status()
                      std::to_string(std::min(ivf->params().nprobe,
                                              ivf->nlists())));
     out.emplace_back("knn_rerank", std::to_string(ivf->params().rerank));
+    const auto& bs = ivf->build_stats();
+    out.emplace_back("ivf_build_ms", std::to_string(bs.total_s * 1e3));
+    out.emplace_back("ivf_build_kmeans_ms", std::to_string(bs.kmeans_s * 1e3));
+    out.emplace_back("ivf_build_assign_ms", std::to_string(bs.assign_s * 1e3));
+    out.emplace_back("ivf_build_encode_ms", std::to_string(bs.encode_s * 1e3));
+  }
+  if (last_train_threads_ > 0) {
+    out.emplace_back("retrain_threads", std::to_string(last_train_threads_));
+    out.emplace_back("retrain_pairs_per_s",
+                     std::to_string(last_train_pairs_per_s_));
   }
   out.emplace_back(
       "simd_int8_tier",

@@ -15,6 +15,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -29,12 +30,27 @@
 #include "profile/profiler.hpp"
 #include "profile/session.hpp"
 
+namespace netobs::util {
+class ThreadPool;
+}
+
 namespace netobs::profile {
+
+/// Service-level SGNS defaults: identical to the trainer's own defaults
+/// except threads, which follows the hardware — the daily retrain is the
+/// service's dominant offline cost and Section 4.1 calls training "fully
+/// parallelizable". Single-core boxes (and the determinism-minded) get
+/// threads = 1, the bit-exact path.
+inline embedding::SgnsParams default_service_sgns() {
+  embedding::SgnsParams p;
+  p.threads = std::max<unsigned>(1, std::thread::hardware_concurrency());
+  return p;
+}
 
 struct ServiceParams {
   Window profile_window = Window::minutes(20);
   ProfilerParams profiler;
-  embedding::SgnsParams sgns;
+  embedding::SgnsParams sgns = default_service_sgns();
   embedding::VocabularyParams vocab;
   /// When true, each daily retraining warm-starts from the previous day's
   /// model instead of training from scratch (extension; the paper retrains
@@ -140,6 +156,10 @@ class ProfilingService {
                   std::string_view hostname);
   void sync_store_gauges();
   void register_memory_probes();
+  /// The pool shared by the retrain stages (Hogwild SGNS workers + IVF
+  /// build), created lazily at sgns.threads and reused across retrains;
+  /// nullptr when threads <= 1 (the bit-exact serial path).
+  util::ThreadPool* retrain_pool();
 
   const ontology::HostLabeler* labeler_;
   const filter::Blocklist* blocklist_;
@@ -166,6 +186,11 @@ class ProfilingService {
   std::unique_ptr<embedding::HostEmbedding> model_;
   std::unique_ptr<embedding::KnnIndex> index_;
   std::unique_ptr<SessionProfiler> profiler_;
+  std::unique_ptr<util::ThreadPool> retrain_pool_;
+
+  // Last-retrain parallelism readout for knn_status() / /statusz.
+  std::size_t last_train_threads_ = 0;
+  double last_train_pairs_per_s_ = 0.0;
 
   obs::FlightRecorder* flight_ = nullptr;
 

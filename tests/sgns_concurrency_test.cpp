@@ -1,0 +1,87 @@
+// SgnsConcurrency: the Hogwild training hot spot under the sanitizer
+// smoke gate (tests/CMakeLists.txt wires this suite into sanitizer_smoke,
+// the ctest run under -DNETOBS_SANITIZE=thread). Under TSan the trainer
+// routes shared-row updates through relaxed atomics (sgns.cpp's
+// NETOBS_TSAN path), so these multi-worker fits must come back clean; in
+// plain builds they are just fast functional checks of the pool dispatch.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "embedding/sgns.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace netobs::embedding {
+namespace {
+
+/// Small two-topic corpus: enough structure that training does real
+/// updates on shared rows (the contended regime), small enough for a
+/// sanitizer build to chew through quickly.
+std::vector<Sequence> tiny_corpus(std::size_t sequences) {
+  util::Pcg32 rng(99, 0x5eed);
+  std::vector<Sequence> corpus(sequences);
+  for (std::size_t s = 0; s < sequences; ++s) {
+    std::size_t topic = s % 2;
+    corpus[s].reserve(12);
+    for (int t = 0; t < 12; ++t) {
+      corpus[s].push_back("host" + std::to_string(rng.next_below(40)) +
+                          ".topic" + std::to_string(topic));
+    }
+  }
+  return corpus;
+}
+
+SgnsParams hogwild_params(std::size_t threads, SgnsMode mode) {
+  SgnsParams p;
+  p.dim = 16;
+  p.epochs = 2;
+  p.threads = threads;
+  p.mode = mode;
+  return p;
+}
+
+void expect_trained(const SgnsTrainer& trainer, const HostEmbedding& model) {
+  EXPECT_GT(model.size(), 0U);
+  for (double loss : trainer.epoch_losses()) {
+    EXPECT_TRUE(std::isfinite(loss));
+    EXPECT_GT(loss, 0.0);
+  }
+  EXPECT_GT(trainer.total_pairs(), 0U);
+}
+
+TEST(SgnsConcurrency, HogwildSkipGramWithOwnedPool) {
+  auto corpus = tiny_corpus(300);
+  SgnsTrainer trainer(hogwild_params(4, SgnsMode::kSkipGram));
+  auto model = trainer.fit(corpus);
+  expect_trained(trainer, model);
+  EXPECT_EQ(trainer.worker_cpu_seconds().size(), 4U);
+}
+
+TEST(SgnsConcurrency, HogwildSkipGramOnCallerPool) {
+  // The service path: one long-lived pool carries every daily retrain.
+  auto corpus = tiny_corpus(300);
+  util::ThreadPool pool(4);
+  SgnsTrainer trainer(hogwild_params(4, SgnsMode::kSkipGram));
+  auto first = trainer.fit(corpus, &pool);
+  expect_trained(trainer, first);
+  // Warm start over the same pool (fit_warm is the warm_start retrain).
+  auto second = trainer.fit_warm(corpus, first, &pool);
+  expect_trained(trainer, second);
+  EXPECT_EQ(second.size(), first.size());
+}
+
+TEST(SgnsConcurrency, HogwildCbowSharesTheAtomicPath) {
+  // CBOW accumulates context rows while other workers update them — the
+  // other race the TSan build must see through the atomic snapshots.
+  auto corpus = tiny_corpus(300);
+  SgnsTrainer trainer(hogwild_params(4, SgnsMode::kCbow));
+  auto model = trainer.fit(corpus);
+  expect_trained(trainer, model);
+}
+
+}  // namespace
+}  // namespace netobs::embedding

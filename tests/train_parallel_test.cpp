@@ -1,0 +1,181 @@
+// The parallel-retrain contracts of embedding/sgns.cpp and the pool
+// invariance of the IVF build chain (embedding/kmeans.cpp +
+// embedding/ivf_index.cpp):
+//   - threads == 1 reproduces the pre-pool seed trainer bit for bit — the
+//     model digest equals the recorded golden constant;
+//   - Hogwild (threads > 1) is only statistically reproducible, but its
+//     epoch losses, pair counts and embedding quality (topic purity) stay
+//     within tolerance of the serial run;
+//   - the k-means quantizer (including the grouped pruned assignment at
+//     paper-scale centroid counts) and the int8 list encoding are
+//     bit-identical for any ThreadPool size, measured by the index
+//     contents hash.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "bench/train_baseline.hpp"
+#include "embedding/ivf_index.hpp"
+#include "embedding/kmeans.hpp"
+#include "embedding/knn.hpp"
+#include "embedding/sgns.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "util/vec_math.hpp"
+
+namespace netobs::embedding {
+namespace {
+
+/// Nearest-neighbour topic purity of a model trained on the frozen
+/// make_train_corpus corpus: fraction of sampled tokens whose closest
+/// other token shares the ground-truth topic. The Hogwild runs may move
+/// individual floats, but they must not move this.
+double topic_purity(const HostEmbedding& model) {
+  CosineKnnIndex index(model.central());
+  std::size_t sampled = 0, pure = 0;
+  for (TokenId id = 0; id < model.size() && sampled < 300;
+       id += 7, ++sampled) {
+    auto row = model.vector_of(id);
+    auto top = index.query(std::vector<float>(row.begin(), row.end()), 2);
+    for (const auto& nb : top) {
+      if (nb.id == id) continue;
+      pure += bench::train_corpus_topic(model.token(nb.id)) ==
+                      bench::train_corpus_topic(model.token(id))
+                  ? 1
+                  : 0;
+      break;
+    }
+  }
+  return sampled == 0 ? 0.0
+                      : static_cast<double>(pure) /
+                            static_cast<double>(sampled);
+}
+
+/// Reduced frozen corpus for the parity tests: same generator, fewer
+/// sequences/epochs, so training twice stays cheap.
+bench::TrainBaselineOptions parity_options() {
+  bench::TrainBaselineOptions opts;
+  opts.sequences = 2000;
+  opts.epochs = 2;
+  return opts;
+}
+
+TEST(TrainParallel, ThreadsOneReproducesSeedDigest) {
+  // The full frozen corpus/params the golden digest was recorded under
+  // (bench/train_baseline.hpp). Any numeric drift on the serial path —
+  // reordered updates, a changed RNG stream, a different LR schedule —
+  // flips the SHA-256 of the saved model.
+  auto corpus = bench::make_train_corpus({});
+  SgnsTrainer trainer(bench::canonical_train_params(1, 3));
+  auto model = trainer.fit(corpus);
+  EXPECT_EQ(bench::model_digest(model), bench::kTrainDigestT1);
+  ASSERT_EQ(trainer.worker_cpu_seconds().size(), 1U);
+  EXPECT_GT(trainer.total_pairs(), 0U);
+  EXPECT_GT(trainer.pairs_per_second(), 0.0);
+}
+
+TEST(TrainParallel, HogwildStaysWithinToleranceOfSerial) {
+  auto opts = parity_options();
+  auto corpus = bench::make_train_corpus(opts);
+
+  SgnsTrainer serial(bench::canonical_train_params(1, opts.epochs));
+  auto model1 = serial.fit(corpus);
+  SgnsTrainer hogwild(bench::canonical_train_params(4, opts.epochs));
+  auto model4 = hogwild.fit(corpus);
+
+  // Same vocabulary either way: sharding only touches the SGD phase.
+  ASSERT_EQ(model4.size(), model1.size());
+  ASSERT_EQ(hogwild.worker_cpu_seconds().size(), 4U);
+
+  // Pair counts differ only through the per-worker dynamic-window RNG
+  // streams, not through dropped work.
+  double pair_ratio = static_cast<double>(hogwild.total_pairs()) /
+                      static_cast<double>(serial.total_pairs());
+  EXPECT_GT(pair_ratio, 0.9);
+  EXPECT_LT(pair_ratio, 1.1);
+
+  // Documented loss tolerance (sgns.hpp): per-epoch mean loss within 10%.
+  ASSERT_EQ(hogwild.epoch_losses().size(), serial.epoch_losses().size());
+  for (std::size_t e = 0; e < serial.epoch_losses().size(); ++e) {
+    double want = serial.epoch_losses()[e];
+    EXPECT_NEAR(hogwild.epoch_losses()[e], want, 0.1 * want)
+        << "epoch " << e;
+  }
+
+  // Embedding quality parity: both models cluster hostnames by topic.
+  double purity1 = topic_purity(model1);
+  double purity4 = topic_purity(model4);
+  EXPECT_GE(purity1, 0.7);
+  EXPECT_GE(purity4, 0.7);
+  EXPECT_NEAR(purity4, purity1, 0.08);
+}
+
+TEST(TrainParallel, KmeansPrunedAssignmentIsPoolInvariant) {
+  // Paper-scale centroid count (>= 128) with the default assignment fanout
+  // activates the grouped pruned path; the clustering must not depend on
+  // the pool size — same chunk grain, partial sums merged in fixed order.
+  constexpr std::size_t kRows = 8000, kDim = 24;
+  EmbeddingMatrix m(kRows, kDim);
+  util::Pcg32 rng(4242, 0xc1);
+  for (std::size_t r = 0; r < kRows; ++r) {
+    for (float& v : m.row(r)) v = static_cast<float>(rng.normal());
+    util::normalize(m.row(r));
+  }
+  KmeansParams kp;
+  kp.clusters = 160;
+  kp.assign_fanout = 4;
+  auto serial = spherical_kmeans(m, kp);
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2},
+                              std::size_t{4}}) {
+    util::ThreadPool pool(threads);
+    auto pooled = spherical_kmeans(m, kp, &pool);
+    ASSERT_EQ(pooled.assignment, serial.assignment)
+        << threads << "-thread pool changed the clustering";
+    for (std::size_t c = 0; c < kp.clusters; ++c) {
+      auto a = serial.centroids.row(c);
+      auto b = pooled.centroids.row(c);
+      for (std::size_t j = 0; j < kDim; ++j) {
+        ASSERT_EQ(a[j], b[j]) << "centroid " << c << " dim " << j;
+      }
+    }
+  }
+}
+
+TEST(TrainParallel, IvfContentsHashIsPoolInvariant) {
+  // Rows > 2x the encode grain so the pooled builds take the parallel
+  // two-pass encode, and enough lists for the grouped assignment: the
+  // SHA-256 over centroids + every list must come out identical for any
+  // pool size (the oracle the bench gate also enforces at 470K rows).
+  constexpr std::size_t kRows = 20000, kDim = 24, kTopics = 40;
+  EmbeddingMatrix centers(kTopics, kDim);
+  util::Pcg32 rng(7, 0xc1);
+  for (std::size_t t = 0; t < kTopics; ++t) {
+    for (float& v : centers.row(t)) v = static_cast<float>(rng.normal());
+    util::normalize(centers.row(t));
+  }
+  EmbeddingMatrix m(kRows, kDim);
+  for (std::size_t r = 0; r < kRows; ++r) {
+    auto center = centers.row(r % kTopics);
+    for (std::size_t j = 0; j < kDim; ++j) {
+      m.row(r)[j] = center[j] + static_cast<float>(0.15 * rng.normal());
+    }
+  }
+  IvfParams p;
+  p.nlists = 160;
+  IvfKnnIndex serial(m, p);
+  const std::string want = serial.contents_hash();
+  EXPECT_EQ(want.size(), 64U);
+  EXPECT_GT(serial.build_stats().total_s, 0.0);
+  for (std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    util::ThreadPool pool(threads);
+    IvfKnnIndex pooled(m, p, &pool);
+    EXPECT_EQ(pooled.contents_hash(), want)
+        << threads << "-thread pool changed the index contents";
+  }
+}
+
+}  // namespace
+}  // namespace netobs::embedding
