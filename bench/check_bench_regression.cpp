@@ -19,8 +19,13 @@
 // Four classes of absolute floors (never grandfathered by a stale
 // baseline): the exact-path speedups; the IVF floors — recall@1000 >= 0.98
 // at the default nprobe always, ivf speedup >= 5.0 vs the blocked heap at
-// deployment scale (rows >= 400000), build time under the 3483 ms ceiling
-// at deployment scale, and the build bit-identical for any pool size; the
+// deployment scale (rows >= 400000), the list-centric batch-32 scan >= 3x
+// the single-query path at deployment scale where the box has >= 4
+// hardware threads for the pool-sharded sweep (>= 2x on a single thread)
+// and bit-identical to it
+// always, PQ recall@1000 >= 0.95 with the PQ payload at most a third of
+// the int8 one, build time under the 3483 ms ceiling at deployment scale,
+// and the build bit-identical for any pool size; the
 // sharded-ingest floors — ideal speedup >= 3.0 at >= 4 shards always,
 // measured wall-clock speedup >= 3.0 where the box has >= shards hardware
 // threads, zero event loss under the block policy, 1-shard output identical
@@ -81,6 +86,11 @@ struct Check {
   const char* key;        ///< key in BENCH_micro.json
   double current;         ///< freshly measured value
   bool lower_is_better;   ///< timings: true; speedups: false
+  /// Wall-clock ceilings recorded on a wider box than this one are not
+  /// comparable: skip (with a note) when the measuring machine has fewer
+  /// hardware threads than the parallelism the number assumes. 0 = always
+  /// compare.
+  std::size_t min_hw = 0;
 };
 
 }  // namespace
@@ -156,15 +166,26 @@ int main(int argc, char** argv) {
       {"ivf_query_ms", r.ivf_s * 1e3, true},
       {"recall_at_1000", r.ivf_recall, false},
       {"speedup_vs_blocked_heap", r.ivf_speedup(), false},
+      {"ivf_batch32_per_query_ms", r.ivf_batch_per_query_s * 1e3, true},
+      {"pq_query_ms", r.pq_s * 1e3, true},
+      {"pq_recall_at_1000", r.pq_recall, false},
       {"ingest_singlethread_pps", ing.st_pps(), false},
       {"ingest_speedup_ideal", ing.speedup_ideal(), false},
       {"ivf_build_serial_ms", r.ivf_build_s * 1e3, true},
+      {"ivf_build_pool2_ms", r.ivf_build_pool2_s * 1e3, true, 2},
+      {"ivf_build_pool4_ms", r.ivf_build_pool4_s * 1e3, true, 4},
       {"train_t1_wall_ms", tr.t1_wall_s * 1e3, true},
       {"train_ideal_speedup_t4", tr.ideal_speedup_t4(), false},
   };
 
   int failures = 0;
   for (const Check& c : checks) {
+    if (c.min_hw > 0 && r.hardware_threads < c.min_hw) {
+      std::cout << "[gate] note     " << c.key << " skipped: "
+                << r.hardware_threads << " hw thread(s) < " << c.min_hw
+                << " the recorded number assumes\n";
+      continue;
+    }
     double recorded = 0.0;
     if (!find_number(doc, c.key, &recorded)) {
       std::cerr << "[gate] MISSING  " << c.key << " not in " << baseline_path
@@ -208,6 +229,41 @@ int main(int argc, char** argv) {
     std::cout << "[gate] note     ivf speedup " << r.ivf_speedup()
               << " informational only below 400000 rows (current "
               << r.rows << ")\n";
+  }
+  // Batched-IVF floors: the list-centric scan must beat 32 single-query
+  // sweeps at deployment scale (3x with >= 4 hardware threads for the
+  // pool-sharded sweep, 2x on a single thread), and must match the
+  // per-query answers bit for bit at any scale.
+  const double batch_target = r.ivf_batch_speedup_target();
+  if (r.ivf_batch_enforced() && r.ivf_batch_speedup() < batch_target) {
+    std::cerr << "[gate] REGRESSED ivf batch speedup "
+              << r.ivf_batch_speedup() << " below the " << batch_target
+              << " acceptance target at " << r.rows << " rows\n";
+    ++failures;
+  } else if (!r.ivf_batch_enforced()) {
+    std::cout << "[gate] note     ivf batch speedup " << r.ivf_batch_speedup()
+              << " informational only below 400000 rows (current " << r.rows
+              << ")\n";
+  }
+  if (!r.ivf_batch_identical) {
+    std::cerr << "[gate] REGRESSED batched IVF answers differ from the "
+                 "per-query path (bit-identity contract)\n";
+    ++failures;
+  }
+  // PQ floors: recall after the exact re-rank, and the memory claim.
+  if (r.pq_recall < bench::MicroBaselineResult::pq_recall_floor()) {
+    std::cerr << "[gate] REGRESSED pq recall@" << r.top_n << " "
+              << r.pq_recall << " below the "
+              << bench::MicroBaselineResult::pq_recall_floor()
+              << " acceptance floor\n";
+    ++failures;
+  }
+  if (r.pq_bytes_ratio() >
+      bench::MicroBaselineResult::pq_bytes_ratio_ceiling()) {
+    std::cerr << "[gate] REGRESSED pq list bytes " << r.pq_list_bytes
+              << " above " << bench::MicroBaselineResult::pq_bytes_ratio_ceiling()
+              << " of the int8 payload (" << r.int8_list_bytes << ")\n";
+    ++failures;
   }
   const double ingest_target = bench::IngestBaselineResult::speedup_target();
   if (ing.ideal_speedup_enforced() && ing.speedup_ideal() < ingest_target) {

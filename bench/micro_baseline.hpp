@@ -28,6 +28,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/ingest_baseline.hpp"
@@ -52,6 +53,10 @@ struct MicroBaselineResult {
   std::size_t dim = 0;
   std::size_t top_n = 0;
   std::size_t batch = 0;
+  /// std::thread::hardware_concurrency() of the measuring box, stamped into
+  /// every section so the regression gate can skip wall-clock ceilings that
+  /// assume more cores than the box has.
+  std::size_t hardware_threads = 0;
   double fullsort_s = 0.0;
   double blocked_s = 0.0;
   double batch_per_query_s = 0.0;
@@ -74,11 +79,32 @@ struct MicroBaselineResult {
   double ivf_build_pool4_s = 0.0;
   bool ivf_pool_invariant = false;
   std::string ivf_contents_hash;
+  // List-centric batched IVF (ivf_batch_query section): the same 32-query
+  // batch answered by IvfKnnIndex::query_batch, and whether the batched
+  // answers matched the per-query path bit for bit.
+  double ivf_batch_per_query_s = 0.0;
+  bool ivf_batch_identical = false;
+  // Residual product quantization (pq section): a second IVF index warm-
+  // built on the same centroids with pq.m-byte codes instead of int8 rows.
+  std::size_t pq_m = 0;
+  std::size_t pq_bits = 0;
+  double pq_build_s = 0.0;
+  double pq_s = 0.0;
+  double pq_recall = 0.0;  ///< recall@top_n vs the exact sweep
+  std::size_t pq_list_bytes = 0;
+  std::size_t int8_list_bytes = 0;
 
   double knn_speedup() const { return fullsort_s / blocked_s; }
   double batch_speedup() const { return blocked_s / batch_per_query_s; }
   double dot_speedup() const { return dot_scalar_ns / dot_best_ns; }
   double ivf_speedup() const { return blocked_s / ivf_s; }
+  double ivf_batch_speedup() const { return ivf_s / ivf_batch_per_query_s; }
+  double pq_bytes_ratio() const {
+    return int8_list_bytes == 0
+               ? 1.0
+               : static_cast<double>(pq_list_bytes) /
+                     static_cast<double>(int8_list_bytes);
+  }
 
   /// The IVF latency floor is a deployment-scale claim; below this row
   /// count the probed fraction is too large for the speedup to be gated.
@@ -96,6 +122,25 @@ struct MicroBaselineResult {
   /// scale (188 MB of rows at 470K x 100) both paths stream from DRAM and
   /// the ratio compresses, so the floor relaxes to 2.0 there.
   double knn_speedup_target() const { return rows >= 400000 ? 2.0 : 3.0; }
+
+  /// Batched-IVF floor: one list sweep for the whole batch must beat 32
+  /// independent sweeps at deployment scale (below 400K rows the probed
+  /// lists fit in cache even query-at-a-time and the ratio is noise). The
+  /// full 3x claim rides on the pool-sharded sweep and per-query re-rank,
+  /// so — like the ingest and retrain wall-clock gates — it is enforced
+  /// where the box has >= 4 hardware threads. A single thread still gets
+  /// a real floor of 2.0: that is what shared list reads, the bound-skip
+  /// re-rank, and packed-key selection deliver when both paths contend
+  /// for one DRAM channel (measured 2.3-2.9x on a 1-thread box).
+  double ivf_batch_speedup_target() const {
+    return hardware_threads >= 4 ? 3.0 : 2.0;
+  }
+  bool ivf_batch_enforced() const { return rows >= 400000; }
+
+  /// PQ floors: recall@1000 after the exact re-rank, and the memory claim
+  /// (codes + codebooks at most a third of the int8 codes + scales).
+  static double pq_recall_floor() { return 0.95; }
+  static double pq_bytes_ratio_ceiling() { return 1.0 / 3.0; }
 };
 
 namespace baseline_detail {
@@ -183,6 +228,7 @@ inline MicroBaselineResult run_micro_baseline(
   result.dim = 100;
   result.top_n = 1000;
   result.batch = 32;
+  result.hardware_threads = std::thread::hardware_concurrency();
   const std::size_t kRows = result.rows;
   const std::size_t kDim = result.dim;
   const std::size_t kTopN = result.top_n;
@@ -234,6 +280,23 @@ inline MicroBaselineResult run_micro_baseline(
   result.ivf_build_encode_s = ivf.build_stats().encode_s;
   result.ivf_contents_hash = ivf.contents_hash();
 
+  // The PQ sibling: same coarse quantizer (warm build skips Lloyd), m-byte
+  // residual codes instead of the qstride + 4 int8 payload. m = 20 at
+  // d = 100 gives dsub = 5 subspaces and a 20 / 132 bytes-per-row ratio.
+  std::cerr << "[baseline] building PQ index on the same centroids...\n";
+  embedding::IvfParams pq_params;
+  pq_params.nlists = ivf.nlists();
+  pq_params.rerank = 8;  // the LUT scan is lossier than int8: widen the pool
+  pq_params.pq.m = 20;
+  pq_params.pq.bits = 8;
+  t_build = std::chrono::steady_clock::now();
+  embedding::IvfKnnIndex pq(matrix, ivf.centroids(), pq_params);
+  result.pq_build_s = seconds_since(t_build);
+  result.pq_m = pq.pq_code_bytes_per_row();
+  result.pq_bits = pq_params.pq.bits;
+  result.pq_list_bytes = pq.list_bytes();
+  result.int8_list_bytes = ivf.list_bytes();
+
   // Same build on 2- and 4-thread pools: faster where the box has the
   // cores, and — the contract — bit-identical either way.
   std::cerr << "[baseline] rebuilding IVF index on 2/4-thread pools...\n";
@@ -255,6 +318,7 @@ inline MicroBaselineResult run_micro_baseline(
   constexpr int kBlockedPerRound = 4;
   constexpr int kIvfPerRound = 16;
   std::vector<double> fullsort_times, blocked_times, batch_times, ivf_times;
+  std::vector<double> ivf_batch_times, pq_times;
   auto round_queries = [&](int round) {
     return static_cast<std::size_t>(round) % kBatch;
   };
@@ -264,6 +328,8 @@ inline MicroBaselineResult run_micro_baseline(
   benchmark::DoNotOptimize(index.query(queries[0], kTopN));
   benchmark::DoNotOptimize(index.query_batch(queries, kTopN));
   benchmark::DoNotOptimize(ivf.query(queries[0], kTopN));
+  benchmark::DoNotOptimize(ivf.query_batch(queries, kTopN));
+  benchmark::DoNotOptimize(pq.query(queries[0], kTopN));
   for (int round = 0; round < kRounds; ++round) {
     auto t0 = std::chrono::steady_clock::now();
     benchmark::DoNotOptimize(fullsort_scalar_query(
@@ -287,6 +353,18 @@ inline MicroBaselineResult run_micro_baseline(
           ivf.query(queries[round_queries(round + rep)], kTopN));
     }
     ivf_times.push_back(seconds_since(t0) / kIvfPerRound);
+
+    t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(ivf.query_batch(queries, kTopN));
+    ivf_batch_times.push_back(seconds_since(t0) /
+                              static_cast<double>(kBatch));
+
+    t0 = std::chrono::steady_clock::now();
+    for (int rep = 0; rep < kIvfPerRound; ++rep) {
+      benchmark::DoNotOptimize(
+          pq.query(queries[round_queries(round + rep)], kTopN));
+    }
+    pq_times.push_back(seconds_since(t0) / kIvfPerRound);
   }
   auto median = [](std::vector<double> v) {
     std::sort(v.begin(), v.end());
@@ -296,24 +374,50 @@ inline MicroBaselineResult run_micro_baseline(
   result.blocked_s = median(blocked_times);
   result.batch_per_query_s = median(batch_times);
   result.ivf_s = median(ivf_times);
+  result.ivf_batch_per_query_s = median(ivf_batch_times);
+  result.pq_s = median(pq_times);
 
-  // recall@top_n of the approximate index over the full query batch, with
+  // The bit-identity contract of the batched scan at the *default* nprobe:
+  // same ids, same float similarities as the per-query path.
+  result.ivf_batch_identical = true;
+  {
+    auto batched = ivf.query_batch(queries, kTopN);
+    for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+      auto single = ivf.query(queries[qi], kTopN);
+      bool same = batched[qi].size() == single.size();
+      for (std::size_t j = 0; same && j < single.size(); ++j) {
+        same = batched[qi][j].id == single[j].id &&
+               batched[qi][j].similarity == single[j].similarity;
+      }
+      result.ivf_batch_identical = result.ivf_batch_identical && same;
+    }
+  }
+
+  // recall@top_n of the approximate indexes over the full query batch, with
   // the exact sweep as oracle.
-  std::size_t hit = 0, want = 0;
+  std::size_t hit = 0, pq_hit = 0, want = 0;
   for (std::size_t qi = 0; qi < queries.size(); ++qi) {
     auto exact = index.query(queries[qi], kTopN);
-    auto approx = ivf.query(queries[qi], kTopN);
-    std::vector<embedding::TokenId> got;
-    got.reserve(approx.size());
-    for (const auto& nb : approx) got.push_back(nb.id);
-    std::sort(got.begin(), got.end());
-    for (const auto& nb : exact) {
-      hit += std::binary_search(got.begin(), got.end(), nb.id) ? 1 : 0;
-    }
+    auto count_hits = [&exact](const std::vector<embedding::Neighbor>& approx) {
+      std::vector<embedding::TokenId> got;
+      got.reserve(approx.size());
+      for (const auto& nb : approx) got.push_back(nb.id);
+      std::sort(got.begin(), got.end());
+      std::size_t h = 0;
+      for (const auto& nb : exact) {
+        h += std::binary_search(got.begin(), got.end(), nb.id) ? 1 : 0;
+      }
+      return h;
+    };
+    hit += count_hits(ivf.query(queries[qi], kTopN));
+    pq_hit += count_hits(pq.query(queries[qi], kTopN));
     want += exact.size();
   }
   result.ivf_recall =
       want == 0 ? 0.0 : static_cast<double>(hit) / static_cast<double>(want);
+  result.pq_recall =
+      want == 0 ? 0.0
+                : static_cast<double>(pq_hit) / static_cast<double>(want);
 
   // d=100 dot kernel, scalar tier vs best tier.
   constexpr int kDotReps = 2000000;
@@ -359,6 +463,7 @@ inline bool write_micro_baseline_json(const std::string& path,
       << "  \"simd_tier\": \""
       << util::simd::tier_name(util::simd::active_tier()) << "\",\n"
       << "  \"knn_query\": {\n"
+      << "    \"knn_hardware_threads\": " << r.hardware_threads << ",\n"
       << "    \"scalar_fullsort_ms\": " << r.fullsort_s * 1e3 << ",\n"
       << "    \"blocked_heap_ms\": " << r.blocked_s * 1e3 << ",\n"
       << "    \"batch32_per_query_ms\": " << r.batch_per_query_s * 1e3
@@ -372,6 +477,8 @@ inline bool write_micro_baseline_json(const std::string& path,
       << "\n"
       << "  },\n"
       << "  \"ivf_query\": {\n"
+      << "    \"ivf_query_hardware_threads\": " << r.hardware_threads
+      << ",\n"
       << "    \"nlists\": " << r.ivf_nlists << ",\n"
       << "    \"nprobe\": " << r.ivf_nprobe << ",\n"
       << "    \"build_ms\": " << r.ivf_build_s * 1e3 << ",\n"
@@ -382,7 +489,35 @@ inline bool write_micro_baseline_json(const std::string& path,
   out.precision(2);
   out << "    \"speedup_vs_blocked_heap\": " << r.ivf_speedup() << "\n"
       << "  },\n"
+      << "  \"ivf_batch_query\": {\n"
+      << "    \"ivf_batch_hardware_threads\": " << r.hardware_threads
+      << ",\n"
+      << "    \"ivf_batch32_per_query_ms\": " << r.ivf_batch_per_query_s * 1e3
+      << ",\n"
+      << "    \"ivf_batch32_per_query_qps\": " << 1.0 / r.ivf_batch_per_query_s
+      << ",\n"
+      << "    \"ivf_batch_speedup_vs_single\": " << r.ivf_batch_speedup()
+      << ",\n"
+      << "    \"ivf_batch_identical\": "
+      << (r.ivf_batch_identical ? "true" : "false") << "\n"
+      << "  },\n"
+      << "  \"pq\": {\n"
+      << "    \"pq_hardware_threads\": " << r.hardware_threads << ",\n"
+      << "    \"pq_m\": " << r.pq_m << ",\n"
+      << "    \"pq_bits\": " << r.pq_bits << ",\n"
+      << "    \"pq_build_ms\": " << r.pq_build_s * 1e3 << ",\n"
+      << "    \"pq_query_ms\": " << r.pq_s * 1e3 << ",\n"
+      << "    \"pq_query_qps\": " << 1.0 / r.pq_s << ",\n"
+      << "    \"pq_list_bytes\": " << r.pq_list_bytes << ",\n"
+      << "    \"int8_list_bytes\": " << r.int8_list_bytes << ",\n";
+  out.precision(4);
+  out << "    \"pq_bytes_ratio\": " << r.pq_bytes_ratio() << ",\n"
+      << "    \"pq_recall_at_1000\": " << r.pq_recall << "\n";
+  out.precision(2);
+  out << "  },\n"
       << "  \"ivf_build\": {\n"
+      << "    \"ivf_build_hardware_threads\": " << r.hardware_threads
+      << ",\n"
       << "    \"ivf_build_serial_ms\": " << r.ivf_build_s * 1e3 << ",\n"
       << "    \"ivf_build_kmeans_ms\": " << r.ivf_build_kmeans_s * 1e3
       << ",\n"
@@ -417,6 +552,7 @@ inline bool write_micro_baseline_json(const std::string& path,
       << "    \"train_digest_t1\": \"" << tr.digest_t1 << "\"\n"
       << "  },\n"
       << "  \"dot_d100\": {\n"
+      << "    \"dot_hardware_threads\": " << r.hardware_threads << ",\n"
       << "    \"scalar_ns\": " << r.dot_scalar_ns << ",\n"
       << "    \"" << util::simd::tier_name(util::simd::best_supported_tier())
       << "_ns\": " << r.dot_best_ns << ",\n"
@@ -448,6 +584,7 @@ inline bool write_micro_baseline_json(const std::string& path,
       << (ing.oneshard_identical ? "true" : "false") << "\n"
       << "  },\n"
       << "  \"flight_recorder\": {\n"
+      << "    \"flight_hardware_threads\": " << ing.hardware_threads << ",\n"
       << "    \"flight_sample_every\": " << ing.flight_sample_every << ",\n"
       << "    \"flight_serial_off_ms\": " << ing.flight_off_s * 1e3 << ",\n"
       << "    \"flight_serial_on_ms\": " << ing.flight_on_s * 1e3 << ",\n"
@@ -498,6 +635,30 @@ inline bool write_micro_baseline_json(const std::string& path,
       << ",\n"
       << "    \"ivf_pool_invariant_met\": "
       << (r.ivf_pool_invariant ? "true" : "false") << ",\n"
+      << "    \"ivf_batch_speedup_target\": " << r.ivf_batch_speedup_target()
+      << ",\n"
+      << "    \"ivf_batch_speedup_enforced_at_rows\": 400000,\n"
+      << "    \"ivf_batch_speedup_met\": "
+      << (!r.ivf_batch_enforced() ||
+                  r.ivf_batch_speedup() >= r.ivf_batch_speedup_target()
+              ? "true"
+              : "false")
+      << ",\n"
+      << "    \"ivf_batch_identical_met\": "
+      << (r.ivf_batch_identical ? "true" : "false") << ",\n"
+      << "    \"pq_recall_floor\": " << MicroBaselineResult::pq_recall_floor()
+      << ",\n"
+      << "    \"pq_recall_met\": "
+      << (r.pq_recall >= MicroBaselineResult::pq_recall_floor() ? "true"
+                                                                : "false")
+      << ",\n"
+      << "    \"pq_bytes_ratio_ceiling\": "
+      << MicroBaselineResult::pq_bytes_ratio_ceiling() << ",\n"
+      << "    \"pq_bytes_ratio_met\": "
+      << (r.pq_bytes_ratio() <= MicroBaselineResult::pq_bytes_ratio_ceiling()
+              ? "true"
+              : "false")
+      << ",\n"
       << "    \"train_speedup_target\": "
       << TrainBaselineResult::speedup_target() << ",\n"
       << "    \"train_ideal_speedup_met\": "

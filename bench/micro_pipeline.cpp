@@ -220,6 +220,46 @@ void BM_IvfQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_IvfQuery)->Arg(10)->Arg(100)->Arg(1000);
 
+void BM_IvfQueryBatch(benchmark::State& state) {
+  // 32 sessions through the list-centric batched IVF scan: every touched
+  // inverted list is swept once for the whole batch.
+  auto& service = trained_service();
+  embedding::IvfKnnIndex index(service.model().central());
+  std::vector<std::vector<float>> queries;
+  for (std::size_t i = 0; i < 32; ++i) {
+    auto row = service.model().vector_of(static_cast<embedding::TokenId>(
+        (i * 13) % service.model().size()));
+    queries.emplace_back(row.begin(), row.end());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index.query_batch(queries, static_cast<std::size_t>(state.range(0))));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
+  state.SetLabel("items = queries answered");
+}
+BENCHMARK(BM_IvfQueryBatch)->Arg(100)->Arg(1000);
+
+void BM_PqQuery(benchmark::State& state) {
+  // IVF with product-quantized lists: the asymmetric LUT scan (m = 20 table
+  // adds per row instead of a 100-dim int8 dot) plus the exact re-rank.
+  auto& service = trained_service();
+  embedding::IvfParams params;
+  params.rerank = 8;
+  params.pq.m = 20;
+  embedding::IvfKnnIndex index(service.model().central(), params);
+  std::vector<float> query(service.model().vector_of(0).begin(),
+                           service.model().vector_of(0).end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index.query(query, static_cast<std::size_t>(state.range(0))));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel("pq_bytes/row=" +
+                 std::to_string(index.pq_code_bytes_per_row()));
+}
+BENCHMARK(BM_PqQuery)->Arg(10)->Arg(100)->Arg(1000);
+
 void BM_DotKernel(benchmark::State& state) {
   // d=100 dot product on the tier selected by Arg(0); skipped when the CPU
   // lacks it. Restores the best tier afterwards.

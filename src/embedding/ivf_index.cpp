@@ -1,9 +1,12 @@
 #include "embedding/ivf_index.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <cmath>
 #include <cstring>
+#include <limits>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 
@@ -21,6 +24,7 @@ namespace {
 struct IvfMetrics {
   obs::Counter& queries;
   obs::Counter& recall_samples;
+  obs::Counter& batch_lists_touched;
   obs::Gauge& index_size;
   obs::Gauge& nlists;
   obs::Gauge& nprobe;
@@ -31,10 +35,13 @@ struct IvfMetrics {
   obs::Gauge& build_kmeans_seconds;
   obs::Gauge& build_assign_seconds;
   obs::Gauge& build_encode_seconds;
+  obs::Gauge& pq_code_bytes;
+  obs::Histogram& batch_size;
   obs::QuantileGauges latency;
-  /// Counters and gauges are atomic, but the P2 latency estimator is not;
+  obs::QuantileGauges latency_pq;
+  /// Counters and gauges are atomic, but the P2 latency estimators are not;
   /// queries may run concurrently from many threads.
-  std::mutex latency_mutex;
+  std::mutex latency_mutex{};
 
   static IvfMetrics& get() {
     auto& reg = obs::MetricsRegistry::global();
@@ -43,6 +50,10 @@ struct IvfMetrics {
                     "IVF approximate kNN queries answered"),
         reg.counter("netobs_embedding_ivf_recall_samples_total",
                     "Queries that also ran the exact sweep to sample recall"),
+        reg.counter(
+            "netobs_embedding_ivf_batch_lists_touched_total",
+            "Inverted lists swept by batched queries (each touched list "
+            "counts once per batch regardless of how many queries probe it)"),
         reg.gauge("netobs_embedding_ivf_index_size",
                   "Rows in the most recently built IVF index"),
         reg.gauge("netobs_embedding_ivf_nlists",
@@ -62,9 +73,19 @@ struct IvfMetrics {
         reg.gauge("netobs_embedding_ivf_build_assign_seconds",
                   "Final all-rows assignment seconds of the most recent build"),
         reg.gauge("netobs_embedding_ivf_build_encode_seconds",
-                  "Int8 list-encode seconds of the most recent build"),
+                  "List-encode seconds of the most recent build (int8 or PQ)"),
+        reg.gauge("netobs_embedding_ivf_pq_bytes",
+                  "PQ payload bytes (codes + codebooks) of the most recently "
+                  "built IVF index; 0 when PQ is off"),
+        reg.histogram("netobs_embedding_ivf_batch_size",
+                      "Queries per query_batch() call",
+                      obs::exponential_buckets(1.0, 2.0, 10)),
         obs::QuantileGauges(reg, "netobs_embedding_ivf_query_latency_seconds",
-                            "Latency quantiles of IVF kNN queries"),
+                            "Latency quantiles of IVF kNN queries",
+                            {0.5, 0.9, 0.99}, {{"backend", "ivf"}}),
+        obs::QuantileGauges(reg, "netobs_embedding_ivf_query_latency_seconds",
+                            "Latency quantiles of IVF kNN queries",
+                            {0.5, 0.9, 0.99}, {{"backend", "ivf_pq"}}),
     };
     return m;
   }
@@ -85,6 +106,32 @@ constexpr std::size_t kScoreBlock = 64;
 /// scheduling knob: encode output is slot-addressed, so it cannot affect
 /// the built lists.
 constexpr std::size_t kEncodeGrain = 8192;
+
+/// Entries the batched re-rank prefetches ahead of the row it is scoring —
+/// enough outstanding loads to hide a DRAM miss behind ~8 dot products.
+constexpr std::size_t kRerankPrefetch = 12;
+
+/// Two-distance prefetch schedule for query_batch's re-rank: the far touch
+/// (first line only) starts the page walk for a row well before it is
+/// needed, the near touch pulls the row's remaining cache lines. A 100-dim
+/// row spans ~7 lines of memory the hardware streamer never sees coming
+/// (candidates are scattered across the whole matrix), so without both
+/// touches every row costs a full exposed DRAM + TLB round trip.
+constexpr std::size_t kRerankFar = 32;
+constexpr std::size_t kRerankNear = 8;
+
+/// Absolute slack added to the int8 similarity error bound used by the
+/// batched re-rank skip. Cosine values are O(1), so 1e-4 dwarfs every
+/// float-rounding term in the bound's evaluation (score products, the
+/// query-error norm, the not-quite-unit stored rows) while costing a
+/// negligible widening of the keep band.
+constexpr float kSimBoundMargin = 1e-4F;
+
+/// Training rows per PQ codebook entry (cap on the per-subspace k-means
+/// sample). Codebooks live in a pq_dsub_-dimensional space, so far fewer
+/// samples saturate them than the coarse quantizer needs; the cap keeps the
+/// m training runs a small fraction of build time.
+constexpr std::size_t kPqTrainPerCentroid = 32;
 
 using PaddedVector =
     std::vector<float, netobs::util::simd::AlignedAllocator<float>>;
@@ -113,6 +160,41 @@ float quantize_row(const float* src, std::size_t dim, std::int8_t* dst,
   }
   std::memset(dst + dim, 0, qstride - dim);
   return max_abs / 127.0F;
+}
+
+/// Exact L2 norm of a row's int8 reconstruction residual, inflated a hair
+/// so comparisons built on it stay sound under float rounding.
+float dequant_error(const float* src, const std::int8_t* codes, float scale,
+                    std::size_t dim) {
+  double e2 = 0.0;
+  for (std::size_t j = 0; j < dim; ++j) {
+    const double e =
+        static_cast<double>(src[j]) -
+        static_cast<double>(codes[j]) * static_cast<double>(scale);
+    e2 += e * e;
+  }
+  return static_cast<float>(std::sqrt(e2)) * 1.0005F;
+}
+
+inline void prefetch_row(const float* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  // A 100-dim row spans several cache lines; the first two touches cover
+  // the hardware prefetcher's startup, it streams the rest.
+  __builtin_prefetch(p);
+  __builtin_prefetch(p + 16);
+#else
+  (void)p;
+#endif
+}
+
+/// Every cache line of one padded row (16 floats per line).
+inline void prefetch_row_all(const float* p, std::size_t stride) {
+#if defined(__GNUC__) || defined(__clang__)
+  for (std::size_t j = 0; j < stride; j += 16) __builtin_prefetch(p + j);
+#else
+  (void)p;
+  (void)stride;
+#endif
 }
 
 }  // namespace
@@ -150,6 +232,12 @@ void IvfKnnIndex::build(util::ThreadPool* pool,
   if (rows == 0) {
     centroids_ = EmbeddingMatrix(0, normalized_.dim());
     return;
+  }
+  if (params_.pq.m > 0) {
+    pq_m_ = std::clamp<std::size_t>(params_.pq.m, 1, normalized_.dim());
+    pq_dsub_ = (normalized_.dim() + pq_m_ - 1) / pq_m_;
+    const std::size_t bits = std::clamp<std::size_t>(params_.pq.bits, 1, 8);
+    pq_k_ = std::min<std::size_t>(std::size_t{1} << bits, rows);
   }
 
   using Clock = std::chrono::steady_clock;
@@ -202,6 +290,7 @@ void IvfKnnIndex::build(util::ThreadPool* pool,
   metrics.build_kmeans_seconds.set(build_stats_.kmeans_s);
   metrics.build_assign_seconds.set(build_stats_.assign_s);
   metrics.build_encode_seconds.set(build_stats_.encode_s);
+  metrics.pq_code_bytes.set(static_cast<double>(pq_bytes()));
 }
 
 void IvfKnnIndex::encode_lists(const std::vector<std::uint32_t>& assignment,
@@ -214,11 +303,26 @@ void IvfKnnIndex::encode_lists(const std::vector<std::uint32_t>& assignment,
   std::vector<std::uint32_t> slot(rows);
   std::vector<std::uint32_t> sizes(lists_.size(), 0);
   for (std::size_t r = 0; r < rows; ++r) slot[r] = sizes[assignment[r]]++;
+  const bool pq = pq_k_ > 0;
   for (std::size_t l = 0; l < lists_.size(); ++l) {
     lists_[l].ids.resize(sizes[l]);
-    lists_[l].codes.resize(std::size_t{sizes[l]} * qstride_);
-    lists_[l].scales.resize(sizes[l]);
+    if (pq) {
+      lists_[l].pq.resize(std::size_t{sizes[l]} * pq_m_);
+    } else {
+      lists_[l].codes.resize(std::size_t{sizes[l]} * qstride_);
+      lists_[l].scales.resize(sizes[l]);
+    }
   }
+  if (pq) {
+    row_errs_.clear();
+    max_row_err_ = 0.0F;
+    for (std::size_t r = 0; r < rows; ++r) {
+      lists_[assignment[r]].ids[slot[r]] = static_cast<TokenId>(r);
+    }
+    train_pq(assignment, slot, pool);
+    return;
+  }
+  row_errs_.resize(rows);
   // Pass 2 (pool-parallel): every row owns a disjoint pre-sized slot and
   // quantize_row is a pure per-row function, so any chunking — or none —
   // produces bit-identical lists.
@@ -233,12 +337,98 @@ void IvfKnnIndex::encode_lists(const std::vector<std::uint32_t>& assignment,
       list.scales[s] = quantize_row(base + r * stride, dim,
                                     list.codes.data() + s * qstride_,
                                     qstride_);
+      row_errs_[r] = dequant_error(base + r * stride,
+                                   list.codes.data() + s * qstride_,
+                                   list.scales[s], dim);
     }
   };
   if (pool != nullptr && rows >= 2 * kEncodeGrain) {
     pool->parallel_for_chunked(rows, kEncodeGrain, chunk);
   } else {
     chunk(0, rows);
+  }
+  max_row_err_ = 0.0F;
+  for (const float e : row_errs_) max_row_err_ = std::max(max_row_err_, e);
+}
+
+EmbeddingMatrix IvfKnnIndex::residual_submatrix(
+    const std::vector<std::uint32_t>& assignment, std::size_t first_row,
+    std::size_t subspace) const {
+  const std::size_t dim = normalized_.dim();
+  const std::size_t nrows = normalized_.rows() - first_row;
+  const std::size_t begin = subspace * pq_dsub_;
+  const std::size_t valid =
+      begin < dim ? std::min(pq_dsub_, dim - begin) : 0;
+  // Rows allocate zero-filled, so the pad — and any dims past the logical
+  // end of the last subspace — stay zero.
+  EmbeddingMatrix out(nrows, pq_dsub_);
+  for (std::size_t i = 0; i < nrows; ++i) {
+    auto row = normalized_.row(first_row + i);
+    auto cen = centroids_.row(assignment[i]);
+    auto dst = out.row(i);
+    for (std::size_t j = 0; j < valid; ++j) {
+      dst[j] = row[begin + j] - cen[begin + j];
+    }
+  }
+  return out;
+}
+
+void IvfKnnIndex::train_pq(const std::vector<std::uint32_t>& assignment,
+                           const std::vector<std::uint32_t>& slot,
+                           util::ThreadPool* pool) {
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  const std::size_t rows = normalized_.rows();
+  pq_codebooks_.clear();
+  pq_codebooks_.resize(pq_m_);
+  for (std::size_t s = 0; s < pq_m_; ++s) {
+    EmbeddingMatrix resid = residual_submatrix(assignment, 0, s);
+    KmeansParams kp;
+    kp.clusters = pq_k_;
+    kp.iterations = params_.kmeans_iterations;
+    // Distinct deterministic stream per subspace so codebooks do not share
+    // initial seeds across subspaces.
+    kp.seed = params_.seed + 1000003ULL * (s + 1);
+    // Codebooks live in a pq_dsub_-dim space: a bounded sample per entry
+    // saturates them, and the full-rows final assignment below is the
+    // actual encode anyway.
+    kp.train_sample = kPqTrainPerCentroid * pq_k_;
+    if (params_.train_sample != 0) {
+      kp.train_sample = std::min(kp.train_sample, params_.train_sample);
+    }
+    kp.assign_fanout = 0;
+    kp.spherical = false;
+    KmeansResult km = spherical_kmeans(resid, kp, pool);
+    // The final all-rows assignment IS the encode for this subspace.
+    for (std::size_t r = 0; r < rows; ++r) {
+      List& list = lists_[assignment[r]];
+      list.pq[std::size_t{slot[r]} * pq_m_ + s] =
+          static_cast<std::uint8_t>(km.assignment[r]);
+    }
+    pq_codebooks_[s] = std::move(km.centroids);
+  }
+  build_stats_.pq_train_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+void IvfKnnIndex::build_pq_lut(const float* unit_query, float* lut) const {
+  const std::size_t dim = normalized_.dim();
+  PaddedVector sub(pq_codebooks_[0].stride(), 0.0F);
+  for (std::size_t s = 0; s < pq_m_; ++s) {
+    const EmbeddingMatrix& cb = pq_codebooks_[s];
+    const std::size_t begin = s * pq_dsub_;
+    const std::size_t valid =
+        begin < dim ? std::min(pq_dsub_, dim - begin) : 0;
+    std::fill(sub.begin(), sub.end(), 0.0F);
+    for (std::size_t j = 0; j < valid; ++j) sub[j] = unit_query[begin + j];
+    const float* base = cb.padded_data();
+    const std::size_t stride = cb.stride();
+    float* out = lut + s * pq_k_;
+    for (std::size_t b = 0; b < pq_k_; b += kScoreBlock) {
+      std::size_t cnt = std::min(kScoreBlock, pq_k_ - b);
+      util::simd::dot_block(sub.data(), base + b * stride, stride, cnt,
+                            out + b);
+    }
   }
 }
 
@@ -257,6 +447,18 @@ std::string IvfKnnIndex::contents_hash() const {
     hash_bytes(list.ids.data(), list.ids.size() * sizeof(TokenId));
     hash_bytes(list.codes.data(), list.codes.size());
     hash_bytes(list.scales.data(), list.scales.size() * sizeof(float));
+    hash_bytes(list.pq.data(), list.pq.size());
+  }
+  // PQ-off indexes hash exactly as before (the pq spans above are empty and
+  // this block is skipped), so existing recorded hashes stay valid.
+  if (pq_enabled()) {
+    const std::uint64_t shape[3] = {pq_m_, pq_dsub_, pq_k_};
+    hash_bytes(shape, sizeof(shape));
+    for (const EmbeddingMatrix& cb : pq_codebooks_) {
+      for (std::size_t c = 0; c < cb.rows(); ++c) {
+        hash_bytes(cb.row(c).data(), cb.dim() * sizeof(float));
+      }
+    }
   }
   crypto::Digest d = hasher.finish();
   static const char* kHex = "0123456789abcdef";
@@ -271,6 +473,29 @@ std::string IvfKnnIndex::contents_hash() const {
 
 void IvfKnnIndex::quantize_into_lists(
     const std::vector<std::uint32_t>& assignment, std::size_t first_row) {
+  const std::size_t nnew = normalized_.rows() - first_row;
+  if (pq_enabled()) {
+    // Encode against the kept codebooks through the same assignment path
+    // the build used, so appended codes are bit-compatible with built ones.
+    std::vector<std::uint8_t> codes(nnew * pq_m_);
+    for (std::size_t s = 0; s < pq_m_; ++s) {
+      EmbeddingMatrix resid = residual_submatrix(assignment, first_row, s);
+      std::vector<std::uint32_t> a =
+          assign_to_centroids(resid, pq_codebooks_[s], nullptr, 0, false);
+      for (std::size_t i = 0; i < nnew; ++i) {
+        codes[i * pq_m_ + s] = static_cast<std::uint8_t>(a[i]);
+      }
+    }
+    for (std::size_t i = 0; i < nnew; ++i) {
+      List& list = lists_[assignment[i]];
+      list.ids.push_back(static_cast<TokenId>(first_row + i));
+      list.pq.insert(list.pq.end(),
+                     codes.begin() + static_cast<std::ptrdiff_t>(i * pq_m_),
+                     codes.begin() +
+                         static_cast<std::ptrdiff_t>((i + 1) * pq_m_));
+    }
+    return;
+  }
   const float* base = normalized_.padded_data();
   const std::size_t stride = normalized_.stride();
   const std::size_t dim = normalized_.dim();
@@ -282,6 +507,10 @@ void IvfKnnIndex::quantize_into_lists(
     list.scales.push_back(
         quantize_row(base + r * stride, dim, list.codes.data() + off,
                      qstride_));
+    row_errs_.push_back(dequant_error(base + r * stride,
+                                      list.codes.data() + off,
+                                      list.scales.back(), dim));
+    max_row_err_ = std::max(max_row_err_, row_errs_.back());
   }
 }
 
@@ -317,7 +546,9 @@ void IvfKnnIndex::add_rows(const EmbeddingMatrix& more) {
   }
   quantize_into_lists(assignment, old_rows);
 
-  IvfMetrics::get().index_size.set(static_cast<double>(normalized_.rows()));
+  auto& metrics = IvfMetrics::get();
+  metrics.index_size.set(static_cast<double>(normalized_.rows()));
+  metrics.pq_code_bytes.set(static_cast<double>(pq_bytes()));
 }
 
 std::vector<IvfKnnIndex::Neighbor> IvfKnnIndex::exact_scan(
@@ -335,6 +566,30 @@ std::vector<IvfKnnIndex::Neighbor> IvfKnnIndex::exact_scan(
     }
   }
   return heap.take_sorted();
+}
+
+void IvfKnnIndex::maybe_sample_recall(const float* unit_query,
+                                      const std::vector<Neighbor>& out,
+                                      std::size_t n) const {
+  if (params_.recall_sample_every == 0) return;
+  std::uint64_t seq = query_seq_.fetch_add(1, std::memory_order_relaxed);
+  if (seq % params_.recall_sample_every != 0) return;
+  auto& metrics = IvfMetrics::get();
+  std::vector<Neighbor> exact = exact_scan(unit_query, n);
+  std::size_t hits = 0;
+  // Both lists are small (<= n); membership via sorted-id probing.
+  std::vector<TokenId> got;
+  got.reserve(out.size());
+  for (const Neighbor& nb : out) got.push_back(nb.id);
+  std::sort(got.begin(), got.end());
+  for (const Neighbor& nb : exact) {
+    hits += std::binary_search(got.begin(), got.end(), nb.id) ? 1 : 0;
+  }
+  metrics.recall_samples.inc();
+  if (!exact.empty()) {
+    metrics.last_recall.set(static_cast<double>(hits) /
+                            static_cast<double>(exact.size()));
+  }
 }
 
 std::vector<IvfKnnIndex::Neighbor> IvfKnnIndex::scan(const float* unit_query,
@@ -361,27 +616,48 @@ std::vector<IvfKnnIndex::Neighbor> IvfKnnIndex::scan(const float* unit_query,
   }
   std::vector<Neighbor> probes = probe_heap.take_sorted();
 
-  // Stage 2 — int8 list scan: rank every row of the probed lists by the
-  // dequantised integer dot product. The combined scale (query * row) maps
-  // the exact int32 score into float once per row; equal approximate scores
-  // fall back to the ascending-id tie-break inside TopK, so the candidate
-  // pool is deterministic across tiers and thread counts.
-  const std::size_t dim = normalized_.dim();
-  std::vector<std::int8_t, util::simd::AlignedAllocator<std::int8_t>> qcodes(
-      qstride_);
-  const float qscale = quantize_row(unit_query, dim, qcodes.data(), qstride_);
+  // Stage 2 — approximate list scan: rank every row of the probed lists.
+  // int8 layout: the dequantised integer dot product (combined query * row
+  // scale applied once per row). PQ layout: centroid score plus the m LUT
+  // entries of the row's codes — q.c + sum_s q_s.codebook_s[code_s], the
+  // asymmetric-distance estimate of q.row. Equal approximate scores fall
+  // back to the ascending-id tie-break inside TopK, so the candidate pool
+  // is deterministic across tiers and thread counts.
   const std::size_t pool_k = std::max(n, params_.rerank * n);
   TopK candidates(pool_k);
   std::size_t pooled = 0;
-  for (const Neighbor& probe : probes) {
-    const List& list = lists_[probe.id];
-    for (std::size_t i = 0; i < list.ids.size(); ++i) {
-      std::int32_t idot = util::simd::dot_i8(
-          qcodes.data(), list.codes.data() + i * qstride_, qstride_);
-      candidates.offer(list.ids[i],
-                       static_cast<float>(idot) * (qscale * list.scales[i]));
+  if (pq_enabled()) {
+    std::vector<float> lut(pq_m_ * pq_k_);
+    build_pq_lut(unit_query, lut.data());
+    for (const Neighbor& probe : probes) {
+      const List& list = lists_[probe.id];
+      const std::uint8_t* codes = list.pq.data();
+      for (std::size_t i = 0; i < list.ids.size(); ++i) {
+        const std::uint8_t* code = codes + i * pq_m_;
+        float sum = probe.similarity;
+        for (std::size_t s = 0; s < pq_m_; ++s) {
+          sum += lut[s * pq_k_ + code[s]];
+        }
+        candidates.offer(list.ids[i], sum);
+      }
+      pooled += list.ids.size();
     }
-    pooled += list.ids.size();
+  } else {
+    const std::size_t dim = normalized_.dim();
+    std::vector<std::int8_t, util::simd::AlignedAllocator<std::int8_t>> qcodes(
+        qstride_);
+    const float qscale =
+        quantize_row(unit_query, dim, qcodes.data(), qstride_);
+    for (const Neighbor& probe : probes) {
+      const List& list = lists_[probe.id];
+      for (std::size_t i = 0; i < list.ids.size(); ++i) {
+        std::int32_t idot = util::simd::dot_i8(
+            qcodes.data(), list.codes.data() + i * qstride_, qstride_);
+        candidates.offer(list.ids[i],
+                         static_cast<float>(idot) * (qscale * list.scales[i]));
+      }
+      pooled += list.ids.size();
+    }
   }
 
   // Stage 3 — exact re-rank: rescore the surviving candidates against the
@@ -401,33 +677,12 @@ std::vector<IvfKnnIndex::Neighbor> IvfKnnIndex::scan(const float* unit_query,
   metrics.candidate_pool.set(
       static_cast<double>(std::min(pool_entries.size(), pool_k)));
   {
+    auto& lat = pq_enabled() ? metrics.latency_pq : metrics.latency;
     std::lock_guard<std::mutex> lock(metrics.latency_mutex);
-    metrics.latency.observe(timer.elapsed_seconds());
+    lat.observe(timer.elapsed_seconds());
   }
 
-  // Continuous recall monitoring: one query in every recall_sample_every
-  // also pays for the exact sweep and publishes the observed overlap.
-  if (params_.recall_sample_every > 0) {
-    std::uint64_t seq =
-        query_seq_.fetch_add(1, std::memory_order_relaxed);
-    if (seq % params_.recall_sample_every == 0) {
-      std::vector<Neighbor> exact = exact_scan(unit_query, n);
-      std::size_t hits = 0;
-      // Both lists are small (<= n); membership via sorted-id probing.
-      std::vector<TokenId> got;
-      got.reserve(out.size());
-      for (const Neighbor& nb : out) got.push_back(nb.id);
-      std::sort(got.begin(), got.end());
-      for (const Neighbor& nb : exact) {
-        hits += std::binary_search(got.begin(), got.end(), nb.id) ? 1 : 0;
-      }
-      metrics.recall_samples.inc();
-      if (!exact.empty()) {
-        metrics.last_recall.set(static_cast<double>(hits) /
-                                static_cast<double>(exact.size()));
-      }
-    }
-  }
+  maybe_sample_recall(unit_query, out, n);
   return out;
 }
 
@@ -445,23 +700,430 @@ std::vector<IvfKnnIndex::Neighbor> IvfKnnIndex::query(
 
 std::vector<std::vector<IvfKnnIndex::Neighbor>> IvfKnnIndex::query_batch(
     const std::vector<std::vector<float>>& queries, std::size_t n) const {
-  // The probed fraction already makes each query cheap; a per-query loop
-  // keeps batch results trivially bit-identical to single queries.
   std::vector<std::vector<Neighbor>> results(queries.size());
-  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
-    results[qi] = query(queries[qi], n);
+  if (queries.empty() || n == 0 || normalized_.rows() == 0) return results;
+  n = std::min(n, normalized_.rows());
+  const std::size_t nq = queries.size();
+  const std::size_t stride = normalized_.stride();
+
+  auto& metrics = IvfMetrics::get();
+  metrics.queries.inc(nq);
+  metrics.batch_size.observe(static_cast<double>(nq));
+  obs::ScopedTimer timer(static_cast<obs::Histogram*>(nullptr));
+
+  // Stage 0 — normalise every query into one padded buffer; zero-norm
+  // queries keep their empty result, exactly like query().
+  PaddedVector units(nq * stride, 0.0F);
+  std::vector<char> valid(nq, 0);
+  for (std::size_t qi = 0; qi < nq; ++qi) {
+    float* unit = units.data() + qi * stride;
+    std::copy(queries[qi].begin(), queries[qi].end(), unit);
+    float norm = util::l2_norm({unit, queries[qi].size()});
+    if (norm == 0.0F) continue;
+    util::scale({unit, queries[qi].size()}, 1.0F / norm);
+    valid[qi] = 1;
+  }
+
+  // Stage 1 — per-query probe selection, the same TopK centroid sweep as
+  // query(); bucket the (query, centroid score) pairs by inverted list.
+  const std::size_t nprobe = std::min(params_.nprobe, centroids_.rows());
+  struct ListQuery {
+    std::uint32_t qi;
+    float centroid_sim;  ///< dot(query, list centroid) — the PQ base score
+  };
+  std::vector<std::vector<ListQuery>> buckets(lists_.size());
+  std::vector<std::size_t> last_probed(nq, 0);
+  {
+    const float* cbase = centroids_.padded_data();
+    const std::size_t cstride = centroids_.stride();
+    float scores[kScoreBlock];
+    for (std::size_t qi = 0; qi < nq; ++qi) {
+      if (!valid[qi]) continue;
+      const float* unit = units.data() + qi * stride;
+      TopK probe_heap(nprobe);
+      for (std::size_t b = 0; b < centroids_.rows(); b += kScoreBlock) {
+        std::size_t cnt = std::min(kScoreBlock, centroids_.rows() - b);
+        util::simd::dot_block(unit, cbase + b * cstride, cstride, cnt,
+                              scores);
+        for (std::size_t j = 0; j < cnt; ++j) {
+          probe_heap.offer(static_cast<TokenId>(b + j), scores[j]);
+        }
+      }
+      std::vector<Neighbor> probes = probe_heap.take_sorted();
+      last_probed[qi] = probes.size();
+      for (const Neighbor& probe : probes) {
+        buckets[probe.id].push_back(
+            {static_cast<std::uint32_t>(qi), probe.similarity});
+      }
+    }
+  }
+  // Touched lists in ascending id order — the canonical batched sweep order
+  // (TopK's kept set is offer-order-invariant, so this cannot change any
+  // result relative to query()'s probe-score order).
+  std::vector<std::uint32_t> touched;
+  for (std::size_t l = 0; l < buckets.size(); ++l) {
+    if (!buckets[l].empty()) touched.push_back(static_cast<std::uint32_t>(l));
+  }
+  metrics.batch_lists_touched.inc(touched.size());
+
+  // Per-query quantized representations, computed once up front: int8 query
+  // codes, or the PQ LUTs.
+  const bool pq = pq_enabled();
+  std::vector<std::int8_t, util::simd::AlignedAllocator<std::int8_t>> qcodes;
+  std::vector<float> qscales;
+  std::vector<float> qerrs;  ///< exact ||q_unit - dequant(q_int8)|| per query
+  std::vector<float> luts;
+  const std::size_t lut_sz = pq ? pq_m_ * pq_k_ : 0;
+  if (pq) {
+    luts.resize(nq * lut_sz);
+  } else {
+    qcodes.resize(nq * qstride_);
+    qscales.assign(nq, 0.0F);
+    qerrs.assign(nq, 0.0F);
+  }
+  const std::size_t dim = normalized_.dim();
+  for (std::size_t qi = 0; qi < nq; ++qi) {
+    if (!valid[qi]) continue;
+    const float* unit = units.data() + qi * stride;
+    if (pq) {
+      build_pq_lut(unit, luts.data() + qi * lut_sz);
+    } else {
+      qscales[qi] =
+          quantize_row(unit, dim, qcodes.data() + qi * qstride_, qstride_);
+      // The query-side quantization error is computable exactly (we hold
+      // both the unit query and its codes); the row side below has to make
+      // do with the max-abs worst case.
+      const std::int8_t* qc = qcodes.data() + qi * qstride_;
+      double e2 = 0.0;
+      for (std::size_t j = 0; j < dim; ++j) {
+        const double e = static_cast<double>(unit[j]) -
+                         static_cast<double>(qc[j]) *
+                             static_cast<double>(qscales[qi]);
+        e2 += e * e;
+      }
+      qerrs[qi] = static_cast<float>(std::sqrt(e2)) * 1.001F;
+    }
+  }
+
+  // Stage 2 — list-centric sweep: every touched list's codes are read
+  // exactly once; each cache-hot block of kScoreBlock rows is scored
+  // against all queries probing the list before moving on. Scores land in
+  // a block array first, then one vectorised compare against the pool's
+  // live admission threshold skips candidates that cannot displace it
+  // ('>=' keeps equal-similarity rows so the ascending-id tie-break is
+  // settled inside TopK — the exact backend's block-filter rule). Score
+  // expressions match query()'s stage 2 exactly, so per-(query, row)
+  // scores are bit-identical; offer order differs, which TopK absorbs.
+  const std::size_t pool_k = std::max(n, params_.rerank * n);
+  std::vector<PackedTopK> candidates;
+  candidates.reserve(nq);
+  for (std::size_t qi = 0; qi < nq; ++qi) candidates.emplace_back(pool_k);
+
+  auto offer_block = [](PackedTopK& cand, const List& list, std::size_t b,
+                        std::size_t cnt, const float* sims) {
+    std::uint64_t mask =
+        util::simd::mask_ge(sims, cnt, cand.worst_similarity());
+    while (mask != 0) {
+      const auto j = static_cast<std::size_t>(std::countr_zero(mask));
+      mask &= mask - 1;
+      cand.offer(list.ids[b + j], sims[j]);
+    }
+  };
+
+  auto sweep_list = [&](std::uint32_t li, auto&& cand_for) {
+    const List& list = lists_[li];
+    const std::vector<ListQuery>& lq = buckets[li];
+    const std::size_t lrows = list.ids.size();
+    float sims[kScoreBlock];
+    if (pq) {
+      for (std::size_t b = 0; b < lrows; b += kScoreBlock) {
+        const std::size_t cnt = std::min(kScoreBlock, lrows - b);
+        const std::uint8_t* block = list.pq.data() + b * pq_m_;
+        for (const ListQuery& q : lq) {
+          const float* lut = luts.data() + q.qi * lut_sz;
+          for (std::size_t j = 0; j < cnt; ++j) {
+            const std::uint8_t* code = block + j * pq_m_;
+            float sum = q.centroid_sim;
+            for (std::size_t s = 0; s < pq_m_; ++s) {
+              sum += lut[s * pq_k_ + code[s]];
+            }
+            sims[j] = sum;
+          }
+          offer_block(cand_for(q.qi), list, b, cnt, sims);
+        }
+      }
+    } else {
+      std::int32_t idots[kScoreBlock];
+      for (std::size_t b = 0; b < lrows; b += kScoreBlock) {
+        const std::size_t cnt = std::min(kScoreBlock, lrows - b);
+        const std::int8_t* block = list.codes.data() + b * qstride_;
+        const float* scales = list.scales.data() + b;
+        for (const ListQuery& q : lq) {
+          util::simd::dot_i8_block(qcodes.data() + q.qi * qstride_, block,
+                                   qstride_, cnt, idots);
+          const float qscale = qscales[q.qi];
+          for (std::size_t j = 0; j < cnt; ++j) {
+            sims[j] = static_cast<float>(idots[j]) * (qscale * scales[j]);
+          }
+          offer_block(cand_for(q.qi), list, b, cnt, sims);
+        }
+      }
+    }
+  };
+
+  if (query_pool_ != nullptr && touched.size() >= 2) {
+    // List-sharded parallel sweep. Each chunk accumulates into its own
+    // per-query partial reservoirs and merges by re-offering: the merged
+    // kept set is the unique top pool_k of the union regardless of chunk
+    // boundaries or completion order, so any pool size is bit-identical.
+    std::mutex merge_mutex;
+    auto chunk = [&](std::size_t begin, std::size_t end) {
+      std::vector<std::unique_ptr<PackedTopK>> local(nq);
+      auto cand_for = [&](std::uint32_t qi) -> PackedTopK& {
+        auto& t = local[qi];
+        if (!t) t = std::make_unique<PackedTopK>(pool_k);
+        return *t;
+      };
+      for (std::size_t t = begin; t < end; ++t) {
+        sweep_list(touched[t], cand_for);
+      }
+      std::lock_guard<std::mutex> lock(merge_mutex);
+      for (std::size_t qi = 0; qi < nq; ++qi) {
+        if (!local[qi]) continue;
+        // Keys re-offer losslessly: packing already canonicalized the
+        // similarity, so unpack-and-repack is the identity.
+        for (const std::uint64_t key : local[qi]->take_keys()) {
+          candidates[qi].offer(key_id(key), key_sim(key));
+        }
+      }
+    };
+    query_pool_->parallel_for_chunked(touched.size(), 1, chunk);
+  } else {
+    auto cand_for = [&](std::uint32_t qi) -> PackedTopK& {
+      return candidates[qi];
+    };
+    for (std::uint32_t li : touched) sweep_list(li, cand_for);
+  }
+
+
+  // Stage 3 — exact re-rank per query. The pool comes out unsorted (every
+  // entry is rescored, so candidate order is irrelevant) and its exact
+  // scores are written in place under the two-distance prefetch schedule;
+  // the final top n is then selected with nth_element under the published
+  // (similarity desc, id asc) order. query()'s re-rank heap computes the
+  // same exact-score expression and keeps the same unique top-n set, so
+  // the results are bit-identical.
+  const float* base = normalized_.padded_data();
+  // The int8 pool supports a sound exclusion bound: with eq = ||q - q~||
+  // exact (stage 0) and er = ||r - r~|| exact (build time), every pool
+  // entry satisfies |exact - approx| <= eq * (1 + er) + er =: eps. The
+  // keep_n best-by-approx entries are exact-scored first; the worst of
+  // those exact scores is a floor at least keep_n final entries reach, so
+  // any tail entry with approx + eps < floor is strictly exact-worse than
+  // keep_n others and can be dropped without touching its float row.
+  std::vector<std::size_t> pool_sizes(nq, 0);
+  auto rerank_query = [&](std::size_t qi) {
+    const float* unit = units.data() + qi * stride;
+    std::vector<std::uint64_t> keys = candidates[qi].take_keys();
+    const std::size_t full_cn = keys.size();
+    const std::size_t keep_n = std::min(n, full_cn);
+    std::vector<Neighbor> scored;
+    scored.reserve(full_cn);
+    auto rerank_range = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (i + kRerankFar < hi) {
+          prefetch_row(base + scored[i + kRerankFar].id * stride);
+        }
+        if (i + kRerankNear < hi) {
+          prefetch_row_all(base + scored[i + kRerankNear].id * stride,
+                           stride);
+        }
+        Neighbor& c = scored[i];
+        c.similarity = util::simd::dot(unit, base + c.id * stride, stride);
+      }
+    };
+    if (!pq && keep_n > 0 && full_cn > keep_n && !row_errs_.empty()) {
+      const float eq = qerrs[qi];
+      // Ascending key order is (approx sim desc, id asc) — the same cut
+      // TopK's prune would make, now a single-compare partition.
+      std::nth_element(keys.begin(),
+                       keys.begin() + static_cast<std::ptrdiff_t>(keep_n) - 1,
+                       keys.end());
+      for (std::size_t i = 0; i < keep_n; ++i) {
+        scored.push_back({key_id(keys[i]), 0.0F});
+      }
+      rerank_range(0, keep_n);
+      float floor_sim = std::numeric_limits<float>::infinity();
+      for (std::size_t i = 0; i < keep_n; ++i) {
+        floor_sim = std::min(floor_sim, scored[i].similarity);
+      }
+      // Cheap reject first: a bound key built from the index-wide max row
+      // error dismisses most of the tail with one integer compare (eps is
+      // monotone in the row error, so eps_i <= eps_max and any key beyond
+      // the bound fails the per-row test too).
+      const float eps_max =
+          eq * (1.0F + max_row_err_) + max_row_err_ + kSimBoundMargin;
+      const std::uint64_t bound_key =
+          (static_cast<std::uint64_t>(
+               ~sim_to_ordered(floor_sim - eps_max))
+           << 32) |
+          0xFFFFFFFFULL;
+      for (std::size_t i = keep_n; i < full_cn; ++i) {
+        if (keys[i] > bound_key) continue;
+        const TokenId id = key_id(keys[i]);
+        const float er = row_errs_[id];
+        const float eps = eq * (1.0F + er) + er + kSimBoundMargin;
+        if (key_sim(keys[i]) + eps >= floor_sim) {
+          scored.push_back({id, 0.0F});
+        }
+      }
+      rerank_range(keep_n, scored.size());
+    } else {
+      for (const std::uint64_t key : keys) {
+        scored.push_back({key_id(key), 0.0F});
+      }
+      rerank_range(0, full_cn);
+    }
+    // Final selection under the published order, again on integer keys;
+    // the returned similarity is the exact dot carried alongside, never an
+    // unpacked key, so stored floats stay bit-identical to query()'s.
+    struct KeyedNeighbor {
+      std::uint64_t key;
+      float sim;
+    };
+    const std::size_t cn = scored.size();
+    const std::size_t keep = std::min(n, cn);
+    std::vector<KeyedNeighbor> sel;
+    sel.reserve(cn);
+    for (const Neighbor& nb : scored) {
+      sel.push_back({neighbor_key(nb.id, nb.similarity), nb.similarity});
+    }
+    const auto key_less = [](const KeyedNeighbor& a, const KeyedNeighbor& b) {
+      return a.key < b.key;
+    };
+    if (keep == 0) {
+      sel.clear();
+    } else if (keep < cn) {
+      std::nth_element(sel.begin(),
+                       sel.begin() + static_cast<std::ptrdiff_t>(keep) - 1,
+                       sel.end(), key_less);
+      sel.resize(keep);
+    }
+    std::sort(sel.begin(), sel.end(), key_less);
+    std::vector<Neighbor> out;
+    out.reserve(keep);
+    for (const KeyedNeighbor& kn : sel) {
+      out.push_back({key_id(kn.key), kn.sim});
+    }
+    results[qi] = std::move(out);
+    pool_sizes[qi] = std::min(full_cn, pool_k);
+  };
+  // Queries are fully independent after the sweep, so the re-rank shards
+  // per query on the same pool; every query's work is self-contained and
+  // the outcome is identical to the serial order.
+  if (query_pool_ != nullptr && nq >= 2) {
+    query_pool_->parallel_for_chunked(nq, 1, [&](std::size_t b,
+                                                 std::size_t e) {
+      for (std::size_t qi = b; qi < e; ++qi) {
+        if (valid[qi]) rerank_query(qi);
+      }
+    });
+  } else {
+    for (std::size_t qi = 0; qi < nq; ++qi) {
+      if (valid[qi]) rerank_query(qi);
+    }
+  }
+  std::size_t last_pool = 0;
+  std::size_t last_valid = nq;
+  for (std::size_t qi = 0; qi < nq; ++qi) {
+    if (!valid[qi]) continue;
+    last_pool = pool_sizes[qi];
+    last_valid = qi;
+  }
+  if (last_valid < nq) {
+    metrics.probed_lists.set(static_cast<double>(last_probed[last_valid]));
+    metrics.candidate_pool.set(static_cast<double>(last_pool));
+  }
+  {
+    // One lock and one timestamp for the whole batch (the single-query path
+    // pays both per query): each query is charged the batch mean.
+    const double per_query =
+        timer.elapsed_seconds() / static_cast<double>(nq);
+    auto& lat = pq ? metrics.latency_pq : metrics.latency;
+    std::lock_guard<std::mutex> lock(metrics.latency_mutex);
+    for (std::size_t qi = 0; qi < nq; ++qi) lat.observe(per_query);
+  }
+
+  for (std::size_t qi = 0; qi < nq; ++qi) {
+    if (!valid[qi]) continue;
+    maybe_sample_recall(units.data() + qi * stride, results[qi], n);
   }
   return results;
 }
 
+std::size_t IvfKnnIndex::pq_bytes() const {
+  if (!pq_enabled()) return 0;
+  std::size_t bytes = 0;
+  for (const List& list : lists_) bytes += list.pq.size();
+  for (const EmbeddingMatrix& cb : pq_codebooks_) bytes += cb.memory_bytes();
+  return bytes;
+}
+
+std::size_t IvfKnnIndex::list_bytes() const {
+  if (pq_enabled()) return pq_bytes();
+  std::size_t bytes = 0;
+  for (const List& list : lists_) {
+    bytes += list.codes.size() * sizeof(std::int8_t) +
+             list.scales.size() * sizeof(float);
+  }
+  return bytes;
+}
+
+std::vector<float> IvfKnnIndex::reconstruct(TokenId id) const {
+  const std::size_t dim = normalized_.dim();
+  for (std::size_t l = 0; l < lists_.size(); ++l) {
+    const List& list = lists_[l];
+    auto it = std::lower_bound(list.ids.begin(), list.ids.end(), id);
+    if (it == list.ids.end() || *it != id) continue;
+    const std::size_t i = static_cast<std::size_t>(it - list.ids.begin());
+    std::vector<float> out(dim, 0.0F);
+    if (pq_enabled()) {
+      auto cen = centroids_.row(l);
+      std::copy(cen.begin(), cen.end(), out.begin());
+      const std::uint8_t* code = list.pq.data() + i * pq_m_;
+      for (std::size_t s = 0; s < pq_m_; ++s) {
+        const std::size_t begin = s * pq_dsub_;
+        const std::size_t valid =
+            begin < dim ? std::min(pq_dsub_, dim - begin) : 0;
+        auto entry = pq_codebooks_[s].row(code[s]);
+        for (std::size_t j = 0; j < valid; ++j) out[begin + j] += entry[j];
+      }
+    } else {
+      const std::int8_t* codes = list.codes.data() + i * qstride_;
+      const float scale = list.scales[i];
+      for (std::size_t j = 0; j < dim; ++j) {
+        out[j] = static_cast<float>(codes[j]) * scale;
+      }
+    }
+    return out;
+  }
+  throw std::out_of_range("IvfKnnIndex::reconstruct: id not indexed");
+}
+
 std::size_t IvfKnnIndex::memory_bytes() const {
   std::size_t bytes = normalized_.memory_bytes() + centroids_.memory_bytes() +
-                      lists_.capacity() * sizeof(List);
+                      lists_.capacity() * sizeof(List) +
+                      row_errs_.capacity() * sizeof(float);
   for (const List& list : lists_) {
     bytes += list.ids.capacity() * sizeof(TokenId) +
              list.codes.capacity() * sizeof(std::int8_t) +
-             list.scales.capacity() * sizeof(float);
+             list.scales.capacity() * sizeof(float) +
+             list.pq.capacity() * sizeof(std::uint8_t);
   }
+  for (const EmbeddingMatrix& cb : pq_codebooks_) {
+    bytes += cb.memory_bytes();
+  }
+  bytes += pq_codebooks_.capacity() * sizeof(EmbeddingMatrix);
   return bytes;
 }
 

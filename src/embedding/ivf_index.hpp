@@ -44,6 +44,34 @@
 
 namespace netobs::embedding {
 
+/// Optional product quantization of the list payload (residual PQ). When
+/// enabled (m > 0) the inverted lists store m-byte PQ codes instead of the
+/// qstride int8 rows: each row's residual against its coarse centroid is
+/// split into m subspaces and every subspace quantized to its nearest
+/// entry of a 2^bits-entry codebook (plain L2 k-means over the residual
+/// subvectors, kmeans.hpp spherical = false). A query scores a row as
+///
+///   q . row = q . centroid + q . residual
+///           ~ centroid_score + sum_s LUT_s[code_s]
+///
+/// where LUT_s[j] = q_s . codebook_s[j] is computed once per query — the
+/// classic asymmetric-distance scan, m table adds per row instead of a
+/// qstride-byte integer dot. The exact float re-rank stays, so PQ (like
+/// int8) costs recall only, never precision of the published similarities.
+/// Memory per row drops from qstride + 4 bytes (int8 codes + scale) to m
+/// bytes — the knob that fits multi-million-host universes in RAM.
+struct IvfPqParams {
+  /// Subspaces per row (bytes per PQ code); 0 disables PQ and keeps the
+  /// int8 scalar-quantized lists. Clamped to [1, dim] when enabled; each
+  /// subspace covers ceil(dim / m) consecutive dimensions (the last one
+  /// zero-padded).
+  std::size_t m = 0;
+  /// log2 codebook entries per subspace, clamped to [1, 8]; codes are
+  /// stored one byte each regardless, so bits < 8 trims codebook training
+  /// and table size, not the per-row footprint.
+  std::size_t bits = 8;
+};
+
 struct IvfParams {
   /// Coarse partitions; 0 = auto (~sqrt(rows), clamped to [1, rows]).
   std::size_t nlists = 0;
@@ -71,6 +99,8 @@ struct IvfParams {
   /// unaffected — pruning only moves rows near group boundaries between
   /// lists.
   std::size_t assign_fanout = 4;
+  /// Residual product quantization of the list payload (off by default).
+  IvfPqParams pq;
 };
 
 /// Wall-clock breakdown of the most recent build()/warm build, for the
@@ -83,6 +113,9 @@ struct IvfBuildStats {
   double kmeans_s = 0.0;
   double assign_s = 0.0;
   double encode_s = 0.0;
+  /// PQ codebook training + encode seconds (0 when PQ is off); included in
+  /// encode_s' sibling total below.
+  double pq_train_s = 0.0;
   double total_s = 0.0;
 };
 
@@ -112,9 +145,25 @@ class IvfKnnIndex : public KnnIndex {
   std::vector<Neighbor> query(std::span<const float> query_vec,
                               std::size_t n) const override;
 
+  /// List-centric batched queries: every query's probe lists are computed
+  /// first, the batch is bucketed by inverted list, and each touched list's
+  /// codes are swept exactly once — every cache-hot block of kScoreBlock
+  /// rows is scored against all queries probing that list (dot_i8_block /
+  /// the PQ LUT), instead of each query gathering its lists independently.
+  /// Sharded by touched list across set_thread_pool()'s pool when one is
+  /// attached. Results are bit-identical to query() per entry for ANY
+  /// nprobe, pool size and SIMD tier pairing that query() itself supports:
+  /// probe selection reuses the single-query TopK logic, candidate scores
+  /// are the same expressions, and the bounded top-k reservoir keeps the
+  /// unique (similarity desc, id asc) top set regardless of offer order.
   std::vector<std::vector<Neighbor>> query_batch(
       const std::vector<std::vector<float>>& queries,
       std::size_t n) const override;
+
+  /// Opts query_batch into list-sharded parallel sweeps on `pool` (nullptr
+  /// = serial). Batched results stay bit-identical either way; the pool
+  /// must outlive any concurrent queries.
+  void set_thread_pool(util::ThreadPool* pool) override { query_pool_ = pool; }
 
   /// Appends rows (TokenIds continue from size()) without retraining the
   /// quantizer: each new row is normalised, assigned to its nearest
@@ -129,6 +178,25 @@ class IvfKnnIndex : public KnnIndex {
 
   std::size_t nlists() const { return centroids_.rows(); }
   const IvfParams& params() const { return params_; }
+
+  bool pq_enabled() const { return !pq_codebooks_.empty(); }
+  /// Bytes per row of PQ payload (m); 0 when PQ is off.
+  std::size_t pq_code_bytes_per_row() const {
+    return pq_enabled() ? pq_m_ : 0;
+  }
+  /// Total PQ bytes: per-list codes plus the shared codebooks (0 when off).
+  std::size_t pq_bytes() const;
+  /// The compressible list payload: int8 codes + scales, or PQ codes +
+  /// codebooks — what scalar quantization vs PQ trades. Excludes the
+  /// full-precision row matrix (kept for the exact re-rank either way) and
+  /// the per-list id arrays (identical in both layouts).
+  std::size_t list_bytes() const;
+
+  /// Decodes row `id` back to full precision: coarse centroid + dequantized
+  /// residual (PQ) or the scaled int8 row (scalar quantization). What the
+  /// approximate scan "sees" for the row — diagnostics and the round-trip
+  /// error-bound tests; not a hot path (O(nlists * log) list lookup).
+  std::vector<float> reconstruct(TokenId id) const;
 
   /// Trained coarse quantizer — feed into the warm-rebuild constructor of
   /// the next day's index.
@@ -147,17 +215,21 @@ class IvfKnnIndex : public KnnIndex {
   std::string contents_hash() const;
 
  private:
-  /// One inverted list: ids ascending, codes[i] the qstride_-padded int8
-  /// row for ids[i], scales[i] its dequantisation factor.
+  /// One inverted list: ids ascending. Scalar-quantized layout: codes[i]
+  /// the qstride_-padded int8 row for ids[i], scales[i] its dequantisation
+  /// factor. PQ layout: pq[i * m .. (i+1) * m) the per-subspace codebook
+  /// indexes for ids[i] (codes/scales stay empty — that is the memory win).
   struct List {
     std::vector<TokenId> ids;
     std::vector<std::int8_t, util::simd::AlignedAllocator<std::int8_t>> codes;
     std::vector<float> scales;
+    std::vector<std::uint8_t> pq;
   };
 
   void build(util::ThreadPool* pool, const EmbeddingMatrix* warm_centroids);
   /// Serial append path (add_rows): quantizes rows [first_row, rows) into
-  /// their assigned lists.
+  /// their assigned lists (int8 or, when PQ is on, codes against the kept
+  /// codebooks — add_rows never retrains them).
   void quantize_into_lists(const std::vector<std::uint32_t>& assignment,
                            std::size_t first_row);
   /// Build-time encode: sizes every list up front (serial slot pass in
@@ -165,6 +237,19 @@ class IvfKnnIndex : public KnnIndex {
   /// disjoint slots pool-parallel — bit-identical for any pool size.
   void encode_lists(const std::vector<std::uint32_t>& assignment,
                     util::ThreadPool* pool);
+  /// PQ path of the build encode: trains the per-subspace codebooks on the
+  /// residuals (deterministic L2 k-means) and fills every list's pq codes.
+  void train_pq(const std::vector<std::uint32_t>& assignment,
+                const std::vector<std::uint32_t>& slot,
+                util::ThreadPool* pool);
+  /// The residual subvectors of rows [first_row, rows) for one subspace,
+  /// as a padded matrix ready for kmeans / assignment sweeps.
+  EmbeddingMatrix residual_submatrix(
+      const std::vector<std::uint32_t>& assignment, std::size_t first_row,
+      std::size_t subspace) const;
+  /// Fills lut[s * pq_k_ + j] = dot(q_s, codebook_s[j]) for every subspace
+  /// — the per-query table of the asymmetric-distance scan.
+  void build_pq_lut(const float* unit_query, float* lut) const;
 
   /// The shared query core; `unit_query` must be stride() floats, padded,
   /// aligned, unit norm.
@@ -174,12 +259,31 @@ class IvfKnnIndex : public KnnIndex {
   std::vector<Neighbor> exact_scan(const float* unit_query,
                                    std::size_t n) const;
 
+  /// Continuous recall sampling shared by query() and query_batch(): one
+  /// query in every recall_sample_every also runs the exact sweep.
+  void maybe_sample_recall(const float* unit_query,
+                           const std::vector<Neighbor>& out,
+                           std::size_t n) const;
+
   EmbeddingMatrix normalized_;  ///< all rows, unit norm (re-rank stage)
   EmbeddingMatrix centroids_;
   std::vector<List> lists_;
+  /// Exact ||row - dequant(int8 row)|| per TokenId, slightly inflated for
+  /// float-rounding soundness — the batched re-rank combines it with the
+  /// query-side error into a bound that skips pool entries which provably
+  /// cannot reach the exact top n. Empty in PQ mode (the PQ pool is always
+  /// fully re-ranked).
+  std::vector<float> row_errs_;
+  float max_row_err_ = 0.0F;  ///< max of row_errs_ — the cheap reject bound
   IvfParams params_;
   IvfBuildStats build_stats_;
   std::size_t qstride_ = 0;  ///< int8 row stride (dim padded to 32 bytes)
+  // PQ state (empty / zero when PQ is off).
+  std::vector<EmbeddingMatrix> pq_codebooks_;  ///< m matrices, pq_k_ x pq_dsub_
+  std::size_t pq_m_ = 0;     ///< subspaces (clamped)
+  std::size_t pq_dsub_ = 0;  ///< dims per subspace (ceil(dim / m))
+  std::size_t pq_k_ = 0;     ///< codebook entries (min(2^bits, rows))
+  util::ThreadPool* query_pool_ = nullptr;  ///< batched-query sharding
   mutable std::atomic<std::uint64_t> query_seq_{0};  ///< recall sampling clock
 };
 

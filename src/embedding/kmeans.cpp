@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <optional>
 #include <stdexcept>
@@ -41,16 +42,24 @@ struct BestCentroid {
   float score = 0.0F;
 };
 
+/// `bias` (optional, one entry per centroid) is subtracted from each dot:
+/// with bias[c] = ||c||^2 / 2 the argmax is the exact L2-nearest centroid
+/// for non-unit centroids (the non-spherical mode); nullptr keeps the pure
+/// dot-product scan of the spherical path.
 BestCentroid best_centroid(const EmbeddingMatrix& centroids,
-                           const float* unit_row) {
+                           const float* unit_row,
+                           const float* bias = nullptr) {
   const float* base = centroids.padded_data();
   const std::size_t stride = centroids.stride();
   const std::size_t k = centroids.rows();
   float scores[kCentroidBlock];
-  BestCentroid best{0, -2.0F};  // cosines live in [-1, 1]
+  BestCentroid best{0, -std::numeric_limits<float>::infinity()};
   for (std::size_t b = 0; b < k; b += kCentroidBlock) {
     std::size_t cnt = std::min(kCentroidBlock, k - b);
     util::simd::dot_block(unit_row, base + b * stride, stride, cnt, scores);
+    if (bias != nullptr) {
+      for (std::size_t j = 0; j < cnt; ++j) scores[j] -= bias[b + j];
+    }
     for (std::size_t j = 0; j < cnt; ++j) {
       // Strict '>' keeps the lowest centroid id on ties — the deterministic
       // tie-break every caller relies on.
@@ -60,6 +69,17 @@ BestCentroid best_centroid(const EmbeddingMatrix& centroids,
     }
   }
   return best;
+}
+
+/// bias[c] = ||centroid c||^2 / 2, the correction that turns the dot_block
+/// sweep into an exact L2 nearest-centroid scan.
+std::vector<float> half_sq_norms(const EmbeddingMatrix& centroids) {
+  std::vector<float> bias(centroids.rows());
+  for (std::size_t c = 0; c < centroids.rows(); ++c) {
+    auto row = centroids.row(c);
+    bias[c] = 0.5F * util::simd::dot(row.data(), row.data(), row.size());
+  }
+  return bias;
 }
 
 /// Deterministic sample of `count` distinct indices from [0, n) in the
@@ -208,7 +228,7 @@ void assign_rows(const EmbeddingMatrix& rows,
                  std::vector<std::uint32_t>* assignment,
                  std::vector<float>* fit,
                  const CentroidGrouping* grouping = nullptr,
-                 std::size_t fanout = 0) {
+                 std::size_t fanout = 0, const float* bias = nullptr) {
   const float* base = rows.padded_data();
   const std::size_t stride = rows.stride();
   auto chunk = [&](std::size_t begin, std::size_t end) {
@@ -218,7 +238,7 @@ void assign_rows(const EmbeddingMatrix& rows,
           grouping != nullptr
               ? best_centroid_pruned(*grouping, base + which[i] * stride,
                                      fanout, scratch)
-              : best_centroid(centroids, base + which[i] * stride);
+              : best_centroid(centroids, base + which[i] * stride, bias);
       (*assignment)[i] = best.id;
       if (fit != nullptr) (*fit)[i] = best.score;
     }
@@ -240,16 +260,20 @@ std::uint32_t nearest_centroid(const EmbeddingMatrix& centroids,
 std::vector<std::uint32_t> assign_to_centroids(const EmbeddingMatrix& rows,
                                                const EmbeddingMatrix& centroids,
                                                util::ThreadPool* pool,
-                                               std::size_t fanout) {
+                                               std::size_t fanout,
+                                               bool spherical) {
   std::optional<CentroidGrouping> grouping;
-  if (fanout > 0 && centroids.rows() >= kGroupedMinCentroids) {
+  if (spherical && fanout > 0 && centroids.rows() >= kGroupedMinCentroids) {
     grouping = group_centroids(centroids, fanout, pool);
   }
+  std::vector<float> bias;
+  if (!spherical) bias = half_sq_norms(centroids);
   std::vector<std::size_t> which(rows.rows());
   std::iota(which.begin(), which.end(), 0);
   std::vector<std::uint32_t> assignment(rows.rows(), 0);
   assign_rows(rows, which, centroids, pool, &assignment, nullptr,
-              grouping ? &*grouping : nullptr, fanout);
+              grouping ? &*grouping : nullptr, fanout,
+              bias.empty() ? nullptr : bias.data());
   return assignment;
 }
 
@@ -281,8 +305,8 @@ KmeansResult spherical_kmeans(const EmbeddingMatrix& rows, KmeansParams params,
           : sample_indices(n, n, rng);
   std::sort(train.begin(), train.end());  // ascending for cache locality
 
-  const bool pruned =
-      params.assign_fanout > 0 && k >= kGroupedMinCentroids;
+  const bool pruned = params.spherical && params.assign_fanout > 0 &&
+                      k >= kGroupedMinCentroids;
 
   std::vector<std::uint32_t> train_assign(train.size(), 0);
   std::vector<float> train_fit(train.size(), 0.0F);
@@ -311,9 +335,12 @@ KmeansResult spherical_kmeans(const EmbeddingMatrix& rows, KmeansParams params,
     if (pruned) {
       grouping = group_centroids(result.centroids, params.assign_fanout, pool);
     }
+    std::vector<float> bias;
+    if (!params.spherical) bias = half_sq_norms(result.centroids);
     assign_rows(rows, train, result.centroids, pool, &train_assign,
                 &train_fit, grouping ? &*grouping : nullptr,
-                params.assign_fanout);
+                params.assign_fanout,
+                bias.empty() ? nullptr : bias.data());
 
     // Mean update: per-chunk partial sums in double over the fixed train
     // order, merged sequentially in ascending chunk order.
@@ -374,12 +401,16 @@ KmeansResult spherical_kmeans(const EmbeddingMatrix& rows, KmeansParams params,
       for (std::size_t j = 0; j < dim; ++j) {
         centroid[j] = static_cast<float>(src[j] * inv);
       }
-      util::normalize(centroid);  // spherical k-means: re-project to the sphere
+      if (params.spherical) {
+        util::normalize(centroid);  // re-project to the sphere
+      }
+      // Non-spherical Lloyd keeps the raw mean — the L2-optimal centroid.
     }
   }
 
-  result.assignment = assign_to_centroids(rows, result.centroids, pool,
-                                          params.assign_fanout);
+  result.assignment =
+      assign_to_centroids(rows, result.centroids, pool, params.assign_fanout,
+                          params.spherical);
   return result;
 }
 

@@ -47,6 +47,14 @@ struct KmeansParams {
   /// into (0 = exact full scan over all k centroids). Only engages once k
   /// is large enough for the group layer to pay for itself.
   std::size_t assign_fanout = 0;
+  /// true (default): spherical k-means over unit-norm rows — centroids are
+  /// re-projected to the sphere and "nearest" is the largest dot product.
+  /// false: plain Lloyd L2 k-means over arbitrary vectors (the PQ residual
+  /// codebooks): centroids stay at the cluster mean and assignment scores
+  /// dot(x, c) - ||c||^2 / 2, the dot-product form of the L2 argmin, so
+  /// the same SIMD dot_block sweep serves both metrics. The pruned
+  /// two-level scan assumes unit norms and is disabled in this mode.
+  bool spherical = true;
 };
 
 struct KmeansResult {
@@ -72,9 +80,12 @@ KmeansResult spherical_kmeans(const EmbeddingMatrix& rows, KmeansParams params,
 /// Assigns every row of `rows` to its nearest centroid (the final pass of
 /// spherical_kmeans, reusable for warm rebuilds against kept centroids).
 /// fanout > 0 routes through the two-level pruned scan described above.
+/// spherical = false scores dot(x, c) - ||c||^2 / 2 (exact L2 nearest for
+/// non-unit centroids, e.g. PQ codebook encode); fanout is ignored there.
 std::vector<std::uint32_t> assign_to_centroids(const EmbeddingMatrix& rows,
                                                const EmbeddingMatrix& centroids,
                                                util::ThreadPool* pool = nullptr,
-                                               std::size_t fanout = 0);
+                                               std::size_t fanout = 0,
+                                               bool spherical = true);
 
 }  // namespace netobs::embedding

@@ -67,6 +67,11 @@ class KnnIndex {
   /// Heap footprint of the backend's retrieval structures, for the memory
   /// accounting plane.
   virtual std::size_t memory_bytes() const = 0;
+
+  /// Opts query paths into shard-parallel sweeps on `pool` (nullptr =
+  /// serial). Results stay bit-identical either way; the pool must outlive
+  /// any concurrent queries. The base default ignores the pool.
+  virtual void set_thread_pool(util::ThreadPool* pool) { (void)pool; }
 };
 
 class CosineKnnIndex : public KnnIndex {
@@ -101,8 +106,12 @@ class CosineKnnIndex : public KnnIndex {
   /// `pool` (pass nullptr to go back to serial). Shards only kick in once
   /// the index has at least 2 * min_rows_per_shard rows; results stay
   /// bit-identical to the serial scan. The pool must outlive the index.
-  void set_thread_pool(util::ThreadPool* pool,
-                       std::size_t min_rows_per_shard = 16384);
+  /// (Two-arg overload to tune the shard floor; the KnnIndex override keeps
+  /// whatever floor is currently set.)
+  void set_thread_pool(util::ThreadPool* pool) override {
+    set_thread_pool(pool, min_rows_per_shard_);
+  }
+  void set_thread_pool(util::ThreadPool* pool, std::size_t min_rows_per_shard);
 
   std::size_t size() const override { return normalized_.rows(); }
   std::size_t dim() const override { return normalized_.dim(); }

@@ -12,7 +12,9 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -66,6 +68,13 @@ class TopK {
     return std::move(entries_);
   }
 
+  /// The same exact top-k set, unordered — for callers that rescore every
+  /// entry anyway (the batched re-rank) and re-select afterwards.
+  std::vector<Neighbor> take_unsorted() {
+    prune();
+    return std::move(entries_);
+  }
+
  private:
   static bool best_first(const Neighbor& a, const Neighbor& b) {
     return neighbor_better(a.similarity, a.id, b.similarity, b.id);
@@ -87,6 +96,93 @@ class TopK {
   bool has_threshold_ = false;
   float threshold_ = 0.0F;
   std::vector<Neighbor> entries_;
+};
+
+/// Order-preserving float -> u32 flip: u64 keys built from it sort with a
+/// single integer compare in exactly the published (similarity desc, id
+/// asc) order. -0.0 canonicalizes to +0.0 first; the two compare equal
+/// under every float comparison, so no ordering decision can change, and
+/// packed values are only ever used for ordering and numeric thresholds,
+/// never as returned similarities.
+inline std::uint32_t sim_to_ordered(float sim) {
+  auto u = std::bit_cast<std::uint32_t>(sim + 0.0F);
+  return u ^
+         (static_cast<std::uint32_t>(static_cast<std::int32_t>(u) >> 31) |
+          0x80000000U);
+}
+
+/// Inverse of sim_to_ordered (up to the -0.0 canonicalization).
+inline float ordered_to_sim(std::uint32_t u) {
+  const std::uint32_t v =
+      (u & 0x80000000U) != 0U ? (u ^ 0x80000000U) : ~u;
+  return std::bit_cast<float>(v);
+}
+
+/// Ascending-order key for (similarity desc, id asc): better entries have
+/// smaller keys, so plain std::less selection passes match neighbor_better.
+inline std::uint64_t neighbor_key(TokenId id, float sim) {
+  return (static_cast<std::uint64_t>(~sim_to_ordered(sim)) << 32) |
+         static_cast<std::uint64_t>(id);
+}
+
+inline TokenId key_id(std::uint64_t key) {
+  return static_cast<TokenId>(key & 0xFFFFFFFFULL);
+}
+
+inline float key_sim(std::uint64_t key) {
+  return ordered_to_sim(~static_cast<std::uint32_t>(key >> 32));
+}
+
+/// TopK's kept-set semantics on packed u64 keys: the reservoir keeps the
+/// exact top k under (similarity desc, id asc), but every prune and the
+/// caller's follow-up selection passes run on single-compare integer keys
+/// instead of the branchy two-field comparator — the batched IVF sweep's
+/// reservoir. Admission mirrors TopK::offer: sim strictly below the
+/// threshold is rejected, equal similarity still enters (any id), so
+/// simd::mask_ge pre-filtering composes identically.
+class PackedTopK {
+ public:
+  explicit PackedTopK(std::size_t k) : k_(k), cap_(2 * k) {
+    keys_.reserve(cap_);
+  }
+
+  void offer(TokenId id, float sim) {
+    const std::uint64_t key = neighbor_key(id, sim);
+    // key > threshold_key_ iff sim < threshold similarity: the threshold
+    // key carries the all-ones id, so every equal-similarity key passes.
+    if (has_threshold_ && key > threshold_key_) return;
+    keys_.push_back(key);
+    if (keys_.size() >= cap_) prune();
+  }
+
+  bool full() const { return has_threshold_ || keys_.size() >= k_; }
+
+  /// Numeric admission threshold for simd::mask_ge, -inf until first prune.
+  float worst_similarity() const { return threshold_sim_; }
+
+  /// Exact top k as packed keys, unordered.
+  std::vector<std::uint64_t> take_keys() {
+    prune();
+    return std::move(keys_);
+  }
+
+ private:
+  void prune() {
+    if (keys_.size() <= k_) return;
+    auto kth = keys_.begin() + static_cast<std::ptrdiff_t>(k_) - 1;
+    std::nth_element(keys_.begin(), kth, keys_.end());
+    keys_.resize(k_);
+    threshold_sim_ = key_sim(keys_[k_ - 1]);
+    threshold_key_ = (keys_[k_ - 1] | 0xFFFFFFFFULL);
+    has_threshold_ = true;
+  }
+
+  std::size_t k_;
+  std::size_t cap_;
+  bool has_threshold_ = false;
+  float threshold_sim_ = -std::numeric_limits<float>::infinity();
+  std::uint64_t threshold_key_ = 0;
+  std::vector<std::uint64_t> keys_;
 };
 
 }  // namespace netobs::embedding

@@ -141,8 +141,10 @@ std::vector<SessionProfile> SessionProfiler::profile_batch(
   }
 
   if (params_.use_embedding_neighbors) {
-    // One batched sweep answers every session with a usable vector;
-    // query_batch returns empty neighbour lists for the rest.
+    // One batched call answers every session with a usable vector — the
+    // exact backend sweeps the matrix once for the whole batch, the IVF
+    // backend runs its list-centric batched scan; query_batch returns
+    // empty neighbour lists for the rest.
     std::vector<std::vector<float>> queries;
     std::vector<std::size_t> owner;
     queries.reserve(pendings.size());

@@ -14,6 +14,17 @@ constexpr const char* kLogSite = "profile.service";
 
 namespace netobs::profile {
 
+namespace {
+
+/// Label value of the per-backend kNN latency series: "exact", "ivf", or
+/// "ivf_pq" when the IVF lists are product-quantized.
+const char* knn_latency_backend(const ServiceParams& params) {
+  if (params.knn_backend != embedding::KnnBackend::kIvf) return "exact";
+  return params.ivf.pq.m > 0 ? "ivf_pq" : "ivf";
+}
+
+}  // namespace
+
 ProfilingService::ProfilingService(const ontology::HostLabeler& labeler,
                                    const filter::Blocklist* blocklist,
                                    ServiceParams params)
@@ -25,7 +36,9 @@ ProfilingService::ProfilingService(const ontology::HostLabeler& labeler,
                    "Hostname events accepted per second (sliding window)"),
       profile_latency_q_(obs::MetricsRegistry::global(),
                          "netobs_profile_knn_latency_seconds",
-                         "Streaming percentiles of session-profile latency") {
+                         "Streaming percentiles of session-profile latency",
+                         {0.5, 0.9, 0.99},
+                         {{"backend", knn_latency_backend(params)}}) {
   auto& reg = obs::MetricsRegistry::global();
   ingested_ = &reg.counter("netobs_profile_events_ingested_total",
                            "Hostname events accepted into the session store");
@@ -63,6 +76,9 @@ void ProfilingService::register_memory_probes() {
   memory_probe_handles_.push_back(acct.add_probe(
       "knn_index", /*per_user=*/false,
       [this] { return index_bytes_.load(std::memory_order_relaxed); }));
+  memory_probe_handles_.push_back(acct.add_probe(
+      "knn_pq_codes", /*per_user=*/false,
+      [this] { return pq_bytes_.load(std::memory_order_relaxed); }));
   user_probe_handle_ = acct.add_user_probe(
       [this] { return store_users_count_.load(std::memory_order_relaxed); });
 }
@@ -174,12 +190,21 @@ bool ProfilingService::retrain(std::int64_t train_day) {
   } else {
     index_ = std::make_unique<embedding::CosineKnnIndex>(*model_);
   }
+  // Batched profile queries shard across the same pool (nullptr = serial;
+  // results are bit-identical either way on both backends).
+  index_->set_thread_pool(pool);
   profiler_ = std::make_unique<SessionProfiler>(*model_, *index_, *labeler_,
                                                 params_.profiler);
   model_bytes_.store(
       model_->central().memory_bytes() + model_->context().memory_bytes(),
       std::memory_order_relaxed);
   index_bytes_.store(index_->memory_bytes(), std::memory_order_relaxed);
+  if (const auto* ivf =
+          dynamic_cast<const embedding::IvfKnnIndex*>(index_.get())) {
+    pq_bytes_.store(ivf->pq_bytes(), std::memory_order_relaxed);
+  } else {
+    pq_bytes_.store(0, std::memory_order_relaxed);
+  }
   last_train_threads_ = std::max<std::size_t>(1, params_.sgns.threads);
   last_train_pairs_per_s_ = trainer.pairs_per_second();
   retrains_->inc();
@@ -219,11 +244,18 @@ std::vector<std::pair<std::string, std::string>> ProfilingService::knn_status()
                      std::to_string(std::min(ivf->params().nprobe,
                                              ivf->nlists())));
     out.emplace_back("knn_rerank", std::to_string(ivf->params().rerank));
+    out.emplace_back("knn_pq_enabled", ivf->pq_enabled() ? "1" : "0");
+    if (ivf->pq_enabled()) {
+      out.emplace_back("knn_pq_m", std::to_string(ivf->params().pq.m));
+      out.emplace_back("knn_pq_bits", std::to_string(ivf->params().pq.bits));
+      out.emplace_back("knn_pq_bytes", std::to_string(ivf->pq_bytes()));
+    }
     const auto& bs = ivf->build_stats();
     out.emplace_back("ivf_build_ms", std::to_string(bs.total_s * 1e3));
     out.emplace_back("ivf_build_kmeans_ms", std::to_string(bs.kmeans_s * 1e3));
     out.emplace_back("ivf_build_assign_ms", std::to_string(bs.assign_s * 1e3));
     out.emplace_back("ivf_build_encode_ms", std::to_string(bs.encode_s * 1e3));
+    out.emplace_back("ivf_build_pq_ms", std::to_string(bs.pq_train_s * 1e3));
   }
   if (last_train_threads_ > 0) {
     out.emplace_back("retrain_threads", std::to_string(last_train_threads_));

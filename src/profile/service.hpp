@@ -201,6 +201,7 @@ class ProfilingService {
   std::atomic<std::size_t> store_users_count_{0};
   std::atomic<std::size_t> model_bytes_{0};
   std::atomic<std::size_t> index_bytes_{0};
+  std::atomic<std::size_t> pq_bytes_{0};
   std::vector<std::uint64_t> memory_probe_handles_;
   std::uint64_t user_probe_handle_ = 0;
 };

@@ -75,6 +75,14 @@ std::int32_t dot_i8_scalar(const std::int8_t* a, const std::int8_t* b,
   return acc;
 }
 
+void dot_i8_block_scalar(const std::int8_t* q, const std::int8_t* base,
+                         std::size_t stride, std::size_t nrows,
+                         std::int32_t* out) {
+  for (std::size_t r = 0; r < nrows; ++r) {
+    out[r] = dot_i8_scalar(q, base + r * stride, stride);
+  }
+}
+
 #if NETOBS_X86
 
 // ---------------------------------------------------------------------------
@@ -205,6 +213,67 @@ std::int32_t dot_i8_sse2(const std::int8_t* a, const std::int8_t* b,
     sum += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
   }
   return sum;
+}
+
+/// Sign-extends both 8-byte halves of an int8 vector to int16.
+inline void widen_i8_sse2(__m128i v, __m128i zero, __m128i* lo, __m128i* hi) {
+  __m128i sign = _mm_cmpgt_epi8(zero, v);
+  *lo = _mm_unpacklo_epi8(v, sign);
+  *hi = _mm_unpackhi_epi8(v, sign);
+}
+
+void dot_i8_block_sse2(const std::int8_t* q, const std::int8_t* base,
+                       std::size_t stride, std::size_t nrows,
+                       std::int32_t* out) {
+  const __m128i zero = _mm_setzero_si128();
+  std::size_t r = 0;
+  // Four independent row accumulators: the widened query registers are
+  // loaded once per 16-byte chunk and reused across all four rows, and the
+  // independent madd chains keep the integer pipes busy. Integer adds are
+  // associative, so any leftover rows through dot_i8_sse2 (and the scalar
+  // column tail) give the same exact int32 as the scalar tier.
+  for (; r + 4 <= nrows; r += 4) {
+    const std::int8_t* r0 = base + (r + 0) * stride;
+    const std::int8_t* r1 = base + (r + 1) * stride;
+    const std::int8_t* r2 = base + (r + 2) * stride;
+    const std::int8_t* r3 = base + (r + 3) * stride;
+    __m128i a0 = _mm_setzero_si128(), a1 = _mm_setzero_si128();
+    __m128i a2 = _mm_setzero_si128(), a3 = _mm_setzero_si128();
+    std::size_t i = 0;
+    for (; i + 16 <= stride; i += 16) {
+      __m128i vq =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(q + i));
+      __m128i q_lo, q_hi;
+      widen_i8_sse2(vq, zero, &q_lo, &q_hi);
+      auto row_madd = [&](const std::int8_t* row, __m128i acc) {
+        __m128i vb =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(row + i));
+        __m128i b_lo, b_hi;
+        widen_i8_sse2(vb, zero, &b_lo, &b_hi);
+        acc = _mm_add_epi32(acc, _mm_madd_epi16(q_lo, b_lo));
+        return _mm_add_epi32(acc, _mm_madd_epi16(q_hi, b_hi));
+      };
+      a0 = row_madd(r0, a0);
+      a1 = row_madd(r1, a1);
+      a2 = row_madd(r2, a2);
+      a3 = row_madd(r3, a3);
+    }
+    alignas(16) std::int32_t lanes[4];
+    const std::int8_t* rows[4] = {r0, r1, r2, r3};
+    const __m128i accs[4] = {a0, a1, a2, a3};
+    for (std::size_t k = 0; k < 4; ++k) {
+      _mm_store_si128(reinterpret_cast<__m128i*>(lanes), accs[k]);
+      std::int32_t sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+      for (std::size_t j = i; j < stride; ++j) {
+        sum += static_cast<std::int32_t>(q[j]) *
+               static_cast<std::int32_t>(rows[k][j]);
+      }
+      out[r + k] = sum;
+    }
+  }
+  for (; r < nrows; ++r) {
+    out[r] = dot_i8_sse2(q, base + r * stride, stride);
+  }
 }
 
 std::uint64_t mask_ge_sse2(const float* x, std::size_t n, float threshold) {
@@ -381,6 +450,63 @@ __attribute__((target("avx2"))) std::int32_t dot_i8_avx2(const std::int8_t* a,
   return sum;
 }
 
+/// One 32-byte chunk of one row folded into its int32 accumulator against
+/// the pre-widened query halves. (File-scope with its own target attribute:
+/// lambdas do not inherit the enclosing function's target in GCC.)
+__attribute__((target("avx2"))) inline __m256i row_madd_avx2(
+    const std::int8_t* row, std::size_t i, __m256i q_lo, __m256i q_hi,
+    __m256i acc) {
+  __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + i));
+  __m256i b_lo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(vb));
+  __m256i b_hi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(vb, 1));
+  acc = _mm256_add_epi32(acc, _mm256_madd_epi16(q_lo, b_lo));
+  return _mm256_add_epi32(acc, _mm256_madd_epi16(q_hi, b_hi));
+}
+
+__attribute__((target("avx2"))) void dot_i8_block_avx2(
+    const std::int8_t* q, const std::int8_t* base, std::size_t stride,
+    std::size_t nrows, std::int32_t* out) {
+  std::size_t r = 0;
+  // Same shape as the SSE2 block kernel: widen the query chunk once, feed
+  // four independent per-row madd chains. Exact int32 arithmetic, so the
+  // result matches the scalar tier bit for bit regardless of order.
+  for (; r + 4 <= nrows; r += 4) {
+    const std::int8_t* r0 = base + (r + 0) * stride;
+    const std::int8_t* r1 = base + (r + 1) * stride;
+    const std::int8_t* r2 = base + (r + 2) * stride;
+    const std::int8_t* r3 = base + (r + 3) * stride;
+    __m256i a0 = _mm256_setzero_si256(), a1 = _mm256_setzero_si256();
+    __m256i a2 = _mm256_setzero_si256(), a3 = _mm256_setzero_si256();
+    std::size_t i = 0;
+    for (; i + 32 <= stride; i += 32) {
+      __m256i vq =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(q + i));
+      __m256i q_lo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(vq));
+      __m256i q_hi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(vq, 1));
+      a0 = row_madd_avx2(r0, i, q_lo, q_hi, a0);
+      a1 = row_madd_avx2(r1, i, q_lo, q_hi, a1);
+      a2 = row_madd_avx2(r2, i, q_lo, q_hi, a2);
+      a3 = row_madd_avx2(r3, i, q_lo, q_hi, a3);
+    }
+    alignas(32) std::int32_t lanes[8];
+    const std::int8_t* rows[4] = {r0, r1, r2, r3};
+    const __m256i accs[4] = {a0, a1, a2, a3};
+    for (std::size_t k = 0; k < 4; ++k) {
+      _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), accs[k]);
+      std::int32_t sum = 0;
+      for (std::int32_t lane : lanes) sum += lane;
+      for (std::size_t j = i; j < stride; ++j) {
+        sum += static_cast<std::int32_t>(q[j]) *
+               static_cast<std::int32_t>(rows[k][j]);
+      }
+      out[r + k] = sum;
+    }
+  }
+  for (; r < nrows; ++r) {
+    out[r] = dot_i8_avx2(q, base + r * stride, stride);
+  }
+}
+
 #endif  // NETOBS_X86
 
 struct Kernels {
@@ -392,25 +518,30 @@ struct Kernels {
                     float*);
   std::uint64_t (*mask_ge)(const float*, std::size_t, float);
   std::int32_t (*dot_i8)(const std::int8_t*, const std::int8_t*, std::size_t);
+  void (*dot_i8_block)(const std::int8_t*, const std::int8_t*, std::size_t,
+                       std::size_t, std::int32_t*);
 };
 
 Kernels kernels_for(Tier tier) {
 #if NETOBS_X86
   switch (tier) {
     case Tier::kAvx2:
-      return {dot_avx2,   axpy_avx2,      scale_avx2,
-              fused_avx2, dot_block_avx2, mask_ge_avx2, dot_i8_avx2};
+      return {dot_avx2,     axpy_avx2,    scale_avx2,
+              fused_avx2,   dot_block_avx2, mask_ge_avx2,
+              dot_i8_avx2,  dot_i8_block_avx2};
     case Tier::kSse2:
-      return {dot_sse2,   axpy_sse2,      scale_sse2,
-              fused_sse2, dot_block_sse2, mask_ge_sse2, dot_i8_sse2};
+      return {dot_sse2,     axpy_sse2,    scale_sse2,
+              fused_sse2,   dot_block_sse2, mask_ge_sse2,
+              dot_i8_sse2,  dot_i8_block_sse2};
     case Tier::kScalar:
       break;
   }
 #else
   (void)tier;
 #endif
-  return {dot_scalar,   axpy_scalar,      scale_scalar,
-          fused_scalar, dot_block_scalar, mask_ge_scalar, dot_i8_scalar};
+  return {dot_scalar,     axpy_scalar,    scale_scalar,
+          fused_scalar,   dot_block_scalar, mask_ge_scalar,
+          dot_i8_scalar,  dot_i8_block_scalar};
 }
 
 struct Dispatch {
@@ -487,6 +618,11 @@ std::uint64_t mask_ge(const float* x, std::size_t n, float threshold) {
 std::int32_t dot_i8(const std::int8_t* a, const std::int8_t* b,
                     std::size_t n) {
   return dispatch().k.dot_i8(a, b, n);
+}
+
+void dot_i8_block(const std::int8_t* q, const std::int8_t* base,
+                  std::size_t stride, std::size_t nrows, std::int32_t* out) {
+  dispatch().k.dot_i8_block(q, base, stride, nrows, out);
 }
 
 }  // namespace netobs::util::simd

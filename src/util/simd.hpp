@@ -81,6 +81,17 @@ std::uint64_t mask_ge(const float* x, std::size_t n, float threshold);
 std::int32_t dot_i8(const std::int8_t* a, const std::int8_t* b,
                     std::size_t n);
 
+/// Int8 companion of dot_block: out[r] = dot_i8(q, base + r * stride) for
+/// `nrows` consecutive code rows of `stride` bytes each. Like dot_i8 the
+/// arithmetic is exact int32, so every tier returns identical results for
+/// any row/lane order; the wide tiers process four rows per sweep so the
+/// widened query registers are reused across rows. Pointers may be
+/// unaligned and `stride` arbitrary (tails fall back per element). The IVF
+/// batched list scan calls this once per (query, row-block) pair so each
+/// cache-hot block of codes is scored against every query probing its list.
+void dot_i8_block(const std::int8_t* q, const std::int8_t* base,
+                  std::size_t stride, std::size_t nrows, std::int32_t* out);
+
 /// Scores one query against `nrows` consecutive rows of a padded matrix:
 /// out[r] = dot(q, base + r * stride) over `stride` floats. `q` must be
 /// padded (zero-filled) to `stride` and aligned to kRowAlignBytes, `stride`

@@ -1,0 +1,112 @@
+// Paper-scale-plus synthetic soak: a 2M-row corpus (4x the ~470K-hostname
+// vocabulary of Section 4.1) exercising the regime product quantization
+// exists for — the int8 list payload stops fitting comfortably and the
+// m-byte PQ codes must carry retrieval. Gated behind -DNETOBS_BIG_TESTS=ON
+// (multi-minute, ~1GB RSS); always compiled, skipped at runtime otherwise.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "embedding/ivf_index.hpp"
+#include "embedding/matrix.hpp"
+#include "util/rng.hpp"
+#include "util/vec_math.hpp"
+
+namespace netobs::embedding {
+namespace {
+
+TEST(BigScale, PqAtTwoMillionRowsHoldsRecallAtAThirdOfTheBytes) {
+#if !defined(NETOBS_BIG_TESTS)
+  GTEST_SKIP() << "configure with -DNETOBS_BIG_TESTS=ON to run";
+#else
+  constexpr std::size_t kRows = 2'000'000;
+  constexpr std::size_t kDim = 32;
+  constexpr std::size_t kTopics = 2000;
+
+  // Topic-clustered corpus, same shape the ivf_knn tests use but at scale.
+  EmbeddingMatrix centers(kTopics, kDim);
+  util::Pcg32 rng(2021, 0xb1);
+  for (std::size_t t = 0; t < kTopics; ++t) {
+    for (float& v : centers.row(t)) v = static_cast<float>(rng.normal());
+    util::normalize(centers.row(t));
+  }
+  EmbeddingMatrix m(kRows, kDim);
+  for (std::size_t r = 0; r < kRows; ++r) {
+    auto center = centers.row(r % kTopics);
+    auto row = m.row(r);
+    for (std::size_t j = 0; j < kDim; ++j) {
+      row[j] = center[j] + static_cast<float>(0.10 * rng.normal());
+    }
+  }
+
+  // PQ index under test: m = 8 bytes/row vs qstride + 4 = 36 bytes/row.
+  IvfParams pq_params;
+  pq_params.nlists = 1024;
+  pq_params.nprobe = 32;
+  pq_params.rerank = 8;
+  pq_params.pq.m = 8;
+  pq_params.pq.bits = 8;
+  IvfKnnIndex pq(m, pq_params);
+  ASSERT_TRUE(pq.pq_enabled());
+
+  // Exact oracle doubling as the int8 payload yardstick: warm rebuild on
+  // the same centroids (skips Lloyd), full probe + a re-rank pool covering
+  // the corpus makes its answers bit-identical to an exact sweep.
+  IvfParams full;
+  full.nlists = pq_params.nlists;
+  full.nprobe = pq_params.nlists;
+  full.rerank = kRows;  // rerank * n >= rows: nothing is cut before re-rank
+  IvfKnnIndex int8(m, pq.centroids(), full);
+  ASSERT_FALSE(int8.pq_enabled());
+
+  // The memory claim PQ is for: codes + codebooks at most a third of the
+  // int8 codes + scales.
+  RecordProperty("pq_list_bytes", static_cast<int>(pq.list_bytes() >> 20));
+  RecordProperty("int8_list_bytes", static_cast<int>(int8.list_bytes() >> 20));
+  EXPECT_LE(pq.list_bytes() * 3, int8.list_bytes());
+
+  // recall@1000 after the exact re-rank stays above the deployment floor.
+  constexpr std::size_t kN = 1000;
+  constexpr int kQueries = 5;
+  double recall_sum = 0.0;
+  for (int t = 0; t < kQueries; ++t) {
+    auto row = m.row(rng.next_below(kRows));
+    std::vector<float> q(row.begin(), row.end());
+    auto exact = int8.query(q, kN);
+    auto approx = pq.query(q, kN);
+    std::vector<TokenId> ids;
+    for (const auto& nb : approx) ids.push_back(nb.id);
+    std::sort(ids.begin(), ids.end());
+    std::size_t hit = 0;
+    for (const auto& nb : exact) {
+      hit += std::binary_search(ids.begin(), ids.end(), nb.id) ? 1 : 0;
+    }
+    recall_sum += static_cast<double>(hit) / static_cast<double>(exact.size());
+  }
+  double recall = recall_sum / kQueries;
+  RecordProperty("recall_at_1000_x1000", static_cast<int>(recall * 1000));
+  EXPECT_GE(recall, 0.95);
+
+  // Batched remains bit-identical to single at scale as well.
+  std::vector<std::vector<float>> queries;
+  for (int i = 0; i < 8; ++i) {
+    auto row = m.row(rng.next_below(kRows));
+    queries.emplace_back(row.begin(), row.end());
+  }
+  auto batched = pq.query_batch(queries, 100);
+  ASSERT_EQ(batched.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    auto single = pq.query(queries[i], 100);
+    ASSERT_EQ(batched[i].size(), single.size()) << "query " << i;
+    for (std::size_t j = 0; j < single.size(); ++j) {
+      EXPECT_EQ(batched[i][j].id, single[j].id);
+      EXPECT_EQ(batched[i][j].similarity, single[j].similarity);
+    }
+  }
+#endif
+}
+
+}  // namespace
+}  // namespace netobs::embedding

@@ -343,5 +343,273 @@ TEST(IvfKnn, EdgeCasesStayWellDefined) {
   EXPECT_EQ(top[0].id, 0U);
 }
 
+TEST(IvfKnn, PackedKeysPreserveThePublishedOrderAndTopKSemantics) {
+  // The batched sweep selects on u64 keys (flipped-float sim, id) instead
+  // of the two-field comparator. The codec must round-trip and the key
+  // order must agree with neighbor_better on every pair, including the
+  // signed-zero and exact-tie cases.
+  EXPECT_EQ(key_sim(neighbor_key(7, 0.25F)), 0.25F);
+  EXPECT_EQ(key_id(neighbor_key(7, 0.25F)), 7U);
+  // -0.0 canonicalizes to +0.0 inside the key; the two compare equal under
+  // every float comparison, so ordering decisions cannot change.
+  EXPECT_EQ(neighbor_key(3, -0.0F), neighbor_key(3, 0.0F));
+
+  util::Pcg32 rng(99, 0x7a);
+  std::vector<std::pair<TokenId, float>> stream;
+  for (int i = 0; i < 4000; ++i) {
+    // Coarse grid forces many exact similarity ties across distinct ids.
+    const float sim =
+        static_cast<float>(rng.uniform(-1.0, 1.0) * 8.0) / 8.0F;
+    stream.emplace_back(static_cast<TokenId>(rng.next_below(1000)), sim);
+  }
+  stream.emplace_back(0, 0.0F);
+  stream.emplace_back(1, -0.0F);
+  for (const auto& [ia, sa] : {stream[0], stream[17], stream[4001]}) {
+    for (const auto& [ib, sb] : {stream[1], stream[4000], stream[123]}) {
+      EXPECT_EQ(neighbor_key(ia, sa) < neighbor_key(ib, sb),
+                neighbor_better(sa, ia, sb, ib));
+    }
+  }
+
+  // Same stream through both reservoirs: the kept sets must be identical
+  // (ids and float sims), for several k including k > distinct entries.
+  for (const std::size_t k : {1UL, 7UL, 50UL, 5000UL}) {
+    TopK ref(k);
+    PackedTopK packed(k);
+    for (const auto& [id, sim] : stream) {
+      ref.offer(id, sim);
+      packed.offer(id, sim);
+    }
+    auto want = ref.take_sorted();
+    auto keys = packed.take_keys();
+    std::sort(keys.begin(), keys.end());
+    ASSERT_EQ(keys.size(), want.size()) << "k=" << k;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      EXPECT_EQ(key_id(keys[i]), want[i].id) << "k=" << k << " rank " << i;
+      EXPECT_EQ(key_sim(keys[i]), want[i].similarity + 0.0F)
+          << "k=" << k << " rank " << i;
+    }
+  }
+}
+
+TEST(IvfKnn, BatchedQueriesAreBitIdenticalToSingleQueries) {
+  // The list-centric batched scan buckets queries by probe list and sweeps
+  // each touched list once for the whole batch. Offer order into the TopK
+  // reservoirs changes completely — the kept set must not: identity is
+  // required at the *default* (partial) nprobe, not just full probe.
+  auto m = clustered_matrix(5000, 48, 40, 0.12, 314);
+  IvfParams p;
+  p.nlists = 40;
+  p.nprobe = 6;
+  IvfKnnIndex ivf(m, p);
+
+  util::Pcg32 rng(271);
+  std::vector<std::vector<float>> queries;
+  for (int i = 0; i < 33; ++i) queries.push_back(random_query(rng, 48));
+  queries.push_back(queries.front());               // duplicate query
+  queries.push_back(std::vector<float>(48, 0.0F));  // zero-norm slot
+
+  auto batched = ivf.query_batch(queries, 50);
+  ASSERT_EQ(batched.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    expect_identical(batched[i], ivf.query(queries[i], 50), "serial batch");
+  }
+
+  // Sharding the touched lists across a pool must not change a bit either:
+  // each shard keeps its own top-pool partials and the merge re-offers
+  // them, which preserves the unique (sim desc, id asc) top set.
+  util::ThreadPool pool(4);
+  ivf.set_thread_pool(&pool);
+  auto pooled = ivf.query_batch(queries, 50);
+  ASSERT_EQ(pooled.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    expect_identical(pooled[i], batched[i], "pooled batch");
+  }
+  ivf.set_thread_pool(nullptr);
+
+  // Degenerate batches stay well-defined.
+  EXPECT_TRUE(ivf.query_batch({}, 10).empty());
+  auto zeros = ivf.query_batch({std::vector<float>(48, 0.0F)}, 10);
+  ASSERT_EQ(zeros.size(), 1U);
+  EXPECT_TRUE(zeros[0].empty());
+}
+
+TEST(IvfKnn, PqBuildIsDeterministicAndPoolInvariant) {
+  auto m = clustered_matrix(3000, 32, 24, 0.15, 88);
+  IvfParams p;
+  p.nlists = 24;
+  p.pq.m = 8;
+  p.pq.bits = 6;
+  IvfKnnIndex a(m, p);
+  IvfKnnIndex b(m, p);
+  util::ThreadPool pool(4);
+  IvfKnnIndex c(m, p, &pool);
+
+  EXPECT_TRUE(a.pq_enabled());
+  EXPECT_EQ(a.pq_code_bytes_per_row(), 8U);
+  // Seeded codebooks + deterministic encode: bit-for-bit across rebuilds
+  // and for any build pool size.
+  EXPECT_EQ(a.contents_hash(), b.contents_hash());
+  EXPECT_EQ(a.contents_hash(), c.contents_hash()) << "pool changed PQ build";
+
+  // PQ exists to shrink the list payload: m bytes/row must beat the int8
+  // layout (qstride + 4 bytes/row) even after paying for the codebooks.
+  IvfParams scalar = p;
+  scalar.pq.m = 0;
+  IvfKnnIndex int8(m, scalar);
+  EXPECT_FALSE(int8.pq_enabled());
+  EXPECT_EQ(int8.pq_bytes(), 0U);
+  EXPECT_GT(a.pq_bytes(), 0U);
+  // Per-row the win is 8 vs 36 bytes; at this tiny corpus the shared
+  // codebooks eat part of it, so assert half here — the bench gate holds
+  // the full 1/3 at paper scale where the codebooks amortise away.
+  EXPECT_LT(a.list_bytes(), int8.list_bytes() / 2)
+      << "PQ payload not under half of the int8 payload";
+  // Different PQ geometry => different index contents.
+  IvfParams other = p;
+  other.pq.m = 4;
+  IvfKnnIndex d(m, other);
+  EXPECT_NE(a.contents_hash(), d.contents_hash());
+}
+
+TEST(IvfKnn, ReconstructHonoursTheQuantizerErrorBounds) {
+  auto m = clustered_matrix(2000, 32, 16, 0.15, 61);
+  IvfParams p;
+  p.nlists = 16;
+  p.assign_fanout = 0;  // exact assignment: nearest_centroid is the oracle
+
+  // Scalar quantization: reconstruct = code * scale, per-component error
+  // <= scale / 2 with scale = max|row| / 127.
+  IvfKnnIndex int8(m, p);
+  const auto& unit = int8.normalized_rows();
+  for (TokenId id : {TokenId{0}, TokenId{977}, TokenId{1999}}) {
+    auto rec = int8.reconstruct(id);
+    ASSERT_EQ(rec.size(), 32U);
+    auto row = unit.row(id);
+    float max_abs = 0.0F;
+    for (float v : row) max_abs = std::max(max_abs, std::abs(v));
+    float scale = max_abs / 127.0F;
+    for (std::size_t j = 0; j < 32; ++j) {
+      EXPECT_LE(std::abs(rec[j] - row[j]), scale * 0.5F + 1e-6F)
+          << "row " << id << " dim " << j;
+    }
+  }
+  EXPECT_THROW(int8.reconstruct(2000), std::out_of_range);
+
+  // PQ: reconstruct = centroid + decoded residual. The decoded residual is
+  // each subspace's nearest codebook entry, so it must beat the trivial
+  // all-zeros residual decode on average — i.e. PQ reconstruction error
+  // strictly below the raw coarse-only error ||row - centroid||.
+  IvfParams pqp = p;
+  pqp.pq.m = 8;
+  IvfKnnIndex pq(m, pqp);
+  double pq_err = 0.0, coarse_err = 0.0;
+  for (TokenId id = 0; id < 2000; id += 7) {
+    auto rec = pq.reconstruct(id);
+    const float* row = unit.padded_data() + id * unit.stride();
+    std::uint32_t list = nearest_centroid(pq.centroids(), row);
+    auto cen = pq.centroids().row(list);
+    double e_pq = 0.0, e_coarse = 0.0;
+    for (std::size_t j = 0; j < 32; ++j) {
+      e_pq += (rec[j] - row[j]) * (rec[j] - row[j]);
+      e_coarse += (cen[j] - row[j]) * (cen[j] - row[j]);
+    }
+    pq_err += std::sqrt(e_pq);
+    coarse_err += std::sqrt(e_coarse);
+  }
+  EXPECT_LT(pq_err, coarse_err * 0.75)
+      << "PQ residual codebooks barely improve on the coarse centroid";
+  EXPECT_THROW(pq.reconstruct(2000), std::out_of_range);
+}
+
+TEST(IvfKnn, PqFullProbeWithFullPoolIsBitIdenticalToExact) {
+  // The strongest PQ oracle: PQ only reorders the *candidate* stage, and
+  // with nprobe == nlists plus a re-rank pool covering the corpus every row
+  // reaches the exact re-rank — so even the lossiest codebooks must
+  // reproduce CosineKnnIndex bit-for-bit, batched or not.
+  auto m = clustered_matrix(1500, 33, 12, 0.2, 909);  // odd dim: padded tail
+  CosineKnnIndex exact(m);
+  IvfParams p;
+  p.nlists = 12;
+  p.nprobe = 12;
+  p.rerank = 3000;
+  p.pq.m = 5;  // dsub = ceil(33/5) = 7, last subspace zero-padded
+  IvfKnnIndex pq(m, p);
+  ASSERT_TRUE(pq.pq_enabled());
+
+  util::Pcg32 rng(23);
+  std::vector<std::vector<float>> queries;
+  for (int i = 0; i < 6; ++i) queries.push_back(random_query(rng, 33));
+  for (const auto& q : queries) {
+    expect_identical(pq.query(q, 80), exact.query(q, 80), "pq full-probe");
+  }
+  auto batched = pq.query_batch(queries, 80);
+  util::ThreadPool pool(3);
+  pq.set_thread_pool(&pool);
+  auto pooled = pq.query_batch(queries, 80);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    expect_identical(batched[i], exact.query(queries[i], 80), "pq batch");
+    expect_identical(pooled[i], batched[i], "pq pooled batch");
+  }
+}
+
+TEST(IvfKnn, PqDefaultProbeKeepsRecallUsable) {
+  // Partial probe + bounded pool: the regime PQ actually runs in. The
+  // asymmetric LUT scan is lossier than int8, so the floor is softer than
+  // the int8 one but must stay high on a clustered corpus.
+  auto m = clustered_matrix(6000, 32, 48, 0.10, 2022);
+  CosineKnnIndex exact(m);
+  IvfParams p;
+  p.nprobe = 16;
+  p.rerank = 8;
+  p.pq.m = 8;
+  IvfKnnIndex pq(m, p);
+
+  util::Pcg32 rng(19);
+  double recall_sum = 0.0;
+  constexpr int kTrials = 8;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto row = m.row(rng.next_below(6000));
+    std::vector<float> q(row.begin(), row.end());
+    recall_sum += overlap_recall(pq.query(q, 100), exact.query(q, 100));
+  }
+  EXPECT_GE(recall_sum / kTrials, 0.85);
+}
+
+TEST(IvfKnn, AddRowsEncodesAgainstTheKeptPqCodebooks) {
+  auto m = clustered_matrix(2000, 32, 10, 0.15, 71);
+  IvfParams p;
+  p.nlists = 10;
+  p.nprobe = 10;
+  p.rerank = 4000;
+  p.pq.m = 8;
+  IvfKnnIndex pq(m, p);
+  auto hash_before = pq.contents_hash();
+
+  auto extra = clustered_matrix(400, 32, 10, 0.15, 72);
+  pq.add_rows(extra);
+  EXPECT_EQ(pq.size(), 2400U);
+  EXPECT_NE(pq.contents_hash(), hash_before);
+  // Appended rows carry PQ codes too: payload grew by exactly m bytes/row.
+  EXPECT_EQ(pq.pq_code_bytes_per_row(), 8U);
+
+  // Full probe + full pool: the grown index must equal the exact index over
+  // the concatenation, PQ codes and all.
+  EmbeddingMatrix all(2400, 32);
+  for (std::size_t r = 0; r < 2000; ++r) {
+    std::copy(m.row(r).begin(), m.row(r).end(), all.row(r).begin());
+  }
+  for (std::size_t r = 0; r < 400; ++r) {
+    std::copy(extra.row(r).begin(), extra.row(r).end(),
+              all.row(2000 + r).begin());
+  }
+  CosineKnnIndex exact(all);
+  util::Pcg32 rng(37);
+  for (int trial = 0; trial < 5; ++trial) {
+    auto q = random_query(rng, 32);
+    expect_identical(pq.query(q, 40), exact.query(q, 40), "pq post-add");
+  }
+}
+
 }  // namespace
 }  // namespace netobs::embedding

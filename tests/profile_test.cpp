@@ -371,6 +371,70 @@ TEST(ProfilingService, IvfBackendWithFullProbeMatchesExactProfiles) {
   EXPECT_FALSE(find_row(ivf_rows, "simd_int8_tier").empty());
 }
 
+TEST(ProfilingService, IvfBatchedProfilesMatchSinglesBitForBit) {
+  // The batched reporting path (profile_users) rides the IVF list-centric
+  // query_batch when the backend is kIvf. At the *default* partial nprobe
+  // the batched scan visits lists in a completely different order than the
+  // per-user scans — the profiles must still match float for float, with
+  // and without PQ compressing the lists.
+  ontology::HostLabeler labeler(2);
+  labeler.set_label("travel-a.com", {1.0F, 0.0F});
+  labeler.set_label("sport-a.com", {0.0F, 1.0F});
+  for (std::size_t pass = 0; pass < 2; ++pass) {
+    ServiceParams params;
+    params.sgns.dim = 12;
+    params.sgns.epochs = 10;
+    params.vocab.min_count = 1;
+    params.vocab.subsample_threshold = 0.0;
+    params.knn_backend = embedding::KnnBackend::kIvf;
+    if (pass == 1) params.ivf.pq.m = 4;  // second pass: PQ-compressed lists
+    ProfilingService service(labeler, nullptr, params);
+
+    for (int rep = 0; rep < 50; ++rep) {
+      util::Timestamp base = rep * 10 * util::kMinute;
+      service.ingest({{1, base + 1, "travel-a.com"},
+                      {1, base + 2, "travel-api.net"},
+                      {2, base + 1, "sport-a.com"},
+                      {2, base + 2, "sport-api.net"},
+                      {3, base + 1, "travel-a.com"},
+                      {3, base + 2, "sport-api.net"}});
+    }
+    ASSERT_TRUE(service.retrain(0));
+    util::Timestamp now = util::kDay + 5 * util::kMinute;
+    service.ingest({{1, now - util::kMinute, "travel-api.net"},
+                    {2, now - util::kMinute, "sport-api.net"},
+                    {3, now - util::kMinute, "travel-a.com"}});
+
+    auto batched = service.profile_users({1, 2, 3, 99}, now);
+    ASSERT_EQ(batched.size(), 4U);
+    for (std::uint32_t user : {1U, 2U, 3U}) {
+      auto serial = service.profile_user(user, now);
+      const auto& got = batched[user - 1];
+      EXPECT_EQ(got.labeled_neighbors, serial.labeled_neighbors);
+      EXPECT_EQ(got.weight_mass, serial.weight_mass);
+      ASSERT_EQ(got.categories.size(), serial.categories.size());
+      for (std::size_t c = 0; c < serial.categories.size(); ++c) {
+        EXPECT_EQ(got.categories[c], serial.categories[c])
+            << "pass " << pass << " user " << user << " category " << c;
+      }
+    }
+    EXPECT_TRUE(batched[3].empty());
+
+    auto find_row = [](const auto& rows, const std::string& key) {
+      for (const auto& [k, v] : rows) {
+        if (k == key) return v;
+      }
+      return std::string();
+    };
+    auto rows = service.knn_status();
+    EXPECT_EQ(find_row(rows, "knn_pq_enabled"), pass == 1 ? "1" : "0");
+    if (pass == 1) {
+      EXPECT_EQ(find_row(rows, "knn_pq_m"), "4");
+      EXPECT_FALSE(find_row(rows, "knn_pq_bytes").empty());
+    }
+  }
+}
+
 TEST(ProfilingService, RetrainFailsGracefullyOnEmptyDay) {
   ontology::HostLabeler labeler(2);
   ProfilingService service(labeler, nullptr);

@@ -225,6 +225,56 @@ TEST(SimdKernels, DotI8IsExactOnEveryTier) {
   }
 }
 
+TEST(SimdKernels, DotI8BlockIsExactOnEveryTier) {
+  // The batched IVF list sweep scores whole code blocks with dot_i8_block;
+  // like dot_i8 it must equal the plain int32 reference exactly on every
+  // tier, for any stride (including non-multiples of the 32-byte chunk,
+  // which exercise the per-element column tails) and any row count
+  // (including the <4 leftover rows after the 4-row main loop).
+  TierGuard guard;
+  Pcg32 rng(61);
+  for (std::size_t stride : {1UL, 17UL, 32UL, 40UL, 64UL, 96UL, 100UL}) {
+    for (std::size_t nrows : {1UL, 3UL, 4UL, 5UL, 7UL, 11UL, 64UL}) {
+      std::vector<std::int8_t> base(nrows * stride);
+      std::vector<std::int8_t> q(stride);
+      for (auto& v : base) {
+        v = static_cast<std::int8_t>(
+            static_cast<int>(rng.next_below(255)) - 127);
+      }
+      for (auto& v : q) {
+        v = static_cast<std::int8_t>(
+            static_cast<int>(rng.next_below(255)) - 127);
+      }
+      std::vector<std::int32_t> want(nrows, 0);
+      for (std::size_t r = 0; r < nrows; ++r) {
+        for (std::size_t j = 0; j < stride; ++j) {
+          want[r] += static_cast<std::int32_t>(q[j]) *
+                     static_cast<std::int32_t>(base[r * stride + j]);
+        }
+      }
+      for (simd::Tier tier : available_tiers()) {
+        ASSERT_EQ(simd::force_tier(tier), tier);
+        std::vector<std::int32_t> got(nrows, 0);
+        simd::dot_i8_block(q.data(), base.data(), stride, nrows, got.data());
+        EXPECT_EQ(got, want)
+            << simd::tier_name(tier) << " stride=" << stride
+            << " nrows=" << nrows;
+      }
+    }
+  }
+  // Extreme codes across a 4-row block: the int16 madd pairs reach
+  // 2 * 127^2 = 32258 < INT16_MAX-safe int32 accumulation territory.
+  constexpr std::size_t kStride = 64;
+  std::vector<std::int8_t> ext(4 * kStride, 127);
+  std::vector<std::int8_t> qe(kStride, -127);
+  for (simd::Tier tier : available_tiers()) {
+    ASSERT_EQ(simd::force_tier(tier), tier);
+    std::int32_t out[4];
+    simd::dot_i8_block(qe.data(), ext.data(), kStride, 4, out);
+    for (std::int32_t v : out) EXPECT_EQ(v, -127 * 127 * 64);
+  }
+}
+
 TEST(SimdKernels, ForceTierClampsToSupported) {
   TierGuard guard;
   simd::Tier got = simd::force_tier(simd::Tier::kAvx2);
