@@ -93,10 +93,112 @@ struct Check {
   std::size_t min_hw = 0;
 };
 
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+/// Absolute invariants a macro-soak JSON (bench/macro_soak.cpp) must hold
+/// at ANY scale — they are ratios and zero-counters, so the 50K-user ctest
+/// smoke is held to the same floors as the committed 1M-user run. Returns
+/// the number of violations.
+int check_macro_doc(const std::string& doc, const std::string& label) {
+  int failures = 0;
+  auto require = [&](const char* key, auto pred, const std::string& what) {
+    double v = 0.0;
+    if (!find_number(doc, key, &v)) {
+      std::cerr << "[gate] MISSING  " << key << " not in " << label << "\n";
+      ++failures;
+      return;
+    }
+    if (!pred(v)) {
+      std::cerr << "[gate] REGRESSED " << label << ": " << key << " = " << v
+                << " (" << what << ")\n";
+      ++failures;
+    } else {
+      std::cout << "[gate] ok       " << label << ": " << key << " = " << v
+                << "\n";
+    }
+  };
+  const double ceiling =
+      bench::IngestBaselineResult::session_bytes_per_user_ceiling();
+  require("macro_bytes_per_user",
+          [&](double v) { return v > 0.0 && v <= ceiling; },
+          "must be in (0, " + std::to_string(ceiling) + "] bytes/user");
+  require("macro_event_loss", [](double v) { return v == 0.0; },
+          "the direct shard lane must be lossless");
+  require("macro_eviction_violations", [](double v) { return v == 0.0; },
+          "eviction must never touch a user active within the lookback");
+  require("macro_eviction_audits", [](double v) { return v >= 1.0; },
+          "the eviction audit must have run");
+  require("macro_under_budget", [](double v) { return v == 1.0; },
+          "the soak must end within the memory budget");
+  require("macro_delivered_events", [](double v) { return v > 0.0; },
+          "the soak must have ingested something");
+  return failures;
+}
+
+}  // namespace
+
+namespace {
+
+/// Macro-soak leg of the gate. Validates the committed 1M-user baseline's
+/// absolute invariants, and — when a fresh smoke JSON is supplied — holds
+/// that run to the same floors plus a p99 profile-latency comparison
+/// against the recorded number (skipped when the baseline was measured on
+/// a wider box, mirroring the micro gate's min_hw logic).
+int run_macro_gate(const std::string& macro_baseline,
+                   const std::string& macro_current, double tolerance) {
+  int failures = 0;
+  std::string base_doc;
+  if (!read_file(macro_baseline, &base_doc)) {
+    std::cout << "[gate] note     macro baseline " << macro_baseline
+              << " not found; run bench/macro_soak to record it\n";
+    return 0;
+  }
+  failures += check_macro_doc(base_doc, macro_baseline);
+  if (macro_current.empty()) return failures;
+  std::string cur_doc;
+  if (!read_file(macro_current, &cur_doc)) {
+    std::cerr << "[gate] MISSING  macro current run " << macro_current
+              << " unreadable\n";
+    return failures + 1;
+  }
+  failures += check_macro_doc(cur_doc, macro_current);
+  double base_p99 = 0.0, cur_p99 = 0.0;
+  double base_hw = 0.0, cur_hw = 0.0;
+  if (find_number(base_doc, "macro_profile_p99_ms", &base_p99) &&
+      find_number(cur_doc, "macro_profile_p99_ms", &cur_p99) &&
+      base_p99 > 0.0) {
+    find_number(base_doc, "macro_hardware_threads", &base_hw);
+    find_number(cur_doc, "macro_hardware_threads", &cur_hw);
+    if (cur_hw > 0.0 && base_hw > cur_hw) {
+      std::cout << "[gate] note     macro_profile_p99_ms skipped: baseline "
+                << "recorded on " << base_hw << " hw threads, this box has "
+                << cur_hw << "\n";
+    } else {
+      bool ok = cur_p99 <= base_p99 * (1.0 + tolerance);
+      std::cout << "[gate] " << (ok ? "ok      " : "REGRESSED ")
+                << "macro_profile_p99_ms: recorded " << base_p99
+                << ", current " << cur_p99 << " (tolerance "
+                << tolerance * 100 << "%)\n";
+      if (!ok) ++failures;
+    }
+  }
+  return failures;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string baseline_path = "BENCH_micro.json";
+  std::string macro_baseline;
+  std::string macro_current;
+  bool macro_only = false;
   double tolerance = 0.30;
   bool update = false;
   bench::MicroBaselineOptions opts;
@@ -105,6 +207,12 @@ int main(int argc, char** argv) {
     std::string arg = argv[i];
     if (arg.rfind("--baseline=", 0) == 0) {
       baseline_path = arg.substr(std::string("--baseline=").size());
+    } else if (arg.rfind("--macro-baseline=", 0) == 0) {
+      macro_baseline = arg.substr(std::string("--macro-baseline=").size());
+    } else if (arg.rfind("--macro-current=", 0) == 0) {
+      macro_current = arg.substr(std::string("--macro-current=").size());
+    } else if (arg == "--macro-only") {
+      macro_only = true;
     } else if (arg.rfind("--tolerance=", 0) == 0) {
       tolerance =
           std::strtod(arg.c_str() + std::string("--tolerance=").size(),
@@ -121,9 +229,24 @@ int main(int argc, char** argv) {
     } else if (arg == "--help") {
       std::cout << "usage: " << argv[0]
                 << " [--baseline=PATH] [--tolerance=0.30] [--bench-rows=N]"
-                   " [--update]\n";
+                   " [--update] [--macro-baseline=PATH]"
+                   " [--macro-current=PATH] [--macro-only]\n";
       return 0;
     }
+  }
+
+  if (macro_only) {
+    if (macro_baseline.empty()) {
+      std::cerr << "[gate] --macro-only needs --macro-baseline=PATH\n";
+      return 1;
+    }
+    int failures = run_macro_gate(macro_baseline, macro_current, tolerance);
+    if (failures > 0) {
+      std::cerr << "[gate] " << failures << " macro check(s) failed\n";
+      return 1;
+    }
+    std::cout << "[gate] all macro checks passed\n";
+    return 0;
   }
 
   std::string doc;
@@ -171,6 +294,7 @@ int main(int argc, char** argv) {
       {"pq_recall_at_1000", r.pq_recall, false},
       {"ingest_singlethread_pps", ing.st_pps(), false},
       {"ingest_speedup_ideal", ing.speedup_ideal(), false},
+      {"session_bytes_per_user", ing.session_bytes_per_user(), true},
       {"ivf_build_serial_ms", r.ivf_build_s * 1e3, true},
       {"ivf_build_pool2_ms", r.ivf_build_pool2_s * 1e3, true, 2},
       {"ivf_build_pool4_ms", r.ivf_build_pool4_s * 1e3, true, 4},
@@ -292,6 +416,27 @@ int main(int argc, char** argv) {
               << " events under the block policy (must be 0)\n";
     ++failures;
   }
+  // Session-store memory floor: the interned slot layout must keep the
+  // per-user footprint at least 3x under the seed's ~23.6 KB string-deque
+  // figure, regardless of what a stale baseline recorded.
+  const double bytes_ceiling =
+      bench::IngestBaselineResult::session_bytes_per_user_ceiling();
+  if (ing.session_store_users == 0) {
+    std::cerr << "[gate] REGRESSED session store ingested 0 users in the "
+                 "memory pass\n";
+    ++failures;
+  } else if (ing.session_bytes_per_user() > bytes_ceiling) {
+    std::cerr << "[gate] REGRESSED session store " << ing.session_bytes_per_user()
+              << " bytes/user above the " << bytes_ceiling
+              << " acceptance ceiling (" << ing.session_store_users
+              << " users)\n";
+    ++failures;
+  } else {
+    std::cout << "[gate] ok       session store "
+              << ing.session_bytes_per_user() << " bytes/user (ceiling "
+              << bytes_ceiling << ", " << ing.session_store_users
+              << " users)\n";
+  }
   const double flight_target =
       bench::IngestBaselineResult::flight_overhead_target_pct();
   if (ing.flight_overhead_enforced() &&
@@ -367,6 +512,10 @@ int main(int argc, char** argv) {
     std::cerr << "[gate] REGRESSED ivf build is not pool-invariant: the "
                  "2/4-thread pool builds differ from the serial index\n";
     ++failures;
+  }
+
+  if (!macro_baseline.empty()) {
+    failures += run_macro_gate(macro_baseline, macro_current, tolerance);
   }
 
   if (failures > 0) {

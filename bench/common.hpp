@@ -176,6 +176,19 @@ inline void attach_ingest_status(
   });
 }
 
+/// Publishes the session store's live /statusz rows from any object
+/// exposing store_status() (profile::ProfilingService): resident users,
+/// payload vs budget, eviction totals and the coldest last-seen watermark —
+/// re-read on every scrape so budget pressure and eviction sweeps are
+/// visible while the process runs. No-op without a server. The service must
+/// outlive the server.
+template <typename Service>
+inline void attach_store_status(
+    const std::unique_ptr<obs::HttpServer>& server, const Service& service) {
+  if (server == nullptr) return;
+  server->add_status_provider([&service] { return service.store_status(); });
+}
+
 /// Blocks until stdin closes (EOF / Ctrl-D) so a user can curl the endpoint
 /// after the run's work is done. No-op when the server was not started.
 inline void hold_if_serving(const std::unique_ptr<obs::HttpServer>& server) {

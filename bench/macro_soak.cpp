@@ -1,0 +1,381 @@
+// Macro soak: a simulated operational day against the interned, budgeted,
+// shard-affine session store at million-user scale (the ISSUE-10 tentpole
+// acceptance run). Writes a flat BENCH_macro.json that
+// check_bench_regression --macro-baseline validates.
+//
+// Shape of the run:
+//   1. Day 0: a small synthetic population browses (synth::BrowsingSimulator)
+//      and the service trains its SKIPGRAM model on that day — so the soak's
+//      profile queries exercise the real kNN path.
+//   2. Day 1: `--users` synthetic users (default 1M) stream deterministic
+//      hash-derived interned events through the lock-free shard-affine lane
+//      (one writer thread per store shard, ProfilingService::
+//      ingest_interned_shard), in 10-sim-minute slices. At each slice
+//      boundary the writers quiesce and the epoch work runs:
+//      store.enforce_budget(now) (the hard memory budget), a batched +
+//      per-user profile pass over a sample of active users (p50/p99
+//      latency), and periodically an eviction-correctness audit — a user
+//      active within the eviction lookback must never have been evicted.
+//
+// Recorded: bytes/user (gated <= 8000 — the deque-of-strings seed measured
+// ~23.6 KB/user), RSS, ingest pps, profile p50/p99, event loss (must be 0),
+// eviction counters and audit violations (must be 0), under-budget at end.
+//
+// The default scale needs ~1 GB RAM and a few minutes; `--users=50000` is
+// the ctest smoke scale (-DNETOBS_MACRO_BENCH=ON).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "bench/ingest_baseline.hpp"
+#include "filter/blocklist.hpp"
+#include "net/ingest.hpp"
+#include "profile/service.hpp"
+#include "synth/browsing.hpp"
+
+namespace {
+
+using namespace netobs;
+
+struct SoakConfig {
+  std::size_t users = 1000000;
+  std::size_t shards = 4;
+  std::size_t slices = 144;          ///< 10-sim-minute epochs over day 1
+  std::size_t budget_per_user = 320; ///< store budget = users * this
+  std::size_t train_users = 1500;    ///< day-0 synthetic population
+  std::uint64_t seed = 2021;
+  std::string out = "BENCH_macro.json";
+};
+
+/// splitmix64-style mix for the deterministic per-(user, slice) activity
+/// and host draws — no global RNG state, so shard threads never contend.
+std::uint64_t mix(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  std::uint64_t x = a * 0x9E3779B97F4A7C15ULL + b * 0xBF58476D1CE4E5B9ULL +
+                    c * 0x94D049BB133111EBULL;
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+double rss_mb() {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      return std::strtod(line.c_str() + 6, nullptr) / 1024.0;
+    }
+  }
+  return 0.0;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SoakConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value_of = [&](const char* key) -> const char* {
+      return arg.rfind(key, 0) == 0 ? arg.c_str() + std::string(key).size()
+                                    : nullptr;
+    };
+    if (const char* v = value_of("--users=")) {
+      cfg.users = std::strtoull(v, nullptr, 10);
+    } else if (const char* v2 = value_of("--shards=")) {
+      cfg.shards = std::strtoull(v2, nullptr, 10);
+    } else if (const char* v3 = value_of("--slices=")) {
+      cfg.slices = std::strtoull(v3, nullptr, 10);
+    } else if (const char* v4 = value_of("--budget-per-user=")) {
+      cfg.budget_per_user = std::strtoull(v4, nullptr, 10);
+    } else if (const char* v5 = value_of("--train-users=")) {
+      cfg.train_users = std::strtoull(v5, nullptr, 10);
+    } else if (const char* v6 = value_of("--seed=")) {
+      cfg.seed = std::strtoull(v6, nullptr, 10);
+    } else if (const char* v7 = value_of("--out=")) {
+      cfg.out = v7;
+    } else if (arg == "--help") {
+      std::cout << "usage: " << argv[0]
+                << " [--users=N] [--shards=N] [--slices=N]"
+                   " [--budget-per-user=BYTES] [--train-users=N] [--seed=N]"
+                   " [--out=PATH]\n";
+      return 0;
+    }
+  }
+
+  auto t_total = std::chrono::steady_clock::now();
+
+  // --- world + day-0 training ---------------------------------------------
+  bench::BenchConfig world_cfg{cfg.train_users, 1, cfg.seed, ""};
+  bench::BenchWorld world = bench::make_world(world_cfg);
+  ontology::HostLabeler labeler = world.universe->make_labeler();
+  filter::Blocklist blocklist;
+  blocklist.add_hosts_file("trackers", world.universe->tracker_hosts_file());
+
+  util::InternPool pool;
+  profile::ServiceParams sp;
+  sp.profiler.knn = 50;
+  sp.vocab.min_count = 2;
+  sp.sgns.epochs = 5;
+  sp.store.shards = cfg.shards;
+  sp.store.external_pool = &pool;
+  sp.store.memory_budget_bytes = cfg.users * cfg.budget_per_user;
+  // Shorter than the 2-day training horizon on purpose: the soak covers one
+  // day, so a training-lookback guard would never fire and the budget could
+  // never be enforced. The audit below still proves the invariant the
+  // lookback exists for: no user active inside it is ever evicted.
+  sp.store.eviction_lookback = 2 * util::kHour;
+  profile::ProfilingService service(labeler, &blocklist, sp);
+
+  std::cout << "[soak] users=" << cfg.users << " shards=" << cfg.shards
+            << " slices=" << cfg.slices
+            << " budget=" << sp.store.memory_budget_bytes / (1024 * 1024)
+            << " MB (" << cfg.budget_per_user << " B/user)\n";
+
+  {
+    bench::StageTimer timer("soak_train");
+    synth::BrowsingSimulator sim(*world.universe, *world.population);
+    auto trace = sim.simulate(0, 1);
+    service.ingest(trace.events);
+    if (!service.retrain(0)) {
+      std::cerr << "[soak] day-0 retrain failed\n";
+      return 1;
+    }
+    timer.stop_and_report();
+  }
+
+  // Pre-intern every universe hostname once; the soak then hands the store
+  // nothing but 16-byte InternedEvents, exactly like the ingest pipeline's
+  // shard_sink lane.
+  std::vector<util::InternPool::Id> host_ids;
+  std::vector<std::uint8_t> blocked;  // blocklisted => not audit ground truth
+  host_ids.reserve(world.universe->size());
+  blocked.reserve(world.universe->size());
+  for (std::size_t h = 0; h < world.universe->size(); ++h) {
+    const std::string& name = world.universe->host(h).name;
+    host_ids.push_back(pool.intern(name));
+    blocked.push_back(blocklist.is_blocked(name) ? 1 : 0);
+  }
+  const std::uint64_t hosts = host_ids.size();
+
+  // --- day-1 soak -----------------------------------------------------------
+  profile::SessionStore& store = service.store();
+  const util::Timestamp slice_len =
+      util::kDay / static_cast<util::Timestamp>(cfg.slices);
+  // A user is active in ~4 slices/day; each activity is a 6-event burst
+  // (~24 events/user/day, the shape of interactive browsing).
+  const std::uint64_t activity_period = std::max<std::uint64_t>(
+      1, cfg.slices / 4);
+  constexpr int kBurst = 6;
+  constexpr std::size_t kBatch = 4096;
+
+  // Ground truth for the eviction audit, written only by each user's shard
+  // thread (shard-affine, so no races).
+  std::vector<util::Timestamp> last_event(cfg.users, 0);
+
+  std::uint64_t generated = 0;
+  std::atomic<std::uint64_t> delivered{0};
+  std::uint64_t eviction_violations = 0;
+  std::uint64_t audits = 0;
+  std::size_t peak_resident = 0;
+  double ingest_wall_s = 0.0;
+  std::vector<double> profile_ms;
+  profile_ms.reserve(cfg.slices * 64);
+
+  std::vector<std::uint8_t> resident;  // audit scratch
+  for (std::size_t slice = 0; slice < cfg.slices; ++slice) {
+    const util::Timestamp t0 = util::kDay + static_cast<util::Timestamp>(
+                                                slice) * slice_len;
+    const util::Timestamp now = t0 + slice_len - 1;
+
+    // Ingest phase: one writer thread per shard over the lock-free lane.
+    auto t_ingest = std::chrono::steady_clock::now();
+    std::vector<std::thread> writers;
+    writers.reserve(cfg.shards);
+    for (std::size_t shard = 0; shard < cfg.shards; ++shard) {
+      writers.emplace_back([&, shard] {
+        std::vector<net::InternedEvent> batch;
+        batch.reserve(kBatch);
+        std::uint64_t local = 0;
+        auto flush = [&] {
+          service.ingest_interned_shard(shard, batch, pool);
+          local += batch.size();
+          batch.clear();
+        };
+        for (std::uint64_t user = shard; user < cfg.users;
+             user += cfg.shards) {
+          if (mix(user, slice, cfg.seed) % activity_period != 0) continue;
+          for (int e = 0; e < kBurst; ++e) {
+            std::uint64_t h = mix(user, slice * 31 + e, cfg.seed ^ 0xb0b);
+            // 70% of visits hit one of the user's 8 favourite hosts.
+            std::uint64_t host = (h % 10) < 7
+                                     ? mix(user, (h >> 4) % 8, 0x5eed) % hosts
+                                     : h % hosts;
+            util::Timestamp ts =
+                t0 + static_cast<util::Timestamp>(
+                         (h >> 8) % static_cast<std::uint64_t>(slice_len));
+            batch.push_back(
+                {static_cast<std::uint32_t>(user), host_ids[host], ts});
+            // Audit ground truth tracks only events the blocklist lets
+            // through — a user whose burst was all trackers never reaches
+            // the store, which is filtering, not eviction.
+            if (blocked[host] == 0) {
+              last_event[user] = std::max(last_event[user], ts);
+            }
+            if (batch.size() == kBatch) flush();
+          }
+        }
+        flush();
+        delivered.fetch_add(local, std::memory_order_relaxed);
+      });
+    }
+    for (auto& t : writers) t.join();
+    ingest_wall_s += seconds_since(t_ingest);
+
+    // Epoch work (quiesced): budget enforcement, then telemetry.
+    store.enforce_budget(now);
+    peak_resident = std::max(peak_resident, store.user_count());
+
+    // Profile a deterministic sample of this slice's active users: one
+    // batched sweep (the reporting-burst path) plus per-user calls for the
+    // latency distribution.
+    std::vector<std::uint32_t> sample;
+    for (std::uint64_t user = slice % 17; user < cfg.users && sample.size() < 64;
+         user += 17) {
+      if (mix(user, slice, cfg.seed) % activity_period == 0) {
+        sample.push_back(static_cast<std::uint32_t>(user));
+      }
+    }
+    if (!sample.empty()) {
+      (void)service.profile_users(sample, now);
+      for (std::uint32_t user : sample) {
+        auto t_p = std::chrono::steady_clock::now();
+        (void)service.profile_user(user, now);
+        profile_ms.push_back(seconds_since(t_p) * 1e3);
+      }
+    }
+
+    // Eviction audit every simulated 2 hours: any user with an event inside
+    // the lookback window must still be resident.
+    if ((slice + 1) % 12 == 0 || slice + 1 == cfg.slices) {
+      ++audits;
+      resident.assign(cfg.users, 0);
+      store.for_each_user([&](std::uint32_t user, util::Timestamp) {
+        if (user < cfg.users) resident[user] = 1;
+      });
+      util::Timestamp cutoff = now - store.eviction_lookback();
+      for (std::uint64_t user = 0; user < cfg.users; ++user) {
+        if (last_event[user] >= cutoff && last_event[user] > 0 &&
+            resident[user] == 0) {
+          ++eviction_violations;
+        }
+      }
+    }
+  }
+
+  // Tally generated events exactly (same hash walk as the writers).
+  for (std::size_t slice = 0; slice < cfg.slices; ++slice) {
+    for (std::uint64_t user = 0; user < cfg.users; ++user) {
+      if (mix(user, slice, cfg.seed) % activity_period == 0) {
+        generated += kBurst;
+      }
+    }
+  }
+
+  double total_s = seconds_since(t_total);
+  auto stats = store.eviction_stats();
+  const std::uint64_t loss = generated - delivered.load();
+  const std::size_t resident_users = store.user_count();
+  const double bytes_per_user =
+      resident_users > 0 ? static_cast<double>(store.memory_bytes()) /
+                               static_cast<double>(resident_users)
+                         : 0.0;
+  const bool under_budget =
+      store.payload_bytes() <= store.budget_bytes() && !stats.over_budget;
+
+  std::sort(profile_ms.begin(), profile_ms.end());
+  auto quantile = [&](double q) {
+    if (profile_ms.empty()) return 0.0;
+    std::size_t i = static_cast<std::size_t>(
+        q * static_cast<double>(profile_ms.size() - 1));
+    return profile_ms[i];
+  };
+  const double p50 = quantile(0.50);
+  const double p99 = quantile(0.99);
+  const double ingest_pps =
+      ingest_wall_s > 0.0 ? static_cast<double>(delivered.load()) /
+                                ingest_wall_s
+                          : 0.0;
+
+  std::cout << "[soak] events: generated=" << generated
+            << " delivered=" << delivered.load() << " loss=" << loss
+            << " filtered=" << service.filtered_events() << "\n"
+            << "[soak] store: resident=" << resident_users
+            << " (peak " << peak_resident << ") payload="
+            << store.payload_bytes() / (1024 * 1024) << " MB bytes/user="
+            << bytes_per_user << " under_budget=" << under_budget << "\n"
+            << "[soak] eviction: evicted_users=" << stats.evicted_users
+            << " runs=" << stats.runs << " audit_violations="
+            << eviction_violations << " (" << audits << " audits)\n"
+            << "[soak] ingest " << ingest_pps / 1e6 << " M events/s | profile"
+            << " p50=" << p50 << " ms p99=" << p99 << " ms | rss="
+            << rss_mb() << " MB | wall=" << total_s << " s\n";
+
+  std::ofstream out(cfg.out);
+  if (!out) {
+    std::cerr << "[soak] cannot write " << cfg.out << "\n";
+    return 1;
+  }
+  out << "{\n"
+      << "  \"schema\": \"netobs-bench-macro-v1\",\n"
+      << "  \"macro_users\": " << cfg.users << ",\n"
+      << "  \"macro_shards\": " << cfg.shards << ",\n"
+      << "  \"macro_slices\": " << cfg.slices << ",\n"
+      << "  \"macro_seed\": " << cfg.seed << ",\n"
+      << "  \"macro_hardware_threads\": "
+      << std::thread::hardware_concurrency() << ",\n"
+      << "  \"macro_hostnames\": " << hosts << ",\n"
+      << "  \"macro_generated_events\": " << generated << ",\n"
+      << "  \"macro_delivered_events\": " << delivered.load() << ",\n"
+      << "  \"macro_event_loss\": " << loss << ",\n"
+      << "  \"macro_filtered_events\": " << service.filtered_events() << ",\n"
+      << "  \"macro_budget_bytes\": " << store.budget_bytes() << ",\n"
+      << "  \"macro_payload_bytes\": " << store.payload_bytes() << ",\n"
+      << "  \"macro_memory_bytes\": " << store.memory_bytes() << ",\n"
+      << "  \"macro_pool_bytes\": " << pool.bytes() << ",\n"
+      << "  \"macro_resident_users\": " << resident_users << ",\n"
+      << "  \"macro_peak_resident_users\": " << peak_resident << ",\n"
+      << "  \"macro_bytes_per_user\": " << bytes_per_user << ",\n"
+      << "  \"macro_bytes_per_user_ceiling\": "
+      << bench::IngestBaselineResult::session_bytes_per_user_ceiling()
+      << ",\n"
+      << "  \"macro_evicted_users\": " << stats.evicted_users << ",\n"
+      << "  \"macro_evicted_events\": " << stats.evicted_events << ",\n"
+      << "  \"macro_eviction_runs\": " << stats.runs << ",\n"
+      << "  \"macro_eviction_audits\": " << audits << ",\n"
+      << "  \"macro_eviction_violations\": " << eviction_violations << ",\n"
+      << "  \"macro_under_budget\": " << (under_budget ? 1 : 0) << ",\n"
+      << "  \"macro_ingest_wall_s\": " << ingest_wall_s << ",\n"
+      << "  \"macro_ingest_pps\": " << ingest_pps << ",\n"
+      << "  \"macro_profile_count\": " << profile_ms.size() << ",\n"
+      << "  \"macro_profile_p50_ms\": " << p50 << ",\n"
+      << "  \"macro_profile_p99_ms\": " << p99 << ",\n"
+      << "  \"macro_rss_mb\": " << rss_mb() << ",\n"
+      << "  \"macro_wall_s\": " << total_s << "\n"
+      << "}\n";
+  std::cout << "[soak] wrote " << cfg.out << "\n";
+  return 0;
+}

@@ -598,6 +598,10 @@ inline bool write_micro_baseline_json(const std::string& path,
       << "    \"memory_tracked_users\": " << ing.memory.users << ",\n"
       << "    \"memory_bytes_per_user\": " << ing.memory.bytes_per_user
       << ",\n"
+      << "    \"session_store_bytes\": " << ing.session_store_bytes << ",\n"
+      << "    \"session_store_users\": " << ing.session_store_users << ",\n"
+      << "    \"session_bytes_per_user\": " << ing.session_bytes_per_user()
+      << ",\n"
       << "    \"subsystems\": {";
   for (std::size_t i = 0; i < ing.memory.subsystems.size(); ++i) {
     const auto& sub = ing.memory.subsystems[i];
@@ -705,6 +709,14 @@ inline bool write_micro_baseline_json(const std::string& path,
       << (!ing.flight_overhead_enforced() ||
                   ing.flight_overhead_pct() <=
                       IngestBaselineResult::flight_overhead_target_pct()
+              ? "true"
+              : "false")
+      << ",\n"
+      << "    \"session_bytes_per_user_ceiling\": "
+      << IngestBaselineResult::session_bytes_per_user_ceiling() << ",\n"
+      << "    \"session_bytes_per_user_met\": "
+      << (ing.session_bytes_per_user() <=
+                  IngestBaselineResult::session_bytes_per_user_ceiling()
               ? "true"
               : "false")
       << "\n"

@@ -12,6 +12,9 @@
 // single-threaded observer event stream bit for bit).
 // --train-threads=N sets the Hogwild worker count of the daily SKIPGRAM
 // retrain (default: hardware concurrency; 1 is the bit-exact serial path).
+// --store-budget-kb=N caps the session store's payload (0 = unlimited);
+// --store-lookback-min=N protects users active in the last N minutes from
+// eviction. Budget state is live on /statusz via store_status().
 #include <algorithm>
 #include <cstdlib>
 #include <fstream>
@@ -36,6 +39,8 @@ int main(int argc, char** argv) {
   auto cfg = bench::parse_config(argc, argv, {400, 4, 7, ""});
   std::size_t ingest_shards = 4;
   std::size_t train_threads = 0;  // 0 = keep the service default (hardware)
+  std::uint64_t store_budget_kb = 0;  // 0 = unlimited
+  std::uint64_t store_lookback_min = 0;  // 0 = keep the store default
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--ingest-shards=", 0) == 0) {
@@ -45,6 +50,14 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--train-threads=", 0) == 0) {
       train_threads = static_cast<std::size_t>(std::strtoull(
           arg.c_str() + std::string("--train-threads=").size(), nullptr, 10));
+    } else if (arg.rfind("--store-budget-kb=", 0) == 0) {
+      store_budget_kb = std::strtoull(
+          arg.c_str() + std::string("--store-budget-kb=").size(), nullptr,
+          10);
+    } else if (arg.rfind("--store-lookback-min=", 0) == 0) {
+      store_lookback_min = std::strtoull(
+          arg.c_str() + std::string("--store-lookback-min=").size(), nullptr,
+          10);
     }
   }
   auto server = bench::serve_telemetry(cfg);
@@ -90,10 +103,21 @@ int main(int argc, char** argv) {
   sp.vocab.min_count = 2;
   sp.sgns.epochs = 15;
   if (train_threads > 0) sp.sgns.threads = train_threads;
+  // Session store: shard-affine with the ingest pipeline, optionally under
+  // a hard memory budget with coldest-first idle eviction.
+  sp.store.shards = ingest_shards;
+  if (store_budget_kb > 0) {
+    sp.store.memory_budget_bytes = store_budget_kb * 1024;
+  }
+  if (store_lookback_min > 0) {
+    sp.store.eviction_lookback =
+        static_cast<util::Timestamp>(store_lookback_min) * util::kMinute;
+  }
   std::cout << "retrain: " << std::max<std::size_t>(1, sp.sgns.threads)
             << " Hogwild worker(s)\n";
   profile::ProfilingService service(labeler, &blocklist, sp);
   bench::attach_knn_status(server, service);
+  bench::attach_store_status(server, service);
 
   // --- Passive observation at a WiFi vantage (per-device MAC demux),
   // through the sharded ingest pipeline: packets are routed to per-shard
@@ -137,6 +161,13 @@ int main(int argc, char** argv) {
   std::cout << "back-end: " << service.store().event_count()
             << " events kept, " << service.filtered_events()
             << " tracker connections dropped\n";
+  std::cout << "store: " << service.store().user_count()
+            << " resident users in " << service.store().memory_bytes() / 1024
+            << " KiB ("
+            << (store_budget_kb > 0 ? std::to_string(store_budget_kb) + " KiB budget, "
+                                    : std::string("no budget, "))
+            << service.store().eviction_stats().evicted_users
+            << " users evicted)\n";
   std::cout << "flight: " << flight.sampled_count() << " events traced 1/"
             << fro.sample_every << " (" << flight.completed_count()
             << " closed at session, " << flight.in_flight()

@@ -400,9 +400,22 @@ void IngestPipeline::worker_loop(Worker& w) {
         options_.flight->stamp_keys(obs::FlightHop::kEnqueue, keys);
       }
       keys.clear();
-      double stalled = 0.0;
-      ring_.push(events, &stalled);
-      w.stall_total += stalled;
+      if (options_.shard_sink) {
+        // Shard-affine direct delivery: no ring, no consumer hop, no
+        // backpressure loss — the worker *is* the delivery thread.
+        options_.shard_sink(w.index, std::span<const InternedEvent>(events));
+        delivered_direct_.fetch_add(events.size(), std::memory_order_relaxed);
+        if (options_.registry_metrics) {
+          IngestMetrics& metrics = IngestMetrics::get();
+          metrics.delivered.inc(events.size());
+          metrics.event_rate.record(static_cast<double>(events.size()));
+          metrics.interned.set(static_cast<double>(pool_.size()));
+        }
+      } else {
+        double stalled = 0.0;
+        ring_.push(events, &stalled);
+        w.stall_total += stalled;
+      }
     }
     sync_worker_metrics(w);
     w.flow_bytes.store(w.engine->flow_memory_bytes(),
@@ -463,6 +476,9 @@ void IngestPipeline::flush() {
     std::unique_lock<std::mutex> lk(w->mutex);
     w->idle_cv.wait(lk, [&] { return w->queue.empty() && !w->busy; });
   }
+  // Direct mode: delivery happens on the worker threads, so idle workers
+  // means every event has already reached the shard sink.
+  if (options_.shard_sink) return;
   std::uint64_t produced = 0;
   for (auto& w : workers_) {
     produced += w->produced.load(std::memory_order_acquire);
@@ -509,6 +525,7 @@ IngestStats IngestPipeline::stats() const {
     std::lock_guard<std::mutex> lk(consumer_mutex_);
     out.delivered = delivered_;
   }
+  out.delivered += delivered_direct_.load(std::memory_order_relaxed);
   out.distinct_hostnames = pool_.size();
   return out;
 }

@@ -31,6 +31,7 @@
 // discarded and counted in IngestStats::dropped).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -84,6 +85,16 @@ struct IngestOptions {
   /// workers open records for sampled events (kParse/kEnqueue) and the
   /// consumer stamps kDequeue; must outlive the pipeline.
   obs::FlightRecorder* flight = nullptr;
+  /// Shard-affine delivery: when set, each worker hands its event batches
+  /// to this callback *on the worker thread* — the MPSC ring and consumer
+  /// thread are bypassed entirely, so per-shard delivery is lock-free and
+  /// FIFO. The callback must tolerate concurrent calls from distinct
+  /// shards (it receives the shard index; pair it with a shard-affine
+  /// receiver such as ProfilingService::ingest_interned_shard). The span
+  /// is only valid for the duration of the call. kDequeue flight stamps
+  /// are skipped in this mode (there is no queue hop).
+  std::function<void(std::size_t shard, std::span<const InternedEvent>)>
+      shard_sink;
 };
 
 /// Aggregated pipeline counters. Exact after flush(); a live snapshot
@@ -259,6 +270,8 @@ class IngestPipeline {
   mutable std::mutex consumer_mutex_;
   std::condition_variable consumer_cv_;
   std::uint64_t delivered_ = 0;  ///< guarded by consumer_mutex_
+  /// Events handed to shard_sink on worker threads (direct mode only).
+  std::atomic<std::uint64_t> delivered_direct_{0};
   bool stopped_ = false;         ///< producer-thread only
 };
 

@@ -42,7 +42,10 @@ struct SessionProfiler::Pending {
   SessionProfile profile;
   std::vector<double> accum;
   double total_weight = 0.0;
-  std::unordered_set<std::string> in_session_labeled;
+  // Views into the caller's hostname strings (or the intern pool's stable
+  // names) — valid for the duration of one profile call, and cheaper than
+  // copying every labeled hostname into the set.
+  std::unordered_set<std::string_view> in_session_labeled;
 
   void contribute(const ontology::CategoryVector& label, double alpha) {
     for (std::size_t i = 0; i < label.size(); ++i) {
@@ -53,7 +56,7 @@ struct SessionProfiler::Pending {
 };
 
 SessionProfiler::Pending SessionProfiler::begin_profile(
-    const std::vector<std::string>& hostnames) const {
+    std::span<const std::string* const> hostnames) const {
   Pending pending;
   SessionProfile& out = pending.profile;
   out.categories.assign(labeler_->category_count(), 0.0F);
@@ -62,8 +65,8 @@ SessionProfiler::Pending SessionProfiler::begin_profile(
   // --- Aggregate session vector s = g({h}).
   std::vector<std::span<const float>> rows;
   std::vector<std::vector<float>> normalized_storage;
-  for (const auto& host : hostnames) {
-    auto vec = embedding_->vector_of(host);
+  for (const std::string* host : hostnames) {
+    auto vec = embedding_->vector_of(*host);
     if (!vec) continue;
     if (params_.aggregation == Aggregation::kNormalizedMean) {
       normalized_storage.emplace_back(vec->begin(), vec->end());
@@ -82,15 +85,23 @@ SessionProfiler::Pending SessionProfiler::begin_profile(
   // --- alpha = 1 contributions of labeled session hosts (L). Labeled kNN
   //     hosts come later via apply_neighbors; only hosts in H_L contribute
   //     category mass (the Eq. 4 sum runs over the intersection with H_L).
-  for (const auto& host : hostnames) {
-    if (const auto* label = labeler_->label_of(host)) {
-      if (pending.in_session_labeled.insert(host).second) {
+  for (const std::string* host : hostnames) {
+    if (const auto* label = labeler_->label_of(*host)) {
+      if (pending.in_session_labeled.insert(*host).second) {
         pending.contribute(*label, 1.0);
         ++out.labeled_in_session;
       }
     }
   }
   return pending;
+}
+
+std::vector<const std::string*> SessionProfiler::resolve_ptrs(
+    std::span<const util::InternPool::Id> ids, const util::InternPool& pool) {
+  std::vector<const std::string*> ptrs;
+  ptrs.reserve(ids.size());
+  for (util::InternPool::Id id : ids) ptrs.push_back(&pool.name(id));
+  return ptrs;
 }
 
 void SessionProfiler::apply_neighbors(
@@ -121,9 +132,21 @@ SessionProfile SessionProfiler::finish_profile(Pending&& pending) const {
   return out;
 }
 
+namespace {
+
+std::vector<const std::string*> to_ptrs(
+    const std::vector<std::string>& hostnames) {
+  std::vector<const std::string*> ptrs;
+  ptrs.reserve(hostnames.size());
+  for (const auto& host : hostnames) ptrs.push_back(&host);
+  return ptrs;
+}
+
+}  // namespace
+
 SessionProfile SessionProfiler::profile(
     const std::vector<std::string>& hostnames) const {
-  Pending pending = begin_profile(hostnames);
+  Pending pending = begin_profile(to_ptrs(hostnames));
   if (params_.use_embedding_neighbors &&
       !pending.profile.session_vector.empty()) {
     apply_neighbors(
@@ -132,34 +155,66 @@ SessionProfile SessionProfiler::profile(
   return finish_profile(std::move(pending));
 }
 
+SessionProfile SessionProfiler::profile_interned(
+    std::span<const util::InternPool::Id> ids,
+    const util::InternPool& pool) const {
+  Pending pending = begin_profile(resolve_ptrs(ids, pool));
+  if (params_.use_embedding_neighbors &&
+      !pending.profile.session_vector.empty()) {
+    apply_neighbors(
+        pending, index_->query(pending.profile.session_vector, params_.knn));
+  }
+  return finish_profile(std::move(pending));
+}
+
+void SessionProfiler::apply_batch_neighbors(
+    std::vector<Pending>& pendings) const {
+  // One batched call answers every session with a usable vector — the
+  // exact backend sweeps the matrix once for the whole batch, the IVF
+  // backend runs its list-centric batched scan; query_batch returns
+  // empty neighbour lists for the rest.
+  std::vector<std::vector<float>> queries;
+  std::vector<std::size_t> owner;
+  queries.reserve(pendings.size());
+  for (std::size_t i = 0; i < pendings.size(); ++i) {
+    if (pendings[i].profile.session_vector.empty()) continue;
+    queries.push_back(pendings[i].profile.session_vector);
+    owner.push_back(i);
+  }
+  if (!queries.empty()) {
+    auto neighbor_lists = index_->query_batch(queries, params_.knn);
+    for (std::size_t qi = 0; qi < owner.size(); ++qi) {
+      apply_neighbors(pendings[owner[qi]], neighbor_lists[qi]);
+    }
+  }
+}
+
 std::vector<SessionProfile> SessionProfiler::profile_batch(
     const std::vector<std::vector<std::string>>& sessions) const {
   std::vector<Pending> pendings;
   pendings.reserve(sessions.size());
   for (const auto& hostnames : sessions) {
-    pendings.push_back(begin_profile(hostnames));
+    pendings.push_back(begin_profile(to_ptrs(hostnames)));
   }
+  if (params_.use_embedding_neighbors) apply_batch_neighbors(pendings);
 
-  if (params_.use_embedding_neighbors) {
-    // One batched call answers every session with a usable vector — the
-    // exact backend sweeps the matrix once for the whole batch, the IVF
-    // backend runs its list-centric batched scan; query_batch returns
-    // empty neighbour lists for the rest.
-    std::vector<std::vector<float>> queries;
-    std::vector<std::size_t> owner;
-    queries.reserve(pendings.size());
-    for (std::size_t i = 0; i < pendings.size(); ++i) {
-      if (pendings[i].profile.session_vector.empty()) continue;
-      queries.push_back(pendings[i].profile.session_vector);
-      owner.push_back(i);
-    }
-    if (!queries.empty()) {
-      auto neighbor_lists = index_->query_batch(queries, params_.knn);
-      for (std::size_t qi = 0; qi < owner.size(); ++qi) {
-        apply_neighbors(pendings[owner[qi]], neighbor_lists[qi]);
-      }
-    }
+  std::vector<SessionProfile> out;
+  out.reserve(pendings.size());
+  for (auto& pending : pendings) {
+    out.push_back(finish_profile(std::move(pending)));
   }
+  return out;
+}
+
+std::vector<SessionProfile> SessionProfiler::profile_interned_batch(
+    const std::vector<std::vector<util::InternPool::Id>>& sessions,
+    const util::InternPool& pool) const {
+  std::vector<Pending> pendings;
+  pendings.reserve(sessions.size());
+  for (const auto& ids : sessions) {
+    pendings.push_back(begin_profile(resolve_ptrs(ids, pool)));
+  }
+  if (params_.use_embedding_neighbors) apply_batch_neighbors(pendings);
 
   std::vector<SessionProfile> out;
   out.reserve(pendings.size());

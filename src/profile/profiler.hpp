@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,7 @@
 #include "embedding/sgns.hpp"
 #include "ontology/host_labeler.hpp"
 #include "profile/session.hpp"
+#include "util/intern_pool.hpp"
 
 namespace netobs::profile {
 
@@ -79,14 +81,31 @@ class SessionProfiler {
   std::vector<SessionProfile> profile_batch(
       const std::vector<std::vector<std::string>>& sessions) const;
 
+  /// Interned-session fast path: hostnames arrive as InternPool ids (e.g.
+  /// from SessionStore::session_ids_of) and resolve against `pool` without
+  /// materialising per-session string vectors. Bit-identical to profile()
+  /// on the resolved hostname list.
+  SessionProfile profile_interned(std::span<const util::InternPool::Id> ids,
+                                  const util::InternPool& pool) const;
+  std::vector<SessionProfile> profile_interned_batch(
+      const std::vector<std::vector<util::InternPool::Id>>& sessions,
+      const util::InternPool& pool) const;
+
   const ProfilerParams& params() const { return params_; }
 
  private:
   struct Pending;
 
   /// Stages 1-2 of the pipeline: session-vector aggregation plus the
-  /// alpha = 1 contributions of labeled in-session hosts.
-  Pending begin_profile(const std::vector<std::string>& hostnames) const;
+  /// alpha = 1 contributions of labeled in-session hosts. The pointed-to
+  /// strings must stay alive until finish_profile (Pending keeps views).
+  Pending begin_profile(std::span<const std::string* const> hostnames) const;
+  /// One batched kNN sweep feeding apply_neighbors for every pending
+  /// profile with a usable session vector.
+  void apply_batch_neighbors(std::vector<Pending>& pendings) const;
+  static std::vector<const std::string*> resolve_ptrs(
+      std::span<const util::InternPool::Id> ids,
+      const util::InternPool& pool);
   /// Stage 3: alpha = [cos]_+ contributions of labeled kNN neighbours.
   void apply_neighbors(
       Pending& pending,

@@ -31,6 +31,7 @@ ProfilingService::ProfilingService(const ontology::HostLabeler& labeler,
     : labeler_(&labeler),
       blocklist_(blocklist),
       params_(params),
+      store_(params.store),
       ingest_rate_(obs::MetricsRegistry::global(),
                    "netobs_profile_ingested_per_second",
                    "Hostname events accepted per second (sliding window)"),
@@ -62,6 +63,19 @@ ProfilingService::ProfilingService(const ontology::HostLabeler& labeler,
                              "Hostname events held by the session store");
   store_users_ = &reg.gauge("netobs_profile_store_users",
                             "Users with at least one stored event");
+  store_payload_bytes_ =
+      &reg.gauge("netobs_profile_store_payload_bytes",
+                 "Budgeted session-store payload bytes (shard-invariant)");
+  store_budget_bytes_ =
+      &reg.gauge("netobs_profile_store_budget_bytes",
+                 "Configured session-store payload budget (0 = unbounded)");
+  store_evicted_users_ =
+      &reg.gauge("netobs_profile_store_evicted_users",
+                 "Users evicted by the session-store budget (monotone)");
+  store_evicted_events_ =
+      &reg.gauge("netobs_profile_store_evicted_events",
+                 "Events dropped with evicted users (monotone)");
+  store_budget_bytes_->set(static_cast<double>(store_.budget_bytes()));
   register_memory_probes();
 }
 
@@ -104,9 +118,42 @@ bool ProfilingService::ingest_one(std::uint32_t user,
   return true;
 }
 
+bool ProfilingService::ingest_one_id(std::uint32_t user,
+                                     util::Timestamp timestamp,
+                                     util::InternPool::Id host_id,
+                                     const util::InternPool& pool,
+                                     bool shard_affine) {
+  // The pool's names are stable, so the blocklist check costs no copy.
+  const std::string& hostname = pool.name(host_id);
+  if (blocklist_ != nullptr && blocklist_->is_blocked(hostname)) {
+    dropped_->inc();
+    return false;
+  }
+  ingested_->inc();
+  ingest_rate_.record();
+  bool shared_pool = &pool == &store_.pool();
+  if (shard_affine) {
+    std::size_t shard = store_.shard_of(user);
+    if (shared_pool) {
+      store_.ingest_shard_id(shard, user, timestamp, host_id);
+    } else {
+      store_.ingest_shard(shard, user, timestamp, hostname);
+    }
+  } else if (shared_pool) {
+    store_.ingest_id(user, timestamp, host_id);
+  } else {
+    store_.ingest(user, timestamp, hostname);
+  }
+  return true;
+}
+
 void ProfilingService::sync_store_gauges() {
   store_events_->set(static_cast<double>(store_.event_count()));
   store_users_->set(static_cast<double>(store_.user_count()));
+  store_payload_bytes_->set(static_cast<double>(store_.payload_bytes()));
+  SessionEvictionStats ev = store_.eviction_stats();
+  store_evicted_users_->set(static_cast<double>(ev.evicted_users));
+  store_evicted_events_->set(static_cast<double>(ev.evicted_events));
   store_bytes_.store(store_.memory_bytes(), std::memory_order_relaxed);
   store_users_count_.store(store_.user_count(), std::memory_order_relaxed);
 }
@@ -137,7 +184,23 @@ void ProfilingService::ingest_interned(
     const util::InternPool& pool) {
   for (const auto& e : events) {
     if (e.host_id == util::InternPool::kInvalidId) continue;
-    bool accepted = ingest_one(e.user_id, e.timestamp, pool.name(e.host_id));
+    bool accepted = ingest_one_id(e.user_id, e.timestamp, e.host_id, pool,
+                                  /*shard_affine=*/false);
+    if (accepted && flight_ != nullptr) {
+      flight_->complete_session(e.user_id, e.host_id, e.timestamp);
+    }
+  }
+  sync_store_gauges();
+}
+
+void ProfilingService::ingest_interned_shard(
+    std::size_t shard, std::span<const net::InternedEvent> events,
+    const util::InternPool& pool) {
+  (void)shard;  // ownership is recomputed per user; see header contract
+  for (const auto& e : events) {
+    if (e.host_id == util::InternPool::kInvalidId) continue;
+    bool accepted = ingest_one_id(e.user_id, e.timestamp, e.host_id, pool,
+                                  /*shard_affine=*/true);
     if (accepted && flight_ != nullptr) {
       flight_->complete_session(e.user_id, e.host_id, e.timestamp);
     }
@@ -147,7 +210,16 @@ void ProfilingService::ingest_interned(
 
 bool ProfilingService::retrain(std::int64_t train_day) {
   obs::Span span("profile.retrain", retrain_seconds_);
-  auto sequences = store_.day_sequences(train_day);
+  // Iterate the day's visits as interned ids (no per-user key copy, no
+  // string churn in the scan) and resolve once into the trainer's string
+  // sequences; sorting keeps the result identical to day_sequences().
+  std::vector<embedding::Sequence> sequences;
+  store_.for_each_day_id_sequence(
+      train_day,
+      [&](std::uint32_t, std::span<const SessionStore::Id> ids) {
+        sequences.push_back(store_.resolve(ids));
+      });
+  std::sort(sequences.begin(), sequences.end());
   if (sequences.empty()) {
     retrain_failures_->inc();
     obs::log_warn(kLogSite, "retrain skipped: no data for day",
@@ -268,6 +340,37 @@ std::vector<std::pair<std::string, std::string>> ProfilingService::knn_status()
   return out;
 }
 
+std::vector<std::pair<std::string, std::string>>
+ProfilingService::store_status() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  SessionEvictionStats ev = store_.eviction_stats();
+  std::size_t users = store_.user_count();
+  std::size_t mem = store_.memory_bytes();
+  out.emplace_back("store_shards", std::to_string(store_.shard_count()));
+  out.emplace_back("store_users", std::to_string(users));
+  out.emplace_back("store_events", std::to_string(store_.event_count()));
+  out.emplace_back("store_budget_bytes", std::to_string(store_.budget_bytes()));
+  out.emplace_back("store_payload_bytes",
+                   std::to_string(store_.payload_bytes()));
+  out.emplace_back("store_memory_bytes", std::to_string(mem));
+  out.emplace_back(
+      "store_bytes_per_user",
+      std::to_string(users > 0 ? mem / users : 0));
+  out.emplace_back("store_evicted_users", std::to_string(ev.evicted_users));
+  out.emplace_back("store_evicted_events", std::to_string(ev.evicted_events));
+  out.emplace_back("store_eviction_runs", std::to_string(ev.runs));
+  out.emplace_back("store_over_budget", ev.over_budget ? "1" : "0");
+  // Age of the coldest resident as of the last enforce_budget() run (the
+  // pass that scans last_seen); 0 before any run.
+  util::Timestamp oldest_age = 0;
+  if (ev.runs > 0 && ev.coldest_last_seen > 0) {
+    oldest_age = std::max<util::Timestamp>(
+        0, store_.max_timestamp() - ev.coldest_last_seen);
+  }
+  out.emplace_back("store_oldest_resident_age_s", std::to_string(oldest_age));
+  return out;
+}
+
 const embedding::HostEmbedding& ProfilingService::model() const {
   if (!model_) throw std::logic_error("ProfilingService: no model trained");
   return *model_;
@@ -285,7 +388,12 @@ SessionProfile ProfilingService::profile_user(std::uint32_t user,
   }
   obs::ScopedTimer timer(profile_seconds_);
   profiles_->inc();
-  SessionProfile result = profiler_->profile(session_of(user, now));
+  // Interned query path: the session's host ids resolve against the store
+  // pool inside the profiler — no per-profile string vector. Bit-identical
+  // to profiling session_of(user, now).
+  std::vector<SessionStore::Id> ids;
+  store_.session_ids_of(user, now, params_.profile_window, ids);
+  SessionProfile result = profiler_->profile_interned(ids, store_.pool());
   profile_latency_q_.observe(timer.stop());
   if (flight_ != nullptr) flight_->record_profile(user);
   return result;
@@ -322,12 +430,26 @@ std::vector<SessionProfile> ProfilingService::profile_batch(
 
 std::vector<SessionProfile> ProfilingService::profile_users(
     const std::vector<std::uint32_t>& users, util::Timestamp now) const {
-  std::vector<std::vector<std::string>> sessions;
-  sessions.reserve(users.size());
-  for (std::uint32_t user : users) {
-    sessions.push_back(session_of(user, now).hostnames);
+  if (!profiler_) {
+    throw std::logic_error("ProfilingService: profile before retrain()");
   }
-  std::vector<SessionProfile> results = profile_batch(sessions);
+  std::vector<std::vector<SessionStore::Id>> sessions;
+  sessions.reserve(users.size());
+  std::vector<SessionStore::Id> ids;
+  for (std::uint32_t user : users) {
+    store_.session_ids_of(user, now, params_.profile_window, ids);
+    sessions.emplace_back(ids.begin(), ids.end());
+  }
+  obs::ScopedTimer timer(profile_seconds_);
+  profiles_->inc(sessions.size());
+  std::vector<SessionProfile> results =
+      profiler_->profile_interned_batch(sessions, store_.pool());
+  // One quantile sample per profile: the batch sweep amortises the matrix
+  // scan, so per-profile latency is batch time divided by batch size.
+  if (!sessions.empty()) {
+    profile_latency_q_.observe(timer.stop() /
+                               static_cast<double>(sessions.size()));
+  }
   if (flight_ != nullptr) {
     for (std::uint32_t user : users) flight_->record_profile(user);
   }

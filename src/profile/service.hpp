@@ -63,6 +63,11 @@ struct ServiceParams {
   /// IVF tuning; only read when knn_backend == kIvf. Under warm_start the
   /// daily rebuild also reuses the previous day's coarse quantizer.
   embedding::IvfParams ivf;
+  /// Session-store layout: shard count (match the ingest pipeline's for the
+  /// lock-free ingest_interned_shard path), memory budget and eviction
+  /// lookback, and optionally the pipeline's shared InternPool (which turns
+  /// ingest_interned into a zero-copy id hand-off).
+  SessionStoreParams store;
 };
 
 class ProfilingService {
@@ -93,6 +98,16 @@ class ProfilingService {
   ///   };
   void ingest_interned(std::span<const net::InternedEvent> events,
                        const util::InternPool& pool);
+
+  /// Shard-affine interned batch for IngestOptions::shard_sink: safe to
+  /// call concurrently from one worker thread per shard, with no locks on
+  /// the store path, provided the store's shard count equals the pipeline's
+  /// (ServiceParams::store.shards) — both stride users the same way, so a
+  /// worker's events land in exactly one sub-store. Never auto-evicts;
+  /// call store().enforce_budget() from a quiesced point.
+  void ingest_interned_shard(std::size_t shard,
+                             std::span<const net::InternedEvent> events,
+                             const util::InternPool& pool);
 
   /// Number of events dropped by the blocklist since this service was
   /// constructed. Thin reader over the registry counter
@@ -144,6 +159,11 @@ class ProfilingService {
   /// providers (obs::HttpServer::add_status_provider).
   std::vector<std::pair<std::string, std::string>> knn_status() const;
 
+  /// Key/value lines describing session-store occupancy, budget and
+  /// eviction state for /statusz (budget bytes, live payload/heap bytes,
+  /// users evicted, oldest resident age).
+  std::vector<std::pair<std::string, std::string>> store_status() const;
+
   /// Attaches a provenance tracer: ingest_interned() closes in-flight
   /// records (kSession) and profile queries retire parked ones (kProfile).
   /// Pass the same recorder the ingest pipeline uses; nullptr detaches.
@@ -154,6 +174,10 @@ class ProfilingService {
   /// whether the event was accepted.
   bool ingest_one(std::uint32_t user, util::Timestamp timestamp,
                   std::string_view hostname);
+  /// Interned variant: skips re-interning when `pool` is the store's pool.
+  bool ingest_one_id(std::uint32_t user, util::Timestamp timestamp,
+                     util::InternPool::Id host_id,
+                     const util::InternPool& pool, bool shard_affine);
   void sync_store_gauges();
   void register_memory_probes();
   /// The pool shared by the retrain stages (Hogwild SGNS workers + IVF
@@ -180,6 +204,10 @@ class ProfilingService {
   // latency percentiles and session-store depth, published on every scrape.
   obs::Gauge* store_events_;
   obs::Gauge* store_users_;
+  obs::Gauge* store_payload_bytes_;
+  obs::Gauge* store_budget_bytes_;
+  obs::Gauge* store_evicted_users_;
+  obs::Gauge* store_evicted_events_;
   obs::RateGauge ingest_rate_;
   mutable obs::QuantileGauges profile_latency_q_;  // observed from const profilers
 

@@ -1,101 +1,464 @@
 #include "profile/session.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cassert>
 #include <stdexcept>
-#include <unordered_set>
 
 namespace netobs::profile {
 
-SessionStore::SessionStore(util::Timestamp horizon) : horizon_(horizon) {
-  if (horizon <= 0) {
+namespace {
+
+std::uint32_t floor_log2(std::uint32_t v) {
+  return 31u - static_cast<std::uint32_t>(std::countl_zero(v));
+}
+
+SessionStoreParams legacy_params(util::Timestamp horizon) {
+  SessionStoreParams p;
+  p.horizon = horizon;
+  return p;
+}
+
+}  // namespace
+
+// --- SlotArena --------------------------------------------------------------
+
+SessionStore::Slot* SessionStore::SlotArena::alloc(std::uint32_t capacity) {
+  std::uint32_t cls = floor_log2(capacity);
+  if (!free_[cls].empty()) {
+    Slot* span = free_[cls].back();
+    free_[cls].pop_back();
+    return span;
+  }
+  if (capacity > kChunkSlots) {
+    // Oversized ring: dedicated exact-size chunk.
+    chunks_.emplace_back(new Slot[capacity]);
+    chunk_bytes_ += std::size_t{capacity} * sizeof(Slot);
+    return chunks_.back().get();
+  }
+  if (bump_free_ < capacity) {
+    // Salvage the tail of the current chunk into power-of-two spans before
+    // opening a new chunk, so nothing is stranded.
+    while (bump_free_ >= kMinCapacity) {
+      std::uint32_t blk = std::uint32_t{1} << floor_log2(bump_free_);
+      free_[floor_log2(blk)].push_back(bump_);
+      bump_ += blk;
+      bump_free_ -= blk;
+    }
+    chunks_.emplace_back(new Slot[kChunkSlots]);
+    chunk_bytes_ += std::size_t{kChunkSlots} * sizeof(Slot);
+    bump_ = chunks_.back().get();
+    bump_free_ = kChunkSlots;
+  }
+  Slot* span = bump_;
+  bump_ += capacity;
+  bump_free_ -= capacity;
+  return span;
+}
+
+void SessionStore::SlotArena::release(Slot* span, std::uint32_t capacity) {
+  free_[floor_log2(capacity)].push_back(span);
+}
+
+// --- construction -----------------------------------------------------------
+
+SessionStore::SessionStore(util::Timestamp horizon)
+    : SessionStore(legacy_params(horizon)) {}
+
+SessionStore::SessionStore(const SessionStoreParams& params)
+    : horizon_(params.horizon),
+      lookback_(params.eviction_lookback > 0 ? params.eviction_lookback
+                                             : params.horizon),
+      budget_(params.memory_budget_bytes),
+      pool_(params.external_pool) {
+  if (horizon_ <= 0) {
     throw std::invalid_argument("SessionStore: horizon must be > 0");
   }
+  if (params.shards == 0) {
+    throw std::invalid_argument("SessionStore: shards must be > 0");
+  }
+  if (pool_ == nullptr) {
+    owned_pool_ = std::make_unique<util::InternPool>();
+    pool_ = owned_pool_.get();
+  }
+  shards_.reserve(params.shards);
+  for (std::size_t i = 0; i < params.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
 }
+
+// --- ingest -----------------------------------------------------------------
 
 void SessionStore::ingest(const net::HostnameEvent& event) {
   ingest(event.user_id, event.timestamp, event.hostname);
-}
-
-void SessionStore::ingest(std::uint32_t user, util::Timestamp timestamp,
-                          std::string_view hostname) {
-  auto& visits = per_user_[user];
-  // Events are expected roughly in order; tolerate small reordering by
-  // inserting at the back (queries sort nothing, they scan backwards).
-  visits.push_back({timestamp, std::string(hostname)});
-  visit_bytes_ += visit_cost(visits.back());
-  ++event_count_;
-  // Prune anything older than the horizon.
-  util::Timestamp cutoff = timestamp - horizon_;
-  while (!visits.empty() && visits.front().timestamp < cutoff) {
-    visit_bytes_ -= visit_cost(visits.front());
-    visits.pop_front();
-    --event_count_;
-  }
 }
 
 void SessionStore::ingest(const std::vector<net::HostnameEvent>& events) {
   for (const auto& e : events) ingest(e);
 }
 
+void SessionStore::ingest(std::uint32_t user, util::Timestamp timestamp,
+                          std::string_view hostname) {
+  ingest_id(user, timestamp, pool_->intern(hostname));
+}
+
+void SessionStore::ingest_id(std::uint32_t user, util::Timestamp timestamp,
+                             Id host_id) {
+  shard_ingest(*shards_[shard_of(user)], user, timestamp, host_id);
+  maybe_auto_evict();
+}
+
+void SessionStore::ingest_shard(std::size_t shard, std::uint32_t user,
+                                util::Timestamp timestamp,
+                                std::string_view hostname) {
+  ingest_shard_id(shard, user, timestamp, pool_->intern(hostname));
+}
+
+void SessionStore::ingest_shard_id(std::size_t shard, std::uint32_t user,
+                                   util::Timestamp timestamp, Id host_id) {
+  assert(shard == shard_of(user));
+  shard_ingest(*shards_[shard], user, timestamp, host_id);
+}
+
+void SessionStore::shard_ingest(Shard& shard, std::uint32_t user,
+                                util::Timestamp ts, Id host_id) {
+  auto [it, inserted] = shard.users.try_emplace(user);
+  UserState& u = it->second;
+  if (inserted) {
+    u.base_ts = ts;
+    u.last_seen = ts;
+    shard.user_count.fetch_add(1, std::memory_order_relaxed);
+    shard.payload.fetch_add(kUserFixedCost, std::memory_order_relaxed);
+  }
+  // Prune first: equivalent to the seed's push-then-prune, because the new
+  // event always survives its own cutoff (horizon > 0).
+  prune(shard, u, ts - horizon_);
+  if (u.count == 0) {
+    u.base_ts = ts;
+    u.head = 0;
+  } else if (ts < u.base_ts) {
+    // Out-of-order event below the delta origin: shift the origin down.
+    rebase(u, ts);
+  }
+  std::uint64_t dt = static_cast<std::uint64_t>(ts - u.base_ts);
+  if (dt > 0xFFFFFFFFull) {
+    // Window spans >136 years of seconds; move the origin up to the oldest
+    // stored visit (pruning bounds the true span by the horizon).
+    rebase(u, u.base_ts + static_cast<util::Timestamp>(u.ring[u.head].dt));
+    dt = static_cast<std::uint64_t>(ts - u.base_ts);
+  }
+  if (u.count == u.capacity) grow(shard, u);
+  u.ring[(u.head + u.count) & (u.capacity - 1)] =
+      Slot{host_id, static_cast<std::uint32_t>(dt)};
+  ++u.count;
+  if (ts > u.last_seen) u.last_seen = ts;
+  shard.events.fetch_add(1, std::memory_order_relaxed);
+  if (ts > shard.max_ts.load(std::memory_order_relaxed)) {
+    shard.max_ts.store(ts, std::memory_order_relaxed);
+  }
+  refresh_mem(shard);
+}
+
+void SessionStore::prune(Shard& shard, UserState& u, util::Timestamp cutoff) {
+  std::uint32_t removed = 0;
+  while (u.count > 0 &&
+         u.base_ts + static_cast<util::Timestamp>(u.ring[u.head].dt) <
+             cutoff) {
+    u.head = (u.head + 1) & (u.capacity - 1);
+    --u.count;
+    ++removed;
+  }
+  if (removed > 0) {
+    shard.events.fetch_sub(removed, std::memory_order_relaxed);
+  }
+}
+
+void SessionStore::grow(Shard& shard, UserState& u) {
+  // 2x up to 32 slots, 4x beyond. Freed spans go to same-class freelists,
+  // and once every user exists nobody wants the small classes back — with
+  // plain doubling that strands ~one ring's worth of garbage per heavy user
+  // (8+16+...+cap/2 ≈ cap); the 4x schedule caps the strand at ~cap/3
+  // while sparse users (the million-user common case) still grow gently.
+  std::uint32_t new_cap = kMinCapacity;
+  if (u.capacity > 0) {
+    new_cap = u.capacity < 32 ? u.capacity * 2 : u.capacity * 4;
+  }
+  Slot* span = shard.arena.alloc(new_cap);
+  for (std::uint32_t i = 0; i < u.count; ++i) {
+    span[i] = u.ring[(u.head + i) & (u.capacity - 1)];
+  }
+  if (u.ring != nullptr) shard.arena.release(u.ring, u.capacity);
+  shard.payload.fetch_add(
+      std::size_t{new_cap - u.capacity} * sizeof(Slot),
+      std::memory_order_relaxed);
+  u.ring = span;
+  u.capacity = new_cap;
+  u.head = 0;
+}
+
+void SessionStore::rebase(UserState& u, util::Timestamp new_base) {
+  std::int64_t delta = u.base_ts - new_base;
+  for (std::uint32_t i = 0; i < u.count; ++i) {
+    Slot& s = u.ring[(u.head + i) & (u.capacity - 1)];
+    std::int64_t dt = static_cast<std::int64_t>(s.dt) + delta;
+    assert(dt >= 0 && dt <= 0xFFFFFFFFll);
+    s.dt = static_cast<std::uint32_t>(dt);
+  }
+  u.base_ts = new_base;
+}
+
+void SessionStore::refresh_mem(Shard& shard) {
+  shard.mem.store(
+      util::unordered_map_bytes(shard.users) + shard.arena.chunk_bytes(),
+      std::memory_order_relaxed);
+}
+
+// --- queries ----------------------------------------------------------------
+
+namespace {
+
+/// Shared backward window scan. Visitor receives slots oldest-first after
+/// the reversal, exactly like the seed store's in_window pass.
+template <class SlotT, class Push>
+void collect_window(const SlotT* ring, std::uint32_t capacity,
+                    std::uint32_t head, std::uint32_t count,
+                    util::Timestamp base_ts, util::Timestamp now,
+                    const Window& window, std::vector<SlotT>& in_window,
+                    Push&& push) {
+  in_window.clear();
+  for (std::uint32_t i = count; i-- > 0;) {
+    const SlotT& s = ring[(head + i) & (capacity - 1)];
+    util::Timestamp ts = base_ts + static_cast<util::Timestamp>(s.dt);
+    if (ts > now) continue;  // future events (out of order feed)
+    if (window.mode == Window::Mode::kTime) {
+      if (ts <= now - window.duration) break;
+    } else if (in_window.size() >= window.count) {
+      break;
+    }
+    in_window.push_back(s);
+  }
+  std::reverse(in_window.begin(), in_window.end());
+  for (const SlotT& s : in_window) push(s);
+}
+
+}  // namespace
+
 Session SessionStore::session_of(std::uint32_t user, util::Timestamp now,
                                  const Window& window) const {
   Session session;
   session.user_id = user;
   session.end = now;
-  auto it = per_user_.find(user);
-  if (it == per_user_.end()) return session;
-  const auto& visits = it->second;
+  const Shard& shard = *shards_[shard_of(user)];
+  auto it = shard.users.find(user);
+  if (it == shard.users.end()) return session;
+  const UserState& u = it->second;
 
-  // Collect candidate visits inside the window, newest first, then reverse.
-  std::vector<const Visit*> in_window;
-  for (auto rit = visits.rbegin(); rit != visits.rend(); ++rit) {
-    if (rit->timestamp > now) continue;  // future events (out of order feed)
-    if (window.mode == Window::Mode::kTime) {
-      if (rit->timestamp <= now - window.duration) break;
-    } else if (in_window.size() >= window.count) {
-      break;
-    }
-    in_window.push_back(&*rit);
-  }
-  std::reverse(in_window.begin(), in_window.end());
-
-  // First-visit-only dedup, preserving order of first occurrence.
-  std::unordered_set<std::string_view> seen;
-  for (const Visit* v : in_window) {
-    if (seen.insert(v->hostname).second) {
-      session.hostnames.push_back(v->hostname);
-    }
-  }
+  std::vector<Slot> in_window;
+  std::unordered_set<Id> seen;  // first-visit-only, first-occurrence order
+  collect_window(u.ring, u.capacity, u.head, u.count, u.base_ts, now, window,
+                 in_window, [&](const Slot& s) {
+                   if (seen.insert(s.host_id).second) {
+                     session.hostnames.push_back(pool_->name(s.host_id));
+                   }
+                 });
   return session;
+}
+
+void SessionStore::session_ids_of(std::uint32_t user, util::Timestamp now,
+                                  const Window& window,
+                                  std::vector<Id>& out) const {
+  out.clear();
+  const Shard& shard = *shards_[shard_of(user)];
+  auto it = shard.users.find(user);
+  if (it == shard.users.end()) return;
+  const UserState& u = it->second;
+
+  std::vector<Slot> in_window;
+  collect_window(u.ring, u.capacity, u.head, u.count, u.base_ts, now, window,
+                 in_window, [&](const Slot& s) {
+                   if (std::find(out.begin(), out.end(), s.host_id) ==
+                       out.end()) {
+                     out.push_back(s.host_id);
+                   }
+                 });
 }
 
 std::vector<std::vector<std::string>> SessionStore::day_sequences(
     std::int64_t day_index) const {
   std::vector<std::vector<std::string>> out;
-  util::Timestamp begin = day_index * util::kDay;
-  util::Timestamp end = begin + util::kDay;
-  for (const auto& [user, visits] : per_user_) {
-    std::vector<std::string> seq;
-    for (const auto& v : visits) {
-      if (v.timestamp >= begin && v.timestamp < end) {
-        seq.push_back(v.hostname);
-      }
-    }
-    if (!seq.empty()) out.push_back(std::move(seq));
-  }
+  for_each_day_id_sequence(day_index,
+                           [&](std::uint32_t, std::span<const Id> ids) {
+                             out.push_back(resolve(ids));
+                           });
   // Deterministic order regardless of hash-map iteration.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::vector<SessionStore::Id>> SessionStore::day_id_sequences(
+    std::int64_t day_index) const {
+  std::vector<std::vector<Id>> out;
+  for_each_day_id_sequence(day_index,
+                           [&](std::uint32_t, std::span<const Id> ids) {
+                             out.emplace_back(ids.begin(), ids.end());
+                           });
   std::sort(out.begin(), out.end());
   return out;
 }
 
 std::vector<std::uint32_t> SessionStore::users() const {
   std::vector<std::uint32_t> out;
-  out.reserve(per_user_.size());
-  for (const auto& [user, visits] : per_user_) {
-    if (!visits.empty()) out.push_back(user);
-  }
+  out.reserve(user_count());
+  for_each_user([&](std::uint32_t user, util::Timestamp) {
+    out.push_back(user);
+  });
   std::sort(out.begin(), out.end());
   return out;
+}
+
+std::vector<std::string> SessionStore::resolve(std::span<const Id> ids) const {
+  std::vector<std::string> out;
+  out.reserve(ids.size());
+  for (Id id : ids) out.push_back(pool_->name(id));
+  return out;
+}
+
+// --- accounting -------------------------------------------------------------
+
+std::size_t SessionStore::event_count() const {
+  std::size_t total = 0;
+  for (const auto& s : shards_) {
+    total += s->events.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::size_t SessionStore::user_count() const {
+  std::size_t total = 0;
+  for (const auto& s : shards_) {
+    total += s->user_count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::size_t SessionStore::memory_bytes() const {
+  std::size_t total = owned_pool_ ? owned_pool_->bytes() : 0;
+  for (const auto& s : shards_) {
+    total += s->mem.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::size_t SessionStore::payload_bytes() const {
+  std::size_t total = 0;
+  for (const auto& s : shards_) {
+    total += s->payload.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+util::Timestamp SessionStore::max_timestamp() const {
+  util::Timestamp max_ts = 0;
+  for (const auto& s : shards_) {
+    max_ts = std::max(max_ts, s->max_ts.load(std::memory_order_relaxed));
+  }
+  return max_ts;
+}
+
+// --- budget / eviction ------------------------------------------------------
+
+util::Timestamp SessionStore::coldest_resident() const {
+  util::Timestamp coldest = 0;
+  bool any = false;
+  for (const auto& s : shards_) {
+    for (const auto& [user, u] : s->users) {
+      if (!any || u.last_seen < coldest) {
+        coldest = u.last_seen;
+        any = true;
+      }
+    }
+  }
+  return any ? coldest : 0;
+}
+
+void SessionStore::maybe_auto_evict() {
+  if (budget_ == 0) return;
+  if (payload_bytes() > budget_) enforce_budget(max_timestamp());
+}
+
+bool SessionStore::enforce_budget() { return enforce_budget(max_timestamp()); }
+
+bool SessionStore::enforce_budget(util::Timestamp now) {
+  eviction_runs_.fetch_add(1, std::memory_order_relaxed);
+  last_run_now_.store(now, std::memory_order_relaxed);
+
+  bool evicted_any = false;
+  if (budget_ != 0 && payload_bytes() > budget_) {
+    // Candidates: idle users only — never anyone active within the training
+    // lookback. Deterministic coldest-first order with user-id tie-break,
+    // independent of shard count.
+    struct Candidate {
+      util::Timestamp last_seen;
+      std::uint32_t user;
+      std::uint32_t shard;
+    };
+    util::Timestamp cutoff = now - lookback_;
+    std::vector<Candidate> candidates;
+    for (std::uint32_t si = 0; si < shards_.size(); ++si) {
+      for (const auto& [user, u] : shards_[si]->users) {
+        if (u.last_seen < cutoff) {
+          candidates.push_back(Candidate{u.last_seen, user, si});
+        }
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                if (a.last_seen != b.last_seen) {
+                  return a.last_seen < b.last_seen;
+                }
+                return a.user < b.user;
+              });
+
+    std::size_t low_water = budget_ - budget_ / 8;
+    std::uint64_t users_gone = 0;
+    std::uint64_t events_gone = 0;
+    for (const Candidate& c : candidates) {
+      if (payload_bytes() <= low_water) break;
+      Shard& shard = *shards_[c.shard];
+      auto it = shard.users.find(c.user);
+      UserState& u = it->second;
+      if (u.ring != nullptr) shard.arena.release(u.ring, u.capacity);
+      shard.payload.fetch_sub(
+          kUserFixedCost + std::size_t{u.capacity} * sizeof(Slot),
+          std::memory_order_relaxed);
+      shard.events.fetch_sub(u.count, std::memory_order_relaxed);
+      shard.user_count.fetch_sub(1, std::memory_order_relaxed);
+      events_gone += u.count;
+      ++users_gone;
+      shard.users.erase(it);
+      refresh_mem(shard);
+      evicted_any = true;
+    }
+    evicted_users_.fetch_add(users_gone, std::memory_order_relaxed);
+    evicted_events_.fetch_add(events_gone, std::memory_order_relaxed);
+  }
+
+  coldest_last_seen_.store(coldest_resident(), std::memory_order_relaxed);
+  over_budget_.store(budget_ != 0 && payload_bytes() > budget_,
+                     std::memory_order_relaxed);
+  return evicted_any;
+}
+
+SessionEvictionStats SessionStore::eviction_stats() const {
+  SessionEvictionStats stats;
+  stats.evicted_users = evicted_users_.load(std::memory_order_relaxed);
+  stats.evicted_events = evicted_events_.load(std::memory_order_relaxed);
+  stats.runs = eviction_runs_.load(std::memory_order_relaxed);
+  stats.last_run_now = last_run_now_.load(std::memory_order_relaxed);
+  stats.coldest_last_seen =
+      coldest_last_seen_.load(std::memory_order_relaxed);
+  stats.over_budget = over_budget_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 }  // namespace netobs::profile

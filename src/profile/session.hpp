@@ -11,16 +11,50 @@
 // SessionStore ingests observer HostnameEvents and answers window queries;
 // it is also the source of the per-user-per-day training sequences for the
 // daily SKIPGRAM retraining of Section 5.4.
+//
+// Storage (DESIGN §5k): visits are interned — each stored visit is one
+// packed 8-byte slot {u32 host_id, u32 dt} in a per-user ring buffer, with
+// timestamps delta-encoded against a per-user base. Rings live in per-shard
+// chunked arenas (64 KiB chunks, power-of-two spans recycled through
+// freelists), and hostname ids resolve through a util::InternPool that the
+// store either owns or shares with the ingest pipeline. The store is
+// shard-affine: users are owned by shard `user_id % shards` (the same
+// strided ownership as net::UserDemux), so one ingest thread per shard
+// needs no locks.
+//
+// Concurrency contract:
+//   - Plain ingest()/queries: single writer, or external synchronisation.
+//   - ingest_shard()/ingest_shard_id(): safe from one thread per shard
+//     concurrently (distinct shards never touch shared mutable state).
+//   - Queries against a shard must not race writes to the same shard;
+//     quiesce (e.g. epoch barriers) before fanning out reads.
+//   - event_count()/user_count()/payload_bytes()/memory_bytes()/
+//     max_timestamp()/eviction_stats() are relaxed-atomic and safe from
+//     any thread at any time.
+//
+// Budget / eviction: an optional hard budget over *payload bytes* — the
+// shard-invariant per-user cost (fixed map-node share + ring capacity).
+// When exceeded, the coldest idle users (smallest last_seen, user id as
+// tie-break) are evicted down to a 7/8 low-water mark. Users active within
+// the training lookback (default: the horizon) are never evicted. Plain
+// ingest() enforces the budget inline (single-writer); shard-affine callers
+// must call enforce_budget() at quiesced points instead — eviction crosses
+// shards and is not lock-free.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
-#include <deque>
+#include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "net/packet.hpp"
+#include "util/intern_pool.hpp"
 #include "util/mem_estimate.hpp"
 #include "util/sim_time.hpp"
 
@@ -51,61 +85,252 @@ struct Session {
   std::size_t size() const { return hostnames.size(); }
 };
 
-class SessionStore {
- public:
+/// Construction-time knobs for the interned store.
+struct SessionStoreParams {
   /// History horizon: events older than this (relative to the newest event
   /// per user) are pruned. Must cover at least the training lookback.
+  util::Timestamp horizon = 2 * util::kDay;
+  /// Sub-store count; users are owned by shard `user_id % shards`. Use the
+  /// ingest pipeline's shard count for lock-free shard-affine ingest.
+  std::size_t shards = 1;
+  /// Hard payload budget in bytes (0 = unbounded). See header comment.
+  std::size_t memory_budget_bytes = 0;
+  /// Users with last_seen within [now - lookback, now] are never evicted.
+  /// 0 means "use the horizon" (the training lookback).
+  util::Timestamp eviction_lookback = 0;
+  /// Optional shared hostname pool (non-owning; must outlive the store).
+  /// When null the store owns a private pool. Sharing the ingest pipeline's
+  /// pool enables the zero-copy ingest_id()/ingest_shard_id() fast path.
+  util::InternPool* external_pool = nullptr;
+};
+
+/// Monotone eviction counters plus a snapshot of the last enforce run.
+struct SessionEvictionStats {
+  std::uint64_t evicted_users = 0;
+  std::uint64_t evicted_events = 0;
+  std::uint64_t runs = 0;                 ///< enforce_budget() invocations
+  util::Timestamp last_run_now = 0;       ///< `now` of the last run
+  util::Timestamp coldest_last_seen = 0;  ///< coldest resident at last run
+  bool over_budget = false;               ///< still over after the last run
+};
+
+class SessionStore {
+ public:
+  using Id = util::InternPool::Id;
+
   explicit SessionStore(util::Timestamp horizon = 2 * util::kDay);
+  explicit SessionStore(const SessionStoreParams& params);
+
+  SessionStore(const SessionStore&) = delete;
+  SessionStore& operator=(const SessionStore&) = delete;
+
+  // --- ingest -------------------------------------------------------------
 
   void ingest(const net::HostnameEvent& event);
   void ingest(const std::vector<net::HostnameEvent>& events);
 
-  /// Field-wise variant for the interned ingest path: the hostname view is
-  /// copied into the store exactly once, with no intermediate
-  /// HostnameEvent materialisation.
+  /// Field-wise variant for the interned ingest path: the hostname is
+  /// interned (hit-dominated hash probe) and stored as one 8-byte slot.
   void ingest(std::uint32_t user, util::Timestamp timestamp,
               std::string_view hostname);
+
+  /// Zero-copy path: `host_id` must come from this store's pool() (share
+  /// the pipeline pool via SessionStoreParams::external_pool).
+  void ingest_id(std::uint32_t user, util::Timestamp timestamp, Id host_id);
+
+  /// Lock-free shard-affine lanes: safe concurrently from one thread per
+  /// shard. `shard` must equal shard_of(user). Never auto-evicts — call
+  /// enforce_budget() from a quiesced point instead.
+  void ingest_shard(std::size_t shard, std::uint32_t user,
+                    util::Timestamp timestamp, std::string_view hostname);
+  void ingest_shard_id(std::size_t shard, std::uint32_t user,
+                       util::Timestamp timestamp, Id host_id);
+
+  // --- queries ------------------------------------------------------------
 
   /// The session of `user` at time `now` for the given window, applying the
   /// first-visit-only rule.
   Session session_of(std::uint32_t user, util::Timestamp now,
                      const Window& window) const;
 
+  /// Id-returning session query: same visits, same first-visit order, no
+  /// string materialisation. `out` is cleared and reused (zero-alloc once
+  /// warm). Dedup by id is dedup by hostname — interning is injective.
+  void session_ids_of(std::uint32_t user, util::Timestamp now,
+                      const Window& window, std::vector<Id>& out) const;
+
   /// Per-user hostname sequences for one whole day (for model training;
   /// Section 5.4 trains on "the sequence of hosts visited by all the users
   /// during the whole previous day"). No dedup here — the raw request
-  /// stream is what SKIPGRAM learns from.
+  /// stream is what SKIPGRAM learns from. Sorted lexicographically.
   std::vector<std::vector<std::string>> day_sequences(
       std::int64_t day_index) const;
 
-  /// Users with at least one stored event.
+  /// Id-returning day sequences, sorted by id sequence (deterministic for a
+  /// fixed pool). Prefer for_each_day_id_sequence() on hot paths.
+  std::vector<std::vector<Id>> day_id_sequences(std::int64_t day_index) const;
+
+  /// Visit every resident user without copying the key set:
+  /// fn(std::uint32_t user, util::Timestamp last_seen). Shard-major order,
+  /// unspecified within a shard. Zero allocations.
+  template <class Fn>
+  void for_each_user(Fn&& fn) const {
+    for (const auto& shard : shards_) {
+      for (const auto& [user, state] : shard->users) {
+        fn(user, state.last_seen);
+      }
+    }
+  }
+
+  /// Visit every non-empty per-user day sequence without materialising
+  /// strings: fn(std::uint32_t user, std::span<const Id> sequence). The
+  /// span is only valid during the callback (one reused scratch buffer —
+  /// no per-user allocations). Shard-major order, unspecified within a
+  /// shard; callers needing determinism must sort what they build.
+  template <class Fn>
+  void for_each_day_id_sequence(std::int64_t day_index, Fn&& fn) const {
+    std::vector<Id> seq;
+    util::Timestamp begin = day_index * util::kDay;
+    util::Timestamp end = begin + util::kDay;
+    for (const auto& shard : shards_) {
+      for (const auto& [user, u] : shard->users) {
+        seq.clear();
+        for (std::uint32_t i = 0; i < u.count; ++i) {
+          const Slot& s = u.ring[(u.head + i) & (u.capacity - 1)];
+          util::Timestamp ts = u.base_ts + static_cast<util::Timestamp>(s.dt);
+          if (ts >= begin && ts < end) seq.push_back(s.host_id);
+        }
+        if (!seq.empty()) fn(user, std::span<const Id>(seq));
+      }
+    }
+  }
+
+  /// Users with at least one stored event, sorted. Copies the key set —
+  /// prefer for_each_user() on hot paths.
   std::vector<std::uint32_t> users() const;
 
-  std::size_t event_count() const { return event_count_; }
-  /// Users with at least one stored event (cheap: map size, no scan).
-  std::size_t user_count() const { return per_user_.size(); }
+  /// Resolve interned ids back to hostname strings.
+  std::vector<std::string> resolve(std::span<const Id> ids) const;
 
-  /// Estimated heap footprint: the per-user map plus every stored visit
-  /// (deque slot + spilled hostname heap), tracked incrementally on
-  /// ingest/prune so the call is O(1).
-  std::size_t memory_bytes() const {
-    return util::unordered_map_bytes(per_user_) + visit_bytes_;
+  // --- accounting (any thread) --------------------------------------------
+
+  std::size_t event_count() const;
+  /// Users with at least one stored event (cheap: counters, no scan).
+  std::size_t user_count() const;
+
+  /// Estimated heap footprint: per-shard user maps, arena chunks, and the
+  /// owned intern pool (shared pools are accounted by their owner).
+  std::size_t memory_bytes() const;
+
+  /// Shard-invariant budgeted bytes: per-user fixed cost + ring capacity.
+  std::size_t payload_bytes() const;
+
+  /// Largest timestamp ingested so far (the budget clock).
+  util::Timestamp max_timestamp() const;
+
+  // --- budget / eviction --------------------------------------------------
+
+  /// Evict coldest idle users until payload_bytes() <= 7/8 of the budget,
+  /// never touching users with last_seen >= now - eviction_lookback. Also
+  /// refreshes the coldest-resident snapshot. Returns true if anyone was
+  /// evicted. NOT safe concurrently with ingest — quiesce first.
+  bool enforce_budget(util::Timestamp now);
+  /// enforce_budget(max_timestamp()).
+  bool enforce_budget();
+
+  SessionEvictionStats eviction_stats() const;
+
+  // --- topology -----------------------------------------------------------
+
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t shard_of(std::uint32_t user) const {
+    return user % shards_.size();
   }
+  util::InternPool& pool() { return *pool_; }
+  const util::InternPool& pool() const { return *pool_; }
+  util::Timestamp horizon() const { return horizon_; }
+  std::size_t budget_bytes() const { return budget_; }
+  util::Timestamp eviction_lookback() const { return lookback_; }
+
+  /// Approximate budgeted cost of one resident user before any visit
+  /// payload (map-node share). Exposed for tests and capacity planning.
+  static constexpr std::size_t kUserFixedCost = 80;
 
  private:
-  struct Visit {
-    util::Timestamp timestamp;
-    std::string hostname;
+  /// One stored visit: interned hostname + seconds since the user's base.
+  struct Slot {
+    Id host_id;
+    std::uint32_t dt;
+  };
+  static_assert(sizeof(Slot) == 8, "slots must stay 8 bytes");
+
+  /// Chunked slab allocator for ring spans. Spans are power-of-two slot
+  /// counts carved from 64 KiB chunks by a bump pointer; released spans go
+  /// to per-size freelists and are recycled. Spans larger than a chunk get
+  /// a dedicated allocation. chunk_bytes() reports every allocated chunk —
+  /// freelisted spans still count (honest footprint).
+  class SlotArena {
+   public:
+    Slot* alloc(std::uint32_t capacity);
+    void release(Slot* span, std::uint32_t capacity);
+    std::size_t chunk_bytes() const { return chunk_bytes_; }
+
+   private:
+    static constexpr std::uint32_t kChunkSlots = 8192;  // 64 KiB
+    std::vector<std::unique_ptr<Slot[]>> chunks_;
+    Slot* bump_ = nullptr;
+    std::uint32_t bump_free_ = 0;
+    std::array<std::vector<Slot*>, 32> free_;
+    std::size_t chunk_bytes_ = 0;
   };
 
-  static std::size_t visit_cost(const Visit& v) {
-    return sizeof(Visit) + util::string_heap_bytes(v.hostname);
-  }
+  struct UserState {
+    Slot* ring = nullptr;
+    std::uint32_t capacity = 0;  ///< power of two (or 0 before first visit)
+    std::uint32_t head = 0;
+    std::uint32_t count = 0;
+    util::Timestamp base_ts = 0;   ///< dt origin
+    util::Timestamp last_seen = 0; ///< max ingested timestamp
+  };
+
+  struct Shard {
+    std::unordered_map<std::uint32_t, UserState> users;
+    SlotArena arena;
+    // Mirrors for cross-thread reads; written only by the shard owner (or
+    // the quiesced eviction pass).
+    std::atomic<std::size_t> events{0};
+    std::atomic<std::size_t> payload{0};
+    std::atomic<std::size_t> mem{0};
+    std::atomic<std::size_t> user_count{0};
+    std::atomic<util::Timestamp> max_ts{0};
+  };
+
+  static constexpr std::uint32_t kMinCapacity = 8;
+
+  void shard_ingest(Shard& shard, std::uint32_t user, util::Timestamp ts,
+                    Id host_id);
+  static void prune(Shard& shard, UserState& u, util::Timestamp cutoff);
+  static void grow(Shard& shard, UserState& u);
+  /// Shift the delta origin to `new_base` (<= every stored timestamp).
+  static void rebase(UserState& u, util::Timestamp new_base);
+  void refresh_mem(Shard& shard);
+  void maybe_auto_evict();
+  /// Scan for the coldest resident last_seen (0 when empty).
+  util::Timestamp coldest_resident() const;
 
   util::Timestamp horizon_;
-  std::unordered_map<std::uint32_t, std::deque<Visit>> per_user_;
-  std::size_t event_count_ = 0;
-  std::size_t visit_bytes_ = 0;  ///< sum of visit_cost over stored visits
+  util::Timestamp lookback_;
+  std::size_t budget_;
+  std::unique_ptr<util::InternPool> owned_pool_;
+  util::InternPool* pool_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<std::uint64_t> evicted_users_{0};
+  std::atomic<std::uint64_t> evicted_events_{0};
+  std::atomic<std::uint64_t> eviction_runs_{0};
+  std::atomic<util::Timestamp> last_run_now_{0};
+  std::atomic<util::Timestamp> coldest_last_seen_{0};
+  std::atomic<bool> over_budget_{false};
 };
 
 }  // namespace netobs::profile

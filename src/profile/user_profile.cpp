@@ -38,7 +38,7 @@ void UserProfileStore::update(std::uint32_t user, util::Timestamp when,
   auto [it, inserted] = users_.try_emplace(user);
   State& state = it->second;
   if (inserted) {
-    state.accumulator.assign(category_count_, 0.0);
+    state.accumulator.assign(category_count_, 0.0F);
   } else if (when < state.last_update) {
     throw std::invalid_argument(
         "UserProfileStore::update: time went backwards for user " +
@@ -47,8 +47,10 @@ void UserProfileStore::update(std::uint32_t user, util::Timestamp when,
   double decay = decay_factor(state.last_update, when);
   state.weight = state.weight * decay + 1.0;
   for (std::size_t i = 0; i < category_count_; ++i) {
-    state.accumulator[i] =
-        state.accumulator[i] * decay + static_cast<double>(categories[i]);
+    // Fold in double, store in float32 (see State::accumulator).
+    state.accumulator[i] = static_cast<float>(
+        static_cast<double>(state.accumulator[i]) * decay +
+        static_cast<double>(categories[i]));
   }
   state.last_update = when;
   ++state.sessions;
@@ -65,8 +67,8 @@ ontology::CategoryVector UserProfileStore::profile_at(
   (void)when;
   if (state.weight <= 0.0) return out;
   for (std::size_t i = 0; i < category_count_; ++i) {
-    out[i] = static_cast<float>(
-        std::clamp(state.accumulator[i] / state.weight, 0.0, 1.0));
+    out[i] = static_cast<float>(std::clamp(
+        static_cast<double>(state.accumulator[i]) / state.weight, 0.0, 1.0));
   }
   return out;
 }

@@ -2,8 +2,12 @@
 // the long-term user-profile aggregation of Section 7.3.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "embedding/sgns.hpp"
 #include "profile/user_profile.hpp"
+#include "util/rng.hpp"
 #include "util/vec_math.hpp"
 
 namespace netobs {
@@ -200,6 +204,46 @@ TEST(UserProfileStore, RejectsBadInput) {
   store.update(1, util::kHour, ontology::CategoryVector{1.0F, 0.0F});
   EXPECT_THROW(store.update(1, 0, ontology::CategoryVector{1.0F, 0.0F}),
                std::invalid_argument);  // time went backwards
+}
+
+TEST(UserProfileStore, Float32AccumulatorTracksDoubleOracle) {
+  // State::accumulator stores float32 (halving per-user bytes); each fold
+  // still runs in double before narrowing. Against a pure-double oracle the
+  // profile must stay within 1e-5 even after hundreds of decayed folds.
+  constexpr std::size_t kCats = 6;
+  profile::UserProfileParams params;
+  params.half_life = static_cast<double>(util::kDay);
+  profile::UserProfileStore store(kCats, params);
+
+  std::vector<double> oracle_acc(kCats, 0.0);
+  double oracle_weight = 0.0;
+  util::Timestamp last = 0;
+
+  util::Pcg32 rng(11);
+  util::Timestamp when = 0;
+  for (int fold = 0; fold < 500; ++fold) {
+    when += 1 + rng.next_below(static_cast<std::uint32_t>(util::kHour));
+    ontology::CategoryVector session(kCats);
+    for (auto& v : session) {
+      v = static_cast<float>(rng.next_below(1000)) / 1000.0F;
+    }
+    store.update(7, when, session);
+
+    double decay = std::exp2(-static_cast<double>(when - last) /
+                             params.half_life);
+    oracle_weight = oracle_weight * decay + 1.0;
+    for (std::size_t i = 0; i < kCats; ++i) {
+      oracle_acc[i] = oracle_acc[i] * decay + static_cast<double>(session[i]);
+    }
+    last = when;
+
+    auto profile = store.profile_at(7, when);
+    for (std::size_t i = 0; i < kCats; ++i) {
+      double want = std::clamp(oracle_acc[i] / oracle_weight, 0.0, 1.0);
+      EXPECT_NEAR(static_cast<double>(profile[i]), want, 1e-5)
+          << "fold " << fold << " category " << i;
+    }
+  }
 }
 
 TEST(UserProfileStore, IgnoresEmptySessionProfiles) {

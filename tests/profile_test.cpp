@@ -219,6 +219,51 @@ TEST_F(ProfilerTest, BatchProfilesAreBitIdenticalToSerial) {
   }
 }
 
+TEST_F(ProfilerTest, InternedProfilesAreBitIdenticalToStringProfiles) {
+  // The id-resolving entry points (the SessionStore fast path) feed the
+  // exact same std::string objects through the exact same float ops — the
+  // profiles must match the string overloads bit for bit, serial and
+  // batched alike.
+  SessionProfiler profiler(*model_, *index_, labeler_);
+  util::InternPool pool;
+  std::vector<std::vector<std::string>> sessions = {
+      {"travel-a.com", "travel-b.com"},
+      {"travel-api.net"},
+      {},                  // empty session
+      {"never-seen.com"},  // out of vocabulary
+      {"travel-a.com", "sport-a.com", "travel-a.com"},
+      {"sport-b.com", "sport-api.net"},
+  };
+  std::vector<std::vector<util::InternPool::Id>> id_sessions;
+  for (const auto& hosts : sessions) {
+    auto& ids = id_sessions.emplace_back();
+    for (const auto& host : hosts) ids.push_back(pool.intern(host));
+  }
+
+  auto compare = [](const SessionProfile& got, const SessionProfile& want,
+                    std::size_t i) {
+    EXPECT_EQ(got.empty(), want.empty()) << "session " << i;
+    EXPECT_EQ(got.hosts_in_vocab, want.hosts_in_vocab);
+    EXPECT_EQ(got.labeled_in_session, want.labeled_in_session);
+    EXPECT_EQ(got.labeled_neighbors, want.labeled_neighbors);
+    EXPECT_EQ(got.weight_mass, want.weight_mass);
+    EXPECT_EQ(got.session_vector, want.session_vector);
+    ASSERT_EQ(got.categories.size(), want.categories.size());
+    for (std::size_t c = 0; c < want.categories.size(); ++c) {
+      EXPECT_EQ(got.categories[c], want.categories[c])
+          << "session " << i << " category " << c;
+    }
+  };
+
+  auto batched = profiler.profile_interned_batch(id_sessions, pool);
+  ASSERT_EQ(batched.size(), sessions.size());
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    auto want = profiler.profile(sessions[i]);
+    compare(profiler.profile_interned(id_sessions[i], pool), want, i);
+    compare(batched[i], want, i);
+  }
+}
+
 TEST_F(ProfilerTest, RejectsZeroKnn) {
   ProfilerParams params;
   params.knn = 0;

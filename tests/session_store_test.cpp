@@ -1,0 +1,542 @@
+// Oracle, eviction-edge, allocation-regression and concurrency tests for
+// the interned SessionStore (DESIGN §5k).
+//
+// LegacySessionStore below is a verbatim port of the seed deque-of-strings
+// implementation this store replaced; the oracle suite replays randomized
+// event streams (out-of-order feeds included) into both and requires
+// bit-identical query answers at every shard count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bench/alloc_count.hpp"
+#include "profile/session.hpp"
+#include "util/rng.hpp"
+
+namespace netobs::profile {
+namespace {
+
+using util::kDay;
+using util::kHour;
+using util::kMinute;
+
+// --- the seed implementation, kept as the behavioural oracle --------------
+
+class LegacySessionStore {
+ public:
+  explicit LegacySessionStore(util::Timestamp horizon = 2 * kDay)
+      : horizon_(horizon) {}
+
+  void ingest(std::uint32_t user, util::Timestamp timestamp,
+              std::string_view hostname) {
+    auto& visits = per_user_[user];
+    visits.push_back({timestamp, std::string(hostname)});
+    ++event_count_;
+    util::Timestamp cutoff = timestamp - horizon_;
+    while (!visits.empty() && visits.front().timestamp < cutoff) {
+      visits.pop_front();
+      --event_count_;
+    }
+  }
+
+  Session session_of(std::uint32_t user, util::Timestamp now,
+                     const Window& window) const {
+    Session session;
+    session.user_id = user;
+    session.end = now;
+    auto it = per_user_.find(user);
+    if (it == per_user_.end()) return session;
+    const auto& visits = it->second;
+
+    std::vector<const Visit*> in_window;
+    for (auto rit = visits.rbegin(); rit != visits.rend(); ++rit) {
+      if (rit->timestamp > now) continue;
+      if (window.mode == Window::Mode::kTime) {
+        if (rit->timestamp <= now - window.duration) break;
+      } else if (in_window.size() >= window.count) {
+        break;
+      }
+      in_window.push_back(&*rit);
+    }
+    std::reverse(in_window.begin(), in_window.end());
+
+    std::unordered_set<std::string_view> seen;
+    for (const Visit* v : in_window) {
+      if (seen.insert(v->hostname).second) {
+        session.hostnames.push_back(v->hostname);
+      }
+    }
+    return session;
+  }
+
+  std::vector<std::vector<std::string>> day_sequences(
+      std::int64_t day_index) const {
+    std::vector<std::vector<std::string>> out;
+    util::Timestamp begin = day_index * kDay;
+    util::Timestamp end = begin + kDay;
+    for (const auto& [user, visits] : per_user_) {
+      std::vector<std::string> seq;
+      for (const auto& v : visits) {
+        if (v.timestamp >= begin && v.timestamp < end) {
+          seq.push_back(v.hostname);
+        }
+      }
+      if (!seq.empty()) out.push_back(std::move(seq));
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  std::vector<std::uint32_t> users() const {
+    std::vector<std::uint32_t> out;
+    out.reserve(per_user_.size());
+    for (const auto& [user, visits] : per_user_) {
+      if (!visits.empty()) out.push_back(user);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  std::size_t event_count() const { return event_count_; }
+
+ private:
+  struct Visit {
+    util::Timestamp timestamp;
+    std::string hostname;
+  };
+  util::Timestamp horizon_;
+  std::unordered_map<std::uint32_t, std::deque<Visit>> per_user_;
+  std::size_t event_count_ = 0;
+};
+
+struct RawEvent {
+  std::uint32_t user;
+  util::Timestamp ts;
+  std::string host;
+};
+
+// Randomized stream: 10 users, 25 hosts, ~3 days of mostly-increasing
+// timestamps with occasional backward jumps (the out-of-order feed the seed
+// tolerated) and occasional far-future spikes (exercises the query-time
+// future-skip).
+std::vector<RawEvent> random_stream(std::uint64_t seed, std::size_t n) {
+  util::Pcg32 rng(seed);
+  std::vector<RawEvent> out;
+  out.reserve(n);
+  util::Timestamp ts = 5 * kMinute;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint32_t user = rng.next_below(10);
+    std::uint32_t host = rng.next_below(25);
+    std::uint32_t step = rng.next_below(100);
+    if (step < 4) {
+      ts -= rng.next_below(3 * static_cast<std::uint32_t>(kMinute));
+      if (ts < 0) ts = 0;
+    } else {
+      ts += rng.next_below(2 * static_cast<std::uint32_t>(kMinute));
+    }
+    util::Timestamp event_ts = ts;
+    if (step >= 97) event_ts += kHour;  // future spike relative to the feed
+    out.push_back({user, event_ts, "host" + std::to_string(host) + ".com"});
+  }
+  return out;
+}
+
+TEST(SessionStoreOracle, MatchesLegacyStoreAtAnyShardCount) {
+  for (std::uint64_t seed : {7ULL, 99ULL}) {
+    auto stream = random_stream(seed, 4000);
+    LegacySessionStore legacy;
+    for (const auto& e : stream) legacy.ingest(e.user, e.ts, e.host);
+
+    for (std::size_t shards : {1U, 2U, 4U, 8U}) {
+      SessionStoreParams params;
+      params.shards = shards;
+      SessionStore store(params);
+      for (const auto& e : stream) store.ingest(e.user, e.ts, e.host);
+
+      ASSERT_EQ(store.event_count(), legacy.event_count())
+          << "seed " << seed << " shards " << shards;
+      EXPECT_EQ(store.users(), legacy.users());
+      for (std::int64_t day = 0; day < 4; ++day) {
+        EXPECT_EQ(store.day_sequences(day), legacy.day_sequences(day))
+            << "seed " << seed << " shards " << shards << " day " << day;
+      }
+
+      util::Timestamp last = stream.back().ts;
+      for (std::uint32_t user = 0; user < 10; ++user) {
+        for (util::Timestamp now :
+             {last, last - 17 * kMinute, last + kHour, 2 * kDay + 1}) {
+          for (Window w : {Window::minutes(20), Window::minutes(3),
+                           Window::last_hosts(5), Window::last_hosts(1)}) {
+            auto got = store.session_of(user, now, w);
+            auto want = legacy.session_of(user, now, w);
+            EXPECT_EQ(got.hostnames, want.hostnames)
+                << "seed " << seed << " shards " << shards << " user " << user
+                << " now " << now;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SessionStoreOracle, IdVariantsMatchStringVariants) {
+  auto stream = random_stream(42, 3000);
+  SessionStoreParams params;
+  params.shards = 4;
+  SessionStore store(params);
+  for (const auto& e : stream) store.ingest(e.user, e.ts, e.host);
+
+  util::Timestamp now = stream.back().ts;
+  std::vector<SessionStore::Id> ids;
+  for (std::uint32_t user = 0; user < 10; ++user) {
+    for (Window w : {Window::minutes(20), Window::last_hosts(4)}) {
+      store.session_ids_of(user, now, w, ids);
+      EXPECT_EQ(store.resolve(ids), store.session_of(user, now, w).hostnames)
+          << "user " << user;
+    }
+  }
+
+  for (std::int64_t day = 0; day < 3; ++day) {
+    auto id_seqs = store.day_id_sequences(day);
+    std::vector<std::vector<std::string>> resolved;
+    resolved.reserve(id_seqs.size());
+    for (const auto& seq : id_seqs) resolved.push_back(store.resolve(seq));
+    std::sort(resolved.begin(), resolved.end());
+    EXPECT_EQ(resolved, store.day_sequences(day)) << "day " << day;
+
+    // The zero-alloc iterator visits exactly the same sequences.
+    std::vector<std::vector<std::string>> iterated;
+    store.for_each_day_id_sequence(
+        day, [&](std::uint32_t, std::span<const SessionStore::Id> seq) {
+          iterated.push_back(store.resolve(seq));
+        });
+    std::sort(iterated.begin(), iterated.end());
+    EXPECT_EQ(iterated, store.day_sequences(day)) << "day " << day;
+  }
+}
+
+TEST(SessionStore, PruneKeepsEventAtExactHorizon) {
+  // Seed semantics: prune strictly-older-than-cutoff, so an event exactly
+  // `horizon` old survives the ingest that defines the cutoff.
+  SessionStoreParams params;
+  params.horizon = kHour;
+  SessionStore store(params);
+  store.ingest(1, 1000, "edge.com");
+  store.ingest(1, 1000 + kHour, "now.com");  // cutoff = 1000: edge survives
+  EXPECT_EQ(store.event_count(), 2U);
+  auto s = store.session_of(1, 1000 + kHour, Window::last_hosts(10));
+  EXPECT_EQ(s.hostnames, (std::vector<std::string>{"edge.com", "now.com"}));
+
+  store.ingest(1, 1001 + kHour, "later.com");  // cutoff = 1001: edge pruned
+  EXPECT_EQ(store.event_count(), 2U);
+  s = store.session_of(1, 1001 + kHour, Window::last_hosts(10));
+  EXPECT_EQ(s.hostnames, (std::vector<std::string>{"now.com", "later.com"}));
+}
+
+// --- budget / eviction edges ----------------------------------------------
+
+// Per-user payload with <= 8 visits: fixed cost + the minimum 8-slot ring.
+constexpr std::size_t kSmallUserBytes = SessionStore::kUserFixedCost + 8 * 8;
+
+TEST(SessionStoreEviction, EvictThenRevisitRebuildsSession) {
+  SessionStoreParams params;
+  params.memory_budget_bytes = 10 * kSmallUserBytes;
+  params.eviction_lookback = kHour;
+  SessionStore store(params);
+  for (std::uint32_t user = 0; user < 20; ++user) {
+    store.ingest(user, 1000 + user, "old" + std::to_string(user) + ".com");
+  }
+  util::Timestamp now = 1000 + 20 + 2 * kHour;
+  ASSERT_TRUE(store.enforce_budget(now));
+  auto stats = store.eviction_stats();
+  EXPECT_GT(stats.evicted_users, 0U);
+  EXPECT_LE(store.payload_bytes(), store.budget_bytes());
+
+  // User 0 was the coldest, hence evicted; a revisit rebuilds from scratch.
+  EXPECT_TRUE(store.session_of(0, now, Window::last_hosts(10)).empty());
+  store.ingest(0, now, "fresh.com");
+  auto s = store.session_of(0, now, Window::last_hosts(10));
+  EXPECT_EQ(s.hostnames, (std::vector<std::string>{"fresh.com"}));
+}
+
+TEST(SessionStoreEviction, VictimsAreShardInvariant) {
+  // payload_bytes is defined over shard-invariant per-user costs and
+  // victims sort by (last_seen, user_id), so the surviving set must be
+  // identical at every shard count.
+  auto build = [](std::size_t shards) {
+    SessionStoreParams params;
+    params.shards = shards;
+    params.memory_budget_bytes = 30 * kSmallUserBytes;
+    params.eviction_lookback = kHour;
+    auto store = std::make_unique<SessionStore>(params);
+    for (std::uint32_t user = 0; user < 64; ++user) {
+      // Staggered idle times, decorrelated from user id.
+      util::Timestamp ts = 1000 + ((user * 37) % 64) * kMinute;
+      for (int i = 0; i < 1 + static_cast<int>(user % 3); ++i) {
+        store->ingest(user, ts + i, "h" + std::to_string(user % 7) + ".com");
+      }
+    }
+    return store;
+  };
+
+  util::Timestamp now = 1000 + 64 * kMinute + 2 * kHour;
+  std::vector<std::uint32_t> reference;
+  for (std::size_t shards : {1U, 2U, 4U, 8U}) {
+    auto store = build(shards);
+    store->enforce_budget(now);
+    auto survivors = store->users();
+    if (shards == 1) {
+      reference = survivors;
+      EXPECT_LT(survivors.size(), 64U);  // something was actually evicted
+    } else {
+      EXPECT_EQ(survivors, reference) << "shards " << shards;
+    }
+  }
+}
+
+TEST(SessionStoreEviction, TieBreakByUserId) {
+  // Equal last_seen everywhere: victims must be the lowest user ids.
+  SessionStoreParams params;
+  params.shards = 4;
+  params.memory_budget_bytes = 10 * kSmallUserBytes;
+  params.eviction_lookback = kHour;
+  SessionStore store(params);
+  for (std::uint32_t user = 0; user < 16; ++user) {
+    store.ingest(user, 5000, "same.com");
+  }
+  ASSERT_TRUE(store.enforce_budget(5000 + 2 * kHour));
+  auto survivors = store.users();
+  ASSERT_FALSE(survivors.empty());
+  ASSERT_LT(survivors.size(), 16U);
+  // Survivors are exactly the highest ids.
+  std::uint32_t lowest_survivor = survivors.front();
+  EXPECT_EQ(survivors.size(), 16U - lowest_survivor);
+  for (std::size_t i = 0; i < survivors.size(); ++i) {
+    EXPECT_EQ(survivors[i], lowest_survivor + i);
+  }
+}
+
+TEST(SessionStoreEviction, LookbackGuardProtectsActiveUsers) {
+  // Everyone is active within the lookback: the budget stays violated but
+  // nobody is evicted (the trainer's day sequences must not lose users).
+  SessionStoreParams params;
+  params.memory_budget_bytes = 2 * kSmallUserBytes;
+  params.eviction_lookback = kDay;
+  SessionStore store(params);
+  for (std::uint32_t user = 0; user < 12; ++user) {
+    store.ingest(user, 9000 + user, "live.com");
+  }
+  util::Timestamp now = 9000 + 12 + kHour;  // all within the 1-day lookback
+  EXPECT_FALSE(store.enforce_budget(now));
+  EXPECT_EQ(store.users().size(), 12U);
+  auto stats = store.eviction_stats();
+  EXPECT_EQ(stats.evicted_users, 0U);
+  EXPECT_TRUE(stats.over_budget);
+  EXPECT_EQ(stats.last_run_now, now);
+  EXPECT_EQ(stats.coldest_last_seen, 9000);
+
+  // Once users age past the lookback the same budget evicts them.
+  util::Timestamp later = 9000 + 12 + 2 * kDay;
+  EXPECT_TRUE(store.enforce_budget(later));
+  EXPECT_FALSE(store.eviction_stats().over_budget);
+}
+
+TEST(SessionStoreEviction, PlainIngestAutoEvicts) {
+  SessionStoreParams params;
+  params.memory_budget_bytes = 8 * kSmallUserBytes;
+  params.eviction_lookback = kMinute;
+  SessionStore store(params);
+  for (std::uint32_t user = 0; user < 200; ++user) {
+    store.ingest(user, 1000 + user * 10 * kMinute, "auto.com");
+  }
+  EXPECT_GT(store.eviction_stats().evicted_users, 0U);
+  EXPECT_LE(store.payload_bytes(), store.budget_bytes());
+}
+
+// --- allocation regression -------------------------------------------------
+
+TEST(SessionStoreAlloc, IterationMakesNoPerUserAllocations) {
+  if (bench::allocations_now() == 0) {
+    GTEST_SKIP() << "counting allocator not linked (sanitizer build)";
+  }
+  constexpr std::uint32_t kUsers = 256;
+  SessionStoreParams params;
+  params.shards = 4;
+  SessionStore store(params);
+  for (std::uint32_t user = 0; user < kUsers; ++user) {
+    for (int i = 0; i < 6; ++i) {
+      store.ingest(user, 100 + i * kMinute,
+                   "host" + std::to_string(user % 11) + ".com");
+    }
+  }
+
+  // for_each_user: strictly zero allocations.
+  std::uint64_t before = bench::allocations_now();
+  std::size_t visited = 0;
+  store.for_each_user([&](std::uint32_t, util::Timestamp) { ++visited; });
+  EXPECT_EQ(bench::allocations_now() - before, 0U);
+  EXPECT_EQ(visited, kUsers);
+
+  // for_each_day_id_sequence: O(1) scratch growth, never O(users). This is
+  // the retrain iteration path — the seed's day_sequences() allocated
+  // per-user vectors *and* per-visit strings.
+  before = bench::allocations_now();
+  visited = 0;
+  store.for_each_day_id_sequence(
+      0, [&](std::uint32_t, std::span<const SessionStore::Id>) { ++visited; });
+  std::uint64_t iter_allocs = bench::allocations_now() - before;
+  EXPECT_EQ(visited, kUsers);
+  EXPECT_LE(iter_allocs, 8U) << "per-user allocations crept into iteration";
+
+  // session_ids_of with a warm out-vector: zero steady-state allocations.
+  std::vector<SessionStore::Id> ids;
+  store.session_ids_of(0, kHour, Window::minutes(20), ids);
+  before = bench::allocations_now();
+  for (std::uint32_t user = 0; user < kUsers; ++user) {
+    store.session_ids_of(user, kHour, Window::minutes(20), ids);
+  }
+  EXPECT_EQ(bench::allocations_now() - before, 0U);
+}
+
+TEST(SessionStoreAlloc, SteadyStateIngestIdIsAllocationFree) {
+  if (bench::allocations_now() == 0) {
+    GTEST_SKIP() << "counting allocator not linked (sanitizer build)";
+  }
+  // Warm rings + already-interned host + prune keeping counts flat: the
+  // zero-copy ingest lane must touch the heap zero times per event.
+  SessionStoreParams params;
+  params.horizon = kHour;
+  SessionStore store(params);
+  auto id = store.pool().intern("steady.com");
+  util::Timestamp ts = 0;
+  for (int i = 0; i < 64; ++i) {  // warm-up: maps, rings, arena chunk
+    ts += kHour + 1;
+    for (std::uint32_t user = 0; user < 8; ++user) {
+      store.ingest_id(user, ts, id);
+    }
+  }
+  std::uint64_t before = bench::allocations_now();
+  for (int i = 0; i < 256; ++i) {
+    ts += kHour + 1;
+    for (std::uint32_t user = 0; user < 8; ++user) {
+      store.ingest_id(user, ts, id);
+    }
+  }
+  EXPECT_EQ(bench::allocations_now() - before, 0U);
+}
+
+// --- concurrency (sanitizer_smoke: SessionConcurrency.*) --------------------
+
+TEST(SessionConcurrency, ShardAffineIngestMatchesSerial) {
+  constexpr std::size_t kShards = 4;
+  constexpr std::uint32_t kUsersPerShard = 12;
+  constexpr int kEventsPerUser = 300;
+
+  SessionStoreParams params;
+  params.shards = kShards;
+  SessionStore store(params);
+  SessionStore serial;  // 1 shard, same logical stream
+
+  auto host_of = [](std::uint32_t user, int i) {
+    return "h" + std::to_string((user * 31 + i) % 17) + ".net";
+  };
+  auto ts_of = [](std::uint32_t user, int i) {
+    return static_cast<util::Timestamp>(1000 + i * 20 + user % 7);
+  };
+
+  for (std::uint32_t user = 0; user < kShards * kUsersPerShard; ++user) {
+    for (int i = 0; i < kEventsPerUser; ++i) {
+      serial.ingest(user, ts_of(user, i), host_of(user, i));
+    }
+  }
+
+  // One writer per shard; concurrent readers hammer the atomic accounting
+  // surface the whole time (the documented any-thread-safe set).
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    std::size_t sink = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      sink += store.event_count() + store.user_count() +
+              store.payload_bytes() + store.memory_bytes() +
+              static_cast<std::size_t>(store.max_timestamp()) +
+              store.eviction_stats().evicted_users;
+    }
+    EXPECT_GT(sink, 0U);
+  });
+  std::vector<std::thread> writers;
+  for (std::size_t shard = 0; shard < kShards; ++shard) {
+    writers.emplace_back([&, shard] {
+      for (std::uint32_t u = 0; u < kUsersPerShard; ++u) {
+        std::uint32_t user = static_cast<std::uint32_t>(shard + u * kShards);
+        ASSERT_EQ(store.shard_of(user), shard);
+        for (int i = 0; i < kEventsPerUser; ++i) {
+          store.ingest_shard(shard, user, ts_of(user, i), host_of(user, i));
+        }
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  // Quiesced: full-fidelity comparison against the serial build.
+  ASSERT_EQ(store.event_count(), serial.event_count());
+  ASSERT_EQ(store.user_count(), serial.user_count());
+  EXPECT_EQ(store.users(), serial.users());
+  EXPECT_EQ(store.max_timestamp(), serial.max_timestamp());
+  util::Timestamp now = serial.max_timestamp();
+  for (std::uint32_t user = 0; user < kShards * kUsersPerShard; ++user) {
+    EXPECT_EQ(store.session_of(user, now, Window::minutes(20)).hostnames,
+              serial.session_of(user, now, Window::minutes(20)).hostnames)
+        << "user " << user;
+  }
+  EXPECT_EQ(store.day_sequences(0), serial.day_sequences(0));
+}
+
+TEST(SessionConcurrency, SharedPoolIdIngestAcrossShards) {
+  // The zero-copy lane: ids interned once in a shared pool, handed to
+  // ingest_shard_id from one thread per shard (the pipeline's shard_sink
+  // shape). The pool's intern() is thread-safe; name() is lock-free.
+  constexpr std::size_t kShards = 4;
+  util::InternPool pool;
+  SessionStoreParams params;
+  params.shards = kShards;
+  params.external_pool = &pool;
+  SessionStore store(params);
+
+  std::vector<std::thread> writers;
+  for (std::size_t shard = 0; shard < kShards; ++shard) {
+    writers.emplace_back([&, shard] {
+      for (int i = 0; i < 2000; ++i) {
+        std::uint32_t user = static_cast<std::uint32_t>(
+            shard + (i % 8) * kShards);
+        auto id = pool.intern("site" + std::to_string(i % 23) + ".com");
+        store.ingest_shard_id(shard, user, 1000 + i, id);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+
+  EXPECT_EQ(store.event_count(), kShards * 2000U);
+  EXPECT_EQ(store.user_count(), kShards * 8U);
+  // Every stored id resolves through the shared pool.
+  auto s = store.session_of(0, 3000, Window::last_hosts(5));
+  EXPECT_FALSE(s.empty());
+  for (const auto& host : s.hostnames) {
+    EXPECT_NE(host.find("site"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace netobs::profile
